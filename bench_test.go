@@ -1,0 +1,315 @@
+package sophie_test
+
+// One benchmark per table and figure of the paper's evaluation
+// (Section IV). Each bench runs a miniaturized version of its
+// experiment — small instances and few iterations so `go test -bench=.`
+// completes quickly — and attaches the experiment's key metric via
+// b.ReportMetric. The full-scale regeneration lives in
+// cmd/experiments (see EXPERIMENTS.md for recorded paper-vs-measured).
+
+import (
+	"testing"
+
+	"sophie"
+	"sophie/internal/arch"
+	"sophie/internal/core"
+	"sophie/internal/experiments"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/sched"
+)
+
+// benchGraph is the shared miniature instance: a Rudy random graph with
+// G22-like density at 1/16 the order.
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := graph.Random(125, 650, graph.WeightUnit, 53122)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchSolver(b *testing.B, mutate func(*core.Config)) *core.Solver {
+	b.Helper()
+	g := benchGraph(b)
+	cfg := core.DefaultConfig()
+	cfg.TileSize = 32
+	cfg.GlobalIters = 30
+	cfg.Phi = 0.2
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := core.NewSolver(ising.FromMaxCut(g), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTable1Graphs regenerates Table I's instances (the small ones
+// materialized, the large ones described analytically).
+func BenchmarkTable1Graphs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, inst := range graph.TableI() {
+			if inst.Nodes <= 800 {
+				g := inst.Build()
+				if g.N() != inst.Nodes {
+					b.Fatal("bad instance")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig6QualitySweep sweeps (φ, α) on the miniature instance —
+// Fig. 6's quality surface.
+func BenchmarkFig6QualitySweep(b *testing.B) {
+	g := benchGraph(b)
+	model := ising.FromMaxCut(g)
+	bestCut := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0, 0.1} {
+			cfg := core.DefaultConfig()
+			cfg.TileSize = 32
+			cfg.GlobalIters = 20
+			cfg.Alpha = alpha
+			s, err := core.NewSolver(model, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, phi := range []float64{0.1, 0.2} {
+				tuned, err := s.WithRuntime(func(c *core.Config) { c.Phi = phi })
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tuned.Run(int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cut := g.CutValue(res.BestSpins); cut > bestCut {
+					bestCut = cut
+				}
+			}
+		}
+	}
+	b.ReportMetric(bestCut, "best-cut")
+}
+
+// BenchmarkFig7StochasticTiles sweeps (local iters per global, tile
+// fraction) at a fixed local-iteration budget — Fig. 7's quality grid.
+func BenchmarkFig7StochasticTiles(b *testing.B) {
+	g := benchGraph(b)
+	s := benchSolver(b, nil)
+	worst := 1.0
+	var ref float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		const budget = 300
+		ref = 0
+		cuts := map[[2]int]float64{}
+		for li, L := range []int{1, 10} {
+			for fi, frac := range []float64{0.5, 1.0} {
+				tuned, err := s.WithRuntime(func(c *core.Config) {
+					c.LocalIters = L
+					c.GlobalIters = budget / L
+					c.TileFraction = frac
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tuned.Run(int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut := g.CutValue(res.BestSpins)
+				cuts[[2]int{li, fi}] = cut
+				if cut > ref {
+					ref = cut
+				}
+			}
+		}
+		for _, c := range cuts {
+			if r := c / ref; r < worst {
+				worst = r
+			}
+		}
+	}
+	b.ReportMetric(100*worst, "worst-vs-best-%")
+}
+
+// BenchmarkFig8IterationsToTarget measures total local iterations to a
+// 95%-of-reference cut — Fig. 8's convergence grid.
+func BenchmarkFig8IterationsToTarget(b *testing.B) {
+	g := benchGraph(b)
+	// Reference from a quick BLS run.
+	ref, err := sophie.BLS(g, sophie.BLSConfig{MaxMoves: 50000, PerturbBase: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := g.TotalWeight() - 2*0.95*ref.BestCut
+	s := benchSolver(b, func(c *core.Config) {
+		c.GlobalIters = 100
+		c.TargetEnergy = &target
+	})
+	total := 0.0
+	runs := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ReachedTarget {
+			total += float64(res.TotalLocalIters)
+			runs++
+		}
+	}
+	if runs > 0 {
+		b.ReportMetric(total/runs, "local-iters-to-95%")
+	}
+}
+
+// BenchmarkFig9EDAP evaluates the analytic EDAP surface over the
+// (tile, batch) grid — Fig. 9.
+func BenchmarkFig9EDAP(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		best = 0
+		for _, tile := range []int{16, 32, 64, 128, 256} {
+			for _, batch := range []int{1, 10, 100, 1000} {
+				pes := 256 * 64 * 64 / (4 * tile * tile)
+				d := arch.Design{
+					Hardware: sched.Hardware{Accelerators: 1, ChipletsPerAccel: 4, PEsPerChiplet: pes, TileSize: tile},
+					Params:   arch.DefaultParams(),
+				}
+				rep, err := arch.Evaluate(d, arch.Workload{
+					Nodes: 32768, Batch: batch, LocalIters: 10, GlobalIters: 500, TileFraction: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if best == 0 || rep.EDAP < best {
+					best = rep.EDAP
+				}
+			}
+		}
+	}
+	b.ReportMetric(best, "min-EDAP")
+}
+
+// BenchmarkFig10Runtime couples the functional simulator's iterations-
+// to-target with the capacity-limited timing model — Fig. 10.
+func BenchmarkFig10Runtime(b *testing.B) {
+	g := benchGraph(b)
+	ref, err := sophie.BLS(g, sophie.BLSConfig{MaxMoves: 50000, PerturbBase: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := g.TotalWeight() - 2*0.9*ref.BestCut
+	s := benchSolver(b, func(c *core.Config) {
+		c.GlobalIters = 100
+		c.TargetEnergy = &target
+		c.TileFraction = 0.74
+	})
+	hw := sched.Hardware{Accelerators: 1, ChipletsPerAccel: 4, PEsPerChiplet: 16, TileSize: 32}
+	design := arch.Design{Hardware: hw, Params: arch.DefaultParams()}
+	var perJob float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters := res.GlobalItersRun
+		if iters == 0 {
+			iters = 1
+		}
+		rep, err := arch.Evaluate(design, arch.Workload{
+			Nodes: g.N(), Batch: 100, LocalIters: 10, GlobalIters: iters, TileFraction: 0.74,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perJob = rep.TimePerJobS
+	}
+	b.ReportMetric(perJob*1e6, "µs/job")
+}
+
+// BenchmarkTable2SmallGraphs runs the resident small-graph flow: solve
+// K100 functionally, then price it on 4 accelerators — Table II's
+// SOPHIE row.
+func BenchmarkTable2SmallGraphs(b *testing.B) {
+	g := graph.KGraph(100)
+	model := ising.FromMaxCut(g)
+	cfg := core.DefaultConfig()
+	cfg.GlobalIters = 50
+	cfg.Phi = 0.2
+	s, err := core.NewSolver(model, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := sched.DefaultHardware()
+	hw.Accelerators = 4
+	design := arch.Design{Hardware: hw, Params: arch.DefaultParams()}
+	var perJob float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := arch.Evaluate(design, arch.Workload{
+			Nodes: 100, Batch: 100, LocalIters: 10,
+			GlobalIters: maxInt(res.BestGlobalIter, 1), TileFraction: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perJob = rep.TimePerJobS
+	}
+	b.ReportMetric(perJob*1e6, "µs/job")
+}
+
+// BenchmarkTable3LargeGraphs evaluates the time-duplexed large-graph
+// timing for K16384/K32768 across accelerator counts — Table III.
+func BenchmarkTable3LargeGraphs(b *testing.B) {
+	var t1 float64
+	for i := 0; i < b.N; i++ {
+		for _, accels := range []int{1, 2, 4} {
+			hw := sched.DefaultHardware()
+			hw.Accelerators = accels
+			design := arch.Design{Hardware: hw, Params: arch.DefaultParams()}
+			for _, nodes := range []int{16384, 32768} {
+				rep, err := arch.Evaluate(design, arch.Workload{
+					Nodes: nodes, Batch: 100, LocalIters: 10, GlobalIters: 50, TileFraction: 0.74,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if accels == 1 && nodes == 16384 {
+					t1 = rep.TimePerJobS
+				}
+			}
+		}
+	}
+	b.ReportMetric(t1*1e6, "K16384-1accel-µs/job")
+}
+
+// BenchmarkExperimentFig9Harness exercises the full experiment harness
+// path (registry → render) for the cheapest experiment.
+func BenchmarkExperimentFig9Harness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig9(experiments.Options{Runs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func maxInt(a, c int) int {
+	if a > c {
+		return a
+	}
+	return c
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures
+// (Table I-III, Fig. 6-10). By default it runs a reduced "fast"
+// protocol on shrunk stand-ins; -full switches to the paper-scale
+// protocol (much slower).
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig7 -runs 10
+//	experiments -exp table2 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sophie/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment id (table1, fig6, fig7, fig8, fig9, fig10, table2, table3) or 'all'")
+		full    = fs.Bool("full", false, "paper-scale protocol (slow)")
+		runs    = fs.Int("runs", 0, "runs per data point (0 = scale default)")
+		seed    = fs.Int64("seed", 1, "base seed")
+		workers = fs.Int("workers", 0, "solver workers (0 = GOMAXPROCS)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	opt := experiments.Options{
+		Full:    *full,
+		Runs:    *runs,
+		Seed:    *seed,
+		Workers: *workers,
+		Out:     stdout,
+	}
+
+	var todo []experiments.Experiment
+	if *exp == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			return err
+		}
+		todo = []experiments.Experiment{e}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Fprintf(stdout, "\n### %s\n", e.Title)
+		if err := e.Run(opt); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(stdout, "(%s finished in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table3", "ablation", "scaling"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("list missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table I") || !strings.Contains(out.String(), "finished in") {
+		t.Fatalf("table1 output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunFastAnalytic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table3", "-runs", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SOPHIE (this repo)") {
+		t.Fatal("table3 output missing SOPHIE rows")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}

@@ -1,0 +1,135 @@
+// Command ppa evaluates the SOPHIE power/performance/area model for a
+// workload on a hardware design and prints the full report with time,
+// energy, and area breakdowns — the model behind Fig. 9 and Tables
+// II/III.
+//
+// Usage:
+//
+//	ppa -nodes 16384 -accel 1 -batch 100 -global 50 -tiles 0.74
+//	ppa -nodes 32768 -tile 128 -batch 1000
+//	ppa -nodes 2000 -pes 16 -global 5 -sim -trace   # discrete schedule walk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sophie/internal/arch"
+	"sophie/internal/sched"
+	"sophie/internal/tiling"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ppa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ppa", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 16384, "Ising problem order")
+		accel    = fs.Int("accel", 1, "number of accelerators")
+		chiplets = fs.Int("chiplets", 4, "OPCM chiplets per accelerator")
+		pes      = fs.Int("pes", 64, "PEs per chiplet")
+		tile     = fs.Int("tile", 64, "tile size")
+		batch    = fs.Int("batch", 100, "jobs per batch")
+		local    = fs.Int("local", 10, "local iterations per global")
+		global   = fs.Int("global", 50, "global iterations")
+		frac     = fs.Float64("tiles", 0.74, "tile selection fraction")
+		sim      = fs.Bool("sim", false, "also walk the concrete schedule (discrete simulation)")
+		trace    = fs.Bool("trace", false, "with -sim: print the round timeline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d := arch.Design{
+		Hardware: sched.Hardware{
+			Accelerators:     *accel,
+			ChipletsPerAccel: *chiplets,
+			PEsPerChiplet:    *pes,
+			TileSize:         *tile,
+		},
+		Params: arch.DefaultParams(),
+	}
+	rep, err := arch.Evaluate(d, arch.Workload{
+		Name:         fmt.Sprintf("n=%d", *nodes),
+		Nodes:        *nodes,
+		Batch:        *batch,
+		LocalIters:   *local,
+		GlobalIters:  *global,
+		TileFraction: *frac,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "workload: %s, batch %d, %dx%d local/global iters, %.0f%% tiles\n",
+		rep.Workload.Name, rep.Workload.Batch, rep.Workload.LocalIters, rep.Workload.GlobalIters,
+		100*rep.Workload.TileFraction)
+	fmt.Fprintf(stdout, "hardware: %d accel x %d chiplets x %d PEs, tile %d (%d total PEs, capacity %d couplings)\n",
+		*accel, *chiplets, *pes, *tile, d.Hardware.TotalPEs(), d.Hardware.Capacity())
+	fmt.Fprintf(stdout, "schedule: %d pairs, %d selected/iter, %d rounds/iter, resident=%v, %.0f programs\n",
+		rep.Schedule.Pairs, rep.Schedule.SelectedPairs, rep.Schedule.RoundsPerIter,
+		rep.Schedule.Resident, rep.Schedule.ProgramsTotal)
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "time:   total %.4g s, per job %.4g s (bound by %s)\n",
+		rep.TimeTotalS, rep.TimePerJobS, rep.Time.BoundBy)
+	fmt.Fprintf(stdout, "        fill %.3g s | compute %.3g s | sync %.3g s | program %.3g s | cross-accel %.3g s\n",
+		rep.Time.FillS, rep.Time.ComputeS, rep.Time.SyncS, rep.Time.ProgramS, rep.Time.CrossAccelS)
+	fmt.Fprintf(stdout, "energy: total %.4g J, per job %.4g J, avg power %.4g W\n",
+		rep.EnergyTotalJ, rep.EnergyPerJobJ, rep.AvgPowerW)
+	e := rep.Energy
+	fmt.Fprintf(stdout, "        laser %.3g | EO %.3g | ADC %.3g | SRAM %.3g | DRAM %.3g | bus %.3g | program %.3g | ctrl %.3g | glue %.3g (J)\n",
+		e.LaserJ, e.EOJ, e.ADCJ, e.SRAMJ, e.DRAMJ, e.BusJ, e.ProgramJ, e.ControlJ, e.GlueJ)
+	a := rep.Area
+	fmt.Fprintf(stdout, "area:   total %.4g mm² (%d accelerator(s))\n", rep.AreaMM2, *accel)
+	fmt.Fprintf(stdout, "        OPCM %.3g | SRAM %.3g | DRAM %.3g | laser %.3g | controller %.3g (mm² per accel)\n",
+		a.OPCMChipletsMM2, a.SRAMMM2, a.DRAMMM2, a.LaserMM2, a.ControllerMM2)
+	fmt.Fprintf(stdout, "EDAP:   %.4g J·s·mm² per job\n", rep.EDAP)
+
+	feas, err := arch.CheckFeasibility(rep)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "physical: laser %.3g W/chiplet | density %.3g W/mm² | program surge %.3g W\n",
+		feas.LaserPowerPerChipletW, feas.AvgPowerDensityWPerMM2, feas.ProgramSurgeW)
+	for _, warn := range feas.Warnings {
+		fmt.Fprintf(stdout, "warning: %s\n", warn)
+	}
+
+	if *sim {
+		grid, err := tiling.NewGrid(*nodes, *tile)
+		if err != nil {
+			return err
+		}
+		if grid.PairCount() > 200000 || *global > 2000 {
+			return fmt.Errorf("-sim limited to moderate schedules (%d pairs, %d iterations requested)", grid.PairCount(), *global)
+		}
+		plan, err := sched.Generate(grid, d.Hardware, sched.Options{
+			GlobalIters: *global, TileFraction: *frac, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		simRep, err := arch.SimulatePlan(d, plan, arch.Workload{
+			Name: rep.Workload.Name, Nodes: *nodes, Batch: *batch,
+			LocalIters: *local, GlobalIters: *global, TileFraction: *frac,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\ndiscrete simulation: total %.4g s, per job %.4g s over %d rounds (analytic %.4g s/job)\n",
+			simRep.TotalTimeS, simRep.TimePerJobS, simRep.Rounds, rep.TimePerJobS)
+		if *trace {
+			if err := arch.RenderTimeline(stdout, simRep, 50); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "16384"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"workload:", "schedule:", "time:", "energy:", "area:", "EDAP:", "physical:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSimTrace(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "2000", "-pes", "16", "-global", "3", "-sim", "-trace"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "discrete simulation") || !strings.Contains(s, "round timeline") {
+		t.Fatalf("sim output missing:\n%s", s)
+	}
+}
+
+func TestRunSimTooLarge(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "32768", "-sim", "-global", "5000"}, &out); err == nil {
+		t.Fatal("oversized simulation must be rejected")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "0"}, &out); err == nil {
+		t.Fatal("invalid workload must fail")
+	}
+	if err := run([]string{"-tiles", "0"}, &out); err == nil {
+		t.Fatal("invalid fraction must fail")
+	}
+}

@@ -1,0 +1,100 @@
+// Command rudy generates benchmark graphs in GSET text format, covering
+// the instance families the paper evaluates (Table I): Rudy-style sparse
+// random graphs, complete K-graphs with random weights, and toroidal
+// grids, plus named presets for the paper's exact instances.
+//
+// Usage:
+//
+//	rudy -type random -n 800 -m 19176 -weights unit -seed 1 > g.txt
+//	rudy -preset G22 -o g22.txt
+//	rudy -type complete -n 100 -weights pm1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sophie/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rudy", flag.ContinueOnError)
+	var (
+		typ     = fs.String("type", "random", "graph family: random | complete | toroidal")
+		n       = fs.Int("n", 100, "number of nodes (random/complete)")
+		m       = fs.Int("m", 0, "number of edges (random; default 5% density)")
+		w       = fs.Int("w", 8, "torus width (toroidal)")
+		h       = fs.Int("h", 8, "torus height (toroidal)")
+		weights = fs.String("weights", "unit", "edge weights: unit | pm1 | uniform")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		preset  = fs.String("preset", "", "named instance: G1 | G22 | K100 (overrides other flags)")
+		out     = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	var err error
+	if *preset != "" {
+		switch *preset {
+		case "G1":
+			g = graph.G1Standin()
+		case "G22":
+			g = graph.G22Standin()
+		case "K100":
+			g = graph.KGraph(100)
+		default:
+			return fmt.Errorf("unknown preset %q (G1, G22, K100)", *preset)
+		}
+	} else {
+		var scheme graph.WeightScheme
+		switch *weights {
+		case "unit":
+			scheme = graph.WeightUnit
+		case "pm1":
+			scheme = graph.WeightPM1
+		case "uniform":
+			scheme = graph.WeightUniform
+		default:
+			return fmt.Errorf("unknown weight scheme %q (unit, pm1, uniform)", *weights)
+		}
+		switch *typ {
+		case "random":
+			edges := *m
+			if edges == 0 {
+				edges = *n * (*n - 1) / 40 // 5% density default
+			}
+			g, err = graph.Random(*n, edges, scheme, *seed)
+			if err != nil {
+				return err
+			}
+		case "complete":
+			g = graph.Complete(*n, scheme, *seed)
+		case "toroidal":
+			g = graph.Toroidal(*w, *h, *seed)
+		default:
+			return fmt.Errorf("unknown type %q (random, complete, toroidal)", *typ)
+		}
+	}
+
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	return graph.Write(dst, g)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sophie/internal/graph"
+)
+
+func TestRunRandom(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "random", "-n", "30", "-m", "60", "-weights", "pm1", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 30 || g.M() != 60 {
+		t.Fatalf("generated %d/%d", g.N(), g.M())
+	}
+}
+
+func TestRunDefaultDensity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "40"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 40*39/40 {
+		t.Fatalf("default density produced %d edges", g.M())
+	}
+}
+
+func TestRunComplete(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "complete", "-n", "10", "-weights", "uniform"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "10 45\n") {
+		t.Fatalf("K10 header wrong: %q", buf.String()[:10])
+	}
+}
+
+func TestRunToroidal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "toroidal", "-w", "4", "-h", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16 {
+		t.Fatalf("torus has %d nodes", g.N())
+	}
+}
+
+func TestRunPresets(t *testing.T) {
+	for preset, nodes := range map[string]int{"G1": 800, "G22": 2000, "K100": 100} {
+		var buf bytes.Buffer
+		if err := run([]string{"-preset", preset}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != nodes {
+			t.Fatalf("preset %s gave %d nodes", preset, g.N())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-preset", "nope"},
+		{"-type", "nope"},
+		{"-weights", "nope"},
+		{"-type", "random", "-n", "4", "-m", "100"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command sophie solves a max-cut instance with the SOPHIE modified
+// PRIS algorithm (functional simulation) and reports the cut, energy,
+// iteration counts, and operation tallies.
+//
+// Usage:
+//
+//	sophie -graph g22.txt -phi 0.1 -alpha 0 -global 500
+//	sophie -preset K100 -runs 5 -device
+//	rudy -preset G1 | sophie -phi 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sophie/internal/core"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/linalg"
+	"sophie/internal/metrics"
+	"sophie/internal/opcm"
+	"sophie/internal/tiling"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sophie:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sophie", flag.ContinueOnError)
+	var (
+		graphFile = fs.String("graph", "", "GSET-format graph file ('-' or empty reads stdin)")
+		preset    = fs.String("preset", "", "named instance: G1 | G22 | K100")
+		tile      = fs.Int("tile", 64, "tile size (OPCM array order)")
+		local     = fs.Int("local", 10, "local iterations per global iteration")
+		global    = fs.Int("global", 500, "global iterations")
+		frac      = fs.Float64("tiles", 1.0, "fraction of tile pairs selected per global iteration")
+		phi       = fs.Float64("phi", 0.1, "noise standard deviation")
+		alpha     = fs.Float64("alpha", 0, "eigenvalue dropout factor")
+		phiEnd    = fs.Float64("phi-end", 0, "anneal noise geometrically down to this value (0 = constant)")
+		rank      = fs.Int("rank", 0, "rank-limited Lanczos transform (0 = full eigendecomposition)")
+		skip      = fs.Bool("skip-transform", false, "use C = K without eigen preprocessing")
+		majority  = fs.Bool("majority", false, "majority spin update instead of stochastic")
+		device    = fs.Bool("device", false, "run MVMs through the OPCM device model")
+		runs      = fs.Int("runs", 1, "independent jobs (seeds seed, seed+1, ...)")
+		seed      = fs.Int64("seed", 1, "base seed")
+		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		showOps   = fs.Bool("ops", false, "print operation counters")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadGraph(*graphFile, *preset, stdin)
+	if err != nil {
+		return err
+	}
+	model := ising.FromMaxCut(g)
+
+	cfg := core.DefaultConfig()
+	cfg.TileSize = *tile
+	cfg.LocalIters = *local
+	cfg.GlobalIters = *global
+	cfg.TileFraction = *frac
+	cfg.Phi = *phi
+	cfg.Alpha = *alpha
+	cfg.PhiEnd = *phiEnd
+	cfg.TransformRank = *rank
+	cfg.SkipTransform = *skip
+	cfg.Workers = *workers
+	if *majority {
+		cfg.SpinUpdate = core.SpinUpdateMajority
+	}
+	if *device {
+		cfg.Engine = func(tiles []*linalg.Matrix) (tiling.Engine, error) {
+			return opcm.NewEngine(tiles, 0, opcm.DefaultParams())
+		}
+	}
+
+	fmt.Fprintf(stdout, "graph: %d nodes, %d edges (density %.4f)\n", g.N(), g.M(), g.Density())
+	start := time.Now()
+	solver, err := core.NewSolver(model, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "preprocessing: %v (tile %d, %d pairs)\n",
+		time.Since(start).Round(time.Millisecond), *tile, solver.Grid().PairCount())
+
+	bestCut := 0.0
+	var totalOps metrics.OpCounts
+	for r := 0; r < *runs; r++ {
+		jobStart := time.Now()
+		res, err := solver.Run(*seed + int64(r))
+		if err != nil {
+			return err
+		}
+		cut := g.CutValue(res.BestSpins)
+		if cut > bestCut {
+			bestCut = cut
+		}
+		totalOps.Add(res.Ops)
+		fmt.Fprintf(stdout, "job %d: cut %.0f, energy %.0f, best at global iter %d, wall %v\n",
+			r, cut, res.BestEnergy, res.BestGlobalIter, time.Since(jobStart).Round(time.Millisecond))
+	}
+	fmt.Fprintf(stdout, "best cut over %d job(s): %.0f\n", *runs, bestCut)
+	if *showOps {
+		fmt.Fprintf(stdout, "operation counts (all jobs):\n%s", totalOps.String())
+	}
+	return nil
+}
+
+func loadGraph(file, preset string, stdin io.Reader) (*graph.Graph, error) {
+	if preset != "" {
+		switch preset {
+		case "G1":
+			return graph.G1Standin(), nil
+		case "G22":
+			return graph.G22Standin(), nil
+		case "K100":
+			return graph.KGraph(100), nil
+		default:
+			return nil, fmt.Errorf("unknown preset %q", preset)
+		}
+	}
+	if file == "" || file == "-" {
+		return graph.Read(stdin)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Read(f)
+}

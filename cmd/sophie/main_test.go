@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sophie/internal/graph"
+)
+
+func TestRunPreset(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-preset", "K100", "-tile", "32", "-global", "20", "-runs", "2", "-ops", "-phi", "0.2"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"graph: 100 nodes", "job 0:", "job 1:", "best cut over 2 job(s)", "mvm(1b)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	g, err := graph.Random(40, 120, graph.WeightUnit, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in bytes.Buffer
+	if err := graph.Write(&in, g); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-tile", "16", "-global", "15"}, &in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "graph: 40 nodes") {
+		t.Fatalf("stdin path failed:\n%s", out.String())
+	}
+}
+
+func TestRunDeviceAndFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-preset", "K100", "-tile", "32", "-global", "10",
+		"-device", "-majority", "-skip-transform", "-tiles", "0.5"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "best cut") {
+		t.Fatal("device run produced no summary")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-preset", "nope"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("unknown preset must fail")
+	}
+	if err := run([]string{"-graph", "/does/not/exist"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if err := run([]string{"-preset", "K100", "-phi", "-3"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("invalid solver config must fail")
+	}
+	if err := run([]string{}, strings.NewReader("garbage"), &out); err == nil {
+		t.Fatal("bad stdin graph must fail")
+	}
+}
+
+func TestRunRankAndAnneal(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-preset", "K100", "-tile", "32", "-global", "15",
+		"-rank", "20", "-phi", "0.4", "-phi-end", "0.05"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "best cut") {
+		t.Fatal("rank/anneal run produced no summary")
+	}
+}

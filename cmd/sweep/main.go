@@ -1,0 +1,164 @@
+// Command sweep runs a custom parameter sweep of the SOPHIE functional
+// simulator over noise φ, dropout α, local iterations, and tile
+// fraction, printing one CSV row per point — the generic driver behind
+// the Fig. 6-8 style studies for arbitrary instances.
+//
+// Usage:
+//
+//	sweep -preset K100 -phi 0.05,0.1,0.2 -alpha 0,0.1 -runs 5
+//	sweep -graph my.txt -local 1,5,10 -tiles 0.5,1.0 -global 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sophie/internal/core"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		graphFile = fs.String("graph", "", "GSET-format graph file ('-' or empty reads stdin)")
+		preset    = fs.String("preset", "", "named instance: G1 | G22 | K100")
+		tile      = fs.Int("tile", 64, "tile size")
+		global    = fs.Int("global", 200, "global iterations")
+		phiList   = fs.String("phi", "0.1", "comma-separated noise values")
+		alphaList = fs.String("alpha", "0", "comma-separated dropout values")
+		localList = fs.String("local", "10", "comma-separated local-iteration counts")
+		fracList  = fs.String("tiles", "1.0", "comma-separated tile fractions")
+		runs      = fs.Int("runs", 3, "runs per point")
+		seed      = fs.Int64("seed", 1, "base seed")
+		workers   = fs.Int("workers", 0, "solver workers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadGraph(*graphFile, *preset, stdin)
+	if err != nil {
+		return err
+	}
+	model := ising.FromMaxCut(g)
+
+	phis, err := parseFloats(*phiList)
+	if err != nil {
+		return err
+	}
+	alphas, err := parseFloats(*alphaList)
+	if err != nil {
+		return err
+	}
+	locals, err := parseInts(*localList)
+	if err != nil {
+		return err
+	}
+	fracs, err := parseFloats(*fracList)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(stdout, "alpha,phi,local_iters,tile_fraction,mean_cut,std_cut,min_cut,max_cut,runs")
+	for _, alpha := range alphas {
+		cfg := core.DefaultConfig()
+		cfg.TileSize = *tile
+		cfg.GlobalIters = *global
+		cfg.Alpha = alpha
+		cfg.Workers = *workers
+		cfg.EvalEvery = 2
+		solver, err := core.NewSolver(model, cfg)
+		if err != nil {
+			return err
+		}
+		for _, phi := range phis {
+			for _, local := range locals {
+				for _, frac := range fracs {
+					tuned, err := solver.WithRuntime(func(c *core.Config) {
+						c.Phi = phi
+						c.LocalIters = local
+						c.TileFraction = frac
+					})
+					if err != nil {
+						return err
+					}
+					cuts := make([]float64, 0, *runs)
+					for r := 0; r < *runs; r++ {
+						res, err := tuned.Run(*seed + int64(r))
+						if err != nil {
+							return err
+						}
+						cuts = append(cuts, g.CutValue(res.BestSpins))
+					}
+					s := metrics.Summarize(cuts)
+					fmt.Fprintf(stdout, "%g,%g,%d,%g,%.2f,%.2f,%.0f,%.0f,%d\n",
+						alpha, phi, local, frac, s.Mean, s.Std, s.Min, s.Max, s.N)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func loadGraph(file, preset string, stdin io.Reader) (*graph.Graph, error) {
+	if preset != "" {
+		switch preset {
+		case "G1":
+			return graph.G1Standin(), nil
+		case "G22":
+			return graph.G22Standin(), nil
+		case "K100":
+			return graph.KGraph(100), nil
+		default:
+			return nil, fmt.Errorf("unknown preset %q", preset)
+		}
+	}
+	if file == "" || file == "-" {
+		return graph.Read(stdin)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Read(f)
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-preset", "K100", "-tile", "32", "-global", "15",
+		"-phi", "0.1,0.2", "-alpha", "0", "-local", "5", "-tiles", "0.5,1.0", "-runs", "2"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Header + 2 phi × 1 alpha × 1 local × 2 fractions = 5 lines.
+	if len(lines) != 5 {
+		t.Fatalf("got %d CSV lines, want 5:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "alpha,phi,local_iters") {
+		t.Fatalf("CSV header wrong: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 8 {
+			t.Fatalf("CSV row has wrong arity: %q", l)
+		}
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-preset", "nope"},
+		{"-preset", "K100", "-phi", "x"},
+		{"-preset", "K100", "-alpha", ""},
+		{"-preset", "K100", "-local", "1.5"},
+		{"-preset", "K100", "-tiles", "abc"},
+	}
+	for _, args := range cases {
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

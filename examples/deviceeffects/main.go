@@ -1,0 +1,118 @@
+// Device-effects ablation: run the same SOPHIE solve through the ideal
+// float64 datapath and through the OPCM device model while sweeping the
+// GST cell precision, the read noise, and injected stuck-cell faults —
+// quantifying how much solution quality the analog hardware costs
+// (Section III-C's device-level design choices).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sophie"
+)
+
+func main() {
+	g, err := sophie.RandomGraph(400, 4000, sophie.WeightUnit, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := sophie.MaxCut(g)
+	fmt.Printf("instance: %d nodes, %d edges\n\n", g.N(), g.M())
+
+	base := sophie.DefaultConfig()
+	base.GlobalIters = 120
+	base.Phi = 0.15
+
+	solve := func(cfg sophie.Config) float64 {
+		best := 0.0
+		for seed := int64(0); seed < 3; seed++ {
+			cfg.Seed = seed
+			res, err := sophie.Solve(model, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if cut := g.CutValue(res.BestSpins); cut > best {
+				best = cut
+			}
+		}
+		return best
+	}
+
+	ideal := solve(base)
+	fmt.Printf("%-40s %8.0f %8s\n", "ideal float64 datapath", ideal, "100.0%")
+
+	report := func(name string, params sophie.DeviceParams) {
+		cut := solve(sophie.WithDeviceModel(base, params))
+		fmt.Printf("%-40s %8.0f %7.1f%%\n", name, cut, 100*cut/ideal)
+	}
+
+	// Cell precision sweep: the paper stores 6 bits per GST cell.
+	for _, bits := range []int{6, 4, 2} {
+		p := sophie.DefaultDeviceParams()
+		p.CellBits = bits
+		report(fmt.Sprintf("OPCM, %d-bit cells", bits), p)
+	}
+
+	// Read-noise sweep: the algorithm's φ already injects noise; device
+	// read noise adds on top (the noise generator compensates in the
+	// real design by injecting less).
+	for _, rn := range []float64{0.01, 0.05} {
+		p := sophie.DefaultDeviceParams()
+		p.ReadNoise = rn
+		report(fmt.Sprintf("OPCM, read noise %.0f%% of full scale", rn*100), p)
+	}
+
+	// Fault injection: stuck GST cells at random levels.
+	for _, f := range []float64{0.001, 0.01, 0.05} {
+		p := sophie.DefaultDeviceParams()
+		p.StuckCellFraction = f
+		p.Seed = 5
+		report(fmt.Sprintf("OPCM, %.1f%% stuck cells", f*100), p)
+	}
+
+	// Amorphous GST drift: the stored weights decay logarithmically
+	// between refreshes; reprogramming (which the time-duplexed flow
+	// does anyway) resets it. We age the arrays as if they had sat
+	// unrefreshed for the given time before the solve.
+	for _, age := range []float64{1, 3600, 86400 * 30} {
+		cfg := sophie.WithDriftDeviceModel(base, sophie.DefaultDeviceParams(), 0.015, 1e-3)
+		cut := solveAged(model, g, cfg, age)
+		fmt.Printf("%-40s %8.0f %7.1f%%\n",
+			fmt.Sprintf("OPCM, drift after %s unrefreshed", fmtAge(age)), cut, 100*cut/ideal)
+	}
+}
+
+// solveAged runs the solver after advancing the drift clock.
+func solveAged(model *sophie.Model, g *sophie.Graph, cfg sophie.Config, age float64) float64 {
+	best := 0.0
+	for seed := int64(0); seed < 3; seed++ {
+		cfg.Seed = seed
+		solver, err := sophie.NewSolver(model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if drift, ok := solver.Engine().(interface{ Tick(float64) }); ok {
+			drift.Tick(age)
+		}
+		res, err := solver.Run(seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cut := g.CutValue(res.BestSpins); cut > best {
+			best = cut
+		}
+	}
+	return best
+}
+
+func fmtAge(seconds float64) string {
+	switch {
+	case seconds < 60:
+		return fmt.Sprintf("%.0f s", seconds)
+	case seconds < 86400:
+		return fmt.Sprintf("%.0f h", seconds/3600)
+	default:
+		return fmt.Sprintf("%.0f d", seconds/86400)
+	}
+}

@@ -1,0 +1,120 @@
+// GSET benchmark study: run SOPHIE on the G1 stand-in (800 nodes, 19176
+// edges) with the paper's optimal parameters (φ=0.2, α=0 for G1), and
+// compare the solution quality against every baseline the repository
+// implements — the software view of Table II.
+//
+// Pass -quick to shrink the instance and budgets for a fast demo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sophie"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink instance and budgets")
+	flag.Parse()
+
+	g := sophie.G1()
+	globalIters := 300
+	saSweeps := 500
+	blsMoves := 500000
+	if *quick {
+		var err error
+		g, err = sophie.RandomGraph(200, 1200, sophie.WeightUnit, 53100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		globalIters = 100
+		saSweeps = 150
+		blsMoves = 100000
+	}
+	fmt.Printf("instance: %d nodes, %d edges\n\n", g.N(), g.M())
+	model := sophie.MaxCut(g)
+
+	type row struct {
+		name string
+		cut  float64
+		wall time.Duration
+	}
+	var rows []row
+	timeIt := func(name string, f func() []int8) {
+		start := time.Now()
+		spins := f()
+		rows = append(rows, row{name, g.CutValue(spins), time.Since(start)})
+	}
+
+	timeIt("SOPHIE (φ=0.2, α=0)", func() []int8 {
+		cfg := sophie.DefaultConfig()
+		cfg.Phi = 0.2 // the paper's optimum for G1
+		cfg.GlobalIters = globalIters
+		cfg.Seed = 7
+		res, err := sophie.Solve(model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.BestSpins
+	})
+	timeIt("PRIS (reference)", func() []int8 {
+		res, err := sophie.SolvePRIS(model, sophie.PRISConfig{
+			Phi: 0.2, Alpha: 0, Iterations: globalIters * 10, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.BestSpins
+	})
+	timeIt("Simulated annealing", func() []int8 {
+		cfg := sophie.DefaultSAConfig()
+		cfg.Sweeps = saSweeps
+		cfg.Seed = 7
+		res, err := sophie.SimulatedAnnealing(model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.BestSpins
+	})
+	timeIt("Simulated bifurcation", func() []int8 {
+		cfg := sophie.DefaultSBConfig()
+		cfg.Seed = 7
+		res, err := sophie.SimulatedBifurcation(model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.BestSpins
+	})
+	timeIt("BRIM (ODE sim)", func() []int8 {
+		cfg := sophie.DefaultBRIMConfig()
+		cfg.Seed = 7
+		res, err := sophie.BRIM(model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.BestSpins
+	})
+	timeIt("BLS (local search)", func() []int8 {
+		cfg := sophie.DefaultBLSConfig()
+		cfg.MaxMoves = blsMoves
+		cfg.Seed = 7
+		res, err := sophie.BLS(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.BestSpins
+	})
+
+	best := 0.0
+	for _, r := range rows {
+		if r.cut > best {
+			best = r.cut
+		}
+	}
+	fmt.Printf("%-24s %10s %10s %8s\n", "solver", "cut", "vs best", "wall")
+	for _, r := range rows {
+		fmt.Printf("%-24s %10.0f %9.1f%% %8v\n", r.name, r.cut, 100*r.cut/best, r.wall.Round(time.Millisecond))
+	}
+}

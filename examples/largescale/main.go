@@ -1,0 +1,60 @@
+// Large-scale study: the paper's headline scalability claim. A K16384
+// problem cannot fit in one accelerator's OPCM capacity, so SOPHIE
+// time-duplexes tile pairs over the PEs. This example walks the
+// architecture model through 1, 2, and 4 accelerators (Table III) and
+// prints the tile-size/batch EDAP tradeoff around the chosen design
+// point (Fig. 9's neighborhood).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sophie"
+)
+
+func main() {
+	fmt.Println("== Table III neighborhood: K16384 and K32768, batch 100, 74% tiles ==")
+	fmt.Printf("%-8s %12s %12s\n", "#accel", "K16384/job", "K32768/job")
+	for _, accels := range []int{1, 2, 4} {
+		hw := sophie.DefaultHardware()
+		hw.Accelerators = accels
+		design := sophie.Design{Hardware: hw, Params: sophie.DefaultArchParams()}
+		var cells []string
+		for _, nodes := range []int{16384, 32768} {
+			rep, err := sophie.EstimatePPA(design, sophie.Workload{
+				Name: fmt.Sprintf("K%d", nodes), Nodes: nodes, Batch: 100,
+				LocalIters: 10, GlobalIters: 50, TileFraction: 0.74,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cells = append(cells, fmt.Sprintf("%.2f µs", rep.TimePerJobS*1e6))
+		}
+		fmt.Printf("%-8d %12s %12s\n", accels, cells[0], cells[1])
+	}
+	fmt.Println("\npaper: 38.25/129.0 µs (1 accel), 20.40/68.80 µs (2), 9.69/32.34 µs (4)")
+	fmt.Println("8-FPGA simulated bifurcation needs 1.21 ms for K16384; mBRIM3D 1.1 µs.")
+
+	fmt.Println("\n== EDAP around the design point (K32768, 500 global iterations) ==")
+	fmt.Printf("%-12s %10s %14s %14s %12s\n", "config", "EDAP", "energy/job", "time/job", "area")
+	for _, cfg := range []struct {
+		tile, batch int
+	}{{64, 10}, {64, 100}, {64, 1000}, {32, 100}, {128, 100}} {
+		hw := sophie.DefaultHardware()
+		hw.TileSize = cfg.tile
+		// Hold total OPCM cells constant when changing tile size.
+		hw.PEsPerChiplet = 256 * 64 * 64 / (4 * cfg.tile * cfg.tile)
+		design := sophie.Design{Hardware: hw, Params: sophie.DefaultArchParams()}
+		rep, err := sophie.EstimatePPA(design, sophie.Workload{
+			Name: "K32768", Nodes: 32768, Batch: cfg.batch,
+			LocalIters: 10, GlobalIters: 500, TileFraction: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%-3d b=%-5d %10.3g %12.3g J %12.3g s %9.0f mm²\n",
+			cfg.tile, cfg.batch, rep.EDAP, rep.EnergyPerJobJ, rep.TimePerJobS, rep.AreaMM2)
+	}
+	fmt.Println("\npaper: tile 64 / batch 100 minimizes EDAP (Fig. 9)")
+}

@@ -1,0 +1,3 @@
+module sophie
+
+go 1.22

@@ -1,0 +1,131 @@
+package arch
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Feasibility flags physical-design concerns that the EDAP objective
+// alone does not capture: laser power walls, power density beyond
+// cooling limits, and programming surge power. Fig. 9's tile-size sweep
+// is only meaningful inside the feasible region.
+type Feasibility struct {
+	// LaserPowerPerChipletW is the optical supply one OPCM chiplet
+	// needs with all its PEs active.
+	LaserPowerPerChipletW float64
+	// AvgPowerDensityWPerMM2 is the run-average accelerator power over
+	// its area.
+	AvgPowerDensityWPerMM2 float64
+	// ProgramSurgeW is the instantaneous electrical power while a full
+	// round of arrays programs within ProgramTimeS.
+	ProgramSurgeW float64
+	// Warnings lists violated limits; empty means feasible.
+	Warnings []string
+}
+
+// Feasibility limits; exceeded values produce warnings.
+const (
+	// MaxPowerDensityWPerMM2 is an aggressive liquid-cooling budget.
+	MaxPowerDensityWPerMM2 = 2.0
+	// MaxLaserPerChipletW bounds a practical multi-wavelength source.
+	MaxLaserPerChipletW = 200.0
+	// MaxProgramSurgeW bounds the programming power delivery network.
+	MaxProgramSurgeW = 500.0
+)
+
+// CheckFeasibility derives the physical-design indicators from a PPA
+// report.
+func CheckFeasibility(rep *Report) (Feasibility, error) {
+	p := rep.Design.Params
+	hw := rep.Design.Hardware
+	t := hw.TileSize
+
+	perWl, err := p.Optics.LaserPowerPerWavelengthW(t)
+	if err != nil {
+		return Feasibility{}, err
+	}
+	var f Feasibility
+	f.LaserPowerPerChipletW = perWl * float64(t) * float64(hw.PEsPerChiplet)
+	if rep.TimeTotalS > 0 {
+		f.AvgPowerDensityWPerMM2 = rep.AvgPowerW / rep.AreaMM2
+	}
+	// Worst case: every PE of the pool reprograms simultaneously.
+	cellsPerRound := float64(hw.TotalPEs()) * float64(2*t*t)
+	f.ProgramSurgeW = cellsPerRound * p.ProgramEnergyPerCellJ / p.ProgramTimeS
+
+	if f.LaserPowerPerChipletW > MaxLaserPerChipletW {
+		f.Warnings = append(f.Warnings, fmt.Sprintf(
+			"laser power %.0f W per chiplet exceeds the %.0f W source budget",
+			f.LaserPowerPerChipletW, MaxLaserPerChipletW))
+	}
+	if f.AvgPowerDensityWPerMM2 > MaxPowerDensityWPerMM2 {
+		f.Warnings = append(f.Warnings, fmt.Sprintf(
+			"power density %.2f W/mm² exceeds the %.1f W/mm² cooling budget",
+			f.AvgPowerDensityWPerMM2, MaxPowerDensityWPerMM2))
+	}
+	if f.ProgramSurgeW > MaxProgramSurgeW {
+		f.Warnings = append(f.Warnings, fmt.Sprintf(
+			"programming surge %.0f W exceeds the %.0f W delivery budget (stagger array writes)",
+			f.ProgramSurgeW, MaxProgramSurgeW))
+	}
+	return f, nil
+}
+
+// RenderTimeline writes an ASCII Gantt of the first traced rounds of a
+// discrete simulation: one row per round with a bar scaled to the
+// longest round, annotated with occupancy, reprogram count, and the
+// bounding component.
+func RenderTimeline(w io.Writer, sim *SimReport, width int) error {
+	if width < 10 {
+		width = 60
+	}
+	if len(sim.Trace) == 0 {
+		_, err := fmt.Fprintln(w, "(no rounds traced)")
+		return err
+	}
+	longest := 0.0
+	for _, tr := range sim.Trace {
+		if d := tr.EndS - tr.StartS; d > longest {
+			longest = d
+		}
+	}
+	if _, err := fmt.Fprintf(w, "round timeline (first %d rounds, bar full scale = %s)\n",
+		len(sim.Trace), fmtSeconds(longest)); err != nil {
+		return err
+	}
+	for i, tr := range sim.Trace {
+		d := tr.EndS - tr.StartS
+		n := int(d / longest * float64(width))
+		if n < 1 {
+			n = 1
+		}
+		marker := byte('=')
+		switch tr.Bound {
+		case "sync":
+			marker = '~'
+		case "program":
+			marker = '#'
+		}
+		bar := strings.Repeat(string(marker), n)
+		if _, err := fmt.Fprintf(w, "%4d |%-*s| %s  pairs=%d prog=%d bound=%s\n",
+			i, width, bar, fmtSeconds(d), tr.Pairs, tr.Programs, tr.Bound); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "legend: = compute-bound, ~ sync-bound, # program-bound")
+	return err
+}
+
+func fmtSeconds(s float64) string {
+	switch {
+	case s < 1e-6:
+		return fmt.Sprintf("%.1f ns", s*1e9)
+	case s < 1e-3:
+		return fmt.Sprintf("%.2f µs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2f s", s)
+	}
+}

@@ -1,0 +1,111 @@
+package arch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sophie/internal/sched"
+)
+
+func TestCheckFeasibilityDefaultConfig(t *testing.T) {
+	rep, err := Evaluate(DefaultDesign(), tableIIIWorkload(16384, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := CheckFeasibility(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default tile 64: 0.469 W/wavelength × 64 wavelengths × 64 PEs ≈ 1.9 kW...
+	// wait, per chiplet that's 64 PEs; the default config is expected to
+	// warn about laser power — the paper's laser budget is indeed the
+	// dominant supply. Just sanity-check the indicator values.
+	if f.LaserPowerPerChipletW <= 0 || f.ProgramSurgeW <= 0 {
+		t.Fatalf("indicators not computed: %+v", f)
+	}
+	if f.AvgPowerDensityWPerMM2 <= 0 {
+		t.Fatal("power density not computed")
+	}
+}
+
+func TestCheckFeasibilityWarnsOnHugeTiles(t *testing.T) {
+	d := DefaultDesign()
+	d.Hardware.TileSize = 512
+	d.Hardware.PEsPerChiplet = 1
+	w := Workload{Nodes: 32768, Batch: 100, LocalIters: 10, GlobalIters: 50, TileFraction: 1}
+	rep, err := Evaluate(d, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := CheckFeasibility(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, warn := range f.Warnings {
+		if strings.Contains(warn, "laser power") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("512x512 arrays should blow the laser budget, warnings: %v", f.Warnings)
+	}
+}
+
+func TestCheckFeasibilityProgramSurge(t *testing.T) {
+	rep, err := Evaluate(DefaultDesign(), tableIIIWorkload(16384, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := CheckFeasibility(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 PEs × 8192 cells × 433 nJ / 400 ns is enormous; the surge
+	// warning must fire with the paper's constants.
+	if f.ProgramSurgeW < MaxProgramSurgeW {
+		t.Fatalf("program surge %.0f W unexpectedly small", f.ProgramSurgeW)
+	}
+	surgeWarned := false
+	for _, warn := range f.Warnings {
+		if strings.Contains(warn, "surge") {
+			surgeWarned = true
+		}
+	}
+	if !surgeWarned {
+		t.Fatal("expected a programming surge warning")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	hw := sched.Hardware{Accelerators: 1, ChipletsPerAccel: 1, PEsPerChiplet: 4, TileSize: 16}
+	d := Design{Hardware: hw, Params: DefaultParams()}
+	w := Workload{Nodes: 128, Batch: 5, LocalIters: 3, GlobalIters: 3, TileFraction: 1}
+	plan := planFor(t, w.Nodes, hw, w)
+	sim, err := SimulatePlan(d, plan, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, sim, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "round timeline") || !strings.Contains(out, "legend") {
+		t.Fatalf("timeline output malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") < sim.Rounds {
+		t.Fatal("timeline missing rounds")
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, &SimReport{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no rounds") {
+		t.Fatal("empty trace must say so")
+	}
+}

@@ -1,0 +1,352 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"sophie/internal/sched"
+	"sophie/internal/tiling"
+)
+
+// Workload describes one batched SOPHIE execution for the analytic
+// model: the algorithm configuration and how many jobs share the
+// programmed arrays.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// Nodes is the Ising problem order.
+	Nodes int
+	// Batch is the number of jobs time-multiplexed over one programming
+	// of the arrays (Section III-E).
+	Batch int
+	// LocalIters / GlobalIters are the algorithm iteration counts; for
+	// time-to-solution numbers pass the measured iterations from the
+	// functional simulator.
+	LocalIters  int
+	GlobalIters int
+	// TileFraction is the stochastic tile computation fraction.
+	TileFraction float64
+}
+
+func (w Workload) validate() error {
+	if w.Nodes <= 0 {
+		return fmt.Errorf("arch: workload nodes must be positive, got %d", w.Nodes)
+	}
+	if w.Batch <= 0 {
+		return fmt.Errorf("arch: batch must be positive, got %d", w.Batch)
+	}
+	if w.LocalIters <= 0 || w.GlobalIters <= 0 {
+		return fmt.Errorf("arch: iteration counts must be positive")
+	}
+	if w.TileFraction <= 0 || w.TileFraction > 1 {
+		return fmt.Errorf("arch: tile fraction %v outside (0,1]", w.TileFraction)
+	}
+	return nil
+}
+
+// Design pairs a hardware pool with its technology parameters.
+type Design struct {
+	Hardware sched.Hardware
+	Params   Params
+}
+
+// DefaultDesign returns one accelerator with the paper's parameters.
+func DefaultDesign() Design {
+	return Design{Hardware: sched.DefaultHardware(), Params: DefaultParams()}
+}
+
+// TimeBreakdown decomposes the critical path.
+type TimeBreakdown struct {
+	FillS       float64 // initial programming + tile DMA before steady state
+	ComputeS    float64 // local-iteration compute (per round, summed)
+	SyncS       float64 // interposer synchronization traffic (summed)
+	ProgramS    float64 // array programming + tile DMA (summed)
+	CrossAccelS float64 // CXL bus broadcast between accelerators (summed)
+	BoundBy     string  // which component bounds the steady-state round
+}
+
+// EnergyBreakdown decomposes total energy by component.
+type EnergyBreakdown struct {
+	LaserJ   float64
+	EOJ      float64
+	ADCJ     float64
+	SRAMJ    float64
+	DRAMJ    float64
+	BusJ     float64
+	ProgramJ float64
+	ControlJ float64
+	GlueJ    float64
+}
+
+// Total sums the components.
+func (e EnergyBreakdown) Total() float64 {
+	return e.LaserJ + e.EOJ + e.ADCJ + e.SRAMJ + e.DRAMJ + e.BusJ + e.ProgramJ + e.ControlJ + e.GlueJ
+}
+
+// AreaBreakdown decomposes accelerator area (per accelerator, mm²).
+type AreaBreakdown struct {
+	OPCMChipletsMM2 float64
+	SRAMMM2         float64
+	DRAMMM2         float64
+	LaserMM2        float64
+	ControllerMM2   float64
+}
+
+// Total sums the components.
+func (a AreaBreakdown) Total() float64 {
+	return a.OPCMChipletsMM2 + a.SRAMMM2 + a.DRAMMM2 + a.LaserMM2 + a.ControllerMM2
+}
+
+// Report is the full PPA evaluation of a workload on a design.
+type Report struct {
+	Workload Workload
+	Design   Design
+	Schedule sched.Summary
+
+	TimeTotalS  float64
+	TimePerJobS float64
+	Time        TimeBreakdown
+
+	EnergyTotalJ  float64
+	EnergyPerJobJ float64
+	Energy        EnergyBreakdown
+
+	AreaMM2 float64 // all accelerators
+	Area    AreaBreakdown
+
+	AvgPowerW float64
+	// EDAP is EnergyPerJob × TimePerJob × Area (J·s·mm²), the paper's
+	// configuration-selection metric (Fig. 9).
+	EDAP float64
+}
+
+// syncBytesPerPairPerJob is the global-synchronization payload of one
+// tile pair for one job: two 8-bit partial-sum vectors out, two 1-bit
+// spin copies out, two 8-bit offset vectors in, two 1-bit spin blocks in.
+func syncBytesPerPairPerJob(t int) float64 {
+	return float64(2*t) /*partials out*/ + float64(2*t)/8 /*spins out*/ +
+		float64(2*t) /*offsets in*/ + float64(2*t)/8 /*spins in*/
+}
+
+// tileBytes is the DMA payload to stage one tile pair for programming.
+func tileBytes(t, cellBits int) float64 {
+	return float64(t*t) * float64(cellBits) / 8
+}
+
+// Evaluate runs the analytic PPA model for a workload on a design.
+func Evaluate(d Design, w Workload) (*Report, error) {
+	if err := d.Params.validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Hardware.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	grid, err := tiling.NewGrid(w.Nodes, d.Hardware.TileSize)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := sched.Summarize(grid, d.Hardware, sched.Options{
+		GlobalIters: w.GlobalIters, TileFraction: w.TileFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := d.Params
+	hw := d.Hardware
+	t := hw.TileSize
+	totalPEs := hw.TotalPEs()
+	accels := hw.Accelerators
+
+	// ---- Timing ----------------------------------------------------
+	// Per-round compute through the PE pipeline model (pe.go): each PE
+	// time-duplexes the two tiles of its pair; every job runs
+	// LocalIters-1 iterations in 1-bit mode and one in 8-bit mode
+	// (Section III-C). Large batches are ADC-throughput bound, small
+	// ones pay the recurrence latency.
+	computeCycles := float64(p.PE.ComputeCycles(w.Batch, w.LocalIters, false, p.ADC1bCycles, p.ADC8bCycles))
+	computePerRound := computeCycles / p.ClockHz
+
+	// Per-round synchronization traffic over the interposer links,
+	// bandwidth shared per accelerator.
+	pairsPerRound := float64(sum.SelectedPairs) / float64(sum.RoundsPerIter)
+	syncBytesPerRound := pairsPerRound * syncBytesPerPairPerJob(t) * float64(w.Batch)
+
+	// SRAM spill: when the batch's buffer working set exceeds the built
+	// SRAM, the overflow fraction of job state round-trips to DRAM every
+	// round (Section IV-C's batch-size downside).
+	sramNeeded := SRAMBytes(hw, w.Batch)
+	sramBudget := p.SRAMBudgetBytesPerAccel * float64(accels)
+	spillFrac := 0.0
+	if sramNeeded > sramBudget {
+		spillFrac = 1 - sramBudget/sramNeeded
+	}
+	spillBytesPerRound := spillFrac * pairsPerRound * perJobBufferBytes(t) * float64(w.Batch) * 2 // out and back
+
+	// Regular synchronization rides the interposer links between SRAM
+	// buffers; spilled state streams through the DRAM chiplet at its
+	// (much lower) bandwidth.
+	syncPerRound := syncBytesPerRound/(p.InterposerBandwidthBps*float64(accels)) +
+		spillBytesPerRound/(p.DRAMBandwidthBps*float64(accels)) +
+		p.DRAMLatencyLocalS
+
+	// Per-round reprogramming: array write time plus the tile DMA,
+	// overlapped with the previous round (nothing to overlap into when
+	// the plan is resident — arrays are programmed once, in the fill).
+	programPerRound := 0.0
+	if !sum.Resident {
+		dma := pairsPerRound * tileBytes(t, p.CellBits) / (p.DRAMBandwidthBps * float64(accels))
+		programPerRound = math.Max(p.ProgramTimeS, dma)
+	}
+
+	// Steady-state round latency: components overlap (Section III-E),
+	// the slowest one bounds the pipeline.
+	roundTime := math.Max(computePerRound, math.Max(syncPerRound, programPerRound))
+	boundBy := "compute"
+	switch roundTime {
+	case syncPerRound:
+		boundBy = "sync"
+	case programPerRound:
+		boundBy = "program"
+	}
+
+	// Cross-accelerator reconciliation once per global iteration: the
+	// reconciled spin vectors broadcast over the CXL bus.
+	crossPerIter := 0.0
+	if accels > 1 {
+		crossBytes := 2 * float64(w.Batch) * float64(grid.PaddedN()) / 8 *
+			float64(accels-1) / float64(accels)
+		crossPerIter = crossBytes/p.BusBandwidthBps + p.DRAMLatencyCrossS
+	}
+
+	perIter := float64(sum.RoundsPerIter)*roundTime + crossPerIter
+	fill := p.ProgramTimeS + float64(totalPEs)*tileBytes(t, p.CellBits)/(p.DRAMBandwidthBps*float64(accels))
+	totalTime := fill + float64(w.GlobalIters)*perIter
+
+	tb := TimeBreakdown{
+		FillS:       fill,
+		ComputeS:    float64(w.GlobalIters) * float64(sum.RoundsPerIter) * computePerRound,
+		SyncS:       float64(w.GlobalIters) * float64(sum.RoundsPerIter) * syncPerRound,
+		ProgramS:    float64(w.GlobalIters) * float64(sum.RoundsPerIter) * programPerRound,
+		CrossAccelS: float64(w.GlobalIters) * crossPerIter,
+		BoundBy:     boundBy,
+	}
+
+	// ---- Energy ----------------------------------------------------
+	var eb EnergyBreakdown
+	jobs := float64(w.Batch)
+	selPerIter := float64(sum.SelectedPairs)
+	iters := float64(w.GlobalIters)
+
+	// Laser: each active PE draws per-wavelength power × t wavelengths
+	// while its MVMs run.
+	perWl, err := p.Optics.LaserPowerPerWavelengthW(t)
+	if err != nil {
+		return nil, err
+	}
+	peBusySeconds := iters * selPerIter * computePerRound // one pair occupies one PE for computePerRound
+	eb.LaserJ = perWl * float64(t) * peBusySeconds
+
+	// E-O modulation: every local iteration streams the two tile input
+	// vectors (t bits each) per job.
+	eoBits := iters * selPerIter * jobs * 2 * float64(w.LocalIters) * float64(t)
+	eb.EOJ = eoBits * p.EOEnergyPerBitJ
+
+	// O-E conversion: per-sample energy from converter power and rate;
+	// an 8-bit conversion spends ADC8bCycles samples worth of time.
+	samplePJ := p.OEPowerW / p.ADCSampleRateHz
+	adc1bSamples := iters * selPerIter * jobs * 2 * float64(w.LocalIters-1) * float64(t)
+	adc8bSamples := iters * selPerIter * jobs * 2 * float64(t) * float64(p.ADC8bCycles)
+	eb.ADCJ = (adc1bSamples + adc8bSamples) * samplePJ
+
+	// SRAM static + dynamic, scaled from the calibration point; the
+	// built capacity is capped at the budget (overflow spills to DRAM).
+	sramBuilt := math.Min(sramNeeded, sramBudget)
+	sramPower := p.SRAMPowerRefW * sramBuilt / p.SRAMBytesRef
+	eb.SRAMJ = sramPower * totalTime
+
+	// DRAM: synchronization traffic, spill traffic, and tile staging.
+	dramBits := iters*selPerIter*jobs*syncBytesPerPairPerJob(t)*8 +
+		iters*float64(sum.RoundsPerIter)*spillBytesPerRound*8 +
+		sum.ProgramsTotal*tileBytes(t, p.CellBits)*8
+	eb.DRAMJ = dramBits * p.DRAMEnergyPerBitJ
+
+	// Cross-accelerator bus traffic.
+	if accels > 1 {
+		crossBits := iters * 2 * jobs * float64(grid.PaddedN()) * float64(accels-1) / float64(accels)
+		eb.BusJ = crossBits * p.BusEnergyPerBitJ
+	}
+
+	// OPCM programming: dominant for time-duplexed large graphs.
+	eb.ProgramJ = sum.ProgramsTotal * float64(2*t*t) * p.ProgramEnergyPerCellJ
+
+	// Controller and glue: the controller runs continuously; glue adds
+	// are priced at the SRAM energy scale (they execute in the
+	// controller's vector units; cheap next to everything else).
+	eb.ControlJ = p.ControlPowerW * float64(accels) * totalTime
+	glueOps := iters * selPerIter * jobs * 2 * float64(t) // delta-update adds
+	eb.GlueJ = glueOps * 1e-13                            // ~0.1 pJ per 8-bit add in 22 nm
+
+	// ---- Area ------------------------------------------------------
+	area := areaPerAccelerator(p, hw, w.Batch)
+	totalArea := area.Total() * float64(accels)
+
+	rep := &Report{
+		Workload:      w,
+		Design:        d,
+		Schedule:      sum,
+		TimeTotalS:    totalTime,
+		TimePerJobS:   totalTime / jobs,
+		Time:          tb,
+		EnergyTotalJ:  eb.Total(),
+		EnergyPerJobJ: eb.Total() / jobs,
+		Energy:        eb,
+		AreaMM2:       totalArea,
+		Area:          area,
+		AvgPowerW:     eb.Total() / totalTime,
+	}
+	rep.EDAP = rep.EnergyPerJobJ * rep.TimePerJobS * rep.AreaMM2
+	return rep, nil
+}
+
+// perJobBufferBytes is the per-PE SRAM footprint of one batched job:
+// two spin copies (t bits each), two offset vectors and two partial-sum
+// vectors (8-bit × t).
+func perJobBufferBytes(t int) float64 {
+	tf := float64(t)
+	return 2*tf/8 + 2*tf + 2*tf
+}
+
+// SRAMBytes estimates the SRAM buffer capacity one accelerator pool
+// needs: per PE, the per-job buffers for every batched job plus a
+// staging buffer for the next tile (t² cells at one byte).
+func SRAMBytes(hw sched.Hardware, batch int) float64 {
+	t := float64(hw.TileSize)
+	perPE := float64(batch)*perJobBufferBytes(hw.TileSize) + t*t
+	return float64(hw.TotalPEs()) * perPE
+}
+
+// areaPerAccelerator computes the component areas of one accelerator.
+func areaPerAccelerator(p Params, hw sched.Hardware, batch int) AreaBreakdown {
+	t := float64(hw.TileSize)
+	// One PE: t×2t GST cells (positive and negative sub-arrays) plus
+	// four rows of t micro-rings (E-O and O-E on both axes for the
+	// bi-directional readout).
+	cellArea := 2 * t * t * p.CellAreaMM2
+	mrrArea := 4 * t * math.Pi * p.MRRRadiusMM * p.MRRRadiusMM
+	peArea := (cellArea + mrrArea) * p.ChipletOverheadFactor
+	opcmArea := peArea * float64(hw.PEsPerChiplet) * float64(hw.ChipletsPerAccel)
+
+	sramPerAccel := math.Min(SRAMBytes(hw, batch)/float64(hw.Accelerators), p.SRAMBudgetBytesPerAccel)
+	sramArea := p.SRAMAreaRefMM2 * sramPerAccel / p.SRAMBytesRef
+
+	return AreaBreakdown{
+		OPCMChipletsMM2: opcmArea,
+		SRAMMM2:         sramArea,
+		DRAMMM2:         p.DRAMChipletAreaMM2,
+		LaserMM2:        p.LaserChipletAreaMM2,
+		ControllerMM2:   p.ControllerChipAreaMM2 + p.ControlAreaMM2,
+	}
+}

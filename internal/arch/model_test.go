@@ -1,0 +1,290 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"sophie/internal/sched"
+)
+
+// tableIIIWorkload returns the paper's large-graph protocol (Section
+// IV-D): batch 100, 10 local iterations per global, 74% tile selection.
+func tableIIIWorkload(nodes, globalIters int) Workload {
+	return Workload{
+		Name:         "large",
+		Nodes:        nodes,
+		Batch:        100,
+		LocalIters:   10,
+		GlobalIters:  globalIters,
+		TileFraction: 0.74,
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidationRejectsBadValues(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.ClockHz = 0 },
+		func(p *Params) { p.ADC1bCycles = 0 },
+		func(p *Params) { p.InterposerBandwidthBps = 0 },
+		func(p *Params) { p.ProgramTimeS = -1 },
+		func(p *Params) { p.SRAMBytesRef = 0 },
+		func(p *Params) { p.SRAMBudgetBytesPerAccel = 0 },
+		func(p *Params) { p.ChipletOverheadFactor = 0.5 },
+		func(p *Params) { p.CellBits = 0 },
+	}
+	for i, mutate := range mutations {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.validate(); err == nil {
+			t.Errorf("mutation %d should have been rejected", i)
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	d := DefaultDesign()
+	bad := []Workload{
+		{Nodes: 0, Batch: 1, LocalIters: 1, GlobalIters: 1, TileFraction: 1},
+		{Nodes: 100, Batch: 0, LocalIters: 1, GlobalIters: 1, TileFraction: 1},
+		{Nodes: 100, Batch: 1, LocalIters: 0, GlobalIters: 1, TileFraction: 1},
+		{Nodes: 100, Batch: 1, LocalIters: 1, GlobalIters: 0, TileFraction: 1},
+		{Nodes: 100, Batch: 1, LocalIters: 1, GlobalIters: 1, TileFraction: 0},
+	}
+	for i, w := range bad {
+		if _, err := Evaluate(d, w); err == nil {
+			t.Errorf("workload %d should have been rejected", i)
+		}
+	}
+}
+
+func TestOPCMChipletAreaMatchesPaper(t *testing.T) {
+	// Section IV-A: each OPCM chiplet of 64 PEs occupies 486 mm².
+	d := DefaultDesign()
+	area := areaPerAccelerator(d.Params, d.Hardware, 100)
+	perChiplet := area.OPCMChipletsMM2 / float64(d.Hardware.ChipletsPerAccel)
+	if perChiplet < 486*0.95 || perChiplet > 486*1.05 {
+		t.Fatalf("OPCM chiplet area %.1f mm², want ~486", perChiplet)
+	}
+}
+
+func TestSRAMCapacityMatchesPaper(t *testing.T) {
+	// Section IV-A: 7.6 MB total at the optimal configuration
+	// (tile 64, batch 100, one accelerator).
+	got := SRAMBytes(sched.DefaultHardware(), 100)
+	want := 7.6 * 1024 * 1024
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("SRAM capacity %.2f MB, want ~7.6 MB", got/1024/1024)
+	}
+}
+
+func TestLargeGraphTimePerJobShape(t *testing.T) {
+	// Table III shape: K16384 on one accelerator lands in the tens of
+	// microseconds per job, and K32768 costs ~3-4x that on the same
+	// hardware.
+	d := DefaultDesign()
+	r16, err := Evaluate(d, tableIIIWorkload(16384, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.TimePerJobS < 10e-6 || r16.TimePerJobS > 100e-6 {
+		t.Fatalf("K16384 per-job time %.3g s, want tens of µs", r16.TimePerJobS)
+	}
+	r32, err := Evaluate(d, tableIIIWorkload(32768, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r32.TimePerJobS / r16.TimePerJobS
+	if ratio < 2.5 || ratio > 5 {
+		t.Fatalf("K32768/K16384 time ratio %.2f, want ~3-4", ratio)
+	}
+}
+
+func TestMoreAcceleratorsSpeedUp(t *testing.T) {
+	w := tableIIIWorkload(16384, 50)
+	var prev float64 = math.Inf(1)
+	for _, a := range []int{1, 2, 4} {
+		d := DefaultDesign()
+		d.Hardware.Accelerators = a
+		r, err := Evaluate(d, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TimePerJobS >= prev {
+			t.Fatalf("%d accelerators not faster: %.3g vs %.3g", a, r.TimePerJobS, prev)
+		}
+		prev = r.TimePerJobS
+	}
+	// Speedup is sublinear because of cross-accelerator synchronization.
+	d1 := DefaultDesign()
+	r1, _ := Evaluate(d1, w)
+	d4 := DefaultDesign()
+	d4.Hardware.Accelerators = 4
+	r4, _ := Evaluate(d4, w)
+	speedup := r1.TimePerJobS / r4.TimePerJobS
+	if speedup < 2 || speedup > 4 {
+		t.Fatalf("4-accelerator speedup %.2f, want sublinear in (2,4)", speedup)
+	}
+}
+
+func TestBatchAmortizesProgramming(t *testing.T) {
+	// Per-job time and energy must drop sharply from batch 1 to batch
+	// 100 (programming and fill amortize), then flatten or worsen at
+	// 1000 when buffers spill.
+	times := map[int]float64{}
+	energies := map[int]float64{}
+	for _, b := range []int{1, 10, 100, 1000} {
+		w := tableIIIWorkload(32768, 50)
+		w.Batch = b
+		r, err := Evaluate(DefaultDesign(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[b] = r.TimePerJobS
+		energies[b] = r.EnergyPerJobJ
+	}
+	if times[100] >= times[1] || energies[100] >= energies[1]/10 {
+		t.Fatalf("batch 100 should amortize: t=%v e=%v vs batch1 t=%v e=%v",
+			times[100], energies[100], times[1], energies[1])
+	}
+	if times[1000] <= times[100] {
+		t.Fatalf("batch 1000 should pay the SRAM spill: %.3g vs %.3g", times[1000], times[100])
+	}
+}
+
+func TestEDAPMinimumNearPaperConfig(t *testing.T) {
+	// Fig. 9: tile 64 / batch 100 minimizes EDAP. Our model reproduces a
+	// shallow interior minimum: batch 100 must beat batches 1, 10 and
+	// 1000 at tile 64, and tile 64 must beat the extreme tiles 16 and
+	// 256 at batch 100 (holding total OPCM cells constant).
+	cellsBudget := 256 * 2 * 64 * 64
+	edap := func(tile, batch int) float64 {
+		pesTotal := cellsBudget / (2 * tile * tile)
+		perChiplet := pesTotal / 4
+		if perChiplet < 1 {
+			perChiplet = 1
+		}
+		d := DefaultDesign()
+		d.Hardware.TileSize = tile
+		d.Hardware.PEsPerChiplet = perChiplet
+		w := Workload{Nodes: 32768, Batch: batch, LocalIters: 10, GlobalIters: 500, TileFraction: 1}
+		r, err := Evaluate(d, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.EDAP
+	}
+	ref := edap(64, 100)
+	for _, b := range []int{1, 10, 1000} {
+		if edap(64, b) <= ref {
+			t.Fatalf("EDAP at batch %d (%.3g) not worse than batch 100 (%.3g)", b, edap(64, b), ref)
+		}
+	}
+	for _, tile := range []int{16, 256} {
+		if edap(tile, 100) <= ref {
+			t.Fatalf("EDAP at tile %d (%.3g) not worse than tile 64 (%.3g)", tile, edap(tile, 100), ref)
+		}
+	}
+}
+
+func TestResidentSmallGraphIsFast(t *testing.T) {
+	// Table II: small graphs fit on the accelerator; per-job time with
+	// measured convergence (~30 global iterations) should land around a
+	// microsecond or below.
+	d := DefaultDesign()
+	d.Hardware.Accelerators = 4
+	w := Workload{Name: "G22", Nodes: 2000, Batch: 100, LocalIters: 10, GlobalIters: 30, TileFraction: 1}
+	r, err := Evaluate(d, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schedule.Resident {
+		t.Fatal("G22 on 4 accelerators must be resident")
+	}
+	if r.TimePerJobS > 5e-6 {
+		t.Fatalf("resident G22 per-job time %.3g s, want ~µs", r.TimePerJobS)
+	}
+	if r.Time.ProgramS != 0 {
+		t.Fatal("resident runs must not reprogram in steady state")
+	}
+}
+
+func TestEnergyBreakdownConsistency(t *testing.T) {
+	r, err := Evaluate(DefaultDesign(), tableIIIWorkload(16384, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Energy.Total()-r.EnergyTotalJ) > 1e-9*r.EnergyTotalJ {
+		t.Fatal("energy breakdown does not sum to total")
+	}
+	if r.EnergyPerJobJ*float64(r.Workload.Batch) != r.EnergyTotalJ {
+		t.Fatal("per-job energy inconsistent")
+	}
+	if r.AvgPowerW <= 0 {
+		t.Fatal("average power must be positive")
+	}
+	if r.Energy.ProgramJ == 0 {
+		t.Fatal("time-duplexed large graphs must pay programming energy")
+	}
+	if r.EDAP <= 0 {
+		t.Fatal("EDAP must be positive")
+	}
+}
+
+func TestAreaBreakdownConsistency(t *testing.T) {
+	r, err := Evaluate(DefaultDesign(), tableIIIWorkload(16384, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Area.Total()*float64(r.Design.Hardware.Accelerators)-r.AreaMM2) > 1e-9 {
+		t.Fatal("area breakdown does not sum to total")
+	}
+	// An accelerator is dominated by its four OPCM chiplets (~1.9k mm²).
+	if r.Area.OPCMChipletsMM2 < 1500 || r.Area.OPCMChipletsMM2 > 2500 {
+		t.Fatalf("OPCM area %.0f mm² implausible", r.Area.OPCMChipletsMM2)
+	}
+}
+
+func TestMoreIterationsCostMoreTime(t *testing.T) {
+	d := DefaultDesign()
+	r50, _ := Evaluate(d, tableIIIWorkload(16384, 50))
+	r100, _ := Evaluate(d, tableIIIWorkload(16384, 100))
+	if r100.TimePerJobS <= r50.TimePerJobS {
+		t.Fatal("doubling iterations must increase time")
+	}
+	ratio := r100.TimePerJobS / r50.TimePerJobS
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("iteration scaling ratio %.2f, want ~2", ratio)
+	}
+}
+
+func TestTileFractionReducesTime(t *testing.T) {
+	d := DefaultDesign()
+	full := tableIIIWorkload(16384, 50)
+	full.TileFraction = 1.0
+	part := tableIIIWorkload(16384, 50)
+	part.TileFraction = 0.5
+	rf, _ := Evaluate(d, full)
+	rp, _ := Evaluate(d, part)
+	if rp.TimePerJobS >= rf.TimePerJobS {
+		t.Fatal("selecting fewer tiles must reduce per-iteration time")
+	}
+	if rp.EnergyPerJobJ >= rf.EnergyPerJobJ {
+		t.Fatal("selecting fewer tiles must reduce energy")
+	}
+}
+
+func BenchmarkEvaluateK32768(b *testing.B) {
+	d := DefaultDesign()
+	w := tableIIIWorkload(32768, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(d, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package arch models SOPHIE's power, performance, and area (Section
+// IV-A, IV-C): the 2.5D accelerator built from OPCM chiplets, a DRAM
+// chiplet, a controller chiplet, and laser sources on an interposer. It
+// combines the scheduling statistics from internal/sched with the
+// technology constants the paper reports to estimate run time, energy,
+// area, and the energy-delay-area product (EDAP) used to pick the tile
+// and batch sizes.
+//
+// Modeling choices (documented in DESIGN.md): glue computation is
+// overlapped with compute and excluded from the critical path, exactly
+// as the paper argues ("the controller chiplet is not on the critical
+// path"); OPCM programming and DMA overlap the previous round's compute
+// and synchronization, so each round's latency is the max of its
+// overlapped components.
+package arch
+
+import (
+	"fmt"
+
+	"sophie/internal/opcm"
+)
+
+// Params collects the technology constants of Section IV-A.
+type Params struct {
+	// ClockHz is the accelerator clock (5 GHz in GF22FDX).
+	ClockHz float64
+	// SRAMClockHz is the SRAM bank clock (1 GHz, interleaved to keep up).
+	SRAMClockHz float64
+	// ADC1bCycles / ADC8bCycles are the accelerator cycles one local
+	// iteration spends per MVM in 1-bit thresholding mode vs the 8-bit
+	// readout mode of the dual-precision ADC.
+	ADC1bCycles int
+	ADC8bCycles int
+	// EOEnergyPerBitJ is the electro-optical modulation cost (1 pJ/bit).
+	EOEnergyPerBitJ float64
+	// OEPowerW is one O-E converter chain (PD + ADC) at 5 GS/s (29 mW).
+	OEPowerW float64
+	// ADCSampleRateHz converts OEPowerW into per-sample energy.
+	ADCSampleRateHz float64
+	// DRAMEnergyPerBitJ is DRAM access energy (20 pJ/bit).
+	DRAMEnergyPerBitJ float64
+	// DRAMLatencyLocalS / DRAMLatencyCrossS are same- and
+	// cross-interposer access latencies (40/80 ns).
+	DRAMLatencyLocalS float64
+	DRAMLatencyCrossS float64
+	// DRAMBandwidthBps is the DRAM chiplet's streaming bandwidth per
+	// accelerator; tile staging and spilled buffer traffic pay it.
+	DRAMBandwidthBps float64
+	// BusBandwidthBps is the 16-lane CXL system bus (64 GB/s).
+	BusBandwidthBps float64
+	// BusEnergyPerBitJ prices cross-interposer synchronization traffic.
+	BusEnergyPerBitJ float64
+	// InterposerBandwidthBps is the aggregate on-interposer link
+	// bandwidth per accelerator. The paper integrates the chiplets on a
+	// wafer-scale photonic communication substrate (Passage [31]); we
+	// default to 8 TB/s aggregate, the scale such substrates provide.
+	InterposerBandwidthBps float64
+	// ProgramTimeS is the time to program one OPCM array (400 ns).
+	ProgramTimeS float64
+	// ProgramEnergyPerCellJ is the electrical switching energy per GST
+	// cell, the average of amorphize (5.55 nJ) and crystallize
+	// (860.71 nJ).
+	ProgramEnergyPerCellJ float64
+	// ControlPowerW / ControlAreaMM2 are the synthesized control logic
+	// (26 mW, 11,536 µm²).
+	ControlPowerW  float64
+	ControlAreaMM2 float64
+	// SRAM is characterized at the memory-compiler calibration point:
+	// 7.6 MB occupying 11.5 mm² and burning 540 mW; other capacities
+	// scale linearly.
+	SRAMBytesRef   float64
+	SRAMAreaRefMM2 float64
+	SRAMPowerRefW  float64
+	// SRAMBudgetBytesPerAccel caps the buffer SRAM built per
+	// accelerator; batches whose working set exceeds it spill the excess
+	// job state to DRAM every round ("increasing the number of jobs per
+	// batch ... will require more SRAM buffers", Section IV-C).
+	SRAMBudgetBytesPerAccel float64
+	// CellAreaMM2 is one GST cell footprint (30×30 µm²).
+	CellAreaMM2 float64
+	// MRRRadiusMM is the micro-ring modulator radius (20 µm diameter).
+	MRRRadiusMM float64
+	// ChipletOverheadFactor covers waveguide routing and spacing so the
+	// default configuration reproduces the 486 mm² OPCM chiplet.
+	ChipletOverheadFactor float64
+	// Fixed chiplet areas for the non-OPCM components of an accelerator.
+	DRAMChipletAreaMM2    float64
+	LaserChipletAreaMM2   float64
+	ControllerChipAreaMM2 float64
+	// CellBits is the stored precision per GST cell (6 bits).
+	CellBits int
+	// PE holds the per-stage PE pipeline latencies (see pe.go).
+	PE PELatencies
+	// Optics is the crossbar loss budget and laser calibration.
+	Optics opcm.OpticalParams
+}
+
+// DefaultParams returns the constants of Section IV-A.
+func DefaultParams() Params {
+	return Params{
+		ClockHz:                 5e9,
+		SRAMClockHz:             1e9,
+		ADC1bCycles:             1,
+		ADC8bCycles:             8,
+		EOEnergyPerBitJ:         1e-12,
+		OEPowerW:                29e-3,
+		ADCSampleRateHz:         5e9,
+		DRAMEnergyPerBitJ:       20e-12,
+		DRAMLatencyLocalS:       40e-9,
+		DRAMLatencyCrossS:       80e-9,
+		DRAMBandwidthBps:        1e12,
+		BusBandwidthBps:         64e9,
+		BusEnergyPerBitJ:        10e-12,
+		InterposerBandwidthBps:  8e12,
+		ProgramTimeS:            400e-9,
+		ProgramEnergyPerCellJ:   (5.55e-9 + 860.71e-9) / 2,
+		ControlPowerW:           26e-3,
+		ControlAreaMM2:          11536e-6,
+		SRAMBytesRef:            7.6 * 1024 * 1024,
+		SRAMAreaRefMM2:          11.5,
+		SRAMPowerRefW:           0.540,
+		SRAMBudgetBytesPerAccel: 8 * 1024 * 1024,
+		CellAreaMM2:             30e-3 * 30e-3,
+		MRRRadiusMM:             10e-3,
+		ChipletOverheadFactor:   1.02,
+		DRAMChipletAreaMM2:      100,
+		LaserChipletAreaMM2:     50,
+		ControllerChipAreaMM2:   10,
+		CellBits:                6,
+		PE:                      DefaultPELatencies(),
+		Optics:                  opcm.DefaultOpticalParams(),
+	}
+}
+
+func (p Params) validate() error {
+	if p.ClockHz <= 0 || p.SRAMClockHz <= 0 || p.ADCSampleRateHz <= 0 {
+		return fmt.Errorf("arch: clock rates must be positive")
+	}
+	if p.ADC1bCycles <= 0 || p.ADC8bCycles <= 0 {
+		return fmt.Errorf("arch: ADC cycle counts must be positive")
+	}
+	if p.InterposerBandwidthBps <= 0 || p.BusBandwidthBps <= 0 || p.DRAMBandwidthBps <= 0 {
+		return fmt.Errorf("arch: bandwidths must be positive")
+	}
+	if p.ProgramTimeS < 0 || p.ProgramEnergyPerCellJ < 0 {
+		return fmt.Errorf("arch: programming costs must be nonnegative")
+	}
+	if p.SRAMBytesRef <= 0 || p.SRAMAreaRefMM2 <= 0 || p.SRAMPowerRefW <= 0 {
+		return fmt.Errorf("arch: SRAM calibration point must be positive")
+	}
+	if p.SRAMBudgetBytesPerAccel <= 0 {
+		return fmt.Errorf("arch: SRAM budget must be positive")
+	}
+	if p.ChipletOverheadFactor < 1 {
+		return fmt.Errorf("arch: chiplet overhead factor %v below 1", p.ChipletOverheadFactor)
+	}
+	if p.CellBits < 1 {
+		return fmt.Errorf("arch: cell bits must be positive")
+	}
+	if p.PE.SRAMAccessCycles < 0 || p.PE.EOCycles < 0 || p.PE.OpticalCycles < 0 || p.PE.AnalogCycles < 0 {
+		return fmt.Errorf("arch: negative PE stage latency")
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package arch
+
+// PE pipeline model (Section III-C): one local iteration flows through
+// SRAM read → E-O modulation → optical MVM → photodetector/noise
+// generator → ADC → SRAM write. The ADC bounds the initiation interval
+// (1 cycle in 1-bit mode, ADC8bCycles in 8-bit mode), but consecutive
+// local iterations of the *same job* are data-dependent — the recurrence
+// output feeds the next input — so a single job can only run at the
+// pipeline's latency. Batching hides this: the PE round-robins across
+// the batch's jobs, filling the pipeline with independent iterations.
+// This is the micro-architectural reason batch size appears in the
+// Fig. 9 tradeoff beyond programming amortization.
+
+// PELatencies are the per-stage latencies of the PE pipeline in
+// accelerator cycles.
+type PELatencies struct {
+	// SRAMAccessCycles covers one buffer read (and symmetrically one
+	// write); SRAM runs at 1 GHz against the 5 GHz core, interleaved.
+	SRAMAccessCycles int
+	// EOCycles is the electro-optical modulation stage.
+	EOCycles int
+	// OpticalCycles is the light propagation through the crossbar.
+	OpticalCycles int
+	// AnalogCycles covers photodetection, pos/neg subtraction, and the
+	// noise generator.
+	AnalogCycles int
+}
+
+// DefaultPELatencies returns the stage latencies implied by Section
+// IV-A: 5 GHz core with 1 GHz interleaved SRAM (5 cycles per access),
+// single-cycle modulation, propagation, and analog conditioning.
+func DefaultPELatencies() PELatencies {
+	return PELatencies{SRAMAccessCycles: 5, EOCycles: 1, OpticalCycles: 1, AnalogCycles: 1}
+}
+
+// iterationLatency is the end-to-end latency of one MVM through the
+// pipeline with the given ADC conversion cycles.
+func (l PELatencies) iterationLatency(adcCycles int) int {
+	return l.SRAMAccessCycles + l.EOCycles + l.OpticalCycles + l.AnalogCycles +
+		adcCycles + l.SRAMAccessCycles
+}
+
+// ComputeCycles returns the cycles one PE needs to run batch jobs of
+// localIters local iterations on its tile pair. Off-diagonal pairs
+// time-duplex two MVMs per iteration, diagonal pairs one. All but the
+// final iteration use the 1-bit ADC; the final one uses the multi-bit
+// mode (adc8b cycles).
+//
+// The PE is either throughput-bound (ADC initiation intervals, large
+// batches) or latency-bound (a single job's dependent chain, small
+// batches); the pipeline fill is added on top.
+func (l PELatencies) ComputeCycles(batch, localIters int, diagonal bool, adc1b, adc8b int) int {
+	if batch < 1 || localIters < 1 {
+		return 0
+	}
+	mvmsPerIter := 2
+	if diagonal {
+		mvmsPerIter = 1
+	}
+	mvms1b := mvmsPerIter * (localIters - 1)
+	mvms8b := mvmsPerIter
+
+	// Throughput bound: the ADC is occupied for its conversion interval
+	// per MVM, across all jobs.
+	busy := batch * (mvms1b*adc1b + mvms8b*adc8b)
+	// Latency bound: one job's MVMs are a dependent chain at full
+	// pipeline latency; the batch's chains interleave, so the chain
+	// bound is independent of batch size.
+	chain := mvms1b*l.iterationLatency(adc1b) + mvms8b*l.iterationLatency(adc8b)
+	cycles := busy
+	if chain > cycles {
+		cycles = chain
+	}
+	return cycles + l.iterationLatency(adc1b) // pipeline fill
+}

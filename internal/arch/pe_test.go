@@ -1,0 +1,62 @@
+package arch
+
+import "testing"
+
+func TestPEComputeCyclesThroughputBound(t *testing.T) {
+	l := DefaultPELatencies()
+	// Batch 100, 10 local iterations, off-diagonal: the old closed form
+	// B·2·((L-1)·1 + 8) plus the pipeline fill.
+	got := l.ComputeCycles(100, 10, false, 1, 8)
+	want := 100*(2*9*1+2*8) + l.iterationLatency(1)
+	if got != want {
+		t.Fatalf("cycles %d, want %d", got, want)
+	}
+}
+
+func TestPEComputeCyclesLatencyBound(t *testing.T) {
+	l := DefaultPELatencies()
+	// A single job cannot fill the pipeline: the dependent chain bounds.
+	got := l.ComputeCycles(1, 10, false, 1, 8)
+	chain := 2*9*l.iterationLatency(1) + 2*l.iterationLatency(8)
+	want := chain + l.iterationLatency(1)
+	if got != want {
+		t.Fatalf("cycles %d, want %d (chain-bound)", got, want)
+	}
+	busyOnly := 1 * (2*9*1 + 2*8)
+	if got <= busyOnly {
+		t.Fatal("single-job run must cost more than the throughput bound")
+	}
+}
+
+func TestPEComputeCyclesDiagonalHalves(t *testing.T) {
+	l := DefaultPELatencies()
+	off := l.ComputeCycles(100, 10, false, 1, 8)
+	diag := l.ComputeCycles(100, 10, true, 1, 8)
+	// Diagonal pairs run one MVM per iteration instead of two.
+	if diag >= off {
+		t.Fatalf("diagonal %d not cheaper than off-diagonal %d", diag, off)
+	}
+}
+
+func TestPEComputeCyclesDegenerate(t *testing.T) {
+	l := DefaultPELatencies()
+	if l.ComputeCycles(0, 10, false, 1, 8) != 0 {
+		t.Fatal("zero batch must cost nothing")
+	}
+	if l.ComputeCycles(10, 0, false, 1, 8) != 0 {
+		t.Fatal("zero iterations must cost nothing")
+	}
+}
+
+func TestPEBatchMonotonicity(t *testing.T) {
+	l := DefaultPELatencies()
+	prevPerJob := 1e18
+	for _, b := range []int{1, 2, 10, 50, 100} {
+		cycles := l.ComputeCycles(b, 10, false, 1, 8)
+		perJob := float64(cycles) / float64(b)
+		if perJob > prevPerJob+1e-9 {
+			t.Fatalf("per-job cycles increased at batch %d: %v -> %v", b, prevPerJob, perJob)
+		}
+		prevPerJob = perJob
+	}
+}

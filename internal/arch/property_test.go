@@ -1,0 +1,64 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Evaluate's total time is monotone non-decreasing in every
+// workload dimension (iterations, nodes, batch in total terms) and EDAP
+// stays positive across the design space.
+func TestEvaluateMonotoneProperty(t *testing.T) {
+	d := DefaultDesign()
+	f := func(gRaw, lRaw uint8) bool {
+		g := 1 + int(gRaw)%100
+		l := 1 + int(lRaw)%50
+		w1 := Workload{Nodes: 4096, Batch: 100, LocalIters: l, GlobalIters: g, TileFraction: 0.74}
+		w2 := w1
+		w2.GlobalIters = g + 10
+		r1, err := Evaluate(d, w1)
+		if err != nil {
+			return false
+		}
+		r2, err := Evaluate(d, w2)
+		if err != nil {
+			return false
+		}
+		return r2.TimeTotalS >= r1.TimeTotalS && r1.EDAP > 0 && r2.EDAP > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more nodes never cost less time on fixed hardware.
+func TestEvaluateNodesMonotoneProperty(t *testing.T) {
+	d := DefaultDesign()
+	prev := 0.0
+	for _, n := range []int{512, 1024, 2048, 4096, 8192, 16384, 32768} {
+		r, err := Evaluate(d, Workload{Nodes: n, Batch: 100, LocalIters: 10, GlobalIters: 20, TileFraction: 0.74})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TimeTotalS < prev {
+			t.Fatalf("time decreased at n=%d: %v -> %v", n, prev, r.TimeTotalS)
+		}
+		prev = r.TimeTotalS
+	}
+}
+
+// Property: SRAMBytes scales linearly in batch and PE count.
+func TestSRAMBytesLinearityProperty(t *testing.T) {
+	hw := DefaultDesign().Hardware
+	f := func(bRaw uint8) bool {
+		b := 1 + int(bRaw)%500
+		one := SRAMBytes(hw, b)
+		two := SRAMBytes(hw, 2*b)
+		// Doubling the batch doubles the per-job buffers but not the
+		// fixed tile staging: one < two < 2*one.
+		return two > one && two < 2*one+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

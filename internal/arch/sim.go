@@ -1,0 +1,114 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"sophie/internal/sched"
+)
+
+// SimulatePlan is the discrete counterpart of Evaluate's analytic
+// timing: it walks a concrete statically generated schedule round by
+// round, using each round's exact pair occupancy and reprogramming set
+// instead of per-iteration averages. The same overlap model applies —
+// a round's compute, its synchronization, and the next round's
+// programming/DMA pipeline against each other, so the slowest component
+// bounds each round. Use it to validate the analytic model and to
+// inspect per-round behavior (RoundTrace).
+func SimulatePlan(d Design, plan *sched.Plan, w Workload) (*SimReport, error) {
+	if err := d.Params.validate(); err != nil {
+		return nil, err
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if plan.Hardware != d.Hardware {
+		return nil, fmt.Errorf("arch: plan was generated for %+v, design has %+v", plan.Hardware, d.Hardware)
+	}
+	if len(plan.Iterations) != w.GlobalIters {
+		return nil, fmt.Errorf("arch: plan has %d iterations, workload expects %d", len(plan.Iterations), w.GlobalIters)
+	}
+	p := d.Params
+	hw := d.Hardware
+	t := hw.TileSize
+	accels := float64(hw.Accelerators)
+
+	computePerRound := float64(p.PE.ComputeCycles(w.Batch, w.LocalIters, false, p.ADC1bCycles, p.ADC8bCycles)) / p.ClockHz
+
+	crossPerIter := 0.0
+	if hw.Accelerators > 1 {
+		grid := plan.Grid
+		crossBytes := 2 * float64(w.Batch) * float64(grid.PaddedN()) / 8 * (accels - 1) / accels
+		crossPerIter = crossBytes/p.BusBandwidthBps + p.DRAMLatencyCrossS
+	}
+
+	rep := &SimReport{}
+	now := p.ProgramTimeS // initial fill: first programming wave
+	for _, it := range plan.Iterations {
+		for _, round := range it.Rounds {
+			pairs := float64(len(round.Pairs))
+			programs := 0
+			for _, re := range round.Reprogram {
+				if re {
+					programs++
+				}
+			}
+			syncBytes := pairs * syncBytesPerPairPerJob(t) * float64(w.Batch)
+			syncTime := syncBytes/(p.InterposerBandwidthBps*accels) + p.DRAMLatencyLocalS
+			programTime := 0.0
+			if programs > 0 {
+				dma := float64(programs) * tileBytes(t, p.CellBits) / (p.DRAMBandwidthBps * accels)
+				programTime = math.Max(p.ProgramTimeS, dma)
+			}
+			roundTime := math.Max(computePerRound, math.Max(syncTime, programTime))
+			bound := "compute"
+			if roundTime == syncTime {
+				bound = "sync"
+			} else if roundTime == programTime {
+				bound = "program"
+			}
+			rep.ComputeBusyS += computePerRound
+			rep.SyncBusyS += syncTime
+			rep.ProgramBusyS += programTime
+			if len(rep.Trace) < maxTraceRounds {
+				rep.Trace = append(rep.Trace, RoundTrace{
+					StartS: now, EndS: now + roundTime,
+					Pairs: len(round.Pairs), Programs: programs, Bound: bound,
+				})
+			}
+			now += roundTime
+			rep.Rounds++
+		}
+		now += crossPerIter
+		rep.CrossAccelS += crossPerIter
+	}
+	rep.TotalTimeS = now
+	rep.TimePerJobS = now / float64(w.Batch)
+	return rep, nil
+}
+
+// maxTraceRounds bounds the per-round trace retained by SimulatePlan.
+const maxTraceRounds = 256
+
+// SimReport is the output of the discrete schedule walk.
+type SimReport struct {
+	// TotalTimeS is the end-to-end batch latency; TimePerJobS amortizes
+	// it over the batch.
+	TotalTimeS  float64
+	TimePerJobS float64
+	// Rounds counts executed hardware rounds.
+	Rounds int
+	// Busy times accumulate each component's demand across rounds (they
+	// overlap, so their sum exceeds TotalTimeS).
+	ComputeBusyS, SyncBusyS, ProgramBusyS, CrossAccelS float64
+	// Trace holds the first rounds' timing for inspection.
+	Trace []RoundTrace
+}
+
+// RoundTrace records one hardware round.
+type RoundTrace struct {
+	StartS, EndS float64
+	Pairs        int
+	Programs     int
+	Bound        string
+}

@@ -1,0 +1,153 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"sophie/internal/sched"
+	"sophie/internal/tiling"
+)
+
+func planFor(t *testing.T, nodes int, hw sched.Hardware, w Workload) *sched.Plan {
+	t.Helper()
+	grid, err := tiling.NewGrid(nodes, hw.TileSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.Generate(grid, hw, sched.Options{
+		GlobalIters: w.GlobalIters, TileFraction: w.TileFraction, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestSimulatePlanMatchesAnalyticNonResident(t *testing.T) {
+	// Capacity-limited G22-style setup: 64 PEs, 528 pairs.
+	hw := sched.Hardware{Accelerators: 1, ChipletsPerAccel: 4, PEsPerChiplet: 16, TileSize: 64}
+	d := Design{Hardware: hw, Params: DefaultParams()}
+	w := Workload{Nodes: 2000, Batch: 100, LocalIters: 10, GlobalIters: 20, TileFraction: 0.74}
+	plan := planFor(t, w.Nodes, hw, w)
+
+	sim, err := SimulatePlan(d, plan, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana, err := Evaluate(d, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sim.TimePerJobS / ana.TimePerJobS
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("discrete %.3g vs analytic %.3g per job (ratio %.2f)", sim.TimePerJobS, ana.TimePerJobS, ratio)
+	}
+}
+
+func TestSimulatePlanResidentProgramsOnlyFirstIteration(t *testing.T) {
+	hw := sched.DefaultHardware()
+	d := Design{Hardware: hw, Params: DefaultParams()}
+	w := Workload{Nodes: 512, Batch: 10, LocalIters: 10, GlobalIters: 5, TileFraction: 1}
+	plan := planFor(t, w.Nodes, hw, w)
+	if !plan.Resident {
+		t.Fatal("setup should be resident")
+	}
+	sim, err := SimulatePlan(d, plan, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the first iteration's single round programs.
+	programs := 0
+	for _, tr := range sim.Trace {
+		programs += tr.Programs
+	}
+	if programs != plan.Grid.PairCount() {
+		t.Fatalf("resident sim programmed %d arrays, want %d once", programs, plan.Grid.PairCount())
+	}
+	// Later rounds must be compute- or sync-bound, never program-bound.
+	for i, tr := range sim.Trace[1:] {
+		if tr.Bound == "program" {
+			t.Fatalf("round %d program-bound in resident plan", i+1)
+		}
+	}
+}
+
+func TestSimulatePlanTraceConsistency(t *testing.T) {
+	hw := sched.Hardware{Accelerators: 1, ChipletsPerAccel: 1, PEsPerChiplet: 4, TileSize: 16}
+	d := Design{Hardware: hw, Params: DefaultParams()}
+	w := Workload{Nodes: 128, Batch: 5, LocalIters: 3, GlobalIters: 4, TileFraction: 1}
+	plan := planFor(t, w.Nodes, hw, w)
+	sim, err := SimulatePlan(d, plan, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Rounds == 0 || len(sim.Trace) == 0 {
+		t.Fatal("empty simulation")
+	}
+	prevEnd := 0.0
+	for i, tr := range sim.Trace {
+		if tr.EndS <= tr.StartS {
+			t.Fatalf("round %d has non-positive duration", i)
+		}
+		if tr.StartS < prevEnd-1e-15 {
+			t.Fatalf("round %d overlaps previous end", i)
+		}
+		prevEnd = tr.EndS
+		if tr.Pairs <= 0 || tr.Pairs > hw.TotalPEs() {
+			t.Fatalf("round %d pair count %d out of range", i, tr.Pairs)
+		}
+	}
+	if sim.TotalTimeS < prevEnd {
+		t.Fatal("total time shorter than last traced round")
+	}
+	if math.Abs(sim.TimePerJobS*float64(w.Batch)-sim.TotalTimeS) > 1e-12 {
+		t.Fatal("per-job time inconsistent")
+	}
+}
+
+func TestSimulatePlanValidation(t *testing.T) {
+	hw := sched.DefaultHardware()
+	d := Design{Hardware: hw, Params: DefaultParams()}
+	w := Workload{Nodes: 512, Batch: 10, LocalIters: 10, GlobalIters: 5, TileFraction: 1}
+	plan := planFor(t, w.Nodes, hw, w)
+
+	// Iteration-count mismatch.
+	bad := w
+	bad.GlobalIters = 7
+	if _, err := SimulatePlan(d, plan, bad); err == nil {
+		t.Fatal("iteration mismatch must be rejected")
+	}
+	// Hardware mismatch.
+	d2 := d
+	d2.Hardware.PEsPerChiplet = 32
+	if _, err := SimulatePlan(d2, plan, w); err == nil {
+		t.Fatal("hardware mismatch must be rejected")
+	}
+}
+
+func TestSimulatePlanCrossAccelAddsTime(t *testing.T) {
+	w := Workload{Nodes: 2000, Batch: 100, LocalIters: 10, GlobalIters: 10, TileFraction: 1}
+	hw1 := sched.Hardware{Accelerators: 1, ChipletsPerAccel: 4, PEsPerChiplet: 16, TileSize: 64}
+	hw2 := hw1
+	hw2.Accelerators = 2
+	plan1 := planFor(t, w.Nodes, hw1, w)
+	plan2 := planFor(t, w.Nodes, hw2, w)
+	s1, err := SimulatePlan(Design{Hardware: hw1, Params: DefaultParams()}, plan1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SimulatePlan(Design{Hardware: hw2, Params: DefaultParams()}, plan2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.CrossAccelS == 0 {
+		t.Fatal("multi-accelerator sim must account for bus synchronization")
+	}
+	if s1.CrossAccelS != 0 {
+		t.Fatal("single accelerator must not pay bus synchronization")
+	}
+	// Two accelerators still help overall on this non-resident setup.
+	if s2.TotalTimeS >= s1.TotalTimeS {
+		t.Fatalf("2 accelerators slower: %.3g vs %.3g", s2.TotalTimeS, s1.TotalTimeS)
+	}
+}

@@ -1,0 +1,71 @@
+// Package baseline implements the algorithms SOPHIE is compared against
+// in Section IV-D: simulated annealing (the conventional-architecture
+// reference), ballistic simulated bifurcation (SB, the FPGA multi-chip
+// comparator), a BRIM-style bistable-node ODE simulator (the electric
+// physics-based comparator), and a breakout-style local search (BLS, the
+// CPU heuristic). The paper quotes literature run times for the
+// competitor hardware; these software implementations verify the
+// qualitative solution-quality ordering on the same instances.
+package baseline
+
+import (
+	"fmt"
+
+	"sophie/internal/ising"
+)
+
+// Result reports the outcome of a baseline solver run.
+type Result struct {
+	// BestSpins is the lowest-energy ±1 state visited.
+	BestSpins []int8
+	// BestEnergy is the Hamiltonian at BestSpins.
+	BestEnergy float64
+	// Iterations counts the solver's primary iteration unit (sweeps for
+	// SA, time steps for SB/BRIM, moves for BLS).
+	Iterations int
+}
+
+func validateCommon(m *ising.Model, iters int) error {
+	if m.N() == 0 {
+		return fmt.Errorf("baseline: empty model")
+	}
+	if iters <= 0 {
+		return fmt.Errorf("baseline: iteration budget must be positive, got %d", iters)
+	}
+	return nil
+}
+
+// track updates best-so-far bookkeeping.
+type tracker struct {
+	m    *ising.Model
+	best []int8
+	e    float64
+}
+
+func newTracker(m *ising.Model, spins []int8) *tracker {
+	t := &tracker{m: m, best: append([]int8(nil), spins...)}
+	t.e = m.Energy(spins)
+	return t
+}
+
+// observe records spins if they improve on the best energy. It
+// recomputes the energy; callers that maintain incremental energies
+// should use observeEnergy instead.
+func (t *tracker) observe(spins []int8) {
+	if e := t.m.Energy(spins); e < t.e {
+		t.e = e
+		copy(t.best, spins)
+	}
+}
+
+// observeEnergy records spins with a caller-supplied energy.
+func (t *tracker) observeEnergy(spins []int8, e float64) {
+	if e < t.e {
+		t.e = e
+		copy(t.best, spins)
+	}
+}
+
+func (t *tracker) result(iters int) *Result {
+	return &Result{BestSpins: t.best, BestEnergy: t.e, Iterations: iters}
+}

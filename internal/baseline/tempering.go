@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sophie/internal/ising"
+)
+
+// PTConfig controls parallel tempering (replica-exchange Metropolis),
+// the strongest general-purpose software baseline in the Ising
+// literature; included beyond the paper's comparison set for quality
+// cross-checks.
+type PTConfig struct {
+	// Replicas is the number of temperature rungs.
+	Replicas int
+	// TMin and TMax bound the geometric temperature ladder.
+	TMin, TMax float64
+	// Sweeps is the number of Metropolis sweeps per replica.
+	Sweeps int
+	// ExchangeEvery attempts neighbor swaps after that many sweeps.
+	ExchangeEvery int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultPTConfig returns a ladder that works well on GSET-scale
+// instances.
+func DefaultPTConfig() PTConfig {
+	return PTConfig{Replicas: 8, TMin: 0.05, TMax: 4, Sweeps: 500, ExchangeEvery: 5}
+}
+
+// PTResult extends Result with exchange statistics.
+type PTResult struct {
+	Result
+	// ExchangeRate is the fraction of accepted replica swaps.
+	ExchangeRate float64
+}
+
+// replica is one temperature rung's state.
+type replica struct {
+	spins  []int8
+	fields []float64
+	energy float64
+	temp   float64
+}
+
+// ParallelTempering runs replica-exchange Metropolis on the model. Each
+// replica performs standard single-flip sweeps at its own temperature;
+// every ExchangeEvery sweeps, adjacent rungs propose a state swap with
+// the usual exp(ΔβΔE) acceptance. Low rungs exploit, high rungs explore,
+// and exchanges shuttle good states downward.
+func ParallelTempering(m *ising.Model, cfg PTConfig) (*PTResult, error) {
+	if err := validateCommon(m, cfg.Sweeps); err != nil {
+		return nil, err
+	}
+	if cfg.Replicas < 2 {
+		return nil, fmt.Errorf("baseline: parallel tempering needs >= 2 replicas, got %d", cfg.Replicas)
+	}
+	if cfg.TMin <= 0 || cfg.TMax <= cfg.TMin {
+		return nil, fmt.Errorf("baseline: invalid temperature ladder [%v,%v]", cfg.TMin, cfg.TMax)
+	}
+	if cfg.ExchangeEvery <= 0 {
+		return nil, fmt.Errorf("baseline: exchange period must be positive, got %d", cfg.ExchangeEvery)
+	}
+	n := m.N()
+	k := m.Coupling()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	reps := make([]*replica, cfg.Replicas)
+	ratio := math.Pow(cfg.TMax/cfg.TMin, 1/float64(cfg.Replicas-1))
+	for r := range reps {
+		spins := ising.RandomSpins(n, func() bool { return rng.Intn(2) == 0 })
+		rep := &replica{
+			spins:  spins,
+			fields: make([]float64, n),
+			temp:   cfg.TMin * math.Pow(ratio, float64(r)),
+		}
+		for i := 0; i < n; i++ {
+			row := k.Row(i)
+			sum := 0.0
+			for j, kij := range row {
+				sum += kij * float64(spins[j])
+			}
+			rep.fields[i] = sum
+		}
+		rep.energy = m.Energy(spins)
+		reps[r] = rep
+	}
+
+	tr := newTracker(m, reps[0].spins)
+	for _, rep := range reps {
+		tr.observeEnergy(rep.spins, rep.energy)
+	}
+
+	attempted, accepted := 0, 0
+	for sweep := 1; sweep <= cfg.Sweeps; sweep++ {
+		for _, rep := range reps {
+			for trial := 0; trial < n; trial++ {
+				i := rng.Intn(n)
+				delta := 2 * float64(rep.spins[i]) * rep.fields[i]
+				if delta <= 0 || rng.Float64() < math.Exp(-delta/rep.temp) {
+					old := float64(rep.spins[i])
+					rep.spins[i] = -rep.spins[i]
+					rep.energy += delta
+					row := k.Row(i)
+					for j, kij := range row {
+						rep.fields[j] -= 2 * old * kij
+					}
+					if rep.energy < tr.e {
+						tr.observeEnergy(rep.spins, rep.energy)
+					}
+				}
+			}
+		}
+		if sweep%cfg.ExchangeEvery == 0 {
+			for r := 0; r+1 < len(reps); r++ {
+				a, b := reps[r], reps[r+1]
+				attempted++
+				dBeta := 1/a.temp - 1/b.temp
+				dE := a.energy - b.energy
+				if dBeta*dE >= 0 || rng.Float64() < math.Exp(dBeta*dE) {
+					// Swap states, keep temperatures in place.
+					a.spins, b.spins = b.spins, a.spins
+					a.fields, b.fields = b.fields, a.fields
+					a.energy, b.energy = b.energy, a.energy
+					accepted++
+				}
+			}
+		}
+	}
+
+	res := &PTResult{}
+	res.Result = *tr.result(cfg.Sweeps)
+	if attempted > 0 {
+		res.ExchangeRate = float64(accepted) / float64(attempted)
+	}
+	return res, nil
+}

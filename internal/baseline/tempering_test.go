@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+)
+
+func TestParallelTempering(t *testing.T) {
+	g, m := benchProblem(t)
+	res, err := ParallelTempering(m, PTConfig{
+		Replicas: 6, TMin: 0.05, TMax: 3, Sweeps: 150, ExchangeEvery: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGoodCut(t, "PT", g, res.BestSpins, 0.65)
+	if res.BestEnergy != m.Energy(res.BestSpins) {
+		t.Fatal("PT energy inconsistent")
+	}
+	if res.ExchangeRate <= 0 || res.ExchangeRate > 1 {
+		t.Fatalf("exchange rate %v implausible", res.ExchangeRate)
+	}
+}
+
+func TestPTValidation(t *testing.T) {
+	_, m := benchProblem(t)
+	bad := []PTConfig{
+		{Replicas: 1, TMin: 0.1, TMax: 1, Sweeps: 10, ExchangeEvery: 1},
+		{Replicas: 4, TMin: 0, TMax: 1, Sweeps: 10, ExchangeEvery: 1},
+		{Replicas: 4, TMin: 1, TMax: 0.5, Sweeps: 10, ExchangeEvery: 1},
+		{Replicas: 4, TMin: 0.1, TMax: 1, Sweeps: 0, ExchangeEvery: 1},
+		{Replicas: 4, TMin: 0.1, TMax: 1, Sweeps: 10, ExchangeEvery: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := ParallelTempering(m, cfg); err == nil {
+			t.Errorf("PT config %d should be rejected", i)
+		}
+	}
+}
+
+func TestPTDeterministic(t *testing.T) {
+	_, m := benchProblem(t)
+	cfg := PTConfig{Replicas: 4, TMin: 0.1, TMax: 2, Sweeps: 50, ExchangeEvery: 5, Seed: 3}
+	a, _ := ParallelTempering(m, cfg)
+	b, _ := ParallelTempering(m, cfg)
+	if a.BestEnergy != b.BestEnergy || a.ExchangeRate != b.ExchangeRate {
+		t.Fatal("PT nondeterministic for fixed seed")
+	}
+}
+
+func TestPTBeatsSingleTemperatureOnHardInstance(t *testing.T) {
+	// A frustrated ±1 weighted instance where plain low-T annealing
+	// tends to stick; parallel tempering's exchanges should at least
+	// match SA's quality given the same total sweep budget.
+	g, err := graph.Random(60, 500, graph.WeightPM1, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ising.FromMaxCut(g)
+	pt, err := ParallelTempering(m, PTConfig{
+		Replicas: 8, TMin: 0.05, TMax: 3, Sweeps: 100, ExchangeEvery: 5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := SimulatedAnnealing(m, SAConfig{Sweeps: 800, TStart: 3, TEnd: 0.05, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.BestEnergy > sa.BestEnergy+2 {
+		t.Fatalf("PT energy %v much worse than SA %v on equal budget", pt.BestEnergy, sa.BestEnergy)
+	}
+}
+
+func TestPTFindsGroundStateTiny(t *testing.T) {
+	g, err := graph.Random(12, 30, graph.WeightUniform, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ising.FromMaxCut(g)
+	best := math.Inf(-1)
+	spins := make([]int8, 12)
+	for mask := 0; mask < 1<<12; mask++ {
+		for i := range spins {
+			if mask&(1<<i) != 0 {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		if c := g.CutValue(spins); c > best {
+			best = c
+		}
+	}
+	pt, err := ParallelTempering(m, PTConfig{
+		Replicas: 8, TMin: 0.05, TMax: 4, Sweeps: 300, ExchangeEvery: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CutValue(pt.BestSpins) != best {
+		t.Fatalf("PT cut %v, optimum %v", g.CutValue(pt.BestSpins), best)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/metrics"
+)
+
+func TestPhiAnnealValidation(t *testing.T) {
+	g, _ := graph.Random(20, 40, graph.WeightUnit, 1)
+	m := ising.FromMaxCut(g)
+	cfg := quickConfig()
+	cfg.PhiEnd = -0.1
+	if _, err := NewSolver(m, cfg); err == nil {
+		t.Fatal("negative PhiEnd must be rejected")
+	}
+	cfg = quickConfig()
+	cfg.Phi = 0
+	cfg.PhiEnd = 0.1
+	if _, err := NewSolver(m, cfg); err == nil {
+		t.Fatal("PhiEnd without a starting Phi must be rejected")
+	}
+}
+
+func TestPhiAnnealRunsAndIsDeterministic(t *testing.T) {
+	_, m := testProblem(t)
+	cfg := quickConfig()
+	cfg.Phi = 0.4
+	cfg.PhiEnd = 0.02
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestEnergy != b.BestEnergy {
+		t.Fatal("annealed runs nondeterministic")
+	}
+}
+
+func TestPhiAnnealCompetitiveQuality(t *testing.T) {
+	// Annealing from high to low noise should match or beat the fixed
+	// mid-level noise on average over several seeds (it combines
+	// exploration and exploitation).
+	g, m := testProblem(t)
+	fixed := quickConfig()
+	fixed.Phi = 0.15
+	annealed := quickConfig()
+	annealed.Phi = 0.5
+	annealed.PhiEnd = 0.02
+
+	cutsOf := func(cfg Config) float64 {
+		s, err := NewSolver(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cuts := make([]float64, 0, 5)
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := s.Run(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cuts = append(cuts, g.CutValue(res.BestSpins))
+		}
+		return metrics.Summarize(cuts).Mean
+	}
+	f := cutsOf(fixed)
+	a := cutsOf(annealed)
+	if a < 0.95*f {
+		t.Fatalf("annealed mean cut %v fell >5%% below fixed-noise %v", a, f)
+	}
+}

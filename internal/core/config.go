@@ -1,0 +1,179 @@
+// Package core implements SOPHIE's modified PRIS algorithm (Section
+// III-A, Algorithm 1): the transformation matrix is decomposed into
+// symmetric tile pairs, each pair runs many recurrent "local iterations"
+// assuming all other tiles constant (symmetric local update), and
+// "global iterations" periodically reconcile spin copies and offset
+// vectors across tiles. Stochastic global iteration selects only a
+// random subset of pairs each round, and stochastic spin update
+// broadcasts one randomly chosen spin copy per block instead of the
+// average — together these cut computation and communication by
+// 25-50% with small quality impact.
+//
+// The functional simulator mirrors the hardware dataflow (Section
+// III-E): tile MVMs run through a tiling.Engine (ideal float64 or the
+// internal/opcm device model), partial sums destined for global
+// synchronization pass through the 8-bit ADC readout, and every
+// hardware-visible operation is tallied into metrics.OpCounts for the
+// PPA model.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"sophie/internal/linalg"
+	"sophie/internal/tiling"
+)
+
+// SpinUpdate selects how global synchronization reconciles the per-tile
+// spin copies of a block column (Section III-A2).
+type SpinUpdate int
+
+const (
+	// SpinUpdateMajority averages all local copies element-wise and
+	// re-binarizes (the non-stochastic baseline).
+	SpinUpdateMajority SpinUpdate = iota
+	// SpinUpdateStochastic broadcasts one randomly selected copy — the
+	// paper's "stochastic spin update".
+	SpinUpdateStochastic
+)
+
+func (s SpinUpdate) String() string {
+	switch s {
+	case SpinUpdateMajority:
+		return "majority"
+	case SpinUpdateStochastic:
+		return "stochastic"
+	default:
+		return fmt.Sprintf("SpinUpdate(%d)", int(s))
+	}
+}
+
+// EngineFactory builds the tile MVM engine from the decomposed tiles.
+// The default factory returns the ideal float64 engine; pass one backed
+// by internal/opcm to simulate the device datapath.
+type EngineFactory func(tiles []*linalg.Matrix) (tiling.Engine, error)
+
+// Config controls a SOPHIE solve. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// TileSize is the OPCM array order (paper default 64).
+	TileSize int
+	// LocalIters is the number of local iterations per global iteration
+	// (paper default 10).
+	LocalIters int
+	// GlobalIters is the number of global iterations (paper default 500).
+	GlobalIters int
+	// TileFraction is the fraction of symmetric tile pairs selected in
+	// each global iteration; 1 selects everything, the paper's sweet
+	// spot is 0.74.
+	TileFraction float64
+	// Phi is the dimensionless noise standard deviation (Eq. 5); the
+	// per-component noise is Phi times the row norm of C, matching
+	// internal/pris.
+	Phi float64
+	// PhiEnd, when positive, anneals the noise geometrically from Phi
+	// down (or up) to PhiEnd across the global iterations — the
+	// simulated-annealing-style schedule the PRIS line of work uses as
+	// an extension. Zero keeps the noise constant at Phi.
+	PhiEnd float64
+	// Alpha is the eigenvalue dropout factor (Eq. 4).
+	Alpha float64
+	// SkipTransform uses C = K directly, skipping the O(n³)
+	// eigendecomposition (used for large instances; see DESIGN.md).
+	SkipTransform bool
+	// TransformRank, when positive, builds the transform through the
+	// rank-limited Lanczos path (O(rank·n²)) instead of the dense
+	// eigendecomposition — the scalable preprocessing extension.
+	// Ignored when SkipTransform is set.
+	TransformRank int
+	// SpinUpdate selects majority or stochastic spin reconciliation.
+	SpinUpdate SpinUpdate
+	// Seed drives every random choice (initial state, tile selection,
+	// noise, spin picks); runs are reproducible given Seed.
+	Seed int64
+	// Workers bounds the goroutines simulating parallel PEs;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// EvalEvery evaluates the global energy every that many global
+	// iterations (1 = every iteration). Larger values speed up huge
+	// functional runs at the cost of tracking granularity.
+	EvalEvery int
+	// TargetEnergy stops the run early once the best energy reaches
+	// this value or lower. Nil disables early stopping.
+	TargetEnergy *float64
+	// RecordTrace stores the best-so-far energy after every evaluated
+	// global iteration.
+	RecordTrace bool
+	// OnGlobalIteration, when non-nil, is invoked at every evaluated
+	// global iteration with the iteration number and best-so-far energy
+	// — a live observer for progress tooling. It runs on the solver
+	// goroutine; keep it fast.
+	OnGlobalIteration func(iter int, bestEnergy float64)
+	// Engine overrides the MVM datapath; nil uses the ideal engine.
+	Engine EngineFactory
+	// InitialSpins optionally fixes the starting ±1 state for every job
+	// (primarily for tests and algorithm-equivalence studies); nil draws
+	// a random state per job from its seed.
+	InitialSpins []int8
+}
+
+// DefaultConfig returns the paper's operating point: tile 64, 10 local
+// iterations per global, 500 global iterations, all tiles selected,
+// stochastic spin update, φ=0.1, α=0.
+func DefaultConfig() Config {
+	return Config{
+		TileSize:     64,
+		LocalIters:   10,
+		GlobalIters:  500,
+		TileFraction: 1.0,
+		Phi:          0.1,
+		Alpha:        0,
+		SpinUpdate:   SpinUpdateStochastic,
+		EvalEvery:    1,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.TileSize <= 0 {
+		return fmt.Errorf("core: tile size must be positive, got %d", c.TileSize)
+	}
+	if c.LocalIters <= 0 {
+		return fmt.Errorf("core: local iterations must be positive, got %d", c.LocalIters)
+	}
+	if c.GlobalIters <= 0 {
+		return fmt.Errorf("core: global iterations must be positive, got %d", c.GlobalIters)
+	}
+	if c.TileFraction <= 0 || c.TileFraction > 1 {
+		return fmt.Errorf("core: tile fraction %v outside (0,1]", c.TileFraction)
+	}
+	if c.Phi < 0 {
+		return fmt.Errorf("core: negative noise phi %v", c.Phi)
+	}
+	if c.PhiEnd < 0 {
+		return fmt.Errorf("core: negative final noise %v", c.PhiEnd)
+	}
+	if c.PhiEnd > 0 && c.Phi == 0 {
+		return fmt.Errorf("core: PhiEnd requires a positive starting Phi")
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: alpha %v outside [0,1]", c.Alpha)
+	}
+	if c.TransformRank < 0 {
+		return fmt.Errorf("core: negative transform rank %d", c.TransformRank)
+	}
+	if c.EvalEvery < 1 {
+		return fmt.Errorf("core: EvalEvery must be >= 1, got %d", c.EvalEvery)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
+	return nil
+}
+
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+)
+
+func TestTransformRankSolvesComparably(t *testing.T) {
+	g, err := graph.Random(120, 700, graph.WeightUnit, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ising.FromMaxCut(g)
+
+	full := quickConfig()
+	full.GlobalIters = 80
+	rFull, err := Solve(m, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ranked := full
+	ranked.TransformRank = 40 // about a third of the spectrum
+	rRank, err := Solve(m, ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cutFull := g.CutValue(rFull.BestSpins)
+	cutRank := g.CutValue(rRank.BestSpins)
+	if cutRank < 0.9*cutFull {
+		t.Fatalf("rank-limited transform cut %v fell below 90%% of full %v", cutRank, cutFull)
+	}
+}
+
+func TestTransformRankValidation(t *testing.T) {
+	g, _ := graph.Random(20, 40, graph.WeightUnit, 2)
+	m := ising.FromMaxCut(g)
+	cfg := quickConfig()
+	cfg.TransformRank = -1
+	if _, err := NewSolver(m, cfg); err == nil {
+		t.Fatal("negative rank must be rejected")
+	}
+	cfg.TransformRank = 100 // exceeds n
+	if _, err := NewSolver(m, cfg); err == nil {
+		t.Fatal("rank beyond matrix order must be rejected")
+	}
+}
+
+func TestWithRuntimeRejectsTransformChanges(t *testing.T) {
+	g, _ := graph.Random(40, 100, graph.WeightUnit, 3)
+	m := ising.FromMaxCut(g)
+	s, err := NewSolver(m, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WithRuntime(func(c *Config) { c.TileSize = 8 }); err == nil {
+		t.Fatal("tile size change must be rejected")
+	}
+	if _, err := s.WithRuntime(func(c *Config) { c.Alpha = 0.5 }); err == nil {
+		t.Fatal("alpha change must be rejected")
+	}
+	if _, err := s.WithRuntime(func(c *Config) { c.TransformRank = 5 }); err == nil {
+		t.Fatal("rank change must be rejected")
+	}
+	if _, err := s.WithRuntime(func(c *Config) { c.Phi = -1 }); err == nil {
+		t.Fatal("invalid runtime config must be rejected")
+	}
+	tuned, err := s.WithRuntime(func(c *Config) { c.Phi = 0.3; c.GlobalIters = 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tuned.Run(1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,579 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"sophie/internal/ising"
+	"sophie/internal/linalg"
+	"sophie/internal/metrics"
+	"sophie/internal/pris"
+	"sophie/internal/tiling"
+)
+
+// Solver holds the preprocessed state for a SOPHIE solve: the tiled
+// transformation matrix programmed into the MVM engine, per-node
+// thresholds and noise scales, and the tile-pair geometry. A Solver is
+// built once per (model, config) and can run many jobs (Run) with
+// different seeds — mirroring the batched execution the hardware uses
+// to amortize programming cost.
+type Solver struct {
+	model      *ising.Model
+	cfg        Config
+	grid       *tiling.Grid
+	engine     tiling.Engine
+	pairs      []tiling.Pair
+	thresholds []float64 // padded per-node thresholds θ (Eq. 7)
+	noiseScale []float64 // padded per-node noise scale ‖Cᵢ‖₂
+}
+
+// readoutQuantizer is implemented by engines with a multi-bit ADC mode
+// (the opcm device model); partial sums bound for global synchronization
+// pass through it, as in the hardware's 8-bit readout.
+type readoutQuantizer interface {
+	QuantizeReadout([]float64)
+}
+
+// NewSolver preprocesses the model: builds the PRIS transform (or skips
+// it), decomposes C into symmetric tile pairs, and programs the MVM
+// engine.
+func NewSolver(m *ising.Model, cfg Config) (*Solver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var tr *pris.Transform
+	var err error
+	if cfg.TransformRank > 0 && !cfg.SkipTransform {
+		tr, err = pris.NewTransformRank(m, cfg.Alpha, cfg.TransformRank, cfg.Seed)
+	} else {
+		tr, err = pris.NewTransform(m, cfg.Alpha, cfg.SkipTransform)
+	}
+	if err != nil {
+		return nil, err
+	}
+	grid, err := tiling.NewGrid(m.N(), cfg.TileSize)
+	if err != nil {
+		return nil, err
+	}
+	// Pad C to the grid before decomposition so boundary tiles are full.
+	tiles, err := tiling.DecomposePairs(tr.C, grid)
+	if err != nil {
+		return nil, err
+	}
+	factory := cfg.Engine
+	if factory == nil {
+		factory = func(ts []*linalg.Matrix) (tiling.Engine, error) { return tiling.NewIdealEngine(ts) }
+	}
+	engine, err := factory(tiles)
+	if err != nil {
+		return nil, err
+	}
+	if engine.TileSize() != cfg.TileSize || engine.Pairs() != grid.PairCount() {
+		return nil, fmt.Errorf("core: engine shape %d/%d does not match grid %d/%d",
+			engine.TileSize(), engine.Pairs(), cfg.TileSize, grid.PairCount())
+	}
+	s := &Solver{
+		model:      m,
+		cfg:        cfg,
+		grid:       grid,
+		engine:     engine,
+		pairs:      grid.Pairs(),
+		thresholds: make([]float64, grid.PaddedN()),
+		noiseScale: make([]float64, grid.PaddedN()),
+	}
+	copy(s.thresholds, tr.Thresholds)
+	copy(s.noiseScale, tr.RowNorms)
+	return s, nil
+}
+
+// WithRuntime returns a solver sharing this solver's preprocessed state
+// (transform, tiles, engine) but with runtime-only configuration changes
+// applied — the knobs a parameter sweep varies without re-running the
+// O(n³) preprocessing: Phi, LocalIters, GlobalIters, TileFraction,
+// SpinUpdate, EvalEvery, TargetEnergy, RecordTrace, Workers, Seed,
+// InitialSpins. Changing a preprocessing-affecting field (TileSize,
+// Alpha, SkipTransform, Engine) is rejected.
+func (s *Solver) WithRuntime(modify func(cfg *Config)) (*Solver, error) {
+	cfg := s.cfg
+	modify(&cfg)
+	if cfg.TileSize != s.cfg.TileSize {
+		return nil, fmt.Errorf("core: WithRuntime cannot change TileSize; build a new solver")
+	}
+	if cfg.Alpha != s.cfg.Alpha || cfg.SkipTransform != s.cfg.SkipTransform || cfg.TransformRank != s.cfg.TransformRank {
+		return nil, fmt.Errorf("core: WithRuntime cannot change the transform; build a new solver")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	clone := *s
+	clone.cfg = cfg
+	return &clone, nil
+}
+
+// Grid exposes the tile geometry (used by the scheduling/PPA layers).
+func (s *Solver) Grid() *tiling.Grid { return s.grid }
+
+// Engine exposes the MVM engine (e.g. to read device-level counters).
+func (s *Solver) Engine() tiling.Engine { return s.engine }
+
+// Result reports one SOPHIE job.
+type Result struct {
+	// BestSpins is the lowest-energy ±1 state seen at any global
+	// synchronization point.
+	BestSpins []int8
+	// BestEnergy is the Hamiltonian at BestSpins.
+	BestEnergy float64
+	// BestGlobalIter is the (1-based) global iteration where BestEnergy
+	// was first reached; 0 means the initial state was never improved.
+	BestGlobalIter int
+	// GlobalItersRun counts executed global iterations (< GlobalIters
+	// when TargetEnergy stopped the run early).
+	GlobalItersRun int
+	// TotalLocalIters = GlobalItersRun × LocalIters, the paper's
+	// "total number of (local) iterations" axis (Fig. 8).
+	TotalLocalIters int
+	// ReachedTarget reports whether TargetEnergy was met.
+	ReachedTarget bool
+	// Trace holds the best-so-far energy at each evaluated global
+	// iteration when Config.RecordTrace is set.
+	Trace []float64
+	// Ops tallies the hardware-visible operations of this job.
+	Ops metrics.OpCounts
+}
+
+// pairState is the per-PE SRAM buffer set of one symmetric tile pair
+// (Section III-A1): local copies of the two spin blocks, the two offset
+// vectors, and scratch for partial sums.
+type pairState struct {
+	xRow, xCol     []float64
+	offRow, offCol []float64
+	pRowCol        []float64 // reported partial sum C_{r,c}·x_c
+	pColRow        []float64 // reported partial sum C_{c,r}·x_r
+	y              []float64 // MVM scratch
+	rng            *rand.Rand
+}
+
+func newPairState(t int, seed int64) *pairState {
+	return &pairState{
+		xRow:    make([]float64, t),
+		xCol:    make([]float64, t),
+		offRow:  make([]float64, t),
+		offCol:  make([]float64, t),
+		pRowCol: make([]float64, t),
+		pColRow: make([]float64, t),
+		y:       make([]float64, t),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Run executes one job with the given seed and returns its result.
+// Concurrent Run calls on the same Solver are safe only with the ideal
+// engine (the opcm engine's noise RNG serializes internally but the
+// counters would interleave); run jobs sequentially for device studies.
+func (s *Solver) Run(seed int64) (*Result, error) {
+	cfg := s.cfg
+	t := cfg.TileSize
+	grid := s.grid
+	nPairs := grid.PairCount()
+	ctrl := rand.New(rand.NewSource(seed ^ 0x5deece66d)) // controller RNG: selection, picks, init
+
+	// Global (controller-side) state: padded binary spin vector and the
+	// table of last-reported partial sums P[i][j] = C_ij·S_j.
+	paddedN := grid.PaddedN()
+	sGlobal := make([]float64, paddedN)
+	if cfg.InitialSpins != nil {
+		if len(cfg.InitialSpins) != s.model.N() {
+			return nil, fmt.Errorf("core: %d initial spins for %d-spin model", len(cfg.InitialSpins), s.model.N())
+		}
+		for i, sp := range cfg.InitialSpins {
+			if sp == 1 {
+				sGlobal[i] = 1
+			}
+		}
+	} else {
+		for i := 0; i < s.model.N(); i++ {
+			if ctrl.Intn(2) == 1 {
+				sGlobal[i] = 1
+			}
+		}
+	}
+	partial := make([][]float64, grid.Tiles*grid.Tiles)
+	for i := range partial {
+		partial[i] = make([]float64, t)
+	}
+	pIdx := func(i, j int) int { return i*grid.Tiles + j }
+
+	// Initialize the partial-sum table exactly, as the host does when it
+	// transfers initial buffer contents (Section III-E).
+	var res Result
+	buf := make([]float64, t)
+	for _, p := range s.pairs {
+		pi := grid.PairIndex(p.Row, p.Col)
+		s.engine.Mul(pi, false, grid.Block(sGlobal, p.Col), buf)
+		copy(partial[pIdx(p.Row, p.Col)], buf)
+		if !p.IsDiagonal() {
+			s.engine.Mul(pi, true, grid.Block(sGlobal, p.Row), buf)
+			copy(partial[pIdx(p.Col, p.Row)], buf)
+		}
+		res.Ops.LocalMVM8b += 2
+		res.Ops.ADCSamples8b += uint64(2 * t)
+	}
+
+	// Per-pair simulated PEs with persistent RNG streams; deterministic
+	// given seed regardless of goroutine scheduling.
+	states := make([]*pairState, nPairs)
+	for i := range states {
+		states[i] = newPairState(t, seed+int64(i)*7919+1)
+	}
+
+	spins := bestSpinsFrom(sGlobal, s.model.N())
+	res.BestSpins = spins
+	res.BestEnergy = s.model.Energy(spins)
+
+	selectCount := int(float64(nPairs)*cfg.TileFraction + 0.5)
+	if selectCount < 1 {
+		selectCount = 1
+	}
+	perm := make([]int, nPairs)
+	for i := range perm {
+		perm[i] = i
+	}
+	selected := make([]int, 0, selectCount)
+
+	workers := cfg.workers()
+	var wg sync.WaitGroup
+	work := make(chan int)
+
+	// Geometric noise annealing schedule (constant when PhiEnd is 0).
+	phiAt := func(g int) float64 {
+		if cfg.PhiEnd <= 0 || cfg.Phi == cfg.PhiEnd || cfg.GlobalIters == 1 {
+			return cfg.Phi
+		}
+		frac := float64(g-1) / float64(cfg.GlobalIters-1)
+		return cfg.Phi * math.Pow(cfg.PhiEnd/cfg.Phi, frac)
+	}
+
+	for g := 1; g <= cfg.GlobalIters; g++ {
+		phi := phiAt(g)
+		// --- Stochastic tile computation: pick the pairs for this round.
+		selected = selected[:0]
+		if selectCount == nPairs {
+			selected = append(selected, perm...)
+		} else {
+			ctrl.Shuffle(nPairs, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			selected = append(selected, perm[:selectCount]...)
+		}
+
+		// --- Load phase: each selected pair copies its spin blocks and
+		// rebuilds its offset vectors from the partial-sum table.
+		for _, pi := range selected {
+			p := s.pairs[pi]
+			st := states[pi]
+			copy(st.xRow, grid.Block(sGlobal, p.Row))
+			s.buildOffset(st.offRow, partial, pIdx, p.Row, p.Col)
+			if !p.IsDiagonal() {
+				copy(st.xCol, grid.Block(sGlobal, p.Col))
+				s.buildOffset(st.offCol, partial, pIdx, p.Col, p.Row)
+			}
+		}
+		res.Ops.GlueOps += uint64(len(selected) * 2 * (grid.Tiles - 1) * t)
+		res.Ops.SRAMWriteBits += uint64(len(selected) * 2 * t * (1 + 8)) // spins + offsets
+
+		// --- Local iterations, one goroutine batch simulating the PEs.
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for pi := range work {
+					s.runLocalIterations(states[pi], s.pairs[pi], pi, phi)
+				}
+			}()
+		}
+		for _, pi := range selected {
+			work <- pi
+		}
+		// Close-and-recreate keeps the loop simple; channel churn is
+		// negligible next to the tile MVM work.
+		close(work)
+		wg.Wait()
+		work = make(chan int)
+
+		for _, pi := range selected {
+			p := s.pairs[pi]
+			if p.IsDiagonal() {
+				res.Ops.LocalMVM1b += uint64(cfg.LocalIters - 1)
+				res.Ops.LocalMVM8b++
+				res.Ops.ADCSamples1b += uint64((cfg.LocalIters - 1) * t)
+				res.Ops.ADCSamples8b += uint64(t)
+				res.Ops.EOBits += uint64(cfg.LocalIters * t)
+			} else {
+				res.Ops.LocalMVM1b += uint64(2*cfg.LocalIters - 2)
+				res.Ops.LocalMVM8b += 2
+				res.Ops.ADCSamples1b += uint64((2*cfg.LocalIters - 2) * t)
+				res.Ops.ADCSamples8b += uint64(2 * t)
+				res.Ops.EOBits += uint64(2 * cfg.LocalIters * t)
+			}
+		}
+
+		// --- Global synchronization (controller).
+		s.synchronize(states, selected, sGlobal, partial, pIdx, ctrl, &res.Ops)
+		res.Ops.GlobalSyncs++
+
+		res.GlobalItersRun = g
+		res.TotalLocalIters = g * cfg.LocalIters
+
+		// --- Track solution quality on the reconciled global state.
+		if g%cfg.EvalEvery == 0 || g == cfg.GlobalIters {
+			cur := bestSpinsFrom(sGlobal, s.model.N())
+			e := s.model.Energy(cur)
+			if e < res.BestEnergy {
+				res.BestEnergy = e
+				res.BestGlobalIter = g
+				copy(res.BestSpins, cur)
+			}
+			if cfg.RecordTrace {
+				res.Trace = append(res.Trace, res.BestEnergy)
+			}
+			if cfg.OnGlobalIteration != nil {
+				cfg.OnGlobalIteration(g, res.BestEnergy)
+			}
+			if cfg.TargetEnergy != nil && res.BestEnergy <= *cfg.TargetEnergy {
+				res.ReachedTarget = true
+				return &res, nil
+			}
+		}
+	}
+	return &res, nil
+}
+
+// buildOffset writes into off the sum of partial contributions to output
+// block row from every input block except skip — the "offset vector"
+// each tile treats as constant during its local iterations.
+func (s *Solver) buildOffset(off []float64, partial [][]float64, pIdx func(int, int) int, row, skip int) {
+	for i := range off {
+		off[i] = 0
+	}
+	for k := 0; k < s.grid.Tiles; k++ {
+		if k == skip {
+			continue
+		}
+		src := partial[pIdx(row, k)]
+		for i := range off {
+			off[i] += src[i]
+		}
+	}
+}
+
+// runLocalIterations executes the closed-loop symmetric local update on
+// one pair (Section III-A1). For an off-diagonal pair the two tiles
+// alternate through the bi-directional array; a diagonal tile loops on
+// itself. The final iteration's partial sums are read through the 8-bit
+// ADC (QuantizeReadout) for the upcoming synchronization.
+func (s *Solver) runLocalIterations(st *pairState, p tiling.Pair, pi int, phi float64) {
+	cfg := &s.cfg
+	grid := s.grid
+	rowLo, _ := grid.BlockRange(p.Row)
+	colLo, _ := grid.BlockRange(p.Col)
+	for l := 0; l < cfg.LocalIters; l++ {
+		if p.IsDiagonal() {
+			s.engine.Mul(pi, false, st.xRow, st.y)
+			for i := range st.y {
+				st.y[i] += st.offRow[i]
+			}
+			s.threshold(st.xRow, st.y, rowLo, st.rng, phi)
+			continue
+		}
+		// Output block Row accumulates C_{Row,Col}·x_Col.
+		s.engine.Mul(pi, false, st.xCol, st.y)
+		for i := range st.y {
+			st.y[i] += st.offRow[i]
+		}
+		s.threshold(st.xRow, st.y, rowLo, st.rng, phi)
+		// Output block Col accumulates C_{Col,Row}·x_Row = tileᵀ·x_Row.
+		s.engine.Mul(pi, true, st.xRow, st.y)
+		for i := range st.y {
+			st.y[i] += st.offCol[i]
+		}
+		s.threshold(st.xCol, st.y, colLo, st.rng, phi)
+	}
+	// 8-bit readout of the final local partial sums (no offsets): these
+	// update the controller's partial-sum table at synchronization.
+	if p.IsDiagonal() {
+		s.engine.Mul(pi, false, st.xRow, st.pRowCol)
+		s.quantizeReadout(st.pRowCol)
+		return
+	}
+	s.engine.Mul(pi, false, st.xCol, st.pRowCol)
+	s.engine.Mul(pi, true, st.xRow, st.pColRow)
+	s.quantizeReadout(st.pRowCol)
+	s.quantizeReadout(st.pColRow)
+}
+
+// threshold applies the noisy comparison of Eq. 5-6 element-wise,
+// writing binarized states into dst. blockLo maps tile-local indices to
+// padded global node indices for θ and the noise scale. phi is the
+// (possibly annealed) noise level of the current global iteration.
+func (s *Solver) threshold(dst, y []float64, blockLo int, rng *rand.Rand, phi float64) {
+	for i := range y {
+		v := y[i]
+		if phi > 0 {
+			v += rng.NormFloat64() * phi * s.noiseScale[blockLo+i]
+		}
+		if v < s.thresholds[blockLo+i] {
+			dst[i] = 0
+		} else {
+			dst[i] = 1
+		}
+	}
+}
+
+func (s *Solver) quantizeReadout(v []float64) {
+	if q, ok := s.engine.(readoutQuantizer); ok {
+		q.QuantizeReadout(v)
+	}
+}
+
+// synchronize performs the controller's global synchronization: selected
+// pairs publish their partial sums, then each block column's spin copies
+// are reconciled (majority or stochastic pick) and broadcast.
+func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []float64,
+	partial [][]float64, pIdx func(int, int) int, ctrl *rand.Rand, ops *metrics.OpCounts) {
+
+	grid := s.grid
+	t := s.cfg.TileSize
+
+	// Publish partial sums.
+	for _, pi := range selected {
+		p := s.pairs[pi]
+		st := states[pi]
+		copy(partial[pIdx(p.Row, p.Col)], st.pRowCol)
+		if !p.IsDiagonal() {
+			copy(partial[pIdx(p.Col, p.Row)], st.pColRow)
+		}
+		ops.SRAMReadBits += uint64(2 * t * 8)
+		ops.DRAMWriteBits += uint64(2 * t * 8)
+	}
+
+	// Gather spin copies per block.
+	copies := make([][][]float64, grid.Tiles)
+	for _, pi := range selected {
+		p := s.pairs[pi]
+		st := states[pi]
+		copies[p.Row] = append(copies[p.Row], st.xRow)
+		if !p.IsDiagonal() {
+			copies[p.Col] = append(copies[p.Col], st.xCol)
+		}
+		ops.SRAMReadBits += uint64(2 * t)
+		ops.DRAMWriteBits += uint64(2 * t)
+	}
+
+	// Reconcile and broadcast.
+	for b := 0; b < grid.Tiles; b++ {
+		cs := copies[b]
+		if len(cs) == 0 {
+			continue // no selected tile touched this block; state unchanged
+		}
+		dst := grid.Block(sGlobal, b)
+		switch s.cfg.SpinUpdate {
+		case SpinUpdateStochastic:
+			copy(dst, cs[ctrl.Intn(len(cs))])
+			ops.GlueOps += uint64(t)
+		default: // majority of all copies
+			for i := range dst {
+				sum := 0.0
+				for _, c := range cs {
+					sum += c[i]
+				}
+				if sum*2 >= float64(len(cs)) {
+					dst[i] = 1
+				} else {
+					dst[i] = 0
+				}
+			}
+			ops.GlueOps += uint64(t * len(cs))
+		}
+		ops.DRAMReadBits += uint64(t * len(cs)) // broadcast back to tiles
+	}
+}
+
+// bestSpinsFrom converts the first n entries of a padded binary state to
+// ±1 spins.
+func bestSpinsFrom(binary []float64, n int) []int8 {
+	spins := make([]int8, n)
+	for i := 0; i < n; i++ {
+		if binary[i] != 0 {
+			spins[i] = 1
+		} else {
+			spins[i] = -1
+		}
+	}
+	return spins
+}
+
+// Solve is a convenience wrapper: build a solver and run one job.
+func Solve(m *ising.Model, cfg Config) (*Result, error) {
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(cfg.Seed)
+}
+
+// RunBatch executes jobs sequentially with seeds derived from base
+// (base, base+1, ...), mirroring the batched jobs the hardware pipelines
+// to amortize programming. It returns one result per job.
+func (s *Solver) RunBatch(base int64, jobs int) ([]*Result, error) {
+	if jobs <= 0 {
+		return nil, fmt.Errorf("core: batch needs at least one job, got %d", jobs)
+	}
+	out := make([]*Result, jobs)
+	for j := 0; j < jobs; j++ {
+		r, err := s.Run(base + int64(j))
+		if err != nil {
+			return nil, err
+		}
+		out[j] = r
+	}
+	return out, nil
+}
+
+// RunBatchParallel executes jobs concurrently, up to parallel at a time
+// (0 = one per core). Results are identical to RunBatch with the same
+// base — each job's randomness depends only on its seed — but only the
+// ideal engine is safe to share across jobs (see Run). Each job runs its
+// pair-level work single-threaded so the batch-level parallelism
+// composes predictably.
+func (s *Solver) RunBatchParallel(base int64, jobs, parallel int) ([]*Result, error) {
+	if jobs <= 0 {
+		return nil, fmt.Errorf("core: batch needs at least one job, got %d", jobs)
+	}
+	if parallel <= 0 {
+		parallel = s.cfg.workers()
+	}
+	serial, err := s.WithRuntime(func(c *Config) { c.Workers = 1 })
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, jobs)
+	errs := make([]error, jobs)
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for j := 0; j < jobs; j++ {
+		go func(j int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[j], errs[j] = serial.Run(base + int64(j))
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

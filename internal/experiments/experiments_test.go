@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps test runs fast: single run per point, small graphs.
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{Runs: 1, Out: buf, Seed: 1}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("%d experiments registered, want 10", len(all))
+	}
+	for _, e := range all {
+		got, err := ByID(e.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Title != e.Title {
+			t.Fatalf("ByID(%q) returned wrong experiment", e.ID)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"G1", "G22", "K100", "K16384", "K32768", "19176", "19990"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig9(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "EDAP") || !strings.Contains(out, "64") {
+		t.Fatalf("Fig 9 output malformed:\n%s", out)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SOPHIE", "SB [37]", "mBRIM3D", "K16384", "1.21 ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table III output missing %q:\n%s", want, out)
+		}
+	}
+	// SOPHIE must appear with 1, 2, and 4 accelerator rows.
+	if strings.Count(out, "SOPHIE (this repo)") != 3 {
+		t.Fatalf("Table III should have 3 SOPHIE rows:\n%s", out)
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5e-9:    "5 ns",
+		2.5e-6:  "2.5 µs",
+		3.3e-3:  "3.3 ms",
+		7.25:    "7.25 s",
+		1e-12:   "0.001 ns",
+		0.5e-3:  "500 µs",
+		0.02e-6: "20 ns",
+	}
+	for in, want := range cases {
+		if got := engTime(in); got != want {
+			t.Errorf("engTime(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if engEnergy(2e-3) != "2 mJ" || engEnergy(3) != "3 J" || engEnergy(5e-7) != "500 nJ" {
+		t.Fatalf("engEnergy wrong: %q %q %q", engEnergy(2e-3), engEnergy(3), engEnergy(5e-7))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &table{
+		caption: "demo",
+		header:  []string{"a", "b"},
+	}
+	tb.addRow("1", "2")
+	tb.note("hello %d", 42)
+	var buf bytes.Buffer
+	if err := tb.render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "hello 42") {
+		t.Fatalf("render output wrong:\n%s", out)
+	}
+}
+
+func TestBestKnownCutCached(t *testing.T) {
+	o := Options{Runs: 1}
+	inst := k100()
+	a := bestKnownCut(inst, o)
+	b := bestKnownCut(inst, o)
+	if a != b {
+		t.Fatal("reference cache inconsistent")
+	}
+	if a <= 0 {
+		t.Fatalf("K100 best-known cut %v must be positive", a)
+	}
+}
+
+// The functional-simulation experiments are heavy; exercise them with a
+// single run each and just check they produce their tables. Skipped in
+// -short mode.
+func TestFunctionalExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional experiments are slow")
+	}
+	for _, exp := range []struct {
+		name string
+		run  func(Options) error
+		want string
+	}{
+		{"fig7", Fig7, "Fig. 7"},
+		{"fig8", Fig8, "Fig. 8"},
+		{"fig10", Fig10, "Fig. 10"},
+	} {
+		var buf bytes.Buffer
+		if err := exp.run(tinyOptions(&buf)); err != nil {
+			t.Fatalf("%s: %v", exp.name, err)
+		}
+		if !strings.Contains(buf.String(), exp.want) {
+			t.Fatalf("%s output missing caption:\n%s", exp.name, buf.String())
+		}
+	}
+}
+
+func TestScaling(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Scaling(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Scaling", "65536", "16384", "chips"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scaling output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Heavier functional experiments, skipped in -short mode.
+func TestAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	var buf bytes.Buffer
+	if err := Ablation(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "full design (baseline)") || !strings.Contains(out, "dual-precision") {
+		t.Fatalf("ablation output malformed:\n%s", out)
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table2 is slow")
+	}
+	var buf bytes.Buffer
+	if err := Table2(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SOPHIE (this repo)", "INPRIS", "D-Wave", "BLS (this repo)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 is slow")
+	}
+	var buf bytes.Buffer
+	if err := Fig6(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "Fig. 6") != 2 {
+		t.Fatalf("fig6 should print two tables (G1, G22):\n%s", buf.String())
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sophie/internal/arch"
+	"sophie/internal/core"
+	"sophie/internal/ising"
+	"sophie/internal/metrics"
+	"sophie/internal/sched"
+)
+
+// Fig10 reproduces Figure 10: run time per job to reach 95% of the
+// best-known G22 solution, with the OPCM capacity limited to 512×512
+// coupling coefficients (64 arrays of 64×64) so reprogramming overhead
+// is exercised. The functional simulator supplies the global iterations
+// to convergence; the architecture model turns them into time per job.
+func Fig10(o Options) error {
+	inst := g22(o)
+	best := bestKnownCut(inst, o)
+	model := ising.FromMaxCut(inst.g)
+	capIters := totalLocalBudget(o)
+	target := targetEnergyFor(inst, 0.95, best)
+
+	// 512×512 coupling capacity: 64 PEs with 64×64 tiles, i.e. 16 PEs in
+	// each of the 4 chiplets (Section IV-C's capacity-limited setup).
+	hw := sched.Hardware{Accelerators: 1, ChipletsPerAccel: 4, PEsPerChiplet: 16, TileSize: 64}
+	design := arch.Design{Hardware: hw, Params: arch.DefaultParams()}
+
+	cfg := core.DefaultConfig()
+	cfg.Workers = o.Workers
+	solver, err := core.NewSolver(model, cfg)
+	if err != nil {
+		return err
+	}
+
+	t := &table{
+		caption: fmt.Sprintf("Fig. 10 — run time per job to 95%% of best-known, %s, capacity 512x512", inst.name),
+		header:  append([]string{"local/global \\ tiles%"}, pctHeaders(fig78Fractions)...),
+	}
+	type cellStat struct {
+		time float64
+		ok   bool
+	}
+	bestTime := cellStat{}
+	var bestL int
+	var bestFrac float64
+
+	for li, L := range fig78Locals {
+		row := []string{fmt.Sprintf("%d", L)}
+		for fi, frac := range fig78Fractions {
+			tuned, err := solver.WithRuntime(func(c *core.Config) {
+				c.LocalIters = L
+				c.GlobalIters = max(1, capIters/L)
+				c.TileFraction = frac
+				c.TargetEnergy = &target
+			})
+			if err != nil {
+				return err
+			}
+			globals := make([]float64, 0, o.runs())
+			for r := 0; r < o.runs(); r++ {
+				res, err := tuned.Run(o.Seed + int64(li*1000+fi*100+r) + 13)
+				if err != nil {
+					return err
+				}
+				if res.ReachedTarget {
+					globals = append(globals, float64(res.GlobalItersRun))
+				}
+			}
+			if len(globals) == 0 {
+				row = append(row, "-")
+				continue
+			}
+			meanGlobals := metrics.Summarize(globals).Mean
+			rep, err := arch.Evaluate(design, arch.Workload{
+				Name: "G22", Nodes: inst.g.N(), Batch: 100,
+				LocalIters: L, GlobalIters: int(meanGlobals + 0.5), TileFraction: frac,
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, engTime(rep.TimePerJobS))
+			if !bestTime.ok || rep.TimePerJobS < bestTime.time {
+				bestTime = cellStat{rep.TimePerJobS, true}
+				bestL, bestFrac = L, frac
+			}
+		}
+		t.addRow(row...)
+	}
+	if bestTime.ok {
+		t.note("fastest cell: %d local iterations, %.0f%% tiles (%s/job)", bestL, 100*bestFrac, engTime(bestTime.time))
+	}
+	t.note("paper: ~10 local iterations and ~74%% tile selection give the best run time")
+	return t.render(o.out())
+}

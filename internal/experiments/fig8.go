@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sophie/internal/core"
+	"sophie/internal/ising"
+	"sophie/internal/metrics"
+)
+
+// targetEnergyFor converts a "reach 95% of the best-known cut" goal into
+// an energy threshold under the max-cut mapping (cut = (W - H)/2).
+func targetEnergyFor(inst instance, fraction, bestCut float64) float64 {
+	return inst.g.TotalWeight() - 2*fraction*bestCut
+}
+
+// Fig8 reproduces Figure 8: the total number of local iterations needed
+// to reach 95% of the best-known G22 solution across the (local
+// iterations per global, tile fraction) grid; blank cells failed to
+// converge within the iteration cap.
+func Fig8(o Options) error {
+	inst := g22(o)
+	best := bestKnownCut(inst, o)
+	model := ising.FromMaxCut(inst.g)
+	cap := totalLocalBudget(o) // 5000 in the paper
+
+	cfg := core.DefaultConfig()
+	cfg.Workers = o.Workers
+	target := targetEnergyFor(inst, 0.95, best)
+
+	solver, err := core.NewSolver(model, cfg)
+	if err != nil {
+		return err
+	}
+
+	t := &table{
+		caption: fmt.Sprintf("Fig. 8 — total local iterations to reach 95%% of best-known, %s", inst.name),
+		header:  append([]string{"local/global \\ tiles%"}, pctHeaders(fig78Fractions)...),
+	}
+	for li, L := range fig78Locals {
+		row := []string{fmt.Sprintf("%d", L)}
+		for fi, frac := range fig78Fractions {
+			tuned, err := solver.WithRuntime(func(c *core.Config) {
+				c.LocalIters = L
+				c.GlobalIters = max(1, cap/L)
+				c.TileFraction = frac
+				c.TargetEnergy = &target
+				c.EvalEvery = 1
+			})
+			if err != nil {
+				return err
+			}
+			iters := make([]float64, 0, o.runs())
+			converged := 0
+			for r := 0; r < o.runs(); r++ {
+				res, err := tuned.Run(o.Seed + int64(li*1000+fi*100+r) + 7)
+				if err != nil {
+					return err
+				}
+				if res.ReachedTarget {
+					converged++
+					iters = append(iters, float64(res.TotalLocalIters))
+				}
+			}
+			if converged == 0 {
+				row = append(row, "-") // blank cell: no convergence within cap
+				continue
+			}
+			s := metrics.Summarize(iters)
+			cell := fmt.Sprintf("%.0f", s.Mean)
+			if converged < o.runs() {
+				cell += fmt.Sprintf(" (%d/%d)", converged, o.runs())
+			}
+			row = append(row, cell)
+		}
+		t.addRow(row...)
+	}
+	t.note("cap %d total local iterations; %d runs per point (paper averages 100)", cap, o.runs())
+	t.note("paper: aggressive skipping (upper-left) needs more iterations or fails")
+	return t.render(o.out())
+}

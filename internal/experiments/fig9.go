@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sophie/internal/arch"
+	"sophie/internal/sched"
+)
+
+// fig9Hardware builds the hardware pool for a tile-size sweep holding
+// the total number of OPCM cells constant at the paper's default pool
+// (256 PEs of 64×128 cells), as Section IV-C does ("Given the total
+// number of OPCM cells, changing the size of each tile ...").
+func fig9Hardware(tile int) sched.Hardware {
+	const cellBudget = 256 * 2 * 64 * 64
+	pes := cellBudget / (2 * tile * tile)
+	perChiplet := pes / 4
+	if perChiplet < 1 {
+		perChiplet = 1
+	}
+	return sched.Hardware{Accelerators: 1, ChipletsPerAccel: 4, PEsPerChiplet: perChiplet, TileSize: tile}
+}
+
+// Fig9 reproduces Figure 9: EDAP per job for K32768 across tile size ×
+// batch size, 500 global iterations, 10 local iterations per global,
+// one accelerator. The paper finds tile 64 / batch 100 optimal.
+func Fig9(o Options) error {
+	tiles := []int{16, 32, 64, 128, 256}
+	batches := []int{1, 10, 100, 1000}
+
+	t := &table{
+		caption: "Fig. 9 — EDAP per job (J·s·mm²), K32768, 500 global iterations",
+		header:  append([]string{"tile \\ batch"}, intHeaders(batches)...),
+	}
+	bestEDAP := math.Inf(1)
+	bestTile, bestBatch := 0, 0
+	for _, tile := range tiles {
+		row := []string{fmt.Sprintf("%d", tile)}
+		for _, batch := range batches {
+			d := arch.Design{Hardware: fig9Hardware(tile), Params: arch.DefaultParams()}
+			rep, err := arch.Evaluate(d, arch.Workload{
+				Name: "K32768", Nodes: 32768, Batch: batch,
+				LocalIters: 10, GlobalIters: 500, TileFraction: 1,
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.3g", rep.EDAP))
+			if rep.EDAP < bestEDAP {
+				bestEDAP = rep.EDAP
+				bestTile, bestBatch = tile, batch
+			}
+		}
+		t.addRow(row...)
+	}
+	t.note("model minimum at tile %d / batch %d (EDAP %.3g); paper picks tile 64 / batch 100", bestTile, bestBatch, bestEDAP)
+	return t.render(o.out())
+}
+
+func intHeaders(vals []int) []string {
+	h := make([]string, len(vals))
+	for i, v := range vals {
+		h[i] = fmt.Sprintf("%d", v)
+	}
+	return h
+}

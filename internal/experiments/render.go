@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// table renders rows with aligned columns, a header rule, and a caption.
+type table struct {
+	caption string
+	header  []string
+	rows    [][]string
+	notes   []string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func (t *table) render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n== %s ==\n", t.caption); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.header, "\t"))
+	rule := make([]string, len(t.header))
+	for i, h := range t.header {
+		rule[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(rule, "\t"))
+	for _, r := range t.rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// engTime renders a duration in engineering units.
+func engTime(seconds float64) string {
+	switch {
+	case seconds <= 0:
+		return "0"
+	case seconds < 1e-6:
+		return fmt.Sprintf("%.3g ns", seconds*1e9)
+	case seconds < 1e-3:
+		return fmt.Sprintf("%.3g µs", seconds*1e6)
+	case seconds < 1:
+		return fmt.Sprintf("%.3g ms", seconds*1e3)
+	default:
+		return fmt.Sprintf("%.3g s", seconds)
+	}
+}
+
+// engEnergy renders joules in engineering units.
+func engEnergy(j float64) string {
+	switch {
+	case j <= 0:
+		return "0"
+	case j < 1e-6:
+		return fmt.Sprintf("%.3g nJ", j*1e9)
+	case j < 1e-3:
+		return fmt.Sprintf("%.3g µJ", j*1e6)
+	case j < 1:
+		return fmt.Sprintf("%.3g mJ", j*1e3)
+	default:
+		return fmt.Sprintf("%.3g J", j)
+	}
+}

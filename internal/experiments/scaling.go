@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sophie/internal/arch"
+	"sophie/internal/sched"
+)
+
+// Scaling is an extension experiment supporting the paper's headline
+// claim: SOPHIE's performance degrades smoothly as the problem grows
+// past the hardware capacity (time-duplexed tiles), whereas
+// physics-based machines must grow their hardware with the problem —
+// a K-graph needs capacity for all n² couplings, so an 8192-node BRIM
+// chip pool needs ceil(n/8192)² chips before it can start at all
+// (Section IV-D's K32768 discussion).
+func Scaling(o Options) error {
+	t := &table{
+		caption: "Scaling — run time per job vs problem size on FIXED hardware (extension)",
+		header: []string{"nodes", "couplings", "fits?", "rounds/iter",
+			"SOPHIE 1 accel", "SOPHIE 4 accel", "BRIM-style chips needed"},
+	}
+	hw1 := sched.DefaultHardware()
+	hw4 := sched.DefaultHardware()
+	hw4.Accelerators = 4
+	const brimChipNodes = 8192 // one mBRIM3D chip's capacity [27]
+
+	for _, n := range []int{1024, 2048, 4096, 8192, 16384, 32768, 65536} {
+		w := arch.Workload{
+			Name: fmt.Sprintf("K%d", n), Nodes: n, Batch: 100,
+			LocalIters: 10, GlobalIters: 50, TileFraction: 0.74,
+		}
+		r1, err := arch.Evaluate(arch.Design{Hardware: hw1, Params: arch.DefaultParams()}, w)
+		if err != nil {
+			return err
+		}
+		r4, err := arch.Evaluate(arch.Design{Hardware: hw4, Params: arch.DefaultParams()}, w)
+		if err != nil {
+			return err
+		}
+		chips := (n + brimChipNodes - 1) / brimChipNodes
+		chipNote := fmt.Sprintf("%d", chips*chips)
+		if chips == 1 {
+			chipNote = "1"
+		}
+		fits := "no"
+		if r1.Schedule.Resident {
+			fits = "yes"
+		}
+		t.addRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", n*(n-1)/2),
+			fits,
+			fmt.Sprintf("%d", r1.Schedule.RoundsPerIter),
+			engTime(r1.TimePerJobS),
+			engTime(r4.TimePerJobS),
+			chipNote,
+		)
+	}
+	t.note("SOPHIE hardware fixed at 256 PEs/accelerator; physics machines must provision chips for all couplings up front")
+	t.note("expected: smooth ~n² growth for SOPHIE with no capacity cliff; BRIM-style chip count grows quadratically")
+	return t.render(o.out())
+}

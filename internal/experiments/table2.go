@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sophie/internal/arch"
+	"sophie/internal/baseline"
+	"sophie/internal/core"
+	"sophie/internal/ising"
+	"sophie/internal/metrics"
+	"sophie/internal/sched"
+)
+
+// Table2 reproduces Table II: performance and solution quality on the
+// small graphs K100, G1, and G22, which fit entirely in 4 accelerators.
+//
+// The SOPHIE rows are measured: the functional simulator reports the
+// global iterations needed to reach the paper's quality level (within 5%
+// of best-known), and the architecture model prices them on 4
+// accelerators with batch 100 including the (amortized) initial
+// programming. The competitor hardware rows repeat the literature
+// numbers, exactly as the paper does; our software baselines (SA, SB,
+// BRIM, BLS) run natively and report wall-clock time for context.
+func Table2(o Options) error {
+	design := arch.Design{Hardware: sched.DefaultHardware(), Params: arch.DefaultParams()}
+	design.Hardware.Accelerators = 4
+
+	t := &table{
+		caption: "Table II — small graphs: run time (solution quality)",
+		header:  []string{"architecture", "type", "K100", g1(o).name, g22(o).name},
+	}
+
+	// Per-instance optimal noise, from the Fig. 6 style sweep: the paper
+	// keeps a (graph order, density) -> (phi, alpha) lookup table.
+	optPhi := map[string]float64{"K100": 0.2, "G1": 0.2, "G22": 0.1}
+
+	var k100T90 string
+	sophieRow := []string{"SOPHIE (this repo)", "photonic sim"}
+	for _, inst := range []instance{k100(), g1(o), g22(o)} {
+		best := bestKnownCut(inst, o)
+		model := ising.FromMaxCut(inst.g)
+		target := targetEnergyFor(inst, 0.95, best)
+
+		cfg := core.DefaultConfig()
+		cfg.Workers = o.Workers
+		cfg.GlobalIters = 300
+		cfg.TargetEnergy = &target
+		if phi, ok := optPhi[inst.name]; ok {
+			cfg.Phi = phi
+		} else {
+			cfg.Phi = 0.2 // the mini stand-ins behave like their parents
+		}
+		if o.Full {
+			cfg.GlobalIters = 500
+		}
+		solver, err := core.NewSolver(model, cfg)
+		if err != nil {
+			return err
+		}
+		globals := make([]float64, 0, o.runs())
+		errs := make([]float64, 0, o.runs())
+		for r := 0; r < o.runs(); r++ {
+			res, err := solver.Run(o.Seed + int64(r))
+			if err != nil {
+				return err
+			}
+			if res.ReachedTarget {
+				globals = append(globals, float64(res.GlobalItersRun))
+			}
+			errs = append(errs, 100*(1-inst.g.CutValue(res.BestSpins)/best))
+		}
+		if len(globals) == 0 {
+			sophieRow = append(sophieRow, "no converge")
+			continue
+		}
+		iters := int(metrics.Summarize(globals).Mean + 0.5)
+		rep, err := arch.Evaluate(design, arch.Workload{
+			Name: inst.name, Nodes: inst.g.N(), Batch: 100,
+			LocalIters: 10, GlobalIters: iters, TileFraction: 1,
+		})
+		if err != nil {
+			return err
+		}
+		meanErr := metrics.Summarize(errs).Mean
+		sophieRow = append(sophieRow, fmt.Sprintf("%s (%.1f%%)", engTime(rep.TimePerJobS), meanErr))
+
+		// Report K100's T90 like the paper's comparators: expected time
+		// to hit the reference optimum with 90% confidence, from the
+		// measured per-run success probability.
+		if inst.name == "K100" {
+			// T90 runs must not stop early at the 95% target — the
+			// success event is hitting the reference optimum itself.
+			fullSolver, err := solver.WithRuntime(func(c *core.Config) { c.TargetEnergy = nil })
+			if err != nil {
+				return err
+			}
+			optimumHits := 0
+			for r := 0; r < o.runs(); r++ {
+				res, err := fullSolver.Run(o.Seed + int64(100+r))
+				if err != nil {
+					return err
+				}
+				if inst.g.CutValue(res.BestSpins) >= best {
+					optimumHits++
+				}
+			}
+			p := float64(optimumHits) / float64(o.runs())
+			fullRun, err := arch.Evaluate(design, arch.Workload{
+				Name: inst.name, Nodes: inst.g.N(), Batch: 100,
+				LocalIters: 10, GlobalIters: cfg.GlobalIters, TileFraction: 1,
+			})
+			if err != nil {
+				return err
+			}
+			tts, err := metrics.TimeToSolution(fullRun.TimePerJobS, p, 0.9)
+			if err != nil {
+				return err
+			}
+			if p == 0 {
+				k100T90 = fmt.Sprintf("K100 T90: optimum not hit in %d runs", o.runs())
+			} else {
+				k100T90 = fmt.Sprintf("K100 T90 ≈ %s (success probability %.2f over %d runs; paper reports 0.31 µs)",
+					engTime(tts), p, o.runs())
+			}
+		}
+	}
+	t.addRow(sophieRow...)
+
+	// Literature rows, as cited by the paper.
+	t.addRow("INPRIS [4]", "photonic", "1-10 µs (T90)", "-", "-")
+	t.addRow("PRIS [15]", "FPGA", "50 µs-1 ms (T90)", "-", "-")
+	t.addRow("CIM [9]", "photonic", "2.3 ms (T90)", "-", "5 ms (0.8%)")
+	t.addRow("BRIM [8]", "electric", "-", "-", "0.25 µs (0.3%)")
+	t.addRow("BLS [5]", "CPU", "-", "13 s (0.1%)", "560 s (0.1%)")
+	t.addRow("D-Wave [36]", "quantum", "5e18 s (T90)", "-", "-")
+
+	// Our own software baselines for a qualitative cross-check.
+	for _, run := range []struct {
+		name string
+		f    func(inst instance) (spins []int8, err error)
+	}{
+		{"SA (this repo)", func(inst instance) ([]int8, error) {
+			cfg := baseline.DefaultSAConfig()
+			cfg.Sweeps = 400
+			cfg.Seed = o.Seed
+			r, err := baseline.SimulatedAnnealing(ising.FromMaxCut(inst.g), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.BestSpins, nil
+		}},
+		{"SB (this repo)", func(inst instance) ([]int8, error) {
+			cfg := baseline.DefaultSBConfig()
+			cfg.Seed = o.Seed
+			r, err := baseline.SimulatedBifurcation(ising.FromMaxCut(inst.g), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.BestSpins, nil
+		}},
+		{"BLS (this repo)", func(inst instance) ([]int8, error) {
+			cfg := baseline.DefaultBLSConfig()
+			cfg.Seed = o.Seed
+			r, err := baseline.BLS(inst.g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.BestSpins, nil
+		}},
+	} {
+		row := []string{run.name, "CPU (Go)"}
+		for _, inst := range []instance{k100(), g1(o), g22(o)} {
+			best := bestKnownCut(inst, o)
+			start := time.Now()
+			spins, err := run.f(inst)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start).Seconds()
+			errPct := 100 * (1 - inst.g.CutValue(spins)/best)
+			row = append(row, fmt.Sprintf("%s (%.1f%%)", engTime(elapsed), errPct))
+		}
+		t.addRow(row...)
+	}
+
+	t.note("SOPHIE rows: 4 accelerators, batch 100, time to within 5%% of best-known incl. amortized programming")
+	if k100T90 != "" {
+		t.note("%s", k100T90)
+	}
+	t.note("literature rows reproduce the paper's citations; (x%%) = error vs best-known, T90 = 90%% ground-state probability")
+	return t.render(o.out())
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// Analysis utilities over benchmark instances: connectivity, degree
+// statistics, and cut bounds used by the experiment harness and by
+// sanity tests of the generators.
+
+// ConnectedComponents returns the node sets of the connected components
+// in ascending order of their smallest node.
+func (g *Graph) ConnectedComponents() [][]int {
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, e := range g.edges {
+		union(e.U, e.V)
+	}
+	groups := map[int][]int{}
+	for v := 0; v < g.n; v++ {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// IsConnected reports whether the graph has exactly one connected
+// component (the empty graph is considered disconnected unless it has
+// one node).
+func (g *Graph) IsConnected() bool {
+	return len(g.ConnectedComponents()) == 1
+}
+
+// DegreeStats summarizes the degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	Std      float64
+}
+
+// DegreeStatistics computes degree distribution summary statistics.
+func (g *Graph) DegreeStatistics() DegreeStats {
+	deg := g.Degrees()
+	if len(deg) == 0 {
+		return DegreeStats{}
+	}
+	s := DegreeStats{Min: deg[0], Max: deg[0]}
+	sum := 0
+	for _, d := range deg {
+		sum += d
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = float64(sum) / float64(len(deg))
+	varSum := 0.0
+	for _, d := range deg {
+		diff := float64(d) - s.Mean
+		varSum += diff * diff
+	}
+	s.Std = math.Sqrt(varSum / float64(len(deg)))
+	return s
+}
+
+// CutUpperBound returns the trivial max-cut upper bound: the total
+// weight of positive edges (negative edges can always be kept uncut).
+func (g *Graph) CutUpperBound() float64 {
+	sum := 0.0
+	for _, e := range g.edges {
+		if e.Weight > 0 {
+			sum += e.Weight
+		}
+	}
+	return sum
+}
+
+// GreedyCut computes a deterministic greedy max-cut assignment: nodes
+// are processed in order and placed on the side that currently gains
+// more cut weight. Returns the spins and the cut value — a cheap lower
+// bound for calibrating solvers.
+func (g *Graph) GreedyCut() ([]int8, float64) {
+	spins := make([]int8, g.n)
+	adj := make([][]Edge, g.n)
+	for _, e := range g.edges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], Edge{U: e.V, V: e.U, Weight: e.Weight})
+	}
+	for v := 0; v < g.n; v++ {
+		gainUp := 0.0
+		for _, e := range adj[v] {
+			other := e.V
+			if other < v { // already placed
+				gainUp += e.Weight * float64(-spins[other])
+			}
+		}
+		if gainUp >= 0 {
+			spins[v] = 1
+		} else {
+			spins[v] = -1
+		}
+	}
+	return spins, g.CutValue(spins)
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Additional Rudy-style instance families beyond the paper's benchmark
+// set, useful for exercising solver behavior across topologies: random
+// regular graphs (the hard max-cut family), preferential-attachment
+// graphs (heavy-tailed degrees), and random bipartite graphs (known
+// optimal cuts, good for validation).
+
+// Regular generates a random d-regular graph on n nodes via the
+// configuration (pairing) model with rejection of self-loops and
+// duplicate edges. n·d must be even and d < n.
+func Regular(n, d int, scheme WeightScheme, seed int64) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: degree %d invalid for %d nodes", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d = %d*%d must be even", n, d)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const maxAttempts = 1000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		g, ok := tryPairing(n, d, scheme, rng)
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: pairing model failed to produce a simple %d-regular graph after %d attempts", d, maxAttempts)
+}
+
+// tryPairing attempts one configuration-model draw.
+func tryPairing(n, d int, scheme WeightScheme, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := New(n)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || g.HasEdge(u, v) {
+			return nil, false // reject and retry
+		}
+		if err := g.AddEdge(u, v, drawWeight(scheme, rng)); err != nil {
+			return nil, false
+		}
+	}
+	return g, true
+}
+
+// PreferentialAttachment generates a Barabási-Albert graph: nodes join
+// one at a time, each attaching m edges to existing nodes with
+// probability proportional to their degree. The first m+1 nodes form a
+// clique.
+func PreferentialAttachment(n, m int, scheme WeightScheme, seed int64) (*Graph, error) {
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("graph: attachment count %d invalid for %d nodes", m, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	// Degree-proportional sampling via a repeated-endpoint list.
+	var endpoints []int
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			if err := g.AddEdge(u, v, drawWeight(scheme, rng)); err != nil {
+				return nil, err
+			}
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		attached := map[int]bool{}
+		for len(attached) < m {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if u == v || attached[u] {
+				continue
+			}
+			attached[u] = true
+		}
+		for u := range attached {
+			if err := g.AddEdge(u, v, drawWeight(scheme, rng)); err != nil {
+				return nil, err
+			}
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return g, nil
+}
+
+// Bipartite generates a random bipartite graph between parts of sizes
+// na and nb with the given number of cross edges and positive unit
+// weights. Because every edge crosses the parts, the max cut equals the
+// total edge count — a known ground truth for solver validation.
+func Bipartite(na, nb, edges int, seed int64) (*Graph, error) {
+	if na < 1 || nb < 1 {
+		return nil, fmt.Errorf("graph: bipartite parts must be nonempty, got %d/%d", na, nb)
+	}
+	maxEdges := na * nb
+	if edges < 0 || edges > maxEdges {
+		return nil, fmt.Errorf("graph: cannot place %d edges across %dx%d parts", edges, na, nb)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(na + nb)
+	for g.M() < edges {
+		u := rng.Intn(na)
+		v := na + rng.Intn(nb)
+		if g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v, 1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegular(t *testing.T) {
+	g, err := Regular(20, 4, WeightPM1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range g.Degrees() {
+		if d != 4 {
+			t.Fatalf("node %d has degree %d, want 4", v, d)
+		}
+	}
+	if g.M() != 20*4/2 {
+		t.Fatalf("edge count %d", g.M())
+	}
+}
+
+func TestRegularValidation(t *testing.T) {
+	if _, err := Regular(5, 3, WeightUnit, 1); err == nil {
+		t.Fatal("odd n*d must be rejected")
+	}
+	if _, err := Regular(4, 4, WeightUnit, 1); err == nil {
+		t.Fatal("d >= n must be rejected")
+	}
+	if _, err := Regular(4, -1, WeightUnit, 1); err == nil {
+		t.Fatal("negative degree must be rejected")
+	}
+}
+
+func TestRegularDeterministic(t *testing.T) {
+	a, err := Regular(16, 3, WeightUnit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Regular(16, 3, WeightUnit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.SortedEdges(), b.SortedEdges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("regular generator nondeterministic")
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g, err := PreferentialAttachment(60, 3, WeightUnit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected edges: clique on m+1=4 nodes (6) + 3 per remaining node.
+	want := 6 + 3*(60-4)
+	if g.M() != want {
+		t.Fatalf("edge count %d, want %d", g.M(), want)
+	}
+	stats := g.DegreeStatistics()
+	// Preferential attachment yields a heavy tail: max degree well above
+	// the mean.
+	if float64(stats.Max) < 2*stats.Mean {
+		t.Fatalf("degree distribution too flat: max %d, mean %.1f", stats.Max, stats.Mean)
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA graphs are connected by construction")
+	}
+}
+
+func TestPreferentialAttachmentValidation(t *testing.T) {
+	if _, err := PreferentialAttachment(5, 0, WeightUnit, 1); err == nil {
+		t.Fatal("m=0 must be rejected")
+	}
+	if _, err := PreferentialAttachment(3, 3, WeightUnit, 1); err == nil {
+		t.Fatal("m>=n must be rejected")
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	g, err := Bipartite(8, 12, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 || g.M() != 40 {
+		t.Fatalf("shape %d/%d", g.N(), g.M())
+	}
+	// Every edge crosses the parts.
+	for _, e := range g.Edges() {
+		if (e.U < 8) == (e.V < 8) {
+			t.Fatalf("edge (%d,%d) does not cross the parts", e.U, e.V)
+		}
+	}
+	// The bipartition cuts everything: max cut = M.
+	spins := make([]int8, 20)
+	for i := range spins {
+		if i < 8 {
+			spins[i] = 1
+		} else {
+			spins[i] = -1
+		}
+	}
+	if g.CutValue(spins) != 40 {
+		t.Fatal("bipartition must cut every edge")
+	}
+	if g.CutUpperBound() != 40 {
+		t.Fatal("upper bound must equal total positive weight")
+	}
+}
+
+func TestBipartiteValidation(t *testing.T) {
+	if _, err := Bipartite(0, 5, 1, 1); err == nil {
+		t.Fatal("empty part must be rejected")
+	}
+	if _, err := Bipartite(2, 2, 5, 1); err == nil {
+		t.Fatal("too many edges must be rejected")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(4, 5, 1)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("%d components, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("first component %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Fatalf("isolated node component %v", comps[1])
+	}
+	if g.IsConnected() {
+		t.Fatal("graph is not connected")
+	}
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 4, 1)
+	if !g.IsConnected() {
+		t.Fatal("graph should now be connected")
+	}
+}
+
+func TestDegreeStatistics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	s := g.DegreeStatistics()
+	if s.Min != 1 || s.Max != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if math.Abs(s.Mean-1.5) > 1e-12 {
+		t.Fatalf("mean %v, want 1.5", s.Mean)
+	}
+	empty := New(0).DegreeStatistics()
+	if empty.Max != 0 {
+		t.Fatal("empty graph stats must be zero")
+	}
+}
+
+func TestGreedyCut(t *testing.T) {
+	// Bipartite graphs: greedy from scratch should find a perfect cut on
+	// a star (all edges from node 0).
+	g := New(5)
+	for v := 1; v < 5; v++ {
+		g.AddEdge(0, v, 1)
+	}
+	spins, cut := g.GreedyCut()
+	if cut != 4 {
+		t.Fatalf("greedy cut %v on a star, want 4", cut)
+	}
+	if g.CutValue(spins) != cut {
+		t.Fatal("reported cut inconsistent with spins")
+	}
+	// Greedy is always at least half the upper bound on unit graphs.
+	r, err := Random(40, 200, WeightUnit, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gc := r.GreedyCut()
+	if gc < 0.5*r.CutUpperBound() {
+		t.Fatalf("greedy cut %v below half of bound %v", gc, r.CutUpperBound())
+	}
+}

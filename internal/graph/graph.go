@@ -1,0 +1,217 @@
+// Package graph provides the weighted undirected graphs used as Ising
+// benchmarks: a compact edge-list representation, Rudy-style generators
+// for GSET-like instances and complete K-graphs (Table I of the paper),
+// GSET text-format I/O, and max-cut evaluation utilities.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"sophie/internal/linalg"
+)
+
+// Edge is an undirected weighted edge between nodes U < V (0-indexed).
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Graph is a weighted undirected graph over nodes 0..N-1.
+// Parallel edges are not allowed; self-loops are rejected.
+type Graph struct {
+	n     int
+	edges []Edge
+	seen  map[[2]int]int // edge key -> index into edges
+}
+
+// New returns an empty graph with n nodes.
+// It panics if n is negative.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, seen: make(map[[2]int]int)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge list. The slice aliases internal storage and
+// must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// AddEdge inserts an undirected edge with the given weight. Adding an
+// edge that already exists overwrites its weight. It returns an error for
+// self-loops or out-of-range endpoints; zero-weight edges are dropped.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range for %d nodes", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	key := edgeKey(u, v)
+	if idx, ok := g.seen[key]; ok {
+		if w == 0 {
+			// Overwriting with zero weight removes the edge.
+			last := len(g.edges) - 1
+			moved := g.edges[last]
+			g.edges[idx] = moved
+			g.seen[edgeKey(moved.U, moved.V)] = idx
+			g.edges = g.edges[:last]
+			delete(g.seen, key)
+			return nil
+		}
+		g.edges[idx].Weight = w
+		return nil
+	}
+	if w == 0 {
+		return nil
+	}
+	g.seen[key] = len(g.edges)
+	g.edges = append(g.edges, Edge{U: key[0], V: key[1], Weight: w})
+	return nil
+}
+
+// HasEdge reports whether an edge between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.seen[edgeKey(u, v)]
+	return ok
+}
+
+// Weight returns the weight of edge (u,v), or 0 when absent.
+func (g *Graph) Weight(u, v int) float64 {
+	if idx, ok := g.seen[edgeKey(u, v)]; ok {
+		return g.edges[idx].Weight
+	}
+	return 0
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	sum := 0.0
+	for _, e := range g.edges {
+		sum += e.Weight
+	}
+	return sum
+}
+
+// Degrees returns the degree (edge count, not weighted) of every node.
+func (g *Graph) Degrees() []int {
+	deg := make([]int, g.n)
+	for _, e := range g.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	return deg
+}
+
+// Density returns M / (N·(N-1)/2), the fraction of possible edges present.
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return float64(len(g.edges)) / (float64(g.n) * float64(g.n-1) / 2)
+}
+
+// AdjacencyMatrix returns the dense symmetric adjacency matrix A with
+// A[u][v] = weight(u,v).
+func (g *Graph) AdjacencyMatrix() *linalg.Matrix {
+	a := linalg.NewMatrix(g.n, g.n)
+	for _, e := range g.edges {
+		a.Set(e.U, e.V, e.Weight)
+		a.Set(e.V, e.U, e.Weight)
+	}
+	return a
+}
+
+// CouplingMatrix returns the Ising coupling matrix K = -A for the max-cut
+// mapping: minimizing H = -½ σᵀKσ maximizes the cut (Section II-B).
+func (g *Graph) CouplingMatrix() *linalg.Matrix {
+	k := g.AdjacencyMatrix()
+	k.Scale(-1)
+	return k
+}
+
+// CouplingCSR returns the same coupling matrix in sparse CSR form, for
+// the iterative preprocessing paths (GSET instances are ~1% dense, so
+// the sparse operator is ~100x cheaper per Lanczos step).
+func (g *Graph) CouplingCSR() *linalg.CSR {
+	entries := make([]linalg.Entry, 0, len(g.edges))
+	for _, e := range g.edges {
+		entries = append(entries, linalg.Entry{Row: e.U, Col: e.V, Val: -e.Weight})
+	}
+	c, err := linalg.NewCSRSym(g.n, entries)
+	if err != nil {
+		panic(err) // edges are validated at insertion
+	}
+	return c
+}
+
+// CutValue returns the total weight of edges crossing the partition
+// defined by spins (one ±1 entry per node). Entries with value +1 form
+// one subset, -1 the other. It panics if len(spins) != N or a spin is
+// not ±1.
+func (g *Graph) CutValue(spins []int8) float64 {
+	if len(spins) != g.n {
+		panic(fmt.Sprintf("graph: CutValue got %d spins for %d nodes", len(spins), g.n))
+	}
+	for i, s := range spins {
+		if s != 1 && s != -1 {
+			panic(fmt.Sprintf("graph: spin %d has invalid value %d", i, s))
+		}
+	}
+	cut := 0.0
+	for _, e := range g.edges {
+		if spins[e.U] != spins[e.V] {
+			cut += e.Weight
+		}
+	}
+	return cut
+}
+
+// IsingEnergy returns H = -½ Σ σᵢKᵢⱼσⱼ with K = -A (Eq. 1 under the
+// max-cut mapping). CutValue and IsingEnergy satisfy
+// cut = (TotalWeight - H') / 2 where H' = Σ_edges w·σu·σv = H under this
+// convention; see TestCutEnergyDuality.
+func (g *Graph) IsingEnergy(spins []int8) float64 {
+	h := 0.0
+	for _, e := range g.edges {
+		h += e.Weight * float64(spins[e.U]) * float64(spins[e.V])
+	}
+	return h
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.edges = append(c.edges, g.edges...)
+	for k, v := range g.seen {
+		c.seen[k] = v
+	}
+	return c
+}
+
+// SortedEdges returns a copy of the edge list sorted by (U,V), used for
+// deterministic serialization.
+func (g *Graph) SortedEdges() []Edge {
+	es := append([]Edge(nil), g.edges...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}

@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBasics(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.M() != 0 {
+		t.Fatalf("fresh graph: N=%d M=%d", g.N(), g.M())
+	}
+	if err := g.AddEdge(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(3, 2, -1); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M=%d, want 2", g.M())
+	}
+	if !g.HasEdge(1, 0) {
+		t.Fatal("edges must be undirected")
+	}
+	if g.Weight(2, 3) != -1 {
+		t.Fatalf("Weight(2,3)=%v", g.Weight(2, 3))
+	}
+	if g.Weight(0, 3) != 0 {
+		t.Fatal("absent edge must have weight 0")
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self-loop must be rejected")
+	}
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Fatal("out-of-range edge must be rejected")
+	}
+	if err := g.AddEdge(-1, 1, 1); err == nil {
+		t.Fatal("negative node must be rejected")
+	}
+}
+
+func TestAddEdgeOverwriteAndRemove(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.Weight(0, 1) != 5 {
+		t.Fatalf("overwrite failed: M=%d w=%v", g.M(), g.Weight(0, 1))
+	}
+	if err := g.AddEdge(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Zero weight removes.
+	if err := g.AddEdge(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.HasEdge(0, 1) {
+		t.Fatal("zero-weight overwrite must remove the edge")
+	}
+	if g.Weight(1, 2) != 3 {
+		t.Fatal("removal corrupted the remaining edge")
+	}
+	// Adding a brand-new zero-weight edge is a no-op.
+	if err := g.AddEdge(0, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("zero-weight insert must be a no-op")
+	}
+}
+
+func TestDegreesAndDensity(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	deg := g.Degrees()
+	if deg[0] != 3 || deg[1] != 1 {
+		t.Fatalf("degrees %v", deg)
+	}
+	if got := g.Density(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("density %v, want 0.5", got)
+	}
+	if New(1).Density() != 0 {
+		t.Fatal("density of trivial graph must be 0")
+	}
+}
+
+func TestAdjacencyAndCouplingMatrices(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, -3)
+	a := g.AdjacencyMatrix()
+	if a.At(0, 1) != 2 || a.At(1, 0) != 2 || a.At(2, 1) != -3 || a.At(0, 2) != 0 {
+		t.Fatalf("adjacency wrong: %v", a.Data())
+	}
+	k := g.CouplingMatrix()
+	if k.At(0, 1) != -2 || k.At(1, 2) != 3 {
+		t.Fatal("coupling must be negated adjacency")
+	}
+}
+
+func TestCutValue(t *testing.T) {
+	// Triangle with unit weights: best cut is 2.
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	if got := g.CutValue([]int8{1, -1, 1}); got != 2 {
+		t.Fatalf("cut %v, want 2", got)
+	}
+	if got := g.CutValue([]int8{1, 1, 1}); got != 0 {
+		t.Fatalf("uncut %v, want 0", got)
+	}
+}
+
+func TestCutValuePanics(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	for _, spins := range [][]int8{{1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for spins %v", spins)
+				}
+			}()
+			g.CutValue(spins)
+		}()
+	}
+}
+
+// Property: cut = (TotalWeight - IsingEnergy)/2 for random graphs/spins.
+func TestCutEnergyDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		m := rng.Intn(n * (n - 1) / 2)
+		g, err := Random(n, m, WeightUniform, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		spins := make([]int8, n)
+		for i := range spins {
+			if rng.Intn(2) == 0 {
+				spins[i] = -1
+			} else {
+				spins[i] = 1
+			}
+		}
+		cut := g.CutValue(spins)
+		want := (g.TotalWeight() - g.IsingEnergy(spins)) / 2
+		if math.Abs(cut-want) > 1e-9 {
+			t.Fatalf("duality violated: cut=%v, (W-H)/2=%v", cut, want)
+		}
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	g, err := Random(50, 100, WeightPM1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 50 || g.M() != 100 {
+		t.Fatalf("got %d nodes %d edges", g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if e.Weight != 1 && e.Weight != -1 {
+			t.Fatalf("pm1 weight %v", e.Weight)
+		}
+		if e.U >= e.V {
+			t.Fatalf("edge not normalized: %+v", e)
+		}
+	}
+}
+
+func TestRandomGeneratorDense(t *testing.T) {
+	// Forces the dense enumeration path (m > 40% of max).
+	g, err := Random(10, 40, WeightUnit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 40 {
+		t.Fatalf("M=%d, want 40", g.M())
+	}
+}
+
+func TestRandomGeneratorErrors(t *testing.T) {
+	if _, err := Random(4, 100, WeightUnit, 1); err == nil {
+		t.Fatal("expected too-many-edges error")
+	}
+	if _, err := Random(4, -1, WeightUnit, 1); err == nil {
+		t.Fatal("expected negative-edge-count error")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, _ := Random(30, 60, WeightPM1, 77)
+	b, _ := Random(30, 60, WeightPM1, 77)
+	ea, eb := a.SortedEdges(), b.SortedEdges()
+	if len(ea) != len(eb) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("nondeterministic edge %d: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(10, WeightPM1, 3)
+	if g.M() != 45 {
+		t.Fatalf("K10 has %d edges, want 45", g.M())
+	}
+	for _, e := range g.Edges() {
+		if e.Weight == 0 {
+			t.Fatal("K-graph edges must have nonzero weight")
+		}
+	}
+}
+
+func TestToroidal(t *testing.T) {
+	g := Toroidal(4, 3, 5)
+	if g.N() != 12 {
+		t.Fatalf("N=%d, want 12", g.N())
+	}
+	// Each node has degree 4 on a torus with w,h >= 3.
+	for i, d := range g.Degrees() {
+		if d != 4 {
+			t.Fatalf("node %d degree %d, want 4", i, d)
+		}
+	}
+}
+
+func TestStandins(t *testing.T) {
+	g1 := G1Standin()
+	if g1.N() != 800 || g1.M() != 19176 {
+		t.Fatalf("G1 stand-in %d nodes %d edges", g1.N(), g1.M())
+	}
+	g22 := G22Standin()
+	if g22.N() != 2000 || g22.M() != 19990 {
+		t.Fatalf("G22 stand-in %d nodes %d edges", g22.N(), g22.M())
+	}
+	k := KGraph(100)
+	if k.N() != 100 || k.M() != 100*99/2 {
+		t.Fatalf("K100 %d nodes %d edges", k.N(), k.M())
+	}
+}
+
+func TestTableI(t *testing.T) {
+	insts := TableI()
+	if len(insts) != 5 {
+		t.Fatalf("Table I has %d instances, want 5", len(insts))
+	}
+	wantNodes := map[string]int{"G1": 800, "G22": 2000, "K100": 100, "K16384": 16384, "K32768": 32768}
+	for _, inst := range insts {
+		if wantNodes[inst.Name] != inst.Nodes {
+			t.Fatalf("instance %s has %d nodes", inst.Name, inst.Nodes)
+		}
+	}
+	// Only materialize the small ones.
+	for _, inst := range insts {
+		if inst.Nodes <= 2000 {
+			g := inst.Build()
+			if g.N() != inst.Nodes {
+				t.Fatalf("%s built with %d nodes", inst.Name, g.N())
+			}
+		}
+	}
+}
+
+func TestWeightSchemeString(t *testing.T) {
+	if WeightUnit.String() != "unit" || WeightPM1.String() != "pm1" ||
+		WeightUniform.String() != "uniform" {
+		t.Fatal("weight scheme names wrong")
+	}
+	if WeightScheme(99).String() == "" {
+		t.Fatal("unknown scheme must still render")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2, 1)
+	if g.M() != 1 || c.M() != 2 {
+		t.Fatal("clone must be independent")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("clone lost an edge")
+	}
+}
+
+// Property: generated graphs never contain self-loops or duplicates.
+func TestGeneratorInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int(uint64(seed)%30)
+		m := int(uint64(seed) % uint64(n))
+		g, err := Random(n, m, WeightPM1, seed)
+		if err != nil {
+			return false
+		}
+		seen := map[[2]int]bool{}
+		for _, e := range g.Edges() {
+			if e.U == e.V || e.U < 0 || e.V >= n {
+				return false
+			}
+			k := [2]int{e.U, e.V}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return g.M() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCouplingCSRMatchesDense(t *testing.T) {
+	g, err := Random(30, 90, WeightUniform, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := g.CouplingMatrix()
+	sparse := g.CouplingCSR()
+	if sparse.Order() != 30 {
+		t.Fatalf("CSR order %d", sparse.Order())
+	}
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if sparse.At(i, j) != dense.At(i, j) {
+				t.Fatalf("CSR(%d,%d)=%v, dense %v", i, j, sparse.At(i, j), dense.At(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The GSET text format: a header line "n m" followed by m lines
+// "u v w" with 1-indexed node ids and integer weights. This is the
+// format emitted by the Rudy generator and consumed by most max-cut
+// solvers, so cmd/rudy and cmd/sophie interoperate with existing tools.
+
+// Write serializes g in GSET text format. Edges are written in sorted
+// order so output is deterministic. Weights are written as integers when
+// they are integral, otherwise with full float precision.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.SortedEdges() {
+		if e.Weight == float64(int64(e.Weight)) {
+			if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U+1, e.V+1, int64(e.Weight)); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U+1, e.V+1, e.Weight); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in GSET text format. Blank lines and lines starting
+// with '#' or 'c' (DIMACS-style comments) are skipped.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *Graph
+	want := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "c") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if g == nil {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: header needs \"n m\", got %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[0])
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, fields[1])
+			}
+			g = New(n)
+			want = m
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: edge needs \"u v w\", got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node %q", line, fields[1])
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad weight %q", line, fields[2])
+		}
+		if err := g.AddEdge(u-1, v-1, w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if g.M() != want {
+		return nil, fmt.Errorf("graph: header promised %d edges, parsed %d", want, g.M())
+	}
+	return g, nil
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g, err := Random(20, 40, WeightUniform, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if back.Weight(e.U, e.V) != e.Weight {
+			t.Fatalf("edge (%d,%d) weight %v became %v", e.U, e.V, e.Weight, back.Weight(e.U, e.V))
+		}
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, -2)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	want := "3 2\n1 2 1\n2 3 -2\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteFractionalWeight(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 0.5)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.5") {
+		t.Fatalf("fractional weight lost: %q", buf.String())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Weight(0, 1) != 0.5 {
+		t.Fatal("fractional weight did not round trip")
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	in := "# a comment\nc another\n\n2 1\n1 2 3\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.Weight(0, 1) != 3 {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"header arity", "3\n"},
+		{"negative count", "-1 0\n"},
+		{"bad edge arity", "2 1\n1 2\n"},
+		{"bad node", "2 1\nx 2 1\n"},
+		{"bad weight", "2 1\n1 2 w\n"},
+		{"edge count mismatch", "3 2\n1 2 1\n"},
+		{"out of range", "2 1\n1 9 1\n"},
+		{"self loop", "2 1\n1 1 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

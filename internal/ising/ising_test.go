@@ -1,0 +1,275 @@
+package ising
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sophie/internal/graph"
+	"sophie/internal/linalg"
+)
+
+func mustModel(t *testing.T, k *linalg.Matrix) *Model {
+	t.Helper()
+	m, err := NewModel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(linalg.NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square matrix must be rejected")
+	}
+	bad, _ := linalg.NewMatrixFrom(2, 2, []float64{0, 1, 2, 0})
+	if _, err := NewModel(bad); err == nil {
+		t.Fatal("asymmetric matrix must be rejected")
+	}
+}
+
+func TestNewModelZeroesDiagonal(t *testing.T) {
+	k, _ := linalg.NewMatrixFrom(2, 2, []float64{5, 1, 1, 5})
+	m := mustModel(t, k)
+	if m.Coupling().At(0, 0) != 0 || m.Coupling().At(1, 1) != 0 {
+		t.Fatal("diagonal must be zeroed")
+	}
+	// Input must not be mutated.
+	if k.At(0, 0) != 5 {
+		t.Fatal("NewModel mutated its input")
+	}
+}
+
+func TestEnergyTwoSpins(t *testing.T) {
+	// K01 = 1 (ferromagnetic): aligned spins have H = -1, anti-aligned +1.
+	k, _ := linalg.NewMatrixFrom(2, 2, []float64{0, 1, 1, 0})
+	m := mustModel(t, k)
+	if got := m.Energy([]int8{1, 1}); got != -1 {
+		t.Fatalf("aligned energy %v, want -1", got)
+	}
+	if got := m.Energy([]int8{1, -1}); got != 1 {
+		t.Fatalf("anti-aligned energy %v, want 1", got)
+	}
+}
+
+func TestEnergyPanicsOnBadLength(t *testing.T) {
+	m := mustModel(t, linalg.NewMatrix(3, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Energy([]int8{1})
+}
+
+func TestEnergyDeltaMatchesRecomputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 12
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.NormFloat64()
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	m := mustModel(t, k)
+	spins := RandomSpins(n, func() bool { return rng.Intn(2) == 0 })
+	for i := 0; i < n; i++ {
+		before := m.Energy(spins)
+		delta := m.EnergyDelta(spins, i)
+		spins[i] = -spins[i]
+		after := m.Energy(spins)
+		spins[i] = -spins[i]
+		if math.Abs((after-before)-delta) > 1e-9 {
+			t.Fatalf("flip %d: delta %v, recomputed %v", i, delta, after-before)
+		}
+	}
+}
+
+func TestFromMaxCutGroundStateIsMaxCut(t *testing.T) {
+	// Exhaustively verify on a small random graph that the minimum-energy
+	// state maximizes the cut.
+	g, err := graph.Random(10, 20, graph.WeightUniform, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromMaxCut(g)
+	bestCut := math.Inf(-1)
+	minEnergy := math.Inf(1)
+	var cutAtMinEnergy float64
+	spins := make([]int8, 10)
+	for mask := 0; mask < 1<<10; mask++ {
+		for i := range spins {
+			if mask&(1<<i) != 0 {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		cut := g.CutValue(spins)
+		e := m.Energy(spins)
+		if cut > bestCut {
+			bestCut = cut
+		}
+		if e < minEnergy {
+			minEnergy = e
+			cutAtMinEnergy = cut
+		}
+	}
+	if cutAtMinEnergy != bestCut {
+		t.Fatalf("ground state cut %v != max cut %v", cutAtMinEnergy, bestCut)
+	}
+}
+
+func TestSpinBinaryConversions(t *testing.T) {
+	spins := []int8{1, -1, -1, 1}
+	b := SpinsToBinary(spins)
+	want := []float64{1, 0, 0, 1}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("binary %v", b)
+		}
+	}
+	back := BinaryToSpins(b)
+	for i := range spins {
+		if back[i] != spins[i] {
+			t.Fatalf("round trip %v", back)
+		}
+	}
+}
+
+func TestSpinsToBinaryPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SpinsToBinary([]int8{0})
+}
+
+func TestRandomSpins(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := RandomSpins(1000, func() bool { return rng.Intn(2) == 0 })
+	ups := 0
+	for _, v := range s {
+		if v != 1 && v != -1 {
+			t.Fatalf("invalid spin %d", v)
+		}
+		if v == 1 {
+			ups++
+		}
+	}
+	if ups < 400 || ups > 600 {
+		t.Fatalf("suspicious spin balance: %d ups of 1000", ups)
+	}
+}
+
+func TestQUBOToIsingEquivalence(t *testing.T) {
+	// For every binary assignment, xᵀQx must equal the Ising expression
+	// -½σᵀKσ + hᵀσ + offset... i.e. Energy(σ) + hᵀσ + offset.
+	rng := rand.New(rand.NewSource(8))
+	n := 6
+	q := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := math.Round(rng.NormFloat64() * 3)
+			q.Set(i, j, v)
+			q.Set(j, i, v)
+		}
+	}
+	qubo, err := NewQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, h, offset := qubo.ToIsing()
+	for mask := 0; mask < 1<<n; mask++ {
+		x := make([]float64, n)
+		spins := make([]int8, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				x[i] = 1
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		want := qubo.Value(x)
+		got := model.Energy(spins) + offset
+		for i := range h {
+			got += h[i] * float64(spins[i])
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("mask %b: ising %v != qubo %v", mask, got, want)
+		}
+	}
+}
+
+func TestNewQUBOValidation(t *testing.T) {
+	if _, err := NewQUBO(linalg.NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square QUBO must be rejected")
+	}
+	bad, _ := linalg.NewMatrixFrom(2, 2, []float64{0, 1, 3, 0})
+	if _, err := NewQUBO(bad); err == nil {
+		t.Fatal("asymmetric QUBO must be rejected")
+	}
+}
+
+func TestEmbedField(t *testing.T) {
+	k, _ := linalg.NewMatrixFrom(2, 2, []float64{0, 1, 1, 0})
+	m := mustModel(t, k)
+	h := []float64{0.5, -0.25}
+	big, err := EmbedField(m, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.N() != 3 {
+		t.Fatalf("embedded model has %d spins", big.N())
+	}
+	// With ancilla fixed at +1, energies differ by the field term.
+	spins := []int8{1, -1}
+	withAncilla := append(append([]int8(nil), spins...), 1)
+	diff := big.Energy(withAncilla) - m.Energy(spins)
+	want := -(h[0]*1 + h[1]*(-1))
+	if math.Abs(diff-want) > 1e-12 {
+		t.Fatalf("field contribution %v, want %v", diff, want)
+	}
+	if _, err := EmbedField(m, []float64{1}); err == nil {
+		t.Fatal("mismatched field length must be rejected")
+	}
+}
+
+func TestNumberPartition(t *testing.T) {
+	nums := []float64{3, 1, 1, 2, 2, 1}
+	m := NumberPartition(nums)
+	// Exhaustive ground-state search.
+	best := math.Inf(1)
+	var bestSpins []int8
+	spins := make([]int8, len(nums))
+	for mask := 0; mask < 1<<len(nums); mask++ {
+		for i := range spins {
+			if mask&(1<<i) != 0 {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		if e := m.Energy(spins); e < best {
+			best = e
+			bestSpins = append([]int8(nil), spins...)
+		}
+	}
+	// Total is 10, so a perfect partition (imbalance 0) exists: {3,2} vs {1,1,2,1}.
+	if PartitionImbalance(nums, bestSpins) != 0 {
+		t.Fatalf("ground state imbalance %v, want 0", PartitionImbalance(nums, bestSpins))
+	}
+}
+
+func TestPartitionImbalancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PartitionImbalance([]float64{1}, []int8{1, 1})
+}

@@ -1,0 +1,309 @@
+package ising
+
+import (
+	"fmt"
+	"math"
+
+	"sophie/internal/graph"
+	"sophie/internal/linalg"
+)
+
+// This file provides the classic QUBO reductions (Lucas, "Ising
+// formulations of many NP problems", 2014) the paper's introduction
+// motivates: any of these problems can be handed to the SOPHIE solver
+// by converting the QUBO to an Ising model (QUBO.ToIsing + EmbedField).
+
+// VertexCoverQUBO encodes minimum vertex cover: x_v = 1 means v is in
+// the cover. The objective is
+//
+//	H = penalty · Σ_{(u,v)∈E} (1-x_u)(1-x_v) + Σ_v x_v
+//
+// with penalty > 1 so that uncovering an edge never pays (Lucas §4.3).
+func VertexCoverQUBO(g *graph.Graph, penalty float64) (*QUBO, error) {
+	if penalty <= 1 {
+		return nil, fmt.Errorf("ising: vertex cover penalty %v must exceed 1", penalty)
+	}
+	n := g.N()
+	q := linalg.NewMatrix(n, n)
+	// Σx_v: linear terms on the diagonal.
+	for v := 0; v < n; v++ {
+		q.Set(v, v, 1)
+	}
+	// penalty·(1 - x_u - x_v + x_u x_v) per edge; the constant is
+	// dropped (it shifts the objective uniformly).
+	for _, e := range g.Edges() {
+		q.Add(e.U, e.U, -penalty)
+		q.Add(e.V, e.V, -penalty)
+		q.Add(e.U, e.V, penalty/2)
+		q.Add(e.V, e.U, penalty/2)
+	}
+	return NewQUBO(q)
+}
+
+// DecodeVertexCover converts a binary assignment into the selected
+// vertex set.
+func DecodeVertexCover(x []float64) []int {
+	var cover []int
+	for v, xi := range x {
+		if xi != 0 {
+			cover = append(cover, v)
+		}
+	}
+	return cover
+}
+
+// IsVertexCover reports whether the set covers every edge of g.
+func IsVertexCover(g *graph.Graph, cover []int) bool {
+	in := make(map[int]bool, len(cover))
+	for _, v := range cover {
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if !in[e.U] && !in[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// ColoringQUBO encodes k-coloring with one-hot variables x_{v,c}
+// (variable index v*k + c):
+//
+//	H = penalty·Σ_v (1 - Σ_c x_{v,c})² + penalty·Σ_{(u,v)∈E} Σ_c x_{u,c}·x_{v,c}
+//
+// A zero-energy ground state (up to the dropped constant) is a proper
+// coloring (Lucas §6.1).
+func ColoringQUBO(g *graph.Graph, colors int, penalty float64) (*QUBO, error) {
+	if colors < 1 {
+		return nil, fmt.Errorf("ising: need at least one color, got %d", colors)
+	}
+	if penalty <= 0 {
+		return nil, fmt.Errorf("ising: coloring penalty %v must be positive", penalty)
+	}
+	n := g.N()
+	vars := n * colors
+	q := linalg.NewMatrix(vars, vars)
+	idx := func(v, c int) int { return v*colors + c }
+	// One-hot: (1 - Σ_c x)² = 1 - 2Σx + Σ_c Σ_c' x_c x_c'
+	//        → diagonal -2+1 = -1 per var, +1 per distinct pair (split
+	//          symmetrically), constant dropped.
+	for v := 0; v < n; v++ {
+		for c := 0; c < colors; c++ {
+			q.Add(idx(v, c), idx(v, c), -penalty)
+			for c2 := c + 1; c2 < colors; c2++ {
+				q.Add(idx(v, c), idx(v, c2), penalty)
+				q.Add(idx(v, c2), idx(v, c), penalty)
+			}
+		}
+	}
+	// Adjacent same-color conflicts.
+	for _, e := range g.Edges() {
+		for c := 0; c < colors; c++ {
+			q.Add(idx(e.U, c), idx(e.V, c), penalty/2)
+			q.Add(idx(e.V, c), idx(e.U, c), penalty/2)
+		}
+	}
+	return NewQUBO(q)
+}
+
+// DecodeColoring converts a binary one-hot assignment to a color per
+// node (-1 when a node has no color set; the first set color wins when
+// several are).
+func DecodeColoring(x []float64, n, colors int) []int {
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		out[v] = -1
+		for c := 0; c < colors; c++ {
+			if x[v*colors+c] != 0 {
+				out[v] = c
+				break
+			}
+		}
+	}
+	return out
+}
+
+// IsProperColoring reports whether every node has a color and no edge
+// connects same-colored nodes.
+func IsProperColoring(g *graph.Graph, coloring []int) bool {
+	for _, c := range coloring {
+		if c < 0 {
+			return false
+		}
+	}
+	for _, e := range g.Edges() {
+		if coloring[e.U] == coloring[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// TSPQUBO encodes the traveling salesman problem over a symmetric
+// distance matrix with one-hot variables x_{v,t} ("city v is visited at
+// step t", variable index v*n + t):
+//
+//	H = penalty·Σ_v (1-Σ_t x_{v,t})² + penalty·Σ_t (1-Σ_v x_{v,t})²
+//	  + Σ_{u≠v} d_{uv} Σ_t x_{u,t}·x_{v,t+1}
+//
+// with the step index cyclic (Lucas §7). penalty must exceed the
+// largest distance so constraint violations never pay.
+func TSPQUBO(dist *linalg.Matrix, penalty float64) (*QUBO, error) {
+	n := dist.Rows()
+	if dist.Cols() != n {
+		return nil, fmt.Errorf("ising: distance matrix must be square")
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("ising: TSP needs at least 3 cities, got %d", n)
+	}
+	maxD := dist.MaxAbs()
+	if penalty <= maxD {
+		return nil, fmt.Errorf("ising: TSP penalty %v must exceed the max distance %v", penalty, maxD)
+	}
+	vars := n * n
+	q := linalg.NewMatrix(vars, vars)
+	idx := func(v, t int) int { return v*n + t }
+	addSym := func(i, j int, w float64) {
+		if i == j {
+			q.Add(i, i, w)
+			return
+		}
+		q.Add(i, j, w/2)
+		q.Add(j, i, w/2)
+	}
+	// Each city exactly once.
+	for v := 0; v < n; v++ {
+		for t := 0; t < n; t++ {
+			addSym(idx(v, t), idx(v, t), -penalty)
+			for t2 := t + 1; t2 < n; t2++ {
+				addSym(idx(v, t), idx(v, t2), 2*penalty)
+			}
+		}
+	}
+	// Each step exactly one city.
+	for t := 0; t < n; t++ {
+		for v := 0; v < n; v++ {
+			addSym(idx(v, t), idx(v, t), -penalty)
+			for v2 := v + 1; v2 < n; v2++ {
+				addSym(idx(v, t), idx(v2, t), 2*penalty)
+			}
+		}
+	}
+	// Tour length.
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			d := dist.At(u, v)
+			if d == 0 {
+				continue
+			}
+			for t := 0; t < n; t++ {
+				addSym(idx(u, t), idx(v, (t+1)%n), d)
+			}
+		}
+	}
+	return NewQUBO(q)
+}
+
+// DecodeTour converts a one-hot TSP assignment to the visiting order;
+// it returns an error when the assignment violates the one-hot
+// constraints.
+func DecodeTour(x []float64, n int) ([]int, error) {
+	tour := make([]int, n)
+	for t := range tour {
+		tour[t] = -1
+	}
+	for v := 0; v < n; v++ {
+		count := 0
+		for t := 0; t < n; t++ {
+			if x[v*n+t] != 0 {
+				count++
+				if tour[t] != -1 {
+					return nil, fmt.Errorf("ising: step %d assigned twice", t)
+				}
+				tour[t] = v
+			}
+		}
+		if count != 1 {
+			return nil, fmt.Errorf("ising: city %d visited %d times", v, count)
+		}
+	}
+	return tour, nil
+}
+
+// TourLength evaluates a cyclic tour on the distance matrix.
+func TourLength(dist *linalg.Matrix, tour []int) float64 {
+	total := 0.0
+	n := len(tour)
+	for t := 0; t < n; t++ {
+		total += dist.At(tour[t], tour[(t+1)%n])
+	}
+	return total
+}
+
+// SolveQUBOExhaustive finds the exact minimum of a QUBO by enumeration;
+// it is exponential and only intended for tests and tiny demos (≤ ~20
+// variables).
+func SolveQUBOExhaustive(q *QUBO) (x []float64, value float64, err error) {
+	n := q.Q.Rows()
+	if n > 24 {
+		return nil, 0, fmt.Errorf("ising: exhaustive solve limited to 24 variables, got %d", n)
+	}
+	best := math.Inf(1)
+	var bestX []float64
+	x = make([]float64, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				x[i] = 1
+			} else {
+				x[i] = 0
+			}
+		}
+		if v := q.Value(x); v < best {
+			best = v
+			bestX = append([]float64(nil), x...)
+		}
+	}
+	return bestX, best, nil
+}
+
+// MaxIndependentSetQUBO encodes maximum independent set: maximize the
+// selected vertices subject to no two adjacent both selected —
+// equivalently minimize -Σx + penalty·Σ_{(u,v)∈E} x_u·x_v (Lucas §4.2,
+// the complement of vertex cover).
+func MaxIndependentSetQUBO(g *graph.Graph, penalty float64) (*QUBO, error) {
+	if penalty <= 1 {
+		return nil, fmt.Errorf("ising: independent set penalty %v must exceed 1", penalty)
+	}
+	n := g.N()
+	q := linalg.NewMatrix(n, n)
+	for v := 0; v < n; v++ {
+		q.Set(v, v, -1)
+	}
+	for _, e := range g.Edges() {
+		q.Add(e.U, e.V, penalty/2)
+		q.Add(e.V, e.U, penalty/2)
+	}
+	return NewQUBO(q)
+}
+
+// DecodeIndependentSet converts a binary assignment to the selected set.
+func DecodeIndependentSet(x []float64) []int { return DecodeVertexCover(x) }
+
+// IsIndependentSet reports whether no edge of g has both endpoints in
+// the set.
+func IsIndependentSet(g *graph.Graph, set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if in[e.U] && in[e.V] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,288 @@
+package ising
+
+import (
+	"math"
+	"testing"
+
+	"sophie/internal/graph"
+	"sophie/internal/linalg"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestVertexCoverQUBOExhaustive(t *testing.T) {
+	// Path on 5 nodes: minimum vertex cover is {1,3}, size 2.
+	g := pathGraph(t, 5)
+	q, err := VertexCoverQUBO(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := SolveQUBOExhaustive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := DecodeVertexCover(x)
+	if !IsVertexCover(g, cover) {
+		t.Fatalf("exhaustive optimum %v is not a cover", cover)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover %v has size %d, optimum is 2", cover, len(cover))
+	}
+}
+
+func TestVertexCoverTriangle(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	q, err := VertexCoverQUBO(g, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := SolveQUBOExhaustive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := DecodeVertexCover(x)
+	if !IsVertexCover(g, cover) || len(cover) != 2 {
+		t.Fatalf("triangle cover %v, want any 2 nodes", cover)
+	}
+}
+
+func TestVertexCoverValidation(t *testing.T) {
+	g := pathGraph(t, 3)
+	if _, err := VertexCoverQUBO(g, 1); err == nil {
+		t.Fatal("penalty <= 1 must be rejected")
+	}
+}
+
+func TestIsVertexCover(t *testing.T) {
+	g := pathGraph(t, 4)
+	if !IsVertexCover(g, []int{1, 2}) {
+		t.Fatal("{1,2} covers a 4-path")
+	}
+	if IsVertexCover(g, []int{0}) {
+		t.Fatal("{0} does not cover a 4-path")
+	}
+}
+
+func TestColoringQUBOExhaustive(t *testing.T) {
+	// Path on 3 nodes is 2-colorable.
+	g := pathGraph(t, 3)
+	q, err := ColoringQUBO(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := SolveQUBOExhaustive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coloring := DecodeColoring(x, 3, 2)
+	if !IsProperColoring(g, coloring) {
+		t.Fatalf("optimum %v is not a proper coloring", coloring)
+	}
+}
+
+func TestColoringTriangleNeedsThree(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	// 2 colors cannot properly color a triangle: the exhaustive optimum
+	// must violate something.
+	q2, _ := ColoringQUBO(g, 2, 2)
+	x2, _, _ := SolveQUBOExhaustive(q2)
+	if IsProperColoring(g, DecodeColoring(x2, 3, 2)) {
+		t.Fatal("triangle cannot be 2-colored")
+	}
+	// 3 colors work. 9 variables, still exhaustive.
+	q3, _ := ColoringQUBO(g, 3, 2)
+	x3, _, _ := SolveQUBOExhaustive(q3)
+	if !IsProperColoring(g, DecodeColoring(x3, 3, 3)) {
+		t.Fatal("triangle must be 3-colorable")
+	}
+}
+
+func TestColoringValidation(t *testing.T) {
+	g := pathGraph(t, 3)
+	if _, err := ColoringQUBO(g, 0, 1); err == nil {
+		t.Fatal("zero colors must be rejected")
+	}
+	if _, err := ColoringQUBO(g, 2, 0); err == nil {
+		t.Fatal("zero penalty must be rejected")
+	}
+}
+
+func tinyTSP(t *testing.T) *linalg.Matrix {
+	t.Helper()
+	// Four cities on a line at positions 0, 1, 2, 3. The optimal cyclic
+	// tour 0-1-2-3-0 has length 1+1+1+3 = 6.
+	pos := []float64{0, 1, 2, 3}
+	d := linalg.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			d.Set(i, j, math.Abs(pos[i]-pos[j]))
+		}
+	}
+	return d
+}
+
+func TestTSPQUBOExhaustive(t *testing.T) {
+	d := tinyTSP(t)
+	q, err := TSPQUBO(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := SolveQUBOExhaustive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tour, err := DecodeTour(x, 4)
+	if err != nil {
+		t.Fatalf("optimum violates constraints: %v", err)
+	}
+	if got := TourLength(d, tour); got != 6 {
+		t.Fatalf("tour %v has length %v, optimum 6", tour, got)
+	}
+}
+
+func TestTSPValidation(t *testing.T) {
+	d := tinyTSP(t)
+	if _, err := TSPQUBO(d, 1); err == nil {
+		t.Fatal("penalty below max distance must be rejected")
+	}
+	if _, err := TSPQUBO(linalg.NewMatrix(2, 3), 10); err == nil {
+		t.Fatal("non-square distances must be rejected")
+	}
+	if _, err := TSPQUBO(linalg.NewMatrix(2, 2), 10); err == nil {
+		t.Fatal("fewer than 3 cities must be rejected")
+	}
+}
+
+func TestDecodeTourErrors(t *testing.T) {
+	x := make([]float64, 9)
+	// City 0 never visited.
+	if _, err := DecodeTour(x, 3); err == nil {
+		t.Fatal("empty assignment must be rejected")
+	}
+	// Step 0 doubly assigned.
+	x = make([]float64, 9)
+	x[0*3+0] = 1
+	x[1*3+0] = 1
+	x[2*3+2] = 1
+	if _, err := DecodeTour(x, 3); err == nil {
+		t.Fatal("conflicting steps must be rejected")
+	}
+}
+
+func TestSolveQUBOExhaustiveLimit(t *testing.T) {
+	q, _ := NewQUBO(linalg.NewMatrix(30, 30))
+	if _, _, err := SolveQUBOExhaustive(q); err == nil {
+		t.Fatal("oversized exhaustive solve must be rejected")
+	}
+}
+
+func TestVertexCoverEndToEndViaIsing(t *testing.T) {
+	// Convert the QUBO to an Ising model with the ancilla-embedded field
+	// and check that the Ising ground state decodes to a minimum cover.
+	g := pathGraph(t, 4) // min cover size 2 ({1,2})
+	q, err := VertexCoverQUBO(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, h, _ := q.ToIsing()
+	big, err := EmbedField(model, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive ground state of the embedded model (5 spins).
+	n := big.N()
+	best := math.Inf(1)
+	var bestSpins []int8
+	spins := make([]int8, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range spins {
+			if mask&(1<<i) != 0 {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		if e := big.Energy(spins); e < best {
+			best = e
+			bestSpins = append([]int8(nil), spins...)
+		}
+	}
+	// Normalize the gauge: ancilla must read +1.
+	if bestSpins[n-1] == -1 {
+		for i := range bestSpins {
+			bestSpins[i] = -bestSpins[i]
+		}
+	}
+	x := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		if bestSpins[i] == 1 {
+			x[i] = 1
+		}
+	}
+	cover := DecodeVertexCover(x)
+	if !IsVertexCover(g, cover) || len(cover) != 2 {
+		t.Fatalf("embedded Ising ground state decodes to %v", cover)
+	}
+}
+
+func TestMaxIndependentSetQUBOExhaustive(t *testing.T) {
+	// Path on 5 nodes: maximum independent set is {0,2,4}, size 3.
+	g := pathGraph(t, 5)
+	q, err := MaxIndependentSetQUBO(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := SolveQUBOExhaustive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := DecodeIndependentSet(x)
+	if !IsIndependentSet(g, set) {
+		t.Fatalf("optimum %v is not independent", set)
+	}
+	if len(set) != 3 {
+		t.Fatalf("set %v has size %d, optimum 3", set, len(set))
+	}
+}
+
+func TestMaxIndependentSetComplementsVertexCover(t *testing.T) {
+	// For any graph, V \ (min vertex cover) is a max independent set.
+	g, err := graph.Random(10, 18, graph.WeightUnit, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qvc, _ := VertexCoverQUBO(g, 3)
+	xvc, _, _ := SolveQUBOExhaustive(qvc)
+	cover := DecodeVertexCover(xvc)
+	qis, _ := MaxIndependentSetQUBO(g, 3)
+	xis, _, _ := SolveQUBOExhaustive(qis)
+	set := DecodeIndependentSet(xis)
+	if len(cover)+len(set) != g.N() {
+		t.Fatalf("cover %d + independent set %d != %d nodes", len(cover), len(set), g.N())
+	}
+}
+
+func TestMaxIndependentSetValidation(t *testing.T) {
+	g := pathGraph(t, 3)
+	if _, err := MaxIndependentSetQUBO(g, 1); err == nil {
+		t.Fatal("penalty <= 1 must be rejected")
+	}
+	if IsIndependentSet(g, []int{0, 1}) {
+		t.Fatal("{0,1} on a path is not independent")
+	}
+}

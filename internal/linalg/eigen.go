@@ -1,0 +1,228 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix:
+// K = V * diag(values) * Vᵀ, with eigenvalues sorted ascending and the
+// i-th column of V holding the eigenvector for values[i].
+//
+// The implementation is the classic two-stage dense symmetric solver:
+// Householder reduction to tridiagonal form followed by the implicit QL
+// algorithm with Wilkinson shifts. It is O(n³) and intended for the
+// preprocessing step of the PRIS/SOPHIE pipeline, where the paper's host
+// CPU performs the same work once per problem (Section II-C).
+func EigenSym(k *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := k.rows
+	if k.cols != n {
+		return nil, nil, fmt.Errorf("%w: EigenSym needs a square matrix, got %dx%d", ErrDimensionMismatch, k.rows, k.cols)
+	}
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	if !k.IsSymmetric(1e-9 * (1 + k.MaxAbs())) {
+		return nil, nil, fmt.Errorf("linalg: EigenSym requires a symmetric matrix")
+	}
+
+	a := k.Clone() // will be overwritten with the accumulated transform
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(a, d, e)
+	if err := tqli(d, e, a); err != nil {
+		return nil, nil, err
+	}
+	sortEigen(d, a)
+	return d, a, nil
+}
+
+// tred2 reduces the symmetric matrix held in a to tridiagonal form using
+// Householder transformations, accumulating the orthogonal transform in a.
+// On return d holds the diagonal and e the subdiagonal (e[0] unused).
+// This follows the standard EISPACK/Numerical Recipes formulation.
+func tred2(a *Matrix, d, e []float64) {
+	n := a.rows
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h := 0.0
+		scale := 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = a.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					v := a.At(i, k) / scale
+					a.Set(i, k, v)
+					h += v * v
+				}
+				f := a.At(i, l)
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				a.Set(i, l, f-g)
+				f = 0.0
+				for j := 0; j <= l; j++ {
+					a.Set(j, i, a.At(i, j)/h)
+					g = 0.0
+					for k := 0; k <= j; k++ {
+						g += a.At(j, k) * a.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a.At(k, j) * a.At(i, k)
+					}
+					e[j] = g / h
+					f += e[j] * a.At(i, j)
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = a.At(i, j)
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						a.Add(j, k, -(f*e[k] + g*a.At(i, k)))
+					}
+				}
+			}
+		} else {
+			e[i] = a.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0.0
+	e[0] = 0.0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += a.At(i, k) * a.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					a.Add(k, j, -g*a.At(k, i))
+				}
+			}
+		}
+		d[i] = a.At(i, i)
+		a.Set(i, i, 1.0)
+		for j := 0; j <= l; j++ {
+			a.Set(j, i, 0.0)
+			a.Set(i, j, 0.0)
+		}
+	}
+}
+
+// tqli diagonalizes a symmetric tridiagonal matrix (diagonal d,
+// subdiagonal e with e[0] unused) using the implicit QL method with
+// shifts, accumulating the rotations into the columns of z. On return d
+// holds the eigenvalues and column j of z the eigenvector for d[j].
+func tqli(d, e []float64, z *Matrix) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0.0
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == maxIter {
+				return fmt.Errorf("linalg: tqli failed to converge after %d iterations", maxIter)
+			}
+			g := (d[l+1] - d[l]) / (2.0 * e[l])
+			r := math.Hypot(g, 1.0)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					// Underflow: deflate and restart this eigenvalue.
+					d[i+1] -= p
+					e[m] = 0.0
+					underflow = i >= l
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2.0*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < z.rows; k++ {
+					f = z.At(k, i+1)
+					z.Set(k, i+1, s*z.At(k, i)+c*f)
+					z.Set(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if underflow {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0.0
+		}
+	}
+	return nil
+}
+
+// sortEigen sorts eigenvalues ascending, permuting the eigenvector
+// columns of v to match. Selection sort keeps the column swaps simple and
+// the O(n²) cost is negligible next to the O(n³) decomposition.
+func sortEigen(d []float64, v *Matrix) {
+	n := len(d)
+	for i := 0; i < n-1; i++ {
+		min := i
+		for j := i + 1; j < n; j++ {
+			if d[j] < d[min] {
+				min = j
+			}
+		}
+		if min != i {
+			d[i], d[min] = d[min], d[i]
+			for r := 0; r < v.rows; r++ {
+				vi, vm := v.At(r, i), v.At(r, min)
+				v.Set(r, i, vm)
+				v.Set(r, min, vi)
+			}
+		}
+	}
+}
+
+// ReconstructSym rebuilds V * diag(values) * Vᵀ, primarily for testing
+// that an eigendecomposition round-trips to the original matrix.
+func ReconstructSym(values []float64, vectors *Matrix) *Matrix {
+	n := vectors.rows
+	k := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for c := 0; c < n; c++ {
+				sum += vectors.At(i, c) * values[c] * vectors.At(j, c)
+			}
+			k.Set(i, j, sum)
+		}
+	}
+	return k
+}

@@ -1,0 +1,176 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEigenSymTopKMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := randomSym(30, rng)
+	dense, _, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 5
+	vals, vecs, err := EigenSymTopK(m, k, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != k || vecs.Cols() != k || vecs.Rows() != 30 {
+		t.Fatalf("shapes: %d values, %dx%d vectors", len(vals), vecs.Rows(), vecs.Cols())
+	}
+	// Top-k descending must match the dense tail (ascending).
+	for c := 0; c < k; c++ {
+		want := dense[len(dense)-1-c]
+		if !almostEqual(vals[c], want, 1e-6*(1+math.Abs(want))) {
+			t.Fatalf("eigenvalue %d: %v, dense %v", c, vals[c], want)
+		}
+	}
+	// Ritz vectors must satisfy A v ≈ λ v.
+	for c := 0; c < k; c++ {
+		v := make([]float64, 30)
+		for i := range v {
+			v[i] = vecs.At(i, c)
+		}
+		av, _ := m.MulVec(v, nil)
+		for i := range av {
+			if !almostEqual(av[i], vals[c]*v[i], 1e-5*(1+math.Abs(vals[c]))) {
+				t.Fatalf("Ritz residual too large at pair %d component %d", c, i)
+			}
+		}
+	}
+}
+
+func TestEigenSymTopKFullRankRecoversSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m := randomSym(12, rng)
+	dense, _, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := EigenSymTopK(m, 12, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, v := range vals {
+		want := dense[len(dense)-1-c]
+		if !almostEqual(v, want, 1e-6*(1+math.Abs(want))) {
+			t.Fatalf("full-rank Lanczos eigenvalue %d: %v vs %v", c, v, want)
+		}
+	}
+}
+
+func TestEigenSymTopKValidation(t *testing.T) {
+	m := NewMatrix(4, 4)
+	if _, _, err := EigenSymTopK(NewMatrix(2, 3), 1, 0, 1); err == nil {
+		t.Fatal("non-square must be rejected")
+	}
+	if _, _, err := EigenSymTopK(m, 0, 0, 1); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	if _, _, err := EigenSymTopK(m, 5, 0, 1); err == nil {
+		t.Fatal("k>n must be rejected")
+	}
+	if _, _, err := EigenSymTopK(m, 3, 2, 1); err == nil {
+		t.Fatal("iters<k must be rejected")
+	}
+}
+
+func TestEigenSymTopKDegenerateMatrix(t *testing.T) {
+	// Identity: every direction is an eigenvector with eigenvalue 1; the
+	// invariant-subspace restart path must terminate.
+	n := 8
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	vals, _, err := EigenSymTopK(m, 3, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if !almostEqual(v, 1, 1e-9) {
+			t.Fatalf("identity eigenvalues %v", vals)
+		}
+	}
+}
+
+func TestPRISTransformRankApproximatesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	m := randomSym(24, rng)
+	full, err := PRISTransform(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count positive eigenvalues: with rank covering them, the α=0
+	// transform is exact up to Lanczos accuracy.
+	dense, _, _ := EigenSym(m)
+	positives := 0
+	for _, v := range dense {
+		if v > 0 {
+			positives++
+		}
+	}
+	approx, err := PRISTransformRank(m, 0, positives, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range full.Data() {
+		if d := math.Abs(full.Data()[i] - approx.Data()[i]); d > diff {
+			diff = d
+		}
+	}
+	if diff > 1e-5*(1+full.MaxAbs()) {
+		t.Fatalf("rank-%d transform differs from full by %v", positives, diff)
+	}
+}
+
+func TestPRISTransformRankTruncationDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := randomSym(24, rng)
+	full, err := PRISTransform(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevErr := math.Inf(1)
+	for _, rank := range []int{2, 6, 12} {
+		approx, err := PRISTransformRank(m, 0, rank, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frob := 0.0
+		for i := range full.Data() {
+			d := full.Data()[i] - approx.Data()[i]
+			frob += d * d
+		}
+		frob = math.Sqrt(frob)
+		if frob > prevErr+1e-9 {
+			t.Fatalf("rank %d increased error: %v -> %v", rank, prevErr, frob)
+		}
+		prevErr = frob
+	}
+}
+
+func TestPRISTransformRankValidation(t *testing.T) {
+	m := NewMatrix(4, 4)
+	if _, err := PRISTransformRank(m, -0.5, 2, 1); err == nil {
+		t.Fatal("bad alpha must be rejected")
+	}
+	if _, err := PRISTransformRank(m, 0, 0, 1); err == nil {
+		t.Fatal("bad rank must be rejected")
+	}
+}
+
+func BenchmarkEigenSymTopK256(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	m := randomSym(256, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSymTopK(m, 16, 0, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

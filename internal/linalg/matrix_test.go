@@ -1,0 +1,303 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomSym(n int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) not zero", i, j)
+			}
+		}
+	}
+}
+
+func TestNewMatrixFrom(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m, err := NewMatrixFrom(2, 3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 2) != 3 || m.At(1, 0) != 4 {
+		t.Fatalf("row-major layout broken: %v", m.Data())
+	}
+	// Must copy, not alias.
+	data[0] = 99
+	if m.At(0, 0) == 99 {
+		t.Fatal("NewMatrixFrom aliased the input slice")
+	}
+}
+
+func TestNewMatrixFromBadLength(t *testing.T) {
+	if _, err := NewMatrixFrom(2, 3, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for mismatched data length")
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 0, 2.5)
+	m.Add(1, 0, 0.5)
+	if m.At(1, 0) != 3.0 {
+		t.Fatalf("got %v, want 3.0", m.At(1, 0))
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := NewMatrix(2, 3)
+	r := m.Row(1)
+	r[2] = 7
+	if m.At(1, 2) != 7 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias the original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	m, _ := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1})
+	if !m.IsSymmetric(0) {
+		t.Fatal("matrix should be symmetric")
+	}
+	m.Set(0, 1, 3)
+	if m.IsSymmetric(0.5) {
+		t.Fatal("matrix should not be symmetric within 0.5")
+	}
+	rect := NewMatrix(2, 3)
+	if rect.IsSymmetric(1) {
+		t.Fatal("rectangular matrix cannot be symmetric")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y, err := m.MulVec([]float64{1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec got %v, want [6 15]", y)
+	}
+	if _, err := m.MulVec([]float64{1, 2}, nil); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestMulVecReuseBuffer(t *testing.T) {
+	m, _ := NewMatrixFrom(2, 2, []float64{1, 0, 0, 1})
+	buf := make([]float64, 2)
+	y, err := m.MulVec([]float64{3, 4}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &y[0] != &buf[0] {
+		t.Fatal("MulVec should reuse the provided buffer")
+	}
+	if y[0] != 3 || y[1] != 4 {
+		t.Fatalf("identity MulVec got %v", y)
+	}
+}
+
+func TestMulVecTMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMatrix(5, 3)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	x := []float64{1.5, -2, 0.5, 3, -1}
+	got, err := m.MulVecT(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Transpose().MulVec(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("MulVecT[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulVecTDimErrors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, err := m.MulVecT([]float64{1, 2, 3}, nil); err == nil {
+		t.Fatal("expected x dimension error")
+	}
+	if _, err := m.MulVecT([]float64{1, 2}, make([]float64, 2)); err == nil {
+		t.Fatal("expected y dimension error")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b, _ := NewMatrixFrom(2, 2, []float64{5, 6, 7, 8})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("Mul got %v, want %v", c.Data(), want)
+		}
+	}
+	if _, err := Mul(a, NewMatrix(3, 2)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSubMatrixClipsAndPads(t *testing.T) {
+	m, _ := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	s := m.SubMatrix(1, 3, 1, 3) // extends past the matrix edge
+	if s.Rows() != 2 || s.Cols() != 2 {
+		t.Fatalf("submatrix shape %dx%d", s.Rows(), s.Cols())
+	}
+	if s.At(0, 0) != 4 {
+		t.Fatalf("s(0,0)=%v, want 4", s.At(0, 0))
+	}
+	if s.At(1, 1) != 0 || s.At(0, 1) != 0 || s.At(1, 0) != 0 {
+		t.Fatal("out-of-range region must be zero padded")
+	}
+}
+
+func TestScaleMaxAbsFrobenius(t *testing.T) {
+	m, _ := NewMatrixFrom(2, 2, []float64{3, -4, 0, 0})
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs=%v, want 4", m.MaxAbs())
+	}
+	if !almostEqual(m.FrobeniusNorm(), 5, 1e-12) {
+		t.Fatalf("Frobenius=%v, want 5", m.FrobeniusNorm())
+	}
+	m.Scale(2)
+	if m.At(0, 1) != -8 {
+		t.Fatal("Scale failed")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEqual(VecNorm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("VecNorm2 wrong")
+	}
+	s := AddVec(nil, []float64{1, 2}, []float64{3, 4})
+	if s[0] != 4 || s[1] != 6 {
+		t.Fatal("AddVec wrong")
+	}
+}
+
+// Property: (Aᵀ)ᵀ = A for arbitrary matrices.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		n := int(math.Sqrt(float64(len(vals))))
+		if n == 0 {
+			return true
+		}
+		m, err := NewMatrixFrom(n, n, vals[:n*n])
+		if err != nil {
+			return false
+		}
+		tt := m.Transpose().Transpose()
+		for i, v := range m.Data() {
+			got := tt.Data()[i]
+			if v != got && !(math.IsNaN(v) && math.IsNaN(got)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MulVecT(x) == Transpose().MulVec(x) for random shapes.
+func TestMulVecTProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		r := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		m := NewMatrix(r, c)
+		for i := range m.Data() {
+			m.Data()[i] = rng.NormFloat64()
+		}
+		x := make([]float64, r)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, err := m.MulVecT(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.Transpose().MulVec(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if !almostEqual(got[i], want[i], 1e-9) {
+				t.Fatalf("trial %d: MulVecT mismatch at %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

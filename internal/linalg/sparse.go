@@ -1,0 +1,165 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Operator is a symmetric linear operator, the abstraction iterative
+// methods (Lanczos) need: GSET-style graphs are ~1% dense, so their
+// coupling matrices should not be densified just to run the rank-k
+// preprocessing.
+type Operator interface {
+	// Order returns the dimension n of the operator.
+	Order() int
+	// Apply computes y = A·x; len(x) == len(y) == Order().
+	Apply(x, y []float64)
+}
+
+// denseOperator adapts a square Matrix to Operator.
+type denseOperator struct{ m *Matrix }
+
+func (d denseOperator) Order() int { return d.m.Rows() }
+func (d denseOperator) Apply(x, y []float64) {
+	if _, err := d.m.MulVec(x, y); err != nil {
+		panic(err) // caller guarantees shapes
+	}
+}
+
+// AsOperator wraps a square matrix as an Operator.
+func AsOperator(m *Matrix) (Operator, error) {
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("%w: AsOperator needs a square matrix", ErrDimensionMismatch)
+	}
+	return denseOperator{m}, nil
+}
+
+// CSR is a compressed-sparse-row symmetric matrix. Both triangles are
+// stored so Apply is a plain row scan.
+type CSR struct {
+	n      int
+	rowPtr []int
+	colIdx []int
+	vals   []float64
+}
+
+// Entry is one (row, col, value) coordinate for CSR construction.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSRSym builds a symmetric CSR matrix of order n from upper- or
+// lower-triangle entries: each off-diagonal entry (r,c,v) also inserts
+// (c,r,v). Duplicate coordinates are summed. Zero values are dropped.
+func NewCSRSym(n int, entries []Entry) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("linalg: negative CSR order %d", n)
+	}
+	type coord struct{ r, c int }
+	acc := make(map[coord]float64, 2*len(entries))
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
+			return nil, fmt.Errorf("linalg: CSR entry (%d,%d) out of range for order %d", e.Row, e.Col, n)
+		}
+		acc[coord{e.Row, e.Col}] += e.Val
+		if e.Row != e.Col {
+			acc[coord{e.Col, e.Row}] += e.Val
+		}
+	}
+	perRow := make([][]Entry, n)
+	nnz := 0
+	for k, v := range acc {
+		if v == 0 {
+			continue
+		}
+		perRow[k.r] = append(perRow[k.r], Entry{k.r, k.c, v})
+		nnz++
+	}
+	m := &CSR{
+		n:      n,
+		rowPtr: make([]int, n+1),
+		colIdx: make([]int, 0, nnz),
+		vals:   make([]float64, 0, nnz),
+	}
+	for r := 0; r < n; r++ {
+		row := perRow[r]
+		sort.Slice(row, func(i, j int) bool { return row[i].Col < row[j].Col })
+		for _, e := range row {
+			m.colIdx = append(m.colIdx, e.Col)
+			m.vals = append(m.vals, e.Val)
+		}
+		m.rowPtr[r+1] = len(m.colIdx)
+	}
+	return m, nil
+}
+
+// NewCSRFromDense converts a symmetric dense matrix to CSR.
+func NewCSRFromDense(m *Matrix) (*CSR, error) {
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("%w: NewCSRFromDense needs a square matrix", ErrDimensionMismatch)
+	}
+	var entries []Entry
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for j := i; j < m.Cols(); j++ {
+			if row[j] != 0 {
+				entries = append(entries, Entry{i, j, row[j]})
+			}
+		}
+	}
+	return NewCSRSym(m.Rows(), entries)
+}
+
+// Order implements Operator.
+func (c *CSR) Order() int { return c.n }
+
+// NNZ returns the stored non-zero count (both triangles).
+func (c *CSR) NNZ() int { return len(c.vals) }
+
+// Apply implements Operator: y = A·x.
+func (c *CSR) Apply(x, y []float64) {
+	if len(x) != c.n || len(y) != c.n {
+		panic(fmt.Sprintf("linalg: CSR.Apply got %d/%d for order %d", len(x), len(y), c.n))
+	}
+	for r := 0; r < c.n; r++ {
+		sum := 0.0
+		for k := c.rowPtr[r]; k < c.rowPtr[r+1]; k++ {
+			sum += c.vals[k] * x[c.colIdx[k]]
+		}
+		y[r] = sum
+	}
+}
+
+// At returns element (i,j) by scanning row i (O(log nnz_row)).
+func (c *CSR) At(i, j int) float64 {
+	lo, hi := c.rowPtr[i], c.rowPtr[i+1]
+	k := lo + sort.SearchInts(c.colIdx[lo:hi], j)
+	if k < hi && c.colIdx[k] == j {
+		return c.vals[k]
+	}
+	return 0
+}
+
+// GershgorinRadiusOp is the sparse counterpart of GershgorinRadius:
+// max_i Σ_{j≠i} |A_ij|.
+func (c *CSR) GershgorinRadius() float64 {
+	max := 0.0
+	for r := 0; r < c.n; r++ {
+		sum := 0.0
+		for k := c.rowPtr[r]; k < c.rowPtr[r+1]; k++ {
+			if c.colIdx[k] == r {
+				continue
+			}
+			if v := c.vals[k]; v < 0 {
+				sum -= v
+			} else {
+				sum += v
+			}
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	return max
+}

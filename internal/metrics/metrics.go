@@ -1,0 +1,190 @@
+// Package metrics provides the operation counters the functional
+// simulator produces and the PPA model consumes (Section IV-A: "The
+// functional simulator also counts the total number of each type of
+// operation, and these numbers serve as the input for power and
+// performance estimation"), plus small summary-statistics helpers used
+// by the experiment harness (each paper data point averages 10-100 runs).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// OpCounts tallies every hardware-visible operation class of a SOPHIE
+// run. The timing and energy models in internal/arch price each field.
+type OpCounts struct {
+	// LocalMVM1b counts local-iteration MVMs read through the 1-bit ADC
+	// (the common case, Section III-C).
+	LocalMVM1b uint64
+	// LocalMVM8b counts the final local iteration before each global
+	// synchronization, read through the 8-bit ADC mode.
+	LocalMVM8b uint64
+	// OPCMPrograms counts full OPCM array (re)programming events.
+	OPCMPrograms uint64
+	// OPCMCellWrites counts individual GST cell writes (programming
+	// energy scales per cell, Section IV-A).
+	OPCMCellWrites uint64
+	// EOBits counts bits pushed through the 1-bit E-O modulators.
+	EOBits uint64
+	// ADCSamples1b / ADCSamples8b count individual converter samples.
+	ADCSamples1b uint64
+	ADCSamples8b uint64
+	// SRAMReadBits / SRAMWriteBits count local buffer traffic.
+	SRAMReadBits  uint64
+	SRAMWriteBits uint64
+	// DRAMReadBits / DRAMWriteBits count interposer DRAM traffic.
+	DRAMReadBits  uint64
+	DRAMWriteBits uint64
+	// BusBits counts host/system CXL bus traffic (multi-interposer sync).
+	BusBits uint64
+	// GlueOps counts controller-side arithmetic during global
+	// synchronization (offset accumulation, spin reconciliation).
+	GlueOps uint64
+	// GlobalSyncs counts global synchronization barriers.
+	GlobalSyncs uint64
+}
+
+// Add accumulates other into c.
+func (c *OpCounts) Add(other OpCounts) {
+	c.LocalMVM1b += other.LocalMVM1b
+	c.LocalMVM8b += other.LocalMVM8b
+	c.OPCMPrograms += other.OPCMPrograms
+	c.OPCMCellWrites += other.OPCMCellWrites
+	c.EOBits += other.EOBits
+	c.ADCSamples1b += other.ADCSamples1b
+	c.ADCSamples8b += other.ADCSamples8b
+	c.SRAMReadBits += other.SRAMReadBits
+	c.SRAMWriteBits += other.SRAMWriteBits
+	c.DRAMReadBits += other.DRAMReadBits
+	c.DRAMWriteBits += other.DRAMWriteBits
+	c.BusBits += other.BusBits
+	c.GlueOps += other.GlueOps
+	c.GlobalSyncs += other.GlobalSyncs
+}
+
+// TotalMVMs returns all local MVM operations regardless of ADC mode.
+func (c *OpCounts) TotalMVMs() uint64 { return c.LocalMVM1b + c.LocalMVM8b }
+
+// String renders the non-zero counters, one per line, for reports.
+func (c *OpCounts) String() string {
+	var b strings.Builder
+	row := func(name string, v uint64) {
+		if v != 0 {
+			fmt.Fprintf(&b, "%-16s %d\n", name, v)
+		}
+	}
+	row("mvm(1b)", c.LocalMVM1b)
+	row("mvm(8b)", c.LocalMVM8b)
+	row("programs", c.OPCMPrograms)
+	row("cellWrites", c.OPCMCellWrites)
+	row("eoBits", c.EOBits)
+	row("adc1b", c.ADCSamples1b)
+	row("adc8b", c.ADCSamples8b)
+	row("sramRead", c.SRAMReadBits)
+	row("sramWrite", c.SRAMWriteBits)
+	row("dramRead", c.DRAMReadBits)
+	row("dramWrite", c.DRAMWriteBits)
+	row("busBits", c.BusBits)
+	row("glueOps", c.GlueOps)
+	row("globalSyncs", c.GlobalSyncs)
+	return b.String()
+}
+
+// Summary holds descriptive statistics over a sample of float64 values.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	CI95Lo, CI95Hi float64 // normal-approximation 95% interval on the mean
+}
+
+// Summarize computes descriptive statistics of values. It panics on an
+// empty sample.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		panic("metrics: Summarize on empty sample")
+	}
+	s := Summary{N: len(values), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	varSum := 0.0
+	for _, v := range values {
+		d := v - s.Mean
+		varSum += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(varSum / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	mid := s.N / 2
+	if s.N%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	se := s.Std / math.Sqrt(float64(s.N))
+	s.CI95Lo = s.Mean - 1.96*se
+	s.CI95Hi = s.Mean + 1.96*se
+	return s
+}
+
+// TimeToSolution computes the standard Ising-machine "TTS" metric: the
+// expected wall time to reach the target solution at least once with
+// the given confidence, from independent runs of duration runTime that
+// each succeed with probability successProb. The paper's T90 numbers
+// (Table II) use confidence 0.9:
+//
+//	TTS = runTime · ln(1-confidence) / ln(1-successProb)
+//
+// A successProb of 1 returns runTime; 0 returns +Inf.
+func TimeToSolution(runTime, successProb, confidence float64) (float64, error) {
+	if runTime <= 0 {
+		return 0, fmt.Errorf("metrics: run time must be positive, got %v", runTime)
+	}
+	if successProb < 0 || successProb > 1 {
+		return 0, fmt.Errorf("metrics: success probability %v outside [0,1]", successProb)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("metrics: confidence %v outside (0,1)", confidence)
+	}
+	switch successProb {
+	case 0:
+		return math.Inf(1), nil
+	case 1:
+		return runTime, nil
+	}
+	repeats := math.Log(1-confidence) / math.Log(1-successProb)
+	if repeats < 1 {
+		repeats = 1 // one run already exceeds the confidence target
+	}
+	return runTime * repeats, nil
+}
+
+// GeoMean returns the geometric mean of strictly positive values.
+func GeoMean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("metrics: GeoMean on empty sample")
+	}
+	logSum := 0.0
+	for _, v := range values {
+		if v <= 0 {
+			return 0, fmt.Errorf("metrics: GeoMean requires positive values, got %v", v)
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(values))), nil
+}

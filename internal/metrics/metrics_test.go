@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpCountsAdd(t *testing.T) {
+	a := OpCounts{LocalMVM1b: 10, GlueOps: 3, DRAMReadBits: 64}
+	b := OpCounts{LocalMVM1b: 5, LocalMVM8b: 2, GlobalSyncs: 1}
+	a.Add(b)
+	if a.LocalMVM1b != 15 || a.LocalMVM8b != 2 || a.GlueOps != 3 || a.GlobalSyncs != 1 {
+		t.Fatalf("Add produced %+v", a)
+	}
+	if a.TotalMVMs() != 17 {
+		t.Fatalf("TotalMVMs %d, want 17", a.TotalMVMs())
+	}
+}
+
+// Property: Add is commutative on every field.
+func TestOpCountsAddCommutative(t *testing.T) {
+	f := func(x, y uint16) bool {
+		a := OpCounts{LocalMVM1b: uint64(x), SRAMReadBits: uint64(y), GlueOps: uint64(x) * 3}
+		b := OpCounts{LocalMVM1b: uint64(y), SRAMReadBits: uint64(x), BusBits: uint64(y)}
+		ab, ba := a, b
+		ab.Add(b)
+		ba.Add(a)
+		return ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpCountsString(t *testing.T) {
+	c := OpCounts{LocalMVM1b: 7, GlobalSyncs: 2}
+	s := c.String()
+	if !strings.Contains(s, "mvm(1b)") || !strings.Contains(s, "7") {
+		t.Fatalf("String() missing counters: %q", s)
+	}
+	if strings.Contains(s, "dramRead") {
+		t.Fatal("zero counters must be omitted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	wantStd := math.Sqrt(2.5)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, wantStd)
+	}
+	if s.CI95Lo >= s.Mean || s.CI95Hi <= s.Mean {
+		t.Fatal("CI must bracket the mean")
+	}
+}
+
+func TestSummarizeEvenMedianAndSingle(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Median != 2.5 {
+		t.Fatalf("median %v, want 2.5", s.Median)
+	}
+	one := Summarize([]float64{42})
+	if one.Std != 0 || one.Mean != 42 || one.Median != 42 {
+		t.Fatalf("single-sample summary %+v", one)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-10) > 1e-9 {
+		t.Fatalf("geomean %v, want 10", g)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("empty sample must error")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Fatal("negative values must error")
+	}
+}
+
+func TestTimeToSolution(t *testing.T) {
+	// p=0.5, confidence 0.9: ln(0.1)/ln(0.5) ≈ 3.32 repeats.
+	tts, err := TimeToSolution(1.0, 0.5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tts-3.3219) > 1e-3 {
+		t.Fatalf("TTS %v, want ~3.322", tts)
+	}
+	// Certain success: one run.
+	tts, _ = TimeToSolution(2.0, 1, 0.9)
+	if tts != 2.0 {
+		t.Fatalf("certain success TTS %v, want 2", tts)
+	}
+	// Impossible: infinite.
+	tts, _ = TimeToSolution(1.0, 0, 0.9)
+	if !math.IsInf(tts, 1) {
+		t.Fatal("zero success must give +Inf")
+	}
+	// High success with low confidence target: floor at one run.
+	tts, _ = TimeToSolution(1.0, 0.99, 0.5)
+	if tts != 1.0 {
+		t.Fatalf("TTS floor broken: %v", tts)
+	}
+}
+
+func TestTimeToSolutionValidation(t *testing.T) {
+	if _, err := TimeToSolution(0, 0.5, 0.9); err == nil {
+		t.Fatal("zero run time must error")
+	}
+	if _, err := TimeToSolution(1, -0.1, 0.9); err == nil {
+		t.Fatal("negative probability must error")
+	}
+	if _, err := TimeToSolution(1, 0.5, 1); err == nil {
+		t.Fatal("confidence 1 must error")
+	}
+}

@@ -1,0 +1,126 @@
+package opcm
+
+import (
+	"fmt"
+	"math"
+
+	"sophie/internal/linalg"
+)
+
+// Amorphous GST exhibits resistance drift: the optical transmittance of
+// a partially amorphized cell decays slowly (logarithmically) after
+// programming, degrading stored weights until the array is refreshed
+// (reprogrammed). The base Engine models freshly programmed arrays; the
+// DriftEngine wraps it with a per-array age and the standard power-law
+// drift model
+//
+//	T(t) = T₀ · (t/t₀)^(-ν)
+//
+// with drift exponent ν (≈0.005–0.02 for optical readout of GST) and
+// reference time t₀. Time advances explicitly through Tick; Refresh
+// reprograms an array and resets its age, costing a programming event,
+// which lets studies trade refresh rate against accuracy.
+type DriftEngine struct {
+	*Engine
+	nu       float64
+	t0       float64
+	tiles    []*linalg.Matrix // reference data for refresh
+	age      []float64        // seconds since each array's last program
+	now      float64
+	lastSeen []float64 // device time at last Mul, for lazily applied decay
+}
+
+// NewDriftEngine wraps freshly programmed tiles with the drift model.
+// nu is the drift exponent, t0 the reference time in seconds.
+func NewDriftEngine(tiles []*linalg.Matrix, scale float64, params Params, nu, t0 float64) (*DriftEngine, error) {
+	if nu < 0 || nu >= 1 {
+		return nil, fmt.Errorf("opcm: drift exponent %v outside [0,1)", nu)
+	}
+	if t0 <= 0 {
+		return nil, fmt.Errorf("opcm: drift reference time %v must be positive", t0)
+	}
+	base, err := NewEngine(tiles, scale, params)
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]*linalg.Matrix, len(tiles))
+	for i, tl := range tiles {
+		refs[i] = tl.Clone()
+	}
+	return &DriftEngine{
+		Engine:   base,
+		nu:       nu,
+		t0:       t0,
+		tiles:    refs,
+		age:      make([]float64, len(tiles)),
+		lastSeen: make([]float64, len(tiles)),
+	}, nil
+}
+
+// Tick advances device time by dt seconds; all arrays age together.
+func (e *DriftEngine) Tick(dt float64) {
+	if dt < 0 {
+		panic("opcm: negative drift tick")
+	}
+	e.now += dt
+	for i := range e.age {
+		e.age[i] += dt
+	}
+}
+
+// driftFactor returns the multiplicative transmittance decay for an
+// array of the given age.
+func (e *DriftEngine) driftFactor(age float64) float64 {
+	if age <= e.t0 || e.nu == 0 {
+		return 1
+	}
+	return math.Pow(age/e.t0, -e.nu)
+}
+
+// Mul implements tiling.Engine with drift applied: the stored weights
+// decay by the array's drift factor before the product.
+func (e *DriftEngine) Mul(p int, transposed bool, x, y []float64) {
+	e.Engine.Mul(p, transposed, x, y)
+	f := e.driftFactor(e.age[p])
+	if f != 1 {
+		for i := range y {
+			y[i] *= f
+		}
+	}
+}
+
+// Refresh reprograms array p from its reference tile and resets its
+// drift age. It costs a programming event in the counters, exactly like
+// a scheduling reprogram.
+func (e *DriftEngine) Refresh(p int) error {
+	if p < 0 || p >= len(e.tiles) {
+		return fmt.Errorf("opcm: refresh index %d out of range [0,%d)", p, len(e.tiles))
+	}
+	if err := e.Engine.Reprogram(p, e.tiles[p]); err != nil {
+		return err
+	}
+	e.age[p] = 0
+	return nil
+}
+
+// RefreshAll refreshes every array.
+func (e *DriftEngine) RefreshAll() error {
+	for p := range e.tiles {
+		if err := e.Refresh(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxDriftError returns the worst-case relative weight error across
+// arrays at the current device time: 1 - driftFactor(oldest age).
+func (e *DriftEngine) MaxDriftError() float64 {
+	oldest := 0.0
+	for _, a := range e.age {
+		if a > oldest {
+			oldest = a
+		}
+	}
+	return 1 - e.driftFactor(oldest)
+}

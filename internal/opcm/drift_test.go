@@ -1,0 +1,116 @@
+package opcm
+
+import (
+	"math"
+	"testing"
+
+	"sophie/internal/tiling"
+)
+
+func TestDriftEngineImplementsTilingEngine(t *testing.T) {
+	var _ tiling.Engine = (*DriftEngine)(nil)
+}
+
+func TestNewDriftEngineValidation(t *testing.T) {
+	tiles := randomTiles(4, 1, 1)
+	if _, err := NewDriftEngine(tiles, 0, DefaultParams(), -0.1, 1); err == nil {
+		t.Fatal("negative nu must be rejected")
+	}
+	if _, err := NewDriftEngine(tiles, 0, DefaultParams(), 1.5, 1); err == nil {
+		t.Fatal("nu >= 1 must be rejected")
+	}
+	if _, err := NewDriftEngine(tiles, 0, DefaultParams(), 0.01, 0); err == nil {
+		t.Fatal("t0 = 0 must be rejected")
+	}
+}
+
+func TestDriftDecaysOutputs(t *testing.T) {
+	tiles := randomTiles(8, 1, 2)
+	e, err := NewDriftEngine(tiles, 0, DefaultParams(), 0.02, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 1, 1, 1, 0, 0, 0, 0}
+	fresh := make([]float64, 8)
+	e.Mul(0, false, x, fresh)
+
+	e.Tick(3600) // one hour of drift
+	aged := make([]float64, 8)
+	e.Mul(0, false, x, aged)
+
+	f := e.driftFactor(3600)
+	if f >= 1 {
+		t.Fatalf("drift factor %v should decay below 1", f)
+	}
+	for i := range aged {
+		if math.Abs(aged[i]-fresh[i]*f) > 1e-12 {
+			t.Fatalf("aged output %d = %v, want %v", i, aged[i], fresh[i]*f)
+		}
+	}
+	if got := e.MaxDriftError(); math.Abs(got-(1-f)) > 1e-12 {
+		t.Fatalf("MaxDriftError %v, want %v", got, 1-f)
+	}
+}
+
+func TestDriftYoungArraysUnaffected(t *testing.T) {
+	tiles := randomTiles(4, 1, 3)
+	e, err := NewDriftEngine(tiles, 0, DefaultParams(), 0.02, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Tick(5) // below the reference time: no decay yet
+	if e.MaxDriftError() != 0 {
+		t.Fatal("drift must not apply before the reference time")
+	}
+}
+
+func TestRefreshResetsDrift(t *testing.T) {
+	tiles := randomTiles(8, 2, 4)
+	e, err := NewDriftEngine(tiles, 0, DefaultParams(), 0.02, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Counts().OPCMPrograms
+	e.Tick(1000)
+	if err := e.Refresh(0); err != nil {
+		t.Fatal(err)
+	}
+	// Array 0 fresh, array 1 still aged.
+	x := []float64{1, 0, 1, 0, 1, 0, 1, 0}
+	y0 := make([]float64, 8)
+	e.Mul(0, false, x, y0)
+	want, _ := NewEngine(tiles, e.scale, DefaultParams())
+	ref := make([]float64, 8)
+	want.Mul(0, false, x, ref)
+	for i := range y0 {
+		if math.Abs(y0[i]-ref[i]) > 1e-12 {
+			t.Fatal("refreshed array still drifting")
+		}
+	}
+	if e.MaxDriftError() == 0 {
+		t.Fatal("unrefreshed array must still report drift")
+	}
+	if e.Counts().OPCMPrograms != before+1 {
+		t.Fatal("refresh must count as a programming event")
+	}
+	if err := e.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxDriftError() != 0 {
+		t.Fatal("RefreshAll must clear all drift")
+	}
+	if err := e.Refresh(99); err == nil {
+		t.Fatal("out-of-range refresh must error")
+	}
+}
+
+func TestDriftTickPanicsOnNegative(t *testing.T) {
+	tiles := randomTiles(4, 1, 5)
+	e, _ := NewDriftEngine(tiles, 0, DefaultParams(), 0.01, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Tick(-1)
+}

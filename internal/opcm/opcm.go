@@ -1,0 +1,293 @@
+// Package opcm models the optically addressed phase change memory
+// datapath of SOPHIE (Sections II-A and III-C): GST cells with a finite
+// number of programmable transmittance levels, positive/negative split
+// crossbar arrays, bi-directional (forward and transposed) matrix-vector
+// products, dual-precision ADC readout, and the optical loss budget that
+// sets the laser power.
+//
+// The Engine type implements tiling.Engine, so the SOPHIE core can run
+// its functional simulation either on the ideal float64 datapath or
+// through this device model to evaluate hardware effects (quantization,
+// read noise, stuck cells).
+package opcm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"sophie/internal/linalg"
+	"sophie/internal/metrics"
+)
+
+// Params configures the device model.
+type Params struct {
+	// CellBits is the number of bits stored per GST cell. State-of-the-art
+	// cells reach 64 deterministic levels, i.e. 6 bits (Section II-A).
+	CellBits int
+	// ADCBits is the resolution of the multi-bit ADC mode used for the
+	// last local iteration before a global synchronization (Section
+	// III-C uses 8).
+	ADCBits int
+	// ReadNoise is additive Gaussian noise on each MVM output, expressed
+	// as a fraction of the array full scale. This models the inherent
+	// device noise; the algorithm-level noise generator tops it up to the
+	// target φ (Section III-C). Zero disables it.
+	ReadNoise float64
+	// StuckCellFraction injects faults: this fraction of cells is frozen
+	// at a random level at programming time. Zero disables it.
+	StuckCellFraction float64
+	// Seed drives the noise and fault RNGs.
+	Seed int64
+}
+
+// DefaultParams returns the paper's device configuration: 6-bit cells,
+// 8-bit sync ADC, no extra read noise or faults.
+func DefaultParams() Params {
+	return Params{CellBits: 6, ADCBits: 8}
+}
+
+func (p Params) validate() error {
+	if p.CellBits < 1 || p.CellBits > 16 {
+		return fmt.Errorf("opcm: cell bits %d outside [1,16]", p.CellBits)
+	}
+	if p.ADCBits < 1 || p.ADCBits > 24 {
+		return fmt.Errorf("opcm: ADC bits %d outside [1,24]", p.ADCBits)
+	}
+	if p.ReadNoise < 0 {
+		return fmt.Errorf("opcm: negative read noise %v", p.ReadNoise)
+	}
+	if p.StuckCellFraction < 0 || p.StuckCellFraction > 1 {
+		return fmt.Errorf("opcm: stuck cell fraction %v outside [0,1]", p.StuckCellFraction)
+	}
+	return nil
+}
+
+// Engine is a bank of programmed OPCM arrays, one per symmetric tile
+// pair. Each array holds the tile split into a positive and a negative
+// part (two physical sub-arrays whose photocurrents are subtracted in
+// the analog domain, Section III-C); each part is quantized to the cell
+// transmittance levels.
+type Engine struct {
+	params Params
+	size   int
+	scale  float64 // matrix value mapped to full transmittance
+	pos    []*linalg.Matrix
+	neg    []*linalg.Matrix
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts metrics.OpCounts
+
+	scratch sync.Pool // *[]float64 buffers for the negative sub-array product
+}
+
+// NewEngine programs the given tiles into OPCM arrays. scale fixes the
+// full-transmittance matrix value; pass 0 to auto-scale to the largest
+// |element| across tiles. Programming costs are tallied in Counts.
+func NewEngine(tiles []*linalg.Matrix, scale float64, params Params) (*Engine, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("opcm: no tiles to program")
+	}
+	size := tiles[0].Rows()
+	maxAbs := 0.0
+	for i, tl := range tiles {
+		if tl.Rows() != size || tl.Cols() != size {
+			return nil, fmt.Errorf("opcm: tile %d is %dx%d, want %dx%d", i, tl.Rows(), tl.Cols(), size, size)
+		}
+		if a := tl.MaxAbs(); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if scale == 0 {
+		scale = maxAbs
+	}
+	if scale == 0 {
+		scale = 1 // all-zero problem; any scale works
+	}
+	if maxAbs > scale*(1+1e-9) {
+		return nil, fmt.Errorf("opcm: tile values reach %v, beyond full scale %v", maxAbs, scale)
+	}
+	e := &Engine{
+		params: params,
+		size:   size,
+		scale:  scale,
+		pos:    make([]*linalg.Matrix, len(tiles)),
+		neg:    make([]*linalg.Matrix, len(tiles)),
+		rng:    rand.New(rand.NewSource(params.Seed)),
+	}
+	for i, tl := range tiles {
+		e.program(i, tl)
+	}
+	return e, nil
+}
+
+// levels returns the number of programmable transmittance levels.
+func (e *Engine) levels() int { return 1 << e.params.CellBits }
+
+// quantizeCell maps a nonnegative matrix value to the nearest cell level
+// and back to the value domain.
+func (e *Engine) quantizeCell(v float64) float64 {
+	steps := float64(e.levels() - 1)
+	q := math.Round(v / e.scale * steps)
+	if q < 0 {
+		q = 0
+	}
+	if q > steps {
+		q = steps
+	}
+	return q / steps * e.scale
+}
+
+// program writes tile p. Faults are drawn fresh on every programming.
+func (e *Engine) program(p int, tile *linalg.Matrix) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pos := linalg.NewMatrix(e.size, e.size)
+	neg := linalg.NewMatrix(e.size, e.size)
+	steps := float64(e.levels() - 1)
+	for i := 0; i < e.size; i++ {
+		src := tile.Row(i)
+		pr := pos.Row(i)
+		nr := neg.Row(i)
+		for j, v := range src {
+			pv, nv := 0.0, 0.0
+			if v > 0 {
+				pv = e.quantizeCell(v)
+			} else if v < 0 {
+				nv = e.quantizeCell(-v)
+			}
+			if e.params.StuckCellFraction > 0 {
+				if e.rng.Float64() < e.params.StuckCellFraction {
+					pv = math.Round(e.rng.Float64()*steps) / steps * e.scale
+				}
+				if e.rng.Float64() < e.params.StuckCellFraction {
+					nv = math.Round(e.rng.Float64()*steps) / steps * e.scale
+				}
+			}
+			pr[j] = pv
+			nr[j] = nv
+		}
+	}
+	e.pos[p] = pos
+	e.neg[p] = neg
+	e.counts.OPCMPrograms++
+	e.counts.OPCMCellWrites += uint64(2 * e.size * e.size) // pos + neg sub-arrays
+}
+
+// Reprogram overwrites the array at pair index p with a new tile. This is
+// what the time-duplexed large-graph flow does between rounds
+// (Section III-E). It returns an error on a shape or range mismatch.
+func (e *Engine) Reprogram(p int, tile *linalg.Matrix) error {
+	if p < 0 || p >= len(e.pos) {
+		return fmt.Errorf("opcm: pair index %d out of range [0,%d)", p, len(e.pos))
+	}
+	if tile.Rows() != e.size || tile.Cols() != e.size {
+		return fmt.Errorf("opcm: tile is %dx%d, want %dx%d", tile.Rows(), tile.Cols(), e.size, e.size)
+	}
+	if tile.MaxAbs() > e.scale*(1+1e-9) {
+		return fmt.Errorf("opcm: tile values reach %v, beyond full scale %v", tile.MaxAbs(), e.scale)
+	}
+	e.program(p, tile)
+	return nil
+}
+
+// Mul implements tiling.Engine: y = T·x or Tᵀ·x through the
+// positive/negative arrays, with optional read noise. The E-O
+// modulators are 1-bit (spins), but Mul accepts arbitrary x so the
+// ideal and device datapaths stay interchangeable; binary inputs are
+// the common case and match the hardware.
+func (e *Engine) Mul(p int, transposed bool, x, y []float64) {
+	pos, neg := e.pos[p], e.neg[p]
+	var tmp []float64
+	if buf, ok := e.scratch.Get().(*[]float64); ok {
+		tmp = *buf
+	} else {
+		tmp = make([]float64, e.size)
+	}
+	defer func() { e.scratch.Put(&tmp) }()
+	var err error
+	if transposed {
+		_, err = pos.MulVecT(x, y)
+		if err == nil {
+			_, err = neg.MulVecT(x, tmp)
+		}
+	} else {
+		_, err = pos.MulVec(x, y)
+		if err == nil {
+			_, err = neg.MulVec(x, tmp)
+		}
+	}
+	if err != nil {
+		panic(err) // shape misuse is a caller bug, as for IdealEngine
+	}
+	for i := range y {
+		y[i] -= tmp[i] // analog-domain subtraction of the two sub-arrays
+	}
+	if e.params.ReadNoise > 0 {
+		fs := e.fullScaleOutput()
+		e.mu.Lock()
+		for i := range y {
+			y[i] += e.rng.NormFloat64() * e.params.ReadNoise * fs
+		}
+		e.mu.Unlock()
+	}
+}
+
+// fullScaleOutput is the largest magnitude a column sum can reach.
+func (e *Engine) fullScaleOutput() float64 { return float64(e.size) * e.scale }
+
+// QuantizeReadout applies the multi-bit ADC mode in place: each value is
+// clipped to ± full scale and rounded to the ADC's signed code grid.
+// The solver calls this on partial sums read out for global
+// synchronization (Section III-C's 8-bit mode).
+func (e *Engine) QuantizeReadout(v []float64) {
+	fs := e.fullScaleOutput()
+	half := float64(int(1)<<(e.params.ADCBits-1)) - 1 // e.g. 127 codes each side
+	for i, x := range v {
+		if x > fs {
+			x = fs
+		} else if x < -fs {
+			x = -fs
+		}
+		v[i] = math.Round(x/fs*half) / half * fs
+	}
+}
+
+// TileSize implements tiling.Engine.
+func (e *Engine) TileSize() int { return e.size }
+
+// Pairs implements tiling.Engine.
+func (e *Engine) Pairs() int { return len(e.pos) }
+
+// Counts returns a snapshot of the device-level operation counters.
+func (e *Engine) Counts() metrics.OpCounts {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counts
+}
+
+// QuantizationError returns the max absolute element-wise error between
+// the programmed arrays and the given reference tiles, for accuracy
+// studies and tests.
+func (e *Engine) QuantizationError(tiles []*linalg.Matrix) (float64, error) {
+	if len(tiles) != len(e.pos) {
+		return 0, fmt.Errorf("opcm: %d reference tiles for %d arrays", len(tiles), len(e.pos))
+	}
+	worst := 0.0
+	for p, tl := range tiles {
+		for i := 0; i < e.size; i++ {
+			for j := 0; j < e.size; j++ {
+				got := e.pos[p].At(i, j) - e.neg[p].At(i, j)
+				if d := math.Abs(got - tl.At(i, j)); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst, nil
+}

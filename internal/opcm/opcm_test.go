@@ -1,0 +1,326 @@
+package opcm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sophie/internal/linalg"
+	"sophie/internal/tiling"
+)
+
+func randomTiles(n, count int, seed int64) []*linalg.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	tiles := make([]*linalg.Matrix, count)
+	for t := range tiles {
+		m := linalg.NewMatrix(n, n)
+		for i := range m.Data() {
+			m.Data()[i] = rng.NormFloat64()
+		}
+		tiles[t] = m
+	}
+	return tiles
+}
+
+func TestParamsValidation(t *testing.T) {
+	tiles := randomTiles(4, 1, 1)
+	bad := []Params{
+		{CellBits: 0, ADCBits: 8},
+		{CellBits: 20, ADCBits: 8},
+		{CellBits: 6, ADCBits: 0},
+		{CellBits: 6, ADCBits: 30},
+		{CellBits: 6, ADCBits: 8, ReadNoise: -1},
+		{CellBits: 6, ADCBits: 8, StuckCellFraction: 2},
+	}
+	for i, p := range bad {
+		if _, err := NewEngine(tiles, 0, p); err == nil {
+			t.Errorf("params %d should be rejected: %+v", i, p)
+		}
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, 0, DefaultParams()); err == nil {
+		t.Fatal("empty tile list must be rejected")
+	}
+	mixed := []*linalg.Matrix{linalg.NewMatrix(2, 2), linalg.NewMatrix(3, 3)}
+	if _, err := NewEngine(mixed, 0, DefaultParams()); err == nil {
+		t.Fatal("inconsistent tile sizes must be rejected")
+	}
+	big := randomTiles(4, 1, 1)
+	if _, err := NewEngine(big, 1e-6, DefaultParams()); err == nil {
+		t.Fatal("out-of-scale values must be rejected")
+	}
+}
+
+func TestEngineImplementsTilingEngine(t *testing.T) {
+	var _ tiling.Engine = (*Engine)(nil)
+}
+
+func TestMulApproximatesIdeal(t *testing.T) {
+	tiles := randomTiles(16, 3, 2)
+	e, err := NewEngine(tiles, 0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = float64(rng.Intn(2)) // binary inputs, as in hardware
+	}
+	for p, tile := range tiles {
+		want, _ := tile.MulVec(x, nil)
+		got := make([]float64, 16)
+		e.Mul(p, false, x, got)
+		// 6-bit quantization error per element is <= scale/2/63; over 16
+		// accumulated terms the error stays well within this bound.
+		maxErr := 16 * e.scale / 63
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > maxErr {
+				t.Fatalf("pair %d out %d: %v vs ideal %v (bound %v)", p, i, got[i], want[i], maxErr)
+			}
+		}
+	}
+}
+
+func TestMulTransposedMatchesTranspose(t *testing.T) {
+	tiles := randomTiles(8, 1, 4)
+	e, err := NewEngine(tiles, 0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 0, 1, 1, 0, 0, 1, 0}
+	fwdOfTranspose := make([]float64, 8)
+	viaTransposed := make([]float64, 8)
+	e.Mul(0, true, x, viaTransposed)
+	// Build an engine from the explicitly transposed tile for reference.
+	et, err := NewEngine([]*linalg.Matrix{tiles[0].Transpose()}, e.scale, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	et.Mul(0, false, x, fwdOfTranspose)
+	for i := range viaTransposed {
+		if math.Abs(viaTransposed[i]-fwdOfTranspose[i]) > 1e-12 {
+			t.Fatalf("transposed read differs at %d: %v vs %v", i, viaTransposed[i], fwdOfTranspose[i])
+		}
+	}
+}
+
+func TestQuantizationImprovesWithBits(t *testing.T) {
+	tiles := randomTiles(12, 2, 5)
+	var prev float64 = math.Inf(1)
+	for _, bits := range []int{2, 4, 6, 8} {
+		e, err := NewEngine(tiles, 0, Params{CellBits: bits, ADCBits: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qe, err := e.QuantizationError(tiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qe > prev+1e-12 {
+			t.Fatalf("quantization error grew from %v to %v at %d bits", prev, qe, bits)
+		}
+		// Error must respect the half-step bound.
+		bound := e.scale / float64((int(1)<<bits)-1) / 2 * (1 + 1e-9)
+		if qe > bound {
+			t.Fatalf("%d bits: error %v exceeds half-step bound %v", bits, qe, bound)
+		}
+		prev = qe
+	}
+}
+
+func TestQuantizationErrorValidation(t *testing.T) {
+	tiles := randomTiles(4, 2, 6)
+	e, _ := NewEngine(tiles, 0, DefaultParams())
+	if _, err := e.QuantizationError(tiles[:1]); err == nil {
+		t.Fatal("mismatched reference count must error")
+	}
+}
+
+func TestReprogramCountsAndEffect(t *testing.T) {
+	tiles := randomTiles(4, 2, 7)
+	e, _ := NewEngine(tiles, 0, DefaultParams())
+	c0 := e.Counts()
+	if c0.OPCMPrograms != 2 {
+		t.Fatalf("initial programming count %d, want 2", c0.OPCMPrograms)
+	}
+	if c0.OPCMCellWrites != 2*2*4*4 {
+		t.Fatalf("cell writes %d, want 64", c0.OPCMCellWrites)
+	}
+	replacement := linalg.NewMatrix(4, 4)
+	if err := e.Reprogram(0, replacement); err != nil {
+		t.Fatal(err)
+	}
+	c1 := e.Counts()
+	if c1.OPCMPrograms != 3 {
+		t.Fatalf("programming count %d after reprogram, want 3", c1.OPCMPrograms)
+	}
+	y := make([]float64, 4)
+	e.Mul(0, false, []float64{1, 1, 1, 1}, y)
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("reprogrammed zero tile still multiplies: y[%d]=%v", i, v)
+		}
+	}
+}
+
+func TestReprogramValidation(t *testing.T) {
+	tiles := randomTiles(4, 1, 8)
+	e, _ := NewEngine(tiles, 0, DefaultParams())
+	if err := e.Reprogram(5, tiles[0]); err == nil {
+		t.Fatal("out-of-range pair must error")
+	}
+	if err := e.Reprogram(0, linalg.NewMatrix(3, 3)); err == nil {
+		t.Fatal("wrong shape must error")
+	}
+	huge := linalg.NewMatrix(4, 4)
+	huge.Set(0, 0, e.scale*10)
+	if err := e.Reprogram(0, huge); err == nil {
+		t.Fatal("over-scale tile must error")
+	}
+}
+
+func TestReadNoiseIsApplied(t *testing.T) {
+	tiles := randomTiles(8, 1, 9)
+	noisy, _ := NewEngine(tiles, 0, Params{CellBits: 6, ADCBits: 8, ReadNoise: 0.05, Seed: 1})
+	clean, _ := NewEngine(tiles, 0, Params{CellBits: 6, ADCBits: 8})
+	x := []float64{1, 1, 0, 1, 0, 1, 1, 0}
+	a := make([]float64, 8)
+	b := make([]float64, 8)
+	noisy.Mul(0, false, x, a)
+	clean.Mul(0, false, x, b)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("read noise had no effect")
+	}
+}
+
+func TestStuckCellsPerturbProgramming(t *testing.T) {
+	tiles := randomTiles(16, 1, 10)
+	faulty, _ := NewEngine(tiles, 0, Params{CellBits: 6, ADCBits: 8, StuckCellFraction: 0.5, Seed: 2})
+	qe, err := faulty.QuantizationError(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthyBound := faulty.scale / 63 / 2 * (1 + 1e-9)
+	if qe <= healthyBound {
+		t.Fatalf("50%% stuck cells produced error %v within the healthy bound %v", qe, healthyBound)
+	}
+}
+
+func TestQuantizeReadout(t *testing.T) {
+	tiles := randomTiles(4, 1, 11)
+	e, _ := NewEngine(tiles, 0, DefaultParams())
+	fs := e.fullScaleOutput()
+	v := []float64{0, fs / 2, -fs / 3, fs * 2, -fs * 2}
+	e.QuantizeReadout(v)
+	if v[0] != 0 {
+		t.Fatalf("zero moved to %v", v[0])
+	}
+	if math.Abs(v[1]-fs/2) > fs/127 {
+		t.Fatalf("mid-scale quantization too coarse: %v", v[1])
+	}
+	if v[3] != fs || v[4] != -fs {
+		t.Fatalf("clipping failed: %v %v", v[3], v[4])
+	}
+	// Idempotence: re-quantizing must not move values.
+	w := append([]float64(nil), v...)
+	e.QuantizeReadout(w)
+	for i := range w {
+		if w[i] != v[i] {
+			t.Fatal("readout quantization must be idempotent")
+		}
+	}
+}
+
+func TestWorstPathLossMonotone(t *testing.T) {
+	p := DefaultOpticalParams()
+	prev := 0.0
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		loss, err := p.WorstPathLossDB(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loss < prev {
+			t.Fatalf("loss decreased with array size: %v -> %v at n=%d", prev, loss, n)
+		}
+		prev = loss
+	}
+	if _, err := p.WorstPathLossDB(0); err == nil {
+		t.Fatal("invalid size must error")
+	}
+}
+
+func TestLaserPowerCalibration(t *testing.T) {
+	// The paper reports 469 mW per wavelength for the 64x64 configuration.
+	p := DefaultOpticalParams()
+	got, err := p.LaserPowerPerWavelengthW(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.44 || got > 0.50 {
+		t.Fatalf("laser power per wavelength at n=64: %v W, want ~0.469 W", got)
+	}
+	total, err := p.TotalLaserPowerW(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-got*64) > 1e-9 {
+		t.Fatal("total laser power must be per-wavelength x n")
+	}
+}
+
+func TestOpticalParamsValidation(t *testing.T) {
+	p := DefaultOpticalParams()
+	p.QuantumEfficiency = 0
+	if _, err := p.WorstPathLossDB(8); err == nil {
+		t.Fatal("zero efficiency must error")
+	}
+	p = DefaultOpticalParams()
+	p.GSTLossDB = -1
+	if _, err := p.WorstPathLossDB(8); err == nil {
+		t.Fatal("negative loss must error")
+	}
+	p = DefaultOpticalParams()
+	p.DetectorPowerW = 0
+	if _, err := p.LaserPowerPerWavelengthW(8); err == nil {
+		t.Fatal("zero detector power must error")
+	}
+}
+
+func BenchmarkOPCMMul64(b *testing.B) {
+	tiles := randomTiles(64, 1, 42)
+	e, err := NewEngine(tiles, 0, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i % 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Mul(0, i%2 == 1, x, y)
+	}
+}
+
+func BenchmarkOPCMProgram64(b *testing.B) {
+	tiles := randomTiles(64, 1, 43)
+	e, err := NewEngine(tiles, 0, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Reprogram(0, tiles[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

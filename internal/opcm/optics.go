@@ -1,0 +1,108 @@
+package opcm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optical loss budget of the OPCM crossbar (Section IV-A). A signal
+// entering row i and leaving column j is split 1:N across the row,
+// passes up to N waveguide crossings and the GST cell, and is combined
+// N:1 into the column detector. Loss constants are from Feldmann et al.
+// as cited by the paper.
+type OpticalParams struct {
+	// GSTLossDB is the insertion loss of one GST cell (dB).
+	GSTLossDB float64
+	// CrossingLossDB is the loss per waveguide crossing (dB).
+	CrossingLossDB float64
+	// DCLossDB is the loss per directional coupler (dB).
+	DCLossDB float64
+	// QuantumEfficiency is the combined laser + photodetector efficiency.
+	QuantumEfficiency float64
+	// DetectorPowerW is the optical power required at the photodetector
+	// for reliable detection at the accelerator clock rate (W), for an
+	// array of DetectorRefSize inputs. The default is calibrated so a
+	// 64x64 array draws the paper's 469 mW per wavelength. Larger arrays
+	// accumulate more distinguishable levels per column, so the required
+	// power scales quadratically with n/DetectorRefSize (thermal-noise
+	// limited detection).
+	DetectorPowerW float64
+	// DetectorRefSize is the array size DetectorPowerW is calibrated at.
+	DetectorRefSize int
+}
+
+// DefaultOpticalParams returns the paper's loss constants: GST 0.6 dB,
+// crossing 0.0028 dB, directional coupler 0.01 dB, 10% quantum
+// efficiency.
+func DefaultOpticalParams() OpticalParams {
+	return OpticalParams{
+		GSTLossDB:         0.6,
+		CrossingLossDB:    0.0028,
+		DCLossDB:          0.01,
+		QuantumEfficiency: 0.10,
+		DetectorPowerW:    8.26e-6,
+		DetectorRefSize:   64,
+	}
+}
+
+func (p OpticalParams) validate() error {
+	if p.QuantumEfficiency <= 0 || p.QuantumEfficiency > 1 {
+		return fmt.Errorf("opcm: quantum efficiency %v outside (0,1]", p.QuantumEfficiency)
+	}
+	if p.GSTLossDB < 0 || p.CrossingLossDB < 0 || p.DCLossDB < 0 {
+		return fmt.Errorf("opcm: negative loss constants")
+	}
+	if p.DetectorPowerW <= 0 {
+		return fmt.Errorf("opcm: detector power must be positive")
+	}
+	if p.DetectorRefSize <= 0 {
+		return fmt.Errorf("opcm: detector reference size must be positive")
+	}
+	return nil
+}
+
+// WorstPathLossDB returns the worst-case optical loss (dB) through an
+// n×n crossbar: the 1:n row split, n waveguide crossings, one GST cell,
+// n directional couplers, and the n:1 column combine. Splitting and
+// combining each cost 10·log10(n) dB even when lossless.
+func (p OpticalParams) WorstPathLossDB(n int) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("opcm: array size %d must be positive", n)
+	}
+	fanout := 10 * math.Log10(float64(n)) // 1:n split
+	fanin := 10 * math.Log10(float64(n))  // n:1 combine
+	return fanout + fanin +
+		float64(n)*p.CrossingLossDB +
+		float64(n)*p.DCLossDB +
+		p.GSTLossDB, nil
+}
+
+// LaserPowerPerWavelengthW returns the laser power (W) one wavelength
+// needs so the detector still receives enough power after the
+// worst-case loss, divided by the quantum efficiency. The detector
+// requirement scales as (n/DetectorRefSize)² because an n-input column
+// must resolve n distinguishable levels at fixed SNR. At the paper's
+// default configuration (n = 64) this evaluates to ≈ 0.469 W, matching
+// the 469 mW per wavelength reported in Section IV-A.
+func (p OpticalParams) LaserPowerPerWavelengthW(n int) (float64, error) {
+	lossDB, err := p.WorstPathLossDB(n)
+	if err != nil {
+		return 0, err
+	}
+	linearLoss := math.Pow(10, lossDB/10)
+	scale := float64(n) / float64(p.DetectorRefSize)
+	return p.DetectorPowerW * scale * scale * linearLoss / p.QuantumEfficiency, nil
+}
+
+// TotalLaserPowerW returns the laser power for an n×n array driving all
+// n wavelengths simultaneously.
+func (p OpticalParams) TotalLaserPowerW(n int) (float64, error) {
+	per, err := p.LaserPowerPerWavelengthW(n)
+	if err != nil {
+		return 0, err
+	}
+	return per * float64(n), nil
+}

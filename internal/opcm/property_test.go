@@ -1,0 +1,116 @@
+package opcm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sophie/internal/linalg"
+)
+
+// Property: quantizeCell is idempotent and never exceeds the half-step
+// error bound for in-range values.
+func TestQuantizeCellProperty(t *testing.T) {
+	tiles := randomTiles(4, 1, 100)
+	e, err := NewEngine(tiles, 0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := e.scale / float64(e.levels()-1)
+	f := func(raw float64) bool {
+		v := math.Abs(math.Mod(raw, e.scale)) // map into [0, scale)
+		q := e.quantizeCell(v)
+		if math.Abs(q-v) > step/2+1e-12 {
+			return false
+		}
+		return e.quantizeCell(q) == q // idempotent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mul is linear in the engine's stored matrix sign split —
+// programming tile T and -T gives negated outputs.
+func TestPosNegSymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(8)
+		tile := linalg.NewMatrix(n, n)
+		for i := range tile.Data() {
+			tile.Data()[i] = rng.NormFloat64()
+		}
+		neg := tile.Clone()
+		neg.Scale(-1)
+		scale := tile.MaxAbs()
+		if scale == 0 {
+			continue
+		}
+		ePos, err := NewEngine([]*linalg.Matrix{tile}, scale, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eNeg, err := NewEngine([]*linalg.Matrix{neg}, scale, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(2))
+		}
+		a := make([]float64, n)
+		b := make([]float64, n)
+		ePos.Mul(0, false, x, a)
+		eNeg.Mul(0, false, x, b)
+		for i := range a {
+			if math.Abs(a[i]+b[i]) > 1e-9 {
+				t.Fatalf("trial %d: pos/neg asymmetry at %d: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// Property: QuantizeReadout output is always on the ADC code grid and
+// within full scale.
+func TestQuantizeReadoutGridProperty(t *testing.T) {
+	tiles := randomTiles(8, 1, 102)
+	e, err := NewEngine(tiles, 0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := e.fullScaleOutput()
+	half := float64(int(1)<<(e.params.ADCBits-1)) - 1
+	f := func(raw float64) bool {
+		v := []float64{raw}
+		e.QuantizeReadout(v)
+		if math.Abs(v[0]) > fs+1e-9 {
+			return false
+		}
+		code := v[0] / fs * half
+		return math.Abs(code-math.Round(code)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: drift factors decay monotonically with age and stay in (0,1].
+func TestDriftFactorMonotoneProperty(t *testing.T) {
+	tiles := randomTiles(4, 1, 103)
+	e, err := NewDriftEngine(tiles, 0, DefaultParams(), 0.02, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, age := range []float64{0, 1e-3, 1, 60, 3600, 86400, 86400 * 365} {
+		f := e.driftFactor(age)
+		if f <= 0 || f > 1 {
+			t.Fatalf("drift factor %v at age %v outside (0,1]", f, age)
+		}
+		if f > prev+1e-15 {
+			t.Fatalf("drift factor increased with age: %v -> %v", prev, f)
+		}
+		prev = f
+	}
+}

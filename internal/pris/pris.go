@@ -1,0 +1,224 @@
+// Package pris implements the Photonic Recurrent Ising Sampler of
+// Roques-Carmes et al., the reference algorithm SOPHIE modifies
+// (Section II-C). The recurrence is
+//
+//	X ~ N(C·S, φ)        (Eq. 5)
+//	S' = Th_θ(X)         (Eq. 6), θᵢ = Σⱼ Cᵢⱼ/2 (Eq. 7)
+//
+// over binary states S ∈ {0,1}ᴺ, where C is the eigenvalue-dropout
+// transform of the coupling matrix (Eq. 2-4). Running the recurrence
+// drives the system toward low-energy states of the Ising Hamiltonian.
+//
+// The noise parameter φ is dimensionless: the per-component standard
+// deviation is φ·‖Cᵢ‖₂ (row norm), so the same φ values the paper
+// reports (0.1-0.2) are meaningful across graphs of different order and
+// density. internal/core reuses this calibration so the modified
+// algorithm and the reference are directly comparable.
+package pris
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sophie/internal/ising"
+	"sophie/internal/linalg"
+)
+
+// Config controls a PRIS run.
+type Config struct {
+	// Phi is the dimensionless noise standard deviation (Eq. 5).
+	Phi float64
+	// Alpha is the eigenvalue dropout factor in [0,1] (Eq. 4).
+	Alpha float64
+	// Iterations is the number of recurrent steps.
+	Iterations int
+	// Seed makes the stochastic recurrence reproducible.
+	Seed int64
+	// SkipTransform uses C = K directly instead of the eigenvalue
+	// dropout preprocessing. The O(n³) decomposition is host-side work;
+	// skipping it matches how large instances are handled (DESIGN.md).
+	SkipTransform bool
+	// RecordTrace stores the energy after every iteration in the result.
+	RecordTrace bool
+	// InitialSpins optionally fixes the starting state (±1 per spin);
+	// nil draws a uniform random state from Seed.
+	InitialSpins []int8
+}
+
+func (c *Config) validate(n int) error {
+	if c.Phi < 0 {
+		return fmt.Errorf("pris: negative noise phi %v", c.Phi)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("pris: alpha %v outside [0,1]", c.Alpha)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("pris: iterations must be positive, got %d", c.Iterations)
+	}
+	if c.InitialSpins != nil && len(c.InitialSpins) != n {
+		return fmt.Errorf("pris: %d initial spins for %d-spin model", len(c.InitialSpins), n)
+	}
+	return nil
+}
+
+// Result reports the outcome of a PRIS run.
+type Result struct {
+	// BestSpins is the lowest-energy ±1 state visited.
+	BestSpins []int8
+	// BestEnergy is the Hamiltonian at BestSpins.
+	BestEnergy float64
+	// BestIteration is the step at which BestEnergy was first reached.
+	BestIteration int
+	// FinalSpins is the state after the last iteration.
+	FinalSpins []int8
+	// EnergyTrace holds the energy after each iteration when
+	// Config.RecordTrace is set.
+	EnergyTrace []float64
+}
+
+// Transform precomputes the PRIS transformation matrix C and thresholds
+// for a model, so repeated solves (e.g. parameter sweeps over φ) do not
+// repeat the O(n³) eigendecomposition.
+type Transform struct {
+	C          *linalg.Matrix
+	Thresholds []float64
+	RowNorms   []float64 // ‖Cᵢ‖₂, the noise scale per component
+}
+
+// NewTransform builds the transform for the model with the given dropout
+// factor; skip selects C = K without eigendecomposition.
+func NewTransform(m *ising.Model, alpha float64, skip bool) (*Transform, error) {
+	var c *linalg.Matrix
+	if skip {
+		c = m.Coupling().Clone()
+	} else {
+		var err error
+		c, err = linalg.PRISTransform(m.Coupling(), alpha)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return wrapTransform(c), nil
+}
+
+// NewTransformRank builds the transform through the rank-limited Lanczos
+// path (linalg.PRISTransformRank): O(rank·n²) instead of O(n³), for
+// problems too large for dense eigendecomposition.
+func NewTransformRank(m *ising.Model, alpha float64, rank int, seed int64) (*Transform, error) {
+	c, err := linalg.PRISTransformRank(m.Coupling(), alpha, rank, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrapTransform(c), nil
+}
+
+// NewTransformRankSparse builds the rank-limited transform directly
+// from a sparse coupling matrix (e.g. graph.CouplingCSR), so the
+// Krylov iterations cost O(nnz) instead of O(n²) per step.
+func NewTransformRankSparse(k *linalg.CSR, alpha float64, rank int, seed int64) (*Transform, error) {
+	c, err := linalg.PRISTransformRankSparse(k, alpha, rank, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrapTransform(c), nil
+}
+
+func wrapTransform(c *linalg.Matrix) *Transform {
+	t := &Transform{C: c, Thresholds: linalg.Thresholds(c)}
+	t.RowNorms = make([]float64, c.Rows())
+	for i := range t.RowNorms {
+		t.RowNorms[i] = linalg.VecNorm2(c.Row(i))
+	}
+	return t
+}
+
+// Step performs one PRIS recurrence step in place: given binary state s,
+// it writes the next binary state into s using scratch buffer x
+// (len n) and the provided RNG. It returns s.
+func (t *Transform) Step(s, x []float64, phi float64, rng *rand.Rand) []float64 {
+	// x = C·s, accumulated row-major over the set bits of s.
+	for i := range x {
+		x[i] = 0
+	}
+	n := t.C.Rows()
+	for j := 0; j < n; j++ {
+		if s[j] == 0 {
+			continue
+		}
+		// Column j of C equals row j by symmetry, so stream the row.
+		row := t.C.Row(j)
+		for i, v := range row {
+			x[i] += v
+		}
+	}
+	for i := 0; i < n; i++ {
+		noisy := x[i]
+		if phi > 0 {
+			noisy += rng.NormFloat64() * phi * t.RowNorms[i]
+		}
+		if noisy < t.Thresholds[i] {
+			s[i] = 0
+		} else {
+			s[i] = 1
+		}
+	}
+	return s
+}
+
+// Solve runs the PRIS recurrence on the model and returns the
+// lowest-energy state visited.
+func Solve(m *ising.Model, cfg Config) (*Result, error) {
+	if err := cfg.validate(m.N()); err != nil {
+		return nil, err
+	}
+	t, err := NewTransform(m, cfg.Alpha, cfg.SkipTransform)
+	if err != nil {
+		return nil, err
+	}
+	return SolveWithTransform(m, t, cfg)
+}
+
+// SolveWithTransform runs PRIS with a precomputed transform, sharing the
+// expensive preprocessing across runs.
+func SolveWithTransform(m *ising.Model, t *Transform, cfg Config) (*Result, error) {
+	n := m.N()
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+	if t.C.Rows() != n {
+		return nil, fmt.Errorf("pris: transform is %dx%d for %d-spin model", t.C.Rows(), t.C.Cols(), n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var spins []int8
+	if cfg.InitialSpins != nil {
+		spins = append([]int8(nil), cfg.InitialSpins...)
+	} else {
+		spins = ising.RandomSpins(n, func() bool { return rng.Intn(2) == 0 })
+	}
+	s := ising.SpinsToBinary(spins)
+	x := make([]float64, n)
+
+	res := &Result{
+		BestSpins:  append([]int8(nil), spins...),
+		BestEnergy: m.Energy(spins),
+	}
+	if cfg.RecordTrace {
+		res.EnergyTrace = make([]float64, 0, cfg.Iterations)
+	}
+	for iter := 1; iter <= cfg.Iterations; iter++ {
+		t.Step(s, x, cfg.Phi, rng)
+		cur := ising.BinaryToSpins(s)
+		e := m.Energy(cur)
+		if cfg.RecordTrace {
+			res.EnergyTrace = append(res.EnergyTrace, e)
+		}
+		if e < res.BestEnergy {
+			res.BestEnergy = e
+			res.BestIteration = iter
+			copy(res.BestSpins, cur)
+		}
+	}
+	res.FinalSpins = ising.BinaryToSpins(s)
+	return res, nil
+}

@@ -1,0 +1,243 @@
+package pris
+
+import (
+	"math"
+	"testing"
+
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+)
+
+func smallGraph(t *testing.T) (*graph.Graph, *ising.Model) {
+	t.Helper()
+	g, err := graph.Random(40, 120, graph.WeightUnit, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ising.FromMaxCut(g)
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, m := smallGraph(t)
+	bad := []Config{
+		{Phi: -1, Iterations: 10},
+		{Alpha: 2, Iterations: 10},
+		{Alpha: -0.5, Iterations: 10},
+		{Iterations: 0},
+		{Iterations: 5, InitialSpins: []int8{1}},
+	}
+	for i, cfg := range bad {
+		if _, err := Solve(m, cfg); err == nil {
+			t.Errorf("config %d should have been rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSolveImprovesOverRandom(t *testing.T) {
+	g, m := smallGraph(t)
+	cfg := Config{Phi: 0.15, Alpha: 0, Iterations: 300, Seed: 1}
+	res, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := g.CutValue(res.BestSpins)
+	// A random cut captures ~half the edges; PRIS should do meaningfully
+	// better on this easy instance.
+	if cut < 0.55*float64(g.M()) {
+		t.Fatalf("PRIS cut %v of %d edges — no better than random", cut, g.M())
+	}
+	if res.BestEnergy != m.Energy(res.BestSpins) {
+		t.Fatal("BestEnergy inconsistent with BestSpins")
+	}
+}
+
+func TestSolveDeterministicForSeed(t *testing.T) {
+	_, m := smallGraph(t)
+	cfg := Config{Phi: 0.2, Iterations: 100, Seed: 42}
+	a, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestEnergy != b.BestEnergy || a.BestIteration != b.BestIteration {
+		t.Fatalf("nondeterministic: %v@%d vs %v@%d", a.BestEnergy, a.BestIteration, b.BestEnergy, b.BestIteration)
+	}
+	for i := range a.BestSpins {
+		if a.BestSpins[i] != b.BestSpins[i] {
+			t.Fatal("spins differ across identical runs")
+		}
+	}
+}
+
+func TestSolveDifferentSeedsDiffer(t *testing.T) {
+	_, m := smallGraph(t)
+	a, _ := Solve(m, Config{Phi: 0.2, Iterations: 50, Seed: 1})
+	b, _ := Solve(m, Config{Phi: 0.2, Iterations: 50, Seed: 2})
+	same := true
+	for i := range a.FinalSpins {
+		if a.FinalSpins[i] != b.FinalSpins[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should explore different trajectories")
+	}
+}
+
+func TestRecordTrace(t *testing.T) {
+	_, m := smallGraph(t)
+	res, err := Solve(m, Config{Phi: 0.1, Iterations: 25, Seed: 3, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EnergyTrace) != 25 {
+		t.Fatalf("trace length %d, want 25", len(res.EnergyTrace))
+	}
+	min := math.Inf(1)
+	for _, e := range res.EnergyTrace {
+		if e < min {
+			min = e
+		}
+	}
+	if res.BestEnergy > min {
+		t.Fatal("BestEnergy must be <= every traced energy")
+	}
+}
+
+func TestInitialSpinsRespected(t *testing.T) {
+	_, m := smallGraph(t)
+	init := make([]int8, m.N())
+	for i := range init {
+		init[i] = 1
+	}
+	res, err := Solve(m, Config{Phi: 0, Iterations: 1, Seed: 9, InitialSpins: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The initial all-up state is a candidate for best.
+	if res.BestEnergy > m.Energy(init) {
+		t.Fatal("initial state energy must bound BestEnergy")
+	}
+}
+
+func TestSkipTransformRuns(t *testing.T) {
+	g, m := smallGraph(t)
+	res, err := Solve(m, Config{Phi: 0.15, Iterations: 200, Seed: 5, SkipTransform: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CutValue(res.BestSpins); got <= 0 {
+		t.Fatalf("skip-transform run produced cut %v", got)
+	}
+}
+
+func TestNewTransformShapes(t *testing.T) {
+	_, m := smallGraph(t)
+	tr, err := NewTransform(m, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.N()
+	if tr.C.Rows() != n || len(tr.Thresholds) != n || len(tr.RowNorms) != n {
+		t.Fatal("transform shapes wrong")
+	}
+	for i, th := range tr.Thresholds {
+		sum := 0.0
+		for _, v := range tr.C.Row(i) {
+			sum += v
+		}
+		if math.Abs(th-sum/2) > 1e-9 {
+			t.Fatalf("threshold %d = %v, want %v", i, th, sum/2)
+		}
+	}
+}
+
+func TestSolveWithTransformMismatch(t *testing.T) {
+	_, m := smallGraph(t)
+	gBig, _ := graph.Random(10, 20, graph.WeightUnit, 2)
+	mSmall := ising.FromMaxCut(gBig)
+	tr, err := NewTransform(mSmall, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveWithTransform(m, tr, Config{Phi: 0.1, Iterations: 5}); err == nil {
+		t.Fatal("expected transform/model shape mismatch error")
+	}
+}
+
+func TestZeroNoiseIsDeterministicDynamics(t *testing.T) {
+	// With φ=0 the recurrence is a deterministic map; two runs from the
+	// same initial state must coincide exactly, including the trace.
+	_, m := smallGraph(t)
+	init := make([]int8, m.N())
+	for i := range init {
+		if i%3 == 0 {
+			init[i] = 1
+		} else {
+			init[i] = -1
+		}
+	}
+	cfg := Config{Phi: 0, Iterations: 30, RecordTrace: true, InitialSpins: init}
+	a, _ := Solve(m, cfg)
+	cfg.Seed = 999 // seed must not matter at φ=0 with fixed init
+	b, _ := Solve(m, cfg)
+	for i := range a.EnergyTrace {
+		if a.EnergyTrace[i] != b.EnergyTrace[i] {
+			t.Fatal("zero-noise dynamics depended on the seed")
+		}
+	}
+}
+
+func BenchmarkPRISStep256(b *testing.B) {
+	g, err := graph.Random(256, 2000, graph.WeightUnit, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ising.FromMaxCut(g)
+	tr, err := NewTransform(m, 0, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := SolveWithTransform(m, tr, Config{Phi: 0.1, Iterations: 1, Seed: 1})
+	_ = res
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveWithTransform(m, tr, Config{Phi: 0.1, Iterations: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNewTransformRankSparseMatchesDense(t *testing.T) {
+	g, err := graph.Random(40, 120, graph.WeightUnit, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ising.FromMaxCut(g)
+	dense, err := NewTransformRank(m, 0, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewTransformRankSparse(g.CouplingCSR(), 0, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dense.C.Data() {
+		d := dense.C.Data()[i] - sparse.C.Data()[i]
+		if d > 1e-8 || d < -1e-8 {
+			t.Fatalf("sparse transform differs at %d", i)
+		}
+	}
+	for i := range dense.Thresholds {
+		if math.Abs(dense.Thresholds[i]-sparse.Thresholds[i]) > 1e-8 {
+			t.Fatal("thresholds differ")
+		}
+	}
+}

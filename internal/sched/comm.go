@@ -1,0 +1,99 @@
+package sched
+
+import "fmt"
+
+// Section III-D: "we need to gather/scatter data from a row of logical
+// tiles; however, those logical tiles may not reside in the same row of
+// physical tiles" — the host therefore generates explicit transfer
+// lists the controller replays. CommSchedule materializes that list for
+// one global iteration.
+
+// CommKind classifies one synchronization transfer.
+type CommKind int
+
+const (
+	// CommPartialOut sends a tile's 8-bit local partial-sum vector to
+	// the controller/DRAM.
+	CommPartialOut CommKind = iota
+	// CommSpinOut sends a tile's 1-bit local spin copy.
+	CommSpinOut
+	// CommOffsetIn delivers a rebuilt 8-bit offset vector to a tile.
+	CommOffsetIn
+	// CommSpinIn broadcasts the reconciled 1-bit spin block to a tile.
+	CommSpinIn
+)
+
+func (k CommKind) String() string {
+	switch k {
+	case CommPartialOut:
+		return "partial-out"
+	case CommSpinOut:
+		return "spin-out"
+	case CommOffsetIn:
+		return "offset-in"
+	case CommSpinIn:
+		return "spin-in"
+	default:
+		return fmt.Sprintf("CommKind(%d)", int(k))
+	}
+}
+
+// CommOp is one transfer between a PE slot and the controller/DRAM.
+type CommOp struct {
+	Kind CommKind
+	// Pair is the logical pair index the buffer belongs to.
+	Pair int
+	// Block is the logical tile block the vector spans.
+	Block int
+	// Round and Slot locate the physical PE executing the pair.
+	Round, Slot int
+	// Bytes is the payload for the whole batch.
+	Bytes int
+}
+
+// CommSchedule generates the ordered transfer list of one global
+// iteration for a batch of jobs: each selected pair ships two partial
+// sums and two spin copies out and receives two offsets and two
+// reconciled spin blocks back (diagonal pairs: one each).
+func (p *Plan) CommSchedule(iter, batch int) ([]CommOp, error) {
+	if iter < 0 || iter >= len(p.Iterations) {
+		return nil, fmt.Errorf("sched: iteration %d outside plan of %d", iter, len(p.Iterations))
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("sched: batch must be positive, got %d", batch)
+	}
+	t := p.Grid.TileSize
+	bytes8b := t * batch         // one 8-bit vector per job
+	bytes1b := (t*batch + 7) / 8 // one 1-bit vector per job, packed
+	pairs := p.Grid.Pairs()
+
+	var ops []CommOp
+	it := p.Iterations[iter]
+	for ri, round := range it.Rounds {
+		for slot, pairIdx := range round.Pairs {
+			pr := pairs[pairIdx]
+			blocks := []int{pr.Row}
+			if !pr.IsDiagonal() {
+				blocks = append(blocks, pr.Col)
+			}
+			for _, b := range blocks {
+				ops = append(ops,
+					CommOp{Kind: CommPartialOut, Pair: pairIdx, Block: b, Round: ri, Slot: slot, Bytes: bytes8b},
+					CommOp{Kind: CommSpinOut, Pair: pairIdx, Block: b, Round: ri, Slot: slot, Bytes: bytes1b},
+					CommOp{Kind: CommOffsetIn, Pair: pairIdx, Block: b, Round: ri, Slot: slot, Bytes: bytes8b},
+					CommOp{Kind: CommSpinIn, Pair: pairIdx, Block: b, Round: ri, Slot: slot, Bytes: bytes1b},
+				)
+			}
+		}
+	}
+	return ops, nil
+}
+
+// TotalBytes sums a transfer list's payloads.
+func TotalBytes(ops []CommOp) int {
+	sum := 0
+	for _, op := range ops {
+		sum += op.Bytes
+	}
+	return sum
+}

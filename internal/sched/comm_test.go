@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+)
+
+func commPlan(t *testing.T) *Plan {
+	t.Helper()
+	g := grid(t, 80, 8) // 10x10 tiles -> 55 pairs
+	hw := Hardware{Accelerators: 1, ChipletsPerAccel: 2, PEsPerChiplet: 4, TileSize: 8}
+	plan, err := Generate(g, hw, Options{GlobalIters: 4, TileFraction: 0.6, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestCommScheduleValidation(t *testing.T) {
+	plan := commPlan(t)
+	if _, err := plan.CommSchedule(99, 1); err == nil {
+		t.Fatal("out-of-range iteration must be rejected")
+	}
+	if _, err := plan.CommSchedule(0, 0); err == nil {
+		t.Fatal("zero batch must be rejected")
+	}
+}
+
+func TestCommScheduleCoversEverySelectedPair(t *testing.T) {
+	plan := commPlan(t)
+	pairs := plan.Grid.Pairs()
+	for iter := range plan.Iterations {
+		ops, err := plan.CommSchedule(iter, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tally ops per pair per kind.
+		count := map[int]map[CommKind]int{}
+		for _, op := range ops {
+			if count[op.Pair] == nil {
+				count[op.Pair] = map[CommKind]int{}
+			}
+			count[op.Pair][op.Kind]++
+			// The op's block must belong to the pair.
+			pr := pairs[op.Pair]
+			if op.Block != pr.Row && op.Block != pr.Col {
+				t.Fatalf("op for pair %d touches foreign block %d", op.Pair, op.Block)
+			}
+		}
+		for _, pi := range plan.Iterations[iter].Selected {
+			want := 2
+			if pairs[pi].IsDiagonal() {
+				want = 1
+			}
+			for _, kind := range []CommKind{CommPartialOut, CommSpinOut, CommOffsetIn, CommSpinIn} {
+				if count[pi][kind] != want {
+					t.Fatalf("iter %d pair %d has %d %v ops, want %d", iter, pi, count[pi][kind], kind, want)
+				}
+			}
+		}
+		if len(count) != len(plan.Iterations[iter].Selected) {
+			t.Fatalf("iter %d: ops cover %d pairs, selected %d", iter, len(count), len(plan.Iterations[iter].Selected))
+		}
+	}
+}
+
+func TestCommScheduleBytesMatchArchModel(t *testing.T) {
+	// The sum of the transfer list must equal the analytic model's
+	// per-pair payload (2t bytes of partials + 2t of offsets + 2·t/8 of
+	// spins each way, per job) for off-diagonal pairs.
+	g := grid(t, 64, 8) // 8x8 tiles
+	hw := Hardware{Accelerators: 1, ChipletsPerAccel: 1, PEsPerChiplet: 8, TileSize: 8}
+	plan, err := Generate(g, hw, Options{GlobalIters: 1, TileFraction: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := 4
+	ops, err := plan.CommSchedule(0, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tSize := 8
+	perBlock := 2*tSize*batch + 2*((tSize*batch+7)/8) // 8-bit out+in, 1-bit out+in
+	wantBytes := 0
+	for _, pr := range g.Pairs() {
+		blocks := 2
+		if pr.IsDiagonal() {
+			blocks = 1
+		}
+		wantBytes += blocks * perBlock
+	}
+	if got := TotalBytes(ops); got != wantBytes {
+		t.Fatalf("schedule bytes %d, want %d", got, wantBytes)
+	}
+}
+
+func TestCommKindString(t *testing.T) {
+	names := map[CommKind]string{
+		CommPartialOut: "partial-out",
+		CommSpinOut:    "spin-out",
+		CommOffsetIn:   "offset-in",
+		CommSpinIn:     "spin-in",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+	if CommKind(99).String() == "" {
+		t.Fatal("unknown kind must render")
+	}
+}
+
+func TestCommScheduleSlotsMatchRounds(t *testing.T) {
+	plan := commPlan(t)
+	ops, err := plan.CommSchedule(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := plan.Iterations[0]
+	for _, op := range ops {
+		if op.Round < 0 || op.Round >= len(it.Rounds) {
+			t.Fatalf("op round %d out of range", op.Round)
+		}
+		round := it.Rounds[op.Round]
+		if op.Slot < 0 || op.Slot >= len(round.Pairs) {
+			t.Fatalf("op slot %d out of range", op.Slot)
+		}
+		if round.Pairs[op.Slot] != op.Pair {
+			t.Fatalf("op pair %d does not match slot occupancy %d", op.Pair, round.Pairs[op.Slot])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"fmt"
+
+	"sophie/internal/tiling"
+)
+
+// Multi-accelerator partitioning (Section III-B): "The DRAM chiplet
+// contains DDR4 memory and stores all the coupling matrix tiles
+// assigned to its interposer". Global synchronization between
+// interposers crosses the CXL bus, so the partition should keep each
+// block column's tiles on as few accelerators as possible — a column
+// spanning two interposers must reconcile its spin copies over the bus.
+
+// Partition assigns tile pairs to accelerators.
+type Partition struct {
+	// PairAccel[pairIndex] = accelerator owning that pair.
+	PairAccel []int
+	// Load[a] = pairs assigned to accelerator a.
+	Load []int
+}
+
+// PartitionPairs splits the grid's symmetric tile pairs across accels
+// accelerators using contiguous row bands: pair (r,c) goes to the
+// accelerator owning row band r. Row bands are sized so the triangular
+// pair counts balance (row r owns Tiles-r pairs, so bands get narrower
+// toward the bottom).
+func PartitionPairs(grid *tiling.Grid, accels int) (*Partition, error) {
+	if accels < 1 {
+		return nil, fmt.Errorf("sched: need at least one accelerator, got %d", accels)
+	}
+	total := grid.PairCount()
+	target := float64(total) / float64(accels)
+	p := &Partition{
+		PairAccel: make([]int, total),
+		Load:      make([]int, accels),
+	}
+	accel := 0
+	assigned := 0.0
+	for r := 0; r < grid.Tiles; r++ {
+		rowPairs := grid.Tiles - r
+		// Advance to the next accelerator when the current band has
+		// reached its share (never past the last accelerator).
+		if accel < accels-1 && assigned+float64(rowPairs)/2 > target*float64(accel+1) {
+			accel++
+		}
+		for c := r; c < grid.Tiles; c++ {
+			idx := grid.PairIndex(r, c)
+			p.PairAccel[idx] = accel
+			p.Load[accel]++
+		}
+		assigned += float64(rowPairs)
+	}
+	return p, nil
+}
+
+// ColumnSpans returns, for each block column, how many accelerators its
+// pairs touch — each column spanning more than one accelerator pays
+// cross-interposer reconciliation per global iteration.
+func (p *Partition) ColumnSpans(grid *tiling.Grid) []int {
+	touch := make([]map[int]bool, grid.Tiles)
+	for i := range touch {
+		touch[i] = make(map[int]bool)
+	}
+	for r := 0; r < grid.Tiles; r++ {
+		for c := r; c < grid.Tiles; c++ {
+			a := p.PairAccel[grid.PairIndex(r, c)]
+			touch[r][a] = true
+			touch[c][a] = true
+		}
+	}
+	spans := make([]int, grid.Tiles)
+	for b := range spans {
+		spans[b] = len(touch[b])
+	}
+	return spans
+}
+
+// CrossColumns counts block columns spanning more than one accelerator.
+func (p *Partition) CrossColumns(grid *tiling.Grid) int {
+	n := 0
+	for _, s := range p.ColumnSpans(grid) {
+		if s > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Imbalance returns (max load - min load) / mean load, the load-balance
+// quality of the partition.
+func (p *Partition) Imbalance() float64 {
+	if len(p.Load) == 0 {
+		return 0
+	}
+	min, max, sum := p.Load[0], p.Load[0], 0
+	for _, l := range p.Load {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	mean := float64(sum) / float64(len(p.Load))
+	if mean == 0 {
+		return 0
+	}
+	return float64(max-min) / mean
+}

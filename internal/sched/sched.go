@@ -1,0 +1,245 @@
+// Package sched generates the static mapping and scheduling information
+// SOPHIE's host produces before computation starts (Section III-D): which
+// symmetric tile pairs run in which round on which PE, when OPCM arrays
+// must be reprogrammed, and the pre-drawn randomness of the stochastic
+// global iterations (tile selection and spin-update source picks). The
+// controller chiplet only replays this plan with simple state machines.
+//
+// For configurations too large to materialize (K32768 runs hold 131k
+// pairs per iteration), Summarize computes the same per-iteration round
+// and reprogramming statistics analytically; internal/arch consumes
+// either form.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sophie/internal/tiling"
+)
+
+// Hardware describes the accelerator pool available to one solve
+// (Section IV-A: each accelerator integrates 4 OPCM chiplets of 64 PEs;
+// each PE stores one symmetric tile pair in a TileSize² array).
+type Hardware struct {
+	Accelerators     int
+	ChipletsPerAccel int
+	PEsPerChiplet    int
+	TileSize         int
+}
+
+// DefaultHardware returns one accelerator in the paper's configuration.
+func DefaultHardware() Hardware {
+	return Hardware{Accelerators: 1, ChipletsPerAccel: 4, PEsPerChiplet: 64, TileSize: 64}
+}
+
+// Validate checks that all dimensions are positive.
+func (h Hardware) Validate() error {
+	if h.Accelerators <= 0 || h.ChipletsPerAccel <= 0 || h.PEsPerChiplet <= 0 || h.TileSize <= 0 {
+		return fmt.Errorf("sched: hardware dimensions must be positive: %+v", h)
+	}
+	return nil
+}
+
+// TotalPEs returns the number of physical OPCM arrays in the pool.
+func (h Hardware) TotalPEs() int {
+	return h.Accelerators * h.ChipletsPerAccel * h.PEsPerChiplet
+}
+
+// Capacity returns the number of coupling coefficients the pool can hold
+// at once. Thanks to symmetric tile mapping each PE serves two logical
+// tiles, so the logical capacity is twice the physical cell count per
+// polarity; we report the physical tile capacity TotalPEs·TileSize².
+func (h Hardware) Capacity() int {
+	return h.TotalPEs() * h.TileSize * h.TileSize
+}
+
+// Options controls plan generation.
+type Options struct {
+	// GlobalIters is the number of global iterations to schedule.
+	GlobalIters int
+	// TileFraction is the fraction of pairs selected per global
+	// iteration (stochastic tile computation).
+	TileFraction float64
+	// Seed fixes the pre-generated randomness.
+	Seed int64
+}
+
+func (o Options) validate() error {
+	if o.GlobalIters <= 0 {
+		return fmt.Errorf("sched: global iterations must be positive, got %d", o.GlobalIters)
+	}
+	if o.TileFraction <= 0 || o.TileFraction > 1 {
+		return fmt.Errorf("sched: tile fraction %v outside (0,1]", o.TileFraction)
+	}
+	return nil
+}
+
+// Round is one hardware occupancy: the pair scheduled on each PE slot
+// (len ≤ TotalPEs) and which of those slots must reprogram their array
+// because it held a different pair before.
+type Round struct {
+	Pairs     []int
+	Reprogram []bool
+}
+
+// GlobalIteration is the schedule of one global iteration.
+type GlobalIteration struct {
+	// Selected lists the pair indices chosen by stochastic tile
+	// computation, in scheduling order.
+	Selected []int
+	// Rounds partitions Selected into hardware occupancies.
+	Rounds []Round
+	// SpinSource[b] gives, for each tile block b, the index into
+	// Selected of the pair whose local spin copy is broadcast by the
+	// stochastic spin update; -1 when no selected pair touches b.
+	SpinSource []int
+}
+
+// Plan is the full statically generated schedule.
+type Plan struct {
+	Grid       *tiling.Grid
+	Hardware   Hardware
+	Iterations []GlobalIteration
+	// Programs counts OPCM array programming events across the plan,
+	// including the initial load.
+	Programs int
+	// Resident reports whether every pair fits simultaneously, in which
+	// case arrays are programmed exactly once.
+	Resident bool
+}
+
+// Generate builds the full static plan. The schedule is deterministic
+// for a given seed — exactly what the host ships to the controller.
+func Generate(grid *tiling.Grid, hw Hardware, opt Options) (*Plan, error) {
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if hw.TileSize != grid.TileSize {
+		return nil, fmt.Errorf("sched: hardware tile size %d != grid tile size %d", hw.TileSize, grid.TileSize)
+	}
+	nPairs := grid.PairCount()
+	totalPEs := hw.TotalPEs()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	selectCount := int(float64(nPairs)*opt.TileFraction + 0.5)
+	if selectCount < 1 {
+		selectCount = 1
+	}
+
+	plan := &Plan{Grid: grid, Hardware: hw, Resident: nPairs <= totalPEs}
+	// residency[pe] = pair currently programmed on that PE, -1 = empty.
+	residency := make([]int, totalPEs)
+	for i := range residency {
+		residency[i] = -1
+	}
+	// In the resident case pairs are pinned: pair i lives on PE i.
+	perm := make([]int, nPairs)
+	for i := range perm {
+		perm[i] = i
+	}
+	pairs := grid.Pairs()
+
+	for g := 0; g < opt.GlobalIters; g++ {
+		var selected []int
+		if selectCount == nPairs {
+			selected = append([]int(nil), perm...)
+		} else {
+			rng.Shuffle(nPairs, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			selected = append([]int(nil), perm[:selectCount]...)
+		}
+
+		it := GlobalIteration{Selected: selected}
+		for start := 0; start < len(selected); start += totalPEs {
+			end := start + totalPEs
+			if end > len(selected) {
+				end = len(selected)
+			}
+			round := Round{
+				Pairs:     selected[start:end],
+				Reprogram: make([]bool, end-start),
+			}
+			for slot, pair := range round.Pairs {
+				pe := slot
+				if plan.Resident {
+					pe = pair // pinned placement
+				}
+				if residency[pe] != pair {
+					residency[pe] = pair
+					round.Reprogram[slot] = true
+					plan.Programs++
+				}
+			}
+			it.Rounds = append(it.Rounds, round)
+		}
+
+		// Stochastic spin update source picks, drawn offline like the
+		// tile selection (Section III-D).
+		it.SpinSource = make([]int, grid.Tiles)
+		touching := make([][]int, grid.Tiles)
+		for si, pi := range selected {
+			p := pairs[pi]
+			touching[p.Row] = append(touching[p.Row], si)
+			if !p.IsDiagonal() {
+				touching[p.Col] = append(touching[p.Col], si)
+			}
+		}
+		for b := 0; b < grid.Tiles; b++ {
+			if len(touching[b]) == 0 {
+				it.SpinSource[b] = -1
+				continue
+			}
+			it.SpinSource[b] = touching[b][rng.Intn(len(touching[b]))]
+		}
+		plan.Iterations = append(plan.Iterations, it)
+	}
+	return plan, nil
+}
+
+// Summary captures the per-iteration scheduling statistics the timing
+// model needs without materializing the plan.
+type Summary struct {
+	Pairs         int     // symmetric tile pairs in the grid
+	SelectedPairs int     // pairs selected per global iteration
+	RoundsPerIter int     // ceil(SelectedPairs / TotalPEs)
+	Resident      bool    // whole problem fits; program once
+	ProgramsTotal float64 // expected array programming events over the plan
+	GlobalIters   int
+}
+
+// Summarize computes the statistics analytically. In the non-resident
+// case nearly every scheduled pair lands on a PE that held a different
+// pair, so programs ≈ selected pairs per iteration; in the resident case
+// arrays are programmed exactly once.
+func Summarize(grid *tiling.Grid, hw Hardware, opt Options) (Summary, error) {
+	if err := hw.Validate(); err != nil {
+		return Summary{}, err
+	}
+	if err := opt.validate(); err != nil {
+		return Summary{}, err
+	}
+	if hw.TileSize != grid.TileSize {
+		return Summary{}, fmt.Errorf("sched: hardware tile size %d != grid tile size %d", hw.TileSize, grid.TileSize)
+	}
+	nPairs := grid.PairCount()
+	totalPEs := hw.TotalPEs()
+	selected := int(float64(nPairs)*opt.TileFraction + 0.5)
+	if selected < 1 {
+		selected = 1
+	}
+	s := Summary{
+		Pairs:         nPairs,
+		SelectedPairs: selected,
+		RoundsPerIter: (selected + totalPEs - 1) / totalPEs,
+		Resident:      nPairs <= totalPEs,
+		GlobalIters:   opt.GlobalIters,
+	}
+	if s.Resident {
+		s.ProgramsTotal = float64(nPairs)
+	} else {
+		s.ProgramsTotal = float64(selected) * float64(opt.GlobalIters)
+	}
+	return s, nil
+}

@@ -1,0 +1,280 @@
+package sched
+
+import (
+	"testing"
+
+	"sophie/internal/tiling"
+)
+
+func grid(t *testing.T, n, tile int) *tiling.Grid {
+	t.Helper()
+	g, err := tiling.NewGrid(n, tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestHardwareBasics(t *testing.T) {
+	h := DefaultHardware()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalPEs() != 256 {
+		t.Fatalf("default pool has %d PEs, want 256", h.TotalPEs())
+	}
+	if h.Capacity() != 256*64*64 {
+		t.Fatalf("capacity %d", h.Capacity())
+	}
+	bad := Hardware{Accelerators: 0, ChipletsPerAccel: 4, PEsPerChiplet: 64, TileSize: 64}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero accelerators must be rejected")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := grid(t, 256, 64)
+	hw := DefaultHardware()
+	if _, err := Generate(g, hw, Options{GlobalIters: 0, TileFraction: 1}); err == nil {
+		t.Fatal("zero iterations must be rejected")
+	}
+	if _, err := Generate(g, hw, Options{GlobalIters: 1, TileFraction: 0}); err == nil {
+		t.Fatal("zero fraction must be rejected")
+	}
+	if _, err := Generate(g, hw, Options{GlobalIters: 1, TileFraction: 2}); err == nil {
+		t.Fatal("fraction > 1 must be rejected")
+	}
+	hw.TileSize = 32
+	if _, err := Generate(g, hw, Options{GlobalIters: 1, TileFraction: 1}); err == nil {
+		t.Fatal("tile size mismatch must be rejected")
+	}
+}
+
+func TestResidentPlanProgramsOnce(t *testing.T) {
+	// 256 nodes / tile 64 -> 4x4 tiles -> 10 pairs, far below 256 PEs.
+	g := grid(t, 256, 64)
+	plan, err := Generate(g, DefaultHardware(), Options{GlobalIters: 20, TileFraction: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Resident {
+		t.Fatal("plan should be resident")
+	}
+	if plan.Programs != g.PairCount() {
+		t.Fatalf("resident plan programmed %d times, want %d", plan.Programs, g.PairCount())
+	}
+	for _, it := range plan.Iterations {
+		if len(it.Rounds) != 1 {
+			t.Fatalf("resident iteration has %d rounds", len(it.Rounds))
+		}
+		if len(it.Selected) != g.PairCount() {
+			t.Fatalf("full fraction selected %d of %d", len(it.Selected), g.PairCount())
+		}
+	}
+}
+
+func TestNonResidentPlanReprograms(t *testing.T) {
+	// Small pool: 1 accelerator with 1 chiplet of 2 PEs; 6 pairs.
+	hw := Hardware{Accelerators: 1, ChipletsPerAccel: 1, PEsPerChiplet: 2, TileSize: 8}
+	g := grid(t, 24, 8) // 3x3 tiles -> 6 pairs
+	plan, err := Generate(g, hw, Options{GlobalIters: 5, TileFraction: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Resident {
+		t.Fatal("plan should not be resident")
+	}
+	for _, it := range plan.Iterations {
+		if len(it.Rounds) != 3 { // 6 pairs over 2 PEs
+			t.Fatalf("iteration has %d rounds, want 3", len(it.Rounds))
+		}
+		for _, r := range it.Rounds {
+			if len(r.Pairs) > hw.TotalPEs() {
+				t.Fatalf("round overcommits: %d pairs on %d PEs", len(r.Pairs), hw.TotalPEs())
+			}
+		}
+	}
+	if plan.Programs <= g.PairCount() {
+		t.Fatalf("non-resident plan should reprogram repeatedly, got %d programs", plan.Programs)
+	}
+}
+
+func TestEverySelectedPairScheduledExactlyOnce(t *testing.T) {
+	hw := Hardware{Accelerators: 1, ChipletsPerAccel: 2, PEsPerChiplet: 3, TileSize: 8}
+	g := grid(t, 80, 8) // 10x10 tiles -> 55 pairs
+	plan, err := Generate(g, hw, Options{GlobalIters: 10, TileFraction: 0.6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(0.6*float64(g.PairCount()) + 0.5)
+	for gi, it := range plan.Iterations {
+		if len(it.Selected) != want {
+			t.Fatalf("iteration %d selected %d pairs, want %d", gi, len(it.Selected), want)
+		}
+		seen := map[int]bool{}
+		scheduled := 0
+		for _, r := range it.Rounds {
+			for _, p := range r.Pairs {
+				if seen[p] {
+					t.Fatalf("iteration %d schedules pair %d twice", gi, p)
+				}
+				seen[p] = true
+				scheduled++
+			}
+		}
+		if scheduled != len(it.Selected) {
+			t.Fatalf("iteration %d scheduled %d of %d selected", gi, scheduled, len(it.Selected))
+		}
+		for _, p := range it.Selected {
+			if !seen[p] {
+				t.Fatalf("iteration %d never scheduled selected pair %d", gi, p)
+			}
+		}
+	}
+}
+
+func TestSpinSourcesValid(t *testing.T) {
+	hw := Hardware{Accelerators: 1, ChipletsPerAccel: 2, PEsPerChiplet: 4, TileSize: 8}
+	g := grid(t, 64, 8) // 8x8 tiles
+	plan, err := Generate(g, hw, Options{GlobalIters: 8, TileFraction: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := g.Pairs()
+	for gi, it := range plan.Iterations {
+		if len(it.SpinSource) != g.Tiles {
+			t.Fatalf("iteration %d has %d spin sources", gi, len(it.SpinSource))
+		}
+		for b, src := range it.SpinSource {
+			if src == -1 {
+				// Verify no selected pair touches b.
+				for _, pi := range it.Selected {
+					p := pairs[pi]
+					if p.Row == b || p.Col == b {
+						t.Fatalf("iteration %d block %d marked untouched but pair (%d,%d) selected", gi, b, p.Row, p.Col)
+					}
+				}
+				continue
+			}
+			if src < 0 || src >= len(it.Selected) {
+				t.Fatalf("iteration %d block %d source %d out of range", gi, b, src)
+			}
+			p := pairs[it.Selected[src]]
+			if p.Row != b && p.Col != b {
+				t.Fatalf("iteration %d block %d source pair (%d,%d) does not touch it", gi, b, p.Row, p.Col)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	hw := Hardware{Accelerators: 1, ChipletsPerAccel: 1, PEsPerChiplet: 8, TileSize: 8}
+	g := grid(t, 80, 8)
+	opt := Options{GlobalIters: 6, TileFraction: 0.5, Seed: 99}
+	a, err := Generate(g, hw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(g, hw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Programs != b.Programs {
+		t.Fatal("plans differ in program count")
+	}
+	for i := range a.Iterations {
+		for j := range a.Iterations[i].Selected {
+			if a.Iterations[i].Selected[j] != b.Iterations[i].Selected[j] {
+				t.Fatal("plans differ in selection")
+			}
+		}
+		for j := range a.Iterations[i].SpinSource {
+			if a.Iterations[i].SpinSource[j] != b.Iterations[i].SpinSource[j] {
+				t.Fatal("plans differ in spin sources")
+			}
+		}
+	}
+}
+
+func TestSummarizeMatchesGenerate(t *testing.T) {
+	hw := Hardware{Accelerators: 1, ChipletsPerAccel: 1, PEsPerChiplet: 4, TileSize: 8}
+	g := grid(t, 64, 8) // 8x8 -> 36 pairs
+	opt := Options{GlobalIters: 12, TileFraction: 0.7, Seed: 5}
+	sum, err := Summarize(g, hw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Generate(g, hw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Pairs != g.PairCount() || sum.Resident != plan.Resident {
+		t.Fatalf("summary mismatch: %+v", sum)
+	}
+	if sum.SelectedPairs != len(plan.Iterations[0].Selected) {
+		t.Fatalf("selected %d vs plan %d", sum.SelectedPairs, len(plan.Iterations[0].Selected))
+	}
+	if sum.RoundsPerIter != len(plan.Iterations[0].Rounds) {
+		t.Fatalf("rounds %d vs plan %d", sum.RoundsPerIter, len(plan.Iterations[0].Rounds))
+	}
+	// The analytic program estimate upper-bounds the simulated count
+	// (occasionally a PE keeps its pair across rounds) but should be
+	// within a few percent for non-resident plans.
+	if float64(plan.Programs) > sum.ProgramsTotal {
+		t.Fatalf("simulated programs %d exceed analytic estimate %v", plan.Programs, sum.ProgramsTotal)
+	}
+	if float64(plan.Programs) < 0.8*sum.ProgramsTotal {
+		t.Fatalf("simulated programs %d far below analytic estimate %v", plan.Programs, sum.ProgramsTotal)
+	}
+}
+
+func TestSummarizeResident(t *testing.T) {
+	g := grid(t, 256, 64)
+	sum, err := Summarize(g, DefaultHardware(), Options{GlobalIters: 100, TileFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Resident || sum.ProgramsTotal != float64(g.PairCount()) {
+		t.Fatalf("resident summary wrong: %+v", sum)
+	}
+	if sum.RoundsPerIter != 1 {
+		t.Fatalf("resident rounds %d", sum.RoundsPerIter)
+	}
+}
+
+func TestSummarizeLargeGraphShape(t *testing.T) {
+	// K16384 at tile 64: 256x256 tiles, 32896 pairs; with 74% selection
+	// on one accelerator (256 PEs) the paper's configuration yields 96
+	// rounds per iteration.
+	g := grid(t, 16384, 64)
+	sum, err := Summarize(g, DefaultHardware(), Options{GlobalIters: 50, TileFraction: 0.74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Pairs != 32896 {
+		t.Fatalf("pairs %d, want 32896", sum.Pairs)
+	}
+	if sum.SelectedPairs != 24343 {
+		t.Fatalf("selected %d, want 24343", sum.SelectedPairs)
+	}
+	if sum.RoundsPerIter != 96 {
+		t.Fatalf("rounds %d, want 96", sum.RoundsPerIter)
+	}
+	if sum.Resident {
+		t.Fatal("K16384 cannot be resident on one accelerator")
+	}
+}
+
+func BenchmarkGenerateG22Capacity(b *testing.B) {
+	g, err := tiling.NewGrid(2000, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := Hardware{Accelerators: 1, ChipletsPerAccel: 4, PEsPerChiplet: 16, TileSize: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(g, hw, Options{GlobalIters: 50, TileFraction: 0.74, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package tiling decomposes the n×n transformation matrix C into square
+// tiles and organizes them as the symmetric tile pairs SOPHIE maps onto
+// physical OPCM arrays (Sections III-A1 and III-D). A pair (i,j) with
+// i ≤ j owns tiles C_ij and C_ji = C_ijᵀ; because a bi-directional OPCM
+// array can multiply by the stored matrix and its transpose (Eq. 8-9),
+// one physical array stores both tiles — the "symmetric tile mapping"
+// that halves the OPCM area.
+package tiling
+
+import (
+	"fmt"
+
+	"sophie/internal/linalg"
+)
+
+// Grid describes a square tiling of an n×n matrix into tiles×tiles
+// blocks of size TileSize, zero-padded at the boundary.
+type Grid struct {
+	// N is the logical matrix order (number of spins).
+	N int
+	// TileSize is the tile edge length (the OPCM array order).
+	TileSize int
+	// Tiles is ceil(N / TileSize), the tile-grid edge length.
+	Tiles int
+}
+
+// NewGrid validates and builds a grid. TileSize may exceed N, producing
+// a 1x1 grid — the untiled case used when the whole problem fits in one
+// OPCM array.
+func NewGrid(n, tileSize int) (*Grid, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tiling: matrix order must be positive, got %d", n)
+	}
+	if tileSize <= 0 {
+		return nil, fmt.Errorf("tiling: tile size must be positive, got %d", tileSize)
+	}
+	return &Grid{N: n, TileSize: tileSize, Tiles: (n + tileSize - 1) / tileSize}, nil
+}
+
+// PaddedN returns Tiles*TileSize, the zero-padded matrix order.
+func (g *Grid) PaddedN() int { return g.Tiles * g.TileSize }
+
+// Pair identifies an unordered pair of symmetric tiles; Row <= Col
+// always holds. A diagonal pair (Row == Col) is its own transpose.
+type Pair struct {
+	Row, Col int
+}
+
+// IsDiagonal reports whether the pair lies on the grid diagonal.
+func (p Pair) IsDiagonal() bool { return p.Row == p.Col }
+
+// PairCount returns the number of symmetric tile pairs,
+// Tiles*(Tiles+1)/2 — the number of physical OPCM arrays needed, about
+// half the Tiles² logical tiles (the paper's area saving).
+func (g *Grid) PairCount() int { return g.Tiles * (g.Tiles + 1) / 2 }
+
+// Pairs enumerates all symmetric pairs in canonical (row-major upper
+// triangle) order, matching PairIndex.
+func (g *Grid) Pairs() []Pair {
+	ps := make([]Pair, 0, g.PairCount())
+	for i := 0; i < g.Tiles; i++ {
+		for j := i; j < g.Tiles; j++ {
+			ps = append(ps, Pair{Row: i, Col: j})
+		}
+	}
+	return ps
+}
+
+// PairIndex returns the canonical index of pair (i,j), i ≤ j, in the
+// Pairs() ordering. It panics on an out-of-range or unnormalized pair.
+func (g *Grid) PairIndex(i, j int) int {
+	if i < 0 || j < i || j >= g.Tiles {
+		panic(fmt.Sprintf("tiling: invalid pair (%d,%d) for %d tiles", i, j, g.Tiles))
+	}
+	// Row i starts after rows 0..i-1, which contribute Tiles-k entries each.
+	return i*g.Tiles - i*(i-1)/2 + (j - i)
+}
+
+// BlockRange returns the [lo,hi) index range of tile-block b in the
+// padded vector space.
+func (g *Grid) BlockRange(b int) (lo, hi int) {
+	if b < 0 || b >= g.Tiles {
+		panic(fmt.Sprintf("tiling: block %d out of range [0,%d)", b, g.Tiles))
+	}
+	return b * g.TileSize, (b + 1) * g.TileSize
+}
+
+// Block returns the view of tile-block b within a padded vector.
+// The returned slice aliases v.
+func (g *Grid) Block(v []float64, b int) []float64 {
+	lo, hi := g.BlockRange(b)
+	return v[lo:hi]
+}
+
+// PadVector copies v (length N) into a freshly allocated padded vector
+// of length PaddedN, zero-filling the tail.
+func (g *Grid) PadVector(v []float64) []float64 {
+	if len(v) != g.N {
+		panic(fmt.Sprintf("tiling: PadVector got length %d, want %d", len(v), g.N))
+	}
+	p := make([]float64, g.PaddedN())
+	copy(p, v)
+	return p
+}
+
+// DecomposePairs extracts the upper-triangle tiles of the symmetric
+// matrix c according to the grid: result[PairIndex(i,j)] = C_ij
+// (TileSize×TileSize, zero-padded at the boundary). The lower-triangle
+// tiles are not materialized — C_ji is accessed as C_ijᵀ through the
+// bi-directional MVM, exactly as the hardware stores them.
+func DecomposePairs(c *linalg.Matrix, g *Grid) ([]*linalg.Matrix, error) {
+	if c.Rows() != g.N || c.Cols() != g.N {
+		return nil, fmt.Errorf("tiling: matrix is %dx%d, grid expects %dx%d", c.Rows(), c.Cols(), g.N, g.N)
+	}
+	out := make([]*linalg.Matrix, 0, g.PairCount())
+	t := g.TileSize
+	for i := 0; i < g.Tiles; i++ {
+		for j := i; j < g.Tiles; j++ {
+			out = append(out, c.SubMatrix(i*t, (i+1)*t, j*t, (j+1)*t))
+		}
+	}
+	return out, nil
+}
+
+// Reassemble reconstructs the full padded matrix from upper-triangle
+// tiles, mirroring C_ji = C_ijᵀ. Used to verify the decomposition round
+// trips and by tests of the device-programmed state.
+func Reassemble(tiles []*linalg.Matrix, g *Grid) (*linalg.Matrix, error) {
+	if len(tiles) != g.PairCount() {
+		return nil, fmt.Errorf("tiling: %d tiles for a grid needing %d", len(tiles), g.PairCount())
+	}
+	t := g.TileSize
+	full := linalg.NewMatrix(g.PaddedN(), g.PaddedN())
+	for i := 0; i < g.Tiles; i++ {
+		for j := i; j < g.Tiles; j++ {
+			tile := tiles[g.PairIndex(i, j)]
+			if tile.Rows() != t || tile.Cols() != t {
+				return nil, fmt.Errorf("tiling: tile (%d,%d) is %dx%d, want %dx%d", i, j, tile.Rows(), tile.Cols(), t, t)
+			}
+			for r := 0; r < t; r++ {
+				for cc := 0; cc < t; cc++ {
+					v := tile.At(r, cc)
+					full.Set(i*t+r, j*t+cc, v)
+					full.Set(j*t+cc, i*t+r, v)
+				}
+			}
+		}
+	}
+	return full, nil
+}
+
+// Engine performs the tile matrix-vector products of the solver. The
+// ideal implementation multiplies exactly; internal/opcm provides a
+// quantized, noisy device-model implementation with the same contract.
+type Engine interface {
+	// Mul computes y = T·x (transposed=false) or y = Tᵀ·x
+	// (transposed=true) for the tile stored at pair index p. len(x) and
+	// len(y) must equal the grid tile size. Implementations must not
+	// retain x or y.
+	Mul(p int, transposed bool, x, y []float64)
+	// TileSize returns the tile edge length.
+	TileSize() int
+	// Pairs returns how many tile pairs are loaded.
+	Pairs() int
+}
+
+// IdealEngine computes exact float64 tile MVMs — the functional
+// simulator's reference datapath.
+type IdealEngine struct {
+	tiles []*linalg.Matrix
+	size  int
+}
+
+// NewIdealEngine wraps decomposed tiles. All tiles must be square with
+// the same size.
+func NewIdealEngine(tiles []*linalg.Matrix) (*IdealEngine, error) {
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("tiling: no tiles")
+	}
+	size := tiles[0].Rows()
+	for i, tl := range tiles {
+		if tl.Rows() != size || tl.Cols() != size {
+			return nil, fmt.Errorf("tiling: tile %d is %dx%d, want %dx%d", i, tl.Rows(), tl.Cols(), size, size)
+		}
+	}
+	return &IdealEngine{tiles: tiles, size: size}, nil
+}
+
+// Mul implements Engine.
+func (e *IdealEngine) Mul(p int, transposed bool, x, y []float64) {
+	tile := e.tiles[p]
+	var err error
+	if transposed {
+		_, err = tile.MulVecT(x, y)
+	} else {
+		_, err = tile.MulVec(x, y)
+	}
+	if err != nil {
+		panic(err) // sizes are validated at construction; misuse is a bug
+	}
+}
+
+// TileSize implements Engine.
+func (e *IdealEngine) TileSize() int { return e.size }
+
+// Pairs implements Engine.
+func (e *IdealEngine) Pairs() int { return len(e.tiles) }

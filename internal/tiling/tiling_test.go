@@ -1,0 +1,266 @@
+package tiling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sophie/internal/linalg"
+)
+
+func randomSym(n int, seed int64) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 4); err == nil {
+		t.Fatal("zero order must be rejected")
+	}
+	if _, err := NewGrid(4, 0); err == nil {
+		t.Fatal("zero tile size must be rejected")
+	}
+}
+
+func TestGridShapes(t *testing.T) {
+	g, err := NewGrid(100, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tiles != 4 || g.PaddedN() != 128 {
+		t.Fatalf("grid %+v padded %d", g, g.PaddedN())
+	}
+	if g.PairCount() != 10 {
+		t.Fatalf("PairCount %d, want 10", g.PairCount())
+	}
+	// Tile larger than the matrix: single tile.
+	g2, _ := NewGrid(10, 64)
+	if g2.Tiles != 1 || g2.PairCount() != 1 {
+		t.Fatalf("oversized tile grid %+v", g2)
+	}
+}
+
+func TestPairIndexMatchesEnumeration(t *testing.T) {
+	g, _ := NewGrid(100, 20) // 5x5 tiles
+	pairs := g.Pairs()
+	if len(pairs) != g.PairCount() {
+		t.Fatalf("Pairs() length %d, want %d", len(pairs), g.PairCount())
+	}
+	for idx, p := range pairs {
+		if g.PairIndex(p.Row, p.Col) != idx {
+			t.Fatalf("PairIndex(%d,%d)=%d, want %d", p.Row, p.Col, g.PairIndex(p.Row, p.Col), idx)
+		}
+		if p.Row > p.Col {
+			t.Fatalf("unnormalized pair %+v", p)
+		}
+	}
+}
+
+func TestPairIndexPanics(t *testing.T) {
+	g, _ := NewGrid(100, 20)
+	for _, bad := range [][2]int{{-1, 0}, {2, 1}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PairIndex(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			g.PairIndex(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestIsDiagonal(t *testing.T) {
+	if !(Pair{2, 2}).IsDiagonal() {
+		t.Fatal("diagonal pair misclassified")
+	}
+	if (Pair{1, 2}).IsDiagonal() {
+		t.Fatal("off-diagonal pair misclassified")
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	g, _ := NewGrid(10, 4) // 3 tiles, padded 12
+	v := g.PadVector([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if len(v) != 12 || v[10] != 0 || v[11] != 0 {
+		t.Fatalf("padding wrong: %v", v)
+	}
+	b1 := g.Block(v, 1)
+	if len(b1) != 4 || b1[0] != 4 {
+		t.Fatalf("block 1 = %v", b1)
+	}
+	b1[0] = 99
+	if v[4] != 99 {
+		t.Fatal("Block must alias the padded vector")
+	}
+	lo, hi := g.BlockRange(2)
+	if lo != 8 || hi != 12 {
+		t.Fatalf("BlockRange(2) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestBlockPanics(t *testing.T) {
+	g, _ := NewGrid(10, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.BlockRange(3)
+}
+
+func TestPadVectorPanicsOnWrongLength(t *testing.T) {
+	g, _ := NewGrid(10, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.PadVector(make([]float64, 9))
+}
+
+func TestDecomposeReassembleRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, tile int }{{16, 4}, {10, 4}, {7, 7}, {5, 8}, {33, 8}} {
+		g, err := NewGrid(tc.n, tc.tile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := randomSym(tc.n, int64(tc.n*100+tc.tile))
+		tiles, err := DecomposePairs(c, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tiles) != g.PairCount() {
+			t.Fatalf("n=%d t=%d: %d tiles, want %d", tc.n, tc.tile, len(tiles), g.PairCount())
+		}
+		full, err := Reassemble(tiles, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j < tc.n; j++ {
+				if full.At(i, j) != c.At(i, j) {
+					t.Fatalf("n=%d t=%d: round trip differs at (%d,%d)", tc.n, tc.tile, i, j)
+				}
+			}
+		}
+		// Padded region must be zero.
+		for i := tc.n; i < g.PaddedN(); i++ {
+			for j := 0; j < g.PaddedN(); j++ {
+				if full.At(i, j) != 0 {
+					t.Fatalf("padding leaked at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	g, _ := NewGrid(8, 4)
+	if _, err := DecomposePairs(linalg.NewMatrix(6, 6), g); err != nil {
+	} else {
+		t.Fatal("size mismatch must be rejected")
+	}
+	if _, err := Reassemble(nil, g); err == nil {
+		t.Fatal("wrong tile count must be rejected")
+	}
+	tiles, _ := DecomposePairs(randomSym(8, 1), g)
+	tiles[0] = linalg.NewMatrix(2, 2)
+	if _, err := Reassemble(tiles, g); err == nil {
+		t.Fatal("wrong tile shape must be rejected")
+	}
+}
+
+func TestIdealEngineMatchesFullMVM(t *testing.T) {
+	n, tile := 20, 8
+	g, _ := NewGrid(n, tile)
+	c := randomSym(n, 3)
+	tiles, _ := DecomposePairs(c, g)
+	eng, err := NewIdealEngine(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.TileSize() != tile || eng.Pairs() != g.PairCount() {
+		t.Fatal("engine metadata wrong")
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want, _ := c.MulVec(x, nil)
+
+	// Assemble y = C·x from tile products: y_i = Σ_j C_ij·x_j where
+	// C_ij for i>j is the transpose of the stored pair (j,i).
+	xp := g.PadVector(x)
+	yp := make([]float64, g.PaddedN())
+	buf := make([]float64, tile)
+	for i := 0; i < g.Tiles; i++ {
+		yi := g.Block(yp, i)
+		for j := 0; j < g.Tiles; j++ {
+			var p int
+			var transposed bool
+			if i <= j {
+				p = g.PairIndex(i, j)
+			} else {
+				p = g.PairIndex(j, i)
+				transposed = true
+			}
+			eng.Mul(p, transposed, g.Block(xp, j), buf)
+			for k := range yi {
+				yi[k] += buf[k]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(yp[i]-want[i]) > 1e-9 {
+			t.Fatalf("tiled MVM differs at %d: %v vs %v", i, yp[i], want[i])
+		}
+	}
+}
+
+func TestNewIdealEngineValidation(t *testing.T) {
+	if _, err := NewIdealEngine(nil); err == nil {
+		t.Fatal("empty tile list must be rejected")
+	}
+	if _, err := NewIdealEngine([]*linalg.Matrix{linalg.NewMatrix(2, 2), linalg.NewMatrix(3, 3)}); err == nil {
+		t.Fatal("inconsistent tile sizes must be rejected")
+	}
+}
+
+// Property: PairCount equals Tiles*(Tiles+1)/2 and PairIndex is a
+// bijection onto [0, PairCount).
+func TestPairIndexBijectionProperty(t *testing.T) {
+	f := func(nRaw, tRaw uint8) bool {
+		n := 1 + int(nRaw)%64
+		tile := 1 + int(tRaw)%16
+		g, err := NewGrid(n, tile)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < g.Tiles; i++ {
+			for j := i; j < g.Tiles; j++ {
+				idx := g.PairIndex(i, j)
+				if idx < 0 || idx >= g.PairCount() || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return len(seen) == g.PairCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
