@@ -1,0 +1,42 @@
+# SOPHIE simulator build/test/lint entry points. CI (.github/workflows/ci.yml)
+# runs the same targets, so `make check` locally reproduces the gate.
+
+GO ?= go
+BIN := bin
+
+.PHONY: all build test race lint vet bench check clean
+
+all: build
+
+build:
+	mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/ ./cmd/...
+
+test:
+	$(GO) test ./...
+
+# The heavy experiment smoke skips itself under -race (see
+# internal/experiments/race_on_test.go); -timeout gives the remaining
+# raced smokes headroom on slow machines.
+race:
+	$(GO) test -race -timeout 20m ./...
+
+# The sophielint suite encodes the simulator's invariants (DESIGN.md
+# "Invariants"): no global RNG, seed plumbing on entry points, no float
+# ==, checked unsigned op-count conversions. It runs standalone here;
+# CI additionally drives it through `go vet -vettool` to prove the vet
+# protocol keeps working.
+lint: build
+	$(BIN)/sophielint ./...
+
+vet: build
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/$(BIN)/sophielint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+check: build test race lint vet
+
+clean:
+	rm -rf $(BIN)

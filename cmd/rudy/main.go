@@ -87,14 +87,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	dst := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		dst = f
+	if *out == "" {
+		return graph.Write(stdout, g)
 	}
-	return graph.Write(dst, g)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := graph.Write(f, g); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	// A failed close on the write path loses data; it must not be dropped.
+	return f.Close()
 }

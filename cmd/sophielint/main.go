@@ -1,0 +1,185 @@
+// Command sophielint runs the sophie static-analysis suite
+// (internal/analysis): globalrand, seedplumb, floateq, and opcount —
+// the machine-checked invariants behind the simulator's determinism
+// and PPA accounting. See DESIGN.md "Invariants" for what each check
+// enforces.
+//
+// It runs two ways:
+//
+// Standalone, walking the module (the Makefile's `make lint` path):
+//
+//	sophielint            # whole module, like ./...
+//	sophielint ./internal/core ./cmd/...
+//	sophielint -checks globalrand,floateq ./...
+//
+// Or as a vet tool, speaking the `go vet` driver protocol (-V=full,
+// -flags, and JSON config files), so findings integrate with the
+// standard build cache:
+//
+//	go vet -vettool=$(pwd)/bin/sophielint ./...
+//
+// Exit status: 0 clean, 1 findings (standalone), 2 findings (vet
+// protocol, matching x/tools unitchecker), >2 operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sophie/internal/analysis"
+)
+
+const version = "sophielint version 1.0.0"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// The `go vet` driver probes its tool before use: `-V=full` asks
+	// for a version stamp (cache key), `-flags` for the supported
+	// analyzer flags as JSON.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Fprintln(stdout, version)
+			return 0
+		case args[0] == "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetUnit(args[0], stderr)
+		}
+	}
+	return runStandalone(args, stdout, stderr)
+}
+
+// runStandalone loads and analyzes package directories from the
+// working tree.
+func runStandalone(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sophielint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		checks = fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+		list   = fs.Bool("list", false, "list analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sophielint [-checks a,b] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	suite, err := analysis.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "sophielint:", err)
+		return 3
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "sophielint:", err)
+		return 3
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "sophielint:", err)
+		return 3
+	}
+	dirs, err := expandPatterns(loader.ModuleRoot, cwd, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "sophielint:", err)
+		return 3
+	}
+
+	found := 0
+	for _, dir := range dirs {
+		units, err := loader.LoadDir(dir, "")
+		if err != nil {
+			fmt.Fprintln(stderr, "sophielint:", err)
+			return 3
+		}
+		for _, u := range units {
+			diags, err := analysis.RunUnit(u, suite)
+			if err != nil {
+				fmt.Fprintln(stderr, "sophielint:", err)
+				return 3
+			}
+			for _, d := range diags {
+				found++
+				fmt.Fprintln(stdout, formatDiag(loader.ModuleRoot, d))
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stderr, "sophielint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// formatDiag prints module-relative paths so output is stable across
+// checkouts.
+func formatDiag(root string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+// expandPatterns resolves command-line package patterns to directories:
+// "" or "./..." walks the whole module, "dir/..." walks a subtree, and
+// anything else is a single directory.
+func expandPatterns(root, cwd string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		return analysis.ModulePackageDirs(root)
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(ds ...string) {
+		for _, d := range ds {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	for _, p := range patterns {
+		base := strings.TrimSuffix(p, "...")
+		recursive := base != p
+		base = strings.TrimSuffix(base, "/")
+		if base == "" || base == "." {
+			base = cwd
+		}
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, base)
+		}
+		if recursive {
+			sub, err := analysis.ModulePackageDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			add(sub...)
+			continue
+		}
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", base)
+		}
+		add(base)
+	}
+	return dirs, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean is the acceptance gate: the whole module must
+// produce zero findings. Any new invariant violation fails the normal
+// `go test ./...` run, not just CI's dedicated lint step.
+func TestRepoIsLintClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// No package arguments: the runner walks the module root, so the
+	// gate covers the whole repo regardless of the test's working
+	// directory.
+	code := run(nil, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("sophielint found violations (exit %d):\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestVetProtocolProbes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exit %d", code)
+	}
+	if !strings.HasPrefix(stdout.String(), "sophielint version") {
+		t.Fatalf("-V=full output %q lacks version stamp", stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Fatalf("-flags output %q, want []", stdout.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"globalrand", "seedplumb", "floateq", "opcount"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestFindingsOnGoldenPackage(t *testing.T) {
+	// The floateq testdata package must trip the standalone runner:
+	// exit 1 with findings on stdout.
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-checks", "floateq", "../../internal/analysis/testdata/src/floateq"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "floating-point") {
+		t.Fatalf("missing finding in output:\n%s", stdout.String())
+	}
+}
+
+func TestUnknownCheckRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "nosuch"}, &stdout, &stderr); code != 3 {
+		t.Fatalf("exit %d, want 3", code)
+	}
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"sophie/internal/analysis"
+)
+
+// vetConfig is the JSON unit description `go vet` hands a -vettool
+// (the same schema x/tools' unitchecker consumes). Only the fields the
+// suite needs are declared; unknown fields are ignored by the decoder.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one build unit described by a `go vet` config
+// file: parse the unit's files, type-check against the compiler's
+// export data (no source re-typechecking of dependencies), run the
+// suite, and write the (empty) facts file the driver expects.
+func runVetUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "sophielint:", err)
+		return 3
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "sophielint: parsing %s: %v\n", cfgPath, err)
+		return 3
+	}
+
+	// The driver requires the facts output file to exist even though
+	// this suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "sophielint:", err)
+			return 3
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency unit: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, "sophielint:", err)
+			return 3
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "sophielint:", err)
+		return 3
+	}
+
+	// Test-variant units are named like "pkg [pkg.test]"; analyzers
+	// match on the plain path.
+	path := cfg.ImportPath
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	unit := &analysis.Unit{
+		Dir:     cfg.Dir,
+		Path:    path,
+		Variant: "vet",
+		Fset:    fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+	}
+	diags, err := analysis.RunUnit(unit, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintln(stderr, "sophielint:", err)
+		return 3
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -159,6 +159,7 @@ func loadGraph(file, preset string, stdin io.Reader) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	// Read path: a close error cannot corrupt anything already parsed.
+	defer func() { _ = f.Close() }()
 	return graph.Read(f)
 }

@@ -1,0 +1,233 @@
+// Package analysis implements sophielint's static-analysis suite: a
+// small, dependency-free framework in the style of
+// golang.org/x/tools/go/analysis (which is unavailable offline) plus
+// the four project-specific analyzers that encode SOPHIE's simulation
+// invariants:
+//
+//   - globalrand: no package-level math/rand state, no *rand.Rand
+//     shared across goroutine boundaries (the per-PE-RNG rule that
+//     keeps Solver.Run deterministic under any goroutine schedule).
+//   - seedplumb: exported randomness-drawing entry points in
+//     internal/{core,pris,baseline,opcm} must take a Seed or
+//     *rand.Rand (reproducibility gate for every EXPERIMENTS.md
+//     figure).
+//   - floateq: no ==/!= between floating-point expressions outside
+//     test files (exact comparison against the constant 0 is allowed
+//     as the idiomatic sentinel check).
+//   - opcount: no silent underflow in the PPA op accounting —
+//     subtraction on metrics.OpCounts counters and unsigned
+//     conversions of subtraction-bearing signed arithmetic are
+//     flagged; use metrics.U64 for checked conversions.
+//
+// Findings can be suppressed with a justification comment on the same
+// line (or the line above):
+//
+//	//sophielint:ignore floateq exact sentinel equality is intended
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package unit.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore
+	// directives.
+	Name string
+	// Doc is a one-line description shown by `sophielint -help`.
+	Doc string
+	// Run inspects the unit behind pass and reports findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked unit (a
+// package's non-test files, its in-package test build, or its external
+// test package — the same three units `go vet` analyzes).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the syntax to analyze.
+	Files []*ast.File
+	// Pkg and Info are the type-checked package and its use/def/type
+	// records.
+	Pkg  *types.Package
+	Info *types.Info
+	// PkgPath is the import path being analyzed. For testdata
+	// packages it is synthetic (the directory name), so analyzers
+	// that scope by package match on the path's last elements.
+	PkgPath string
+	// TestOnly restricts reporting to *_test.go positions; the
+	// in-package test unit re-analyzes the non-test files it was
+	// compiled with, and reporting them again would duplicate the
+	// primary unit's findings.
+	TestOnly bool
+
+	diags   *[]Diagnostic
+	ignores ignoreIndex
+}
+
+// Diagnostic is one finding, positioned and attributed to its check.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+}
+
+// Reportf records a finding at pos unless an ignore directive or the
+// TestOnly filter suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.TestOnly && !strings.HasSuffix(position.Filename, "_test.go") {
+		return
+	}
+	if p.ignores.matches(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file (used by floateq to stay out of test tolerance helpers).
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ignoreIndex maps filename -> line -> analyzer names suppressed on
+// that line. A directive suppresses findings on its own line and the
+// following line, so both trailing comments and own-line comments
+// above the flagged statement work.
+type ignoreIndex map[string]map[int][]string
+
+const ignoreDirective = "sophielint:ignore"
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				checks := strings.Split(fields[0], ",")
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], checks...)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], checks...)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) matches(pos token.Position, check string) bool {
+	byLine, ok := idx[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, name := range byLine[pos.Line] {
+		if name == check || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full sophielint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		GlobalRandAnalyzer,
+		SeedPlumbAnalyzer,
+		FloatEqAnalyzer,
+		OpCountAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection ("" selects the
+// whole suite).
+func ByName(selection string) ([]*Analyzer, error) {
+	if selection == "" {
+		return Analyzers(), nil
+	}
+	all := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		all[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(selection, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := all[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunUnit runs every analyzer in suite over one loaded unit and
+// returns the surviving diagnostics sorted by position.
+func RunUnit(u *Unit, suite []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores := buildIgnoreIndex(u.Fset, u.Files)
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			PkgPath:  u.Path,
+			TestOnly: u.TestOnly,
+			diags:    &diags,
+			ignores:  ignores,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", u.Path, a.Name, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, then check
+// name, so output and golden comparisons are stable.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}

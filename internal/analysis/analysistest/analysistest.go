@@ -1,0 +1,121 @@
+// Package analysistest runs sophielint analyzers over golden packages
+// under testdata/src and checks their findings against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest
+// (unavailable offline) with the subset of behavior the suite needs:
+//
+//	x := rand.Intn(2) // want `global math/rand`
+//
+// Each expectation is an unanchored regular expression that must match
+// exactly one diagnostic reported on that line; diagnostics without a
+// matching expectation, and expectations without a diagnostic, both
+// fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sophie/internal/analysis"
+)
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRE captures backquoted or double-quoted patterns after `want`.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads the package in testdata/src/<pkg> (relative to dir, the
+// analyzer package's directory) and checks a's findings against the
+// golden expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgDir := filepath.Join(dir, "testdata", "src", pkg)
+	units, err := loader.LoadDir(pkgDir, pkg)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgDir, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("no Go files in %s", pkgDir)
+	}
+	var diags []analysis.Diagnostic
+	var expects []*expectation
+	for _, u := range units {
+		ud, err := analysis.RunUnit(u, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s: %v", u.Path, err)
+		}
+		diags = append(diags, ud...)
+		exp, err := collectWants(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expects = append(expects, exp...)
+	}
+
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering d and reports
+// whether one existed.
+func claim(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts the `// want` expectations from a unit's
+// comments.
+func collectWants(u *analysis.Unit) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sophie/internal/analysis"
+	"sophie/internal/analysis/analysistest"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, ".", analysis.GlobalRandAnalyzer, "globalrand")
+}
+
+func TestSeedPlumb(t *testing.T) {
+	analysistest.Run(t, ".", analysis.SeedPlumbAnalyzer, "core")
+}
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, ".", analysis.FloatEqAnalyzer, "floateq")
+}
+
+func TestOpCount(t *testing.T) {
+	analysistest.Run(t, ".", analysis.OpCountAnalyzer, "opcount")
+}
+
+func TestByName(t *testing.T) {
+	suite, err := analysis.ByName("floateq,globalrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 2 || suite[0].Name != "floateq" || suite[1].Name != "globalrand" {
+		t.Fatalf("unexpected selection %v", suite)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("expected error for unknown analyzer")
+	}
+}
+
+func TestSuiteIsComplete(t *testing.T) {
+	want := map[string]bool{"globalrand": true, "seedplumb": true, "floateq": true, "opcount": true}
+	got := analysis.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+}

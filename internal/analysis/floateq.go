@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point expressions
+// in non-test code. Exact float equality has already bitten the linear
+// algebra layer (internal/linalg carries explicit epsilon helpers);
+// outside deliberate sentinel checks it is almost always a latent bug
+// — accumulated rounding makes "equal" states compare unequal and
+// silently changes a solver's control flow.
+//
+// Two escapes exist:
+//   - comparison against the exact constant 0 is allowed: zero is
+//     exactly representable and `x != 0` is the repo's idiomatic
+//     "unset / no contribution" sentinel;
+//   - a deliberate exact comparison can carry
+//     `//sophielint:ignore floateq <why>` on the same line.
+//
+// *_test.go files are exempt — tolerance helpers legitimately compare
+// floats exactly when asserting bit-identical reproducibility.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point expressions outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(pass, bin.X) || !isFloatExpr(pass, bin.Y) {
+				return true
+			}
+			if isExactZero(pass, bin.X) || isExactZero(pass, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison: use an epsilon tolerance, or mark a deliberate sentinel with //sophielint:ignore floateq <why>",
+				bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a compile-time constant whose exact
+// value is zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked body of code to analyze. A directory yields
+// up to three units — the package proper, the in-package test build,
+// and the external _test package — mirroring how `go vet` splits a
+// package.
+type Unit struct {
+	// Dir is the directory the unit was loaded from.
+	Dir string
+	// Path is the unit's import path ("sophie/internal/core"); for
+	// directories outside the module (testdata) it is synthetic.
+	Path string
+	// Variant is "pkg", "test", or "xtest".
+	Variant string
+	// TestOnly marks the in-package test unit, whose non-test files
+	// were already analyzed under the "pkg" variant.
+	TestOnly bool
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks packages from source using only the standard
+// library: module-local import paths resolve against the module root
+// on disk, and everything else falls back to the GOROOT source
+// importer. Loaded packages are memoized, so one Loader amortizes the
+// cost of type-checking the standard library across many units.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	cache   map[string]*loaded
+	loading map[string]bool
+}
+
+// loaded is one memoized package: module-local packages keep their
+// syntax and type records so LoadDir can analyze exactly the instance
+// every importer saw (loading a second copy would break type
+// identity).
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// NewLoader builds a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        std,
+		cache:      make(map[string]*loaded),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "module ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load
+// from the module tree, others from GOROOT source.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	rec, err := l.load(path, srcDir, mode)
+	if err != nil {
+		return nil, err
+	}
+	return rec.pkg, nil
+}
+
+func (l *Loader) load(path, srcDir string, mode types.ImportMode) (*loaded, error) {
+	if rec, ok := l.cache[path]; ok {
+		return rec, nil
+	}
+	if rel, ok := l.moduleRelative(path); ok {
+		if l.loading[path] {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+		pkg, files, info, err := l.checkDir(filepath.Join(l.ModuleRoot, rel), path, unitPkg)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files for %s", path)
+		}
+		rec := &loaded{pkg: pkg, files: files, info: info}
+		l.cache[path] = rec
+		return rec, nil
+	}
+	pkg, err := l.std.ImportFrom(path, srcDir, mode)
+	if err != nil {
+		return nil, err
+	}
+	rec := &loaded{pkg: pkg}
+	l.cache[path] = rec
+	return rec, nil
+}
+
+func (l *Loader) moduleRelative(path string) (string, bool) {
+	if path == l.ModulePath {
+		return ".", true
+	}
+	if strings.HasPrefix(path, l.ModulePath+"/") {
+		return strings.TrimPrefix(path, l.ModulePath+"/"), true
+	}
+	return "", false
+}
+
+// unitVariant selects which of a directory's file sets checkDir
+// type-checks.
+type unitVariant int
+
+const (
+	unitPkg   unitVariant = iota // non-test files only
+	unitTest                     // non-test + in-package _test files
+	unitXTest                    // external foo_test package files
+)
+
+// checkDir parses and type-checks one variant of the package in dir.
+func (l *Loader) checkDir(dir, path string, variant unitVariant) (*types.Package, []*ast.File, *types.Info, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	switch variant {
+	case unitPkg:
+		names = bp.GoFiles
+	case unitTest:
+		names = append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...)
+	case unitXTest:
+		names = bp.XTestGoFiles
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, nil
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor(build.Default.Compiler, build.Default.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, nil, nil, fmt.Errorf("analysis: type-checking %s: %v", dir, typeErrs[0])
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("analysis: type-checking %s: %v", dir, err)
+	}
+	return pkg, files, info, nil
+}
+
+// LoadDir loads every unit in dir: the package, its in-package test
+// build, and its external test package (each only when files exist).
+// importPath may be "" to derive the path from the directory's
+// location in the module.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Unit, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if importPath == "" {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			// Outside the module (e.g. testdata trees): synthesize a
+			// path from the directory base so package-scoped analyzers
+			// can still match.
+			importPath = filepath.Base(dir)
+		} else if rel == "." {
+			importPath = l.ModulePath
+		} else {
+			importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var units []*Unit
+	addUnit := func(variant, path string, testOnly bool, pkg *types.Package, files []*ast.File, info *types.Info) {
+		units = append(units, &Unit{
+			Dir: dir, Path: path, Variant: variant, TestOnly: testOnly,
+			Fset: l.fset, Files: files, Pkg: pkg, Info: info,
+		})
+	}
+
+	// The package proper. Go through the memoizing importer for
+	// module-local paths so analysis sees the exact *types.Package
+	// every importer of this path saw (type identity).
+	if len(bp.GoFiles) > 0 {
+		if _, inModule := l.moduleRelative(importPath); inModule {
+			rec, err := l.load(importPath, dir, 0)
+			if err != nil {
+				return nil, err
+			}
+			addUnit("pkg", importPath, false, rec.pkg, rec.files, rec.info)
+		} else {
+			pkg, files, info, err := l.checkDir(dir, importPath, unitPkg)
+			if err != nil {
+				return nil, err
+			}
+			addUnit("pkg", importPath, false, pkg, files, info)
+		}
+	}
+
+	// In-package test build: the package re-typechecked with its
+	// _test.go files; only test-file positions are reported.
+	if len(bp.TestGoFiles) > 0 {
+		pkg, files, info, err := l.checkDir(dir, importPath, unitTest)
+		if err != nil {
+			return nil, err
+		}
+		addUnit("test", importPath, true, pkg, files, info)
+	}
+
+	// External test package.
+	if len(bp.XTestGoFiles) > 0 {
+		pkg, files, info, err := l.checkDir(dir, importPath+"_test", unitXTest)
+		if err != nil {
+			return nil, err
+		}
+		addUnit("xtest", importPath+"_test", false, pkg, files, info)
+	}
+	return units, nil
+}
+
+// ModulePackageDirs walks the module tree and returns every directory
+// containing buildable Go files, skipping testdata, hidden
+// directories, and vendored code. This is the standalone runner's
+// "./..." expansion.
+func ModulePackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// OpCountAnalyzer guards the PPA accounting: the op counters in
+// metrics.OpCounts are uint64, and the functional simulator feeds them
+// from int-typed loop arithmetic. Two silent-corruption patterns are
+// flagged:
+//
+//   - subtraction on unsigned counters (`c.EOBits -= x`, or a binary
+//     `a.Ops.EOBits - b.Ops.EOBits`): an underflow wraps to ~1.8e19
+//     and the PPA model happily prices it;
+//   - conversion of subtraction-bearing signed arithmetic straight to
+//     an unsigned type (`uint64(iters-1)`): a negative intermediate
+//     wraps at the conversion. Route these through metrics.U64, which
+//     panics on negative input instead of wrapping.
+//
+// Counter deltas that are genuinely needed should go through signed
+// intermediates (int64(a) - int64(b)) — the analyzer accepts that
+// form because the operands are no longer unsigned.
+var OpCountAnalyzer = &Analyzer{
+	Name: "opcount",
+	Doc:  "flag unsigned-underflow hazards in op-count / PPA accounting",
+	Run:  runOpCount,
+}
+
+func runOpCount(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkSubAssign(pass, n)
+			case *ast.BinaryExpr:
+				checkCounterSub(pass, n)
+			case *ast.CallExpr:
+				checkUnsignedConversion(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isUnsigned reports whether e's type is an unsigned integer.
+func isUnsigned(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsUnsigned != 0
+}
+
+// isOpCountsField reports whether e selects a field of
+// metrics.OpCounts (matched by type name so testdata exercising the
+// real package resolves identically).
+func isOpCountsField(pass *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "OpCounts" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/metrics")
+}
+
+// checkSubAssign flags `-=` on any unsigned expression.
+func checkSubAssign(pass *Pass, as *ast.AssignStmt) {
+	if as.Tok != token.SUB_ASSIGN || len(as.Lhs) != 1 {
+		return
+	}
+	if isUnsigned(pass, as.Lhs[0]) {
+		pass.Reportf(as.TokPos,
+			"subtracting from an unsigned counter: an underflow wraps silently; accumulate a signed delta instead")
+	}
+}
+
+// checkCounterSub flags binary `-` where either operand is an
+// OpCounts counter field.
+func checkCounterSub(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.SUB {
+		return
+	}
+	if isOpCountsField(pass, bin.X) || isOpCountsField(pass, bin.Y) {
+		pass.Reportf(bin.OpPos,
+			"subtraction on metrics.OpCounts counters wraps on underflow: convert both sides to a signed type first (int64(a) - int64(b))")
+	}
+}
+
+// checkUnsignedConversion flags T(expr) where T is unsigned, expr is
+// signed, and expr's subtree contains a subtraction or negation — the
+// `uint64(iters-1)` wrap-on-negative footgun. metrics.U64 is the
+// sanctioned checked conversion.
+func checkUnsignedConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsUnsigned == 0 {
+		return
+	}
+	arg := call.Args[0]
+	argTV, ok := pass.Info.Types[arg]
+	if !ok || argTV.Type == nil {
+		return
+	}
+	if argTV.Value != nil {
+		return // constant-folded: the compiler rejects negative values
+	}
+	argBasic, ok := argTV.Type.Underlying().(*types.Basic)
+	if !ok || argBasic.Info()&types.IsInteger == 0 || argBasic.Info()&types.IsUnsigned != 0 {
+		return
+	}
+	if !containsSubtraction(arg) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s conversion of signed arithmetic containing subtraction: a negative value wraps; use metrics.U64 for a checked conversion", basic.Name())
+}
+
+func containsSubtraction(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.SUB {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.SUB {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

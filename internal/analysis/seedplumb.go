@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedPlumbAnalyzer is the reproducibility gate for the simulation
+// packages: every exported constructor or Run-style entry point in
+// internal/{core,pris,baseline,opcm} that draws randomness must expose
+// the seed — a *rand.Rand / rand.Source parameter, an integer
+// parameter whose name contains "seed", a config struct with a Seed
+// field (the repo's dominant convention), or a receiver that carries
+// its RNG or seed as a field (it was seeded at construction).
+//
+// Every figure in EXPERIMENTS.md depends on this: a single unseeded
+// entry point makes a whole sweep unreproducible.
+var SeedPlumbAnalyzer = &Analyzer{
+	Name: "seedplumb",
+	Doc:  "exported randomness-drawing entry points in core/pris/baseline/opcm must take a Seed or *rand.Rand",
+	Run:  runSeedPlumb,
+}
+
+// seedPlumbPackages are the package path leaves the analyzer guards.
+var seedPlumbPackages = map[string]bool{
+	"core": true, "pris": true, "baseline": true, "opcm": true,
+}
+
+func runSeedPlumb(pass *Pass) error {
+	parts := strings.Split(strings.TrimSuffix(pass.PkgPath, "_test"), "/")
+	if !seedPlumbPackages[parts[len(parts)-1]] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !usesRandomness(pass, fn.Body) {
+				continue
+			}
+			if seedIsPlumbed(pass, fn) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(),
+				"exported %s draws from math/rand but takes no Seed, *rand.Rand, or config with a Seed field: callers cannot reproduce its results", fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+// usesRandomness reports whether the body references the math/rand
+// package directly (constructing sources, calling package functions).
+// Methods drawing from an RNG stored in their receiver are covered by
+// the receiver check in seedIsPlumbed instead.
+func usesRandomness(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgName, ok := pass.Info.Uses[ident].(*types.PkgName); ok && isRandPkg(pkgName.Imported().Path()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// seedIsPlumbed reports whether fn's signature (params or receiver)
+// carries the randomness seed.
+func seedIsPlumbed(pass *Pass, fn *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if paramCarriesSeed(params.At(i)) {
+			return true
+		}
+	}
+	if recv := sig.Recv(); recv != nil && structCarriesSeed(recv.Type()) {
+		return true
+	}
+	return false
+}
+
+func paramCarriesSeed(v *types.Var) bool {
+	t := v.Type()
+	if isRNGType(t) {
+		return true
+	}
+	if isIntegerType(t) && strings.Contains(strings.ToLower(v.Name()), "seed") {
+		return true
+	}
+	return structCarriesSeed(t)
+}
+
+// structCarriesSeed reports whether t (possibly behind a pointer) is a
+// struct with a Seed-named integer field or an RNG-typed field.
+func structCarriesSeed(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isRNGType(f.Type()) {
+			return true
+		}
+		name := strings.ToLower(f.Name())
+		if isIntegerType(f.Type()) && strings.Contains(name, "seed") {
+			return true
+		}
+		// One level of embedded config (e.g. Config embedding Common).
+		if f.Embedded() {
+			if sub, ok := f.Type().Underlying().(*types.Struct); ok {
+				for j := 0; j < sub.NumFields(); j++ {
+					sf := sub.Field(j)
+					if isRNGType(sf.Type()) ||
+						(isIntegerType(sf.Type()) && strings.Contains(strings.ToLower(sf.Name()), "seed")) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isIntegerType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

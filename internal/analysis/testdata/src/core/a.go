@@ -1,0 +1,57 @@
+// Package core is golden input for the seedplumb analyzer: its
+// directory name puts it in the analyzer's guarded package set.
+package core
+
+import "math/rand"
+
+// Config mirrors the repo convention: runtime knobs plus a Seed field.
+type Config struct {
+	Iters int
+	Seed  int64
+}
+
+// Engine stores its RNG, seeded at construction.
+type Engine struct {
+	size int
+	rng  *rand.Rand
+}
+
+// Solve draws randomness but gives callers no way to reproduce it.
+func Solve(n int) int { // want `takes no Seed`
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(n)
+}
+
+// SolveSeeded plumbs the seed as a parameter.
+func SolveSeeded(n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// SolveConfig plumbs the seed through a config struct.
+func SolveConfig(cfg Config) int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return rng.Intn(cfg.Iters)
+}
+
+// Step takes the RNG itself.
+func Step(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+// NewEngine is a seeded constructor.
+func NewEngine(size int, seed int64) *Engine {
+	return &Engine{size: size, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reset mentions math/rand but the receiver carries the RNG field, so
+// the stream's provenance is the constructor's seed.
+func (e *Engine) Reset(seed int64) {
+	e.rng = rand.New(rand.NewSource(seed))
+}
+
+// Reseed has no seed parameter but the receiver owns the RNG state.
+func (e *Engine) Reseed() {
+	e.rng = rand.New(e.rng)
+}
+
+// helper is unexported: not an entry point, not checked.
+func helper() int { return rand.New(rand.NewSource(1)).Intn(2) }

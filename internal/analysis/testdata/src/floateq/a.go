@@ -1,0 +1,30 @@
+// Package floateq is golden input for the floateq analyzer.
+package floateq
+
+type energy float64
+
+func compare(a, b float64) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if a != 0 { // ok: exact-zero sentinel
+		return false
+	}
+	if b == 0.0 { // ok: exact-zero sentinel, float literal form
+		return true
+	}
+	var c float32
+	if c != float32(b) { // want `floating-point != comparison`
+		return false
+	}
+	var e1, e2 energy
+	if e1 == e2 { // want `floating-point == comparison`
+		return true
+	}
+	//sophielint:ignore floateq exercising the suppression escape hatch
+	return a == b+1
+}
+
+func ints(x, y int) bool { return x == y } // ok: integers compare exactly
+
+func strs(x, y string) bool { return x != y } // ok: not numeric

@@ -1,0 +1,27 @@
+// Package opcount is golden input for the opcount analyzer; it
+// exercises the real metrics.OpCounts type so field matching works the
+// same way it does in the simulator.
+package opcount
+
+import "sophie/internal/metrics"
+
+func bad(c *metrics.OpCounts, prev metrics.OpCounts, n, t int) uint64 {
+	c.EOBits -= 8                                  // want `subtracting from an unsigned counter`
+	delta := c.ADCSamples1b - prev.ADCSamples1b    // want `subtraction on metrics.OpCounts counters`
+	c.GlueOps += uint64(n - 1)                     // want `conversion of signed arithmetic containing subtraction`
+	c.SRAMReadBits += uint64(2 * (t - 1) * n)      // want `conversion of signed arithmetic containing subtraction`
+	var shrink uint64
+	shrink -= 1 // want `subtracting from an unsigned counter`
+	return delta + shrink
+}
+
+func good(c *metrics.OpCounts, prev metrics.OpCounts, n, t int) uint64 {
+	c.EOBits += uint64(t)               // ok: no subtraction in the converted expression
+	c.GlueOps += metrics.U64(n - 1)     // ok: checked conversion
+	c.SRAMReadBits += uint64(2 * t * n) // ok
+	d := int64(c.ADCSamples1b) - int64(prev.ADCSamples1b) // ok: signed intermediates
+	if d < 0 {
+		d = 0
+	}
+	return uint64(d) // ok: plain identifier, no arithmetic at the conversion
+}

@@ -62,8 +62,10 @@ func SimulatePlan(d Design, plan *sched.Plan, w Workload) (*SimReport, error) {
 			}
 			roundTime := math.Max(computePerRound, math.Max(syncTime, programTime))
 			bound := "compute"
+			//sophielint:ignore floateq roundTime is the max of exactly these values, so identity attribution is exact
 			if roundTime == syncTime {
 				bound = "sync"
+				//sophielint:ignore floateq roundTime is the max of exactly these values, so identity attribution is exact
 			} else if roundTime == programTime {
 				bound = "program"
 			}

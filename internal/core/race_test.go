@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+)
+
+// These tests back the repo's two concurrency invariants (DESIGN.md
+// "Invariants"): (1) a Solver must be race-free under `go test -race`
+// when shared across goroutines with the ideal engine, and (2) results
+// must be a pure function of the seed — bit-identical across repeats,
+// worker counts, and batch scheduling.
+
+func raceProblem(t testing.TB) *ising.Model {
+	t.Helper()
+	g, err := graph.Random(64, 320, graph.WeightUnit, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ising.FromMaxCut(g)
+}
+
+// requireIdentical asserts two results are bit-identical: spins, the
+// full energy trace (compared as float bits, not within a tolerance),
+// and every hardware op counter.
+func requireIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.BestSpins) != len(b.BestSpins) {
+		t.Fatalf("%s: spin vector lengths differ: %d vs %d", label, len(a.BestSpins), len(b.BestSpins))
+	}
+	for i := range a.BestSpins {
+		if a.BestSpins[i] != b.BestSpins[i] {
+			t.Fatalf("%s: spin %d differs: %d vs %d", label, i, a.BestSpins[i], b.BestSpins[i])
+		}
+	}
+	if math.Float64bits(a.BestEnergy) != math.Float64bits(b.BestEnergy) {
+		t.Fatalf("%s: BestEnergy bits differ: %v vs %v", label, a.BestEnergy, b.BestEnergy)
+	}
+	if a.BestGlobalIter != b.BestGlobalIter {
+		t.Fatalf("%s: BestGlobalIter %d vs %d", label, a.BestGlobalIter, b.BestGlobalIter)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", label, len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if math.Float64bits(a.Trace[i]) != math.Float64bits(b.Trace[i]) {
+			t.Fatalf("%s: trace[%d] bits differ: %v vs %v", label, i, a.Trace[i], b.Trace[i])
+		}
+	}
+	if a.Ops != b.Ops {
+		t.Fatalf("%s: op counts differ:\n%s\nvs\n%s", label, a.Ops.String(), b.Ops.String())
+	}
+}
+
+// TestDeterminismRegression pins the seed-reproducibility contract at
+// its strictest: full traces evaluated every iteration must be
+// bit-identical across repeated runs and across worker counts.
+func TestDeterminismRegression(t *testing.T) {
+	m := raceProblem(t)
+	cfg := quickConfig()
+	cfg.RecordTrace = true
+	cfg.EvalEvery = 1
+	cfg.Workers = 8
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 12345
+	first, err := s.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "repeat same-seed run", first, second)
+
+	serial, err := s.WithRuntime(func(c *Config) { c.Workers = 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := serial.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "workers=8 vs workers=1", first, single)
+}
+
+// TestBatchSchedulingIsInvisible checks that batching is pure seed
+// bookkeeping: RunBatch must equal a hand-rolled serial loop, and
+// RunBatchParallel must equal RunBatch, job by job and bit by bit.
+func TestBatchSchedulingIsInvisible(t *testing.T) {
+	m := raceProblem(t)
+	cfg := quickConfig()
+	cfg.RecordTrace = true
+	cfg.EvalEvery = 1
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base, jobs = 900, 4
+	batch, err := s.RunBatch(base, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < jobs; j++ {
+		r, err := s.Run(base + int64(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, "RunBatch vs serial Run", batch[j], r)
+	}
+	par, err := s.RunBatchParallel(base, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < jobs; j++ {
+		requireIdentical(t, "RunBatchParallel vs RunBatch", par[j], batch[j])
+	}
+}
+
+// TestConcurrentRunsOnSharedSolver hammers the worker pool: several
+// goroutines call Run on one ideal-engine Solver, each itself fanning
+// out across workers. The -race build must stay silent, and each
+// goroutine's result must match an undisturbed reference run.
+func TestConcurrentRunsOnSharedSolver(t *testing.T) {
+	m := raceProblem(t)
+	cfg := quickConfig()
+	cfg.GlobalIters = 30
+	cfg.Workers = 4
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 6
+	refs := make([]*Result, goroutines)
+	for i := range refs {
+		r, err := s.Run(int64(100 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = r
+	}
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Run(int64(100 + i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		requireIdentical(t, "concurrent vs sequential run", results[i], refs[i])
+	}
+}
+
+// TestRunBatchParallelUnderRace drives the batch-level parallelism with
+// more jobs than slots so the semaphore path is exercised.
+func TestRunBatchParallelUnderRace(t *testing.T) {
+	m := raceProblem(t)
+	cfg := quickConfig()
+	cfg.GlobalIters = 20
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunBatchParallel(1, 9, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -101,6 +101,7 @@ func (s *Solver) WithRuntime(modify func(cfg *Config)) (*Solver, error) {
 	if cfg.TileSize != s.cfg.TileSize {
 		return nil, fmt.Errorf("core: WithRuntime cannot change TileSize; build a new solver")
 	}
+	//sophielint:ignore floateq exact identity of the copied config value detects a changed field, not a numeric comparison
 	if cfg.Alpha != s.cfg.Alpha || cfg.SkipTransform != s.cfg.SkipTransform || cfg.TransformRank != s.cfg.TransformRank {
 		return nil, fmt.Errorf("core: WithRuntime cannot change the transform; build a new solver")
 	}
@@ -242,12 +243,34 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 	}
 	selected := make([]int, 0, selectCount)
 
+	// One long-lived worker pool for the whole job: workers pull
+	// (pair, phi) jobs from a single channel and signal per-item
+	// completion on the round WaitGroup — no per-iteration channel
+	// churn. The pool drains and exits when Run returns (deferred
+	// close), so early TargetEnergy exits leak nothing. Determinism
+	// does not depend on which worker processes a pair: each pair owns
+	// its persistent RNG stream in states[pi], and round.Wait() orders
+	// all PE writes before the controller reads them.
+	type peJob struct {
+		pi  int
+		phi float64
+	}
 	workers := cfg.workers()
-	var wg sync.WaitGroup
-	work := make(chan int)
+	work := make(chan peJob)
+	defer close(work)
+	var round sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range work {
+				s.runLocalIterations(states[j.pi], s.pairs[j.pi], j.pi, j.phi)
+				round.Done()
+			}
+		}()
+	}
 
 	// Geometric noise annealing schedule (constant when PhiEnd is 0).
 	phiAt := func(g int) float64 {
+		//sophielint:ignore floateq exact equality of two user-set config values selects the constant-noise fast path
 		if cfg.PhiEnd <= 0 || cfg.Phi == cfg.PhiEnd || cfg.GlobalIters == 1 {
 			return cfg.Phi
 		}
@@ -278,40 +301,29 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 				s.buildOffset(st.offCol, partial, pIdx, p.Col, p.Row)
 			}
 		}
-		res.Ops.GlueOps += uint64(len(selected) * 2 * (grid.Tiles - 1) * t)
+		res.Ops.GlueOps += metrics.U64(len(selected) * 2 * (grid.Tiles - 1) * t)
 		res.Ops.SRAMWriteBits += uint64(len(selected) * 2 * t * (1 + 8)) // spins + offsets
 
-		// --- Local iterations, one goroutine batch simulating the PEs.
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for pi := range work {
-					s.runLocalIterations(states[pi], s.pairs[pi], pi, phi)
-				}
-			}()
-		}
+		// --- Local iterations: dispatch the selected pairs to the
+		// long-lived PE pool and wait for the round to finish.
+		round.Add(len(selected))
 		for _, pi := range selected {
-			work <- pi
+			work <- peJob{pi: pi, phi: phi}
 		}
-		// Close-and-recreate keeps the loop simple; channel churn is
-		// negligible next to the tile MVM work.
-		close(work)
-		wg.Wait()
-		work = make(chan int)
+		round.Wait()
 
 		for _, pi := range selected {
 			p := s.pairs[pi]
 			if p.IsDiagonal() {
-				res.Ops.LocalMVM1b += uint64(cfg.LocalIters - 1)
+				res.Ops.LocalMVM1b += metrics.U64(cfg.LocalIters - 1)
 				res.Ops.LocalMVM8b++
-				res.Ops.ADCSamples1b += uint64((cfg.LocalIters - 1) * t)
+				res.Ops.ADCSamples1b += metrics.U64((cfg.LocalIters - 1) * t)
 				res.Ops.ADCSamples8b += uint64(t)
 				res.Ops.EOBits += uint64(cfg.LocalIters * t)
 			} else {
-				res.Ops.LocalMVM1b += uint64(2*cfg.LocalIters - 2)
+				res.Ops.LocalMVM1b += metrics.U64(2*cfg.LocalIters - 2)
 				res.Ops.LocalMVM8b += 2
-				res.Ops.ADCSamples1b += uint64((2*cfg.LocalIters - 2) * t)
+				res.Ops.ADCSamples1b += metrics.U64((2*cfg.LocalIters - 2) * t)
 				res.Ops.ADCSamples8b += uint64(2 * t)
 				res.Ops.EOBits += uint64(2 * cfg.LocalIters * t)
 			}

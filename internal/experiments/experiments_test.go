@@ -129,6 +129,9 @@ func TestFunctionalExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("functional experiments are slow")
 	}
+	if raceDetectorOn {
+		t.Skip("sequential regenerators; see race_on_test.go")
+	}
 	for _, exp := range []struct {
 		name string
 		run  func(Options) error

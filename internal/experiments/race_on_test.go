@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn lets the heavy smoke tests skip under `go test -race`:
+// the experiment regenerators are sequential orchestration of components
+// whose concurrency is race-tested directly (internal/core/race_test.go),
+// and the ~10x race-build slowdown pushes them past the default test
+// timeout without adding coverage.
+const raceDetectorOn = true

@@ -22,6 +22,7 @@ func Write(w io.Writer, g *Graph) error {
 		return err
 	}
 	for _, e := range g.SortedEdges() {
+		//sophielint:ignore floateq round-trip through int64 is the exact integrality test, not a tolerance comparison
 		if e.Weight == float64(int64(e.Weight)) {
 			if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U+1, e.V+1, int64(e.Weight)); err != nil {
 				return err

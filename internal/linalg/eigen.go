@@ -135,6 +135,7 @@ func tqli(d, e []float64, z *Matrix) error {
 			var m int
 			for m = l; m < n-1; m++ {
 				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				//sophielint:ignore floateq deliberate machine-epsilon convergence test: e[m] has become negligible exactly when adding it does not change dd
 				if math.Abs(e[m])+dd == dd {
 					break
 				}

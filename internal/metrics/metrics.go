@@ -68,6 +68,20 @@ func (c *OpCounts) Add(other OpCounts) {
 // TotalMVMs returns all local MVM operations regardless of ADC mode.
 func (c *OpCounts) TotalMVMs() uint64 { return c.LocalMVM1b + c.LocalMVM8b }
 
+// U64 is the checked int→uint64 conversion for op accounting: feeding
+// a counter from signed loop arithmetic (iterations-1, selected*t,
+// ...) must never wrap a negative intermediate into ~1.8e19 priced
+// operations. It panics on negative input — a programming error in the
+// simulator, not a recoverable condition. The opcount analyzer
+// (internal/analysis) flags raw uint64(...) conversions of
+// subtraction-bearing arithmetic and points here.
+func U64(n int) uint64 {
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: negative operation count %d", n))
+	}
+	return uint64(n)
+}
+
 // String renders the non-zero counters, one per line, for reports.
 func (c *OpCounts) String() string {
 	var b strings.Builder

@@ -82,6 +82,7 @@ func (e *DriftEngine) driftFactor(age float64) float64 {
 func (e *DriftEngine) Mul(p int, transposed bool, x, y []float64) {
 	e.Engine.Mul(p, transposed, x, y)
 	f := e.driftFactor(e.age[p])
+	//sophielint:ignore floateq driftFactor returns the literal 1 on the no-drift path; this gates the scaling loop exactly
 	if f != 1 {
 		for i := range y {
 			y[i] *= f
