@@ -4,7 +4,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint vet bench check clean
+.PHONY: all build test race lint vet bench bench-json check clean
 
 all: build
 
@@ -35,6 +35,13 @@ vet: build
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Regenerates the tracked benchmark baseline (README.md "Benchmarks").
+# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR2.json was
+# produced with the default 2s budget.
+BENCHTIME ?= 2s
+bench-json:
+	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR2.json
 
 check: build test race lint vet
 

@@ -1,0 +1,183 @@
+// Command sophiebench runs the repository's tracked performance
+// benchmarks and emits a machine-readable JSON baseline (schema
+// "sophie-bench/v1"). The committed BENCH_PR2.json snapshots the
+// incremental-datapath speedup on the G22-mini solver workload plus the
+// underlying linalg kernel costs; CI re-runs the suite with
+// -benchtime=1x as a smoke test and uploads the fresh report as an
+// artifact. See README.md "Benchmarks".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"sophie/internal/core"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/linalg"
+)
+
+// report is the sophie-bench/v1 JSON document.
+type report struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	CPUs       int                `json:"cpus"`
+	Benchtime  string             `json:"benchtime"`
+	Benchmarks []benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output path for the JSON report")
+	benchtime := flag.String("benchtime", "2s", "per-benchmark budget (Go benchtime syntax, e.g. 2s or 1x)")
+	testing.Init()
+	flag.Parse()
+	if err := run(*benchtime, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "sophiebench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the suite under the given benchtime and writes the JSON
+// report to out. Split from main so the package test drives it.
+func run(benchtime, out string) error {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return err
+	}
+
+	rep := report{
+		Schema:    "sophie-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Benchtime: benchtime,
+		Derived:   map[string]float64{},
+	}
+	byName := map[string]testing.BenchmarkResult{}
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		byName[name] = r
+		rep.Benchmarks = append(rep.Benchmarks, benchmark{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: int64(r.AllocsPerOp()),
+			BytesPerOp:  int64(r.AllocedBytesPerOp()),
+		})
+	}
+
+	// --- linalg kernels: dense MVM vs the binary column-gather kernel
+	// vs a single-column delta patch, at the paper's tile order.
+	const order = 64
+	rng := rand.New(rand.NewSource(9))
+	m := linalg.NewMatrix(order, order)
+	for i := 0; i < order; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	m.ColMirror() // build the mirror outside the timed region
+	x := make([]float64, order)
+	for i := range x {
+		x[i] = float64(rng.Intn(2))
+	}
+	y := make([]float64, order)
+	record("linalg/MulVec64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.MulVec(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("linalg/MulVecBinary64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.MulVecBinary(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("linalg/AccumulateColumn64", func(b *testing.B) {
+		b.ReportAllocs()
+		sign := 1.0
+		for i := 0; i < b.N; i++ {
+			if err := m.AccumulateColumn(y, i%order, sign); err != nil {
+				b.Fatal(err)
+			}
+			sign = -sign
+		}
+	})
+
+	// --- Solver: the G22-mini workload of the root benchmarks (Rudy
+	// random graph at 1/16 the G22 order, 30 global iterations) at the
+	// paper's default tile order of 64, reference path vs incremental
+	// datapath. Workers is pinned to 1 so the comparison isolates the
+	// arithmetic saved per PE from goroutine scheduling noise.
+	g, err := graph.Random(125, 650, graph.WeightUnit, 53122)
+	if err != nil {
+		return err
+	}
+	model := ising.FromMaxCut(g)
+	cfg := core.DefaultConfig()
+	cfg.GlobalIters = 30
+	cfg.Phi = 0.2
+	cfg.Workers = 1
+	solveBench := func(s *core.Solver) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	exactCfg := cfg
+	exactCfg.ExactRecompute = true
+	exactSolver, err := core.NewSolver(model, exactCfg)
+	if err != nil {
+		return err
+	}
+	deltaSolver, err := core.NewSolver(model, cfg)
+	if err != nil {
+		return err
+	}
+	record("solver/G22mini-exact", solveBench(exactSolver))
+	record("solver/G22mini-delta", solveBench(deltaSolver))
+
+	perOp := func(name string) float64 {
+		r := byName[name]
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	if d := perOp("solver/G22mini-delta"); d > 0 {
+		rep.Derived["solver_speedup_exact_over_delta"] = perOp("solver/G22mini-exact") / d
+	}
+	if bin := perOp("linalg/MulVecBinary64"); bin > 0 {
+		rep.Derived["linalg_speedup_mulvec_over_binary"] = perOp("linalg/MulVec64") / bin
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(out, data, 0o644)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunEmitsValidReport drives the full suite at -benchtime=1x and
+// validates the emitted sophie-bench/v1 document: every expected
+// benchmark present with positive timings, and the derived speedups
+// computable. Absolute speedup values are asserted only to be positive
+// here — the committed BENCH_PR2.json records the measured baseline.
+func TestRunEmitsValidReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("1x", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != "sophie-bench/v1" {
+		t.Fatalf("unexpected schema %q", rep.Schema)
+	}
+	want := map[string]bool{
+		"linalg/MulVec64":           false,
+		"linalg/MulVecBinary64":     false,
+		"linalg/AccumulateColumn64": false,
+		"solver/G22mini-exact":      false,
+		"solver/G22mini-delta":      false,
+	}
+	for _, b := range rep.Benchmarks {
+		seen, ok := want[b.Name]
+		if !ok {
+			t.Fatalf("unexpected benchmark %q", b.Name)
+		}
+		if seen {
+			t.Fatalf("duplicate benchmark %q", b.Name)
+		}
+		want[b.Name] = true
+		if b.Iterations <= 0 || b.NsPerOp <= 0 {
+			t.Fatalf("benchmark %q has non-positive measurements: %+v", b.Name, b)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("benchmark %q missing from report", name)
+		}
+	}
+	for _, key := range []string{"solver_speedup_exact_over_delta", "linalg_speedup_mulvec_over_binary"} {
+		if rep.Derived[key] <= 0 {
+			t.Fatalf("derived metric %q missing or non-positive: %v", key, rep.Derived[key])
+		}
+	}
+}

@@ -18,7 +18,12 @@ import (
 //   - conversion of subtraction-bearing signed arithmetic straight to
 //     an unsigned type (`uint64(iters-1)`): a negative intermediate
 //     wraps at the conversion. Route these through metrics.U64, which
-//     panics on negative input instead of wrapping.
+//     panics on negative input instead of wrapping;
+//   - raw unsigned conversion of a non-constant product feeding a
+//     counter (`c.EOBits += uint64(2 * iters * t)`): a product of
+//     config-scale ints can overflow int before the conversion sees
+//     it. metrics.U64 keeps every overflow-prone feed on the checked,
+//     greppable path. Single-variable casts (`uint64(t)`) stay legal.
 //
 // Counter deltas that are genuinely needed should go through signed
 // intermediates (int64(a) - int64(b)) — the analyzer accepts that
@@ -35,6 +40,7 @@ func runOpCount(pass *Pass) error {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
 				checkSubAssign(pass, n)
+				checkCounterFeed(pass, n)
 			case *ast.BinaryExpr:
 				checkCounterSub(pass, n)
 			case *ast.CallExpr:
@@ -137,6 +143,62 @@ func checkUnsignedConversion(pass *Pass, call *ast.CallExpr) {
 	}
 	pass.Reportf(call.Pos(),
 		"%s conversion of signed arithmetic containing subtraction: a negative value wraps; use metrics.U64 for a checked conversion", basic.Name())
+}
+
+// checkCounterFeed flags raw unsigned conversions of non-constant
+// products feeding a metrics.OpCounts counter. The product of two or
+// more config-scale ints can overflow int before the conversion runs;
+// the convention is metrics.U64 for every multi-factor feed so the
+// overflow-prone sites stay on the checked, greppable path.
+// Subtraction-bearing arguments are left to checkUnsignedConversion so
+// each site gets exactly one diagnostic.
+func checkCounterFeed(pass *Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ADD_ASSIGN && as.Tok != token.ASSIGN {
+		return
+	}
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 || !isOpCountsField(pass, as.Lhs[0]) {
+		return
+	}
+	ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsUnsigned == 0 {
+			return true
+		}
+		arg := call.Args[0]
+		argTV, ok := pass.Info.Types[arg]
+		if !ok || argTV.Type == nil {
+			return true
+		}
+		if argTV.Value != nil {
+			return true // constant-folded: overflow is a compile error
+		}
+		if containsSubtraction(arg) || !containsProduct(arg) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"raw %s conversion of a product feeding a metrics.OpCounts counter: the int product can overflow first; use metrics.U64", basic.Name())
+		return true
+	})
+}
+
+func containsProduct(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bin, ok := n.(*ast.BinaryExpr); ok && bin.Op == token.MUL {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 func containsSubtraction(e ast.Expr) bool {

@@ -6,19 +6,24 @@ package opcount
 import "sophie/internal/metrics"
 
 func bad(c *metrics.OpCounts, prev metrics.OpCounts, n, t int) uint64 {
-	c.EOBits -= 8                                  // want `subtracting from an unsigned counter`
-	delta := c.ADCSamples1b - prev.ADCSamples1b    // want `subtraction on metrics.OpCounts counters`
-	c.GlueOps += uint64(n - 1)                     // want `conversion of signed arithmetic containing subtraction`
-	c.SRAMReadBits += uint64(2 * (t - 1) * n)      // want `conversion of signed arithmetic containing subtraction`
+	c.EOBits -= 8                                 // want `subtracting from an unsigned counter`
+	delta := c.ADCSamples1b - prev.ADCSamples1b   // want `subtraction on metrics.OpCounts counters`
+	c.GlueOps += uint64(n - 1)                    // want `conversion of signed arithmetic containing subtraction`
+	c.SRAMReadBits += uint64(2 * (t - 1) * n)     // want `conversion of signed arithmetic containing subtraction`
+	c.SRAMWriteBits += uint64(2 * t * n)          // want `raw uint64 conversion of a product feeding a metrics.OpCounts counter`
+	c.DRAMReadBits = c.DRAMReadBits + uint64(t*n) // want `raw uint64 conversion of a product feeding a metrics.OpCounts counter`
 	var shrink uint64
 	shrink -= 1 // want `subtracting from an unsigned counter`
 	return delta + shrink
 }
 
 func good(c *metrics.OpCounts, prev metrics.OpCounts, n, t int) uint64 {
-	c.EOBits += uint64(t)               // ok: no subtraction in the converted expression
-	c.GlueOps += metrics.U64(n - 1)     // ok: checked conversion
-	c.SRAMReadBits += uint64(2 * t * n) // ok
+	c.EOBits += uint64(t)                    // ok: single variable, no arithmetic to overflow
+	c.GlueOps += metrics.U64(n - 1)          // ok: checked conversion
+	c.SRAMReadBits += metrics.U64(2 * t * n) // ok: products go through the checked conversion
+	c.DRAMWriteBits += uint64(8 * 16)        // ok: constant-folded
+	free := uint64(2 * t * n)                // ok: not feeding a counter
+	_ = free
 	d := int64(c.ADCSamples1b) - int64(prev.ADCSamples1b) // ok: signed intermediates
 	if d < 0 {
 		d = 0

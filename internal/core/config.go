@@ -110,6 +110,20 @@ type Config struct {
 	// — a live observer for progress tooling. It runs on the solver
 	// goroutine; keep it fast.
 	OnGlobalIteration func(iter int, bestEnergy float64)
+	// ExactRecompute disables the flip-aware incremental datapath and
+	// forces the reference full-MVM path even when the engine supports
+	// delta updates (tiling.DeltaEngine). The two paths are
+	// bit-identical for the ideal engine (DESIGN.md "Incremental
+	// compute datapath"); the switch exists for golden equivalence
+	// tests and as an escape hatch. Engines without delta support (the
+	// opcm device model) always run the reference path.
+	ExactRecompute bool
+	// DeltaRefreshEvery is the incremental datapath's drift bound K:
+	// each pair's running pre-threshold accumulator is fully recomputed
+	// every K local iterations (and at the start of every global
+	// round). 0 selects the default of 16. Ignored on the reference
+	// path.
+	DeltaRefreshEvery int
 	// Engine overrides the MVM datapath; nil uses the ideal engine.
 	Engine EngineFactory
 	// InitialSpins optionally fixes the starting ±1 state for every job
@@ -168,7 +182,23 @@ func (c *Config) validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("core: negative worker count %d", c.Workers)
 	}
+	if c.DeltaRefreshEvery < 0 {
+		return fmt.Errorf("core: negative delta refresh interval %d", c.DeltaRefreshEvery)
+	}
 	return nil
+}
+
+// defaultDeltaRefresh bounds floating-point drift on the incremental
+// datapath: after this many consecutive delta updates the accumulator
+// is recomputed from scratch. 16 keeps worst-case drift at a few ulps
+// while recomputation stays rare at the paper's 10 local iterations.
+const defaultDeltaRefresh = 16
+
+func (c *Config) deltaRefresh() int {
+	if c.DeltaRefreshEvery > 0 {
+		return c.DeltaRefreshEvery
+	}
+	return defaultDeltaRefresh
 }
 
 func (c *Config) workers() int {

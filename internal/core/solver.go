@@ -27,6 +27,15 @@ type Solver struct {
 	pairs      []tiling.Pair
 	thresholds []float64 // padded per-node thresholds θ (Eq. 7)
 	noiseScale []float64 // padded per-node noise scale ‖Cᵢ‖₂
+
+	// Flip-aware fast path (DESIGN.md "Incremental compute datapath"):
+	// delta/binary are the feature-detected optional engine interfaces
+	// (nil when unsupported, e.g. the opcm device model), and
+	// exactEnergy records whether the couplings are integers so
+	// incremental energy tracking is bit-identical to a full walk.
+	delta       tiling.DeltaEngine
+	binary      tiling.BinaryEngine
+	exactEnergy bool
 }
 
 // readoutQuantizer is implemented by engines with a multi-bit ADC mode
@@ -85,6 +94,13 @@ func NewSolver(m *ising.Model, cfg Config) (*Solver, error) {
 	}
 	copy(s.thresholds, tr.Thresholds)
 	copy(s.noiseScale, tr.RowNorms)
+	if de, ok := engine.(tiling.DeltaEngine); ok {
+		s.delta = de
+	}
+	if be, ok := engine.(tiling.BinaryEngine); ok {
+		s.binary = be
+	}
+	s.exactEnergy = m.IntegerCouplings()
 	return s, nil
 }
 
@@ -93,8 +109,9 @@ func NewSolver(m *ising.Model, cfg Config) (*Solver, error) {
 // applied — the knobs a parameter sweep varies without re-running the
 // O(n³) preprocessing: Phi, LocalIters, GlobalIters, TileFraction,
 // SpinUpdate, EvalEvery, TargetEnergy, RecordTrace, Workers, Seed,
-// InitialSpins. Changing a preprocessing-affecting field (TileSize,
-// Alpha, SkipTransform, Engine) is rejected.
+// InitialSpins, ExactRecompute, DeltaRefreshEvery. Changing a
+// preprocessing-affecting field (TileSize, Alpha, SkipTransform,
+// Engine) is rejected.
 func (s *Solver) WithRuntime(modify func(cfg *Config)) (*Solver, error) {
 	cfg := s.cfg
 	modify(&cfg)
@@ -152,20 +169,34 @@ type pairState struct {
 	offRow, offCol []float64
 	pRowCol        []float64 // reported partial sum C_{r,c}·x_c
 	pColRow        []float64 // reported partial sum C_{c,r}·x_r
-	y              []float64 // MVM scratch
+	y              []float64 // MVM scratch (reference path)
 	rng            *rand.Rand
+
+	// Incremental-datapath state: yRow/yCol hold the pure (offset-free)
+	// products C_{r,c}·x_c and C_{c,r}·x_r kept alive across local
+	// iterations; the flip buffers record which tile-local spins the
+	// last threshold pass changed and by how much (±1).
+	yRow, yCol         []float64
+	rowFlips, colFlips []int
+	rowSigns, colSigns []float64
 }
 
 func newPairState(t int, seed int64) *pairState {
 	return &pairState{
-		xRow:    make([]float64, t),
-		xCol:    make([]float64, t),
-		offRow:  make([]float64, t),
-		offCol:  make([]float64, t),
-		pRowCol: make([]float64, t),
-		pColRow: make([]float64, t),
-		y:       make([]float64, t),
-		rng:     rand.New(rand.NewSource(seed)),
+		xRow:     make([]float64, t),
+		xCol:     make([]float64, t),
+		offRow:   make([]float64, t),
+		offCol:   make([]float64, t),
+		pRowCol:  make([]float64, t),
+		pColRow:  make([]float64, t),
+		y:        make([]float64, t),
+		rng:      rand.New(rand.NewSource(seed)),
+		yRow:     make([]float64, t),
+		yCol:     make([]float64, t),
+		rowFlips: make([]int, 0, t),
+		colFlips: make([]int, 0, t),
+		rowSigns: make([]float64, 0, t),
+		colSigns: make([]float64, 0, t),
 	}
 }
 
@@ -207,19 +238,44 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 	pIdx := func(i, j int) int { return i*grid.Tiles + j }
 
 	// Initialize the partial-sum table exactly, as the host does when it
-	// transfers initial buffer contents (Section III-E).
+	// transfers initial buffer contents (Section III-E). A diagonal pair
+	// executes (and is charged) one MVM; an off-diagonal pair two.
 	var res Result
 	buf := make([]float64, t)
 	for _, p := range s.pairs {
 		pi := grid.PairIndex(p.Row, p.Col)
 		s.engine.Mul(pi, false, grid.Block(sGlobal, p.Col), buf)
 		copy(partial[pIdx(p.Row, p.Col)], buf)
-		if !p.IsDiagonal() {
-			s.engine.Mul(pi, true, grid.Block(sGlobal, p.Row), buf)
-			copy(partial[pIdx(p.Col, p.Row)], buf)
+		if p.IsDiagonal() {
+			res.Ops.LocalMVM8b++
+			res.Ops.ADCSamples8b += uint64(t)
+			continue
 		}
+		s.engine.Mul(pi, true, grid.Block(sGlobal, p.Row), buf)
+		copy(partial[pIdx(p.Col, p.Row)], buf)
 		res.Ops.LocalMVM8b += 2
-		res.Ops.ADCSamples8b += uint64(2 * t)
+		res.Ops.ADCSamples8b += metrics.U64(2 * t)
+	}
+
+	// The incremental datapath engages when the engine supports delta
+	// updates and the exact reference path was not forced. It maintains
+	// a running row-sum cache over the partial-sum table so each load
+	// phase builds offset vectors in O(t) instead of O(Tiles·t):
+	// rowSum[r] = Σ_k partial[r][k], and the offset for (r, skip) is
+	// rowSum[r] - partial[r][skip].
+	useDelta := s.delta != nil && !cfg.ExactRecompute
+	var rowSum [][]float64
+	if useDelta {
+		rowSum = make([][]float64, grid.Tiles)
+		for r := range rowSum {
+			rowSum[r] = make([]float64, t)
+			for k := 0; k < grid.Tiles; k++ {
+				src := partial[pIdx(r, k)]
+				for i, v := range src {
+					rowSum[r][i] += v
+				}
+			}
+		}
 	}
 
 	// Per-pair simulated PEs with persistent RNG streams; deterministic
@@ -229,9 +285,22 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 		states[i] = newPairState(t, seed+int64(i)*7919+1)
 	}
 
-	spins := bestSpinsFrom(sGlobal, s.model.N())
-	res.BestSpins = spins
-	res.BestEnergy = s.model.Energy(spins)
+	n := s.model.N()
+	res.BestSpins = bestSpinsFrom(sGlobal, n)
+	res.BestEnergy = s.model.Energy(res.BestSpins)
+
+	// Per-run evaluation scratch: evalSpins is reused at every eval
+	// point (BestSpins is only written on improvement), and on the fast
+	// path tracker carries the energy across sync points so unchanged
+	// or sparsely changed states avoid re-walking every edge.
+	evalSpins := make([]int8, n)
+	var tracker *energyTracker
+	if useDelta {
+		tracker = newEnergyTracker(s.model, res.BestSpins, res.BestEnergy, s.exactEnergy)
+	}
+	// Reconciliation scratch, reused across global iterations (the
+	// inner per-block slices keep their capacity between rounds).
+	copies := make([][][]float64, grid.Tiles)
 
 	selectCount := int(float64(nPairs)*cfg.TileFraction + 0.5)
 	if selectCount < 1 {
@@ -262,7 +331,11 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range work {
-				s.runLocalIterations(states[j.pi], s.pairs[j.pi], j.pi, j.phi)
+				if useDelta {
+					s.runLocalIterationsDelta(states[j.pi], s.pairs[j.pi], j.pi, j.phi)
+				} else {
+					s.runLocalIterations(states[j.pi], s.pairs[j.pi], j.pi, j.phi)
+				}
 				round.Done()
 			}
 		}()
@@ -295,14 +368,22 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 			p := s.pairs[pi]
 			st := states[pi]
 			copy(st.xRow, grid.Block(sGlobal, p.Row))
-			s.buildOffset(st.offRow, partial, pIdx, p.Row, p.Col)
+			if useDelta {
+				buildOffsetCached(st.offRow, rowSum[p.Row], partial[pIdx(p.Row, p.Col)])
+			} else {
+				s.buildOffset(st.offRow, partial, pIdx, p.Row, p.Col)
+			}
 			if !p.IsDiagonal() {
 				copy(st.xCol, grid.Block(sGlobal, p.Col))
-				s.buildOffset(st.offCol, partial, pIdx, p.Col, p.Row)
+				if useDelta {
+					buildOffsetCached(st.offCol, rowSum[p.Col], partial[pIdx(p.Col, p.Row)])
+				} else {
+					s.buildOffset(st.offCol, partial, pIdx, p.Col, p.Row)
+				}
 			}
 		}
 		res.Ops.GlueOps += metrics.U64(len(selected) * 2 * (grid.Tiles - 1) * t)
-		res.Ops.SRAMWriteBits += uint64(len(selected) * 2 * t * (1 + 8)) // spins + offsets
+		res.Ops.SRAMWriteBits += metrics.U64(len(selected) * 2 * t * (1 + 8)) // spins + offsets
 
 		// --- Local iterations: dispatch the selected pairs to the
 		// long-lived PE pool and wait for the round to finish.
@@ -319,18 +400,18 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 				res.Ops.LocalMVM8b++
 				res.Ops.ADCSamples1b += metrics.U64((cfg.LocalIters - 1) * t)
 				res.Ops.ADCSamples8b += uint64(t)
-				res.Ops.EOBits += uint64(cfg.LocalIters * t)
+				res.Ops.EOBits += metrics.U64(cfg.LocalIters * t)
 			} else {
 				res.Ops.LocalMVM1b += metrics.U64(2*cfg.LocalIters - 2)
 				res.Ops.LocalMVM8b += 2
 				res.Ops.ADCSamples1b += metrics.U64((2*cfg.LocalIters - 2) * t)
-				res.Ops.ADCSamples8b += uint64(2 * t)
-				res.Ops.EOBits += uint64(2 * cfg.LocalIters * t)
+				res.Ops.ADCSamples8b += metrics.U64(2 * t)
+				res.Ops.EOBits += metrics.U64(2 * cfg.LocalIters * t)
 			}
 		}
 
 		// --- Global synchronization (controller).
-		s.synchronize(states, selected, sGlobal, partial, pIdx, ctrl, &res.Ops)
+		s.synchronize(states, selected, sGlobal, partial, pIdx, ctrl, rowSum, copies, &res.Ops)
 		res.Ops.GlobalSyncs++
 
 		res.GlobalItersRun = g
@@ -338,12 +419,17 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 
 		// --- Track solution quality on the reconciled global state.
 		if g%cfg.EvalEvery == 0 || g == cfg.GlobalIters {
-			cur := bestSpinsFrom(sGlobal, s.model.N())
-			e := s.model.Energy(cur)
+			fillSpins(evalSpins, sGlobal)
+			var e float64
+			if tracker != nil {
+				e = tracker.energyAt(evalSpins)
+			} else {
+				e = s.model.Energy(evalSpins)
+			}
 			if e < res.BestEnergy {
 				res.BestEnergy = e
 				res.BestGlobalIter = g
-				copy(res.BestSpins, cur)
+				copy(res.BestSpins, evalSpins)
 			}
 			if cfg.RecordTrace {
 				res.Trace = append(res.Trace, res.BestEnergy)
@@ -375,6 +461,18 @@ func (s *Solver) buildOffset(off []float64, partial [][]float64, pIdx func(int, 
 		for i := range off {
 			off[i] += src[i]
 		}
+	}
+}
+
+// buildOffsetCached is the fast path's O(t) offset builder: with the
+// running row-sum cache rowSumRow = Σ_k partial[row][k] maintained by
+// synchronize, the offset excluding one input block is a single
+// subtraction per element instead of a Tiles-wide accumulation. The
+// result can differ from buildOffset by ulps (different summation
+// order); see DESIGN.md "Incremental compute datapath".
+func buildOffsetCached(off, rowSumRow, skip []float64) {
+	for i := range off {
+		off[i] = rowSumRow[i] - skip[i]
 	}
 }
 
@@ -423,6 +521,50 @@ func (s *Solver) runLocalIterations(st *pairState, p tiling.Pair, pi int, phi fl
 	s.quantizeReadout(st.pColRow)
 }
 
+// runLocalIterationsDelta is the flip-aware counterpart of
+// runLocalIterations (DESIGN.md "Incremental compute datapath"). Each
+// direction keeps a pure (offset-free) pre-threshold accumulator alive
+// across local iterations: a full binary-kernel MVM anchors it at the
+// start of the round (and every deltaRefresh iterations to bound float
+// drift), and every other iteration patches it with only the columns of
+// the spins the previous threshold pass flipped — O(flips·t) instead of
+// O(t²). Thresholding consumes the accumulator plus the offset vector
+// without mutating it and records the flips for the next patch. The
+// final readout recomputes both partial sums with the exact binary
+// kernel so the published values carry no accumulated drift. Noise
+// draws per element are identical in count and order to the reference
+// path, keeping the two paths on the same RNG trajectory.
+func (s *Solver) runLocalIterationsDelta(st *pairState, p tiling.Pair, pi int, phi float64) {
+	cfg := &s.cfg
+	grid := s.grid
+	refresh := cfg.deltaRefresh()
+	rowLo, _ := grid.BlockRange(p.Row)
+	colLo, _ := grid.BlockRange(p.Col)
+	if p.IsDiagonal() {
+		for l := 0; l < cfg.LocalIters; l++ {
+			s.advance(pi, false, st.xRow, st.rowFlips, st.rowSigns, st.yRow, l%refresh == 0)
+			s.thresholdDelta(st.xRow, st.yRow, st.offRow, rowLo, st.rng, phi, &st.rowFlips, &st.rowSigns)
+		}
+		s.binaryMul(pi, false, st.xRow, st.pRowCol)
+		s.quantizeReadout(st.pRowCol)
+		return
+	}
+	for l := 0; l < cfg.LocalIters; l++ {
+		// Output block Row accumulates C_{Row,Col}·x_Col; x_Col last
+		// changed in the previous iteration's second threshold pass.
+		s.advance(pi, false, st.xCol, st.colFlips, st.colSigns, st.yRow, l%refresh == 0)
+		s.thresholdDelta(st.xRow, st.yRow, st.offRow, rowLo, st.rng, phi, &st.rowFlips, &st.rowSigns)
+		// Output block Col accumulates C_{Col,Row}·x_Row = tileᵀ·x_Row,
+		// where x_Row was just updated above.
+		s.advance(pi, true, st.xRow, st.rowFlips, st.rowSigns, st.yCol, l%refresh == 0)
+		s.thresholdDelta(st.xCol, st.yCol, st.offCol, colLo, st.rng, phi, &st.colFlips, &st.colSigns)
+	}
+	s.binaryMul(pi, false, st.xCol, st.pRowCol)
+	s.binaryMul(pi, true, st.xRow, st.pColRow)
+	s.quantizeReadout(st.pRowCol)
+	s.quantizeReadout(st.pColRow)
+}
+
 // threshold applies the noisy comparison of Eq. 5-6 element-wise,
 // writing binarized states into dst. blockLo maps tile-local indices to
 // padded global node indices for θ and the noise scale. phi is the
@@ -441,6 +583,80 @@ func (s *Solver) threshold(dst, y []float64, blockLo int, rng *rand.Rand, phi fl
 	}
 }
 
+// thresholdDelta is the fast path's threshold pass: it reads the pure
+// accumulator y plus the offset vector off (leaving y intact for the
+// next delta patch) and records which tile-local spins changed, and by
+// how much (±1), into the caller's flip buffers. The arithmetic per
+// element — one add, then the same noise expression — rounds identically
+// to the reference threshold applied after the reference path's
+// y += off loop. The θ and noise-scale views are hoisted out of the
+// loop and the noise branch is lifted to a loop split: this pass runs
+// once per element per local iteration and dominates the fast path's
+// residual cost.
+func (s *Solver) thresholdDelta(dst, y, off []float64, blockLo int, rng *rand.Rand, phi float64, flips *[]int, signs *[]float64) {
+	n := len(y)
+	th := s.thresholds[blockLo : blockLo+n]
+	f := (*flips)[:0]
+	sg := (*signs)[:0]
+	if phi > 0 {
+		scale := s.noiseScale[blockLo : blockLo+n]
+		for i, yv := range y {
+			v := yv + off[i]
+			v += rng.NormFloat64() * phi * scale[i]
+			var nv float64
+			if v >= th[i] {
+				nv = 1
+			}
+			if d := nv - dst[i]; d != 0 {
+				f = append(f, i)
+				sg = append(sg, d)
+				dst[i] = nv
+			}
+		}
+	} else {
+		for i, yv := range y {
+			v := yv + off[i]
+			var nv float64
+			if v >= th[i] {
+				nv = 1
+			}
+			if d := nv - dst[i]; d != 0 {
+				f = append(f, i)
+				sg = append(sg, d)
+				dst[i] = nv
+			}
+		}
+	}
+	*flips = f
+	*signs = sg
+}
+
+// advance brings a pre-threshold accumulator up to date with its input
+// vector x: a full binary-kernel recompute when the round (or the
+// deltaRefresh drift bound) demands an anchor, a flip patch otherwise.
+// The patch-versus-recompute choice is adaptive — patching costs
+// O(flips·t) against the gather kernel's O(ones·t) with ones ≈ t/2, so
+// a noisy round that flips half a block falls back to the recompute,
+// which also re-anchors the accumulator for free.
+func (s *Solver) advance(pi int, transposed bool, x []float64, flips []int, signs []float64, y []float64, full bool) {
+	if full || 2*len(flips) >= len(y) {
+		s.binaryMul(pi, transposed, x, y)
+		return
+	}
+	s.delta.MulDelta(pi, transposed, flips, signs, y)
+}
+
+// binaryMul routes a full MVM on a {0,1} vector through the engine's
+// exact binary kernel when available, falling back to the general Mul
+// (bit-identical for binary inputs by the BinaryEngine contract).
+func (s *Solver) binaryMul(pi int, transposed bool, x, y []float64) {
+	if s.binary != nil {
+		s.binary.MulBinary(pi, transposed, x, y)
+		return
+	}
+	s.engine.Mul(pi, transposed, x, y)
+}
+
 func (s *Solver) quantizeReadout(v []float64) {
 	if q, ok := s.engine.(readoutQuantizer); ok {
 		q.QuantizeReadout(v)
@@ -449,27 +665,45 @@ func (s *Solver) quantizeReadout(v []float64) {
 
 // synchronize performs the controller's global synchronization: selected
 // pairs publish their partial sums, then each block column's spin copies
-// are reconciled (majority or stochastic pick) and broadcast.
+// are reconciled (majority or stochastic pick) and broadcast. rowSum,
+// when non-nil, is the fast path's running row-sum cache over the
+// partial-sum table and is patched in place as new partials land.
+// copies is per-Run reconciliation scratch (one bucket per block) whose
+// inner slices are reused across global iterations.
 func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []float64,
-	partial [][]float64, pIdx func(int, int) int, ctrl *rand.Rand, ops *metrics.OpCounts) {
+	partial [][]float64, pIdx func(int, int) int, ctrl *rand.Rand,
+	rowSum [][]float64, copies [][][]float64, ops *metrics.OpCounts) {
 
 	grid := s.grid
 	t := s.cfg.TileSize
 
-	// Publish partial sums.
+	// Publish partial sums. The row-sum cache absorbs the difference
+	// between the new and previously published partial before the copy
+	// overwrites it, keeping rowSum[r] = Σ_k partial[r][k] in O(t).
+	publish := func(row int, dst, src []float64) {
+		if rowSum != nil {
+			rs := rowSum[row]
+			for i := range dst {
+				rs[i] += src[i] - dst[i]
+			}
+		}
+		copy(dst, src)
+	}
 	for _, pi := range selected {
 		p := s.pairs[pi]
 		st := states[pi]
-		copy(partial[pIdx(p.Row, p.Col)], st.pRowCol)
+		publish(p.Row, partial[pIdx(p.Row, p.Col)], st.pRowCol)
 		if !p.IsDiagonal() {
-			copy(partial[pIdx(p.Col, p.Row)], st.pColRow)
+			publish(p.Col, partial[pIdx(p.Col, p.Row)], st.pColRow)
 		}
-		ops.SRAMReadBits += uint64(2 * t * 8)
-		ops.DRAMWriteBits += uint64(2 * t * 8)
+		ops.SRAMReadBits += metrics.U64(2 * t * 8)
+		ops.DRAMWriteBits += metrics.U64(2 * t * 8)
 	}
 
-	// Gather spin copies per block.
-	copies := make([][][]float64, grid.Tiles)
+	// Gather spin copies per block into the reused scratch buckets.
+	for b := range copies {
+		copies[b] = copies[b][:0]
+	}
 	for _, pi := range selected {
 		p := s.pairs[pi]
 		st := states[pi]
@@ -477,8 +711,8 @@ func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []floa
 		if !p.IsDiagonal() {
 			copies[p.Col] = append(copies[p.Col], st.xCol)
 		}
-		ops.SRAMReadBits += uint64(2 * t)
-		ops.DRAMWriteBits += uint64(2 * t)
+		ops.SRAMReadBits += metrics.U64(2 * t)
+		ops.DRAMWriteBits += metrics.U64(2 * t)
 	}
 
 	// Reconcile and broadcast.
@@ -504,9 +738,69 @@ func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []floa
 					dst[i] = 0
 				}
 			}
-			ops.GlueOps += uint64(t * len(cs))
+			ops.GlueOps += metrics.U64(t * len(cs))
 		}
-		ops.DRAMReadBits += uint64(t * len(cs)) // broadcast back to tiles
+		ops.DRAMReadBits += metrics.U64(t * len(cs)) // broadcast back to tiles
+	}
+}
+
+// energyTracker carries the Hamiltonian across evaluation points so sync
+// points where few (or no) spins changed avoid re-walking every edge.
+// For integer couplings (ising.Model.IntegerCouplings) the incremental
+// updates are bit-identical to a full Energy walk — every intermediate
+// value stays an exactly representable float64 integer — so the fast
+// path's traces match the reference path's. For float couplings the
+// tracker always takes the full walk, preserving golden equivalence;
+// the unchanged-state shortcut is exact regardless.
+type energyTracker struct {
+	model *ising.Model
+	exact bool
+	spins []int8
+	e     float64
+}
+
+func newEnergyTracker(m *ising.Model, spins []int8, e float64, exact bool) *energyTracker {
+	tr := &energyTracker{model: m, exact: exact, spins: make([]int8, len(spins)), e: e}
+	copy(tr.spins, spins)
+	return tr
+}
+
+// energyAt returns the Hamiltonian of cur and updates the tracked state.
+// Incremental EnergyDelta accumulation costs O(changed·N) versus the
+// O(N²) full walk, so it engages below the changed ≈ N/2 crossover.
+func (tr *energyTracker) energyAt(cur []int8) float64 {
+	changed := 0
+	for i, v := range cur {
+		if v != tr.spins[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		return tr.e
+	}
+	if tr.exact && changed*2 <= len(cur) {
+		for i, v := range cur {
+			if v != tr.spins[i] {
+				tr.e += tr.model.EnergyDelta(tr.spins, i)
+				tr.spins[i] = v
+			}
+		}
+		return tr.e
+	}
+	tr.e = tr.model.Energy(cur)
+	copy(tr.spins, cur)
+	return tr.e
+}
+
+// fillSpins converts the first len(dst) entries of a padded binary state
+// to ±1 spins in place.
+func fillSpins(dst []int8, binary []float64) {
+	for i := range dst {
+		if binary[i] != 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = -1
+		}
 	}
 }
 
@@ -514,13 +808,7 @@ func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []floa
 // ±1 spins.
 func bestSpinsFrom(binary []float64, n int) []int8 {
 	spins := make([]int8, n)
-	for i := 0; i < n; i++ {
-		if binary[i] != 0 {
-			spins[i] = 1
-		} else {
-			spins[i] = -1
-		}
-	}
+	fillSpins(spins, binary)
 	return spins
 }
 

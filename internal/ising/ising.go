@@ -82,6 +82,32 @@ func (m *Model) EnergyDelta(spins []int8, i int) float64 {
 	return 2 * float64(spins[i]) * field
 }
 
+// IntegerCouplings reports whether every coupling is an integer small
+// enough that any energy computed over the model — full Hamiltonian
+// walks and accumulated EnergyDelta updates alike — stays inside the
+// exactly representable float64 integer range. When it holds,
+// incremental energy tracking (core's fast path) is bit-identical to
+// re-walking every edge; graph reductions with unit or small integer
+// weights (the G-set, K-graphs) all qualify. The scan is O(N²) but runs
+// once per solver build.
+func (m *Model) IntegerCouplings() bool {
+	n := m.N()
+	if n == 0 {
+		return true
+	}
+	// Each energy term and each accumulated delta is a sum of at most
+	// n² couplings; keep the worst-case magnitude below 2⁵².
+	limit := math.Exp2(52) / (float64(n) * float64(n))
+	for i := 0; i < n; i++ {
+		for _, v := range m.k.Row(i) {
+			if math.Trunc(v)-v != 0 || math.Abs(v) > limit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // SpinsToBinary converts ±1 spins to the {0,1} encoding used by the PRIS
 // recurrence (σ=+1 → 1, σ=-1 → 0).
 func SpinsToBinary(spins []int8) []float64 {

@@ -273,3 +273,29 @@ func TestPartitionImbalancePanics(t *testing.T) {
 	}()
 	PartitionImbalance([]float64{1}, []int8{1, 1})
 }
+
+func TestIntegerCouplings(t *testing.T) {
+	g, err := graph.Random(30, 100, graph.WeightUnit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !FromMaxCut(g).IntegerCouplings() {
+		t.Fatal("unit-weight max-cut model must report integer couplings")
+	}
+	k := linalg.NewMatrix(3, 3)
+	k.Set(0, 1, 0.5)
+	k.Set(1, 0, 0.5)
+	frac := mustModel(t, k)
+	if frac.IntegerCouplings() {
+		t.Fatal("fractional coupling must not report integer")
+	}
+	big := linalg.NewMatrix(2, 2)
+	big.Set(0, 1, math.Exp2(60))
+	big.Set(1, 0, math.Exp2(60))
+	if mustModel(t, big).IntegerCouplings() {
+		t.Fatal("oversized integer coupling must not report exact")
+	}
+	if !NumberPartition([]float64{3, 5, 8}).IntegerCouplings() {
+		t.Fatal("small integer number-partition model must qualify")
+	}
+}

@@ -1,0 +1,149 @@
+package linalg
+
+import "fmt"
+
+// This file holds the binary-input and incremental (delta) MVM kernels
+// behind SOPHIE's flip-aware fast path. The spin vectors the solver
+// multiplies are {0,1}-valued and change in only a handful of positions
+// between consecutive local iterations, so the dense t×t product can be
+// replaced by column gathers (MulVecBinary) and per-flip column
+// accumulations (AccumulateColumn/AccumulateRow).
+//
+// Bit-exactness contract: for a {0,1} input vector, MulVecBinary and
+// MulVecBinaryT return results bit-identical to MulVec and MulVecT.
+// Each output element accumulates the same non-zero terms in the same
+// index order; the skipped terms are exact IEEE-754 zeros (v·0 is ±0),
+// and adding ±0 to an accumulator that starts at +0 and is produced by
+// round-to-nearest additions can never change its bits (the accumulator
+// is never -0: +0 + (-0) = +0, and exact cancellation of non-zero terms
+// rounds to +0). Multiplication by 1.0 is exact, so dropping it is also
+// bit-neutral. AccumulateColumn/AccumulateRow, by contrast, re-order
+// additions relative to a from-scratch product and therefore drift by
+// ulps; callers bound the drift with periodic full recomputation.
+
+// ColMirror returns the cached column-major mirror of m — a matrix
+// whose row j is column j of m — building it on first use. It lets
+// column gathers and transposed products stream unit-stride. Set, Add,
+// and Scale invalidate the cache; writes through the aliasing Row or
+// Data slices do not, so callers that mutate storage directly must not
+// mix in mirror-based kernels afterwards. The returned matrix aliases
+// the cache: callers must not modify it.
+func (m *Matrix) ColMirror() *Matrix {
+	if m.mirror == nil {
+		m.mirror = m.Transpose()
+	}
+	return m.mirror
+}
+
+// MulVecBinary computes y = m·x for a {0,1} input vector by gathering
+// the columns selected by the non-zero entries of x (any non-zero entry
+// is treated as 1). For binary x the result is bit-identical to MulVec
+// (see the contract at the top of this file) while performing only
+// additions, roughly halving the work at the ~50% spin density the
+// solver sees. If y is nil a new slice is allocated; otherwise it must
+// have length m.Rows() and is overwritten.
+func (m *Matrix) MulVecBinary(x, y []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("%w: MulVecBinary x has length %d, want %d", ErrDimensionMismatch, len(x), m.cols)
+	}
+	if y == nil {
+		y = make([]float64, m.rows)
+	} else if len(y) != m.rows {
+		return nil, fmt.Errorf("%w: MulVecBinary y has length %d, want %d", ErrDimensionMismatch, len(y), m.rows)
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	mir := m.ColMirror()
+	for j, xj := range x {
+		if xj == 0 {
+			continue
+		}
+		col := mir.Row(j)
+		for i, v := range col {
+			y[i] += v
+		}
+	}
+	return y, nil
+}
+
+// MulVecBinaryT computes y = mᵀ·x for a {0,1} input vector (any
+// non-zero entry is treated as 1). Rows of a row-major matrix are
+// already unit-stride, so no mirror is needed; the result is
+// bit-identical to MulVecT for binary x. If y is nil a new slice is
+// allocated; otherwise it must have length m.Cols() and is overwritten.
+func (m *Matrix) MulVecBinaryT(x, y []float64) ([]float64, error) {
+	if len(x) != m.rows {
+		return nil, fmt.Errorf("%w: MulVecBinaryT x has length %d, want %d", ErrDimensionMismatch, len(x), m.rows)
+	}
+	if y == nil {
+		y = make([]float64, m.cols)
+	} else if len(y) != m.cols {
+		return nil, fmt.Errorf("%w: MulVecBinaryT y has length %d, want %d", ErrDimensionMismatch, len(y), m.cols)
+	}
+	for j := range y {
+		y[j] = 0
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			y[j] += v
+		}
+	}
+	return y, nil
+}
+
+// AccumulateColumn applies y += sign · m[:,j] in place — the
+// incremental update for "input element j changed by sign" on a product
+// y = m·x. The column streams unit-stride through the cached
+// column-major mirror. sign values of exactly ±1 take a multiply-free
+// path that is bit-identical to the general one. len(y) must equal
+// m.Rows().
+func (m *Matrix) AccumulateColumn(y []float64, j int, sign float64) error {
+	if len(y) != m.rows {
+		return fmt.Errorf("%w: AccumulateColumn y has length %d, want %d", ErrDimensionMismatch, len(y), m.rows)
+	}
+	if j < 0 || j >= m.cols {
+		return fmt.Errorf("%w: AccumulateColumn column %d outside [0,%d)", ErrDimensionMismatch, j, m.cols)
+	}
+	col := m.ColMirror().Row(j)
+	accumulate(y, col, sign)
+	return nil
+}
+
+// AccumulateRow applies y += sign · m[i,:] in place — the incremental
+// update for "input element i changed by sign" on a transposed product
+// y = mᵀ·x (column i of mᵀ is row i of m, already unit-stride). len(y)
+// must equal m.Cols().
+func (m *Matrix) AccumulateRow(y []float64, i int, sign float64) error {
+	if len(y) != m.cols {
+		return fmt.Errorf("%w: AccumulateRow y has length %d, want %d", ErrDimensionMismatch, len(y), m.cols)
+	}
+	if i < 0 || i >= m.rows {
+		return fmt.Errorf("%w: AccumulateRow row %d outside [0,%d)", ErrDimensionMismatch, i, m.rows)
+	}
+	accumulate(y, m.Row(i), sign)
+	return nil
+}
+
+// accumulate applies y += sign·src. The ±1 fast paths are bit-identical
+// to the general multiply (1·v and -1·v are exact).
+func accumulate(y, src []float64, sign float64) {
+	switch sign {
+	case 1:
+		for i, v := range src {
+			y[i] += v
+		}
+	case -1:
+		for i, v := range src {
+			y[i] -= v
+		}
+	default:
+		for i, v := range src {
+			y[i] += sign * v
+		}
+	}
+}

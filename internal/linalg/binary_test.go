@@ -1,0 +1,247 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func randomBinary(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		if rng.Intn(2) == 1 {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+// TestMulVecBinaryBitIdentical pins the bit-exactness contract: for
+// {0,1} inputs (including all-zeros and all-ones), the binary kernels
+// must reproduce the dense kernels bit for bit on random rectangular
+// matrices.
+func TestMulVecBinaryBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		m := randomMatrix(rng, rows, cols)
+		inputs := [][]float64{
+			randomBinary(rng, cols),
+			make([]float64, cols), // all zeros
+		}
+		ones := make([]float64, cols)
+		for i := range ones {
+			ones[i] = 1
+		}
+		inputs = append(inputs, ones)
+		for _, x := range inputs {
+			want, err := m.MulVec(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.MulVecBinary(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("trial %d: MulVecBinary[%d] = %v bits differ from MulVec %v", trial, i, got[i], want[i])
+				}
+			}
+		}
+		// Transposed kernel against MulVecT.
+		for _, x := range [][]float64{randomBinary(rng, rows), make([]float64, rows)} {
+			want, err := m.MulVecT(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.MulVecBinaryT(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+					t.Fatalf("trial %d: MulVecBinaryT[%d] = %v bits differ from MulVecT %v", trial, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestAccumulateDeltaTracksDense drives a product through long random
+// flip sequences via AccumulateColumn/AccumulateRow and checks the
+// running accumulator stays within float tolerance of a from-scratch
+// dense product of the current vector.
+func TestAccumulateDeltaTracksDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		rows := 2 + rng.Intn(30)
+		cols := 2 + rng.Intn(30)
+		m := randomMatrix(rng, rows, cols)
+
+		x := randomBinary(rng, cols)
+		y, err := m.MulVecBinary(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xt := randomBinary(rng, rows)
+		yt, err := m.MulVecBinaryT(xt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for step := 0; step < 100; step++ {
+			j := rng.Intn(cols)
+			sign := 1.0 - 2.0*x[j] // 0→1 adds, 1→0 subtracts
+			x[j] = 1 - x[j]
+			if err := m.AccumulateColumn(y, j, sign); err != nil {
+				t.Fatal(err)
+			}
+			i := rng.Intn(rows)
+			signT := 1.0 - 2.0*xt[i]
+			xt[i] = 1 - xt[i]
+			if err := m.AccumulateRow(yt, i, signT); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, _ := m.MulVec(x, nil)
+		for i := range want {
+			if math.Abs(want[i]-y[i]) > 1e-9 {
+				t.Fatalf("trial %d: delta-tracked y[%d]=%v, dense %v", trial, i, y[i], want[i])
+			}
+		}
+		wantT, _ := m.MulVecT(xt, nil)
+		for j := range wantT {
+			if math.Abs(wantT[j]-yt[j]) > 1e-9 {
+				t.Fatalf("trial %d: delta-tracked yt[%d]=%v, dense %v", trial, j, yt[j], wantT[j])
+			}
+		}
+	}
+}
+
+// TestAccumulateSignedMagnitudes exercises the non-±1 sign path.
+func TestAccumulateSignedMagnitudes(t *testing.T) {
+	m, err := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := []float64{0, 0}
+	if err := m.AccumulateColumn(y, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 1 || y[1] != 2 {
+		t.Fatalf("half column accumulate gave %v", y)
+	}
+	yr := []float64{0, 0}
+	if err := m.AccumulateRow(yr, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if yr[0] != 2 || yr[1] != 4 {
+		t.Fatalf("doubled row accumulate gave %v", yr)
+	}
+}
+
+// TestColMirrorInvalidation verifies the cached mirror is rebuilt after
+// Set/Add/Scale so mirror-based kernels never read stale data.
+func TestColMirrorInvalidation(t *testing.T) {
+	m, err := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ColMirror().At(0, 1); got != 3 {
+		t.Fatalf("mirror(0,1)=%v, want 3", got)
+	}
+	m.Set(1, 0, 30)
+	if got := m.ColMirror().At(0, 1); got != 30 {
+		t.Fatalf("mirror not invalidated by Set: got %v, want 30", got)
+	}
+	m.Add(1, 0, 1)
+	if got := m.ColMirror().At(0, 1); got != 31 {
+		t.Fatalf("mirror not invalidated by Add: got %v, want 31", got)
+	}
+	m.Scale(2)
+	if got := m.ColMirror().At(0, 1); got != 62 {
+		t.Fatalf("mirror not invalidated by Scale: got %v, want 62", got)
+	}
+}
+
+// TestBinaryKernelShapeErrors pins the error paths.
+func TestBinaryKernelShapeErrors(t *testing.T) {
+	m := NewMatrix(3, 2)
+	if _, err := m.MulVecBinary(make([]float64, 3), nil); err == nil {
+		t.Fatal("wrong x length accepted")
+	}
+	if _, err := m.MulVecBinary(make([]float64, 2), make([]float64, 2)); err == nil {
+		t.Fatal("wrong y length accepted")
+	}
+	if _, err := m.MulVecBinaryT(make([]float64, 2), nil); err == nil {
+		t.Fatal("wrong transposed x length accepted")
+	}
+	if _, err := m.MulVecBinaryT(make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Fatal("wrong transposed y length accepted")
+	}
+	if err := m.AccumulateColumn(make([]float64, 2), 0, 1); err == nil {
+		t.Fatal("wrong AccumulateColumn y length accepted")
+	}
+	if err := m.AccumulateColumn(make([]float64, 3), 5, 1); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if err := m.AccumulateRow(make([]float64, 3), 0, 1); err == nil {
+		t.Fatal("wrong AccumulateRow y length accepted")
+	}
+	if err := m.AccumulateRow(make([]float64, 2), -1, 1); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+func BenchmarkMulVec64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 64, 64)
+	x := randomBinary(rng, 64)
+	y := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MulVec(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulVecBinary64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 64, 64)
+	m.ColMirror() // build the cache outside the timed loop
+	x := randomBinary(rng, 64)
+	y := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MulVecBinary(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccumulateColumn64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 64, 64)
+	m.ColMirror()
+	y := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.AccumulateColumn(y, i%64, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -24,6 +24,11 @@ import (
 type Matrix struct {
 	rows, cols int
 	data       []float64
+	// mirror caches the column-major mirror (the transpose) built by
+	// ColMirror, so column gathers and transposed products stream
+	// unit-stride. Set, Add, and Scale invalidate it; writes through
+	// Row or Data do not (see ColMirror).
+	mirror *Matrix
 }
 
 // NewMatrix returns a zeroed rows x cols matrix.
@@ -60,10 +65,16 @@ func (m *Matrix) Cols() int { return m.cols }
 func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
 
 // Set assigns the element at row i, column j.
-func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+func (m *Matrix) Set(i, j int, v float64) {
+	m.mirror = nil
+	m.data[i*m.cols+j] = v
+}
 
 // Add adds v to the element at row i, column j.
-func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+func (m *Matrix) Add(i, j int, v float64) {
+	m.mirror = nil
+	m.data[i*m.cols+j] += v
+}
 
 // Row returns the i-th row as a slice aliasing the matrix storage.
 // Mutating the returned slice mutates the matrix.
@@ -72,7 +83,8 @@ func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
 // Data returns the backing row-major slice. Mutating it mutates the matrix.
 func (m *Matrix) Data() []float64 { return m.data }
 
-// Clone returns a deep copy of the matrix.
+// Clone returns a deep copy of the matrix. The column-major mirror
+// cache is not cloned; the copy rebuilds it lazily on first use.
 func (m *Matrix) Clone() *Matrix {
 	d := make([]float64, len(m.data))
 	copy(d, m.data)
@@ -129,6 +141,7 @@ func (m *Matrix) FrobeniusNorm() float64 {
 
 // Scale multiplies every element of m by f in place.
 func (m *Matrix) Scale(f float64) {
+	m.mirror = nil
 	for i := range m.data {
 		m.data[i] *= f
 	}

@@ -176,7 +176,7 @@ func (e *Engine) program(p int, tile *linalg.Matrix) {
 	e.pos[p] = pos
 	e.neg[p] = neg
 	e.counts.OPCMPrograms++
-	e.counts.OPCMCellWrites += uint64(2 * e.size * e.size) // pos + neg sub-arrays
+	e.counts.OPCMCellWrites += metrics.U64(2 * e.size * e.size) // pos + neg sub-arrays
 }
 
 // Reprogram overwrites the array at pair index p with a new tile. This is

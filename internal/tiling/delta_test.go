@@ -1,0 +1,101 @@
+package tiling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sophie/internal/linalg"
+)
+
+// Compile-time guarantees: the ideal engine provides the fast-path
+// interfaces the solver feature-detects.
+var (
+	_ DeltaEngine  = (*IdealEngine)(nil)
+	_ BinaryEngine = (*IdealEngine)(nil)
+)
+
+func randomTiles(rng *rand.Rand, n, size int) []*linalg.Matrix {
+	tiles := make([]*linalg.Matrix, n)
+	for p := range tiles {
+		m := linalg.NewMatrix(size, size)
+		for i := 0; i < size; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		tiles[p] = m
+	}
+	return tiles
+}
+
+// TestIdealEngineMulBinaryBitIdentical checks the engine-level binary
+// kernel against Mul on binary inputs, bit for bit, both directions.
+func TestIdealEngineMulBinaryBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const size = 17
+	e, err := NewIdealEngine(randomTiles(rng, 3, size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, size)
+	for i := range x {
+		x[i] = float64(rng.Intn(2))
+	}
+	want := make([]float64, size)
+	got := make([]float64, size)
+	for p := 0; p < e.Pairs(); p++ {
+		for _, transposed := range []bool{false, true} {
+			e.Mul(p, transposed, x, want)
+			e.MulBinary(p, transposed, x, got)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("pair %d transposed=%v: MulBinary[%d]=%v differs from Mul %v", p, transposed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIdealEngineMulDeltaTracksMul drives random flip sequences through
+// MulDelta and checks the patched product tracks a from-scratch Mul of
+// the current vector within float tolerance, in both directions.
+func TestIdealEngineMulDeltaTracksMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const size = 23
+	e, err := NewIdealEngine(randomTiles(rng, 2, size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < e.Pairs(); p++ {
+		for _, transposed := range []bool{false, true} {
+			x := make([]float64, size)
+			for i := range x {
+				x[i] = float64(rng.Intn(2))
+			}
+			y := make([]float64, size)
+			e.MulBinary(p, transposed, x, y)
+			for step := 0; step < 60; step++ {
+				// Flip a random subset, as threshold does per iteration.
+				var flips []int
+				var signs []float64
+				for j := range x {
+					if rng.Float64() < 0.2 {
+						flips = append(flips, j)
+						signs = append(signs, 1-2*x[j])
+						x[j] = 1 - x[j]
+					}
+				}
+				e.MulDelta(p, transposed, flips, signs, y)
+			}
+			want := make([]float64, size)
+			e.Mul(p, transposed, x, want)
+			for i := range want {
+				if math.Abs(want[i]-y[i]) > 1e-9 {
+					t.Fatalf("pair %d transposed=%v: delta-tracked y[%d]=%v, dense %v", p, transposed, i, y[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -164,15 +164,46 @@ type Engine interface {
 	Pairs() int
 }
 
+// DeltaEngine is an optional fast-path extension of Engine for
+// flip-aware incremental computation. When only a few input spins flip
+// between consecutive local iterations, a previously computed product
+// can be patched in O(flips·t) instead of recomputed in O(t²). The
+// solver feature-detects this interface and falls back to full Mul
+// when the engine does not provide it; the opcm device model
+// deliberately does not, because its per-call noise draws are part of
+// the device semantics and cannot be decomposed per column.
+type DeltaEngine interface {
+	Engine
+	// MulDelta patches a previously computed product in place:
+	// for each k, y += signs[k] · column flips[k] of T (transposed
+	// =false) or of Tᵀ (transposed=true) for the tile stored at pair
+	// index p. flips and signs must have equal length; signs are the
+	// input-element changes (±1 for binary spins). Implementations
+	// must not retain the slices.
+	MulDelta(p int, transposed bool, flips []int, signs []float64, y []float64)
+}
+
+// BinaryEngine is an optional exact kernel for {0,1} input vectors.
+// Implementations must return results bit-identical to Mul for binary
+// x (the ideal engine's column-gather kernel satisfies this; see
+// linalg.MulVecBinary). The solver uses it for the periodic full
+// recomputations that anchor the incremental datapath.
+type BinaryEngine interface {
+	MulBinary(p int, transposed bool, x, y []float64)
+}
+
 // IdealEngine computes exact float64 tile MVMs — the functional
-// simulator's reference datapath.
+// simulator's reference datapath. It also implements DeltaEngine and
+// BinaryEngine for the solver's flip-aware fast path.
 type IdealEngine struct {
 	tiles []*linalg.Matrix
 	size  int
 }
 
 // NewIdealEngine wraps decomposed tiles. All tiles must be square with
-// the same size.
+// the same size. The column-major mirrors backing the delta/binary
+// kernels are built eagerly here so concurrent jobs sharing the engine
+// never race on lazy cache construction.
 func NewIdealEngine(tiles []*linalg.Matrix) (*IdealEngine, error) {
 	if len(tiles) == 0 {
 		return nil, fmt.Errorf("tiling: no tiles")
@@ -182,6 +213,7 @@ func NewIdealEngine(tiles []*linalg.Matrix) (*IdealEngine, error) {
 		if tl.Rows() != size || tl.Cols() != size {
 			return nil, fmt.Errorf("tiling: tile %d is %dx%d, want %dx%d", i, tl.Rows(), tl.Cols(), size, size)
 		}
+		tl.ColMirror()
 	}
 	return &IdealEngine{tiles: tiles, size: size}, nil
 }
@@ -197,6 +229,40 @@ func (e *IdealEngine) Mul(p int, transposed bool, x, y []float64) {
 	}
 	if err != nil {
 		panic(err) // sizes are validated at construction; misuse is a bug
+	}
+}
+
+// MulBinary implements BinaryEngine: an exact column-gather product
+// for {0,1} inputs, bit-identical to Mul on binary vectors.
+func (e *IdealEngine) MulBinary(p int, transposed bool, x, y []float64) {
+	tile := e.tiles[p]
+	var err error
+	if transposed {
+		_, err = tile.MulVecBinaryT(x, y)
+	} else {
+		_, err = tile.MulVecBinary(x, y)
+	}
+	if err != nil {
+		panic(err) // sizes are validated at construction; misuse is a bug
+	}
+}
+
+// MulDelta implements DeltaEngine: it patches y with the flipped
+// columns. Column j of Tᵀ is row j of T, so the transposed update
+// streams the stored row directly; the forward update streams the
+// cached column-major mirror.
+func (e *IdealEngine) MulDelta(p int, transposed bool, flips []int, signs []float64, y []float64) {
+	tile := e.tiles[p]
+	for k, j := range flips {
+		var err error
+		if transposed {
+			err = tile.AccumulateRow(y, j, signs[k])
+		} else {
+			err = tile.AccumulateColumn(y, j, signs[k])
+		}
+		if err != nil {
+			panic(err) // sizes are validated at construction; misuse is a bug
+		}
 	}
 }
 
