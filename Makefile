@@ -37,11 +37,11 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Regenerates the tracked benchmark baseline (README.md "Benchmarks").
-# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR2.json was
+# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR3.json was
 # produced with the default 2s budget.
 BENCHTIME ?= 2s
 bench-json:
-	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR2.json
+	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR3.json
 
 check: build test race lint vet
 

@@ -48,7 +48,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		skip      = fs.Bool("skip-transform", false, "use C = K without eigen preprocessing")
 		majority  = fs.Bool("majority", false, "majority spin update instead of stochastic")
 		device    = fs.Bool("device", false, "run MVMs through the OPCM device model")
-		runs      = fs.Int("runs", 1, "independent jobs (seeds seed, seed+1, ...)")
+		runs      = fs.Int("runs", 1, "independent jobs run sequentially (seeds seed, seed+1, ...)")
+		replicas  = fs.Int("replicas", 0, "batched replica runtime: run this many replicas concurrently (0 = sequential -runs mode)")
+		batchW    = fs.Int("batch-workers", 0, "concurrent replicas in -replicas mode (0 = GOMAXPROCS)")
+		target    = fs.Float64("target", 0, "stop a job once its best energy reaches this value (0 = disabled)")
+		portfolio = fs.Bool("portfolio", false, "with -replicas and -target: first replica reaching the target cancels the rest")
 		seed      = fs.Int64("seed", 1, "base seed")
 		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		showOps   = fs.Bool("ops", false, "print operation counters")
@@ -82,6 +86,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return opcm.NewEngine(tiles, 0, opcm.DefaultParams())
 		}
 	}
+	if *target != 0 {
+		cfg.TargetEnergy = target
+	}
+	if *replicas < 0 {
+		return fmt.Errorf("-replicas must be >= 0, got %d", *replicas)
+	}
+	if *portfolio && (*replicas <= 0 || *target == 0) {
+		return fmt.Errorf("-portfolio requires -replicas and -target")
+	}
 
 	fmt.Fprintf(stdout, "graph: %d nodes, %d edges (density %.4f)\n", g.N(), g.M(), g.Density())
 	start := time.Now()
@@ -91,6 +104,40 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "preprocessing: %v (tile %d, %d pairs)\n",
 		time.Since(start).Round(time.Millisecond), *tile, solver.Grid().PairCount())
+
+	if *replicas > 0 {
+		batchStart := time.Now()
+		batch, err := solver.RunBatch(core.SeedRange(*seed, *replicas), core.BatchOptions{
+			Workers:   *batchW,
+			EarlyStop: *portfolio,
+		})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(batchStart)
+		for j, res := range batch.Results {
+			status := ""
+			if res.ReachedTarget {
+				status = " (reached target)"
+			} else if res.Stopped {
+				status = " (cancelled by portfolio stop)"
+			}
+			fmt.Fprintf(stdout, "replica %d: cut %.0f, energy %.0f, best at global iter %d%s\n",
+				j, g.CutValue(res.BestSpins), res.BestEnergy, res.BestGlobalIter, status)
+		}
+		fmt.Fprintf(stdout, "batch: best cut %.0f (replica %d), energy best %.0f / median %.0f / mean %.1f, wall %v\n",
+			g.CutValue(batch.Best().BestSpins), batch.BestIndex,
+			batch.BestEnergy, batch.MedianEnergy, batch.MeanEnergy,
+			wall.Round(time.Millisecond))
+		if cfg.TargetEnergy != nil {
+			fmt.Fprintf(stdout, "batch: %d/%d replicas reached the target (success probability %.2f)\n",
+				batch.Succeeded, *replicas, batch.SuccessProb)
+		}
+		if *showOps {
+			fmt.Fprintf(stdout, "operation counts (all replicas):\n%s", batch.Ops.String())
+		}
+		return nil
+	}
 
 	bestCut := 0.0
 	var totalOps metrics.OpCounts

@@ -23,6 +23,43 @@ func TestRunPreset(t *testing.T) {
 	}
 }
 
+func TestRunReplicasBatch(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-preset", "K100", "-tile", "32", "-global", "20",
+		"-replicas", "3", "-batch-workers", "2", "-ops", "-phi", "0.2"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"replica 0:", "replica 2:", "batch: best cut", "median", "mvm(1b)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunReplicasPortfolio(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-preset", "K100", "-tile", "32", "-global", "40", "-phi", "0.2",
+		"-replicas", "4", "-target", "-100", "-portfolio"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replicas reached the target") {
+		t.Fatalf("portfolio run missing success summary:\n%s", out.String())
+	}
+	// -portfolio without -replicas/-target must be rejected.
+	if err := run([]string{"-preset", "K100", "-portfolio"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("-portfolio without -replicas/-target must fail")
+	}
+	// A negative replica count must be rejected, not silently ignored.
+	if err := run([]string{"-preset", "K100", "-replicas", "-2"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("-replicas -2 must fail")
+	}
+}
+
 func TestRunStdin(t *testing.T) {
 	g, err := graph.Random(40, 120, graph.WeightUnit, 9)
 	if err != nil {

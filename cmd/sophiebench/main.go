@@ -1,10 +1,11 @@
 // Command sophiebench runs the repository's tracked performance
 // benchmarks and emits a machine-readable JSON baseline (schema
-// "sophie-bench/v1"). The committed BENCH_PR2.json snapshots the
-// incremental-datapath speedup on the G22-mini solver workload plus the
-// underlying linalg kernel costs; CI re-runs the suite with
-// -benchtime=1x as a smoke test and uploads the fresh report as an
-// artifact. See README.md "Benchmarks".
+// "sophie-bench/v1"). The committed BENCH_PR3.json snapshots the
+// incremental-datapath speedup on the G22-mini solver workload, the
+// underlying linalg kernel costs, and the batched replica runtime's
+// throughput scaling; CI re-runs the suite with -benchtime=1x as a
+// smoke test and uploads the fresh report as an artifact. See README.md
+// "Benchmarks".
 package main
 
 import (
@@ -43,7 +44,7 @@ type benchmark struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR3.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark budget (Go benchtime syntax, e.g. 2s or 1x)")
 	testing.Init()
 	flag.Parse()
@@ -51,6 +52,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sophiebench:", err)
 		os.Exit(1)
 	}
+}
+
+// batchParWorkers is the parallel arm of the batch-throughput pair: one
+// batch worker per core, floored at 2 so the parallel arm keeps a
+// distinct benchmark name (and exercises the concurrent scheduler) even
+// on a single-core host, where the scaling ratio honestly reports ~1.
+func batchParWorkers() int {
+	if n := runtime.NumCPU(); n > 2 {
+		return n
+	}
+	return 2
 }
 
 // run executes the suite under the given benchtime and writes the JSON
@@ -163,6 +175,27 @@ func run(benchtime, out string) error {
 	record("solver/G22mini-exact", solveBench(exactSolver))
 	record("solver/G22mini-delta", solveBench(deltaSolver))
 
+	// --- Batched replica runtime: 8 replicas of the G22-mini workload
+	// over the shared solver, at 1 batch worker vs one per core. The
+	// derived batch_throughput_scaling is the wall-clock ratio; on a
+	// multi-core host it approaches min(8, cores), on a single-core CI
+	// box it sits near 1. Replica results are identical either way —
+	// only the schedule changes.
+	const batchReplicas = 8
+	batchBench := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seeds := core.SeedRange(int64(i*batchReplicas), batchReplicas)
+				if _, err := deltaSolver.RunBatch(seeds, core.BatchOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	record("batch/G22mini-replicas8-w1", batchBench(1))
+	record(fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers()), batchBench(batchParWorkers()))
+
 	perOp := func(name string) float64 {
 		r := byName[name]
 		return float64(r.T.Nanoseconds()) / float64(r.N)
@@ -172,6 +205,9 @@ func run(benchtime, out string) error {
 	}
 	if bin := perOp("linalg/MulVecBinary64"); bin > 0 {
 		rep.Derived["linalg_speedup_mulvec_over_binary"] = perOp("linalg/MulVec64") / bin
+	}
+	if par := perOp(fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers())); par > 0 {
+		rep.Derived["batch_throughput_scaling"] = perOp("batch/G22mini-replicas8-w1") / par
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -29,11 +30,13 @@ func TestRunEmitsValidReport(t *testing.T) {
 		t.Fatalf("unexpected schema %q", rep.Schema)
 	}
 	want := map[string]bool{
-		"linalg/MulVec64":           false,
-		"linalg/MulVecBinary64":     false,
-		"linalg/AccumulateColumn64": false,
-		"solver/G22mini-exact":      false,
-		"solver/G22mini-delta":      false,
+		"linalg/MulVec64":            false,
+		"linalg/MulVecBinary64":      false,
+		"linalg/AccumulateColumn64":  false,
+		"solver/G22mini-exact":       false,
+		"solver/G22mini-delta":       false,
+		"batch/G22mini-replicas8-w1": false,
+		fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers()): false,
 	}
 	for _, b := range rep.Benchmarks {
 		seen, ok := want[b.Name]
@@ -53,7 +56,7 @@ func TestRunEmitsValidReport(t *testing.T) {
 			t.Fatalf("benchmark %q missing from report", name)
 		}
 	}
-	for _, key := range []string{"solver_speedup_exact_over_delta", "linalg_speedup_mulvec_over_binary"} {
+	for _, key := range []string{"solver_speedup_exact_over_delta", "linalg_speedup_mulvec_over_binary", "batch_throughput_scaling"} {
 		if rep.Derived[key] <= 0 {
 			t.Fatalf("derived metric %q missing or non-positive: %v", key, rep.Derived[key])
 		}

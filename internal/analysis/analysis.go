@@ -162,6 +162,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		GlobalRandAnalyzer,
 		SeedPlumbAnalyzer,
+		SeedMixAnalyzer,
 		FloatEqAnalyzer,
 		OpCountAnalyzer,
 	}

@@ -15,6 +15,10 @@ func TestSeedPlumb(t *testing.T) {
 	analysistest.Run(t, ".", analysis.SeedPlumbAnalyzer, "core")
 }
 
+func TestSeedMix(t *testing.T) {
+	analysistest.Run(t, ".", analysis.SeedMixAnalyzer, "seedmix")
+}
+
 func TestFloatEq(t *testing.T) {
 	analysistest.Run(t, ".", analysis.FloatEqAnalyzer, "floateq")
 }
@@ -37,7 +41,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestSuiteIsComplete(t *testing.T) {
-	want := map[string]bool{"globalrand": true, "seedplumb": true, "floateq": true, "opcount": true}
+	want := map[string]bool{"globalrand": true, "seedplumb": true, "seedmix": true, "floateq": true, "opcount": true}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

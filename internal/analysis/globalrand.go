@@ -159,7 +159,7 @@ func checkGoStmt(pass *Pass, g *ast.GoStmt) {
 		}
 		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
 			pass.Reportf(ident.Pos(),
-				"*rand.Rand %s captured by a go func literal: create the RNG inside the goroutine (e.g. rand.New(rand.NewSource(seed+id))) so each goroutine owns its stream", ident.Name)
+				"*rand.Rand %s captured by a go func literal: create the RNG inside the goroutine from a per-goroutine mixed seed so each goroutine owns its stream", ident.Name)
 		}
 		return true
 	})

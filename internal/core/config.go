@@ -201,6 +201,26 @@ func (c *Config) deltaRefresh() int {
 	return defaultDeltaRefresh
 }
 
+// clone returns a copy of the config whose reference-typed fields are
+// deep-copied where the solver could otherwise alias caller- or
+// sibling-owned memory. InitialSpins is copied because callers routinely
+// reuse and mutate the slice they passed in (and WithRuntime-derived
+// solvers must not share it with their parent); TargetEnergy is copied
+// so re-pointing or rewriting the caller's float64 cannot retroactively
+// change a solver's stopping rule. Engine and OnGlobalIteration are
+// immutable function values and are shared as-is.
+func (c *Config) clone() Config {
+	out := *c
+	if c.InitialSpins != nil {
+		out.InitialSpins = append([]int8(nil), c.InitialSpins...)
+	}
+	if c.TargetEnergy != nil {
+		t := *c.TargetEnergy
+		out.TargetEnergy = &t
+	}
+	return out
+}
+
 func (c *Config) workers() int {
 	if c.Workers > 0 {
 		return c.Workers

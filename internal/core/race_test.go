@@ -7,6 +7,9 @@ import (
 
 	"sophie/internal/graph"
 	"sophie/internal/ising"
+	"sophie/internal/linalg"
+	"sophie/internal/opcm"
+	"sophie/internal/tiling"
 )
 
 // These tests back the repo's two concurrency invariants (DESIGN.md
@@ -92,35 +95,128 @@ func TestDeterminismRegression(t *testing.T) {
 }
 
 // TestBatchSchedulingIsInvisible checks that batching is pure seed
-// bookkeeping: RunBatch must equal a hand-rolled serial loop, and
-// RunBatchParallel must equal RunBatch, job by job and bit by bit.
+// bookkeeping: every RunBatch replica must be bit-identical to a plain
+// Run of its seed, for any batch worker count and any per-job worker
+// count (ideal engine).
 func TestBatchSchedulingIsInvisible(t *testing.T) {
 	m := raceProblem(t)
 	cfg := quickConfig()
 	cfg.RecordTrace = true
 	cfg.EvalEvery = 1
+	cfg.Workers = 1
 	s, err := NewSolver(m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	const base, jobs = 900, 4
-	batch, err := s.RunBatch(base, jobs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for j := 0; j < jobs; j++ {
-		r, err := s.Run(base + int64(j))
+	seeds := SeedRange(base, jobs)
+	refs := make([]*Result, jobs)
+	for j := range seeds {
+		r, err := s.Run(seeds[j])
 		if err != nil {
 			t.Fatal(err)
 		}
-		requireIdentical(t, "RunBatch vs serial Run", batch[j], r)
+		refs[j] = r
 	}
-	par, err := s.RunBatchParallel(base, jobs, 4)
+	for _, opts := range []BatchOptions{
+		{Workers: 1},
+		{Workers: 4},
+		{Workers: 2, JobWorkers: 3},
+	} {
+		batch, err := s.RunBatch(seeds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range refs {
+			requireIdentical(t, "RunBatch replica vs serial Run", batch.Results[j], refs[j])
+		}
+	}
+}
+
+// TestBatchSchedulingIsInvisibleOnDevice is the same contract on the
+// shared opcm device model with read noise enabled — the case the
+// pre-session engine could not honor, because concurrent jobs drew from
+// one mutex-serialized noise stream in schedule order. Under -race this
+// also proves concurrent device-model batches are data-race free.
+func TestBatchSchedulingIsInvisibleOnDevice(t *testing.T) {
+	m := raceProblem(t)
+	cfg := quickConfig()
+	cfg.RecordTrace = true
+	cfg.EvalEvery = 1
+	cfg.Workers = 1
+	cfg.Engine = func(tiles []*linalg.Matrix) (tiling.Engine, error) {
+		params := opcm.DefaultParams()
+		params.ReadNoise = 0.02
+		return opcm.NewEngine(tiles, 0, params)
+	}
+	s, err := NewSolver(m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for j := 0; j < jobs; j++ {
-		requireIdentical(t, "RunBatchParallel vs RunBatch", par[j], batch[j])
+	seeds := SeedRange(4200, 5)
+	refs := make([]*Result, len(seeds))
+	for j := range seeds {
+		r, err := s.Run(seeds[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[j] = r
+	}
+	for _, workers := range []int{1, 4} {
+		batch, err := s.RunBatch(seeds, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range refs {
+			requireIdentical(t, "device RunBatch replica vs serial Run", batch.Results[j], refs[j])
+		}
+	}
+}
+
+// TestConcurrentDeviceRuns hammers plain Run on one shared device-model
+// solver from several goroutines — the direct regression test for the
+// old "run jobs sequentially for device studies" restriction. The -race
+// build must stay silent and every result must match an undisturbed
+// reference run.
+func TestConcurrentDeviceRuns(t *testing.T) {
+	m := raceProblem(t)
+	cfg := quickConfig()
+	cfg.GlobalIters = 25
+	cfg.Workers = 2
+	cfg.Engine = func(tiles []*linalg.Matrix) (tiling.Engine, error) {
+		params := opcm.DefaultParams()
+		params.ReadNoise = 0.05
+		return opcm.NewEngine(tiles, 0, params)
+	}
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 6
+	refs := make([]*Result, goroutines)
+	for i := range refs {
+		r, err := s.Run(int64(700 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = r
+	}
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Run(int64(700 + i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		requireIdentical(t, "concurrent vs sequential device run", results[i], refs[i])
 	}
 }
 
@@ -165,17 +261,25 @@ func TestConcurrentRunsOnSharedSolver(t *testing.T) {
 	}
 }
 
-// TestRunBatchParallelUnderRace drives the batch-level parallelism with
-// more jobs than slots so the semaphore path is exercised.
-func TestRunBatchParallelUnderRace(t *testing.T) {
+// TestRunBatchUnderRace drives the batch-level parallelism with more
+// replicas than slots so the semaphore path is exercised, with the
+// portfolio early-stop racing its cancellation flag against running
+// replicas.
+func TestRunBatchUnderRace(t *testing.T) {
 	m := raceProblem(t)
 	cfg := quickConfig()
 	cfg.GlobalIters = 20
+	target := 0.0
+	cfg.TargetEnergy = &target
 	s, err := NewSolver(m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RunBatchParallel(1, 9, 3); err != nil {
+	batch, err := s.RunBatch(SeedRange(1, 9), BatchOptions{Workers: 3, EarlyStop: true})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(batch.Results) != 9 {
+		t.Fatalf("%d results, want 9", len(batch.Results))
 	}
 }

@@ -85,7 +85,7 @@ func NewSolver(m *ising.Model, cfg Config) (*Solver, error) {
 	}
 	s := &Solver{
 		model:      m,
-		cfg:        cfg,
+		cfg:        cfg.clone(),
 		grid:       grid,
 		engine:     engine,
 		pairs:      grid.Pairs(),
@@ -113,7 +113,11 @@ func NewSolver(m *ising.Model, cfg Config) (*Solver, error) {
 // preprocessing-affecting field (TileSize, Alpha, SkipTransform,
 // Engine) is rejected.
 func (s *Solver) WithRuntime(modify func(cfg *Config)) (*Solver, error) {
-	cfg := s.cfg
+	// Deep-copy before handing the config to modify, and again before
+	// storing it: the first keeps modify from mutating this solver's
+	// InitialSpins in place through the aliased slice, the second keeps
+	// the derived solver from aliasing whatever slice modify installed.
+	cfg := s.cfg.clone()
 	modify(&cfg)
 	if cfg.TileSize != s.cfg.TileSize {
 		return nil, fmt.Errorf("core: WithRuntime cannot change TileSize; build a new solver")
@@ -126,7 +130,7 @@ func (s *Solver) WithRuntime(modify func(cfg *Config)) (*Solver, error) {
 		return nil, err
 	}
 	clone := *s
-	clone.cfg = cfg
+	clone.cfg = cfg.clone()
 	return &clone, nil
 }
 
@@ -154,6 +158,11 @@ type Result struct {
 	TotalLocalIters int
 	// ReachedTarget reports whether TargetEnergy was met.
 	ReachedTarget bool
+	// Stopped reports that a batch portfolio early-stop
+	// (BatchOptions.EarlyStop) cancelled this replica at a
+	// global-iteration boundary before it finished; the fields above
+	// describe the progress it had made by then.
+	Stopped bool
 	// Trace holds the best-so-far energy at each evaluated global
 	// iteration when Config.RecordTrace is set.
 	Trace []float64
@@ -200,16 +209,62 @@ func newPairState(t int, seed int64) *pairState {
 	}
 }
 
+// runContext is the per-job view of a Solver: the shared preprocessed
+// state plus the engine this job multiplies through. For stateless
+// engines (ideal) that is the solver's engine; for engines with
+// job-scoped state (tiling.SessionEngine, e.g. the opcm device model)
+// it is a per-job session owning its own noise stream — which is what
+// makes concurrent jobs over one programmed solver both race-free and
+// deterministic. stop, when non-nil, is the batch portfolio's shared
+// cancellation flag.
+type runContext struct {
+	*Solver
+	eng    tiling.Engine
+	delta  tiling.DeltaEngine
+	binary tiling.BinaryEngine
+	quant  readoutQuantizer
+	stop   *batchStop
+}
+
+// newRunContext resolves the engine view for one job with the given
+// seed and feature-detects the optional interfaces on that view.
+func (s *Solver) newRunContext(seed int64, stop *batchStop) *runContext {
+	rc := &runContext{Solver: s, eng: s.engine, delta: s.delta, binary: s.binary, stop: stop}
+	if se, ok := s.engine.(tiling.SessionEngine); ok {
+		rc.eng = se.Session(seedStream(seed, roleDevice, 0))
+		// Re-detect on the session view: a session does not inherit the
+		// optional fast-path interfaces of the engine behind it.
+		rc.delta, rc.binary = nil, nil
+		if de, ok := rc.eng.(tiling.DeltaEngine); ok {
+			rc.delta = de
+		}
+		if be, ok := rc.eng.(tiling.BinaryEngine); ok {
+			rc.binary = be
+		}
+	}
+	if q, ok := rc.eng.(readoutQuantizer); ok {
+		rc.quant = q
+	}
+	return rc
+}
+
 // Run executes one job with the given seed and returns its result.
-// Concurrent Run calls on the same Solver are safe only with the ideal
-// engine (the opcm engine's noise RNG serializes internally but the
-// counters would interleave); run jobs sequentially for device studies.
+// Concurrent Run calls on the same Solver are safe with any engine:
+// stateless engines are shared directly, and engines with job-scoped
+// state (the opcm device model) expose per-job sessions
+// (tiling.SessionEngine), so every job's trajectory is a pure function
+// of its seed regardless of what runs beside it.
 func (s *Solver) Run(seed int64) (*Result, error) {
+	return s.newRunContext(seed, nil).run(seed)
+}
+
+// run is the job body, executed over the per-job engine view.
+func (s *runContext) run(seed int64) (*Result, error) {
 	cfg := s.cfg
 	t := cfg.TileSize
 	grid := s.grid
 	nPairs := grid.PairCount()
-	ctrl := rand.New(rand.NewSource(seed ^ 0x5deece66d)) // controller RNG: selection, picks, init
+	ctrl := rand.New(rand.NewSource(seedStream(seed, roleController, 0))) // controller RNG: selection, picks, init
 
 	// Global (controller-side) state: padded binary spin vector and the
 	// table of last-reported partial sums P[i][j] = C_ij·S_j.
@@ -244,14 +299,14 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 	buf := make([]float64, t)
 	for _, p := range s.pairs {
 		pi := grid.PairIndex(p.Row, p.Col)
-		s.engine.Mul(pi, false, grid.Block(sGlobal, p.Col), buf)
+		s.eng.Mul(pi, false, grid.Block(sGlobal, p.Col), buf)
 		copy(partial[pIdx(p.Row, p.Col)], buf)
 		if p.IsDiagonal() {
 			res.Ops.LocalMVM8b++
 			res.Ops.ADCSamples8b += uint64(t)
 			continue
 		}
-		s.engine.Mul(pi, true, grid.Block(sGlobal, p.Row), buf)
+		s.eng.Mul(pi, true, grid.Block(sGlobal, p.Row), buf)
 		copy(partial[pIdx(p.Col, p.Row)], buf)
 		res.Ops.LocalMVM8b += 2
 		res.Ops.ADCSamples8b += metrics.U64(2 * t)
@@ -279,10 +334,13 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 	}
 
 	// Per-pair simulated PEs with persistent RNG streams; deterministic
-	// given seed regardless of goroutine scheduling.
+	// given seed regardless of goroutine scheduling. Streams are
+	// separated by seedStream (see seed.go) so no pair shares a stream
+	// with the controller, a sibling pair, or any stream of another
+	// batched job.
 	states := make([]*pairState, nPairs)
 	for i := range states {
-		states[i] = newPairState(t, seed+int64(i)*7919+1)
+		states[i] = newPairState(t, seedStream(seed, rolePair, i))
 	}
 
 	n := s.model.N()
@@ -352,6 +410,13 @@ func (s *Solver) Run(seed int64) (*Result, error) {
 	}
 
 	for g := 1; g <= cfg.GlobalIters; g++ {
+		// Portfolio early-stop (RunBatch): a sibling replica reached the
+		// target; wind down at the iteration boundary with the progress
+		// made so far.
+		if s.stop != nil && s.stop.stopped() {
+			res.Stopped = true
+			return &res, nil
+		}
 		phi := phiAt(g)
 		// --- Stochastic tile computation: pick the pairs for this round.
 		selected = selected[:0]
@@ -481,14 +546,14 @@ func buildOffsetCached(off, rowSumRow, skip []float64) {
 // alternate through the bi-directional array; a diagonal tile loops on
 // itself. The final iteration's partial sums are read through the 8-bit
 // ADC (QuantizeReadout) for the upcoming synchronization.
-func (s *Solver) runLocalIterations(st *pairState, p tiling.Pair, pi int, phi float64) {
+func (s *runContext) runLocalIterations(st *pairState, p tiling.Pair, pi int, phi float64) {
 	cfg := &s.cfg
 	grid := s.grid
 	rowLo, _ := grid.BlockRange(p.Row)
 	colLo, _ := grid.BlockRange(p.Col)
 	for l := 0; l < cfg.LocalIters; l++ {
 		if p.IsDiagonal() {
-			s.engine.Mul(pi, false, st.xRow, st.y)
+			s.eng.Mul(pi, false, st.xRow, st.y)
 			for i := range st.y {
 				st.y[i] += st.offRow[i]
 			}
@@ -496,13 +561,13 @@ func (s *Solver) runLocalIterations(st *pairState, p tiling.Pair, pi int, phi fl
 			continue
 		}
 		// Output block Row accumulates C_{Row,Col}·x_Col.
-		s.engine.Mul(pi, false, st.xCol, st.y)
+		s.eng.Mul(pi, false, st.xCol, st.y)
 		for i := range st.y {
 			st.y[i] += st.offRow[i]
 		}
 		s.threshold(st.xRow, st.y, rowLo, st.rng, phi)
 		// Output block Col accumulates C_{Col,Row}·x_Row = tileᵀ·x_Row.
-		s.engine.Mul(pi, true, st.xRow, st.y)
+		s.eng.Mul(pi, true, st.xRow, st.y)
 		for i := range st.y {
 			st.y[i] += st.offCol[i]
 		}
@@ -511,12 +576,12 @@ func (s *Solver) runLocalIterations(st *pairState, p tiling.Pair, pi int, phi fl
 	// 8-bit readout of the final local partial sums (no offsets): these
 	// update the controller's partial-sum table at synchronization.
 	if p.IsDiagonal() {
-		s.engine.Mul(pi, false, st.xRow, st.pRowCol)
+		s.eng.Mul(pi, false, st.xRow, st.pRowCol)
 		s.quantizeReadout(st.pRowCol)
 		return
 	}
-	s.engine.Mul(pi, false, st.xCol, st.pRowCol)
-	s.engine.Mul(pi, true, st.xRow, st.pColRow)
+	s.eng.Mul(pi, false, st.xCol, st.pRowCol)
+	s.eng.Mul(pi, true, st.xRow, st.pColRow)
 	s.quantizeReadout(st.pRowCol)
 	s.quantizeReadout(st.pColRow)
 }
@@ -534,7 +599,7 @@ func (s *Solver) runLocalIterations(st *pairState, p tiling.Pair, pi int, phi fl
 // kernel so the published values carry no accumulated drift. Noise
 // draws per element are identical in count and order to the reference
 // path, keeping the two paths on the same RNG trajectory.
-func (s *Solver) runLocalIterationsDelta(st *pairState, p tiling.Pair, pi int, phi float64) {
+func (s *runContext) runLocalIterationsDelta(st *pairState, p tiling.Pair, pi int, phi float64) {
 	cfg := &s.cfg
 	grid := s.grid
 	refresh := cfg.deltaRefresh()
@@ -638,7 +703,7 @@ func (s *Solver) thresholdDelta(dst, y, off []float64, blockLo int, rng *rand.Ra
 // O(flips·t) against the gather kernel's O(ones·t) with ones ≈ t/2, so
 // a noisy round that flips half a block falls back to the recompute,
 // which also re-anchors the accumulator for free.
-func (s *Solver) advance(pi int, transposed bool, x []float64, flips []int, signs []float64, y []float64, full bool) {
+func (s *runContext) advance(pi int, transposed bool, x []float64, flips []int, signs []float64, y []float64, full bool) {
 	if full || 2*len(flips) >= len(y) {
 		s.binaryMul(pi, transposed, x, y)
 		return
@@ -649,17 +714,17 @@ func (s *Solver) advance(pi int, transposed bool, x []float64, flips []int, sign
 // binaryMul routes a full MVM on a {0,1} vector through the engine's
 // exact binary kernel when available, falling back to the general Mul
 // (bit-identical for binary inputs by the BinaryEngine contract).
-func (s *Solver) binaryMul(pi int, transposed bool, x, y []float64) {
+func (s *runContext) binaryMul(pi int, transposed bool, x, y []float64) {
 	if s.binary != nil {
 		s.binary.MulBinary(pi, transposed, x, y)
 		return
 	}
-	s.engine.Mul(pi, transposed, x, y)
+	s.eng.Mul(pi, transposed, x, y)
 }
 
-func (s *Solver) quantizeReadout(v []float64) {
-	if q, ok := s.engine.(readoutQuantizer); ok {
-		q.QuantizeReadout(v)
+func (s *runContext) quantizeReadout(v []float64) {
+	if s.quant != nil {
+		s.quant.QuantizeReadout(v)
 	}
 }
 
@@ -821,59 +886,3 @@ func Solve(m *ising.Model, cfg Config) (*Result, error) {
 	return s.Run(cfg.Seed)
 }
 
-// RunBatch executes jobs sequentially with seeds derived from base
-// (base, base+1, ...), mirroring the batched jobs the hardware pipelines
-// to amortize programming. It returns one result per job.
-func (s *Solver) RunBatch(base int64, jobs int) ([]*Result, error) {
-	if jobs <= 0 {
-		return nil, fmt.Errorf("core: batch needs at least one job, got %d", jobs)
-	}
-	out := make([]*Result, jobs)
-	for j := 0; j < jobs; j++ {
-		r, err := s.Run(base + int64(j))
-		if err != nil {
-			return nil, err
-		}
-		out[j] = r
-	}
-	return out, nil
-}
-
-// RunBatchParallel executes jobs concurrently, up to parallel at a time
-// (0 = one per core). Results are identical to RunBatch with the same
-// base — each job's randomness depends only on its seed — but only the
-// ideal engine is safe to share across jobs (see Run). Each job runs its
-// pair-level work single-threaded so the batch-level parallelism
-// composes predictably.
-func (s *Solver) RunBatchParallel(base int64, jobs, parallel int) ([]*Result, error) {
-	if jobs <= 0 {
-		return nil, fmt.Errorf("core: batch needs at least one job, got %d", jobs)
-	}
-	if parallel <= 0 {
-		parallel = s.cfg.workers()
-	}
-	serial, err := s.WithRuntime(func(c *Config) { c.Workers = 1 })
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*Result, jobs)
-	errs := make([]error, jobs)
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	wg.Add(jobs)
-	for j := 0; j < jobs; j++ {
-		go func(j int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[j], errs[j] = serial.Run(base + int64(j))
-		}(j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}

@@ -284,14 +284,15 @@ func TestRunBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := s.RunBatch(100, 3)
+	batch, err := s.RunBatch(SeedRange(100, 3), BatchOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
+	results := batch.Results
 	if len(results) != 3 {
 		t.Fatalf("%d results, want 3", len(results))
 	}
-	// Jobs with different seeds should (almost surely) differ.
+	// Replicas with different seeds should (almost surely) differ.
 	if results[0].BestEnergy == results[1].BestEnergy && results[1].BestEnergy == results[2].BestEnergy {
 		allSame := true
 		for i := range results[0].BestSpins {
@@ -301,11 +302,118 @@ func TestRunBatch(t *testing.T) {
 			}
 		}
 		if allSame {
-			t.Fatal("batch jobs identical despite different seeds")
+			t.Fatal("batch replicas identical despite different seeds")
 		}
 	}
-	if _, err := s.RunBatch(0, 0); err == nil {
+	// The aggregate must be consistent with the per-replica results.
+	best := math.Inf(1)
+	var ops uint64
+	for _, r := range results {
+		if r.BestEnergy < best {
+			best = r.BestEnergy
+		}
+		ops += r.Ops.TotalMVMs()
+	}
+	if batch.BestEnergy != best || batch.Best().BestEnergy != best {
+		t.Fatalf("batch best %v, replicas reach %v", batch.BestEnergy, best)
+	}
+	if batch.MeanEnergy < best || batch.MedianEnergy < best {
+		t.Fatal("mean/median below the best energy")
+	}
+	if batch.Ops.TotalMVMs() != ops {
+		t.Fatalf("batch op counts %d MVMs, replicas sum to %d", batch.Ops.TotalMVMs(), ops)
+	}
+	if batch.Succeeded != 0 || batch.SuccessProb != 0 || batch.Stopped != 0 {
+		t.Fatal("no target configured, yet success/stop counters are nonzero")
+	}
+	if _, err := s.RunBatch(nil, BatchOptions{}); err == nil {
 		t.Fatal("empty batch must error")
+	}
+	if _, err := s.RunBatch(SeedRange(0, 2), BatchOptions{Workers: -1}); err == nil {
+		t.Fatal("negative batch workers must error")
+	}
+	if _, err := s.RunBatch(SeedRange(0, 2), BatchOptions{EarlyStop: true}); err == nil {
+		t.Fatal("early-stop without a TargetEnergy must error")
+	}
+}
+
+func TestRunBatchEarlyStop(t *testing.T) {
+	_, m := testProblem(t)
+	cfg := quickConfig()
+	target := 0.0 // random cuts sit near 0; any decent replica reaches <= 0
+	cfg.TargetEnergy = &target
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.RunBatch(SeedRange(500, 6), BatchOptions{Workers: 2, EarlyStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Succeeded == 0 {
+		t.Fatal("loose target never reached by any replica")
+	}
+	if !batch.Best().ReachedTarget {
+		t.Fatal("best replica did not reach the target")
+	}
+	if batch.SuccessProb != float64(batch.Succeeded)/6 {
+		t.Fatalf("success probability %v inconsistent with %d/6", batch.SuccessProb, batch.Succeeded)
+	}
+	stopped := 0
+	for _, r := range batch.Results {
+		if r.Stopped {
+			stopped++
+			if r.ReachedTarget {
+				t.Fatal("a cancelled replica cannot also have reached the target")
+			}
+		}
+	}
+	if stopped != batch.Stopped {
+		t.Fatalf("Stopped counter %d, results show %d", batch.Stopped, stopped)
+	}
+}
+
+func TestWithRuntimeDoesNotAliasConfigSlices(t *testing.T) {
+	// Regression: WithRuntime used to shallow-copy Config, so the derived
+	// solver shared InitialSpins backing memory with its parent — and
+	// with the caller's slice. Mutating any of them changed the others'
+	// starting states.
+	_, m := testProblem(t)
+	cfg := quickConfig()
+	init := make([]int8, m.N())
+	for i := range init {
+		init[i] = 1
+	}
+	cfg.InitialSpins = init
+	target := -5.0
+	cfg.TargetEnergy = &target
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init[0] = -1 // the caller reusing its slice must not reach the solver
+	if s.cfg.InitialSpins[0] != 1 {
+		t.Fatal("NewSolver aliased the caller's InitialSpins")
+	}
+	target = 99 // nor may rewriting the caller's target float
+	if *s.cfg.TargetEnergy != -5.0 {
+		t.Fatal("NewSolver aliased the caller's TargetEnergy")
+	}
+	derived, err := s.WithRuntime(func(c *Config) {
+		c.InitialSpins[1] = -1 // mutating inside modify must stay local
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.InitialSpins[1] != 1 {
+		t.Fatal("WithRuntime's modify mutated the parent solver's InitialSpins")
+	}
+	if derived.cfg.InitialSpins[1] != -1 {
+		t.Fatal("derived solver lost the modification")
+	}
+	derived.cfg.InitialSpins[2] = -1
+	if s.cfg.InitialSpins[2] != 1 {
+		t.Fatal("derived solver still aliases the parent's InitialSpins")
 	}
 }
 
@@ -401,26 +509,26 @@ func TestRunBatchParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := s.RunBatch(50, 4)
+	seq, err := s.RunBatch(SeedRange(50, 4), BatchOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := s.RunBatchParallel(50, 4, 4)
+	par, err := s.RunBatch(SeedRange(50, 4), BatchOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for j := range seq {
-		if seq[j].BestEnergy != par[j].BestEnergy {
-			t.Fatalf("job %d differs: %v vs %v", j, seq[j].BestEnergy, par[j].BestEnergy)
+	for j := range seq.Results {
+		if seq.Results[j].BestEnergy != par.Results[j].BestEnergy {
+			t.Fatalf("replica %d differs: %v vs %v", j, seq.Results[j].BestEnergy, par.Results[j].BestEnergy)
 		}
-		for i := range seq[j].BestSpins {
-			if seq[j].BestSpins[i] != par[j].BestSpins[i] {
-				t.Fatalf("job %d spins differ", j)
+		for i := range seq.Results[j].BestSpins {
+			if seq.Results[j].BestSpins[i] != par.Results[j].BestSpins[i] {
+				t.Fatalf("replica %d spins differ", j)
 			}
 		}
 	}
-	if _, err := s.RunBatchParallel(0, 0, 2); err == nil {
-		t.Fatal("empty parallel batch must error")
+	if seq.BestIndex != par.BestIndex || seq.BestEnergy != par.BestEnergy {
+		t.Fatal("aggregates differ across batch worker counts")
 	}
 }
 

@@ -58,13 +58,19 @@ func Table2(o Options) error {
 		if err != nil {
 			return err
 		}
+		// Batched replica runtime: the convergence replicas run
+		// concurrently over one preprocessed solver, like the hardware
+		// pipelines batched jobs. Per-replica results are identical to
+		// sequential Run calls with the same seeds.
+		batch, err := solver.RunBatch(core.SeedRange(o.Seed, o.runs()), core.BatchOptions{
+			Workers: o.Workers,
+		})
+		if err != nil {
+			return err
+		}
 		globals := make([]float64, 0, o.runs())
 		errs := make([]float64, 0, o.runs())
-		for r := 0; r < o.runs(); r++ {
-			res, err := solver.Run(o.Seed + int64(r))
-			if err != nil {
-				return err
-			}
+		for _, res := range batch.Results {
 			if res.ReachedTarget {
 				globals = append(globals, float64(res.GlobalItersRun))
 			}
@@ -95,12 +101,14 @@ func Table2(o Options) error {
 			if err != nil {
 				return err
 			}
+			t90Batch, err := fullSolver.RunBatch(core.SeedRange(o.Seed+100, o.runs()), core.BatchOptions{
+				Workers: o.Workers,
+			})
+			if err != nil {
+				return err
+			}
 			optimumHits := 0
-			for r := 0; r < o.runs(); r++ {
-				res, err := fullSolver.Run(o.Seed + int64(100+r))
-				if err != nil {
-					return err
-				}
+			for _, res := range t90Batch.Results {
 				if inst.g.CutValue(res.BestSpins) >= best {
 					optimumHits++
 				}

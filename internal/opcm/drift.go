@@ -81,6 +81,21 @@ func (e *DriftEngine) driftFactor(age float64) float64 {
 // decay by the array's drift factor before the product.
 func (e *DriftEngine) Mul(p int, transposed bool, x, y []float64) {
 	e.Engine.Mul(p, transposed, x, y)
+	e.applyDrift(p, y)
+}
+
+// mulRaw is the deterministic datapath a Session wraps: the noiseless
+// pos/neg product with the drift decay applied. (Overrides the
+// promoted Engine.mulRaw, which would silently drop drift; note that
+// unlike Mul, drift here scales only the stored weights, not the read
+// noise — the session adds its noise after this, which matches the
+// physics: read noise arises in the receiver, not the decaying cells.)
+func (e *DriftEngine) mulRaw(p int, transposed bool, x, y []float64) {
+	e.Engine.mulRaw(p, transposed, x, y)
+	e.applyDrift(p, y)
+}
+
+func (e *DriftEngine) applyDrift(p int, y []float64) {
 	f := e.driftFactor(e.age[p])
 	//sophielint:ignore floateq driftFactor returns the literal 1 on the no-drift path; this gates the scaling loop exactly
 	if f != 1 {

@@ -196,12 +196,11 @@ func (e *Engine) Reprogram(p int, tile *linalg.Matrix) error {
 	return nil
 }
 
-// Mul implements tiling.Engine: y = T·x or Tᵀ·x through the
-// positive/negative arrays, with optional read noise. The E-O
-// modulators are 1-bit (spins), but Mul accepts arbitrary x so the
-// ideal and device datapaths stay interchangeable; binary inputs are
-// the common case and match the hardware.
-func (e *Engine) Mul(p int, transposed bool, x, y []float64) {
+// mulRaw is the deterministic half of the datapath: y = T·x or Tᵀ·x
+// through the positive/negative arrays, with no read noise. It touches
+// only state that is immutable between (re)programming events, so any
+// number of jobs may call it concurrently.
+func (e *Engine) mulRaw(p int, transposed bool, x, y []float64) {
 	pos, neg := e.pos[p], e.neg[p]
 	var tmp []float64
 	if buf, ok := e.scratch.Get().(*[]float64); ok {
@@ -228,6 +227,21 @@ func (e *Engine) Mul(p int, transposed bool, x, y []float64) {
 	for i := range y {
 		y[i] -= tmp[i] // analog-domain subtraction of the two sub-arrays
 	}
+}
+
+// Mul implements tiling.Engine: y = T·x or Tᵀ·x through the
+// positive/negative arrays, with optional read noise. The E-O
+// modulators are 1-bit (spins), but Mul accepts arbitrary x so the
+// ideal and device datapaths stay interchangeable; binary inputs are
+// the common case and match the hardware.
+//
+// Noise draws on this path come from the engine-level stream: calls
+// are serialized by a mutex and their order is whatever the callers'
+// schedule produces, so direct Mul use is only reproducible from a
+// single goroutine. Job-level code goes through Session instead, which
+// gives every job its own deterministic noise stream.
+func (e *Engine) Mul(p int, transposed bool, x, y []float64) {
+	e.mulRaw(p, transposed, x, y)
 	if e.params.ReadNoise > 0 {
 		fs := e.fullScaleOutput()
 		e.mu.Lock()

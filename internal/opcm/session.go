@@ -1,0 +1,140 @@
+package opcm
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"sophie/internal/metrics"
+	"sophie/internal/tiling"
+)
+
+// Job-scoped device state (tiling.SessionEngine).
+//
+// A programmed engine is shared by every job of a batch, but two kinds
+// of state are per-job, not per-device: the read-noise streams and the
+// operation counters attributing device work to a job. Before PR 3 both
+// lived on the engine — the noise RNG was serialized behind a mutex
+// (race-free but schedule-dependent, so concurrent jobs perturbed each
+// other's trajectories) and per-job attribution of device counters was
+// impossible. A Session moves that state out: it shares the programmed
+// arrays, which are immutable between (re)programming events, and owns
+// its own seeded noise streams and counters.
+
+// deterministicMul is the noise-free datapath a Session wraps: the raw
+// pos/neg product of an Engine, or the drift-scaled product of a
+// DriftEngine. base exposes the underlying Engine for parameters and
+// readout quantization.
+type deterministicMul interface {
+	mulRaw(p int, transposed bool, x, y []float64)
+	base() *Engine
+}
+
+func (e *Engine) base() *Engine { return e }
+
+// SessionCounts tallies the device-level operations attributed to one
+// session (one job).
+type SessionCounts struct {
+	// MVMs counts tile matrix-vector products issued by the job.
+	MVMs uint64
+	// NoiseDraws counts Gaussian read-noise samples added to outputs.
+	NoiseDraws uint64
+	// ReadoutQuantizations counts multi-bit ADC readout passes.
+	ReadoutQuantizations uint64
+}
+
+// Session is a per-job view of a programmed engine: same arrays, own
+// noise streams and counters. It implements tiling.Engine and the
+// solver's readout-quantizer hook.
+//
+// Noise is drawn from one stream per array, not one per session: the
+// solver's PE pool works on distinct pairs concurrently, and an array's
+// draws must not depend on how those pairs interleave. Per-array
+// streams make every array's noise sequence a pure function of
+// (session seed, pair index, call order on that pair), so a job is
+// bit-reproducible at any Workers setting. The counters are atomic for
+// the same reason; their totals are schedule-independent. Calls on the
+// same pair index must stay sequential (the solver's per-pair PE
+// ownership guarantees this); distinct sessions and distinct pairs are
+// safe concurrently.
+type Session struct {
+	dev    deterministicMul
+	rngs   []*rand.Rand // one read-noise stream per pair index
+	mvms   atomic.Uint64
+	noise  atomic.Uint64
+	quants atomic.Uint64
+}
+
+// sessionMix is the splitmix64 finalizer (same mixer the solver's seed
+// derivation uses, see internal/core/seed.go) deriving the per-array
+// stream seeds from the session seed. Consecutive or otherwise related
+// session seeds must not yield overlapping array streams; the bijective
+// avalanche mixer guarantees that.
+func sessionMix(seed int64, index int) int64 {
+	mix := func(x uint64) uint64 {
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return x ^ (x >> 31)
+	}
+	return int64(mix(mix(uint64(seed)) ^ uint64(index)))
+}
+
+func newSession(dev deterministicMul, seed int64) *Session {
+	rngs := make([]*rand.Rand, dev.base().Pairs())
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(sessionMix(seed, i)))
+	}
+	return &Session{dev: dev, rngs: rngs}
+}
+
+// Session implements tiling.SessionEngine: the returned engine view
+// draws read noise from its own streams seeded by seed, so a job's
+// device noise is a pure function of its seed no matter how many
+// sibling jobs run concurrently.
+func (e *Engine) Session(seed int64) tiling.Engine { return newSession(e, seed) }
+
+// Session implements tiling.SessionEngine for the drift-wrapped device:
+// the session's deterministic datapath includes the drift decay of the
+// wrapped engine at its current age. (Overrides the promoted
+// Engine.Session, which would silently drop drift.)
+func (e *DriftEngine) Session(seed int64) tiling.Engine { return newSession(e, seed) }
+
+// Mul implements tiling.Engine: the deterministic product plus read
+// noise from the addressed array's private stream. Unlike Engine.Mul
+// there is no lock — the only mutable state is owned by this session,
+// and partitioned per pair.
+func (s *Session) Mul(p int, transposed bool, x, y []float64) {
+	s.dev.mulRaw(p, transposed, x, y)
+	s.mvms.Add(1)
+	eng := s.dev.base()
+	if eng.params.ReadNoise > 0 {
+		fs := eng.fullScaleOutput()
+		rng := s.rngs[p]
+		for i := range y {
+			y[i] += rng.NormFloat64() * eng.params.ReadNoise * fs
+		}
+		s.noise.Add(metrics.U64(len(y)))
+	}
+}
+
+// QuantizeReadout applies the engine's multi-bit ADC mode (stateless,
+// shared safely) and attributes the readout to this session.
+func (s *Session) QuantizeReadout(v []float64) {
+	s.dev.base().QuantizeReadout(v)
+	s.quants.Add(1)
+}
+
+// TileSize implements tiling.Engine.
+func (s *Session) TileSize() int { return s.dev.base().TileSize() }
+
+// Pairs implements tiling.Engine.
+func (s *Session) Pairs() int { return s.dev.base().Pairs() }
+
+// Counts returns the operations attributed to this session so far.
+func (s *Session) Counts() SessionCounts {
+	return SessionCounts{
+		MVMs:                 s.mvms.Load(),
+		NoiseDraws:           s.noise.Load(),
+		ReadoutQuantizations: s.quants.Load(),
+	}
+}

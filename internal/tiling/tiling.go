@@ -164,6 +164,20 @@ type Engine interface {
 	Pairs() int
 }
 
+// SessionEngine is an optional extension of Engine for datapaths that
+// carry job-scoped mutable state — stochastic streams (read noise) or
+// per-job device counters. Session returns a per-job view of the
+// engine: it shares the programmed arrays (immutable during runs) but
+// owns its RNG state, seeded by seed, so concurrent jobs over one
+// programmed engine neither race nor perturb each other's noise
+// trajectories. Stateless engines (the ideal engine) do not implement
+// it and are shared directly; the solver feature-detects the interface
+// per run. Sessions must not be shared across goroutines.
+type SessionEngine interface {
+	Engine
+	Session(seed int64) Engine
+}
+
 // DeltaEngine is an optional fast-path extension of Engine for
 // flip-aware incremental computation. When only a few input spins flip
 // between consecutive local iterations, a previously computed product

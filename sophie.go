@@ -174,6 +174,17 @@ const (
 	SpinUpdateStochastic = core.SpinUpdateStochastic
 )
 
+// BatchOptions controls the batched replica runtime (RunBatch
+// scheduling: batch workers, per-job workers, portfolio early-stop).
+type BatchOptions = core.BatchOptions
+
+// BatchResult aggregates a RunBatch call (per-replica results, best /
+// mean / median energy, success probability, summed op counts).
+type BatchResult = core.BatchResult
+
+// SeedRange returns n consecutive replica seeds starting at base.
+func SeedRange(base int64, n int) []int64 { return core.SeedRange(base, n) }
+
 // DefaultConfig returns the paper's operating point (tile 64, 10 local
 // iterations per global, 500 global iterations, stochastic spin update,
 // φ=0.1, α=0).
