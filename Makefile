@@ -4,7 +4,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint vet bench bench-json check clean
+.PHONY: all build test race lint vet bench bench-json smoke check clean
 
 all: build
 
@@ -43,7 +43,12 @@ BENCHTIME ?= 2s
 bench-json:
 	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR3.json
 
-check: build test race lint vet
+# End-to-end daemon smoke: real sophied + sophie binaries over HTTP
+# (CI job "sophied-smoke").
+smoke:
+	./scripts/sophied_smoke.sh
+
+check: build test race lint vet smoke
 
 clean:
 	rm -rf $(BIN)

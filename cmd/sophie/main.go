@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +57,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		seed      = fs.Int64("seed", 1, "base seed")
 		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		showOps   = fs.Bool("ops", false, "print operation counters")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole solve (0 = unbounded); expiry stops runs at their next global-iteration boundary with best-so-far results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +98,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("-portfolio requires -replicas and -target")
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	fmt.Fprintf(stdout, "graph: %d nodes, %d edges (density %.4f)\n", g.N(), g.M(), g.Density())
 	start := time.Now()
 	solver, err := core.NewSolver(model, cfg)
@@ -107,7 +116,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	if *replicas > 0 {
 		batchStart := time.Now()
-		batch, err := solver.RunBatch(core.SeedRange(*seed, *replicas), core.BatchOptions{
+		batch, err := solver.RunBatchCtx(ctx, core.SeedRange(*seed, *replicas), core.BatchOptions{
 			Workers:   *batchW,
 			EarlyStop: *portfolio,
 		})
@@ -115,11 +124,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		wall := time.Since(batchStart)
+		timedOut := ctx.Err() != nil
 		for j, res := range batch.Results {
 			status := ""
-			if res.ReachedTarget {
+			switch {
+			case res.ReachedTarget:
 				status = " (reached target)"
-			} else if res.Stopped {
+			case res.Stopped && timedOut:
+				status = " (stopped by timeout)"
+			case res.Stopped:
 				status = " (cancelled by portfolio stop)"
 			}
 			fmt.Fprintf(stdout, "replica %d: cut %.0f, energy %.0f, best at global iter %d%s\n",
@@ -133,6 +146,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "batch: %d/%d replicas reached the target (success probability %.2f)\n",
 				batch.Succeeded, *replicas, batch.SuccessProb)
 		}
+		if timedOut {
+			fmt.Fprintf(stdout, "batch: timeout %v expired — %d/%d replicas stopped early with best-so-far results\n",
+				*timeout, batch.Stopped, *replicas)
+		}
 		if *showOps {
 			fmt.Fprintf(stdout, "operation counts (all replicas):\n%s", batch.Ops.String())
 		}
@@ -140,10 +157,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	bestCut := 0.0
+	ran := 0
 	var totalOps metrics.OpCounts
 	for r := 0; r < *runs; r++ {
 		jobStart := time.Now()
-		res, err := solver.Run(*seed + int64(r))
+		res, err := solver.RunCtx(ctx, *seed+int64(r))
 		if err != nil {
 			return err
 		}
@@ -152,10 +170,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			bestCut = cut
 		}
 		totalOps.Add(res.Ops)
-		fmt.Fprintf(stdout, "job %d: cut %.0f, energy %.0f, best at global iter %d, wall %v\n",
-			r, cut, res.BestEnergy, res.BestGlobalIter, time.Since(jobStart).Round(time.Millisecond))
+		ran++
+		status := ""
+		if res.Stopped {
+			status = " (stopped by timeout)"
+		}
+		fmt.Fprintf(stdout, "job %d: cut %.0f, energy %.0f, best at global iter %d, wall %v%s\n",
+			r, cut, res.BestEnergy, res.BestGlobalIter, time.Since(jobStart).Round(time.Millisecond), status)
+		if res.Stopped {
+			// The budget covers the whole solve; later jobs would start
+			// already expired and report nothing useful.
+			fmt.Fprintf(stdout, "timeout %v expired: skipping %d remaining job(s)\n", *timeout, *runs-ran)
+			break
+		}
 	}
-	fmt.Fprintf(stdout, "best cut over %d job(s): %.0f\n", *runs, bestCut)
+	fmt.Fprintf(stdout, "best cut over %d job(s): %.0f\n", ran, bestCut)
 	if *showOps {
 		fmt.Fprintf(stdout, "operation counts (all jobs):\n%s", totalOps.String())
 	}

@@ -119,3 +119,40 @@ func TestRunRankAndAnneal(t *testing.T) {
 		t.Fatal("rank/anneal run produced no summary")
 	}
 }
+
+// TestRunTimeoutSequential bounds a long sequential solve: the first
+// job stops at an iteration boundary, later jobs are skipped, and the
+// stop is reported distinctly from a normal finish.
+func TestRunTimeoutSequential(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-preset", "K100", "-tile", "32", "-global", "5000000",
+		"-local", "1", "-runs", "3", "-timeout", "100ms"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"(stopped by timeout)", "skipping 2 remaining job(s)", "best cut over 1 job(s)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunTimeoutReplicas bounds a long batch: every replica stops and
+// the batch summary reports the expired budget.
+func TestRunTimeoutReplicas(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-preset", "K100", "-tile", "32", "-global", "5000000",
+		"-local", "1", "-replicas", "2", "-timeout", "100ms"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"(stopped by timeout)", "replicas stopped early"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command sophied is the SOPHIE solver daemon: a job-queue service
+// that accepts max-cut jobs over an HTTP JSON API, executes them on a
+// bounded worker pool through the context-aware batch runtime, and
+// reports results, lifecycle state, and service metrics.
+//
+// Usage:
+//
+//	sophied -addr 127.0.0.1:8080 -workers 4 -queue 128
+//	curl -X POST localhost:8080/v1/jobs -d '{"preset":"K100","replicas":4,"seed":7}'
+//	curl localhost:8080/v1/jobs/j00000001
+//
+// On SIGINT/SIGTERM the daemon stops admission (503), drains in-flight
+// jobs to completion (bounded by -drain-timeout, after which they are
+// force-cancelled at their next global-iteration boundary), and writes
+// the still-queued jobs to -snapshot for resubmission after a restart.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sophie/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sophied:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body; ctx cancellation triggers graceful shutdown.
+// When ready is non-nil the bound listen address is sent on it once the
+// server is accepting — the hook the tests use to find a :0 port.
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("sophied", flag.ContinueOnError)
+	var (
+		addr           = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		queueCap       = fs.Int("queue", 64, "admission queue capacity (full queue rejects with 429)")
+		workers        = fs.Int("workers", 1, "concurrent job executors")
+		resultTTL      = fs.Duration("result-ttl", 15*time.Minute, "how long finished jobs stay queryable")
+		defaultTimeout = fs.Duration("default-timeout", 0, "timeout for jobs that set none (0 = unbounded)")
+		maxReplicas    = fs.Int("max-replicas", 64, "per-job replica cap")
+		problemDir     = fs.String("problem-dir", "", "root directory for graph_file submissions (empty disables them)")
+		cacheSize      = fs.Int("cache", 8, "preprocessed solvers kept in the LRU cache")
+		snapshotPath   = fs.String("snapshot", "", "write the drained queue snapshot JSON here on shutdown")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before force-cancelling")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := service.NewManager(service.Config{
+		QueueCap:        *queueCap,
+		Workers:         *workers,
+		DefaultTimeout:  *defaultTimeout,
+		ResultTTL:       *resultTTL,
+		MaxReplicas:     *maxReplicas,
+		SolverCacheSize: *cacheSize,
+		ProblemDir:      *problemDir,
+	})
+	m.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.NewServer(m)}
+	fmt.Fprintf(stdout, "sophied: listening on %s (%d workers, queue %d)\n", ln.Addr(), *workers, *queueCap)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain. Admission closes first so poll/cancel endpoints
+	// keep answering while in-flight jobs wind down; the HTTP listener
+	// goes away last.
+	fmt.Fprintln(stdout, "sophied: draining")
+	m.StopAdmission()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	snap, drainErr := m.Shutdown(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stdout, "sophied: http shutdown: %v\n", err)
+	}
+
+	if *snapshotPath != "" && len(snap.Jobs) > 0 {
+		if err := writeSnapshot(*snapshotPath, snap); err != nil {
+			return fmt.Errorf("writing queue snapshot: %w", err)
+		}
+		fmt.Fprintf(stdout, "sophied: snapshotted %d queued job(s) to %s\n", len(snap.Jobs), *snapshotPath)
+	}
+	if drainErr != nil {
+		fmt.Fprintln(stdout, "sophied: drain timeout — in-flight jobs force-cancelled at iteration boundaries")
+		return fmt.Errorf("drain incomplete: %w", drainErr)
+	}
+	fmt.Fprintln(stdout, "sophied: drained cleanly")
+	return nil
+}
+
+func writeSnapshot(path string, snap *service.QueueSnapshot) error {
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

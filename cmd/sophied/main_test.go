@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sophie/internal/graph"
+	"sophie/internal/service"
+)
+
+// startDaemon runs the daemon on a random port and returns its base URL
+// plus a cancel that triggers graceful shutdown and an errCh carrying
+// run's return.
+func startDaemon(t *testing.T, extraArgs ...string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	var out bytes.Buffer
+	go func() { errCh <- run(ctx, args, &out, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, errCh
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+		return "", nil, nil
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+		return "", nil, nil
+	}
+}
+
+func kGraphText(t *testing.T, n int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, graph.KGraph(n)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func submit(t *testing.T, base string, spec map[string]any) service.JobView {
+	t.Helper()
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := json.Marshal(resp.Header)
+		t.Fatalf("submit status %d (%s)", resp.StatusCode, body)
+	}
+	var v service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func pollDone(t *testing.T, base, id string) service.JobView {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v service.JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State.Terminal() {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return service.JobView{}
+}
+
+// TestDaemonLifecycle boots the daemon, runs one job end to end over
+// HTTP, and shuts down cleanly.
+func TestDaemonLifecycle(t *testing.T) {
+	base, cancel, errCh := startDaemon(t, "-workers", "2")
+	v := submit(t, base, map[string]any{
+		"graph":    kGraphText(t, 12),
+		"replicas": 2,
+		"seed":     3,
+		"config":   map[string]any{"tile_size": 6, "local_iters": 2, "global_iters": 10},
+	})
+	v = pollDone(t, base, v.ID)
+	if v.State != service.StateDone || v.Result == nil {
+		t.Fatalf("job state %s (err %q), want done with result", v.State, v.Error)
+	}
+	if len(v.Result.BestSpins) != 12 {
+		t.Errorf("spins length %d, want 12", len(v.Result.BestSpins))
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v (status %v)", err, resp)
+	}
+	_ = resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("clean shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
+	}
+}
+
+// TestDaemonDrainSnapshot forces a drain with one in-flight job too
+// slow for the drain window and one still-queued job: the queued job
+// must land in the snapshot file and run must report the forced drain.
+func TestDaemonDrainSnapshot(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "queue.json")
+	base, cancel, errCh := startDaemon(t,
+		"-workers", "1", "-drain-timeout", "300ms", "-snapshot", snapPath)
+
+	slow := map[string]any{
+		"graph": kGraphText(t, 12),
+		"config": map[string]any{
+			"tile_size": 6, "local_iters": 1, "global_iters": 50000000,
+		},
+	}
+	first := submit(t, base, slow)
+	// Wait until the worker has it before queueing the second.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v service.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if v.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued := submit(t, base, slow)
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "drain incomplete") {
+			t.Fatalf("forced drain returned %v, want drain-incomplete error", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
+	}
+
+	buf, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("reading snapshot: %v", err)
+	}
+	var snap service.QueueSnapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+	if len(snap.Jobs) != 1 || snap.Jobs[0].ID != queued.ID {
+		t.Fatalf("snapshot %+v, want exactly the queued job %s", snap.Jobs, queued.ID)
+	}
+	if snap.Jobs[0].Spec.Graph == "" {
+		t.Error("snapshot spec lost the inline graph")
+	}
+}
+
+// TestDaemonFlagErrors checks bad flags fail fast.
+func TestDaemonFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, []string{"-no-such-flag"}, &out, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(ctx, []string{"-addr", "999.999.999.999:0"}, &out, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,18 +34,19 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		graphFile = fs.String("graph", "", "GSET-format graph file ('-' or empty reads stdin)")
-		preset    = fs.String("preset", "", "named instance: G1 | G22 | K100")
-		tile      = fs.Int("tile", 64, "tile size")
-		global    = fs.Int("global", 200, "global iterations")
-		phiList   = fs.String("phi", "0.1", "comma-separated noise values")
-		alphaList = fs.String("alpha", "0", "comma-separated dropout values")
-		localList = fs.String("local", "10", "comma-separated local-iteration counts")
-		fracList  = fs.String("tiles", "1.0", "comma-separated tile fractions")
+		graphFile    = fs.String("graph", "", "GSET-format graph file ('-' or empty reads stdin)")
+		preset       = fs.String("preset", "", "named instance: G1 | G22 | K100")
+		tile         = fs.Int("tile", 64, "tile size")
+		global       = fs.Int("global", 200, "global iterations")
+		phiList      = fs.String("phi", "0.1", "comma-separated noise values")
+		alphaList    = fs.String("alpha", "0", "comma-separated dropout values")
+		localList    = fs.String("local", "10", "comma-separated local-iteration counts")
+		fracList     = fs.String("tiles", "1.0", "comma-separated tile fractions")
 		runs         = fs.Int("runs", 3, "replicas per point (run concurrently)")
 		seed         = fs.Int64("seed", 1, "base seed")
 		workers      = fs.Int("workers", 0, "per-replica solver workers passed to the batch runtime")
 		batchWorkers = fs.Int("batch-workers", 0, "concurrent replicas per sweep point (0 = GOMAXPROCS)")
+		timeout      = fs.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = unbounded); on expiry the current point's partial row is printed and the sweep aborts with an error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +75,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintln(stdout, "alpha,phi,local_iters,tile_fraction,mean_cut,std_cut,min_cut,max_cut,runs")
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fmt.Fprintln(stdout, "alpha,phi,local_iters,tile_fraction,mean_cut,std_cut,min_cut,max_cut,runs,stopped")
 	for _, alpha := range alphas {
 		cfg := core.DefaultConfig()
 		cfg.TileSize = *tile
@@ -100,7 +109,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 					// replicas concurrently; per-replica results are
 					// identical to sequential Run calls, so the CSV
 					// is unchanged — only the wall clock shrinks.
-					batch, err := tuned.RunBatch(core.SeedRange(*seed, *runs), core.BatchOptions{
+					batch, err := tuned.RunBatchCtx(ctx, core.SeedRange(*seed, *runs), core.BatchOptions{
 						Workers:    *batchWorkers,
 						JobWorkers: *workers,
 					})
@@ -112,8 +121,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 						cuts = append(cuts, g.CutValue(res.BestSpins))
 					}
 					s := metrics.Summarize(cuts)
-					fmt.Fprintf(stdout, "%g,%g,%d,%g,%.2f,%.2f,%.0f,%.0f,%d\n",
-						alpha, phi, local, frac, s.Mean, s.Std, s.Min, s.Max, s.N)
+					fmt.Fprintf(stdout, "%g,%g,%d,%g,%.2f,%.2f,%.0f,%.0f,%d,%d\n",
+						alpha, phi, local, frac, s.Mean, s.Std, s.Min, s.Max, s.N, batch.Stopped)
+					if ctx.Err() != nil {
+						// A stopped row mixes full and truncated replicas;
+						// the abort keeps a silently short sweep out of
+						// downstream plots.
+						return fmt.Errorf("timeout %v expired; sweep aborted after a partial point", *timeout)
+					}
 				}
 			}
 		}

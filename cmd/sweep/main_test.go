@@ -23,9 +23,33 @@ func TestRunSweep(t *testing.T) {
 		t.Fatalf("CSV header wrong: %q", lines[0])
 	}
 	for _, l := range lines[1:] {
-		if strings.Count(l, ",") != 8 {
+		if strings.Count(l, ",") != 9 {
 			t.Fatalf("CSV row has wrong arity: %q", l)
 		}
+		if !strings.HasSuffix(l, ",0") {
+			t.Fatalf("unbounded sweep should report 0 stopped replicas: %q", l)
+		}
+	}
+}
+
+// TestRunSweepTimeout gives a huge sweep a tiny budget: the partial
+// point's row must still appear (with stopped replicas) and run must
+// abort with a timeout error instead of silently truncating the CSV.
+func TestRunSweepTimeout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-preset", "K100", "-tile", "32", "-global", "5000000",
+		"-phi", "0.1", "-alpha", "0", "-local", "1", "-runs", "2",
+		"-timeout", "100ms"},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("expired sweep returned %v, want timeout error", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d CSV lines, want header + 1 partial row:\n%s", len(lines), out.String())
+	}
+	if strings.HasSuffix(lines[1], ",0") {
+		t.Fatalf("partial row should count stopped replicas: %q", lines[1])
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -98,6 +99,23 @@ func SeedRange(base int64, n int) []int64 {
 // with EarlyStop off the batch output does not depend on Workers,
 // JobWorkers or goroutine scheduling.
 func (s *Solver) RunBatch(seeds []int64, opts BatchOptions) (*BatchResult, error) {
+	return s.RunBatchCtx(context.Background(), seeds, opts)
+}
+
+// RunBatchCtx is RunBatch under caller-controlled cancellation: every
+// replica observes the context's cancel or deadline at its
+// global-iteration boundaries (exactly like the portfolio stop flag)
+// and winds down with Result.Stopped set and its best-so-far state.
+// Cancellation is not an error — the aggregated BatchResult reports how
+// many replicas were cut short via BatchResult.Stopped — so a service
+// draining a deadline-bounded job still gets every replica's partial
+// best. Replicas that finish before the context fires are bit-identical
+// to their RunBatch counterparts; replicas cancelled before they start
+// report zero-iteration stopped results.
+func (s *Solver) RunBatchCtx(ctx context.Context, seeds []int64, opts BatchOptions) (*BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("core: batch needs at least one seed")
 	}
@@ -137,14 +155,14 @@ func (s *Solver) RunBatch(seeds []int64, opts BatchOptions) (*BatchResult, error
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if stop != nil && stop.stopped() {
+			if (stop != nil && stop.stopped()) || ctx.Err() != nil {
 				// Cancelled before starting: report a zero-iteration
 				// stopped result rather than running for nothing.
 				r, err := runner.cancelledResult(seeds[j])
 				results[j], errs[j] = r, err
 				return
 			}
-			r, err := runner.newRunContext(seeds[j], stop).run(seeds[j])
+			r, err := runner.newRunContext(ctx, seeds[j], stop).run(seeds[j])
 			if err == nil && stop != nil && r.ReachedTarget {
 				stop.raise()
 			}
@@ -170,7 +188,7 @@ func (s *Solver) cancelledResult(seed int64) (*Result, error) {
 	}
 	pre := &batchStop{}
 	pre.raise()
-	return zero.newRunContext(seed, pre).run(seed)
+	return zero.newRunContext(nil, seed, pre).run(seed)
 }
 
 // aggregate folds per-replica results into a BatchResult.

@@ -148,6 +148,13 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports whether the configuration is usable. It is the
+// exported face of the solver's own admission check, for layers that
+// accept work long before a solver is built — the sophied job service
+// rejects a bad config at submission time (HTTP 400) instead of
+// queueing a job that can only fail.
+func (c *Config) Validate() error { return c.validate() }
+
 func (c *Config) validate() error {
 	if c.TileSize <= 0 {
 		return fmt.Errorf("core: tile size must be positive, got %d", c.TileSize)

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+)
+
+// ctxTestSolver builds a small solver whose runs take many global
+// iterations, so there is room to cancel mid-flight.
+func ctxTestSolver(t *testing.T, global int) (*Solver, *ising.Model) {
+	t.Helper()
+	g := graph.KGraph(24)
+	m := ising.FromMaxCut(g)
+	cfg := DefaultConfig()
+	cfg.TileSize = 8
+	cfg.GlobalIters = global
+	cfg.Phi = 0.2
+	cfg.Workers = 1
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+// A background context must not change anything: RunCtx and Run are the
+// same trajectory bit for bit.
+func TestRunCtxBackgroundBitIdentical(t *testing.T) {
+	s, _ := ctxTestSolver(t, 40)
+	ref, err := s.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RunCtx(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestEnergy != ref.BestEnergy || got.GlobalItersRun != ref.GlobalItersRun || got.Stopped {
+		t.Fatalf("RunCtx diverged: got energy %v iters %d stopped %v, want %v / %d / false",
+			got.BestEnergy, got.GlobalItersRun, got.Stopped, ref.BestEnergy, ref.GlobalItersRun)
+	}
+	for i := range ref.BestSpins {
+		if ref.BestSpins[i] != got.BestSpins[i] {
+			t.Fatalf("spin %d differs: %d vs %d", i, ref.BestSpins[i], got.BestSpins[i])
+		}
+	}
+	if got.Ops != ref.Ops {
+		t.Fatalf("op counts diverged:\n%v\nvs\n%v", got.Ops, ref.Ops)
+	}
+}
+
+// Cancelling mid-run returns best-so-far with Stopped set and no error,
+// at the global-iteration boundary after the cancel landed.
+func TestRunCtxCancelMidRun(t *testing.T) {
+	g := graph.KGraph(24)
+	m := ising.FromMaxCut(g)
+	cfg := DefaultConfig()
+	cfg.TileSize = 8
+	cfg.GlobalIters = 10000
+	cfg.Phi = 0.2
+	cfg.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	const stopAt = 5
+	cfg.OnGlobalIteration = func(iter int, _ float64) {
+		if iter == stopAt {
+			cancel()
+		}
+	}
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunCtx(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("cancelled run did not report Stopped")
+	}
+	if res.GlobalItersRun != stopAt {
+		t.Fatalf("ran %d global iterations after cancel at %d, want exactly %d",
+			res.GlobalItersRun, stopAt, stopAt)
+	}
+	if len(res.BestSpins) != m.N() {
+		t.Fatalf("stopped result has %d spins for %d-spin model", len(res.BestSpins), m.N())
+	}
+	if got := m.Energy(res.BestSpins); got != res.BestEnergy {
+		t.Fatalf("stopped result energy %v does not match its spins (%v)", res.BestEnergy, got)
+	}
+}
+
+// A deadline that fires before the first boundary still yields a valid
+// zero-or-more-iteration result, never an error or a hang.
+func TestRunCtxExpiredDeadline(t *testing.T) {
+	s, m := ctxTestSolver(t, 10000)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := s.RunCtx(ctx, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("expired-deadline run did not report Stopped")
+	}
+	if res.GlobalItersRun != 0 {
+		t.Fatalf("expired deadline ran %d global iterations, want 0", res.GlobalItersRun)
+	}
+	if got := m.Energy(res.BestSpins); got != res.BestEnergy {
+		t.Fatalf("energy %v does not match spins (%v)", res.BestEnergy, got)
+	}
+}
+
+// RunBatchCtx with a live context matches RunBatch bit for bit, and a
+// cancelled batch aggregates partial replicas without error.
+func TestRunBatchCtx(t *testing.T) {
+	s, _ := ctxTestSolver(t, 30)
+	seeds := SeedRange(5, 3)
+	ref, err := s.RunBatch(seeds, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RunBatchCtx(context.Background(), seeds, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestEnergy != ref.BestEnergy || got.BestIndex != ref.BestIndex || got.Stopped != 0 {
+		t.Fatalf("RunBatchCtx diverged: %+v vs %+v", got, ref)
+	}
+	for j := range ref.Results {
+		if got.Results[j].BestEnergy != ref.Results[j].BestEnergy {
+			t.Fatalf("replica %d energy diverged", j)
+		}
+	}
+
+	// Pre-cancelled: every replica reports a stopped result; no error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stopped, err := s.RunBatchCtx(ctx, seeds, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped.Stopped != len(seeds) {
+		t.Fatalf("pre-cancelled batch reports %d stopped replicas, want %d", stopped.Stopped, len(seeds))
+	}
+	for j, r := range stopped.Results {
+		if r == nil || !r.Stopped {
+			t.Fatalf("replica %d of pre-cancelled batch not stopped: %+v", j, r)
+		}
+	}
+
+	// Nil context is treated as Background, not a panic.
+	if _, err := s.RunBatchCtx(nil, seeds[:1], BatchOptions{}); err != nil { //nolint:staticcheck // nil ctx tolerance is the contract under test
+		t.Fatalf("nil context: %v", err)
+	}
+}
+
+// A deadline mid-batch cuts replicas at boundaries; each partial result
+// stays internally consistent (energy matches spins).
+func TestRunBatchCtxDeadlineMidBatch(t *testing.T) {
+	s, m := ctxTestSolver(t, 100000)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	batch, err := s.RunBatchCtx(ctx, SeedRange(1, 4), BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Stopped == 0 {
+		t.Fatal("100k-iteration batch under a 50ms deadline reported no stopped replicas")
+	}
+	for j, r := range batch.Results {
+		if got := m.Energy(r.BestSpins); got != r.BestEnergy {
+			t.Fatalf("replica %d: energy %v does not match spins (%v)", j, r.BestEnergy, got)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -158,10 +159,11 @@ type Result struct {
 	TotalLocalIters int
 	// ReachedTarget reports whether TargetEnergy was met.
 	ReachedTarget bool
-	// Stopped reports that a batch portfolio early-stop
-	// (BatchOptions.EarlyStop) cancelled this replica at a
-	// global-iteration boundary before it finished; the fields above
-	// describe the progress it had made by then.
+	// Stopped reports that the run was cancelled at a global-iteration
+	// boundary before it finished — by a batch portfolio early-stop
+	// (BatchOptions.EarlyStop) or by the caller's context (RunCtx /
+	// RunBatchCtx deadline or cancel); the fields above describe the
+	// progress it had made by then.
 	Stopped bool
 	// Trace holds the best-so-far energy at each evaluated global
 	// iteration when Config.RecordTrace is set.
@@ -216,7 +218,8 @@ func newPairState(t int, seed int64) *pairState {
 // it is a per-job session owning its own noise stream — which is what
 // makes concurrent jobs over one programmed solver both race-free and
 // deterministic. stop, when non-nil, is the batch portfolio's shared
-// cancellation flag.
+// cancellation flag; ctx, when non-nil, is the caller's cancellation /
+// deadline context, observed at the same global-iteration boundaries.
 type runContext struct {
 	*Solver
 	eng    tiling.Engine
@@ -224,12 +227,13 @@ type runContext struct {
 	binary tiling.BinaryEngine
 	quant  readoutQuantizer
 	stop   *batchStop
+	ctx    context.Context
 }
 
 // newRunContext resolves the engine view for one job with the given
 // seed and feature-detects the optional interfaces on that view.
-func (s *Solver) newRunContext(seed int64, stop *batchStop) *runContext {
-	rc := &runContext{Solver: s, eng: s.engine, delta: s.delta, binary: s.binary, stop: stop}
+func (s *Solver) newRunContext(ctx context.Context, seed int64, stop *batchStop) *runContext {
+	rc := &runContext{Solver: s, eng: s.engine, delta: s.delta, binary: s.binary, stop: stop, ctx: ctx}
 	if se, ok := s.engine.(tiling.SessionEngine); ok {
 		rc.eng = se.Session(seedStream(seed, roleDevice, 0))
 		// Re-detect on the session view: a session does not inherit the
@@ -255,7 +259,18 @@ func (s *Solver) newRunContext(seed int64, stop *batchStop) *runContext {
 // (tiling.SessionEngine), so every job's trajectory is a pure function
 // of its seed regardless of what runs beside it.
 func (s *Solver) Run(seed int64) (*Result, error) {
-	return s.newRunContext(seed, nil).run(seed)
+	return s.newRunContext(nil, seed, nil).run(seed)
+}
+
+// RunCtx is Run with caller-controlled cancellation: the context's
+// cancel or deadline is observed at global-iteration boundaries —
+// exactly where the batch portfolio stop is polled — and a cancelled
+// job returns its best-so-far Result with Result.Stopped set and a nil
+// error. Checking the context consumes no randomness, so a job that
+// runs to completion is bit-identical to the same seed under Run; only
+// where a run ends can depend on the context, never what it computes.
+func (s *Solver) RunCtx(ctx context.Context, seed int64) (*Result, error) {
+	return s.newRunContext(ctx, seed, nil).run(seed)
 }
 
 // run is the job body, executed over the per-job engine view.
@@ -416,6 +431,19 @@ func (s *runContext) run(seed int64) (*Result, error) {
 		if s.stop != nil && s.stop.stopped() {
 			res.Stopped = true
 			return &res, nil
+		}
+		// Caller cancellation (RunCtx / RunBatchCtx): a cancelled or
+		// expired context winds the job down at the same boundary,
+		// returning best-so-far with Stopped set. The non-blocking poll
+		// costs no randomness, keeping completed runs bit-identical to
+		// their context-free counterparts.
+		if s.ctx != nil {
+			select {
+			case <-s.ctx.Done():
+				res.Stopped = true
+				return &res, nil
+			default:
+			}
 		}
 		phi := phiAt(g)
 		// --- Stochastic tile computation: pick the pairs for this round.
@@ -885,4 +913,3 @@ func Solve(m *ising.Model, cfg Config) (*Result, error) {
 	}
 	return s.Run(cfg.Seed)
 }
-

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRudy hammers the GSET/Rudy text parser with arbitrary input.
+// Two properties must hold for every input:
+//
+//  1. Read never panics and never returns (nil, nil) — hostile headers,
+//     short edge lines, out-of-range ids, and absurd counts all surface
+//     as errors.
+//  2. Any graph Read accepts survives a Write/Read round trip exactly:
+//     same node and edge counts, same per-edge weights, and a
+//     byte-identical second serialization (Write is canonical).
+func FuzzParseRudy(f *testing.F) {
+	seeds := []string{
+		"",
+		"2 1\n1 2 1\n",
+		"3 2\n1 2 1\n2 3 -2\n",
+		"2 1\n1 2 0.5\n",
+		"# comment\nc DIMACS comment\n\n4 3\n1 2 1\n2 3 1\n3 4 1\n",
+		"2 1\n1 2 1e308\n",
+		"3 3\n1 2 1\n1 3 1\n2 3 1\n",
+		// Hostile shapes the parser must reject without panicking.
+		"x y\n",
+		"3\n",
+		"-1 0\n",
+		"2 1000000000\n",
+		"2 1\n1 2\n",
+		"2 1\n1 9 1\n",
+		"2 1\n0 2 1\n",
+		"2 1\n1 1 1\n",
+		"2 1\n1 2 NaN\n",
+		"2 1\n1 2 +Inf\n",
+		"3 2\n1 2 1\n2 1 5\n",
+		"2 1\n1 2 1\n1 2 2\n",
+		"2 1\n1 2 0\n",
+		"9999999 1\n1 2 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("Read returned nil graph and nil error")
+		}
+		for _, e := range g.Edges() {
+			if e.U < 0 || e.V >= g.N() || e.U >= e.V {
+				t.Fatalf("accepted malformed edge %+v in %d-node graph", e, g.N())
+			}
+			if e.Weight == 0 || math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) {
+				t.Fatalf("accepted non-finite or zero weight %v", e.Weight)
+			}
+		}
+
+		var first bytes.Buffer
+		if err := Write(&first, g); err != nil {
+			t.Fatalf("writing accepted graph: %v", err)
+		}
+		back, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own serialization %q: %v", first.String(), err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", g.N(), g.M(), back.N(), back.M())
+		}
+		for _, e := range g.Edges() {
+			if got := back.Weight(e.U, e.V); got != e.Weight {
+				t.Fatalf("edge (%d,%d) weight %v -> %v", e.U, e.V, e.Weight, got)
+			}
+		}
+		var second bytes.Buffer
+		if err := Write(&second, back); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("serialization not canonical:\n%q\nvs\n%q", first.String(), second.String())
+		}
+	})
+}

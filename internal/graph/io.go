@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -43,6 +44,7 @@ func Read(r io.Reader) (*Graph, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var g *Graph
 	want := 0
+	edgeLines := 0
 	line := 0
 	for sc.Scan() {
 		line++
@@ -63,9 +65,19 @@ func Read(r io.Reader) (*Graph, error) {
 			if err != nil || m < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, fields[1])
 			}
+			// A simple undirected graph holds at most n(n-1)/2 edges; a
+			// header promising more is corrupt, so reject it before
+			// reading (and allocating for) the edge lines it implies.
+			if int64(m) > int64(n)*int64(n-1)/2 {
+				return nil, fmt.Errorf("graph: line %d: header promises %d edges but %d nodes admit at most %d",
+					line, m, n, int64(n)*int64(n-1)/2)
+			}
 			g = New(n)
 			want = m
 			continue
+		}
+		if edgeLines++; edgeLines > want {
+			return nil, fmt.Errorf("graph: line %d: more edge lines than the %d the header promised", line, want)
 		}
 		if len(fields) != 3 {
 			return nil, fmt.Errorf("graph: line %d: edge needs \"u v w\", got %q", line, text)
@@ -79,7 +91,7 @@ func Read(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: line %d: bad node %q", line, fields[1])
 		}
 		w, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(w) || math.IsInf(w, 0) {
 			return nil, fmt.Errorf("graph: line %d: bad weight %q", line, fields[2])
 		}
 		if err := g.AddEdge(u-1, v-1, w); err != nil {
@@ -92,8 +104,14 @@ func Read(r io.Reader) (*Graph, error) {
 	if g == nil {
 		return nil, fmt.Errorf("graph: empty input")
 	}
+	if edgeLines != want {
+		return nil, fmt.Errorf("graph: header promised %d edges, parsed %d", want, edgeLines)
+	}
+	// The stored count can fall below the line count only when a line
+	// duplicated an earlier edge or carried zero weight — both signs of
+	// a file this canonical writer never produces.
 	if g.M() != want {
-		return nil, fmt.Errorf("graph: header promised %d edges, parsed %d", want, g.M())
+		return nil, fmt.Errorf("graph: %d of %d edge lines were duplicates or zero-weight", want-g.M(), want)
 	}
 	return g, nil
 }

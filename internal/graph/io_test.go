@@ -87,6 +87,14 @@ func TestReadErrors(t *testing.T) {
 		{"edge count mismatch", "3 2\n1 2 1\n"},
 		{"out of range", "2 1\n1 9 1\n"},
 		{"self loop", "2 1\n1 1 1\n"},
+		{"zero node id", "2 1\n0 2 1\n"},
+		{"header overpromises", "3 4\n1 2 1\n1 3 1\n2 3 1\n"},
+		{"huge header", "2 1000000000\n"},
+		{"excess edge lines", "2 1\n1 2 1\n1 2 2\n"},
+		{"duplicate edge", "3 2\n1 2 1\n2 1 5\n"},
+		{"zero weight edge", "2 1\n1 2 0\n"},
+		{"nan weight", "2 1\n1 2 NaN\n"},
+		{"inf weight", "2 1\n1 2 +Inf\n"},
 	}
 	for _, tc := range cases {
 		if _, err := Read(strings.NewReader(tc.in)); err == nil {

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Histogram is a fixed-bucket, concurrency-safe histogram for latency
+// tracking in long-running services (the sophied job daemon records one
+// per lifecycle segment: queue wait and execution). Buckets are defined
+// by ascending upper bounds; an implicit +Inf bucket catches the tail.
+// Observe is safe for concurrent use; Snapshot returns a consistent
+// copy for serving over /metrics.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending bucket upper bounds (inclusive)
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow bucket
+	sum    float64
+	n      uint64
+}
+
+// DefaultLatencyBounds is a log-spaced ladder from 1ms to ~2 minutes,
+// wide enough for both sub-second K-graph jobs and long GSET anneals.
+func DefaultLatencyBounds() []float64 {
+	bounds := make([]float64, 0, 18)
+	v := 0.001
+	for i := 0; i < 18; i++ {
+		bounds = append(bounds, v)
+		v *= 2
+	}
+	return bounds
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. Bounds must be finite, strictly increasing, and non-empty.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bucket bound")
+	}
+	prev := math.Inf(-1)
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("metrics: histogram bound %d is not finite: %v", i, b)
+		}
+		if b <= prev {
+			return nil, fmt.Errorf("metrics: histogram bounds not strictly increasing at %d: %v after %v", i, b, prev)
+		}
+		prev = b
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum and fit no bucket).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	idx := len(h.bounds) // +Inf bucket
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state, shaped
+// for JSON serving: parallel bound/count slices (the final count is the
+// +Inf overflow bucket and has no bound entry).
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot returns a consistent copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.n,
+		Sum:    h.sum,
+	}
+}
+
+// Mean returns the mean of all observations, or 0 for an empty
+// histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation within the containing bucket, the standard
+// Prometheus-style estimate. Observations in the +Inf bucket clamp to
+// the last finite bound. An empty histogram returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		within := rank - float64(cum-c)
+		return lo + (hi-lo)*within/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{1, 1},
+		{2, 1},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+	}
+	for _, bounds := range cases {
+		if _, err := NewHistogram(bounds); err == nil {
+			t.Errorf("NewHistogram(%v) accepted invalid bounds", bounds)
+		}
+	}
+	if _, err := NewHistogram(DefaultLatencyBounds()); err != nil {
+		t.Fatalf("default latency bounds rejected: %v", err)
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count %d, want 5 (NaN dropped)", s.Count)
+	}
+	wantCounts := []uint64{2, 1, 1, 1} // ≤1: {0.5, 1}; ≤2: {1.5}; ≤4: {3}; +Inf: {100}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d count %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if got, want := s.Sum, 0.5+1+1.5+3+100; got != want {
+		t.Fatalf("sum %v, want %v", got, want)
+	}
+	if got, want := s.Mean(), (0.5+1+1.5+3+100)/5; got != want {
+		t.Fatalf("mean %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile %v, want 0", got)
+	}
+	// 8 observations uniformly in (0,8]: one per half-bucket.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 6, 8} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	med := s.Quantile(0.5)
+	if med < 1 || med > 2 {
+		t.Fatalf("median %v outside the containing bucket (1,2]", med)
+	}
+	p100 := s.Quantile(1)
+	if p100 < 4 || p100 > 8 {
+		t.Fatalf("p100 %v outside the top finite bucket (4,8]", p100)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if lo, hi := s.Quantile(-1), s.Quantile(2); math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatalf("clamped quantiles produced NaN: %v / %v", lo, hi)
+	}
+	// Overflow-bucket mass clamps to the last finite bound.
+	h.Observe(1e9)
+	h.Observe(1e9)
+	h.Observe(1e9)
+	if got := h.Snapshot().Quantile(0.99); got != 8 {
+		t.Fatalf("overflow quantile %v, want clamp to 8", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h, err := NewHistogram(DefaultLatencyBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per+i) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("concurrent observes lost samples: %d, want %d", got, workers*per)
+	}
+}

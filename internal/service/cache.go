@@ -1,0 +1,107 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"sophie/internal/core"
+)
+
+// solverCache memoizes preprocessed solvers per (problem,
+// preprocessing-config) key. Building a solver is the expensive step —
+// O(n³) eigendecomposition plus engine programming — and mirrors the
+// hardware's amortization of OPCM array programming over many jobs, so
+// repeat submissions of the same problem skip straight to execution.
+//
+// Concurrency: the map is guarded by mu; each entry's build runs under
+// its own sync.Once outside the map lock, so two jobs racing on a cold
+// key block on one build while jobs for other keys proceed. Solvers are
+// safe for concurrent Run/RunBatch by core's contract, so a cached
+// solver can serve many jobs at once. Eviction is LRU by last lookup;
+// an evicted solver stays valid for jobs already holding it (it is
+// simply no longer findable).
+type solverCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[solverKey]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	once    sync.Once
+	solver  *core.Solver
+	err     error
+	lastUse time.Time
+}
+
+func newSolverCache(max int) *solverCache {
+	if max < 1 {
+		max = 1
+	}
+	return &solverCache{max: max, entries: make(map[solverKey]*cacheEntry)}
+}
+
+// get returns the cached solver for key, building it with build on a
+// cold key. Failed builds are not cached: the entry is removed so a
+// transient failure (e.g. an unreadable problem file raced with a
+// rewrite) does not poison the key forever.
+func (c *solverCache) get(key solverKey, build func() (*core.Solver, error)) (*core.Solver, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.evictLocked(e)
+	}
+	e.lastUse = time.Now()
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.solver, e.err = build() })
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.solver, nil
+}
+
+// evictLocked drops least-recently-used entries (never keep, the entry
+// just inserted) until the cache fits its bound.
+func (c *solverCache) evictLocked(keep *cacheEntry) {
+	for len(c.entries) > c.max {
+		var oldestKey solverKey
+		var oldest *cacheEntry
+		for k, e := range c.entries {
+			if e == keep {
+				continue
+			}
+			if oldest == nil || e.lastUse.Before(oldest.lastUse) {
+				oldestKey, oldest = k, e
+			}
+		}
+		if oldest == nil {
+			return
+		}
+		delete(c.entries, oldestKey)
+	}
+}
+
+// CacheStats reports solver-cache effectiveness for /metrics.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+func (c *solverCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}

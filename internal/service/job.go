@@ -1,0 +1,214 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"sophie/internal/core"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/metrics"
+)
+
+// State is a job's lifecycle position: queued → running → done |
+// failed | cancelled. There are no other transitions; in particular a
+// terminal job never leaves its terminal state (the TTL janitor deletes
+// it wholesale).
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the submission payload of POST /v1/jobs: one problem
+// source (inline GSET text, a file reference under the server's problem
+// directory, or a named preset), a replica/seed policy, an optional
+// per-job timeout, and runtime/preprocessing config overrides.
+type JobSpec struct {
+	// Exactly one of Graph, GraphFile, Preset selects the problem.
+	Graph     string `json:"graph,omitempty"`      // inline GSET text ("n m" header + "u v w" edges)
+	GraphFile string `json:"graph_file,omitempty"` // file under the server's -problem-dir
+	Preset    string `json:"preset,omitempty"`     // G1 | G22 | K100
+
+	// Replicas and Seed define the batch: seeds Seed..Seed+Replicas-1
+	// (core.SeedRange). Seeds, when non-empty, overrides both.
+	Replicas int     `json:"replicas,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Seeds    []int64 `json:"seeds,omitempty"`
+
+	// TimeoutMS bounds the job's execution wall clock; expiry stops
+	// every replica at its next global-iteration boundary and the job
+	// completes with its best-so-far partial results and timed_out set.
+	// 0 inherits the server's default timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// EarlyStop enables the batch portfolio mode (requires a
+	// target_energy in Config): results become schedule-dependent.
+	EarlyStop bool `json:"early_stop,omitempty"`
+
+	Config ConfigOverrides `json:"config"`
+}
+
+// ConfigOverrides selects per-job solver settings; nil fields inherit
+// core.DefaultConfig. Field semantics match the core.Config fields of
+// the same name.
+type ConfigOverrides struct {
+	TileSize       *int     `json:"tile_size,omitempty"`
+	LocalIters     *int     `json:"local_iters,omitempty"`
+	GlobalIters    *int     `json:"global_iters,omitempty"`
+	TileFraction   *float64 `json:"tile_fraction,omitempty"`
+	Phi            *float64 `json:"phi,omitempty"`
+	PhiEnd         *float64 `json:"phi_end,omitempty"`
+	Alpha          *float64 `json:"alpha,omitempty"`
+	SkipTransform  *bool    `json:"skip_transform,omitempty"`
+	TransformRank  *int     `json:"transform_rank,omitempty"`
+	SpinUpdate     *string  `json:"spin_update,omitempty"` // "majority" | "stochastic"
+	Device         *bool    `json:"device,omitempty"`      // run MVMs through the OPCM device model
+	TargetEnergy   *float64 `json:"target_energy,omitempty"`
+	EvalEvery      *int     `json:"eval_every,omitempty"`
+	ExactRecompute *bool    `json:"exact_recompute,omitempty"`
+	// Workers is the per-replica PE worker count; BatchWorkers bounds
+	// concurrent replicas (core.BatchOptions). Neither changes results.
+	Workers      *int `json:"workers,omitempty"`
+	BatchWorkers *int `json:"batch_workers,omitempty"`
+}
+
+// job is the manager's internal record. Mutable fields (state,
+// timestamps, cancel, result, err, flags) are guarded by Manager.mu;
+// the resolved problem/config fields are written once at submission and
+// read-only afterwards.
+type job struct {
+	id    string
+	spec  JobSpec
+	g     *graph.Graph
+	model *ising.Model
+	key   solverKey
+	// baseCfg carries only preprocessing-relevant settings and is what
+	// the cached solver is built from; runCfg is the job's full config,
+	// applied per run via WithRuntime. Splitting the two lets jobs that
+	// differ only in runtime knobs share one preprocessed solver.
+	baseCfg   core.Config
+	runCfg    core.Config
+	seeds     []int64
+	timeout   time.Duration
+	batchOpts core.BatchOptions
+
+	state           State
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	cancel          context.CancelFunc // non-nil only while running
+	cancelRequested bool
+	timedOut        bool
+	err             error
+	result          *core.BatchResult
+}
+
+// JobView is the JSON face of a job (GET /v1/jobs/{id}).
+type JobView struct {
+	ID              string      `json:"id"`
+	State           State       `json:"state"`
+	SubmittedAt     time.Time   `json:"submitted_at"`
+	StartedAt       *time.Time  `json:"started_at,omitempty"`
+	FinishedAt      *time.Time  `json:"finished_at,omitempty"`
+	Replicas        int         `json:"replicas"`
+	Seeds           []int64     `json:"seeds"`
+	TimedOut        bool        `json:"timed_out,omitempty"`
+	CancelRequested bool        `json:"cancel_requested,omitempty"`
+	Error           string      `json:"error,omitempty"`
+	Result          *ResultView `json:"result,omitempty"`
+}
+
+// ResultView is the JSON rendering of a finished (or partially
+// finished) batch: the aggregate plus one entry per replica. Cut values
+// are computed against the job's graph under the max-cut mapping.
+type ResultView struct {
+	BestEnergy   float64          `json:"best_energy"`
+	BestCut      float64          `json:"best_cut"`
+	BestIndex    int              `json:"best_index"`
+	BestSpins    []int8           `json:"best_spins"`
+	MeanEnergy   float64          `json:"mean_energy"`
+	MedianEnergy float64          `json:"median_energy"`
+	Succeeded    int              `json:"succeeded"`
+	SuccessProb  float64          `json:"success_prob"`
+	Stopped      int              `json:"stopped"`
+	Replicas     []ReplicaView    `json:"replicas"`
+	Ops          metrics.OpCounts `json:"ops"`
+}
+
+// ReplicaView summarizes one replica of a job's batch.
+type ReplicaView struct {
+	Seed           int64   `json:"seed"`
+	BestEnergy     float64 `json:"best_energy"`
+	BestCut        float64 `json:"best_cut"`
+	BestGlobalIter int     `json:"best_global_iter"`
+	GlobalItersRun int     `json:"global_iters_run"`
+	ReachedTarget  bool    `json:"reached_target,omitempty"`
+	Stopped        bool    `json:"stopped,omitempty"`
+}
+
+// viewLocked renders a job; the caller holds Manager.mu.
+func (m *Manager) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:              j.id,
+		State:           j.state,
+		SubmittedAt:     j.submitted,
+		Replicas:        len(j.seeds),
+		Seeds:           append([]int64(nil), j.seeds...),
+		TimedOut:        j.timedOut,
+		CancelRequested: j.cancelRequested,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.result != nil {
+		v.Result = resultView(j.g, j.seeds, j.result)
+	}
+	return v
+}
+
+func resultView(g *graph.Graph, seeds []int64, b *core.BatchResult) *ResultView {
+	best := b.Best()
+	rv := &ResultView{
+		BestEnergy:   b.BestEnergy,
+		BestCut:      g.CutValue(best.BestSpins),
+		BestIndex:    b.BestIndex,
+		BestSpins:    append([]int8(nil), best.BestSpins...),
+		MeanEnergy:   b.MeanEnergy,
+		MedianEnergy: b.MedianEnergy,
+		Succeeded:    b.Succeeded,
+		SuccessProb:  b.SuccessProb,
+		Stopped:      b.Stopped,
+		Replicas:     make([]ReplicaView, len(b.Results)),
+		Ops:          b.Ops,
+	}
+	for i, r := range b.Results {
+		rv.Replicas[i] = ReplicaView{
+			Seed:           seeds[i],
+			BestEnergy:     r.BestEnergy,
+			BestCut:        g.CutValue(r.BestSpins),
+			BestGlobalIter: r.BestGlobalIter,
+			GlobalItersRun: r.GlobalItersRun,
+			ReachedTarget:  r.ReachedTarget,
+			Stopped:        r.Stopped,
+		}
+	}
+	return rv
+}

@@ -1,0 +1,519 @@
+// Package service is the sophied job-queue solver service: a bounded
+// admission queue, a worker pool executing jobs through the
+// context-aware batch runtime (core.RunBatchCtx) over cached
+// per-problem solvers, job lifecycle tracking with per-job timeouts and
+// user cancellation, a TTL'd result store, and service counters. The
+// HTTP JSON API in server.go is a thin skin over the Manager; cmd/sophied
+// is the daemon around both.
+//
+// Determinism contract (DESIGN.md "Service layer"): a job that runs to
+// completion returns results bit-identical to a direct core.RunBatch
+// with the same problem, config, and seeds — admission order, queue
+// depth, worker count, and co-scheduled jobs are invisible. Only jobs
+// cut short (timeout, cancel, drain) have schedule-dependent partials,
+// and those are always labelled (Stopped counts, timed_out, cancelled).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sophie/internal/core"
+	"sophie/internal/metrics"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull reports admission backpressure (HTTP 429).
+	ErrQueueFull = errors.New("queue full")
+	// ErrDraining reports a shutdown in progress (HTTP 503).
+	ErrDraining = errors.New("draining: not accepting jobs")
+	// ErrNotFound reports an unknown or TTL-expired job id (HTTP 404).
+	ErrNotFound = errors.New("no such job")
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// production-lean default applied by NewManager.
+type Config struct {
+	// QueueCap bounds the admission queue; a submission that finds the
+	// queue full is rejected with ErrQueueFull (default 64).
+	QueueCap int
+	// Workers is the number of concurrent job executors (default 1).
+	Workers int
+	// DefaultTimeout bounds jobs that specify no timeout_ms; 0 leaves
+	// them unbounded.
+	DefaultTimeout time.Duration
+	// ResultTTL is how long a terminal job stays queryable (default 15m).
+	ResultTTL time.Duration
+	// JanitorEvery is the TTL sweep interval (default 1m).
+	JanitorEvery time.Duration
+	// MaxReplicas caps the per-job replica count (default 64).
+	MaxReplicas int
+	// SolverCacheSize caps cached preprocessed solvers (default 8).
+	SolverCacheSize int
+	// ProblemDir, when set, is the root for graph_file submissions;
+	// empty disables file references.
+	ProblemDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 15 * time.Minute
+	}
+	if c.JanitorEvery <= 0 {
+		c.JanitorEvery = time.Minute
+	}
+	if c.MaxReplicas <= 0 {
+		c.MaxReplicas = 64
+	}
+	if c.SolverCacheSize <= 0 {
+		c.SolverCacheSize = 8
+	}
+	return c
+}
+
+// Manager owns the queue, the worker pool, the job table, and the
+// counters. Create with NewManager, start with Start, stop with
+// Shutdown.
+type Manager struct {
+	cfg   Config
+	start time.Time
+	cache *solverCache
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*job
+	jobs     map[string]*job
+	draining bool
+	inFlight int
+	nextID   uint64
+	// counters (guarded by mu; every increment happens on a state
+	// transition that already holds it)
+	nSubmitted, nRejected, nCompleted, nFailed, nCancelled, nTimedOut uint64
+
+	runCtx    context.Context // parent of every job context; cancelled to force-drain
+	runCancel context.CancelFunc
+	workerWG  sync.WaitGroup
+	stopOnce  sync.Once
+	stopCh    chan struct{} // closed at shutdown; stops the janitor
+
+	queueWait   *metrics.Histogram // seconds from submit to execution start
+	execLatency *metrics.Histogram // seconds from execution start to finish
+	opsMu       sync.Mutex
+	ops         metrics.OpCounts // merged OpCounts of every finished job
+}
+
+// NewManager builds a stopped manager; call Start to begin executing.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	runCtx, runCancel := context.WithCancel(context.Background())
+	qw, err := metrics.NewHistogram(metrics.DefaultLatencyBounds())
+	if err != nil {
+		panic(err) // the default bounds are statically valid
+	}
+	el, err := metrics.NewHistogram(metrics.DefaultLatencyBounds())
+	if err != nil {
+		panic(err)
+	}
+	m := &Manager{
+		cfg:         cfg,
+		start:       time.Now(),
+		cache:       newSolverCache(cfg.SolverCacheSize),
+		jobs:        make(map[string]*job),
+		runCtx:      runCtx,
+		runCancel:   runCancel,
+		stopCh:      make(chan struct{}),
+		queueWait:   qw,
+		execLatency: el,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Start launches the worker pool and the TTL janitor.
+func (m *Manager) Start() {
+	for w := 0; w < m.cfg.Workers; w++ {
+		m.workerWG.Add(1)
+		go m.worker()
+	}
+	go m.janitor()
+}
+
+// Submit validates and enqueues a job, returning its initial view. A
+// full queue returns ErrQueueFull (the caller should surface
+// backpressure, e.g. HTTP 429 + Retry-After); a draining manager
+// returns ErrDraining; spec problems wrap ErrBadSpec.
+func (m *Manager) Submit(spec JobSpec) (JobView, error) {
+	j, err := m.resolveSpec(spec)
+	if err != nil {
+		return JobView{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.nRejected++
+		return JobView{}, ErrDraining
+	}
+	if m.queueDepthLocked() >= m.cfg.QueueCap {
+		m.nRejected++
+		return JobView{}, ErrQueueFull
+	}
+	m.nextID++
+	j.id = fmt.Sprintf("j%08d", m.nextID)
+	j.state = StateQueued
+	j.submitted = time.Now()
+	m.jobs[j.id] = j
+	m.queue = append(m.queue, j)
+	m.nSubmitted++
+	m.cond.Signal()
+	return m.viewLocked(j), nil
+}
+
+// Get returns the current view of a job.
+func (m *Manager) Get(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return m.viewLocked(j), nil
+}
+
+// List returns every job's view, result payloads stripped (spins can be
+// large; fetch an individual job for its full result).
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		v := m.viewLocked(j)
+		v.Result = nil
+		out = append(out, v)
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job goes terminal immediately;
+// a running job has its context cancelled and goes terminal when the
+// batch winds down at its next global-iteration boundary (the returned
+// view may still show it running with cancel_requested set). Cancelling
+// a terminal job is a no-op, not an error.
+func (m *Manager) Cancel(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.cancelRequested = true
+		j.finished = time.Now()
+		m.nCancelled++
+	case StateRunning:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+	default:
+		// Terminal already; idempotent.
+	}
+	return m.viewLocked(j), nil
+}
+
+// worker pulls jobs until the queue is drained and admission closed.
+func (m *Manager) worker() {
+	defer m.workerWG.Done()
+	for {
+		j := m.next()
+		if j == nil {
+			return
+		}
+		m.execute(j)
+	}
+}
+
+// next blocks for the next runnable job; nil means shut down.
+func (m *Manager) next() *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for len(m.queue) > 0 {
+			j := m.queue[0]
+			m.queue[0] = nil
+			m.queue = m.queue[1:]
+			if j.state != StateQueued {
+				continue // cancelled while queued
+			}
+			return j
+		}
+		if m.draining {
+			return nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// execute runs one job end to end: transition to running, build or
+// fetch the cached solver, run the batch under the job's context, and
+// record the terminal state.
+func (m *Manager) execute(j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued {
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(m.runCtx, j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(m.runCtx)
+	}
+	j.cancel = cancel
+	m.inFlight++
+	m.mu.Unlock()
+	m.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
+
+	solver, err := m.cache.get(j.key, func() (*core.Solver, error) {
+		return core.NewSolver(j.model, j.baseCfg)
+	})
+	var res *core.BatchResult
+	if err == nil {
+		var runner *core.Solver
+		runner, err = solver.WithRuntime(func(c *core.Config) { *c = j.runCfg })
+		if err == nil {
+			res, err = runner.RunBatchCtx(ctx, j.seeds, j.batchOpts)
+		}
+	}
+	cancel()
+	finished := time.Now()
+
+	m.mu.Lock()
+	j.cancel = nil
+	j.finished = finished
+	switch {
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+		m.nFailed++
+	case j.cancelRequested:
+		// User cancellation: terminal cancelled, partial results kept.
+		j.state = StateCancelled
+		j.result = res
+		m.nCancelled++
+	default:
+		// Done — including deadline expiry and force-drain, which stop
+		// replicas at iteration boundaries but still yield valid
+		// best-so-far results. timed_out labels the former.
+		j.state = StateDone
+		j.result = res
+		// timed_out only when the deadline actually cut replicas short —
+		// a deadline that fires between batch completion and this
+		// bookkeeping did not cost the job anything.
+		j.timedOut = j.timeout > 0 && errors.Is(context.Cause(ctx), context.DeadlineExceeded) &&
+			res != nil && res.Stopped > 0
+		m.nCompleted++
+		if j.timedOut {
+			m.nTimedOut++
+		}
+	}
+	m.inFlight--
+	m.mu.Unlock()
+	m.execLatency.Observe(finished.Sub(j.started).Seconds())
+	if res != nil {
+		m.opsMu.Lock()
+		m.ops.Add(res.Ops)
+		m.opsMu.Unlock()
+	}
+}
+
+// janitor evicts terminal jobs older than ResultTTL.
+func (m *Manager) janitor() {
+	t := time.NewTicker(m.cfg.JanitorEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case now := <-t.C:
+			m.sweep(now)
+		}
+	}
+}
+
+// sweep deletes terminal jobs whose results outlived ResultTTL.
+func (m *Manager) sweep(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, j := range m.jobs {
+		if j.state.Terminal() && !j.finished.IsZero() && now.Sub(j.finished) > m.cfg.ResultTTL {
+			delete(m.jobs, id)
+		}
+	}
+}
+
+func (m *Manager) queueDepthLocked() int {
+	depth := 0
+	for _, j := range m.queue {
+		if j.state == StateQueued {
+			depth++
+		}
+	}
+	return depth
+}
+
+// StopAdmission closes the front door: subsequent Submit calls return
+// ErrDraining. Idempotent; Shutdown calls it first.
+func (m *Manager) StopAdmission() {
+	m.mu.Lock()
+	m.draining = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// QueueSnapshot preserves the jobs that were still queued when a drain
+// began, in admission order — enough to resubmit them verbatim after a
+// restart.
+type QueueSnapshot struct {
+	TakenAt time.Time     `json:"taken_at"`
+	Jobs    []SnapshotJob `json:"jobs"`
+}
+
+// SnapshotJob is one snapshotted queue entry.
+type SnapshotJob struct {
+	ID          string    `json:"id"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	Spec        JobSpec   `json:"spec"`
+}
+
+// Shutdown drains the service: admission stops, still-queued jobs are
+// snapshotted (and marked cancelled) instead of started, and in-flight
+// jobs run to completion. If ctx expires first, in-flight jobs are
+// force-cancelled — they stop at their next global-iteration boundary
+// and still record valid best-so-far results — and ctx's error is
+// returned alongside the snapshot. Shutdown is idempotent; only the
+// first call snapshots.
+func (m *Manager) Shutdown(ctx context.Context) (*QueueSnapshot, error) {
+	m.StopAdmission()
+
+	snap := &QueueSnapshot{TakenAt: time.Now()}
+	m.mu.Lock()
+	for _, j := range m.queue {
+		if j == nil || j.state != StateQueued {
+			continue
+		}
+		snap.Jobs = append(snap.Jobs, SnapshotJob{ID: j.id, SubmittedAt: j.submitted, Spec: j.spec})
+		j.state = StateCancelled
+		j.cancelRequested = true
+		j.finished = snap.TakenAt
+		m.nCancelled++
+	}
+	m.queue = nil
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.workerWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		m.runCancel()
+		<-done
+	}
+	m.stopOnce.Do(func() { close(m.stopCh) })
+	return snap, err
+}
+
+// Stats is the /metrics payload: gauges, lifetime counters, the merged
+// operation tallies of every finished job, and the latency histograms.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCap      int     `json:"queue_cap"`
+	InFlight      int     `json:"in_flight"`
+	Workers       int     `json:"workers"`
+	Draining      bool    `json:"draining"`
+	JobsTracked   int     `json:"jobs_tracked"`
+
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	TimedOut  uint64 `json:"timed_out"`
+
+	SolverCache CacheStats                `json:"solver_cache"`
+	Ops         metrics.OpCounts          `json:"ops"`
+	QueueWait   metrics.HistogramSnapshot `json:"queue_wait_seconds"`
+	Exec        metrics.HistogramSnapshot `json:"exec_seconds"`
+}
+
+// Stats returns a consistent snapshot of the service counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		QueueDepth:    m.queueDepthLocked(),
+		QueueCap:      m.cfg.QueueCap,
+		InFlight:      m.inFlight,
+		Workers:       m.cfg.Workers,
+		Draining:      m.draining,
+		JobsTracked:   len(m.jobs),
+		Submitted:     m.nSubmitted,
+		Rejected:      m.nRejected,
+		Completed:     m.nCompleted,
+		Failed:        m.nFailed,
+		Cancelled:     m.nCancelled,
+		TimedOut:      m.nTimedOut,
+	}
+	m.mu.Unlock()
+	s.SolverCache = m.cache.stats()
+	m.opsMu.Lock()
+	s.Ops = m.ops
+	m.opsMu.Unlock()
+	s.QueueWait = m.queueWait.Snapshot()
+	s.Exec = m.execLatency.Snapshot()
+	return s
+}
+
+// RetryAfterHint estimates, in whole seconds, when a rejected submitter
+// should retry: the mean execution latency scaled by the queue ahead of
+// them per worker, clamped to [1, 60]. With no latency samples yet the
+// hint is 1s.
+func (m *Manager) RetryAfterHint() int {
+	mean := m.execLatency.Snapshot().Mean()
+	m.mu.Lock()
+	depth := m.queueDepthLocked()
+	workers := m.cfg.Workers
+	m.mu.Unlock()
+	est := mean * float64(depth+1) / float64(workers)
+	secs := int(est + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

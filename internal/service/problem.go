@@ -1,0 +1,275 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sophie/internal/core"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/linalg"
+	"sophie/internal/opcm"
+	"sophie/internal/tiling"
+)
+
+// ErrBadSpec tags submission-time validation failures; the HTTP layer
+// maps it to 400. Everything wrapped in it is safe to echo back to the
+// submitter.
+var ErrBadSpec = errors.New("bad job spec")
+
+func specErrorf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+}
+
+// solverKey identifies a preprocessed solver: the problem content plus
+// every preprocessing-affecting config field. Jobs mapping to the same
+// key share one cached solver and differ only through WithRuntime.
+type solverKey struct {
+	problem       string // hex sha256 of the canonical GSET serialization
+	tileSize      int
+	alpha         float64
+	skipTransform bool
+	transformRank int
+	// rankSeed pins the randomness of the rank-limited Lanczos
+	// transform, which draws from Config.Seed; zero when the full
+	// eigendecomposition (rank 0) makes preprocessing deterministic.
+	rankSeed int64
+	device   bool
+}
+
+// resolveSpec validates a submission and resolves it into the job's
+// immutable fields: parsed graph, Ising model, seeds, configs, cache
+// key, and batch options. All failures wrap ErrBadSpec.
+func (m *Manager) resolveSpec(spec JobSpec) (*job, error) {
+	g, err := m.loadGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if g.N() == 0 {
+		return nil, specErrorf("problem graph has no nodes")
+	}
+
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		replicas := spec.Replicas
+		if replicas == 0 {
+			replicas = 1
+		}
+		if replicas < 0 {
+			return nil, specErrorf("negative replica count %d", replicas)
+		}
+		seed := spec.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		seeds = core.SeedRange(seed, replicas)
+	}
+	if len(seeds) > m.cfg.MaxReplicas {
+		return nil, specErrorf("%d replicas exceed the server limit of %d", len(seeds), m.cfg.MaxReplicas)
+	}
+	if spec.TimeoutMS < 0 {
+		return nil, specErrorf("negative timeout_ms %d", spec.TimeoutMS)
+	}
+
+	runCfg, err := buildConfig(spec.Config, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if spec.EarlyStop && runCfg.TargetEnergy == nil {
+		return nil, specErrorf("early_stop requires config.target_energy")
+	}
+
+	// baseCfg is runCfg with the runtime knobs reset to defaults: the
+	// cached solver is built from it, so jobs differing only at runtime
+	// share the preprocessing work. A value copy is safe here — the only
+	// reference-typed fields a fresh buildConfig result carries are the
+	// TargetEnergy pointer (reset below) and the Engine func (shared by
+	// design).
+	baseCfg := runCfg
+	def := core.DefaultConfig()
+	baseCfg.Phi = def.Phi
+	baseCfg.PhiEnd = def.PhiEnd
+	baseCfg.LocalIters = def.LocalIters
+	baseCfg.GlobalIters = def.GlobalIters
+	baseCfg.TileFraction = def.TileFraction
+	baseCfg.SpinUpdate = def.SpinUpdate
+	baseCfg.EvalEvery = def.EvalEvery
+	baseCfg.TargetEnergy = nil
+	baseCfg.ExactRecompute = false
+	baseCfg.Workers = 0
+	if baseCfg.TransformRank == 0 {
+		// Preprocessing ignores the seed without the Lanczos path; pin
+		// it so equal problems hash to equal cache keys.
+		baseCfg.Seed = 0
+	}
+
+	j := &job{
+		spec:    spec,
+		g:       g,
+		model:   ising.FromMaxCut(g),
+		baseCfg: baseCfg,
+		runCfg:  runCfg,
+		seeds:   seeds,
+		key: solverKey{
+			problem:       hashGraph(g),
+			tileSize:      baseCfg.TileSize,
+			alpha:         baseCfg.Alpha,
+			skipTransform: baseCfg.SkipTransform,
+			transformRank: baseCfg.TransformRank,
+			rankSeed:      baseCfg.Seed,
+			device:        baseCfg.Engine != nil,
+		},
+		batchOpts: core.BatchOptions{
+			EarlyStop: spec.EarlyStop,
+		},
+	}
+	if spec.Config.BatchWorkers != nil {
+		j.batchOpts.Workers = *spec.Config.BatchWorkers
+	}
+	if spec.Config.Workers != nil {
+		j.batchOpts.JobWorkers = *spec.Config.Workers
+	}
+	if j.batchOpts.Workers < 0 || j.batchOpts.JobWorkers < 0 {
+		return nil, specErrorf("negative worker counts")
+	}
+	j.timeout = m.cfg.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		j.timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	return j, nil
+}
+
+// loadGraph resolves the problem source: exactly one of inline text, a
+// file under the configured problem directory, or a named preset.
+func (m *Manager) loadGraph(spec JobSpec) (*graph.Graph, error) {
+	sources := 0
+	for _, set := range []bool{spec.Graph != "", spec.GraphFile != "", spec.Preset != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, specErrorf("need exactly one of graph, graph_file, preset (got %d)", sources)
+	}
+	switch {
+	case spec.Graph != "":
+		g, err := graph.Read(strings.NewReader(spec.Graph))
+		if err != nil {
+			return nil, specErrorf("inline graph: %v", err)
+		}
+		return g, nil
+	case spec.Preset != "":
+		switch spec.Preset {
+		case "G1":
+			return graph.G1Standin(), nil
+		case "G22":
+			return graph.G22Standin(), nil
+		case "K100":
+			return graph.KGraph(100), nil
+		default:
+			return nil, specErrorf("unknown preset %q (want G1, G22, or K100)", spec.Preset)
+		}
+	default:
+		if m.cfg.ProblemDir == "" {
+			return nil, specErrorf("graph_file submissions are disabled (server has no problem directory)")
+		}
+		if !filepath.IsLocal(spec.GraphFile) {
+			return nil, specErrorf("graph_file %q must be a relative path inside the problem directory", spec.GraphFile)
+		}
+		f, err := os.Open(filepath.Join(m.cfg.ProblemDir, spec.GraphFile))
+		if err != nil {
+			return nil, specErrorf("graph_file: %v", err)
+		}
+		// Read path: a close error cannot corrupt anything already parsed.
+		defer func() { _ = f.Close() }()
+		g, err := graph.Read(f)
+		if err != nil {
+			return nil, specErrorf("graph_file %q: %v", spec.GraphFile, err)
+		}
+		return g, nil
+	}
+}
+
+// buildConfig folds the overrides onto core.DefaultConfig and validates
+// the result, so a bad config is rejected at admission, not after
+// queueing.
+func buildConfig(o ConfigOverrides, seed int64) (core.Config, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	if o.TileSize != nil {
+		cfg.TileSize = *o.TileSize
+	}
+	if o.LocalIters != nil {
+		cfg.LocalIters = *o.LocalIters
+	}
+	if o.GlobalIters != nil {
+		cfg.GlobalIters = *o.GlobalIters
+	}
+	if o.TileFraction != nil {
+		cfg.TileFraction = *o.TileFraction
+	}
+	if o.Phi != nil {
+		cfg.Phi = *o.Phi
+	}
+	if o.PhiEnd != nil {
+		cfg.PhiEnd = *o.PhiEnd
+	}
+	if o.Alpha != nil {
+		cfg.Alpha = *o.Alpha
+	}
+	if o.SkipTransform != nil {
+		cfg.SkipTransform = *o.SkipTransform
+	}
+	if o.TransformRank != nil {
+		cfg.TransformRank = *o.TransformRank
+	}
+	if o.TargetEnergy != nil {
+		t := *o.TargetEnergy
+		cfg.TargetEnergy = &t
+	}
+	if o.EvalEvery != nil {
+		cfg.EvalEvery = *o.EvalEvery
+	}
+	if o.ExactRecompute != nil {
+		cfg.ExactRecompute = *o.ExactRecompute
+	}
+	if o.Workers != nil {
+		cfg.Workers = *o.Workers
+	}
+	if o.SpinUpdate != nil {
+		switch *o.SpinUpdate {
+		case "", "stochastic":
+			cfg.SpinUpdate = core.SpinUpdateStochastic
+		case "majority":
+			cfg.SpinUpdate = core.SpinUpdateMajority
+		default:
+			return cfg, specErrorf("unknown spin_update %q (want majority or stochastic)", *o.SpinUpdate)
+		}
+	}
+	if o.Device != nil && *o.Device {
+		cfg.Engine = func(tiles []*linalg.Matrix) (tiling.Engine, error) {
+			return opcm.NewEngine(tiles, 0, opcm.DefaultParams())
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, specErrorf("config: %v", err)
+	}
+	return cfg, nil
+}
+
+// hashGraph returns the hex sha256 of the graph's canonical GSET
+// serialization (sorted edge order), the problem component of solver
+// cache keys: equal problems hash equal regardless of input edge order
+// or formatting.
+func hashGraph(g *graph.Graph) string {
+	h := sha256.New()
+	// Write on a hash never fails.
+	_ = graph.Write(h, g)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// HTTP JSON API over a Manager.
+//
+//	POST   /v1/jobs       submit a job (202; 400 bad spec; 429 full + Retry-After; 503 draining)
+//	GET    /v1/jobs       list jobs (results stripped)
+//	GET    /v1/jobs/{id}  job state + result (404 unknown/expired)
+//	DELETE /v1/jobs/{id}  cancel (idempotent; 404 unknown/expired)
+//	GET    /healthz       liveness + basic gauges
+//	GET    /metrics       Stats: counters, merged OpCounts, latency histograms
+//
+// All responses are JSON. Errors use {"error": "..."} with the status
+// code carrying the class.
+
+// maxRequestBytes bounds a submission body; inline graphs of every
+// GSET instance fit comfortably, while a runaway upload cannot exhaust
+// the server.
+const maxRequestBytes = 32 << 20
+
+// NewServer wraps a Manager in its HTTP API.
+func NewServer(m *Manager) http.Handler {
+	s := &server{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return mux
+}
+
+type server struct {
+	m *Manager
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors past the header write are unrecoverable mid-body;
+	// the client sees a truncated response and its JSON decode fails.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429s for
+	// clients that only read bodies.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: fmt.Sprintf("request body: %v", err)})
+		return
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		return
+	}
+	view, err := s.m.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, view)
+	case errors.Is(err, ErrQueueFull):
+		retry := s.m.RetryAfterHint()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfterSeconds: retry})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrBadSpec):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: s.m.List()})
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	view, err := s.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.m.Stats()
+	status := "ok"
+	if st.Draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		QueueDepth    int     `json:"queue_depth"`
+		InFlight      int     `json:"in_flight"`
+	}{Status: status, UptimeSeconds: st.UptimeSeconds, QueueDepth: st.QueueDepth, InFlight: st.InFlight})
+}
+
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Stats())
+}

@@ -1,0 +1,352 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sophie/internal/core"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+)
+
+// testServer wires a Manager behind httptest and cleans both up.
+func testServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(cfg)
+	m.Start()
+	srv := httptest.NewServer(NewServer(m))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _ = m.Shutdown(ctx)
+	})
+	return srv, m
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeInto[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer func() { _ = resp.Body.Close() }()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+func httpWaitState(t *testing.T, base, id string, s State) JobView {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			_ = resp.Body.Close()
+			t.Fatalf("GET job: status %d", resp.StatusCode)
+		}
+		v := decodeInto[JobView](t, resp)
+		if v.State == s {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for job %s to reach %s", id, s)
+	return JobView{}
+}
+
+// TestServerEndToEndBitIdentical is the acceptance path: submit over
+// HTTP, poll to completion, and check the JSON result is bit-identical
+// to a direct core.RunBatch with the same seeds and config.
+func TestServerEndToEndBitIdentical(t *testing.T) {
+	srv, _ := testServer(t, Config{Workers: 2})
+	spec := JobSpec{
+		Graph: inlineGraph(t, 20),
+		Seeds: []int64{11, 12, 13},
+		Config: ConfigOverrides{
+			TileSize:    intp(10),
+			LocalIters:  intp(2),
+			GlobalIters: intp(30),
+		},
+	}
+	resp := postJSON(t, srv.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	sub := decodeInto[JobView](t, resp)
+	if sub.State != StateQueued && sub.State != StateRunning {
+		t.Fatalf("initial state %s", sub.State)
+	}
+	v := httpWaitState(t, srv.URL, sub.ID, StateDone)
+	if v.Result == nil {
+		t.Fatal("done job has no result")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.TileSize = 10
+	cfg.LocalIters = 2
+	cfg.GlobalIters = 30
+	solver, err := core.NewSolver(ising.FromMaxCut(graph.KGraph(20)), cfg)
+	if err != nil {
+		t.Fatalf("direct solver: %v", err)
+	}
+	want, err := solver.RunBatch([]int64{11, 12, 13}, core.BatchOptions{})
+	if err != nil {
+		t.Fatalf("direct batch: %v", err)
+	}
+	if v.Result.BestEnergy != want.BestEnergy {
+		t.Errorf("best energy over HTTP %v, direct %v", v.Result.BestEnergy, want.BestEnergy)
+	}
+	if !bytes.Equal(int8Bytes(v.Result.BestSpins), int8Bytes(want.Best().BestSpins)) {
+		t.Error("best spins over HTTP differ from direct RunBatch")
+	}
+	for i, r := range v.Result.Replicas {
+		if w := want.Results[i]; r.BestEnergy != w.BestEnergy {
+			t.Errorf("replica %d energy over HTTP %v, direct %v", i, r.BestEnergy, w.BestEnergy)
+		}
+	}
+	wantCut := graph.KGraph(20).CutValue(want.Best().BestSpins)
+	if v.Result.BestCut != wantCut {
+		t.Errorf("best cut %v, want %v", v.Result.BestCut, wantCut)
+	}
+}
+
+// TestServerQueueFull429 checks the backpressure path end to end:
+// HTTP 429 with a Retry-After header and a mirrored body hint.
+func TestServerQueueFull429(t *testing.T) {
+	srv, m := testServer(t, Config{Workers: 1, QueueCap: 1})
+	first := decodeInto[JobView](t, postJSON(t, srv.URL+"/v1/jobs", slowSpec(t)))
+	httpWaitState(t, srv.URL, first.ID, StateRunning)
+	second := decodeInto[JobView](t, postJSON(t, srv.URL+"/v1/jobs", slowSpec(t)))
+
+	resp := postJSON(t, srv.URL+"/v1/jobs", slowSpec(t))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full-queue submit status %d, want 429", resp.StatusCode)
+	}
+	retryHeader := resp.Header.Get("Retry-After")
+	if retryHeader == "" {
+		t.Error("429 without Retry-After header")
+	}
+	body := decodeInto[errorBody](t, resp)
+	if body.RetryAfterSeconds < 1 {
+		t.Errorf("retry_after_seconds = %d, want >= 1", body.RetryAfterSeconds)
+	}
+	if fmt.Sprint(body.RetryAfterSeconds) != retryHeader {
+		t.Errorf("header Retry-After %q disagrees with body %d", retryHeader, body.RetryAfterSeconds)
+	}
+	if !strings.Contains(body.Error, "queue full") {
+		t.Errorf("error body %q does not mention the full queue", body.Error)
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		if _, err := m.Cancel(id); err != nil {
+			t.Fatalf("cleanup cancel %s: %v", id, err)
+		}
+	}
+}
+
+// TestServerCancelAndNotFound covers DELETE semantics and 404s.
+func TestServerCancelAndNotFound(t *testing.T) {
+	srv, _ := testServer(t, Config{Workers: 1})
+	sub := decodeInto[JobView](t, postJSON(t, srv.URL+"/v1/jobs", slowSpec(t)))
+	httpWaitState(t, srv.URL, sub.ID, StateRunning)
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status %d, want 200", resp.StatusCode)
+	}
+	_ = resp.Body.Close()
+	httpWaitState(t, srv.URL, sub.ID, StateCancelled)
+
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/jobs/j99999999"},
+		{http.MethodDelete, "/v1/jobs/j99999999"},
+	} {
+		req, err := http.NewRequest(probe.method, srv.URL+probe.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", probe.method, probe.path, err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+		_ = resp.Body.Close()
+	}
+}
+
+// TestServerBadRequests checks spec validation and strict JSON decoding
+// both map to 400.
+func TestServerBadRequests(t *testing.T) {
+	srv, _ := testServer(t, Config{Workers: 1})
+	for name, body := range map[string]string{
+		"unknown field": `{"graph": "x", "bogus_field": 1}`,
+		"not json":      `{{{`,
+		"bad spec":      `{"preset": "G999"}`,
+		"no source":     `{}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		eb := decodeInto[errorBody](t, resp)
+		if eb.Error == "" {
+			t.Errorf("%s: empty error body", name)
+		}
+	}
+}
+
+// TestServerHealthzAndMetrics exercises the observability endpoints
+// through a full job lifecycle.
+func TestServerHealthzAndMetrics(t *testing.T) {
+	srv, m := testServer(t, Config{Workers: 1})
+	sub := decodeInto[JobView](t, postJSON(t, srv.URL+"/v1/jobs", fastSpec(t)))
+	httpWaitState(t, srv.URL, sub.ID, StateDone)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	hz := decodeInto[struct {
+		Status string `json:"status"`
+	}](t, resp)
+	if hz.Status != "ok" {
+		t.Errorf("healthz status %q, want ok", hz.Status)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	st := decodeInto[Stats](t, resp)
+	if st.Submitted != 1 || st.Completed != 1 {
+		t.Errorf("metrics submitted/completed = %d/%d, want 1/1", st.Submitted, st.Completed)
+	}
+	if st.Ops.LocalMVM1b == 0 {
+		t.Error("merged op counts empty after a completed job")
+	}
+	if st.Exec.Count != 1 {
+		t.Errorf("exec histogram count %d, want 1", st.Exec.Count)
+	}
+	if st.QueueWait.Count != 1 {
+		t.Errorf("queue wait histogram count %d, want 1", st.QueueWait.Count)
+	}
+
+	// List strips result payloads.
+	resp, err = http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatalf("GET /v1/jobs: %v", err)
+	}
+	list := decodeInto[struct {
+		Jobs []JobView `json:"jobs"`
+	}](t, resp)
+	if len(list.Jobs) != 1 {
+		t.Fatalf("list has %d jobs, want 1", len(list.Jobs))
+	}
+	if list.Jobs[0].Result != nil {
+		t.Error("list should strip result payloads")
+	}
+
+	// Draining flips healthz.
+	m.StopAdmission()
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz draining: %v", err)
+	}
+	hz = decodeInto[struct {
+		Status string `json:"status"`
+	}](t, resp)
+	if hz.Status != "draining" {
+		t.Errorf("healthz status %q after StopAdmission, want draining", hz.Status)
+	}
+}
+
+// TestServerConcurrentSubmissions hammers the API from several clients
+// at once — primarily a -race exercise over the full stack.
+func TestServerConcurrentSubmissions(t *testing.T) {
+	srv, _ := testServer(t, Config{Workers: 4, QueueCap: 64})
+	const clients = 8
+	base := fastSpec(t)
+	type outcome struct {
+		id  string
+		err error
+	}
+	results := make(chan outcome, clients)
+	// No t.Fatal inside the goroutines: report through the channel.
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			spec := base
+			spec.Seed = int64(100 + c)
+			buf, err := json.Marshal(spec)
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer func() { _ = resp.Body.Close() }()
+			if resp.StatusCode != http.StatusAccepted {
+				results <- outcome{err: fmt.Errorf("client %d: status %d", c, resp.StatusCode)}
+				return
+			}
+			var v JobView
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				results <- outcome{err: fmt.Errorf("client %d: decode: %v", c, err)}
+				return
+			}
+			results <- outcome{id: v.ID}
+		}(c)
+	}
+	var submitted []string
+	for c := 0; c < clients; c++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		submitted = append(submitted, o.id)
+	}
+	for _, id := range submitted {
+		v := httpWaitState(t, srv.URL, id, StateDone)
+		if v.Result == nil {
+			t.Errorf("job %s done without result", id)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Smoke-test the sophied daemon end to end against the real binaries:
+# start it, submit a K100 job over HTTP, poll to completion, check the
+# best cut matches a direct cmd/sophie run with the same seeds and
+# config (the Go test suite proves bit-identity; this proves the shipped
+# binary and HTTP plumbing agree with it), then drain with SIGTERM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mkdir -p bin
+go build -o bin/ ./cmd/sophie ./cmd/sophied
+
+ADDR=127.0.0.1:18462
+./bin/sophied -addr "$ADDR" -workers 2 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null || { echo "daemon never became healthy"; exit 1; }
+
+SPEC='{"preset":"K100","replicas":2,"seed":7,"config":{"tile_size":32,"global_iters":30,"phi":0.2}}'
+ID=$(curl -sf -X POST "http://$ADDR/v1/jobs" -d "$SPEC" | grep -o '"id":"[^"]*"' | cut -d'"' -f4)
+[ -n "$ID" ] || { echo "submission returned no job id"; exit 1; }
+echo "submitted job $ID"
+
+BODY=""
+STATE=""
+for _ in $(seq 1 200); do
+  BODY=$(curl -sf "http://$ADDR/v1/jobs/$ID")
+  STATE=$(echo "$BODY" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)
+  [ "$STATE" = done ] && break
+  if [ "$STATE" = failed ] || [ "$STATE" = cancelled ]; then
+    echo "job ended $STATE: $BODY"
+    exit 1
+  fi
+  sleep 0.1
+done
+[ "$STATE" = done ] || { echo "job never finished (last state: $STATE)"; exit 1; }
+
+SERVICE_CUT=$(echo "$BODY" | grep -o '"best_cut":[0-9.eE+-]*' | head -1 | cut -d: -f2)
+DIRECT_CUT=$(./bin/sophie -preset K100 -tile 32 -global 30 -phi 0.2 -replicas 2 -seed 7 \
+  | sed -n 's/^batch: best cut \([0-9.]*\).*/\1/p')
+echo "service best cut: $SERVICE_CUT, direct best cut: $DIRECT_CUT"
+[ -n "$SERVICE_CUT" ] && [ -n "$DIRECT_CUT" ] || { echo "could not extract cuts"; exit 1; }
+awk -v a="$SERVICE_CUT" -v b="$DIRECT_CUT" 'BEGIN { exit (a == b) ? 0 : 1 }' \
+  || { echo "FAIL: service and direct cuts differ"; exit 1; }
+
+curl -sf "http://$ADDR/metrics" | grep -q '"completed":1' \
+  || { echo "metrics do not report the completed job"; exit 1; }
+
+kill -TERM "$DAEMON"
+if ! wait "$DAEMON"; then
+  echo "daemon exited non-zero on SIGTERM"
+  exit 1
+fi
+trap - EXIT
+echo "PASS: sophied smoke"
