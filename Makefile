@@ -37,11 +37,13 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Regenerates the tracked benchmark baseline (README.md "Benchmarks").
-# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR3.json was
-# produced with the default 2s budget.
+# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR5.json was
+# produced with the default 2s budget. It now carries the trace-spine
+# overhead guard (derived trace_overhead) and the per-phase attribution
+# of one instrumented solve.
 BENCHTIME ?= 2s
 bench-json:
-	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR3.json
+	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR5.json
 
 # End-to-end daemon smoke: real sophied + sophie binaries over HTTP
 # (CI job "sophied-smoke").

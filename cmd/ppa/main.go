@@ -8,6 +8,7 @@
 //	ppa -nodes 16384 -accel 1 -batch 100 -global 50 -tiles 0.74
 //	ppa -nodes 32768 -tile 128 -batch 1000
 //	ppa -nodes 2000 -pes 16 -global 5 -sim -trace   # discrete schedule walk
+//	ppa -nodes 2000 -global 20 -trace               # trace-driven replay of a functional run
 package main
 
 import (
@@ -17,8 +18,12 @@ import (
 	"os"
 
 	"sophie/internal/arch"
+	"sophie/internal/core"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
 	"sophie/internal/sched"
 	"sophie/internal/tiling"
+	"sophie/internal/trace"
 )
 
 func main() {
@@ -28,24 +33,48 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// errWriter funnels all report output through one write-error check: a
+// closed or full stdout (ppa | head, a broken pipe) surfaces as a
+// command error instead of being silently dropped by unchecked Fprintf
+// returns.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+// traceReplayNodeLimit bounds the -trace functional replay: it runs the
+// real solver (with SkipTransform), so very large instances belong to
+// the analytic model or -sim instead.
+const traceReplayNodeLimit = 4096
+
+func run(args []string, stdoutRaw io.Writer) error {
 	fs := flag.NewFlagSet("ppa", flag.ContinueOnError)
 	var (
-		nodes    = fs.Int("nodes", 16384, "Ising problem order")
-		accel    = fs.Int("accel", 1, "number of accelerators")
-		chiplets = fs.Int("chiplets", 4, "OPCM chiplets per accelerator")
-		pes      = fs.Int("pes", 64, "PEs per chiplet")
-		tile     = fs.Int("tile", 64, "tile size")
-		batch    = fs.Int("batch", 100, "jobs per batch")
-		local    = fs.Int("local", 10, "local iterations per global")
-		global   = fs.Int("global", 50, "global iterations")
-		frac     = fs.Float64("tiles", 0.74, "tile selection fraction")
-		sim      = fs.Bool("sim", false, "also walk the concrete schedule (discrete simulation)")
-		trace    = fs.Bool("trace", false, "with -sim: print the round timeline")
+		nodes     = fs.Int("nodes", 16384, "Ising problem order")
+		accel     = fs.Int("accel", 1, "number of accelerators")
+		chiplets  = fs.Int("chiplets", 4, "OPCM chiplets per accelerator")
+		pes       = fs.Int("pes", 64, "PEs per chiplet")
+		tile      = fs.Int("tile", 64, "tile size")
+		batch     = fs.Int("batch", 100, "jobs per batch")
+		local     = fs.Int("local", 10, "local iterations per global")
+		global    = fs.Int("global", 50, "global iterations")
+		frac      = fs.Float64("tiles", 0.74, "tile selection fraction")
+		sim       = fs.Bool("sim", false, "also walk the concrete schedule (discrete simulation)")
+		showTrace = fs.Bool("trace", false, "with -sim: print the round timeline; alone: replay a recorded functional run through the timing model")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stdout := &errWriter{w: stdoutRaw}
 
 	d := arch.Design{
 		Hardware: sched.Hardware{
@@ -125,11 +154,66 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\ndiscrete simulation: total %.4g s, per job %.4g s over %d rounds (analytic %.4g s/job)\n",
 			simRep.TotalTimeS, simRep.TimePerJobS, simRep.Rounds, rep.TimePerJobS)
-		if *trace {
+		if *showTrace {
 			if err := arch.RenderTimeline(stdout, simRep, 50); err != nil {
 				return err
 			}
 		}
+	} else if *showTrace {
+		simRep, best, err := traceReplay(d, *nodes, *tile, *local, *global, *frac)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\ntrace replay: total %.4g s over %d rounds for one job (analytic %.4g s/job), best energy %.6g\n",
+			simRep.TotalTimeS, simRep.Rounds, rep.TimePerJobS, best)
+		if err := arch.RenderTimeline(stdout, simRep, 50); err != nil {
+			return err
+		}
 	}
-	return nil
+	return stdout.err
+}
+
+// traceReplay runs one functional solve of a random MaxCut instance with
+// an execution-trace recorder attached and replays the captured stream
+// through the timing model (arch.SimulateTrace) — timing the pair visits
+// the solver actually made rather than a static plan.
+func traceReplay(d arch.Design, nodes, tile, local, global int, frac float64) (*arch.SimReport, float64, error) {
+	if nodes > traceReplayNodeLimit {
+		return nil, 0, fmt.Errorf("-trace replays a functional run; limited to %d nodes (got %d) — combine with -sim for the static walk", traceReplayNodeLimit, nodes)
+	}
+	grid, err := tiling.NewGrid(nodes, tile)
+	if err != nil {
+		return nil, 0, err
+	}
+	sel := int(float64(grid.PairCount())*frac + 0.5)
+	if sel < 1 {
+		sel = 1
+	}
+	// Ring sized to the whole run: init MVMs plus, per iteration, the
+	// batch and sync events of every selected pair, the per-block
+	// reconciliations, and the handful of phase markers.
+	capacity := grid.PairCount() + global*(2*sel+grid.Tiles+8) + 8
+
+	g, err := graph.Random(nodes, 5*nodes, graph.WeightUnit, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.TileSize = tile
+	cfg.LocalIters = local
+	cfg.GlobalIters = global
+	cfg.TileFraction = frac
+	cfg.SkipTransform = true
+	cfg.Seed = 1
+	rec := trace.NewRecorder(trace.Options{Capacity: capacity})
+	cfg.Tracer = rec
+	res, err := core.Solve(ising.FromMaxCut(g), cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	simRep, err := arch.SimulateTrace(d, rec.Snapshot())
+	if err != nil {
+		return nil, 0, err
+	}
+	return simRep, res.BestEnergy, nil
 }

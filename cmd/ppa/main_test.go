@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -45,5 +46,46 @@ func TestRunInvalidConfig(t *testing.T) {
 	}
 	if err := run([]string{"-tiles", "0"}, &out); err == nil {
 		t.Fatal("invalid fraction must fail")
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "700", "-global", "4", "-trace"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "trace replay") || !strings.Contains(s, "round timeline") {
+		t.Fatalf("trace replay output missing:\n%s", s)
+	}
+}
+
+func TestRunTraceReplayTooLarge(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "16384", "-trace"}, &out); err == nil {
+		t.Fatal("oversized functional replay must be rejected")
+	}
+}
+
+// failAfter errors every write past the first n bytes — a stand-in for
+// a closed pipe under ppa | head.
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errClosed
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errClosed = errors.New("write on closed pipe")
+
+func TestRunReportsWriteErrors(t *testing.T) {
+	if err := run([]string{"-nodes", "2048"}, &failAfter{n: 64}); !errors.Is(err, errClosed) {
+		t.Fatalf("err = %v, want the underlying write error", err)
 	}
 }

@@ -1,11 +1,14 @@
 // Command sophiebench runs the repository's tracked performance
 // benchmarks and emits a machine-readable JSON baseline (schema
-// "sophie-bench/v1"). The committed BENCH_PR3.json snapshots the
+// "sophie-bench/v1"). The committed BENCH_PR5.json snapshots the
 // incremental-datapath speedup on the G22-mini solver workload, the
-// underlying linalg kernel costs, and the batched replica runtime's
-// throughput scaling; CI re-runs the suite with -benchtime=1x as a
-// smoke test and uploads the fresh report as an artifact. See README.md
-// "Benchmarks".
+// underlying linalg kernel costs, the batched replica runtime's
+// throughput scaling, and — since the execution-trace spine — the cost
+// of the trace emitters themselves: a per-phase wall-time attribution
+// of one traced solve plus the derived trace_overhead metrics that
+// guard the "untraced solves pay (almost) nothing" contract. CI re-runs
+// the suite with -benchtime=1x as a smoke test and uploads the fresh
+// report as an artifact. See README.md "Benchmarks".
 package main
 
 import (
@@ -21,18 +24,37 @@ import (
 	"sophie/internal/graph"
 	"sophie/internal/ising"
 	"sophie/internal/linalg"
+	"sophie/internal/trace"
 )
 
 // report is the sophie-bench/v1 JSON document.
 type report struct {
-	Schema     string             `json:"schema"`
-	GoVersion  string             `json:"go_version"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	CPUs       int                `json:"cpus"`
-	Benchtime  string             `json:"benchtime"`
-	Benchmarks []benchmark        `json:"benchmarks"`
-	Derived    map[string]float64 `json:"derived"`
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []benchmark `json:"benchmarks"`
+	// Phases attributes one traced G22-mini solve's wall time to the
+	// execution phases of the trace spine (Options.Timing).
+	Phases  *phaseAttribution  `json:"phases,omitempty"`
+	Derived map[string]float64 `json:"derived"`
+}
+
+// phaseAttribution is the per-phase breakdown of one traced solve.
+type phaseAttribution struct {
+	InitNS      int64   `json:"init_ns"`
+	LocalNS     int64   `json:"local_ns"`
+	GlobalNS    int64   `json:"global_ns"`
+	ReprogramNS int64   `json:"reprogram_ns"`
+	TotalNS     int64   `json:"total_ns"`
+	InitFrac    float64 `json:"init_frac"`
+	LocalFrac   float64 `json:"local_frac"`
+	GlobalFrac  float64 `json:"global_frac"`
+	// Events is how many control-plane events the solve emitted — the
+	// volume behind the trace_overhead derivation.
+	Events int64 `json:"events"`
 }
 
 type benchmark struct {
@@ -44,7 +66,7 @@ type benchmark struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR5.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark budget (Go benchtime syntax, e.g. 2s or 1x)")
 	testing.Init()
 	flag.Parse()
@@ -175,6 +197,77 @@ func run(benchtime, out string) error {
 	record("solver/G22mini-exact", solveBench(exactSolver))
 	record("solver/G22mini-delta", solveBench(deltaSolver))
 
+	// --- Trace spine: the same workload with a live recorder attached
+	// (ring retention + per-job progress subscriber, the sophied
+	// configuration), plus the raw emitter costs. emitsPerOp batches the
+	// nanosecond-scale emits so even a -benchtime=1x run times a
+	// measurable span.
+	tracedCfg := cfg
+	tracedCfg.Tracer = trace.NewRecorder(trace.Options{
+		OnEvent: trace.NewProgress().Observe,
+	})
+	tracedSolver, err := core.NewSolver(model, tracedCfg)
+	if err != nil {
+		return err
+	}
+	record("solver/G22mini-delta-traced", solveBench(tracedSolver))
+
+	emitMeta := trace.Meta{
+		Nodes: 125, TileSize: cfg.TileSize, Tiles: 2, Pairs: 3,
+		LocalIters: cfg.LocalIters, GlobalIters: cfg.GlobalIters,
+	}
+	const emitsPerOp = 4096
+	record("trace/emit-noop", func(b *testing.B) {
+		b.ReportAllocs()
+		run := trace.NewRun(emitMeta, nil)
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < emitsPerOp; j++ {
+				run.LocalBatch(j, j%3, false)
+			}
+		}
+	})
+	record("trace/emit-recorded", func(b *testing.B) {
+		b.ReportAllocs()
+		run := trace.NewRun(emitMeta, trace.NewRecorder(trace.Options{}))
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < emitsPerOp; j++ {
+				run.LocalBatch(j, j%3, false)
+			}
+		}
+	})
+
+	// One instrumented solve gives the per-phase attribution and the
+	// event volume for the overhead derivation.
+	timingRec := trace.NewRecorder(trace.Options{Timing: true})
+	var solveEvents int64
+	countRec := trace.NewRecorder(trace.Options{
+		OnEvent: func(trace.Event) { solveEvents++ },
+	})
+	for _, rec := range []*trace.Recorder{timingRec, countRec} {
+		timed, err := deltaSolver.WithRuntime(func(c *core.Config) { c.Tracer = rec })
+		if err != nil {
+			return err
+		}
+		if _, err := timed.Run(0); err != nil {
+			return err
+		}
+	}
+	ph := timingRec.PhaseTimes()
+	attr := &phaseAttribution{
+		InitNS:      ph.InitNS,
+		LocalNS:     ph.LocalNS,
+		GlobalNS:    ph.GlobalNS,
+		ReprogramNS: ph.ReprogramNS,
+		TotalNS:     ph.TotalNS(),
+		Events:      solveEvents,
+	}
+	if total := float64(attr.TotalNS); total > 0 {
+		attr.InitFrac = float64(ph.InitNS) / total
+		attr.LocalFrac = float64(ph.LocalNS) / total
+		attr.GlobalFrac = float64(ph.GlobalNS) / total
+	}
+	rep.Phases = attr
+
 	// --- Batched replica runtime: 8 replicas of the G22-mini workload
 	// over the shared solver, at 1 batch worker vs one per core. The
 	// derived batch_throughput_scaling is the wall-clock ratio; on a
@@ -208,6 +301,19 @@ func run(benchtime, out string) error {
 	}
 	if par := perOp(fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers())); par > 0 {
 		rep.Derived["batch_throughput_scaling"] = perOp("batch/G22mini-replicas8-w1") / par
+	}
+	// trace_overhead is the no-op emitter tax on an untraced solve: the
+	// events one G22-mini solve emits times the measured cost of one
+	// nil-recorder emit, as a fraction of the solve. The acceptance bar
+	// is 2% (guarded by the package test); the emitter is a fold update
+	// plus one predicted branch, so the honest value sits well under it.
+	if d := perOp("solver/G22mini-delta"); d > 0 && solveEvents > 0 {
+		emitNS := perOp("trace/emit-noop") / emitsPerOp
+		rep.Derived["trace_overhead"] = float64(solveEvents) * emitNS / d
+		// trace_overhead_recording is the full ring-retention cost: the
+		// traced arm (recorder + progress subscriber) relative to the
+		// plain solve.
+		rep.Derived["trace_overhead_recording"] = perOp("solver/G22mini-delta-traced")/d - 1
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

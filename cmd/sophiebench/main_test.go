@@ -30,12 +30,15 @@ func TestRunEmitsValidReport(t *testing.T) {
 		t.Fatalf("unexpected schema %q", rep.Schema)
 	}
 	want := map[string]bool{
-		"linalg/MulVec64":            false,
-		"linalg/MulVecBinary64":      false,
-		"linalg/AccumulateColumn64":  false,
-		"solver/G22mini-exact":       false,
-		"solver/G22mini-delta":       false,
-		"batch/G22mini-replicas8-w1": false,
+		"linalg/MulVec64":             false,
+		"linalg/MulVecBinary64":       false,
+		"linalg/AccumulateColumn64":   false,
+		"solver/G22mini-exact":        false,
+		"solver/G22mini-delta":        false,
+		"solver/G22mini-delta-traced": false,
+		"trace/emit-noop":             false,
+		"trace/emit-recorded":         false,
+		"batch/G22mini-replicas8-w1":  false,
 		fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers()): false,
 	}
 	for _, b := range rep.Benchmarks {
@@ -60,5 +63,38 @@ func TestRunEmitsValidReport(t *testing.T) {
 		if rep.Derived[key] <= 0 {
 			t.Fatalf("derived metric %q missing or non-positive: %v", key, rep.Derived[key])
 		}
+	}
+
+	// The trace spine's acceptance bar: the no-op emitter tax on an
+	// untraced G22-mini solve stays under 2%.
+	overhead, ok := rep.Derived["trace_overhead"]
+	if !ok {
+		t.Fatal("derived metric trace_overhead missing")
+	}
+	if overhead <= 0 || overhead > 0.02 {
+		t.Fatalf("trace_overhead = %v, want in (0, 0.02]", overhead)
+	}
+	if _, ok := rep.Derived["trace_overhead_recording"]; !ok {
+		t.Fatal("derived metric trace_overhead_recording missing")
+	}
+
+	// Phase attribution of the instrumented solve: every phase observed,
+	// fractions summing to ~1 (reprogramming is absent without the
+	// device model).
+	if rep.Phases == nil {
+		t.Fatal("report has no phases attribution")
+	}
+	p := rep.Phases
+	if p.InitNS <= 0 || p.LocalNS <= 0 || p.GlobalNS <= 0 {
+		t.Fatalf("phase attribution has empty phases: %+v", p)
+	}
+	if p.TotalNS != p.InitNS+p.LocalNS+p.GlobalNS+p.ReprogramNS {
+		t.Fatalf("phase total %d does not sum components: %+v", p.TotalNS, p)
+	}
+	if sum := p.InitFrac + p.LocalFrac + p.GlobalFrac; sum < 0.99 || sum > 1.01 {
+		t.Fatalf("phase fractions sum to %v, want ~1: %+v", sum, p)
+	}
+	if p.Events <= 0 {
+		t.Fatalf("phase attribution counted no events: %+v", p)
 	}
 }

@@ -42,7 +42,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit %d: %s", code, stderr.String())
 	}
-	for _, name := range []string{"globalrand", "seedplumb", "floateq", "opcount"} {
+	for _, name := range []string{"globalrand", "seedplumb", "floateq", "opcount", "tracecount"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}

@@ -1,7 +1,7 @@
 // Package analysis implements sophielint's static-analysis suite: a
 // small, dependency-free framework in the style of
 // golang.org/x/tools/go/analysis (which is unavailable offline) plus
-// the four project-specific analyzers that encode SOPHIE's simulation
+// the project-specific analyzers that encode SOPHIE's simulation
 // invariants:
 //
 //   - globalrand: no package-level math/rand state, no *rand.Rand
@@ -18,6 +18,10 @@
 //     subtraction on metrics.OpCounts counters and unsigned
 //     conversions of subtraction-bearing signed arithmetic are
 //     flagged; use metrics.U64 for checked conversions.
+//   - tracecount: metrics.OpCounts fields are written only by
+//     internal/trace's event fold (and internal/metrics itself) —
+//     any other writer forks the accounting away from what replaying
+//     the event stream produces.
 //
 // Findings can be suppressed with a justification comment on the same
 // line (or the line above):
@@ -165,6 +169,7 @@ func Analyzers() []*Analyzer {
 		SeedMixAnalyzer,
 		FloatEqAnalyzer,
 		OpCountAnalyzer,
+		TraceCountAnalyzer,
 	}
 }
 

@@ -27,6 +27,10 @@ func TestOpCount(t *testing.T) {
 	analysistest.Run(t, ".", analysis.OpCountAnalyzer, "opcount")
 }
 
+func TestTraceCount(t *testing.T) {
+	analysistest.Run(t, ".", analysis.TraceCountAnalyzer, "tracecount")
+}
+
 func TestByName(t *testing.T) {
 	suite, err := analysis.ByName("floateq,globalrand")
 	if err != nil {
@@ -41,7 +45,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestSuiteIsComplete(t *testing.T) {
-	want := map[string]bool{"globalrand": true, "seedplumb": true, "seedmix": true, "floateq": true, "opcount": true}
+	want := map[string]bool{"globalrand": true, "seedplumb": true, "seedmix": true, "floateq": true, "opcount": true, "tracecount": true}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

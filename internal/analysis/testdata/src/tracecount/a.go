@@ -1,0 +1,27 @@
+// Package tracecount is golden input for the tracecount analyzer: it
+// plays a package outside internal/trace that writes metrics.OpCounts
+// fields directly instead of emitting events onto the trace spine.
+package tracecount
+
+import "sophie/internal/metrics"
+
+func bad(c *metrics.OpCounts, n int) {
+	c.EOBits += metrics.U64(2 * n) // want `direct write to a metrics.OpCounts field`
+	c.OPCMPrograms++               // want `direct write to a metrics.OpCounts field`
+	c.ADCSamples8b--               // want `direct write to a metrics.OpCounts field`
+	c.GlueOps = 0                  // want `direct write to a metrics.OpCounts field`
+	escape := &c.SRAMReadBits      // want `taking the address of a metrics.OpCounts field`
+	*escape = 7
+}
+
+func suppressed(c *metrics.OpCounts) {
+	//sophielint:ignore tracecount device-lifetime counter outside the per-run fold
+	c.OPCMCellWrites += 128
+}
+
+func good(c *metrics.OpCounts, other metrics.OpCounts) (uint64, metrics.OpCounts) {
+	c.Add(other)            // ok: OpCounts' own merge method
+	reads := c.SRAMReadBits // ok: reads never fork the accounting
+	copied := *c            // ok: whole-struct copy, not a field write
+	return reads, copied
+}

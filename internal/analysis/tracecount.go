@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// TraceCountAnalyzer guards the execution-trace spine: since the PR
+// that made metrics.OpCounts a fold over the trace event stream,
+// internal/trace's fold is the single place op accounting happens.
+// A direct write to an OpCounts field anywhere else (assignment,
+// op-assignment, ++/--) silently forks the accounting — the written
+// counter no longer matches what a replay of the same event stream
+// produces, which breaks trace-driven PPA attribution and the
+// golden-identity contract between Solve and FoldOps.
+//
+// Allowed writers:
+//
+//   - internal/trace (the fold itself) and internal/metrics (OpCounts'
+//     own methods, e.g. Add);
+//   - _test.go files anywhere (tests build expectation literals);
+//   - explicitly justified sites via
+//     //sophielint:ignore tracecount <why> — e.g. the OPCM engine's
+//     device-lifetime counters, which tally across jobs and mirror
+//     their charge onto the spine as KindReprogram events.
+var TraceCountAnalyzer = &Analyzer{
+	Name: "tracecount",
+	Doc:  "flag metrics.OpCounts writes outside internal/trace's event fold",
+	Run:  runTraceCount,
+}
+
+func runTraceCount(pass *Pass) error {
+	if traceCountExemptPkg(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if isOpCountsField(pass, lhs) && !pass.IsTestFile(lhs.Pos()) {
+						pass.Reportf(lhs.Pos(),
+							"direct write to a metrics.OpCounts field outside internal/trace's fold: emit a trace event instead so replayed accounting stays identical")
+					}
+				}
+			case *ast.IncDecStmt:
+				if isOpCountsField(pass, n.X) && !pass.IsTestFile(n.X.Pos()) {
+					pass.Reportf(n.X.Pos(),
+						"direct write to a metrics.OpCounts field outside internal/trace's fold: emit a trace event instead so replayed accounting stays identical")
+				}
+			case *ast.UnaryExpr:
+				// &c.Field handed out of the package would let callers
+				// write around the fold without a flaggable statement
+				// here; taking the address is the escape point.
+				if n.Op == token.AND && isOpCountsField(pass, n.X) && !pass.IsTestFile(n.X.Pos()) {
+					pass.Reportf(n.X.Pos(),
+						"taking the address of a metrics.OpCounts field: the alias can be written outside internal/trace's fold; pass values or emit trace events")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// traceCountExemptPkg reports whether pkg may write OpCounts fields
+// directly: the fold's own package and the metrics package that owns
+// the type. Matched by path suffix so the synthetic testdata package
+// paths used by analysistest resolve the same way real ones do.
+func traceCountExemptPkg(pkg string) bool {
+	return strings.HasSuffix(pkg, "internal/trace") ||
+		strings.HasSuffix(pkg, "internal/metrics") ||
+		pkg == "trace" || pkg == "metrics"
+}

@@ -1,0 +1,164 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"sophie/internal/trace"
+)
+
+// SimulateTrace is the trace-driven sibling of SimulatePlan: instead of
+// walking a statically generated schedule, it replays the event stream
+// of one functional-simulator run (internal/trace) through the same
+// timing model. Where Evaluate prices per-iteration averages and
+// SimulatePlan prices a hypothetical static plan, SimulateTrace prices
+// the pair visits the solver actually executed — so the timing reflects
+// the run's real stochastic selections, early termination, and any
+// workload skew. Rounds are formed by packing each iteration's
+// local-batch events onto the design's PEs in event order, with the
+// same overlap model: compute, synchronization, and (re)programming
+// pipeline against each other and the slowest bounds the round.
+//
+// The recording must hold exactly one complete run captured with the
+// control kinds (trace.ControlKinds) and a ring large enough that no
+// events were dropped. The recording describes one job, so the report's
+// TimePerJobS equals TotalTimeS.
+func SimulateTrace(d Design, rec trace.Recording) (*SimReport, error) {
+	if err := d.Params.validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Hardware.Validate(); err != nil {
+		return nil, err
+	}
+	m := rec.Meta
+	if rec.Runs != 1 {
+		return nil, fmt.Errorf("arch: recording holds %d runs; trace-driven timing replays exactly one", rec.Runs)
+	}
+	if rec.Dropped > 0 {
+		return nil, fmt.Errorf("arch: recording dropped %d events (ring too small for the run); raise trace.Options.Capacity", rec.Dropped)
+	}
+	if m.TileSize != d.Hardware.TileSize {
+		return nil, fmt.Errorf("arch: recording tile size %d != design tile size %d", m.TileSize, d.Hardware.TileSize)
+	}
+	if m.LocalIters <= 0 || m.Pairs <= 0 {
+		return nil, fmt.Errorf("arch: recording carries no run geometry (meta %+v)", m)
+	}
+
+	p := d.Params
+	hw := d.Hardware
+	t := hw.TileSize
+	totalPEs := hw.TotalPEs()
+	accels := float64(hw.Accelerators)
+
+	// One recording is one job's stream: batch of 1 through the PE
+	// pipeline model, same as Evaluate/SimulatePlan with Batch=1.
+	computePerRound := float64(p.PE.ComputeCycles(1, m.LocalIters, false, p.ADC1bCycles, p.ADC8bCycles)) / p.ClockHz
+
+	crossPerIter := 0.0
+	if hw.Accelerators > 1 {
+		paddedN := float64(m.Tiles * m.TileSize)
+		crossBytes := 2 * paddedN / 8 * (accels - 1) / accels
+		crossPerIter = crossBytes/p.BusBandwidthBps + p.DRAMLatencyCrossS
+	}
+
+	// Residency mirrors sched.Generate: when every pair fits, placement
+	// is pinned (pair i on PE i) and arrays are programmed once, in the
+	// fill — pre-seeding the residency table keeps rounds program-free.
+	// Otherwise pairs land on slots in packing order and a slot holding
+	// a different pair reprograms.
+	resident := m.Pairs <= totalPEs
+	residency := make([]int, totalPEs)
+	for i := range residency {
+		residency[i] = -1
+	}
+	if resident {
+		for pe := 0; pe < m.Pairs; pe++ {
+			residency[pe] = pe
+		}
+	}
+
+	rep := &SimReport{}
+	// The fill is Evaluate's: the first programming wave plus staging
+	// DMA for the pool.
+	now := p.ProgramTimeS + float64(totalPEs)*tileBytes(t, p.CellBits)/(p.DRAMBandwidthBps*accels)
+
+	doRound := func(pairs []int) {
+		programs := 0
+		for slot, pair := range pairs {
+			pe := slot
+			if resident {
+				pe = pair
+			}
+			if residency[pe] != pair {
+				residency[pe] = pair
+				programs++
+			}
+		}
+		syncBytes := float64(len(pairs)) * syncBytesPerPairPerJob(t)
+		syncTime := syncBytes/(p.InterposerBandwidthBps*accels) + p.DRAMLatencyLocalS
+		programTime := 0.0
+		if programs > 0 {
+			dma := float64(programs) * tileBytes(t, p.CellBits) / (p.DRAMBandwidthBps * accels)
+			programTime = math.Max(p.ProgramTimeS, dma)
+		}
+		roundTime := math.Max(computePerRound, math.Max(syncTime, programTime))
+		bound := "compute"
+		//sophielint:ignore floateq roundTime is the max of exactly these values, so identity attribution is exact
+		if roundTime == syncTime {
+			bound = "sync"
+			//sophielint:ignore floateq roundTime is the max of exactly these values, so identity attribution is exact
+		} else if roundTime == programTime {
+			bound = "program"
+		}
+		rep.ComputeBusyS += computePerRound
+		rep.SyncBusyS += syncTime
+		rep.ProgramBusyS += programTime
+		if len(rep.Trace) < maxTraceRounds {
+			rep.Trace = append(rep.Trace, RoundTrace{
+				StartS: now, EndS: now + roundTime,
+				Pairs: len(pairs), Programs: programs, Bound: bound,
+			})
+		}
+		now += roundTime
+		rep.Rounds++
+	}
+
+	// Replay: each iteration's local-batch events, in stream order,
+	// packed into rounds of at most TotalPEs pairs.
+	iters := 0
+	var cur []int
+	var curIter int32
+	flush := func() {
+		for start := 0; start < len(cur); start += totalPEs {
+			end := start + totalPEs
+			if end > len(cur) {
+				end = len(cur)
+			}
+			doRound(cur[start:end])
+		}
+		now += crossPerIter
+		rep.CrossAccelS += crossPerIter
+		iters++
+		cur = cur[:0]
+	}
+	for _, ev := range rec.Events {
+		if ev.Kind != trace.KindLocalBatch {
+			continue
+		}
+		if len(cur) > 0 && ev.Iter != curIter {
+			flush()
+		}
+		curIter = ev.Iter
+		cur = append(cur, int(ev.Pair))
+	}
+	if len(cur) > 0 {
+		flush()
+	}
+	if iters == 0 {
+		return nil, fmt.Errorf("arch: recording holds no local-batch events; capture with trace.ControlKinds")
+	}
+
+	rep.TotalTimeS = now
+	rep.TimePerJobS = now // one job per recording
+	return rep, nil
+}

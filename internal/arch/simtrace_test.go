@@ -1,0 +1,166 @@
+package arch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sophie/internal/core"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/sched"
+	"sophie/internal/tiling"
+	"sophie/internal/trace"
+)
+
+// recordSolve runs one functional solve with a control-kind recorder
+// attached and returns the captured recording.
+func recordSolve(t *testing.T, nodes, globalIters int, frac float64, seed int64) trace.Recording {
+	t.Helper()
+	g, err := graph.Random(nodes, 5*nodes, graph.WeightUnit, 977)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SkipTransform = true
+	cfg.GlobalIters = globalIters
+	cfg.TileFraction = frac
+	cfg.Seed = seed
+	rec := trace.NewRecorder(trace.Options{Capacity: 1 << 17})
+	cfg.Tracer = rec
+	if _, err := core.Solve(ising.FromMaxCut(g), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Snapshot()
+}
+
+// On a uniform resident workload (every pair selected every iteration,
+// one round per iteration) the replayed stream walks exactly the
+// schedule Evaluate prices analytically, so the two must agree closely
+// — the acceptance bound is 1%.
+func TestSimulateTraceAgreesWithEvaluate(t *testing.T) {
+	const nodes, globalIters = 800, 12
+	snap := recordSolve(t, nodes, globalIters, 1.0, 41)
+	d := DefaultDesign()
+	sim, err := SimulateTrace(d, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(d, Workload{
+		Nodes: nodes, Batch: 1, LocalIters: snap.Meta.LocalIters,
+		GlobalIters: globalIters, TileFraction: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedule.Resident {
+		t.Fatalf("test premise broken: workload not resident on %d PEs", d.Hardware.TotalPEs())
+	}
+	diff := math.Abs(sim.TotalTimeS-rep.TimeTotalS) / rep.TimeTotalS
+	if diff > 0.01 {
+		t.Fatalf("trace-driven total %.6g s vs analytic %.6g s: %.2f%% apart, want <= 1%%",
+			sim.TotalTimeS, rep.TimeTotalS, 100*diff)
+	}
+	if sim.Rounds != globalIters {
+		t.Fatalf("replayed %d rounds, want %d (one per iteration when resident)", sim.Rounds, globalIters)
+	}
+	for _, rt := range sim.Trace {
+		if rt.Programs != 0 {
+			t.Fatalf("resident replay reprogrammed %d arrays in a round", rt.Programs)
+		}
+	}
+}
+
+// Stochastic selection visits fewer pairs per iteration; the replayed
+// timing must price the actual visits, never more than the uniform run.
+func TestSimulateTraceStochasticCheaperThanUniform(t *testing.T) {
+	const nodes, globalIters = 800, 10
+	d := DefaultDesign()
+	full, err := SimulateTrace(d, recordSolve(t, nodes, globalIters, 1.0, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := SimulateTrace(d, recordSolve(t, nodes, globalIters, 0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.SyncBusyS >= full.SyncBusyS {
+		t.Fatalf("half selection sync busy %.3g s >= full selection %.3g s", part.SyncBusyS, full.SyncBusyS)
+	}
+	if part.TotalTimeS > full.TotalTimeS {
+		t.Fatalf("half selection total %.3g s > full selection %.3g s", part.TotalTimeS, full.TotalTimeS)
+	}
+}
+
+func TestSimulateTraceValidation(t *testing.T) {
+	snap := recordSolve(t, 256, 3, 1.0, 5)
+	d := DefaultDesign()
+
+	bad := snap
+	bad.Runs = 2
+	if _, err := SimulateTrace(d, bad); err == nil {
+		t.Fatal("accepted a recording holding two runs")
+	}
+
+	bad = snap
+	bad.Dropped = 1
+	if _, err := SimulateTrace(d, bad); err == nil {
+		t.Fatal("accepted a recording with dropped events")
+	}
+
+	mism := d
+	mism.Hardware.TileSize = 128
+	if _, err := SimulateTrace(mism, snap); err == nil {
+		t.Fatal("accepted a tile-size mismatch")
+	}
+
+	empty := snap
+	empty.Events = nil
+	if _, err := SimulateTrace(d, empty); err == nil {
+		t.Fatal("accepted a recording without local-batch events")
+	}
+}
+
+// Property (satellite): SimulatePlan's reported total is exactly the
+// fill plus the sum of its per-round spans plus the cross-accelerator
+// reconciliation time, for any design whose schedule fits the retained
+// trace — the walk and its trace never drift apart.
+func TestSimulatePlanTotalsMatchTraceProperty(t *testing.T) {
+	f := func(accelRaw, pesRaw, fracRaw, itersRaw uint8) bool {
+		hw := sched.DefaultHardware()
+		hw.Accelerators = 1 + int(accelRaw)%3
+		hw.PEsPerChiplet = 4 + int(pesRaw)%16
+		frac := 0.3 + float64(fracRaw%70)/100
+		iters := 2 + int(itersRaw)%6
+		d := Design{Hardware: hw, Params: DefaultParams()}
+
+		grid, err := tiling.NewGrid(1500, hw.TileSize)
+		if err != nil {
+			return false
+		}
+		plan, err := sched.Generate(grid, hw, sched.Options{
+			GlobalIters: iters, TileFraction: frac, Seed: 23,
+		})
+		if err != nil {
+			return false
+		}
+		w := Workload{Nodes: 1500, Batch: 4, LocalIters: 10, GlobalIters: iters, TileFraction: frac}
+		sim, err := SimulatePlan(d, plan, w)
+		if err != nil {
+			return false
+		}
+		if sim.Rounds != len(sim.Trace) {
+			// The property only holds when every round was retained.
+			return sim.Rounds > maxTraceRounds
+		}
+		sum := d.Params.ProgramTimeS
+		for _, rt := range sim.Trace {
+			sum += rt.EndS - rt.StartS
+		}
+		sum += sim.CrossAccelS
+		return math.Abs(sum-sim.TotalTimeS) <= 1e-9*math.Max(1, sim.TotalTimeS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"sophie/internal/linalg"
 	"sophie/internal/tiling"
+	"sophie/internal/trace"
 )
 
 // SpinUpdate selects how global synchronization reconciles the per-tile
@@ -124,6 +125,17 @@ type Config struct {
 	// round). 0 selects the default of 16. Ignored on the reference
 	// path.
 	DeltaRefreshEvery int
+	// Tracer, when non-nil, receives the run's execution events
+	// (internal/trace): iteration structure, the op-bearing batch events
+	// op accounting is folded from, and — when the recorder's kind mask
+	// includes device kinds — sampled device-plane events from engines
+	// implementing tiling.TraceSink. Tracing consumes no randomness, so
+	// a run's trajectory and Result are bit-identical with a recorder
+	// attached or not; a nil Tracer costs one predicted branch per event
+	// site. The recorder is concurrency-safe, and batched replicas share
+	// it: per-job attribution installs distinct recorders via
+	// WithRuntime.
+	Tracer *trace.Recorder
 	// Engine overrides the MVM datapath; nil uses the ideal engine.
 	Engine EngineFactory
 	// InitialSpins optionally fixes the starting ±1 state for every job
@@ -215,7 +227,8 @@ func (c *Config) deltaRefresh() int {
 // solvers must not share it with their parent); TargetEnergy is copied
 // so re-pointing or rewriting the caller's float64 cannot retroactively
 // change a solver's stopping rule. Engine and OnGlobalIteration are
-// immutable function values and are shared as-is.
+// immutable function values and are shared as-is; Tracer is shared as-is
+// too — a batch's replicas deliberately feed one recorder.
 func (c *Config) clone() Config {
 	out := *c
 	if c.InitialSpins != nil {

@@ -12,6 +12,7 @@ import (
 	"sophie/internal/metrics"
 	"sophie/internal/pris"
 	"sophie/internal/tiling"
+	"sophie/internal/trace"
 )
 
 // Solver holds the preprocessed state for a SOPHIE solve: the tiled
@@ -109,8 +110,8 @@ func NewSolver(m *ising.Model, cfg Config) (*Solver, error) {
 // (transform, tiles, engine) but with runtime-only configuration changes
 // applied — the knobs a parameter sweep varies without re-running the
 // O(n³) preprocessing: Phi, LocalIters, GlobalIters, TileFraction,
-// SpinUpdate, EvalEvery, TargetEnergy, RecordTrace, Workers, Seed,
-// InitialSpins, ExactRecompute, DeltaRefreshEvery. Changing a
+// SpinUpdate, EvalEvery, TargetEnergy, RecordTrace, Tracer, Workers,
+// Seed, InitialSpins, ExactRecompute, DeltaRefreshEvery. Changing a
 // preprocessing-affecting field (TileSize, Alpha, SkipTransform,
 // Engine) is rejected.
 func (s *Solver) WithRuntime(modify func(cfg *Config)) (*Solver, error) {
@@ -307,24 +308,55 @@ func (s *runContext) run(seed int64) (*Result, error) {
 	}
 	pIdx := func(i, j int) int { return i*grid.Tiles + j }
 
+	// Execution-trace spine (internal/trace): every hardware-visible
+	// operation of this run is emitted as an event, and Result.Ops is the
+	// fold of that stream — one accounting definition serves the live
+	// counters, the recorder's replay consumers, and trace-driven PPA.
+	// With no recorder attached (cfg.Tracer nil) the Run reduces to the
+	// fold arithmetic alone. Tracing consumes no randomness: the run's
+	// trajectory is bit-identical with a recorder attached or not.
+	run := trace.NewRun(trace.Meta{
+		Nodes:        s.model.N(),
+		TileSize:     t,
+		Tiles:        grid.Tiles,
+		Pairs:        nPairs,
+		LocalIters:   cfg.LocalIters,
+		GlobalIters:  cfg.GlobalIters,
+		TileFraction: cfg.TileFraction,
+		Stochastic:   cfg.SpinUpdate == SpinUpdateStochastic,
+		Seed:         seed,
+		Device:       s.quant != nil,
+	}, cfg.Tracer)
+	if run.WantsDeviceEvents() {
+		// The per-job engine view tags device-plane events (sampled MVMs,
+		// reprogramming) when it can. For session engines this attaches
+		// the job's own session, so sibling jobs stay untraced; the ideal
+		// engine has no device plane and implements no sink.
+		if sink, ok := s.eng.(tiling.TraceSink); ok {
+			sink.AttachTrace(run.Recorder())
+		}
+	}
+
 	// Initialize the partial-sum table exactly, as the host does when it
 	// transfers initial buffer contents (Section III-E). A diagonal pair
 	// executes (and is charged) one MVM; an off-diagonal pair two.
 	var res Result
+	defer func() {
+		run.End()
+		res.Ops = run.Ops()
+	}()
 	buf := make([]float64, t)
 	for _, p := range s.pairs {
 		pi := grid.PairIndex(p.Row, p.Col)
 		s.eng.Mul(pi, false, grid.Block(sGlobal, p.Col), buf)
 		copy(partial[pIdx(p.Row, p.Col)], buf)
 		if p.IsDiagonal() {
-			res.Ops.LocalMVM8b++
-			res.Ops.ADCSamples8b += uint64(t)
+			run.InitMVM(pi, true)
 			continue
 		}
 		s.eng.Mul(pi, true, grid.Block(sGlobal, p.Row), buf)
 		copy(partial[pIdx(p.Col, p.Row)], buf)
-		res.Ops.LocalMVM8b += 2
-		res.Ops.ADCSamples8b += metrics.U64(2 * t)
+		run.InitMVM(pi, false)
 	}
 
 	// The incremental datapath engages when the engine supports delta
@@ -371,6 +403,13 @@ func (s *runContext) run(seed int64) (*Result, error) {
 	if useDelta {
 		tracker = newEnergyTracker(s.model, res.BestSpins, res.BestEnergy, s.exactEnergy)
 	}
+	// Flip accounting for KindEnergy events costs an O(n) diff per
+	// evaluation, so the previous-evaluation state is only kept when a
+	// recorder actually retains energy events.
+	var prevEval []int8
+	if run.WantsEnergyDetail() {
+		prevEval = append([]int8(nil), res.BestSpins...)
+	}
 	// Reconciliation scratch, reused across global iterations (the
 	// inner per-block slices keep their capacity between rounds).
 	copies := make([][][]float64, grid.Tiles)
@@ -414,6 +453,8 @@ func (s *runContext) run(seed int64) (*Result, error) {
 		}()
 	}
 
+	run.InitDone()
+
 	// Geometric noise annealing schedule (constant when PhiEnd is 0).
 	phiAt := func(g int) float64 {
 		//sophielint:ignore floateq exact equality of two user-set config values selects the constant-noise fast path
@@ -454,6 +495,7 @@ func (s *runContext) run(seed int64) (*Result, error) {
 			ctrl.Shuffle(nPairs, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 			selected = append(selected, perm[:selectCount]...)
 		}
+		run.GlobalStart(g, len(selected), phi)
 
 		// --- Load phase: each selected pair copies its spin blocks and
 		// rebuilds its offset vectors from the partial-sum table.
@@ -475,8 +517,7 @@ func (s *runContext) run(seed int64) (*Result, error) {
 				}
 			}
 		}
-		res.Ops.GlueOps += metrics.U64(len(selected) * 2 * (grid.Tiles - 1) * t)
-		res.Ops.SRAMWriteBits += metrics.U64(len(selected) * 2 * t * (1 + 8)) // spins + offsets
+		run.LoadDone(g, len(selected))
 
 		// --- Local iterations: dispatch the selected pairs to the
 		// long-lived PE pool and wait for the round to finish.
@@ -487,25 +528,13 @@ func (s *runContext) run(seed int64) (*Result, error) {
 		round.Wait()
 
 		for _, pi := range selected {
-			p := s.pairs[pi]
-			if p.IsDiagonal() {
-				res.Ops.LocalMVM1b += metrics.U64(cfg.LocalIters - 1)
-				res.Ops.LocalMVM8b++
-				res.Ops.ADCSamples1b += metrics.U64((cfg.LocalIters - 1) * t)
-				res.Ops.ADCSamples8b += uint64(t)
-				res.Ops.EOBits += metrics.U64(cfg.LocalIters * t)
-			} else {
-				res.Ops.LocalMVM1b += metrics.U64(2*cfg.LocalIters - 2)
-				res.Ops.LocalMVM8b += 2
-				res.Ops.ADCSamples1b += metrics.U64((2*cfg.LocalIters - 2) * t)
-				res.Ops.ADCSamples8b += metrics.U64(2 * t)
-				res.Ops.EOBits += metrics.U64(2 * cfg.LocalIters * t)
-			}
+			run.LocalBatch(g, pi, s.pairs[pi].IsDiagonal())
 		}
+		run.LocalDone(g)
 
 		// --- Global synchronization (controller).
-		s.synchronize(states, selected, sGlobal, partial, pIdx, ctrl, rowSum, copies, &res.Ops)
-		res.Ops.GlobalSyncs++
+		s.synchronize(states, selected, sGlobal, partial, pIdx, ctrl, rowSum, copies, g, run)
+		run.SyncBarrier(g)
 
 		res.GlobalItersRun = g
 		res.TotalLocalIters = g * cfg.LocalIters
@@ -519,13 +548,24 @@ func (s *runContext) run(seed int64) (*Result, error) {
 			} else {
 				e = s.model.Energy(evalSpins)
 			}
-			if e < res.BestEnergy {
+			improved := e < res.BestEnergy
+			if improved {
 				res.BestEnergy = e
 				res.BestGlobalIter = g
 				copy(res.BestSpins, evalSpins)
 			}
 			if cfg.RecordTrace {
 				res.Trace = append(res.Trace, res.BestEnergy)
+			}
+			if prevEval != nil {
+				flips := 0
+				for i, v := range evalSpins {
+					if v != prevEval[i] {
+						flips++
+					}
+				}
+				copy(prevEval, evalSpins)
+				run.Energy(g, res.BestEnergy, flips, improved)
 			}
 			if cfg.OnGlobalIteration != nil {
 				cfg.OnGlobalIteration(g, res.BestEnergy)
@@ -535,6 +575,7 @@ func (s *runContext) run(seed int64) (*Result, error) {
 				return &res, nil
 			}
 		}
+		run.GlobalEnd(g)
 	}
 	return &res, nil
 }
@@ -762,13 +803,15 @@ func (s *runContext) quantizeReadout(v []float64) {
 // when non-nil, is the fast path's running row-sum cache over the
 // partial-sum table and is patched in place as new partials land.
 // copies is per-Run reconciliation scratch (one bucket per block) whose
-// inner slices are reused across global iterations.
+// inner slices are reused across global iterations. The trace run
+// receives one KindSyncPair event per published pair (carrying the
+// pair's publish and gather traffic) and one KindSyncBlock per
+// reconciled block.
 func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []float64,
 	partial [][]float64, pIdx func(int, int) int, ctrl *rand.Rand,
-	rowSum [][]float64, copies [][][]float64, ops *metrics.OpCounts) {
+	rowSum [][]float64, copies [][][]float64, g int, run *trace.Run) {
 
 	grid := s.grid
-	t := s.cfg.TileSize
 
 	// Publish partial sums. The row-sum cache absorbs the difference
 	// between the new and previously published partial before the copy
@@ -789,11 +832,11 @@ func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []floa
 		if !p.IsDiagonal() {
 			publish(p.Col, partial[pIdx(p.Col, p.Row)], st.pColRow)
 		}
-		ops.SRAMReadBits += metrics.U64(2 * t * 8)
-		ops.DRAMWriteBits += metrics.U64(2 * t * 8)
+		run.SyncPair(g, pi)
 	}
 
-	// Gather spin copies per block into the reused scratch buckets.
+	// Gather spin copies per block into the reused scratch buckets (the
+	// gather traffic is carried by the pair's KindSyncPair event above).
 	for b := range copies {
 		copies[b] = copies[b][:0]
 	}
@@ -804,8 +847,6 @@ func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []floa
 		if !p.IsDiagonal() {
 			copies[p.Col] = append(copies[p.Col], st.xCol)
 		}
-		ops.SRAMReadBits += metrics.U64(2 * t)
-		ops.DRAMWriteBits += metrics.U64(2 * t)
 	}
 
 	// Reconcile and broadcast.
@@ -818,7 +859,6 @@ func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []floa
 		switch s.cfg.SpinUpdate {
 		case SpinUpdateStochastic:
 			copy(dst, cs[ctrl.Intn(len(cs))])
-			ops.GlueOps += uint64(t)
 		default: // majority of all copies
 			for i := range dst {
 				sum := 0.0
@@ -831,9 +871,8 @@ func (s *Solver) synchronize(states []*pairState, selected []int, sGlobal []floa
 					dst[i] = 0
 				}
 			}
-			ops.GlueOps += metrics.U64(t * len(cs))
 		}
-		ops.DRAMReadBits += metrics.U64(t * len(cs)) // broadcast back to tiles
+		run.SyncBlock(g, b, len(cs))
 	}
 }
 

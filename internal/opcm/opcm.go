@@ -16,9 +16,11 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"sophie/internal/linalg"
 	"sophie/internal/metrics"
+	"sophie/internal/trace"
 )
 
 // Params configures the device model.
@@ -79,6 +81,7 @@ type Engine struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
 	counts metrics.OpCounts
+	rec    *trace.Recorder // reprogramming events, when attached (guarded by mu)
 
 	scratch sync.Pool // *[]float64 buffers for the negative sub-array product
 }
@@ -143,10 +146,27 @@ func (e *Engine) quantizeCell(v float64) float64 {
 	return q / steps * e.scale
 }
 
+// AttachTrace implements tiling.TraceSink for the engine itself:
+// subsequent array (re)programming emits trace.KindReprogram events
+// into rec and charges the measured span to the reprogramming phase.
+// Per-MVM device events are session-scoped (Session.AttachTrace) so
+// that concurrent jobs sharing the programmed arrays attribute their
+// own MVMs; reprogramming mutates the shared arrays and is therefore
+// engine-scoped.
+func (e *Engine) AttachTrace(rec *trace.Recorder) {
+	e.mu.Lock()
+	e.rec = rec
+	e.mu.Unlock()
+}
+
 // program writes tile p. Faults are drawn fresh on every programming.
 func (e *Engine) program(p int, tile *linalg.Matrix) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var begin time.Time
+	if e.rec != nil {
+		begin = time.Now()
+	}
 	pos := linalg.NewMatrix(e.size, e.size)
 	neg := linalg.NewMatrix(e.size, e.size)
 	steps := float64(e.levels() - 1)
@@ -175,8 +195,18 @@ func (e *Engine) program(p int, tile *linalg.Matrix) {
 	}
 	e.pos[p] = pos
 	e.neg[p] = neg
+	// Device-owned lifetime counters: they tally programming across every
+	// job and engine user, unlike the per-run fold in internal/trace, and
+	// the KindReprogram event below carries the same charge onto the
+	// event spine for traced flows.
+	//sophielint:ignore tracecount device-lifetime counter, mirrored by the KindReprogram event
 	e.counts.OPCMPrograms++
+	//sophielint:ignore tracecount device-lifetime counter, mirrored by the KindReprogram event
 	e.counts.OPCMCellWrites += metrics.U64(2 * e.size * e.size) // pos + neg sub-arrays
+	if e.rec != nil {
+		e.rec.Device(trace.Event{Kind: trace.KindReprogram, Pair: int32(p), N: int64(2 * e.size * e.size)})
+		e.rec.AddReprogramTime(time.Since(begin))
+	}
 }
 
 // Reprogram overwrites the array at pair index p with a new tile. This is

@@ -6,6 +6,7 @@ import (
 
 	"sophie/internal/metrics"
 	"sophie/internal/tiling"
+	"sophie/internal/trace"
 )
 
 // Job-scoped device state (tiling.SessionEngine).
@@ -62,6 +63,10 @@ type Session struct {
 	mvms   atomic.Uint64
 	noise  atomic.Uint64
 	quants atomic.Uint64
+	// rec, when attached, receives sampled device-plane events
+	// (trace.KindDeviceMVM). Written once before the session serves MVMs
+	// (tiling.TraceSink contract), read by the PE workers afterwards.
+	rec *trace.Recorder
 }
 
 // sessionMix is the splitmix64 finalizer (same mixer the solver's seed
@@ -106,6 +111,9 @@ func (e *DriftEngine) Session(seed int64) tiling.Engine { return newSession(e, s
 func (s *Session) Mul(p int, transposed bool, x, y []float64) {
 	s.dev.mulRaw(p, transposed, x, y)
 	s.mvms.Add(1)
+	if s.rec != nil {
+		s.rec.Device(trace.Event{Kind: trace.KindDeviceMVM, Pair: int32(p), Flag: transposed})
+	}
 	eng := s.dev.base()
 	if eng.params.ReadNoise > 0 {
 		fs := eng.fullScaleOutput()
@@ -129,6 +137,12 @@ func (s *Session) TileSize() int { return s.dev.base().TileSize() }
 
 // Pairs implements tiling.Engine.
 func (s *Session) Pairs() int { return s.dev.base().Pairs() }
+
+// AttachTrace implements tiling.TraceSink: subsequent MVMs on this
+// session emit sampled trace.KindDeviceMVM events into rec. The
+// attachment is session-local — the shared engine behind the session is
+// untouched, so sibling jobs stay untraced.
+func (s *Session) AttachTrace(rec *trace.Recorder) { s.rec = rec }
 
 // Counts returns the operations attributed to this session so far.
 func (s *Session) Counts() SessionCounts {

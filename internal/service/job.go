@@ -8,6 +8,7 @@ import (
 	"sophie/internal/graph"
 	"sophie/internal/ising"
 	"sophie/internal/metrics"
+	"sophie/internal/trace"
 )
 
 // State is a job's lifecycle position: queued → running → done |
@@ -111,21 +112,31 @@ type job struct {
 	timedOut        bool
 	err             error
 	result          *core.BatchResult
+	// progress reduces the job's execution-trace events while it runs
+	// (internal/trace.Progress); the pointer is installed at the
+	// queued→running transition under Manager.mu and the reducer itself
+	// is internally synchronized.
+	progress *trace.Progress
 }
 
 // JobView is the JSON face of a job (GET /v1/jobs/{id}).
 type JobView struct {
-	ID              string      `json:"id"`
-	State           State       `json:"state"`
-	SubmittedAt     time.Time   `json:"submitted_at"`
-	StartedAt       *time.Time  `json:"started_at,omitempty"`
-	FinishedAt      *time.Time  `json:"finished_at,omitempty"`
-	Replicas        int         `json:"replicas"`
-	Seeds           []int64     `json:"seeds"`
-	TimedOut        bool        `json:"timed_out,omitempty"`
-	CancelRequested bool        `json:"cancel_requested,omitempty"`
-	Error           string      `json:"error,omitempty"`
-	Result          *ResultView `json:"result,omitempty"`
+	ID              string     `json:"id"`
+	State           State      `json:"state"`
+	SubmittedAt     time.Time  `json:"submitted_at"`
+	StartedAt       *time.Time `json:"started_at,omitempty"`
+	FinishedAt      *time.Time `json:"finished_at,omitempty"`
+	Replicas        int        `json:"replicas"`
+	Seeds           []int64    `json:"seeds"`
+	TimedOut        bool       `json:"timed_out,omitempty"`
+	CancelRequested bool       `json:"cancel_requested,omitempty"`
+	Error           string     `json:"error,omitempty"`
+	// Progress reports live execution state while the job runs — the
+	// furthest evaluated global iteration, best-so-far energy, and flip
+	// throughput, reduced from the job's execution-trace stream. Absent
+	// on queued and terminal jobs (terminal jobs carry Result instead).
+	Progress *trace.ProgressSnapshot `json:"progress,omitempty"`
+	Result   *ResultView             `json:"result,omitempty"`
 }
 
 // ResultView is the JSON rendering of a finished (or partially
@@ -177,6 +188,10 @@ func (m *Manager) viewLocked(j *job) JobView {
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()
+	}
+	if j.state == StateRunning && j.progress != nil {
+		ps := j.progress.Snapshot()
+		v.Progress = &ps
 	}
 	if j.result != nil {
 		v.Result = resultView(j.g, j.seeds, j.result)

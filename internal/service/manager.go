@@ -23,6 +23,7 @@ import (
 
 	"sophie/internal/core"
 	"sophie/internal/metrics"
+	"sophie/internal/trace"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -271,6 +272,19 @@ func (m *Manager) next() *job {
 // fetch the cached solver, run the batch under the job's context, and
 // record the terminal state.
 func (m *Manager) execute(j *job) {
+	// Per-job progress: a fresh recorder subscribed to this job's run
+	// boundaries and energy evaluations feeds a streaming reducer, so
+	// GET /v1/jobs/{id} reports live state while the batch executes.
+	// Tracing consumes no randomness, so the determinism contract is
+	// untouched; the recorder is installed through WithRuntime below,
+	// leaving the cached solver's config pristine for sibling jobs.
+	prog := trace.NewProgress()
+	rec := trace.NewRecorder(trace.Options{
+		Capacity: 4096,
+		Kinds:    trace.KindRunStart.Mask() | trace.KindRunEnd.Mask() | trace.KindEnergy.Mask(),
+		OnEvent:  prog.Observe,
+	})
+
 	m.mu.Lock()
 	if j.state != StateQueued {
 		m.mu.Unlock()
@@ -278,6 +292,7 @@ func (m *Manager) execute(j *job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.progress = prog
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if j.timeout > 0 {
@@ -296,7 +311,10 @@ func (m *Manager) execute(j *job) {
 	var res *core.BatchResult
 	if err == nil {
 		var runner *core.Solver
-		runner, err = solver.WithRuntime(func(c *core.Config) { *c = j.runCfg })
+		runner, err = solver.WithRuntime(func(c *core.Config) {
+			*c = j.runCfg
+			c.Tracer = rec
+		})
 		if err == nil {
 			res, err = runner.RunBatchCtx(ctx, j.seeds, j.batchOpts)
 		}

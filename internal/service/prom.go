@@ -1,0 +1,121 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"sophie/internal/metrics"
+)
+
+// Prometheus text exposition (version 0.0.4) of the service Stats.
+// GET /metrics negotiates the format: an Accept header naming
+// text/plain, or ?format=prom, selects this rendering; the default
+// stays the JSON Stats payload sophied has always served. Histograms
+// render as conventional cumulative _bucket series with _sum and
+// _count, so the latency quantiles graph directly in Prometheus.
+
+// promWriter accumulates exposition lines and the first write error.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// metric emits the HELP/TYPE header and one unlabelled sample.
+func (p *promWriter) metric(name, typ, help string, value float64) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, formatPromValue(value))
+}
+
+// histogram emits a conventional cumulative histogram: one _bucket
+// sample per bound (le is inclusive), the +Inf bucket, then _sum and
+// _count.
+func (p *promWriter) histogram(name, help string, s metrics.HistogramSnapshot) {
+	p.printf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		p.printf("%s_bucket{le=%q} %d\n", name, formatPromValue(bound), cum)
+	}
+	// Anything beyond the last bound lands in +Inf.
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	p.printf("%s_sum %s\n%s_count %d\n", name, formatPromValue(s.Sum), name, s.Count)
+}
+
+// formatPromValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeProm(w io.Writer, s Stats) error {
+	p := &promWriter{w: w}
+
+	p.metric("sophied_uptime_seconds", "gauge", "Seconds since the service started.", s.UptimeSeconds)
+	p.metric("sophied_queue_depth", "gauge", "Jobs waiting in the admission queue.", float64(s.QueueDepth))
+	p.metric("sophied_queue_capacity", "gauge", "Admission queue capacity.", float64(s.QueueCap))
+	p.metric("sophied_in_flight_jobs", "gauge", "Jobs currently executing.", float64(s.InFlight))
+	p.metric("sophied_workers", "gauge", "Configured executor workers.", float64(s.Workers))
+	p.metric("sophied_draining", "gauge", "1 while admission is closed for shutdown.", boolGauge(s.Draining))
+	p.metric("sophied_jobs_tracked", "gauge", "Jobs resident in the result store.", float64(s.JobsTracked))
+
+	p.metric("sophied_jobs_submitted_total", "counter", "Jobs accepted by the admission queue.", float64(s.Submitted))
+	p.metric("sophied_jobs_rejected_total", "counter", "Submissions rejected (queue full or draining).", float64(s.Rejected))
+	p.metric("sophied_jobs_completed_total", "counter", "Jobs that reached done.", float64(s.Completed))
+	p.metric("sophied_jobs_failed_total", "counter", "Jobs that reached failed.", float64(s.Failed))
+	p.metric("sophied_jobs_cancelled_total", "counter", "Jobs cancelled by users or drain.", float64(s.Cancelled))
+	p.metric("sophied_jobs_timed_out_total", "counter", "Jobs cut short by their deadline.", float64(s.TimedOut))
+
+	p.metric("sophied_solver_cache_entries", "gauge", "Preprocessed solvers resident in the cache.", float64(s.SolverCache.Entries))
+	p.metric("sophied_solver_cache_hits_total", "counter", "Solver cache hits.", float64(s.SolverCache.Hits))
+	p.metric("sophied_solver_cache_misses_total", "counter", "Solver cache misses (preprocessing runs).", float64(s.SolverCache.Misses))
+
+	for _, op := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"sophied_ops_local_mvm_1b_total", "Local-iteration MVMs read through the 1-bit ADC.", s.Ops.LocalMVM1b},
+		{"sophied_ops_local_mvm_8b_total", "Final local-iteration MVMs read through the 8-bit ADC.", s.Ops.LocalMVM8b},
+		{"sophied_ops_opcm_programs_total", "OPCM array (re)programming events.", s.Ops.OPCMPrograms},
+		{"sophied_ops_opcm_cell_writes_total", "Individual GST cell writes.", s.Ops.OPCMCellWrites},
+		{"sophied_ops_eo_bits_total", "Bits through the E-O modulators.", s.Ops.EOBits},
+		{"sophied_ops_adc_samples_1b_total", "1-bit ADC samples.", s.Ops.ADCSamples1b},
+		{"sophied_ops_adc_samples_8b_total", "8-bit ADC samples.", s.Ops.ADCSamples8b},
+		{"sophied_ops_sram_read_bits_total", "SRAM buffer bits read.", s.Ops.SRAMReadBits},
+		{"sophied_ops_sram_write_bits_total", "SRAM buffer bits written.", s.Ops.SRAMWriteBits},
+		{"sophied_ops_dram_read_bits_total", "DRAM bits read.", s.Ops.DRAMReadBits},
+		{"sophied_ops_dram_write_bits_total", "DRAM bits written.", s.Ops.DRAMWriteBits},
+		{"sophied_ops_glue_ops_total", "Controller glue (vector add/select) operations.", s.Ops.GlueOps},
+		{"sophied_ops_global_syncs_total", "Global synchronization barriers.", s.Ops.GlobalSyncs},
+	} {
+		p.metric(op.name, "counter", op.help, float64(op.v))
+	}
+
+	p.histogram("sophied_queue_wait_seconds", "Seconds jobs spent queued before execution.", s.QueueWait)
+	p.histogram("sophied_exec_seconds", "Seconds jobs spent executing.", s.Exec)
+	return p.err
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"sophie/internal/metrics"
+)
+
+// TestWritePromCumulativeBuckets checks the histogram rendering against
+// the Prometheus convention: _bucket series are cumulative in le, the
+// +Inf bucket equals _count, and _sum is the raw sum.
+func TestWritePromCumulativeBuckets(t *testing.T) {
+	s := Stats{}
+	s.Exec = metrics.HistogramSnapshot{
+		Bounds: []float64{0.1, 1, 10},
+		Counts: []uint64{2, 3, 0},
+		Count:  7, // 2 beyond the last bound
+		Sum:    42.5,
+	}
+	var b strings.Builder
+	if err := writeProm(&b, s); err != nil {
+		t.Fatalf("writeProm: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sophied_exec_seconds_bucket{le="0.1"} 2`,
+		`sophied_exec_seconds_bucket{le="1"} 5`,
+		`sophied_exec_seconds_bucket{le="10"} 5`,
+		`sophied_exec_seconds_bucket{le="+Inf"} 7`,
+		"sophied_exec_seconds_sum 42.5",
+		"sophied_exec_seconds_count 7",
+		"# TYPE sophied_exec_seconds histogram",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePromWellFormed sanity-checks the whole exposition: every
+// non-comment line is "name[{labels}] value", every metric has HELP and
+// TYPE headers, and the op counters all appear.
+func TestWritePromWellFormed(t *testing.T) {
+	s := Stats{UptimeSeconds: 1.5, QueueDepth: 2, Submitted: 9, Draining: true}
+	s.Ops.LocalMVM1b = 123
+	var b strings.Builder
+	if err := writeProm(&b, s); err != nil {
+		t.Fatalf("writeProm: %v", err)
+	}
+	out := b.String()
+	helps, types := 0, 0
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			helps++
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			types++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unexpected comment line %q", line)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || !strings.HasPrefix(fields[0], "sophied_") {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+	if helps != types || helps == 0 {
+		t.Errorf("HELP/TYPE header counts disagree: %d vs %d", helps, types)
+	}
+	for _, want := range []string{
+		"sophied_uptime_seconds 1.5",
+		"sophied_queue_depth 2",
+		"sophied_jobs_submitted_total 9",
+		"sophied_draining 1",
+		"sophied_ops_local_mvm_1b_total 123",
+		"sophied_queue_wait_seconds_count 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestWritePromPropagatesWriteErrors: a failing scrape connection must
+// surface instead of being swallowed.
+func TestWritePromPropagatesWriteErrors(t *testing.T) {
+	if err := writeProm(&failingWriter{}, Stats{}); err == nil {
+		t.Fatal("writeProm on a failing writer returned nil")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errWriteFailed
+}
+
+var errWriteFailed = &writeFailedError{}
+
+type writeFailedError struct{}
+
+func (*writeFailedError) Error() string { return "synthetic write failure" }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // HTTP JSON API over a Manager.
@@ -20,7 +21,9 @@ import (
 //	GET    /metrics       Stats: counters, merged OpCounts, latency histograms
 //
 // All responses are JSON. Errors use {"error": "..."} with the status
-// code carrying the class.
+// code carrying the class. /metrics alone is dual-format: an Accept
+// header naming text/plain, or ?format=prom, switches it to Prometheus
+// text exposition (version 0.0.4) for scrapers.
 
 // maxRequestBytes bounds a submission body; inline graphs of every
 // GSET instance fit comfortably, while a runaway upload cannot exhaust
@@ -127,6 +130,29 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 	}{Status: status, UptimeSeconds: st.UptimeSeconds, QueueDepth: st.QueueDepth, InFlight: st.InFlight})
 }
 
-func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		// Write errors past the header are unrecoverable mid-body, same
+		// as writeJSON: the scraper sees a truncated exposition.
+		_ = writeProm(w, s.m.Stats())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.m.Stats())
+}
+
+// wantsProm decides the /metrics rendering: ?format=prom forces the
+// text exposition, ?format=json forces JSON, and otherwise an Accept
+// header mentioning text/plain (what Prometheus scrapers send) selects
+// the exposition. The default stays JSON so existing tooling and
+// browsers keep working.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom":
+		return true
+	case "json":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
 }

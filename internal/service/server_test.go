@@ -296,6 +296,134 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestServerJobProgress watches a long-running job through GET
+// /v1/jobs/{id}: while it runs, the view carries a live progress block
+// reduced from the execution trace (iteration, best energy, replica
+// counts); once terminal, progress disappears in favor of the result.
+func TestServerJobProgress(t *testing.T) {
+	srv, _ := testServer(t, Config{Workers: 1})
+	sub := decodeInto[JobView](t, postJSON(t, srv.URL+"/v1/jobs", slowSpec(t)))
+
+	var seen JobView
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for live progress")
+		}
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		seen = decodeInto[JobView](t, resp)
+		if seen.State == StateRunning && seen.Progress != nil && seen.Progress.GlobalIter >= 2 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	p := seen.Progress
+	if p.RunsStarted < 1 {
+		t.Errorf("progress runs_started = %d, want >= 1", p.RunsStarted)
+	}
+	if p.Events == 0 {
+		t.Error("progress observed no events")
+	}
+	if p.BestEnergy >= 0 {
+		// K16 under the max-cut mapping always finds a negative energy.
+		t.Errorf("progress best_energy = %v, want < 0", p.BestEnergy)
+	}
+	if p.ElapsedS <= 0 {
+		t.Errorf("progress elapsed_s = %v, want > 0", p.ElapsedS)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	_ = resp.Body.Close()
+	done := httpWaitState(t, srv.URL, sub.ID, StateCancelled)
+	if done.Progress != nil {
+		t.Error("terminal job still reports progress")
+	}
+}
+
+// TestServerMetricsFormatNegotiation checks /metrics dual formats: JSON
+// by default, Prometheus text on ?format=prom or Accept: text/plain,
+// and ?format=json as an explicit override.
+func TestServerMetricsFormatNegotiation(t *testing.T) {
+	srv, _ := testServer(t, Config{Workers: 1})
+	sub := decodeInto[JobView](t, postJSON(t, srv.URL+"/v1/jobs", fastSpec(t)))
+	httpWaitState(t, srv.URL, sub.ID, StateDone)
+
+	get := func(url, accept string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatalf("reading body: %v", err)
+		}
+		_ = resp.Body.Close()
+		return resp, buf.String()
+	}
+
+	// Default: JSON.
+	resp, body := get(srv.URL+"/metrics", "")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default Content-Type %q, want application/json", ct)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("default /metrics not JSON: %v", err)
+	}
+	if st.Completed != 1 {
+		t.Errorf("JSON stats completed = %d, want 1", st.Completed)
+	}
+
+	// ?format=prom and Accept: text/plain both select the exposition.
+	for _, c := range []struct{ url, accept string }{
+		{srv.URL + "/metrics?format=prom", ""},
+		{srv.URL + "/metrics", "text/plain"},
+	} {
+		resp, body = get(c.url, c.accept)
+		if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+			t.Errorf("%s accept=%q: Content-Type %q", c.url, c.accept, ct)
+		}
+		for _, want := range []string{
+			"# TYPE sophied_jobs_completed_total counter",
+			"sophied_jobs_completed_total 1",
+			"# TYPE sophied_exec_seconds histogram",
+			`sophied_exec_seconds_bucket{le="+Inf"} 1`,
+			"sophied_ops_local_mvm_1b_total",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("%s accept=%q: exposition missing %q:\n%s", c.url, c.accept, want, body)
+			}
+		}
+	}
+
+	// Explicit ?format=json wins even against a text/plain Accept.
+	resp, body = get(srv.URL+"/metrics?format=json", "text/plain")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("format=json Content-Type %q", ct)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("format=json body not JSON: %v", err)
+	}
+}
+
 // TestServerConcurrentSubmissions hammers the API from several clients
 // at once — primarily a -race exercise over the full stack.
 func TestServerConcurrentSubmissions(t *testing.T) {

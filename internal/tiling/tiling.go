@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"sophie/internal/linalg"
+	"sophie/internal/trace"
 )
 
 // Grid describes a square tiling of an n×n matrix into tiles×tiles
@@ -176,6 +177,18 @@ type Engine interface {
 type SessionEngine interface {
 	Engine
 	Session(seed int64) Engine
+}
+
+// TraceSink is an optional extension of Engine for datapaths that can
+// tag device-level execution events (per-array MVMs, reprogramming)
+// onto the run's event spine. AttachTrace hands the engine view the
+// recorder to emit into; implementations must treat a nil recorder as
+// "detached" and must only be attached before the view starts serving
+// MVMs (the solver attaches per-job sessions inside run setup, before
+// any PE worker exists). The ideal engine does not implement it — it
+// has no device plane; the opcm device model's sessions do.
+type TraceSink interface {
+	AttachTrace(rec *trace.Recorder)
 }
 
 // DeltaEngine is an optional fast-path extension of Engine for

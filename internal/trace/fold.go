@@ -1,0 +1,82 @@
+package trace
+
+import "sophie/internal/metrics"
+
+// foldInto applies one event's operation charges to ops. This is the
+// single definition of SOPHIE's op accounting: the solver's live
+// counters (Run) and any offline replay (FoldOps) both run events
+// through it, so the two can never diverge — the counters ARE a fold
+// over the event stream. The arithmetic reproduces, site for site, the
+// charges the solver historically applied inline (see the golden pin in
+// internal/core's trace tests and the analytic model in delta_test.go).
+func foldInto(ops *metrics.OpCounts, m *Meta, ev Event) {
+	t := m.TileSize
+	switch ev.Kind {
+	case KindInitMVM:
+		// Partial-sum initialization: a diagonal pair executes one 8-bit
+		// MVM, an off-diagonal pair two (Section III-E).
+		if ev.Flag {
+			ops.LocalMVM8b++
+			ops.ADCSamples8b += metrics.U64(t)
+		} else {
+			ops.LocalMVM8b += 2
+			ops.ADCSamples8b += metrics.U64(2 * t)
+		}
+	case KindLoadDone:
+		// Load phase: each selected pair gathers two offset vectors over
+		// Tiles-1 source blocks and writes spins (1b) + offsets (8b)
+		// into its SRAM buffers.
+		sel := int(ev.N)
+		ops.GlueOps += metrics.U64(sel * 2 * (m.Tiles - 1) * t)
+		ops.SRAMWriteBits += metrics.U64(sel * 2 * t * (1 + 8))
+	case KindLocalBatch:
+		// One pair's local-iteration batch: L MVMs per direction, the
+		// last through the 8-bit ADC; every iteration streams t bits per
+		// direction through the E-O modulators.
+		l := m.LocalIters
+		if ev.Flag {
+			ops.LocalMVM1b += metrics.U64(l - 1)
+			ops.LocalMVM8b++
+			ops.ADCSamples1b += metrics.U64((l - 1) * t)
+			ops.ADCSamples8b += metrics.U64(t)
+			ops.EOBits += metrics.U64(l * t)
+		} else {
+			ops.LocalMVM1b += metrics.U64(2*l - 2)
+			ops.LocalMVM8b += 2
+			ops.ADCSamples1b += metrics.U64((2*l - 2) * t)
+			ops.ADCSamples8b += metrics.U64(2 * t)
+			ops.EOBits += metrics.U64(2 * l * t)
+		}
+	case KindSyncPair:
+		// Synchronization publish + gather for one pair: two 8-bit
+		// partial-sum vectors and two 1-bit spin copies leave SRAM for
+		// the interposer DRAM.
+		ops.SRAMReadBits += metrics.U64(2*t*8 + 2*t)
+		ops.DRAMWriteBits += metrics.U64(2*t*8 + 2*t)
+	case KindSyncBlock:
+		// Reconciliation of one block column's N spin copies: a
+		// stochastic pick costs t glue ops regardless of copy count, a
+		// majority vote t per copy; the result broadcasts back to every
+		// copy-holding tile.
+		copies := int(ev.N)
+		if m.Stochastic {
+			ops.GlueOps += metrics.U64(t)
+		} else {
+			ops.GlueOps += metrics.U64(t * copies)
+		}
+		ops.DRAMReadBits += metrics.U64(t * copies)
+	case KindSyncBarrier:
+		ops.GlobalSyncs++
+	}
+}
+
+// FoldOps replays an event stream through the fold and returns the
+// accumulated operation counters — field-identical to the Result.Ops of
+// the run that emitted the stream, provided no events were dropped.
+func FoldOps(meta Meta, events []Event) metrics.OpCounts {
+	var ops metrics.OpCounts
+	for _, ev := range events {
+		foldInto(&ops, &meta, ev)
+	}
+	return ops
+}

@@ -1,0 +1,100 @@
+package trace
+
+import "sync"
+
+// Progress is a streaming reducer over an event stream: attach its
+// Observe method as Options.OnEvent and poll Snapshot for live run
+// state — the sophied job service uses one per running job to answer
+// GET /v1/jobs/{id} while the batch executes. Several concurrent runs
+// (batch replicas) sharing one recorder reduce into a single Progress:
+// the iteration is the furthest any replica reached, the energy the
+// best any replica found, flips accumulate across replicas.
+type Progress struct {
+	mu          sync.Mutex
+	startNS     int64
+	runsStarted int
+	runsDone    int
+	iter        int32
+	hasEnergy   bool
+	best        float64
+	flips       int64
+	events      uint64
+}
+
+// NewProgress returns an empty reducer.
+func NewProgress() *Progress { return &Progress{} }
+
+// Observe reduces one event; pass it as Options.OnEvent.
+func (p *Progress) Observe(ev Event) {
+	p.mu.Lock()
+	p.events++
+	switch ev.Kind {
+	case KindRunStart:
+		p.runsStarted++
+		if p.startNS == 0 {
+			p.startNS = nowNS()
+		}
+	case KindRunEnd:
+		p.runsDone++
+	case KindEnergy:
+		if ev.Iter > p.iter {
+			p.iter = ev.Iter
+		}
+		if !p.hasEnergy || ev.F < p.best {
+			p.hasEnergy = true
+			p.best = ev.F
+		}
+		p.flips += ev.N
+	}
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is a point-in-time view of a running (or finished)
+// traced execution.
+type ProgressSnapshot struct {
+	// GlobalIter is the furthest evaluated global iteration across the
+	// observed runs; 0 before the first evaluation.
+	GlobalIter int `json:"global_iter"`
+	// BestEnergy is the best energy any observed run reported; valid
+	// only when HasEnergy.
+	BestEnergy float64 `json:"best_energy"`
+	HasEnergy  bool    `json:"-"`
+	// Flips is the cumulative spin-flip count across evaluations (0 when
+	// the emitting runs had flip detail off).
+	Flips int64 `json:"flips"`
+	// FlipsPerSec is Flips over the wall time since the first run
+	// started.
+	FlipsPerSec float64 `json:"flips_per_sec"`
+	// RunsStarted / RunsDone count replicas over the recorder.
+	RunsStarted int `json:"runs_started"`
+	RunsDone    int `json:"runs_done"`
+	// Events counts every observed event.
+	Events uint64 `json:"events"`
+	// ElapsedS is the wall time since the first run started.
+	ElapsedS float64 `json:"elapsed_s"`
+}
+
+// Snapshot returns the current reduction. Nil-safe.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		GlobalIter:  int(p.iter),
+		BestEnergy:  p.best,
+		HasEnergy:   p.hasEnergy,
+		Flips:       p.flips,
+		RunsStarted: p.runsStarted,
+		RunsDone:    p.runsDone,
+		Events:      p.events,
+	}
+	if p.startNS != 0 {
+		s.ElapsedS = float64(nowNS()-p.startNS) / 1e9
+		if s.ElapsedS > 0 {
+			s.FlipsPerSec = float64(p.flips) / s.ElapsedS
+		}
+	}
+	return s
+}

@@ -1,0 +1,142 @@
+package trace
+
+import "sophie/internal/metrics"
+
+// Run is the per-run emitter the solver drives: it owns the run's
+// operation-counter fold (always on — Result.Ops is read from here) and
+// forwards events to the attached Recorder, if any. With a nil recorder
+// every method reduces to the fold arithmetic alone: no allocation, no
+// locking, no clock reads. A Run is confined to its run's controller
+// goroutine; only the Recorder behind it is shared.
+type Run struct {
+	meta   Meta
+	rec    *Recorder
+	timing bool
+	lastNS int64
+	ops    metrics.OpCounts
+}
+
+// NewRun opens a run: registers it with the recorder (when attached)
+// and emits KindRunStart.
+func NewRun(meta Meta, rec *Recorder) *Run {
+	r := &Run{meta: meta, rec: rec}
+	if rec != nil {
+		rec.beginRun(meta)
+		r.timing = rec.timing
+		if r.timing {
+			r.lastNS = nowNS()
+		}
+	}
+	r.emit(Event{Kind: KindRunStart, N: meta.Seed})
+	return r
+}
+
+// Ops returns the folded operation counters accumulated so far.
+func (r *Run) Ops() metrics.OpCounts { return r.ops }
+
+// Meta returns the run geometry.
+func (r *Run) Meta() Meta { return r.meta }
+
+// WantsEnergyDetail reports whether anything will observe KindEnergy
+// payloads — the solver only computes per-evaluation flip counts (an
+// O(n) diff) when this is true.
+func (r *Run) WantsEnergyDetail() bool { return r.rec.Wants(KindEnergy) }
+
+// WantsDeviceEvents reports whether the recorder retains device-plane
+// events — the solver only attaches the recorder to engine sessions
+// (tiling.TraceSink) when this is true.
+func (r *Run) WantsDeviceEvents() bool {
+	return r.rec != nil && r.rec.kinds&DeviceKinds != 0
+}
+
+// Recorder returns the attached recorder (nil when untraced).
+func (r *Run) Recorder() *Recorder { return r.rec }
+
+func (r *Run) emit(ev Event) {
+	foldInto(&r.ops, &r.meta, ev)
+	if r.rec != nil && r.rec.kinds.Has(ev.Kind) {
+		r.rec.record(ev)
+	}
+}
+
+// mark closes a timing phase: the span since the previous mark is
+// charged to phase.
+func (r *Run) mark(phase int) {
+	if !r.timing {
+		return
+	}
+	now := nowNS()
+	r.rec.addPhase(phase, now-r.lastNS)
+	r.lastNS = now
+}
+
+// InitMVM records one pair's partial-sum initialization MVM set.
+func (r *Run) InitMVM(pair int, diagonal bool) {
+	r.emit(Event{Kind: KindInitMVM, Pair: int32(pair), Flag: diagonal})
+}
+
+// InitDone closes the initialization phase.
+func (r *Run) InitDone() {
+	r.mark(phaseInit)
+	r.emit(Event{Kind: KindInitDone})
+}
+
+// GlobalStart opens global iteration iter with its selection size and
+// noise level.
+func (r *Run) GlobalStart(iter, selected int, phi float64) {
+	r.emit(Event{Kind: KindGlobalStart, Iter: int32(iter), N: int64(selected), F: phi})
+}
+
+// LoadDone closes the load phase of iteration iter.
+func (r *Run) LoadDone(iter, selected int) {
+	r.emit(Event{Kind: KindLoadDone, Iter: int32(iter), N: int64(selected)})
+}
+
+// LocalBatch records one selected pair's completed local-iteration
+// batch.
+func (r *Run) LocalBatch(iter, pair int, diagonal bool) {
+	r.emit(Event{Kind: KindLocalBatch, Iter: int32(iter), Pair: int32(pair), Flag: diagonal})
+}
+
+// LocalDone closes the local-compute phase of iteration iter.
+func (r *Run) LocalDone(iter int) {
+	r.mark(phaseLocal)
+	r.emit(Event{Kind: KindLocalDone, Iter: int32(iter)})
+}
+
+// SyncPair records one pair's synchronization publish + gather.
+func (r *Run) SyncPair(iter, pair int) {
+	r.emit(Event{Kind: KindSyncPair, Iter: int32(iter), Pair: int32(pair)})
+}
+
+// SyncBlock records the reconciliation of one block column over copies
+// local spin copies.
+func (r *Run) SyncBlock(iter, block, copies int) {
+	r.emit(Event{Kind: KindSyncBlock, Iter: int32(iter), Pair: int32(block), N: int64(copies)})
+}
+
+// SyncBarrier records the global synchronization barrier of iteration
+// iter.
+func (r *Run) SyncBarrier(iter int) {
+	r.emit(Event{Kind: KindSyncBarrier, Iter: int32(iter)})
+}
+
+// Energy records an energy evaluation point: the best-so-far energy,
+// the number of spins changed since the previous evaluation (0 when
+// detail is off), and whether the best improved.
+func (r *Run) Energy(iter int, best float64, flips int, improved bool) {
+	r.emit(Event{Kind: KindEnergy, Iter: int32(iter), F: best, N: int64(flips), Flag: improved})
+}
+
+// GlobalEnd closes global iteration iter.
+func (r *Run) GlobalEnd(iter int) {
+	r.mark(phaseGlobal)
+	r.emit(Event{Kind: KindGlobalEnd, Iter: int32(iter)})
+}
+
+// End closes the run. Any span since the last mark (a final partial
+// iteration ended by an early return) is charged to the global phase.
+func (r *Run) End() {
+	r.mark(phaseGlobal)
+	r.emit(Event{Kind: KindRunEnd})
+}

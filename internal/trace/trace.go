@@ -1,0 +1,381 @@
+// Package trace is the execution-event spine of the SOPHIE simulator
+// (DESIGN.md "Execution trace spine"): one typed event stream emitted by
+// the solver's controller loop and, optionally, by the device model,
+// consumed by every layer that previously kept its own parallel
+// accounting. The op counters of a run (metrics.OpCounts) are a fold
+// over this stream (fold.go), the trace-driven PPA replay
+// (arch.SimulateTrace) walks it round by round, the job service reduces
+// it into live progress (Progress), and the benchmark harness reads its
+// phase accumulators.
+//
+// The hot-path contract: with no Recorder attached the per-run emitter
+// (Run) only performs the fold arithmetic — no allocation, no locking,
+// no time reads — so an untraced solve pays nothing beyond the counter
+// updates it always did. With a Recorder attached, events are copied
+// into a preallocated ring under a mutex; device-level events
+// (KindDeviceMVM) are additionally sampled to bound their volume.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind identifies an event type. Control-plane kinds (emitted by the
+// solver's controller loop, at most a few per pair per global iteration)
+// come first; device-plane kinds (emitted inside the device model, one
+// per physical MVM) follow so the two planes form contiguous masks.
+type Kind uint8
+
+const (
+	// KindRunStart opens one solver run; N carries the job seed.
+	KindRunStart Kind = iota
+	// KindInitMVM is one pair's partial-sum initialization MVM set
+	// (Pair = pair index, Flag = diagonal pair).
+	KindInitMVM
+	// KindInitDone closes the initialization phase (timing mark).
+	KindInitDone
+	// KindGlobalStart opens global iteration Iter; N is the number of
+	// selected pairs, F the (possibly annealed) noise level φ.
+	KindGlobalStart
+	// KindLoadDone closes the load phase of iteration Iter; N is the
+	// number of selected pairs (the fold charges glue and SRAM traffic).
+	KindLoadDone
+	// KindLocalBatch is one selected pair's completed local-iteration
+	// batch (Pair = pair index, Flag = diagonal pair).
+	KindLocalBatch
+	// KindLocalDone closes the local-compute phase of iteration Iter
+	// (timing mark).
+	KindLocalDone
+	// KindSyncPair is one selected pair publishing its partial sums and
+	// spin copies at global synchronization (Pair = pair index).
+	KindSyncPair
+	// KindSyncBlock is one block column's spin reconciliation
+	// (Pair = block index, N = number of local copies merged).
+	KindSyncBlock
+	// KindSyncBarrier is the global synchronization barrier of iteration
+	// Iter — the fold's GlobalSyncs increment.
+	KindSyncBarrier
+	// KindEnergy is an energy evaluation point: F = best-so-far energy,
+	// N = spins changed since the previous evaluation (0 when flip
+	// counting is disabled), Flag = the best energy improved.
+	KindEnergy
+	// KindGlobalEnd closes global iteration Iter (timing mark).
+	KindGlobalEnd
+	// KindRunEnd closes the run.
+	KindRunEnd
+	// KindDeviceMVM is one physical array MVM inside the device model
+	// (Pair = pair index, Flag = transposed). Sampled, never folded.
+	KindDeviceMVM
+	// KindReprogram is one OPCM array (re)programming event
+	// (Pair = pair index, N = GST cell writes).
+	KindReprogram
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"run-start", "init-mvm", "init-done", "global-start", "load-done",
+	"local-batch", "local-done", "sync-pair", "sync-block", "sync-barrier",
+	"energy", "global-end", "run-end", "device-mvm", "reprogram",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// KindMask selects which kinds a Recorder retains.
+type KindMask uint32
+
+// Mask returns the single-kind mask.
+func (k Kind) Mask() KindMask { return 1 << k }
+
+// Has reports whether the mask contains k.
+func (m KindMask) Has(k Kind) bool { return m&k.Mask() != 0 }
+
+// MaskOf builds a mask from kinds.
+func MaskOf(kinds ...Kind) KindMask {
+	var m KindMask
+	for _, k := range kinds {
+		m |= k.Mask()
+	}
+	return m
+}
+
+const (
+	// ControlKinds selects every controller-loop event — everything the
+	// op-count fold and the PPA replay need.
+	ControlKinds KindMask = 1<<KindDeviceMVM - 1
+	// DeviceKinds selects the device-plane events (per-MVM, reprogram).
+	DeviceKinds KindMask = 1<<KindDeviceMVM | 1<<KindReprogram
+	// AllKinds selects everything.
+	AllKinds KindMask = ControlKinds | DeviceKinds
+)
+
+// Event is one execution event. It is a 32-byte value type: emitting
+// one allocates nothing, and a Recorder ring of them is a single flat
+// preallocation. Field meaning depends on Kind (see the Kind docs);
+// unused fields are zero.
+type Event struct {
+	Kind Kind
+	Flag bool
+	Iter int32
+	Pair int32
+	N    int64
+	F    float64
+}
+
+// Meta is the run geometry the fold and the replay need to interpret
+// events: the same quantities the solver's counter arithmetic read from
+// its config and grid.
+type Meta struct {
+	// Nodes is the logical problem order; TileSize/Tiles/Pairs describe
+	// the tile grid (Pairs = Tiles·(Tiles+1)/2).
+	Nodes, TileSize, Tiles, Pairs int
+	// LocalIters/GlobalIters/TileFraction mirror the solver config.
+	LocalIters, GlobalIters int
+	TileFraction            float64
+	// Stochastic reports the stochastic spin update (vs majority).
+	Stochastic bool
+	// Seed is the job seed of the first recorded run.
+	Seed int64
+	// Device reports that MVMs ran through the OPCM device model.
+	Device bool
+}
+
+// Phases accumulates wall time per execution phase (Options.Timing):
+// initialization, local compute (selection + load + local iterations),
+// global reconciliation (sync + energy evaluation), and device
+// reprogramming. With several runs sharing one Recorder the
+// accumulators sum across runs — CPU time, not wall time.
+type Phases struct {
+	InitNS, LocalNS, GlobalNS, ReprogramNS int64
+}
+
+// TotalNS sums the phase accumulators.
+func (p Phases) TotalNS() int64 { return p.InitNS + p.LocalNS + p.GlobalNS + p.ReprogramNS }
+
+const (
+	phaseInit = iota
+	phaseLocal
+	phaseGlobal
+)
+
+// Options configures a Recorder.
+type Options struct {
+	// Capacity is the event ring size; when full the oldest events are
+	// overwritten and counted in Recording.Dropped. 0 means 65536.
+	Capacity int
+	// Kinds selects which event kinds are retained. 0 means ControlKinds
+	// (device-plane events off — they are per-MVM and dominate volume).
+	Kinds KindMask
+	// SampleDeviceEvery keeps one of every that many KindDeviceMVM
+	// events (the total seen is still counted). 0 means 64; 1 keeps all.
+	SampleDeviceEvery int
+	// Timing stamps phase boundaries with wall-clock reads, populating
+	// Recording.Phases. Off by default: time reads on the hot path cost
+	// more than the event copies.
+	Timing bool
+	// OnEvent, when non-nil, observes every retained event in emission
+	// order, under the recorder lock — keep it fast (the Progress
+	// reducer is the intended subscriber).
+	OnEvent func(Event)
+}
+
+// Recorder retains an event stream: a preallocated overwrite-oldest
+// ring plus a kind mask, device sampling, optional phase timing, and an
+// optional subscriber. All methods are nil-safe no-ops on a nil
+// receiver, which is the default (untraced) configuration. A Recorder
+// may be shared by concurrent runs; retention is mutex-serialized.
+type Recorder struct {
+	kinds   KindMask
+	sample  int64
+	timing  bool
+	onEvent func(Event)
+
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped uint64
+	meta    Meta
+	metaSet bool
+	runs    int
+	devSeen uint64
+	phases  Phases
+}
+
+// NewRecorder builds a recorder from opts (zero value = defaults).
+func NewRecorder(opts Options) *Recorder {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1 << 16
+	}
+	if opts.Kinds == 0 {
+		opts.Kinds = ControlKinds
+	}
+	if opts.SampleDeviceEvery <= 0 {
+		opts.SampleDeviceEvery = 64
+	}
+	return &Recorder{
+		kinds:   opts.Kinds,
+		sample:  int64(opts.SampleDeviceEvery),
+		timing:  opts.Timing,
+		onEvent: opts.OnEvent,
+		buf:     make([]Event, opts.Capacity),
+	}
+}
+
+// Wants reports whether the recorder retains events of kind k — layers
+// use it to skip computing event payloads nobody will see. Nil-safe.
+func (r *Recorder) Wants(k Kind) bool { return r != nil && r.kinds.Has(k) }
+
+// record retains one event (already kind-filtered by the caller or by
+// the exported emission helpers).
+func (r *Recorder) record(ev Event) {
+	r.mu.Lock()
+	r.pushLocked(ev)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) pushLocked(ev Event) {
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	if r.onEvent != nil {
+		r.onEvent(ev)
+	}
+}
+
+// Device emits one device-plane event (KindDeviceMVM or KindReprogram)
+// from inside an engine or session. KindDeviceMVM is sampled per
+// Options.SampleDeviceEvery; the unsampled total is still counted
+// (Recording.DeviceMVMs). Nil-safe.
+func (r *Recorder) Device(ev Event) {
+	if r == nil || !r.kinds.Has(ev.Kind) {
+		return
+	}
+	r.mu.Lock()
+	if ev.Kind == KindDeviceMVM {
+		r.devSeen++
+		if (r.devSeen-1)%uint64(r.sample) != 0 {
+			r.mu.Unlock()
+			return
+		}
+	}
+	r.pushLocked(ev)
+	r.mu.Unlock()
+}
+
+// AddReprogramTime charges d to the reprogramming phase accumulator
+// (the device model measures its own programming spans). Nil-safe;
+// no-op when timing is off.
+func (r *Recorder) AddReprogramTime(d time.Duration) {
+	if r == nil || !r.timing {
+		return
+	}
+	r.mu.Lock()
+	r.phases.ReprogramNS += int64(d)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) addPhase(phase int, ns int64) {
+	r.mu.Lock()
+	switch phase {
+	case phaseInit:
+		r.phases.InitNS += ns
+	case phaseLocal:
+		r.phases.LocalNS += ns
+	default:
+		r.phases.GlobalNS += ns
+	}
+	r.mu.Unlock()
+}
+
+// beginRun registers a run against the recorder; the first run's meta
+// becomes the recording's meta.
+func (r *Recorder) beginRun(meta Meta) {
+	r.mu.Lock()
+	r.runs++
+	if !r.metaSet {
+		r.meta = meta
+		r.metaSet = true
+	}
+	r.mu.Unlock()
+}
+
+// Recording is a consistent snapshot of a Recorder.
+type Recording struct {
+	// Meta is the geometry of the first recorded run.
+	Meta Meta
+	// Events holds the retained events in emission order (oldest first).
+	Events []Event
+	// Dropped counts events overwritten after the ring filled; a replay
+	// (arch.SimulateTrace) refuses a recording with drops.
+	Dropped uint64
+	// Runs counts runs that started against this recorder.
+	Runs int
+	// DeviceMVMs counts every device MVM seen, including sampled-out ones.
+	DeviceMVMs uint64
+	// Phases holds the phase-time accumulators (zero unless
+	// Options.Timing was set).
+	Phases Phases
+}
+
+// Snapshot copies the recorder state. Nil-safe (returns a zero
+// Recording).
+func (r *Recorder) Snapshot() Recording {
+	if r == nil {
+		return Recording{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := Recording{
+		Meta:       r.meta,
+		Dropped:    r.dropped,
+		Runs:       r.runs,
+		DeviceMVMs: r.devSeen,
+		Phases:     r.phases,
+	}
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+		rec.Events = make([]Event, 0, n)
+		rec.Events = append(rec.Events, r.buf[r.next:]...)
+		rec.Events = append(rec.Events, r.buf[:r.next]...)
+	} else {
+		rec.Events = append(rec.Events, r.buf[:n]...)
+	}
+	return rec
+}
+
+// Phases returns the phase-time accumulators. Nil-safe.
+func (r *Recorder) PhaseTimes() Phases {
+	if r == nil {
+		return Phases{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phases
+}
+
+// EventsOf counts the recording's events of kind k.
+func (r Recording) EventsOf(k Kind) int {
+	n := 0
+	for _, ev := range r.Events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func nowNS() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"testing"
+
+	"sophie/internal/metrics"
+)
+
+func testMeta() Meta {
+	return Meta{
+		Nodes: 150, TileSize: 16, Tiles: 10, Pairs: 55,
+		LocalIters: 7, GlobalIters: 3, TileFraction: 1,
+		Stochastic: true, Seed: 42,
+	}
+}
+
+// driveRun emits a small synthetic but structurally faithful run.
+func driveRun(r *Run, meta Meta) {
+	for pi := 0; pi < meta.Pairs; pi++ {
+		r.InitMVM(pi, pi < meta.Tiles)
+	}
+	r.InitDone()
+	for g := 1; g <= meta.GlobalIters; g++ {
+		r.GlobalStart(g, meta.Pairs, 0.1)
+		r.LoadDone(g, meta.Pairs)
+		for pi := 0; pi < meta.Pairs; pi++ {
+			r.LocalBatch(g, pi, pi < meta.Tiles)
+		}
+		r.LocalDone(g)
+		for pi := 0; pi < meta.Pairs; pi++ {
+			r.SyncPair(g, pi)
+		}
+		for b := 0; b < meta.Tiles; b++ {
+			r.SyncBlock(g, b, 3)
+		}
+		r.SyncBarrier(g)
+		r.Energy(g, -12.5, 4, true)
+		r.GlobalEnd(g)
+	}
+	r.End()
+}
+
+func TestNilRecorderFoldsWithoutRecording(t *testing.T) {
+	meta := testMeta()
+	r := NewRun(meta, nil)
+	driveRun(r, meta)
+	ops := r.Ops()
+	if ops.GlobalSyncs != uint64(meta.GlobalIters) {
+		t.Fatalf("GlobalSyncs = %d, want %d", ops.GlobalSyncs, meta.GlobalIters)
+	}
+	if ops.LocalMVM8b == 0 || ops.GlueOps == 0 {
+		t.Fatalf("fold did not accumulate: %+v", ops)
+	}
+	if r.WantsEnergyDetail() || r.WantsDeviceEvents() {
+		t.Fatal("nil recorder must not want any detail")
+	}
+}
+
+func TestFoldOpsMatchesLiveFold(t *testing.T) {
+	meta := testMeta()
+	rec := NewRecorder(Options{Capacity: 1 << 12})
+	r := NewRun(meta, rec)
+	driveRun(r, meta)
+	snap := rec.Snapshot()
+	if snap.Dropped != 0 {
+		t.Fatalf("dropped %d events with ample capacity", snap.Dropped)
+	}
+	if snap.Runs != 1 {
+		t.Fatalf("runs = %d, want 1", snap.Runs)
+	}
+	if snap.Meta != meta {
+		t.Fatalf("meta = %+v, want %+v", snap.Meta, meta)
+	}
+	folded := FoldOps(snap.Meta, snap.Events)
+	live := r.Ops()
+	if folded != live {
+		t.Fatalf("offline fold diverges from live fold:\ngot  %s\nwant %s",
+			folded.String(), live.String())
+	}
+}
+
+func TestFoldArithmeticPerEvent(t *testing.T) {
+	meta := testMeta()
+	tt := meta.TileSize
+	l := meta.LocalIters
+	cases := []struct {
+		name string
+		ev   Event
+		want metrics.OpCounts
+	}{
+		{"init-diag", Event{Kind: KindInitMVM, Flag: true},
+			metrics.OpCounts{LocalMVM8b: 1, ADCSamples8b: uint64(tt)}},
+		{"init-off", Event{Kind: KindInitMVM},
+			metrics.OpCounts{LocalMVM8b: 2, ADCSamples8b: uint64(2 * tt)}},
+		{"load", Event{Kind: KindLoadDone, N: 5},
+			metrics.OpCounts{
+				GlueOps:       metrics.U64(5 * 2 * (meta.Tiles - 1) * tt),
+				SRAMWriteBits: uint64(5 * 2 * tt * 9),
+			}},
+		{"local-diag", Event{Kind: KindLocalBatch, Flag: true},
+			metrics.OpCounts{
+				LocalMVM1b: metrics.U64(l - 1), LocalMVM8b: 1,
+				ADCSamples1b: metrics.U64((l - 1) * tt), ADCSamples8b: uint64(tt),
+				EOBits: uint64(l * tt),
+			}},
+		{"local-off", Event{Kind: KindLocalBatch},
+			metrics.OpCounts{
+				LocalMVM1b: metrics.U64(2*l - 2), LocalMVM8b: 2,
+				ADCSamples1b: metrics.U64((2*l - 2) * tt), ADCSamples8b: uint64(2 * tt),
+				EOBits: uint64(2 * l * tt),
+			}},
+		{"sync-pair", Event{Kind: KindSyncPair},
+			metrics.OpCounts{
+				SRAMReadBits:  uint64(2*tt*8 + 2*tt),
+				DRAMWriteBits: uint64(2*tt*8 + 2*tt),
+			}},
+		{"sync-block", Event{Kind: KindSyncBlock, N: 3},
+			metrics.OpCounts{GlueOps: uint64(tt), DRAMReadBits: uint64(3 * tt)}},
+		{"barrier", Event{Kind: KindSyncBarrier}, metrics.OpCounts{GlobalSyncs: 1}},
+		{"energy-no-charge", Event{Kind: KindEnergy, N: 9}, metrics.OpCounts{}},
+	}
+	for _, tc := range cases {
+		var ops metrics.OpCounts
+		foldInto(&ops, &meta, tc.ev)
+		if ops != tc.want {
+			t.Errorf("%s: fold = %+v, want %+v", tc.name, ops, tc.want)
+		}
+	}
+
+	// Majority spin update charges glue per copy.
+	majority := meta
+	majority.Stochastic = false
+	var ops metrics.OpCounts
+	foldInto(&ops, &majority, Event{Kind: KindSyncBlock, N: 3})
+	if ops.GlueOps != uint64(3*tt) {
+		t.Errorf("majority sync-block glue = %d, want %d", ops.GlueOps, 3*tt)
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	rec := NewRecorder(Options{Capacity: 4, Kinds: AllKinds})
+	for i := 0; i < 10; i++ {
+		rec.record(Event{Kind: KindSyncBarrier, Iter: int32(i)})
+	}
+	snap := rec.Snapshot()
+	if snap.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", snap.Dropped)
+	}
+	if len(snap.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(snap.Events))
+	}
+	for i, ev := range snap.Events {
+		if want := int32(6 + i); ev.Iter != want {
+			t.Fatalf("event %d has iter %d, want %d (oldest-first order)", i, ev.Iter, want)
+		}
+	}
+}
+
+func TestDeviceSampling(t *testing.T) {
+	rec := NewRecorder(Options{Capacity: 1 << 10, Kinds: AllKinds, SampleDeviceEvery: 4})
+	for i := 0; i < 10; i++ {
+		rec.Device(Event{Kind: KindDeviceMVM, Pair: int32(i)})
+	}
+	rec.Device(Event{Kind: KindReprogram, Pair: 1, N: 2 * 16 * 16})
+	snap := rec.Snapshot()
+	if snap.DeviceMVMs != 10 {
+		t.Fatalf("device MVMs seen = %d, want 10", snap.DeviceMVMs)
+	}
+	if got := snap.EventsOf(KindDeviceMVM); got != 3 { // indices 0, 4, 8
+		t.Fatalf("sampled device events = %d, want 3", got)
+	}
+	if got := snap.EventsOf(KindReprogram); got != 1 {
+		t.Fatalf("reprogram events = %d, want 1 (never sampled out)", got)
+	}
+}
+
+func TestKindMaskFiltering(t *testing.T) {
+	rec := NewRecorder(Options{Capacity: 64, Kinds: MaskOf(KindEnergy, KindRunStart)})
+	meta := testMeta()
+	r := NewRun(meta, rec)
+	driveRun(r, meta)
+	snap := rec.Snapshot()
+	for _, ev := range snap.Events {
+		if ev.Kind != KindEnergy && ev.Kind != KindRunStart {
+			t.Fatalf("mask leaked kind %v", ev.Kind)
+		}
+	}
+	if snap.EventsOf(KindEnergy) != meta.GlobalIters {
+		t.Fatalf("energy events = %d, want %d", snap.EventsOf(KindEnergy), meta.GlobalIters)
+	}
+	// Filtering must not change the fold.
+	if r.Ops().GlobalSyncs != uint64(meta.GlobalIters) {
+		t.Fatal("kind filtering changed the live fold")
+	}
+	if !r.WantsEnergyDetail() {
+		t.Fatal("recorder retains KindEnergy but WantsEnergyDetail is false")
+	}
+	if r.WantsDeviceEvents() {
+		t.Fatal("recorder has no device kinds but WantsDeviceEvents is true")
+	}
+}
+
+func TestNilRecorderMethodsAreSafe(t *testing.T) {
+	var rec *Recorder
+	rec.Device(Event{Kind: KindDeviceMVM})
+	rec.AddReprogramTime(5)
+	if rec.Wants(KindEnergy) {
+		t.Fatal("nil recorder wants events")
+	}
+	snap := rec.Snapshot()
+	if len(snap.Events) != 0 || snap.Runs != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", snap)
+	}
+	if ph := rec.PhaseTimes(); ph != (Phases{}) {
+		t.Fatalf("nil phases not zero: %+v", ph)
+	}
+	var prog *Progress
+	if s := prog.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Fatalf("nil progress snapshot not zero: %+v", s)
+	}
+}
+
+func TestProgressReducer(t *testing.T) {
+	p := NewProgress()
+	rec := NewRecorder(Options{Capacity: 8, Kinds: MaskOf(KindRunStart, KindRunEnd, KindEnergy), OnEvent: p.Observe})
+	meta := testMeta()
+	r := NewRun(meta, rec)
+	r.Energy(1, -3, 2, true)
+	r.Energy(2, -7.5, 5, true)
+	r.Energy(3, -7.5, 0, false)
+	r.End()
+	s := p.Snapshot()
+	if s.GlobalIter != 3 {
+		t.Fatalf("iter = %d, want 3", s.GlobalIter)
+	}
+	if !s.HasEnergy || s.BestEnergy != -7.5 {
+		t.Fatalf("best = %v (has %v), want -7.5", s.BestEnergy, s.HasEnergy)
+	}
+	if s.Flips != 7 {
+		t.Fatalf("flips = %d, want 7", s.Flips)
+	}
+	if s.RunsStarted != 1 || s.RunsDone != 1 {
+		t.Fatalf("runs = %d/%d, want 1/1", s.RunsStarted, s.RunsDone)
+	}
+	if s.Events != 5 { // run-start + 3 energies + run-end
+		t.Fatalf("events = %d, want 5", s.Events)
+	}
+}
+
+func TestPhaseTimingAccumulates(t *testing.T) {
+	rec := NewRecorder(Options{Capacity: 256, Timing: true})
+	meta := testMeta()
+	r := NewRun(meta, rec)
+	driveRun(r, meta)
+	ph := rec.PhaseTimes()
+	if ph.InitNS < 0 || ph.LocalNS < 0 || ph.GlobalNS < 0 {
+		t.Fatalf("negative phase time: %+v", ph)
+	}
+	if ph.TotalNS() != ph.InitNS+ph.LocalNS+ph.GlobalNS+ph.ReprogramNS {
+		t.Fatalf("TotalNS inconsistent: %+v", ph)
+	}
+	rec.AddReprogramTime(1000)
+	if got := rec.PhaseTimes().ReprogramNS; got != ph.ReprogramNS+1000 {
+		t.Fatalf("reprogram phase = %d, want %d", got, ph.ReprogramNS+1000)
+	}
+	// Without Timing, phases stay zero.
+	rec2 := NewRecorder(Options{Capacity: 256})
+	r2 := NewRun(meta, rec2)
+	driveRun(r2, meta)
+	if ph2 := rec2.PhaseTimes(); ph2 != (Phases{}) {
+		t.Fatalf("timing off but phases accumulated: %+v", ph2)
+	}
+}
+
+func TestKindStringAndMasks(t *testing.T) {
+	if KindLocalBatch.String() != "local-batch" {
+		t.Fatalf("KindLocalBatch = %q", KindLocalBatch.String())
+	}
+	if !ControlKinds.Has(KindRunEnd) || ControlKinds.Has(KindDeviceMVM) {
+		t.Fatal("ControlKinds boundary wrong")
+	}
+	if !DeviceKinds.Has(KindDeviceMVM) || !DeviceKinds.Has(KindReprogram) {
+		t.Fatal("DeviceKinds incomplete")
+	}
+	if AllKinds != ControlKinds|DeviceKinds {
+		t.Fatal("AllKinds != ControlKinds|DeviceKinds")
+	}
+}
