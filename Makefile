@@ -23,8 +23,11 @@ race:
 
 # The sophielint suite encodes the simulator's invariants (DESIGN.md
 # "Invariants"): no global RNG, seed plumbing on entry points, no float
-# ==, checked unsigned op-count conversions. It runs standalone here;
-# CI additionally drives it through `go vet -vettool` to prove the vet
+# ==, checked unsigned op-count conversions, trace-owned counter
+# writes, plus the concurrency contracts — cancellable blocking entry
+# points (ctxflow), lock discipline (lockcheck), and goroutine
+# ownership (goleak). It runs standalone here; CI's dedicated `lint`
+# job additionally drives it through `go vet -vettool` to prove the vet
 # protocol keeps working.
 lint: build
 	$(BIN)/sophielint ./...
@@ -37,13 +40,15 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Regenerates the tracked benchmark baseline (README.md "Benchmarks").
-# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR5.json was
-# produced with the default 2s budget. It now carries the trace-spine
-# overhead guard (derived trace_overhead) and the per-phase attribution
-# of one instrumented solve.
+# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR6.json was
+# produced with the default 2s budget. It carries the trace-spine
+# overhead guard (derived trace_overhead), the per-phase attribution of
+# one instrumented solve, and the lint wall-time pair whose derived
+# lint_shared9_over_isolated6 ratio proves the shared inspector keeps
+# nine analyzers cheaper than the old six single-walk ones.
 BENCHTIME ?= 2s
 bench-json:
-	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR5.json
+	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR6.json
 
 # End-to-end daemon smoke: real sophied + sophie binaries over HTTP
 # (CI job "sophied-smoke").

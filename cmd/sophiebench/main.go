@@ -1,12 +1,15 @@
 // Command sophiebench runs the repository's tracked performance
 // benchmarks and emits a machine-readable JSON baseline (schema
-// "sophie-bench/v1"). The committed BENCH_PR5.json snapshots the
+// "sophie-bench/v1"). The committed BENCH_PR6.json snapshots the
 // incremental-datapath speedup on the G22-mini solver workload, the
 // underlying linalg kernel costs, the batched replica runtime's
-// throughput scaling, and — since the execution-trace spine — the cost
-// of the trace emitters themselves: a per-phase wall-time attribution
-// of one traced solve plus the derived trace_overhead metrics that
-// guard the "untraced solves pay (almost) nothing" contract. CI re-runs
+// throughput scaling, the cost of the trace emitters (per-phase
+// wall-time attribution of one traced solve plus the derived
+// trace_overhead metrics that guard the "untraced solves pay (almost)
+// nothing" contract), and — since the shared-inspector refactor — the
+// lint suite's wall time: the nine-analyzer single-walk run against
+// the six original analyzers under the old walk-per-analyzer model,
+// guarded by the derived lint_shared9_over_isolated6 ratio. CI re-runs
 // the suite with -benchtime=1x as a smoke test and uploads the fresh
 // report as an artifact. See README.md "Benchmarks".
 package main
@@ -17,9 +20,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
+	"sophie/internal/analysis"
 	"sophie/internal/core"
 	"sophie/internal/graph"
 	"sophie/internal/ising"
@@ -66,7 +71,7 @@ type benchmark struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR6.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark budget (Go benchtime syntax, e.g. 2s or 1x)")
 	testing.Init()
 	flag.Parse()
@@ -85,6 +90,29 @@ func batchParWorkers() int {
 		return n
 	}
 	return 2
+}
+
+// loadLintWorkload parses and type-checks the lint benchmark's fixed
+// package set — internal/core and internal/service, the two packages
+// the concurrency analyzers exist for — outside the timed region.
+func loadLintWorkload() ([]*analysis.Unit, *analysis.Loader, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, nil, err
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		return nil, nil, err
+	}
+	var units []*analysis.Unit
+	for _, rel := range []string{"internal/core", "internal/service"} {
+		us, err := loader.LoadDir(filepath.Join(loader.ModuleRoot, rel), "")
+		if err != nil {
+			return nil, nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, loader, nil
 }
 
 // run executes the suite under the given benchtime and writes the JSON
@@ -289,12 +317,57 @@ func run(benchtime, out string) error {
 	record("batch/G22mini-replicas8-w1", batchBench(1))
 	record(fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers()), batchBench(batchParWorkers()))
 
+	// --- Static-analysis suite: the nine-analyzer shared-inspector run
+	// vs the pre-inspector execution model (one full traversal per
+	// analyzer) restricted to the original six analyzers. The derived
+	// lint_shared9_over_isolated6 ratio is the tentpole guard: one
+	// shared walk plus the facts layer must keep the grown suite no
+	// slower than six isolated walks ever were. The workload is the
+	// repo's two concurrency-heavy packages; parsing and type-checking
+	// happen once in the memoized loader, and a warmup run fills the
+	// cross-package facts cache, so both arms time steady-state analysis
+	// only.
+	lintUnits, lintLoader, err := loadLintWorkload()
+	if err != nil {
+		return err
+	}
+	shared9 := analysis.Analyzers()
+	isolated6 := shared9[:6]
+	for _, u := range lintUnits { // warmup: facts cache + any lazy state
+		if _, err := analysis.RunUnit(u, shared9, lintLoader); err != nil {
+			return err
+		}
+	}
+	record("lint/shared-9analyzers", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, u := range lintUnits {
+				if _, err := analysis.RunUnit(u, shared9, lintLoader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	record("lint/isolated-6analyzers", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, u := range lintUnits {
+				if _, err := analysis.RunUnitIsolated(u, isolated6, lintLoader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
 	perOp := func(name string) float64 {
 		r := byName[name]
 		return float64(r.T.Nanoseconds()) / float64(r.N)
 	}
 	if d := perOp("solver/G22mini-delta"); d > 0 {
 		rep.Derived["solver_speedup_exact_over_delta"] = perOp("solver/G22mini-exact") / d
+	}
+	if iso := perOp("lint/isolated-6analyzers"); iso > 0 {
+		rep.Derived["lint_shared9_over_isolated6"] = perOp("lint/shared-9analyzers") / iso
 	}
 	if bin := perOp("linalg/MulVecBinary64"); bin > 0 {
 		rep.Derived["linalg_speedup_mulvec_over_binary"] = perOp("linalg/MulVec64") / bin

@@ -40,6 +40,8 @@ func TestRunEmitsValidReport(t *testing.T) {
 		"trace/emit-recorded":         false,
 		"batch/G22mini-replicas8-w1":  false,
 		fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers()): false,
+		"lint/shared-9analyzers":   false,
+		"lint/isolated-6analyzers": false,
 	}
 	for _, b := range rep.Benchmarks {
 		seen, ok := want[b.Name]
@@ -63,6 +65,20 @@ func TestRunEmitsValidReport(t *testing.T) {
 		if rep.Derived[key] <= 0 {
 			t.Fatalf("derived metric %q missing or non-positive: %v", key, rep.Derived[key])
 		}
+	}
+
+	// The shared-inspector contract: nine analyzers in one walk must not
+	// cost more than the six original analyzers did across six walks.
+	// The committed baseline records the honest steady-state ratio; the
+	// in-test bar leaves headroom for a 1x run's noise while still
+	// catching a regression to per-analyzer traversals (which lands well
+	// above it).
+	lintRatio, ok := rep.Derived["lint_shared9_over_isolated6"]
+	if !ok {
+		t.Fatal("derived metric lint_shared9_over_isolated6 missing")
+	}
+	if lintRatio <= 0 || lintRatio > 1.25 {
+		t.Fatalf("lint_shared9_over_isolated6 = %v, want in (0, 1.25]", lintRatio)
 	}
 
 	// The trace spine's acceptance bar: the no-op emitter tax on an

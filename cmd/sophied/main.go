@@ -103,6 +103,13 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(stdout, "sophied: http shutdown: %v\n", err)
 	}
+	// Join the serve goroutine: srv.Shutdown stops the listener, which
+	// makes Serve return http.ErrServerClosed. Draining the channel
+	// guarantees no daemon goroutine outlives run; anything else Serve
+	// reports is a real serving failure that raced the shutdown.
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stdout, "sophied: serve: %v\n", err)
+	}
 
 	if *snapshotPath != "" && len(snap.Jobs) > 0 {
 		if err := writeSnapshot(*snapshotPath, snap); err != nil {

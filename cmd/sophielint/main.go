@@ -1,8 +1,9 @@
 // Command sophielint runs the sophie static-analysis suite
-// (internal/analysis): globalrand, seedplumb, floateq, and opcount —
-// the machine-checked invariants behind the simulator's determinism
-// and PPA accounting. See DESIGN.md "Invariants" for what each check
-// enforces.
+// (internal/analysis): globalrand, seedplumb, seedmix, floateq,
+// opcount, tracecount, ctxflow, lockcheck, and goleak — the
+// machine-checked invariants behind the simulator's determinism, PPA
+// accounting, and the runtime's concurrency contracts. See DESIGN.md
+// "Invariants" for what each check enforces.
 //
 // It runs two ways:
 //
@@ -11,6 +12,7 @@
 //	sophielint            # whole module, like ./...
 //	sophielint ./internal/core ./cmd/...
 //	sophielint -checks globalrand,floateq ./...
+//	sophielint -json ./...
 //
 // Or as a vet tool, speaking the `go vet` driver protocol (-V=full,
 // -flags, and JSON config files), so findings integrate with the
@@ -23,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,7 +36,11 @@ import (
 	"sophie/internal/analysis"
 )
 
-const version = "sophielint version 1.0.0"
+// version is the vet driver's cache key (-V=full): it must change
+// whenever analyzer behavior changes, or stale cached vet results
+// would mask new findings. 1.1.0: shared inspector, facts layer,
+// ctxflow/lockcheck/goleak.
+const version = "sophielint version 1.1.0"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -66,9 +73,10 @@ func runStandalone(args []string, stdout, stderr io.Writer) int {
 	var (
 		checks = fs.String("checks", "", "comma-separated analyzer subset (default: all)")
 		list   = fs.Bool("list", false, "list analyzers and exit")
+		asJSON = fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: sophielint [-checks a,b] [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: sophielint [-checks a,b] [-json] [-list] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -102,7 +110,7 @@ func runStandalone(args []string, stdout, stderr io.Writer) int {
 		return 3
 	}
 
-	found := 0
+	var all []analysis.Diagnostic
 	for _, dir := range dirs {
 		units, err := loader.LoadDir(dir, "")
 		if err != nil {
@@ -110,22 +118,61 @@ func runStandalone(args []string, stdout, stderr io.Writer) int {
 			return 3
 		}
 		for _, u := range units {
-			diags, err := analysis.RunUnit(u, suite)
+			diags, err := analysis.RunUnit(u, suite, loader)
 			if err != nil {
 				fmt.Fprintln(stderr, "sophielint:", err)
 				return 3
 			}
-			for _, d := range diags {
-				found++
-				fmt.Fprintln(stdout, formatDiag(loader.ModuleRoot, d))
-			}
+			all = append(all, diags...)
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(stderr, "sophielint: %d finding(s)\n", found)
+	if *asJSON {
+		if err := writeJSON(stdout, loader.ModuleRoot, all); err != nil {
+			fmt.Fprintln(stderr, "sophielint:", err)
+			return 3
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, formatDiag(loader.ModuleRoot, d))
+		}
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "sophielint: %d finding(s)\n", len(all))
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the machine-readable finding schema emitted by -json;
+// paths are module-relative, matching the plain-text output.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// writeJSON emits every finding as one JSON array (an empty run emits
+// `[]`, so consumers never special-case the clean path).
+func writeJSON(w io.Writer, root string, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		out = append(out, jsonDiag{
+			File:    file,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // formatDiag prints module-relative paths so output is stable across

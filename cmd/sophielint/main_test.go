@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,10 +44,59 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit %d: %s", code, stderr.String())
 	}
-	for _, name := range []string{"globalrand", "seedplumb", "floateq", "opcount", "tracecount"} {
+	for _, name := range []string{
+		"globalrand", "seedplumb", "seedmix", "floateq", "opcount",
+		"tracecount", "ctxflow", "lockcheck", "goleak",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestJSONOutput checks the machine-readable finding schema the CI
+// problem matcher consumes: an array of {file, line, column, check,
+// message} objects with module-relative paths, and a bare [] on a
+// clean run.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-checks", "floateq", "../../internal/analysis/testdata/src/floateq"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded from golden package")
+	}
+	for _, f := range findings {
+		if f.Check != "floateq" || f.Line == 0 || f.Column == 0 {
+			t.Errorf("malformed finding %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path %q is absolute, want module-relative", f.File)
+		}
+		if !strings.Contains(f.Message, "floating-point") {
+			t.Errorf("finding message %q does not describe the violation", f.Message)
+		}
+	}
+
+	// A clean run emits the empty array, not empty output.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-json", "-checks", "floateq", "../../internal/metrics"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean run exit %d: %s", code, stderr.String())
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Fatalf("clean -json output %q, want []", stdout.String())
 	}
 }
 

@@ -27,6 +27,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -34,8 +35,10 @@ type vetConfig struct {
 
 // runVetUnit analyzes one build unit described by a `go vet` config
 // file: parse the unit's files, type-check against the compiler's
-// export data (no source re-typechecking of dependencies), run the
-// suite, and write the (empty) facts file the driver expects.
+// export data (no source re-typechecking of dependencies), compute and
+// serialize the unit's FactSet into its vetx output, and — for
+// non-dependency units — run the suite with imported packages' facts
+// resolved through the driver's PackageVetx table.
 func runVetUnit(cfgPath string, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -48,16 +51,13 @@ func runVetUnit(cfgPath string, stderr io.Writer) int {
 		return 3
 	}
 
-	// The driver requires the facts output file to exist even though
-	// this suite exports no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(stderr, "sophielint:", err)
-			return 3
-		}
-	}
-	if cfg.VetxOnly {
-		return 0 // dependency unit: facts only, no diagnostics wanted
+	// Dependency units (VetxOnly) exist to produce facts. Only
+	// module-local packages carry facts the analyzers consult —
+	// standard-library blocking behavior comes from a static table —
+	// so everything else gets an empty facts file without the cost of
+	// re-typechecking the whole dependency graph on every vet run.
+	if cfg.VetxOnly && !vetUnitInModule(cfg.ImportPath) {
+		return writeVetx(cfg.VetxOutput, analysis.FactSet{}, stderr)
 	}
 
 	fset := token.NewFileSet()
@@ -66,7 +66,7 @@ func runVetUnit(cfgPath string, stderr io.Writer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx(cfg.VetxOutput, analysis.FactSet{}, stderr)
 			}
 			fmt.Fprintln(stderr, "sophielint:", err)
 			return 3
@@ -103,7 +103,7 @@ func runVetUnit(cfgPath string, stderr io.Writer) int {
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx(cfg.VetxOutput, analysis.FactSet{}, stderr)
 		}
 		fmt.Fprintln(stderr, "sophielint:", err)
 		return 3
@@ -124,7 +124,19 @@ func runVetUnit(cfgPath string, stderr io.Writer) int {
 		Pkg:     pkg,
 		Info:    info,
 	}
-	diags, err := analysis.RunUnit(unit, analysis.Analyzers())
+	src := &vetxFacts{paths: cfg.PackageVetx, cache: make(map[string]analysis.FactSet)}
+
+	// Serialize this unit's facts for downstream units regardless of
+	// whether it is diagnosed itself.
+	own := analysis.NewFactView(unit, src).Own()
+	if code := writeVetx(cfg.VetxOutput, own, stderr); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency unit: facts only, no diagnostics wanted
+	}
+
+	diags, err := analysis.RunUnit(unit, analysis.Analyzers(), src)
 	if err != nil {
 		fmt.Fprintln(stderr, "sophielint:", err)
 		return 3
@@ -136,4 +148,85 @@ func runVetUnit(cfgPath string, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// vetUnitInModule reports whether the unit belongs to the module the
+// vet run was launched from (the only packages whose facts matter —
+// the standard library is covered by the static blocking table).
+func vetUnitInModule(importPath string) bool {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return true // can't tell; compute facts to be safe
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return true
+	}
+	modPath, err := moduleNameOf(root)
+	if err != nil {
+		return true
+	}
+	importPath = strings.TrimSuffix(importPath, ".test")
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+	return importPath == modPath || strings.HasPrefix(importPath, modPath+"/")
+}
+
+func moduleNameOf(root string) (string, error) {
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		return "", err
+	}
+	return l.ModulePath, nil
+}
+
+// writeVetx writes the serialized FactSet the driver expects at the
+// unit's vetx output path (the file must exist even when empty).
+func writeVetx(path string, fs analysis.FactSet, stderr io.Writer) int {
+	if path == "" {
+		return 0
+	}
+	data, err := analysis.EncodeFacts(fs)
+	if err != nil {
+		fmt.Fprintln(stderr, "sophielint:", err)
+		return 3
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(stderr, "sophielint:", err)
+		return 3
+	}
+	return 0
+}
+
+// vetxFacts resolves imported packages' FactSets from the vetx files
+// the driver recorded in PackageVetx.
+type vetxFacts struct {
+	paths map[string]string
+	cache map[string]analysis.FactSet
+}
+
+func (v *vetxFacts) PackageFacts(path string) analysis.FactSet {
+	if fs, ok := v.cache[path]; ok {
+		return fs
+	}
+	file, ok := v.paths[path]
+	if !ok {
+		v.cache[path] = nil
+		return nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		v.cache[path] = nil
+		return nil
+	}
+	fs, err := analysis.DecodeFacts(data)
+	if err != nil {
+		// A vetx file from an older sophielint version (or another
+		// tool) is not a fact source; treat as fact-free rather than
+		// failing the run.
+		fs = nil
+	}
+	v.cache[path] = fs
+	return fs
 }

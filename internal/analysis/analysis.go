@@ -2,7 +2,18 @@
 // small, dependency-free framework in the style of
 // golang.org/x/tools/go/analysis (which is unavailable offline) plus
 // the project-specific analyzers that encode SOPHIE's simulation
-// invariants:
+// invariants.
+//
+// The framework is two-pass. Pass one is a shared single-walk
+// inspector: every analyzer registers node-type-indexed callbacks
+// (Analyzer.Register) and RunUnit traverses the unit's syntax exactly
+// once, so the suite's per-unit cost stays one walk no matter how many
+// analyzers run. Pass two is the facts layer (facts.go): per-package
+// concurrency findings ("this exported function blocks", "this
+// function observes ctx") serialized across package boundaries so
+// analyzers reason about callees they cannot see the syntax of.
+//
+// The analyzers:
 //
 //   - globalrand: no package-level math/rand state, no *rand.Rand
 //     shared across goroutine boundaries (the per-PE-RNG rule that
@@ -11,6 +22,8 @@
 //     internal/{core,pris,baseline,opcm} must take a Seed or
 //     *rand.Rand (reproducibility gate for every EXPERIMENTS.md
 //     figure).
+//   - seedmix: replica/batch seed derivation must mix indices with
+//     distinct multipliers, not reuse the base seed.
 //   - floateq: no ==/!= between floating-point expressions outside
 //     test files (exact comparison against the constant 0 is allowed
 //     as the idiomatic sentinel check).
@@ -22,11 +35,26 @@
 //     internal/trace's event fold (and internal/metrics itself) —
 //     any other writer forks the accounting away from what replaying
 //     the event stream produces.
+//   - ctxflow: exported blocking entry points in internal/{core,
+//     service} accept a context.Context (or have a Ctx sibling), and
+//     potentially-unbounded loops in context-aware functions observe
+//     cancellation.
+//   - lockcheck: no sync.Mutex/RWMutex held across a channel
+//     operation or other blocking call, no cond.Wait outside a
+//     condition loop, no Lock without an all-paths Unlock.
+//   - goleak: every go statement in non-test code is tied to a
+//     WaitGroup, context, or owning struct's shutdown path.
 //
 // Findings can be suppressed with a justification comment on the same
-// line (or the line above):
+// line (or on its own line above — intervening comment-only lines are
+// skipped, so a directive above a comment block still scopes to the
+// first code line below it):
 //
 //	//sophielint:ignore floateq exact sentinel equality is intended
+//
+// A directive naming an analyzer that does not exist is itself
+// diagnosed (check "ignore"), so typos cannot silently suppress
+// nothing.
 package analysis
 
 import (
@@ -45,9 +73,11 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `sophielint -help`.
 	Doc string
-	// Run inspects the unit behind pass and reports findings through
-	// pass.Reportf.
-	Run func(pass *Pass) error
+	// Register wires the analyzer's callbacks into the shared
+	// inspector. Callbacks report findings through pass.Reportf; the
+	// framework walks the syntax after every suite member has
+	// registered.
+	Register func(pass *Pass, ins *Inspector)
 }
 
 // Pass carries one analyzer's view of one type-checked unit (a
@@ -71,6 +101,10 @@ type Pass struct {
 	// compiled with, and reporting them again would duplicate the
 	// primary unit's findings.
 	TestOnly bool
+	// Facts is the unit's window onto the cross-package facts layer;
+	// shared by all analyzers in the suite so the unit's own FactSet
+	// is computed at most once.
+	Facts *FactView
 
 	diags   *[]Diagnostic
 	ignores ignoreIndex
@@ -111,16 +145,28 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 }
 
 // ignoreIndex maps filename -> line -> analyzer names suppressed on
-// that line. A directive suppresses findings on its own line and the
-// following line, so both trailing comments and own-line comments
-// above the flagged statement work.
+// that line. A directive suppresses findings on its own line and on
+// the next line holding code, skipping intervening comment-only and
+// blank lines so a directive may sit above a comment block explaining
+// the exception.
 type ignoreIndex map[string]map[int][]string
 
 const ignoreDirective = "sophielint:ignore"
 
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+// ignoreCheckName attributes diagnostics about malformed ignore
+// directives. It is reserved: not an analyzer, never suppressible.
+const ignoreCheckName = "ignore"
+
+// buildIgnoreIndex parses every //sophielint:ignore directive in files
+// into a suppression index, and reports directives that name analyzers
+// the suite does not have — a typo there would otherwise silently
+// suppress nothing. known holds the valid check names (the registry
+// plus "all").
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, known map[string]bool) (ignoreIndex, []Diagnostic) {
 	idx := make(ignoreIndex)
+	var bad []Diagnostic
 	for _, f := range files {
+		codeLines := fileCodeLines(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -135,17 +181,58 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 				}
 				checks := strings.Split(fields[0], ",")
 				pos := fset.Position(c.Pos())
+				for _, name := range checks {
+					if known != nil && !known[name] {
+						bad = append(bad, Diagnostic{
+							Pos:     pos,
+							Check:   ignoreCheckName,
+							Message: fmt.Sprintf("ignore directive names unknown analyzer %q", name),
+						})
+					}
+				}
 				byLine := idx[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int][]string)
 					idx[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = append(byLine[pos.Line], checks...)
-				byLine[pos.Line+1] = append(byLine[pos.Line+1], checks...)
+				if next, ok := nextCodeLine(codeLines, pos.Line); ok {
+					byLine[next] = append(byLine[next], checks...)
+				}
 			}
 		}
 	}
-	return idx
+	return idx, bad
+}
+
+// fileCodeLines returns the sorted set of lines in f on which a
+// syntax node starts — the only lines a diagnostic can be positioned
+// on. Comment-only and blank lines are absent, which is what lets a
+// directive's scope skip over them.
+func fileCodeLines(fset *token.FileSet, f *ast.File) []int {
+	seen := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		seen[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	lines := make([]int, 0, len(seen))
+	for l := range seen {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	return lines
+}
+
+// nextCodeLine returns the first code line strictly after line.
+func nextCodeLine(codeLines []int, line int) (int, bool) {
+	i := sort.SearchInts(codeLines, line+1)
+	if i == len(codeLines) {
+		return 0, false
+	}
+	return codeLines[i], true
 }
 
 func (idx ignoreIndex) matches(pos token.Position, check string) bool {
@@ -170,7 +257,22 @@ func Analyzers() []*Analyzer {
 		FloatEqAnalyzer,
 		OpCountAnalyzer,
 		TraceCountAnalyzer,
+		CtxFlowAnalyzer,
+		LockCheckAnalyzer,
+		GoLeakAnalyzer,
 	}
+}
+
+// knownCheckNames returns the set of names valid in ignore directives:
+// every registered analyzer plus the "all" wildcard. Validation is
+// against the full registry, not the selected suite, so running a
+// subset of checks does not misreport ignores aimed at the others.
+func knownCheckNames() map[string]bool {
+	known := map[string]bool{"all": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return known
 }
 
 // ByName resolves a comma-separated analyzer selection ("" selects the
@@ -195,29 +297,70 @@ func ByName(selection string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// RunUnit runs every analyzer in suite over one loaded unit and
-// returns the surviving diagnostics sorted by position.
-func RunUnit(u *Unit, suite []*Analyzer) ([]Diagnostic, error) {
+// RunUnit runs every analyzer in suite over one loaded unit in a
+// single shared traversal and returns the surviving diagnostics sorted
+// by position. facts supplies imported packages' FactSets; nil is
+// valid and leaves cross-package facts empty.
+func RunUnit(u *Unit, suite []*Analyzer, facts FactSource) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	ignores := buildIgnoreIndex(u.Fset, u.Files)
+	ignores, bad := buildIgnoreIndex(u.Fset, u.Files, knownCheckNames())
+	diags = append(diags, filterTestOnly(bad, u.TestOnly)...)
+	view := NewFactView(u, facts)
+	ins := NewInspector(u.Files)
 	for _, a := range suite {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     u.Fset,
-			Files:    u.Files,
-			Pkg:      u.Pkg,
-			Info:     u.Info,
-			PkgPath:  u.Path,
-			TestOnly: u.TestOnly,
-			diags:    &diags,
-			ignores:  ignores,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %v", u.Path, a.Name, err)
-		}
+		a.Register(newPass(a, u, view, &diags, ignores), ins)
+	}
+	ins.walk()
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunUnitIsolated runs each analyzer in its own full traversal — the
+// pre-inspector execution model. It exists for sophiebench's
+// shared-vs-isolated wall-time comparison and produces the same
+// diagnostics as RunUnit.
+func RunUnitIsolated(u *Unit, suite []*Analyzer, facts FactSource) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores, bad := buildIgnoreIndex(u.Fset, u.Files, knownCheckNames())
+	diags = append(diags, filterTestOnly(bad, u.TestOnly)...)
+	view := NewFactView(u, facts)
+	for _, a := range suite {
+		ins := NewInspector(u.Files)
+		a.Register(newPass(a, u, view, &diags, ignores), ins)
+		ins.walk()
 	}
 	SortDiagnostics(diags)
 	return diags, nil
+}
+
+func newPass(a *Analyzer, u *Unit, view *FactView, diags *[]Diagnostic, ignores ignoreIndex) *Pass {
+	return &Pass{
+		Analyzer: a,
+		Fset:     u.Fset,
+		Files:    u.Files,
+		Pkg:      u.Pkg,
+		Info:     u.Info,
+		PkgPath:  u.Path,
+		TestOnly: u.TestOnly,
+		Facts:    view,
+		diags:    diags,
+		ignores:  ignores,
+	}
+}
+
+// filterTestOnly applies the TestOnly reporting restriction to
+// framework-level diagnostics (Reportf applies it for analyzers).
+func filterTestOnly(diags []Diagnostic, testOnly bool) []Diagnostic {
+	if !testOnly {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // SortDiagnostics orders findings by file, line, column, then check

@@ -37,12 +37,22 @@ var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 // golden expectations.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
+	RunWithPath(t, dir, a, pkg, pkg)
+}
+
+// RunWithPath is Run with an explicit import path for the golden
+// package, for analyzers that scope by package path (ctxflow needs a
+// tree that *ends in* internal/core without *being* the real
+// sophie/internal/core, which the loader would resolve from the module
+// tree instead of testdata).
+func RunWithPath(t *testing.T, dir string, a *analysis.Analyzer, pkg, importPath string) {
+	t.Helper()
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
 	pkgDir := filepath.Join(dir, "testdata", "src", pkg)
-	units, err := loader.LoadDir(pkgDir, pkg)
+	units, err := loader.LoadDir(pkgDir, importPath)
 	if err != nil {
 		t.Fatalf("load %s: %v", pkgDir, err)
 	}
@@ -52,7 +62,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
 	var diags []analysis.Diagnostic
 	var expects []*expectation
 	for _, u := range units {
-		ud, err := analysis.RunUnit(u, []*analysis.Analyzer{a})
+		ud, err := analysis.RunUnit(u, []*analysis.Analyzer{a}, loader)
 		if err != nil {
 			t.Fatalf("run %s: %v", u.Path, err)
 		}

@@ -31,6 +31,20 @@ func TestTraceCount(t *testing.T) {
 	analysistest.Run(t, ".", analysis.TraceCountAnalyzer, "tracecount")
 }
 
+func TestCtxFlow(t *testing.T) {
+	// The synthetic import path ends in internal/core so the analyzer's
+	// package guard applies to the golden tree.
+	analysistest.RunWithPath(t, ".", analysis.CtxFlowAnalyzer, "ctxflow", "golden/internal/core")
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, ".", analysis.LockCheckAnalyzer, "lockcheck")
+}
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, ".", analysis.GoLeakAnalyzer, "goleak")
+}
+
 func TestByName(t *testing.T) {
 	suite, err := analysis.ByName("floateq,globalrand")
 	if err != nil {
@@ -45,7 +59,11 @@ func TestByName(t *testing.T) {
 }
 
 func TestSuiteIsComplete(t *testing.T) {
-	want := map[string]bool{"globalrand": true, "seedplumb": true, "seedmix": true, "floateq": true, "opcount": true, "tracecount": true}
+	want := map[string]bool{
+		"globalrand": true, "seedplumb": true, "seedmix": true,
+		"floateq": true, "opcount": true, "tracecount": true,
+		"ctxflow": true, "lockcheck": true, "goleak": true,
+	}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
@@ -54,8 +72,8 @@ func TestSuiteIsComplete(t *testing.T) {
 		if !want[a.Name] {
 			t.Errorf("unexpected analyzer %q", a.Name)
 		}
-		if a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %q missing doc or run", a.Name)
+		if a.Doc == "" || a.Register == nil {
+			t.Errorf("analyzer %q missing doc or register hook", a.Name)
 		}
 	}
 }

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlowAnalyzer enforces the runtime's cancellation contract
+// (DESIGN.md "Invariants"): work started through the public surface of
+// internal/core and internal/service must be stoppable.
+//
+// Two checks:
+//
+//  1. An exported function (or method) that blocks — per the facts
+//     layer, transitively through its callees — must either accept a
+//     context.Context or have a "Ctx sibling": a function of the same
+//     name with a Ctx suffix (Run/RunCtx, RunBatch/RunBatchCtx). The
+//     sibling convention keeps the zero-dependency fast path while
+//     guaranteeing a cancellable variant exists.
+//
+//  2. A potentially-unbounded loop (`for {`) in a context-aware
+//     function must observe cancellation each iteration: a ctx.Done()
+//     / ctx.Err() check, a receive from a stop/done/quit channel, or a
+//     batchStop-style stopped()/cancelled() poll. A context-aware
+//     function that spins without looking at its context turns
+//     cancellation into a dead letter.
+//
+// The analyzer scopes to internal/core and internal/service (matched
+// by path suffix so analysistest's synthetic paths resolve the same
+// way); handlers taking *http.Request are exempt from check 1 — their
+// context arrives inside the request.
+var CtxFlowAnalyzer = &Analyzer{
+	Name:     "ctxflow",
+	Doc:      "exported blocking entry points in core/service must accept ctx; unbounded loops must observe cancellation",
+	Register: registerCtxFlow,
+}
+
+func ctxFlowGuardedPkg(pkg string) bool {
+	pkg = strings.TrimSuffix(pkg, "_test")
+	return strings.HasSuffix(pkg, "internal/core") ||
+		strings.HasSuffix(pkg, "internal/service")
+}
+
+func registerCtxFlow(pass *Pass, ins *Inspector) {
+	if !ctxFlowGuardedPkg(pass.PkgPath) {
+		return
+	}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		checkBlockingEntryPoint(pass, n.(*ast.FuncDecl))
+	})
+	ins.WithStack([]ast.Node{(*ast.ForStmt)(nil)}, func(n ast.Node, stack []ast.Node) {
+		checkUnboundedLoop(pass, n.(*ast.ForStmt), stack)
+	})
+}
+
+// checkBlockingEntryPoint implements check 1.
+func checkBlockingEntryPoint(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || !fn.Name.IsExported() || pass.IsTestFile(fn.Pos()) {
+		return
+	}
+	obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if sigTakesCtx(sig) || sigTakesHTTPRequest(sig) {
+		return
+	}
+	if !pass.Facts.Func(obj).Blocks {
+		return
+	}
+	if hasCtxSibling(pass, obj, sig) {
+		return
+	}
+	pass.Reportf(fn.Name.Pos(),
+		"exported %s blocks but takes no context.Context and has no %sCtx sibling: callers cannot cancel it",
+		fn.Name.Name, fn.Name.Name)
+}
+
+// sigTakesCtx reports whether any parameter is a context.Context.
+func sigTakesCtx(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextTypeT(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// sigTakesHTTPRequest reports whether any parameter is an
+// *http.Request (whose Context() carries the cancellation signal).
+func sigTakesHTTPRequest(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		o := named.Obj()
+		if o.Name() == "Request" && o.Pkg() != nil && o.Pkg().Path() == "net/http" {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextTypeT(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context"
+}
+
+// hasCtxSibling reports whether a NameCtx variant exists: a package
+// function for package functions, a method on the same receiver type
+// for methods.
+func hasCtxSibling(pass *Pass, obj *types.Func, sig *types.Signature) bool {
+	sibling := obj.Name() + "Ctx"
+	recv := sig.Recv()
+	if recv == nil {
+		if pass.Pkg == nil {
+			return false
+		}
+		_, ok := pass.Pkg.Scope().Lookup(sibling).(*types.Func)
+		return ok
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == sibling {
+			return true
+		}
+	}
+	return false
+}
+
+// checkUnboundedLoop implements check 2.
+func checkUnboundedLoop(pass *Pass, loop *ast.ForStmt, stack []ast.Node) {
+	if loop.Cond != nil || pass.IsTestFile(loop.Pos()) {
+		return
+	}
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		return
+	}
+	if !referencesContext(pass, body) {
+		return
+	}
+	if observesCancellation(pass, loop.Body) {
+		return
+	}
+	pass.Reportf(loop.For,
+		"unbounded for loop in a context-aware function never observes cancellation: poll ctx.Done()/Err() or a stop flag each iteration")
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// (declaration or literal) containing the top of the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// referencesContext reports whether the function body mentions any
+// context.Context-typed value (parameter, field, or local).
+func referencesContext(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[ident]
+		if obj == nil {
+			obj = pass.Info.Defs[ident]
+		}
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if isContextTypeT(obj.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// cancellationNames are the substrings that mark a channel or poll
+// call as a stop signal (the repo's batchStop.stopped(), stopCh,
+// quit/done channels).
+func nameSignalsStop(name string) bool {
+	name = strings.ToLower(name)
+	for _, s := range []string{"stop", "done", "quit", "cancel", "close"} {
+		if strings.Contains(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// observesCancellation reports whether the loop body checks a
+// cancellation signal: ctx.Done()/ctx.Err(), a receive from a channel
+// whose name signals stop, or a call to a stop-flag poll.
+func observesCancellation(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if isCtxMethod(pass.Info, sel, "Done") || isCtxMethod(pass.Info, sel, "Err") {
+					found = true
+					return false
+				}
+				if nameSignalsStop(sel.Sel.Name) {
+					found = true
+					return false
+				}
+			}
+			if ident, ok := n.Fun.(*ast.Ident); ok && nameSignalsStop(ident.Name) {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if nameSignalsStop(exprLeafName(n.X)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprLeafName returns the rightmost identifier of a selector chain or
+// identifier ("m.stopCh" -> "stopCh").
+func exprLeafName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		return exprLeafName(e.Fun)
+	}
+	return ""
+}

@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The facts layer lets analyzers reason across package boundaries the
+// way golang.org/x/tools/go/analysis facts do, still on the standard
+// library alone: analyzing one unit produces a serializable FactSet
+// describing its functions' concurrency-relevant behavior, and units
+// analyzed later consult the FactSets of the packages they import. Two
+// sources exist — the standalone runner and analysistest compute facts
+// on demand from the Loader's memoized syntax, while the `go vet`
+// driver path serializes each unit's FactSet as JSON into its .vetx
+// output file and reads imports' facts back through the driver's
+// PackageVetx table (cmd/sophielint/vet.go).
+
+// FuncFacts records the concurrency-relevant properties of one
+// function, computed transitively over its call graph.
+type FuncFacts struct {
+	// Blocks reports that calling the function may wait unboundedly:
+	// its body (or a callee's) performs a channel send/receive outside
+	// a select with a default case, ranges over a channel, waits on a
+	// sync.WaitGroup or sync.Cond, sleeps, or calls a known-blocking
+	// standard-library entry point.
+	Blocks bool `json:"blocks,omitempty"`
+	// ObservesCtx reports that the function (or a callee) polls
+	// cancellation: it calls Done or Err on a context.Context.
+	ObservesCtx bool `json:"observes_ctx,omitempty"`
+}
+
+// FactSet holds one package's function facts, keyed by
+// (*types.Func).FullName — e.g. "(*sophie/internal/core.Solver).Run".
+type FactSet map[string]FuncFacts
+
+// EncodeFacts serializes a FactSet for a .vetx-style facts file.
+func EncodeFacts(fs FactSet) ([]byte, error) { return json.Marshal(fs) }
+
+// DecodeFacts parses a serialized FactSet; empty input decodes to an
+// empty set (the driver pre-creates empty facts files).
+func DecodeFacts(data []byte) (FactSet, error) {
+	if len(data) == 0 {
+		return FactSet{}, nil
+	}
+	var fs FactSet
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// FactSource resolves the FactSet of an imported package; nil results
+// mean "unknown package", which analyzers treat as fact-free.
+type FactSource interface {
+	PackageFacts(path string) FactSet
+}
+
+// UnitFactsCache is an optional FactSource extension for sources that
+// retain units across runs (the memoizing Loader): the unit's computed
+// FactSet is cached by unit identity, so analyzing the same loaded
+// unit again skips the fixpoint.
+type UnitFactsCache interface {
+	UnitFacts(u *Unit, compute func() FactSet) FactSet
+}
+
+// stdBlocking names standard-library functions that block but whose
+// bodies the syntax scan cannot see through (runtime-implemented, or
+// loaded only as export data), keyed by FullName.
+var stdBlocking = map[string]bool{
+	"(*sync.WaitGroup).Wait":                  true,
+	"(*sync.Cond).Wait":                       true,
+	"time.Sleep":                              true,
+	"(*net/http.Server).Serve":                true,
+	"(*net/http.Server).ListenAndServe":       true,
+	"(*net/http.Server).ListenAndServeTLS":    true,
+	"(*net/http.Server).Shutdown":             true,
+	"(*os/exec.Cmd).Run":                      true,
+	"(*os/exec.Cmd).Wait":                     true,
+	"(golang.org/x/sync/errgroup.Group).Wait": true,
+}
+
+// FactView is a Pass's window onto the facts layer: the current unit's
+// own facts (computed lazily on first use) plus whatever the source
+// knows about imported packages.
+type FactView struct {
+	unit *Unit
+	src  FactSource
+	own  FactSet
+}
+
+// NewFactView builds the view RunUnit attaches to every pass.
+func NewFactView(u *Unit, src FactSource) *FactView {
+	return &FactView{unit: u, src: src}
+}
+
+// Own returns the current unit's complete FactSet (computing it on
+// first call) — the set the vet driver serializes.
+func (v *FactView) Own() FactSet {
+	if v.own == nil {
+		if c, ok := v.src.(UnitFactsCache); ok {
+			v.own = c.UnitFacts(v.unit, v.compute)
+		} else {
+			v.own = v.compute()
+		}
+	}
+	return v.own
+}
+
+func (v *FactView) compute() FactSet {
+	return ComputeFacts(v.unit.Files, v.unit.Info, v.lookupExternal)
+}
+
+// Func returns the facts for fn, whichever package it lives in.
+func (v *FactView) Func(fn *types.Func) FuncFacts {
+	if fn == nil {
+		return FuncFacts{}
+	}
+	name := fn.FullName()
+	if stdBlocking[name] {
+		return FuncFacts{Blocks: true}
+	}
+	if fn.Pkg() != nil && v.unit.Pkg != nil && fn.Pkg() == v.unit.Pkg {
+		return v.Own()[name]
+	}
+	return v.lookupExternal(fn)
+}
+
+func (v *FactView) lookupExternal(fn *types.Func) FuncFacts {
+	name := fn.FullName()
+	if stdBlocking[name] {
+		return FuncFacts{Blocks: true}
+	}
+	if v.src == nil || fn.Pkg() == nil {
+		return FuncFacts{}
+	}
+	return v.src.PackageFacts(fn.Pkg().Path())[name]
+}
+
+// ComputeFacts derives a FactSet for one type-checked body of syntax.
+// external resolves facts for functions outside this package (imports);
+// same-package calls are resolved by iterating the scan to a fixpoint,
+// so mutual recursion converges and declaration order is irrelevant.
+func ComputeFacts(files []*ast.File, info *types.Info, external func(*types.Func) FuncFacts) FactSet {
+	type fnDecl struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []fnDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, fnDecl{obj: obj, body: fd.Body})
+		}
+	}
+	facts := make(FactSet, len(decls))
+	lookup := func(fn *types.Func) FuncFacts {
+		if stdBlocking[fn.FullName()] {
+			return FuncFacts{Blocks: true}
+		}
+		if got, ok := facts[fn.FullName()]; ok {
+			return got
+		}
+		if external != nil {
+			return external(fn)
+		}
+		return FuncFacts{}
+	}
+	// Fixpoint: each pass can only turn facts on, so the loop runs at
+	// most until every function's bits are set — bounded by len(decls)
+	// passes, and in practice two or three.
+	for {
+		changed := false
+		for _, d := range decls {
+			got := scanBody(d.body, info, lookup)
+			prev := facts[d.obj.FullName()]
+			got.Blocks = got.Blocks || prev.Blocks
+			got.ObservesCtx = got.ObservesCtx || prev.ObservesCtx
+			if got != prev {
+				facts[d.obj.FullName()] = got
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return facts
+}
+
+// scanBody computes one body's facts given a resolver for callees.
+func scanBody(body *ast.BlockStmt, info *types.Info, lookup func(*types.Func) FuncFacts) FuncFacts {
+	var out FuncFacts
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A spawned goroutine's waits belong to the goroutine, not
+			// the spawner; goleak owns goroutine lifecycle.
+			return false
+		case *ast.FuncLit:
+			// A literal only contributes when it is invoked in place
+			// (handled at the CallExpr below); a stored closure's
+			// behavior belongs to whoever eventually calls it.
+			return false
+		case *ast.SendStmt:
+			out.Blocks = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				out.Blocks = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(info, n.X) {
+				out.Blocks = true
+			}
+		case *ast.SelectStmt:
+			// A select with a default case is a poll, not a wait: skip
+			// the comm clauses but still scan the case bodies.
+			if selectHasDefault(n) {
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CommClause)
+					for _, stmt := range cc.Body {
+						ast.Inspect(stmt, scan)
+					}
+					// The comm clauses themselves are non-blocking
+					// polls, but a receive from ctx.Done() in one still
+					// counts as observing cancellation.
+					if cc.Comm != nil && commObservesCtx(info, cc.Comm) {
+						out.ObservesCtx = true
+					}
+				}
+				return false
+			}
+			out.Blocks = true
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, scan)
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if isCtxMethod(info, sel, "Done") || isCtxMethod(info, sel, "Err") {
+					out.ObservesCtx = true
+				}
+			}
+			if callee := calleeFunc(info, n); callee != nil {
+				got := lookup(callee)
+				out.Blocks = out.Blocks || got.Blocks
+				out.ObservesCtx = out.ObservesCtx || got.ObservesCtx
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+	return out
+}
+
+// commObservesCtx reports whether a select comm clause receives from a
+// context's Done channel.
+func commObservesCtx(info *types.Info, comm ast.Stmt) bool {
+	found := false
+	ast.Inspect(comm, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && isCtxMethod(info, sel, "Done") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// calleeFunc resolves the *types.Func a call statically dispatches to
+// (package function, method, or interface method); nil for indirect
+// calls through function values and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isCtxMethod reports whether sel is a name-method selection on a
+// context.Context-typed expression.
+func isCtxMethod(info *types.Info, sel *ast.SelectorExpr, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	return isContextType(info, sel.X)
+}
+
+// isContextType reports whether e's static type is context.Context.
+func isContextType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isChanType reports whether e's static type is a channel.
+func isChanType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -24,34 +24,30 @@ import (
 // *_test.go files are exempt — tolerance helpers legitimately compare
 // floats exactly when asserting bit-identical reproducibility.
 var FloatEqAnalyzer = &Analyzer{
-	Name: "floateq",
-	Doc:  "flag ==/!= between floating-point expressions outside tests",
-	Run:  runFloatEq,
+	Name:     "floateq",
+	Doc:      "flag ==/!= between floating-point expressions outside tests",
+	Register: registerFloatEq,
 }
 
-func runFloatEq(pass *Pass) error {
-	for _, file := range pass.Files {
-		if pass.IsTestFile(file.Pos()) {
-			continue
+func registerFloatEq(pass *Pass, ins *Inspector) {
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		bin := n.(*ast.BinaryExpr)
+		if bin.Op != token.EQL && bin.Op != token.NEQ {
+			return
 		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			bin, ok := n.(*ast.BinaryExpr)
-			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
-				return true
-			}
-			if !isFloatExpr(pass, bin.X) || !isFloatExpr(pass, bin.Y) {
-				return true
-			}
-			if isExactZero(pass, bin.X) || isExactZero(pass, bin.Y) {
-				return true
-			}
-			pass.Reportf(bin.OpPos,
-				"floating-point %s comparison: use an epsilon tolerance, or mark a deliberate sentinel with //sophielint:ignore floateq <why>",
-				bin.Op)
-			return true
-		})
-	}
-	return nil
+		if pass.IsTestFile(bin.Pos()) {
+			return
+		}
+		if !isFloatExpr(pass, bin.X) || !isFloatExpr(pass, bin.Y) {
+			return
+		}
+		if isExactZero(pass, bin.X) || isExactZero(pass, bin.Y) {
+			return
+		}
+		pass.Reportf(bin.OpPos,
+			"floating-point %s comparison: use an epsilon tolerance, or mark a deliberate sentinel with //sophielint:ignore floateq <why>",
+			bin.Op)
+	})
 }
 
 func isFloatExpr(pass *Pass, e ast.Expr) bool {

@@ -21,9 +21,9 @@ import (
 //     statement: rand.Rand is not safe for concurrent use, and even a
 //     guarded stream would make the draw order schedule-dependent.
 var GlobalRandAnalyzer = &Analyzer{
-	Name: "globalrand",
-	Doc:  "flag global math/rand use and *rand.Rand crossing goroutine boundaries",
-	Run:  runGlobalRand,
+	Name:     "globalrand",
+	Doc:      "flag global math/rand use and *rand.Rand crossing goroutine boundaries",
+	Register: registerGlobalRand,
 }
 
 // globalSourceFuncs are the math/rand package-level functions backed by
@@ -66,21 +66,16 @@ func isRNGType(t types.Type) bool {
 	return false
 }
 
-func runGlobalRand(pass *Pass) error {
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.SelectorExpr:
-				checkGlobalSourceCall(pass, n)
-			case *ast.GenDecl:
-				checkPackageLevelRNG(pass, file, n)
-			case *ast.GoStmt:
-				checkGoStmt(pass, n)
-			}
-			return true
-		})
-	}
-	return nil
+func registerGlobalRand(pass *Pass, ins *Inspector) {
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		checkGlobalSourceCall(pass, n.(*ast.SelectorExpr))
+	})
+	ins.WithStack([]ast.Node{(*ast.GenDecl)(nil)}, func(n ast.Node, stack []ast.Node) {
+		checkPackageLevelRNG(pass, stack[0].(*ast.File), n.(*ast.GenDecl))
+	})
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		checkGoStmt(pass, n.(*ast.GoStmt))
+	})
 }
 
 // checkGlobalSourceCall flags rand.Intn etc. — any selector on the

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeakAnalyzer enforces the goroutine-ownership invariant (DESIGN.md
+// "Invariants"): every goroutine launched in non-test code must be
+// tied to a lifecycle its owner controls. A fire-and-forget goroutine
+// outlives shutdown, keeps captured state alive, and turns clean
+// drains into races.
+//
+// A go statement is considered tied when any of these hold:
+//
+//   - the statement immediately before it is a WaitGroup.Add call (the
+//     Add/go pairing idiom; the spawned function owns the Done);
+//   - its function-literal body calls WaitGroup.Done (usually
+//     deferred);
+//   - its body ranges over a channel — it exits when the owner closes
+//     the channel (the solver's PE worker-pool idiom);
+//   - its body receives from ctx.Done() or from a channel stored in a
+//     struct field (stopCh-style shutdown signal);
+//   - its body sends on or closes a channel that the spawning function
+//     receives from — the spawner joins the goroutine (the
+//     serveErr / done-channel idiom).
+//
+// Anything else is flagged. Deliberate detachment needs a
+// //sophielint:ignore goleak <why> stating who owns the goroutine's
+// lifetime.
+var GoLeakAnalyzer = &Analyzer{
+	Name:     "goleak",
+	Doc:      "every go statement must be tied to a WaitGroup, context, or shutdown channel",
+	Register: registerGoLeak,
+}
+
+func registerGoLeak(pass *Pass, ins *Inspector) {
+	ins.WithStack([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node, stack []ast.Node) {
+		checkGoLeak(pass, n.(*ast.GoStmt), stack)
+	})
+}
+
+func checkGoLeak(pass *Pass, g *ast.GoStmt, stack []ast.Node) {
+	if pass.IsTestFile(g.Pos()) {
+		return
+	}
+	if precededByWaitGroupAdd(pass, g, stack) {
+		return
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		if bodyCallsWaitGroupDone(pass, lit.Body) {
+			return
+		}
+		if bodyRangesOverChannel(pass, lit.Body) {
+			return
+		}
+		if bodyReceivesShutdownSignal(pass, lit.Body) {
+			return
+		}
+		if spawnerJoins(pass, lit.Body, stack, g) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine is not tied to a WaitGroup, context, or shutdown channel: it can outlive its owner; tie it to a lifecycle or justify with //sophielint:ignore goleak <why>")
+}
+
+// precededByWaitGroupAdd reports whether the statement immediately
+// before the go statement in its enclosing block is a WaitGroup.Add
+// call — the `wg.Add(1); go f()` pairing. Immediate adjacency is
+// required: an Add elsewhere in the function ties its own go
+// statement, not every one after it.
+func precededByWaitGroupAdd(pass *Pass, g *ast.GoStmt, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	block, ok := stack[len(stack)-2].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	for i, stmt := range block.List {
+		if stmt != ast.Stmt(g) {
+			continue
+		}
+		if i == 0 {
+			return false
+		}
+		prev, ok := block.List[i-1].(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := prev.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return calleeFullName(pass, call) == "(*sync.WaitGroup).Add"
+	}
+	return false
+}
+
+func calleeFullName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		return fn.FullName()
+	}
+	return ""
+}
+
+func bodyCallsWaitGroupDone(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok &&
+			calleeFullName(pass, call) == "(*sync.WaitGroup).Done" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func bodyRangesOverChannel(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok && isChanType(pass.Info, r.X) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyReceivesShutdownSignal reports whether the body receives from
+// ctx.Done() or from a channel held in a struct field — both are
+// owner-controlled stop signals. Receives from local variables don't
+// count (nothing ties the owner to closing them); those are covered by
+// spawnerJoins instead.
+func bodyReceivesShutdownSignal(pass *Pass, body *ast.BlockStmt) bool {
+	isSignal := func(ch ast.Expr) bool {
+		ch = ast.Unparen(ch)
+		if call, ok := ch.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+				(isCtxMethod(pass.Info, sel, "Done")) {
+				return true
+			}
+			return false
+		}
+		if sel, ok := ch.(*ast.SelectorExpr); ok {
+			return isChanType(pass.Info, sel) &&
+				selectionIsField(pass, sel)
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isSignal(n.X) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.Info, n.X) && isSignal(n.X) {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func selectionIsField(pass *Pass, sel *ast.SelectorExpr) bool {
+	selection, ok := pass.Info.Selections[sel]
+	return ok && selection.Kind() == types.FieldVal
+}
+
+// spawnerJoins reports whether the goroutine body sends on or closes a
+// channel that the enclosing function receives from — the spawner
+// blocks until the goroutine reports, so the goroutine cannot outlive
+// it.
+func spawnerJoins(pass *Pass, body *ast.BlockStmt, stack []ast.Node, g *ast.GoStmt) bool {
+	// Channels the goroutine signals on, by expression text.
+	signals := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			signals[types.ExprString(n.Chan)] = true
+		case *ast.CallExpr:
+			if ident, ok := n.Fun.(*ast.Ident); ok && ident.Name == "close" &&
+				pass.Info.Uses[ident] == types.Universe.Lookup("close") && len(n.Args) == 1 {
+				signals[types.ExprString(n.Args[0])] = true
+			}
+		}
+		return true
+	})
+	if len(signals) == 0 {
+		return false
+	}
+	encl := enclosingFuncBody(stack)
+	if encl == nil {
+		return false
+	}
+	joins := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if n == g {
+			return false // the goroutine's own ops are not a join
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && signals[types.ExprString(n.X)] {
+				joins = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.Info, n.X) && signals[types.ExprString(n.X)] {
+				joins = true
+				return false
+			}
+		}
+		return !joins
+	})
+	return joins
+}

@@ -1,0 +1,89 @@
+package analysis_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sophie/internal/analysis"
+)
+
+// TestIgnoreDirectiveEdgeCases runs the full suite over
+// testdata/src/ignoredirs and pins the directive semantics that the
+// golden want-comments (one analyzer per run) cannot express:
+//
+//   - one directive naming two analyzers suppresses both findings on
+//     the same line (goleak + lockcheck on the goroutine wedge);
+//   - a directive above a comment block scopes past it to the first
+//     code line below;
+//   - a directive naming a nonexistent analyzer is itself diagnosed
+//     (check "ignore") and suppresses nothing.
+func TestIgnoreDirectiveEdgeCases(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	units, err := loader.LoadDir(filepath.Join("testdata", "src", "ignoredirs"), "")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	for _, u := range units {
+		ud, err := analysis.RunUnit(u, analysis.Analyzers(), loader)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		diags = append(diags, ud...)
+	}
+
+	// The exact expected finding multiset. The unsuppressed controls
+	// (wedge, unscoped, typo's comparison) prove each directive is
+	// load-bearing; the total count proves the directives suppressed
+	// their targets and nothing else fired.
+	wantCounts := map[string]int{
+		"goleak":    1, // wedge only; wedgeSuppressed is ignored
+		"lockcheck": 1, // same line as the goleak finding
+		"floateq":   2, // unscoped ==, typo's != ; scoped == is ignored
+		"ignore":    1, // the floateqq directive itself
+	}
+	gotCounts := make(map[string]int)
+	for _, d := range diags {
+		gotCounts[d.Check]++
+	}
+	if fmt.Sprint(gotCounts) != fmt.Sprint(wantCounts) {
+		t.Errorf("finding counts by check = %v, want %v\nall diagnostics:\n%s",
+			gotCounts, wantCounts, diagList(diags))
+	}
+
+	// The two-analyzer wedge: goleak and lockcheck must land on the
+	// same line (otherwise the double-suppression case tests nothing).
+	var goleakLine, lockLine int
+	for _, d := range diags {
+		switch d.Check {
+		case "goleak":
+			goleakLine = d.Pos.Line
+		case "lockcheck":
+			lockLine = d.Pos.Line
+		}
+	}
+	if goleakLine == 0 || goleakLine != lockLine {
+		t.Errorf("goleak finding on line %d, lockcheck on line %d: want both on the wedge line\n%s",
+			goleakLine, lockLine, diagList(diags))
+	}
+
+	// The typo diagnostic names the misspelled analyzer.
+	for _, d := range diags {
+		if d.Check == "ignore" && !strings.Contains(d.Message, `"floateqq"`) {
+			t.Errorf("ignore diagnostic %q does not name the unknown analyzer", d.Message)
+		}
+	}
+}
+
+func diagList(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// Inspector is the suite's shared single-walk traversal. Every analyzer
+// registers node-type-indexed callbacks against it (Analyzer.Register),
+// and RunUnit then walks the unit's syntax exactly once, dispatching
+// each node to the callbacks registered for its concrete type — the
+// same execution model as golang.org/x/tools/go/ast/inspector, which
+// keeps the suite's cost per unit one traversal no matter how many
+// analyzers run. Callbacks may still ast.Inspect *subtrees* of the
+// nodes they receive (e.g. the body of a go-statement literal); the
+// shared walk only replaces each analyzer's private full-file pass.
+type Inspector struct {
+	files     []*ast.File
+	preorder  map[reflect.Type][]func(ast.Node)
+	withStack map[reflect.Type][]func(ast.Node, []ast.Node)
+}
+
+// NewInspector builds an inspector over one unit's files. RunUnit
+// creates one per unit; tests may build their own.
+func NewInspector(files []*ast.File) *Inspector {
+	return &Inspector{
+		files:     files,
+		preorder:  make(map[reflect.Type][]func(ast.Node)),
+		withStack: make(map[reflect.Type][]func(ast.Node, []ast.Node)),
+	}
+}
+
+// Preorder registers f to run for every node whose concrete type
+// matches one of the example nodes in types (e.g. (*ast.CallExpr)(nil)),
+// in the order nodes are visited.
+func (ins *Inspector) Preorder(types []ast.Node, f func(ast.Node)) {
+	for _, n := range types {
+		t := reflect.TypeOf(n)
+		ins.preorder[t] = append(ins.preorder[t], f)
+	}
+}
+
+// WithStack is Preorder with the enclosing-node stack: stack[0] is the
+// *ast.File and stack[len(stack)-1] is the matched node itself.
+// Callbacks must not retain the stack slice — it is reused.
+func (ins *Inspector) WithStack(types []ast.Node, f func(ast.Node, []ast.Node)) {
+	for _, n := range types {
+		t := reflect.TypeOf(n)
+		ins.withStack[t] = append(ins.withStack[t], f)
+	}
+}
+
+// walk performs the single traversal, firing registered callbacks.
+func (ins *Inspector) walk() {
+	stack := make([]ast.Node, 0, 32)
+	for _, f := range ins.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			t := reflect.TypeOf(n)
+			for _, fn := range ins.preorder[t] {
+				fn(n)
+			}
+			for _, fn := range ins.withStack[t] {
+				fn(n, stack)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheckAnalyzer enforces the lock-discipline invariants the
+// service and batch layers rely on (DESIGN.md "Invariants"):
+//
+//   - a sync.Mutex/RWMutex must not be held across a blocking
+//     operation — a channel send/receive, a select without default, or
+//     a call the facts layer knows blocks. A lock held across a wait
+//     couples unrelated goroutines' latencies and deadlocks the moment
+//     the waited-on goroutine needs the same lock;
+//   - cond.Wait must sit inside a for loop re-checking its condition —
+//     a woken waiter holds the lock but its predicate may already be
+//     false again (spurious or raced wakeup);
+//   - every Lock must be released on every path: an explicit Unlock
+//     before each return, or a defer.
+//
+// The analysis is a per-function linear simulation in source order:
+// lock/unlock/defer events update a held-set, and blocking events are
+// checked against it. Branches are not path-split — an Unlock in any
+// branch releases the simulated lock — so the check under-approximates
+// (no false positives from early-return unlock patterns) and relies on
+// the all-paths rule to catch branch-skipped unlocks at returns.
+// Function literals and go-statement bodies are simulated separately:
+// their execution time is unrelated to the enclosing lock region's.
+var LockCheckAnalyzer = &Analyzer{
+	Name:     "lockcheck",
+	Doc:      "no lock held across blocking ops; cond.Wait inside a loop; every Lock released on all paths",
+	Register: registerLockCheck,
+}
+
+func registerLockCheck(pass *Pass, ins *Inspector) {
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body != nil && !pass.IsTestFile(fn.Pos()) {
+			simulateLockFlow(pass, fn.Body)
+		}
+	})
+	ins.WithStack([]ast.Node{(*ast.FuncLit)(nil)}, func(n ast.Node, stack []ast.Node) {
+		lit := n.(*ast.FuncLit)
+		if pass.IsTestFile(lit.Pos()) {
+			return
+		}
+		// An immediately-invoked literal already runs inline in its
+		// enclosing function's simulation; simulating it again would
+		// double-report. go/defer spawn sites are the opposite case:
+		// the enclosing simulation skips them, so those literals need
+		// their own run.
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == lit {
+				switch stack[len(stack)-3].(type) {
+				case *ast.GoStmt, *ast.DeferStmt:
+				default:
+					return
+				}
+			}
+		}
+		simulateLockFlow(pass, lit.Body)
+	})
+}
+
+// mutexMethods maps the sync lock methods the simulation reacts to.
+var mutexMethods = map[string]string{
+	"(*sync.Mutex).Lock":      "lock",
+	"(*sync.Mutex).Unlock":    "unlock",
+	"(*sync.RWMutex).Lock":    "lock",
+	"(*sync.RWMutex).Unlock":  "unlock",
+	"(*sync.RWMutex).RLock":   "lock",
+	"(*sync.RWMutex).RUnlock": "unlock",
+}
+
+const condWaitName = "(*sync.Cond).Wait"
+
+// heldLock is one live Lock in the simulation.
+type heldLock struct {
+	key      string // receiver expression, e.g. "m.mu"
+	pos      token.Pos
+	deferred bool // a deferred Unlock covers it at returns
+}
+
+// simulateLockFlow walks one function body in source order and applies
+// the three lock rules.
+func simulateLockFlow(pass *Pass, body *ast.BlockStmt) {
+	var held []*heldLock
+	reportedBlocking := make(map[token.Pos]bool)
+	reportedLeak := make(map[token.Pos]bool)
+
+	release := func(key string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].key == key {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	blockingEvent := func(pos token.Pos, what string) {
+		if len(held) == 0 || reportedBlocking[pos] {
+			return
+		}
+		reportedBlocking[pos] = true
+		pass.Reportf(pos,
+			"%s is held across a blocking %s: release the lock first, or restructure so the wait happens outside the critical section",
+			held[len(held)-1].key, what)
+	}
+	leakAtReturn := func() {
+		for _, h := range held {
+			if h.deferred || reportedLeak[h.pos] {
+				continue
+			}
+			reportedLeak[h.pos] = true
+			pass.Reportf(h.pos,
+				"%s.Lock is not released on every path: Unlock before each return, or defer the Unlock", h.key)
+		}
+	}
+
+	forDepth := 0
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit, *ast.GoStmt:
+			// Simulated separately; their execution is not inside this
+			// function's lock region timeline.
+			return
+		case *ast.DeferStmt:
+			if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok {
+				if callee, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+					mutexMethods[callee.FullName()] == "unlock" {
+					key := types.ExprString(sel.X)
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].key == key && !held[i].deferred {
+							held[i].deferred = true
+							break
+						}
+					}
+					return
+				}
+			}
+			// Other deferred calls run at return, outside the region the
+			// simulation models; don't treat them as blocking here.
+			return
+		case *ast.SendStmt:
+			walk(n.Chan)
+			walk(n.Value)
+			blockingEvent(n.Arrow, "channel send")
+			return
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				walk(n.X)
+				blockingEvent(n.OpPos, "channel receive")
+				return
+			}
+		case *ast.SelectStmt:
+			// The select is the blocking event; its comm clauses' sends
+			// and receives are part of that one wait, not separate ones.
+			if !selectHasDefault(n) {
+				blockingEvent(n.Select, "select")
+			}
+			for _, c := range n.Body.List {
+				for _, s := range c.(*ast.CommClause).Body {
+					walk(s)
+				}
+			}
+			return
+		case *ast.RangeStmt:
+			walk(n.X)
+			if isChanType(pass.Info, n.X) {
+				blockingEvent(n.For, "range over a channel")
+			}
+			forDepth++
+			walk(n.Body)
+			forDepth--
+			return
+		case *ast.ForStmt:
+			walk(n.Init)
+			walk(n.Cond)
+			walk(n.Post)
+			forDepth++
+			walk(n.Body)
+			forDepth--
+			return
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				walk(r)
+			}
+			leakAtReturn()
+			return
+		case *ast.CallExpr:
+			// Arguments evaluate before the call.
+			for _, a := range n.Args {
+				walk(a)
+			}
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				// Invoked in place: its body runs here, inside the
+				// current lock region.
+				walk(lit.Body)
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if callee, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+					full := callee.FullName()
+					switch mutexMethods[full] {
+					case "lock":
+						held = append(held, &heldLock{key: types.ExprString(sel.X), pos: sel.Pos()})
+						return
+					case "unlock":
+						release(types.ExprString(sel.X))
+						return
+					}
+					if full == condWaitName {
+						// Wait releases its own mutex while parked, so it
+						// is not a held-across-blocking event — but it
+						// must be re-checked in a loop.
+						if forDepth == 0 {
+							pass.Reportf(n.Pos(),
+								"cond.Wait outside a for loop: a woken waiter must re-check its condition (spurious and raced wakeups)")
+						}
+						return
+					}
+					if pass.Facts.Func(callee).Blocks {
+						blockingEvent(n.Pos(), "call to "+callee.Name())
+						return
+					}
+				}
+			}
+			if ident, ok := n.Fun.(*ast.Ident); ok {
+				if callee, ok := pass.Info.Uses[ident].(*types.Func); ok && pass.Facts.Func(callee).Blocks {
+					blockingEvent(n.Pos(), "call to "+callee.Name())
+					return
+				}
+			}
+			walk(n.Fun)
+			return
+		}
+		// Generic traversal in source order for everything else.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				walk(c)
+			}
+			return false
+		})
+	}
+	for _, stmt := range body.List {
+		walk(stmt)
+	}
+	leakAtReturn()
+}

@@ -29,27 +29,23 @@ import (
 // intermediates (int64(a) - int64(b)) — the analyzer accepts that
 // form because the operands are no longer unsigned.
 var OpCountAnalyzer = &Analyzer{
-	Name: "opcount",
-	Doc:  "flag unsigned-underflow hazards in op-count / PPA accounting",
-	Run:  runOpCount,
+	Name:     "opcount",
+	Doc:      "flag unsigned-underflow hazards in op-count / PPA accounting",
+	Register: registerOpCount,
 }
 
-func runOpCount(pass *Pass) error {
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				checkSubAssign(pass, n)
-				checkCounterFeed(pass, n)
-			case *ast.BinaryExpr:
-				checkCounterSub(pass, n)
-			case *ast.CallExpr:
-				checkUnsignedConversion(pass, n)
-			}
-			return true
-		})
-	}
-	return nil
+func registerOpCount(pass *Pass, ins *Inspector) {
+	ins.Preorder([]ast.Node{(*ast.AssignStmt)(nil)}, func(n ast.Node) {
+		as := n.(*ast.AssignStmt)
+		checkSubAssign(pass, as)
+		checkCounterFeed(pass, as)
+	})
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		checkCounterSub(pass, n.(*ast.BinaryExpr))
+	})
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		checkUnsignedConversion(pass, n.(*ast.CallExpr))
+	})
 }
 
 // isUnsigned reports whether e's type is an unsigned integer.

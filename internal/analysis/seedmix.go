@@ -24,9 +24,9 @@ import (
 // named function is the sanctioned pattern: the mixer whitens its
 // inputs, and the call boundary is where review attention belongs.
 var SeedMixAnalyzer = &Analyzer{
-	Name: "seedmix",
-	Doc:  "RNG seed derivation must go through a mixing function, not raw XOR/arithmetic on a base seed",
-	Run:  runSeedMix,
+	Name:     "seedmix",
+	Doc:      "RNG seed derivation must go through a mixing function, not raw XOR/arithmetic on a base seed",
+	Register: registerSeedMix,
 }
 
 // seedConsumers are the math/rand constructors whose integer arguments
@@ -37,31 +37,24 @@ var seedConsumers = map[string]bool{
 	"Seed":      true, // (*rand.Rand).Seed and the deprecated package func
 }
 
-func runSeedMix(pass *Pass) error {
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+func registerSeedMix(pass *Pass, ins *Inspector) {
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !seedConsumers[sel.Sel.Name] {
+			return
+		}
+		if !isRandSelector(pass, sel) {
+			return
+		}
+		for _, arg := range call.Args {
+			if op, bad := findRawMix(pass, arg); bad {
+				pass.Reportf(arg.Pos(),
+					"raw %q seed derivation in rand.%s: related base seeds collide; derive the stream seed through a splitmix64-style mixing function instead",
+					op.String(), sel.Sel.Name)
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !seedConsumers[sel.Sel.Name] {
-				return true
-			}
-			if !isRandSelector(pass, sel) {
-				return true
-			}
-			for _, arg := range call.Args {
-				if op, bad := findRawMix(pass, arg); bad {
-					pass.Reportf(arg.Pos(),
-						"raw %q seed derivation in rand.%s: related base seeds collide; derive the stream seed through a splitmix64-style mixing function instead",
-						op.String(), sel.Sel.Name)
-				}
-			}
-			return true
-		})
-	}
-	return nil
+		}
+	})
 }
 
 // isRandSelector reports whether sel resolves into math/rand (package

@@ -17,9 +17,9 @@ import (
 // Every figure in EXPERIMENTS.md depends on this: a single unseeded
 // entry point makes a whole sweep unreproducible.
 var SeedPlumbAnalyzer = &Analyzer{
-	Name: "seedplumb",
-	Doc:  "exported randomness-drawing entry points in core/pris/baseline/opcm must take a Seed or *rand.Rand",
-	Run:  runSeedPlumb,
+	Name:     "seedplumb",
+	Doc:      "exported randomness-drawing entry points in core/pris/baseline/opcm must take a Seed or *rand.Rand",
+	Register: registerSeedPlumb,
 }
 
 // seedPlumbPackages are the package path leaves the analyzer guards.
@@ -27,31 +27,27 @@ var seedPlumbPackages = map[string]bool{
 	"core": true, "pris": true, "baseline": true, "opcm": true,
 }
 
-func runSeedPlumb(pass *Pass) error {
+func registerSeedPlumb(pass *Pass, ins *Inspector) {
 	parts := strings.Split(strings.TrimSuffix(pass.PkgPath, "_test"), "/")
 	if !seedPlumbPackages[parts[len(parts)-1]] {
-		return nil
+		return
 	}
-	for _, file := range pass.Files {
-		if pass.IsTestFile(file.Pos()) {
-			continue
+	// FuncDecls only occur at file top level, so a Preorder callback
+	// sees exactly the declarations the old per-file loop did.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil || !fn.Name.IsExported() || pass.IsTestFile(fn.Pos()) {
+			return
 		}
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !fn.Name.IsExported() {
-				continue
-			}
-			if !usesRandomness(pass, fn.Body) {
-				continue
-			}
-			if seedIsPlumbed(pass, fn) {
-				continue
-			}
-			pass.Reportf(fn.Name.Pos(),
-				"exported %s draws from math/rand but takes no Seed, *rand.Rand, or config with a Seed field: callers cannot reproduce its results", fn.Name.Name)
+		if !usesRandomness(pass, fn.Body) {
+			return
 		}
-	}
-	return nil
+		if seedIsPlumbed(pass, fn) {
+			return
+		}
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s draws from math/rand but takes no Seed, *rand.Rand, or config with a Seed field: callers cannot reproduce its results", fn.Name.Name)
+	})
 }
 
 // usesRandomness reports whether the body references the math/rand

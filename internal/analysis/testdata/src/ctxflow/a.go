@@ -1,0 +1,115 @@
+// Package core is golden input for the ctxflow analyzer. The test
+// loads it under a synthetic import path ending in internal/core so
+// the analyzer's package guard applies without the loader resolving
+// the real sophie/internal/core.
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// Drain blocks on a channel receive with no ctx parameter and no
+// DrainCtx sibling: callers cannot cancel it.
+func Drain(ch chan int) int { // want `exported Drain blocks but takes no context.Context`
+	return <-ch
+}
+
+// Run blocks, but RunCtx exists: the sibling convention is satisfied.
+func Run(ch chan int) int { return <-ch }
+
+// RunCtx is Run's cancellable sibling.
+func RunCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Wait blocks but accepts a context directly.
+func Wait(ctx context.Context, wg *sync.WaitGroup) {
+	_ = ctx
+	wg.Wait()
+}
+
+// Sum never blocks: no cancellation surface required.
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Flush blocks only transitively, through an unexported helper — the
+// facts layer carries the Blocks bit across the call edge.
+func Flush(ch chan int) { // want `exported Flush blocks but takes no context.Context`
+	push(ch)
+}
+
+func push(ch chan int) { ch <- 1 }
+
+// Pool exercises the method-sibling lookup.
+type Pool struct{ ch chan int }
+
+// Get blocks; GetCtx is on the same method set, so it is fine.
+func (p *Pool) Get() int { return <-p.ch }
+
+// GetCtx is Get's cancellable sibling.
+func (p *Pool) GetCtx(ctx context.Context) int {
+	select {
+	case v := <-p.ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Take blocks with no sibling anywhere on the method set.
+func (p *Pool) Take() int { // want `exported Take blocks but takes no context.Context`
+	return <-p.ch
+}
+
+// spin references its context but loops forever without observing it:
+// cancellation is a dead letter.
+func spin(ctx context.Context, work func()) {
+	_ = ctx
+	for { // want `unbounded for loop in a context-aware function`
+		work()
+	}
+}
+
+// pump polls ctx.Err each iteration: the loop observes cancellation.
+func pump(ctx context.Context, work func()) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+// stopFlag mimics the batch runtime's batchStop poll.
+type stopFlag struct{ v bool }
+
+func (f *stopFlag) stopped() bool { return f.v }
+
+// pumpFlag checks a stop-flag poll each iteration: also fine.
+func pumpFlag(ctx context.Context, f *stopFlag, work func()) {
+	_ = ctx
+	for {
+		if f.stopped() {
+			return
+		}
+		work()
+	}
+}
+
+// busy has no context in scope at all: the loop rule does not apply.
+func busy(work func()) {
+	for {
+		work()
+	}
+}

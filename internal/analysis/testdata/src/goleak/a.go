@@ -1,0 +1,104 @@
+// Package goleak is golden input for the goleak analyzer.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+	jobs   chan int
+}
+
+// fireAndForget launches an unowned goroutine.
+func fireAndForget(work func()) {
+	go work() // want `goroutine is not tied to a WaitGroup, context, or shutdown channel`
+}
+
+// addThenGo pairs Add with the launch; the spawned method owns the
+// Done.
+func (s *server) addThenGo() {
+	s.wg.Add(1)
+	go s.runOne()
+}
+
+func (s *server) runOne() { defer s.wg.Done() }
+
+// namedNoAdd launches the same method without the pairing Add.
+func (s *server) namedNoAdd() {
+	go s.runOne() // want `goroutine is not tied to a WaitGroup, context, or shutdown channel`
+}
+
+// deferDone: the literal body owns its WaitGroup slot.
+func (s *server) deferDone(work func()) {
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// workerPool: ranging over the jobs channel ends when the owner
+// closes it.
+func (s *server) workerPool() {
+	go func() {
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+}
+
+// watchStop receives from a struct-field shutdown channel.
+func (s *server) watchStop(work func()) {
+	go func() {
+		for {
+			select {
+			case <-s.stopCh:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// watchCtx receives from ctx.Done().
+func watchCtx(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// joined signals a channel its spawner drains: the spawner cannot
+// outlive the goroutine.
+func joined(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// signalsButNobodyListens sends on a channel the spawner never
+// receives from — nothing joins it.
+func signalsButNobodyListens(results chan int) {
+	go func() { // want `goroutine is not tied to a WaitGroup, context, or shutdown channel`
+		results <- 1
+	}()
+}
+
+// detached is deliberately fire-and-forget; the directive records who
+// owns its lifetime.
+func detached(work func()) {
+	//sophielint:ignore goleak the metrics flusher owns its own lifetime; process exit reaps it
+	go work()
+}

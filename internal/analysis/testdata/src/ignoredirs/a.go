@@ -1,0 +1,49 @@
+// Package ignoredirs exercises the sophielint:ignore edge cases: one
+// directive suppressing two analyzers on the same line, a directive
+// scoping across an intervening comment block, and a directive naming
+// an analyzer that does not exist.
+package ignoredirs
+
+import "sync"
+
+type pump struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// wedge triggers goleak (untied goroutine) and lockcheck (send while
+// holding mu) on the same source line — the unsuppressed control the
+// test uses to prove the directive in wedgeSuppressed is load-bearing.
+func (p *pump) wedge(v int) {
+	go func() { p.mu.Lock(); p.ch <- v; p.mu.Unlock() }()
+}
+
+// wedgeSuppressed is the same line with a directive naming both
+// analyzers: neither may fire.
+func (p *pump) wedgeSuppressed(v int) {
+	//sophielint:ignore goleak,lockcheck intentional wedge: the test owns this goroutine's lifetime
+	go func() { p.mu.Lock(); p.ch <- v; p.mu.Unlock() }()
+}
+
+// scoped puts an explanatory comment block between the directive and
+// the code it covers; the directive still reaches the first code line
+// below the block.
+func scoped(a, b float64) bool {
+	//sophielint:ignore floateq exact equality intended
+	// The values are copied verbatim from the same computation and
+	// never re-derived, so bit-exact comparison is the correct check.
+	return a == b
+}
+
+// unscoped is the control for scoped: same comparison, no directive.
+func unscoped(a, b float64) bool {
+	return a == b
+}
+
+// typo names an analyzer that does not exist: the directive itself is
+// diagnosed (check "ignore") and suppresses nothing, so the comparison
+// below still fires.
+func typo(a, b float64) bool {
+	//sophielint:ignore floateqq suppression aimed at a misspelled check
+	return a != b
+}

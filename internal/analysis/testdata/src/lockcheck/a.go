@@ -1,0 +1,128 @@
+// Package lockcheck is golden input for the lockcheck analyzer.
+package lockcheck
+
+import "sync"
+
+type box struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+	ch   chan int
+}
+
+// sendWhileHeld holds mu across a channel send.
+func (b *box) sendWhileHeld(v int) {
+	b.mu.Lock()
+	b.ch <- v // want `b.mu is held across a blocking channel send`
+	b.mu.Unlock()
+}
+
+// recvWhileDeferred: the deferred Unlock only releases at return, so
+// the receive still happens under the lock.
+func (b *box) recvWhileDeferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `b.mu is held across a blocking channel receive`
+}
+
+// unlockFirst releases before blocking: clean.
+func (b *box) unlockFirst() int {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return <-b.ch
+}
+
+// selectWhileHeld: a select without default parks the goroutine; the
+// whole select is one blocking wait.
+func (b *box) selectWhileHeld(stop chan struct{}) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `b.mu is held across a blocking select`
+	case v := <-b.ch:
+		return v
+	case <-stop:
+		return 0
+	}
+}
+
+// pollWhileHeld: select with default never parks; fine under the lock.
+func (b *box) pollWhileHeld() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// callBlockingWhileHeld holds the lock across a call the facts layer
+// knows blocks (drain ranges over a channel).
+func (b *box) callBlockingWhileHeld() {
+	b.mu.Lock()
+	b.drain() // want `b.mu is held across a blocking call to drain`
+	b.mu.Unlock()
+}
+
+func (b *box) drain() {
+	for range b.ch {
+	}
+}
+
+// waitNoLoop calls cond.Wait under a plain if: a woken waiter must
+// re-check its predicate.
+func (b *box) waitNoLoop() {
+	b.cond.L.Lock()
+	if b.n == 0 {
+		b.cond.Wait() // want `cond.Wait outside a for loop`
+	}
+	b.cond.L.Unlock()
+}
+
+// waitInLoop re-checks the condition each wakeup: the correct pattern.
+func (b *box) waitInLoop() {
+	b.cond.L.Lock()
+	for b.n == 0 {
+		b.cond.Wait()
+	}
+	b.cond.L.Unlock()
+}
+
+// leakyReturn takes the lock and returns without releasing on the
+// error path.
+func (b *box) leakyReturn(fail bool) int {
+	b.mu.Lock() // want `b.mu.Lock is not released on every path`
+	if fail {
+		return -1
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// earlyReturnUnlocked releases on both paths: clean.
+func (b *box) earlyReturnUnlocked(fail bool) int {
+	b.mu.Lock()
+	if fail {
+		b.mu.Unlock()
+		return -1
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// lockInGoroutine: the literal's body is its own timeline — the
+// spawner's lock state does not leak into it, and its clean
+// lock/unlock/send sequence reports nothing.
+func (b *box) lockInGoroutine(done chan struct{}) {
+	go func() {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+		done <- struct{}{}
+	}()
+	<-done
+}

@@ -25,43 +25,40 @@ import (
 //     device-lifetime counters, which tally across jobs and mirror
 //     their charge onto the spine as KindReprogram events.
 var TraceCountAnalyzer = &Analyzer{
-	Name: "tracecount",
-	Doc:  "flag metrics.OpCounts writes outside internal/trace's event fold",
-	Run:  runTraceCount,
+	Name:     "tracecount",
+	Doc:      "flag metrics.OpCounts writes outside internal/trace's event fold",
+	Register: registerTraceCount,
 }
 
-func runTraceCount(pass *Pass) error {
+func registerTraceCount(pass *Pass, ins *Inspector) {
 	if traceCountExemptPkg(pass.PkgPath) {
-		return nil
+		return
 	}
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				for _, lhs := range n.Lhs {
-					if isOpCountsField(pass, lhs) && !pass.IsTestFile(lhs.Pos()) {
-						pass.Reportf(lhs.Pos(),
-							"direct write to a metrics.OpCounts field outside internal/trace's fold: emit a trace event instead so replayed accounting stays identical")
-					}
-				}
-			case *ast.IncDecStmt:
-				if isOpCountsField(pass, n.X) && !pass.IsTestFile(n.X.Pos()) {
-					pass.Reportf(n.X.Pos(),
-						"direct write to a metrics.OpCounts field outside internal/trace's fold: emit a trace event instead so replayed accounting stays identical")
-				}
-			case *ast.UnaryExpr:
-				// &c.Field handed out of the package would let callers
-				// write around the fold without a flaggable statement
-				// here; taking the address is the escape point.
-				if n.Op == token.AND && isOpCountsField(pass, n.X) && !pass.IsTestFile(n.X.Pos()) {
-					pass.Reportf(n.X.Pos(),
-						"taking the address of a metrics.OpCounts field: the alias can be written outside internal/trace's fold; pass values or emit trace events")
-				}
+	ins.Preorder([]ast.Node{(*ast.AssignStmt)(nil)}, func(n ast.Node) {
+		for _, lhs := range n.(*ast.AssignStmt).Lhs {
+			if isOpCountsField(pass, lhs) && !pass.IsTestFile(lhs.Pos()) {
+				pass.Reportf(lhs.Pos(),
+					"direct write to a metrics.OpCounts field outside internal/trace's fold: emit a trace event instead so replayed accounting stays identical")
 			}
-			return true
-		})
-	}
-	return nil
+		}
+	})
+	ins.Preorder([]ast.Node{(*ast.IncDecStmt)(nil)}, func(n ast.Node) {
+		x := n.(*ast.IncDecStmt).X
+		if isOpCountsField(pass, x) && !pass.IsTestFile(x.Pos()) {
+			pass.Reportf(x.Pos(),
+				"direct write to a metrics.OpCounts field outside internal/trace's fold: emit a trace event instead so replayed accounting stays identical")
+		}
+	})
+	ins.Preorder([]ast.Node{(*ast.UnaryExpr)(nil)}, func(n ast.Node) {
+		// &c.Field handed out of the package would let callers write
+		// around the fold without a flaggable statement here; taking
+		// the address is the escape point.
+		u := n.(*ast.UnaryExpr)
+		if u.Op == token.AND && isOpCountsField(pass, u.X) && !pass.IsTestFile(u.X.Pos()) {
+			pass.Reportf(u.X.Pos(),
+				"taking the address of a metrics.OpCounts field: the alias can be written outside internal/trace's fold; pass values or emit trace events")
+		}
+	})
 }
 
 // traceCountExemptPkg reports whether pkg may write OpCounts fields

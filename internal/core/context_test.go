@@ -114,6 +114,54 @@ func TestRunCtxExpiredDeadline(t *testing.T) {
 	}
 }
 
+// SolveCtx is the cancellable sibling sophielint's ctxflow check
+// demands for the blocking Solve entry point: a completed run is
+// bit-identical to Solve, and a pre-cancelled one returns best-so-far
+// with Stopped set instead of running to completion.
+func TestSolveCtxMatchesSolveAndCancels(t *testing.T) {
+	g := graph.KGraph(24)
+	m := ising.FromMaxCut(g)
+	cfg := DefaultConfig()
+	cfg.TileSize = 8
+	cfg.GlobalIters = 40
+	cfg.Phi = 0.2
+	cfg.Workers = 1
+	cfg.Seed = 7
+
+	ref, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveCtx(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestEnergy != ref.BestEnergy || got.GlobalItersRun != ref.GlobalItersRun || got.Stopped {
+		t.Fatalf("SolveCtx diverged from Solve: energy %v iters %d stopped %v, want %v / %d / false",
+			got.BestEnergy, got.GlobalItersRun, got.Stopped, ref.BestEnergy, ref.GlobalItersRun)
+	}
+	for i := range ref.BestSpins {
+		if ref.BestSpins[i] != got.BestSpins[i] {
+			t.Fatalf("spin %d differs: %d vs %d", i, ref.BestSpins[i], got.BestSpins[i])
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.GlobalIters = 100000
+	stopped, err := SolveCtx(ctx, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stopped.Stopped || stopped.GlobalItersRun != 0 {
+		t.Fatalf("pre-cancelled SolveCtx ran %d iterations (stopped=%v), want 0 / true",
+			stopped.GlobalItersRun, stopped.Stopped)
+	}
+	if got := m.Energy(stopped.BestSpins); got != stopped.BestEnergy {
+		t.Fatalf("stopped result energy %v does not match its spins (%v)", stopped.BestEnergy, got)
+	}
+}
+
 // RunBatchCtx with a live context matches RunBatch bit for bit, and a
 // cancelled batch aggregates partial replicas without error.
 func TestRunBatchCtx(t *testing.T) {

@@ -952,3 +952,15 @@ func Solve(m *ising.Model, cfg Config) (*Result, error) {
 	}
 	return s.Run(cfg.Seed)
 }
+
+// SolveCtx is Solve's cancellable sibling: the run winds down at its
+// next global-iteration boundary once ctx is cancelled or expires,
+// returning best-so-far with Stopped set (RunCtx semantics). A run
+// that completes is bit-identical to Solve with the same inputs.
+func SolveCtx(ctx context.Context, m *ising.Model, cfg Config) (*Result, error) {
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunCtx(ctx, cfg.Seed)
+}

@@ -104,6 +104,7 @@ type Manager struct {
 	runCtx    context.Context // parent of every job context; cancelled to force-drain
 	runCancel context.CancelFunc
 	workerWG  sync.WaitGroup
+	bg        sync.WaitGroup // background goroutines (janitor); waited in Shutdown
 	stopOnce  sync.Once
 	stopCh    chan struct{} // closed at shutdown; stops the janitor
 
@@ -146,6 +147,7 @@ func (m *Manager) Start() {
 		m.workerWG.Add(1)
 		go m.worker()
 	}
+	m.bg.Add(1)
 	go m.janitor()
 }
 
@@ -363,6 +365,7 @@ func (m *Manager) execute(j *job) {
 
 // janitor evicts terminal jobs older than ResultTTL.
 func (m *Manager) janitor() {
+	defer m.bg.Done()
 	t := time.NewTicker(m.cfg.JanitorEvery)
 	defer t.Stop()
 	for {
@@ -460,6 +463,9 @@ func (m *Manager) Shutdown(ctx context.Context) (*QueueSnapshot, error) {
 		<-done
 	}
 	m.stopOnce.Do(func() { close(m.stopCh) })
+	// Join the janitor: Shutdown returning means no Manager goroutine
+	// is left running (goroutine-ownership invariant, DESIGN.md).
+	m.bg.Wait()
 	return snap, err
 }
 

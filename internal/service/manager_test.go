@@ -366,6 +366,40 @@ func TestShutdownForceCancel(t *testing.T) {
 	}
 }
 
+// TestShutdownJoinsJanitor pins the goroutine-ownership fix flagged by
+// sophielint's goleak check: Shutdown must wait on m.bg — the janitor's
+// lifecycle group — before returning, so no Manager goroutine outlives
+// it. The test impersonates a second background goroutine by holding
+// the group open: a Shutdown that returns while the group is non-empty
+// has lost the join.
+func TestShutdownJoinsJanitor(t *testing.T) {
+	m := NewManager(Config{Workers: 1, JanitorEvery: time.Hour})
+	m.Start()
+	m.bg.Add(1) // held open until the test releases it below
+
+	returned := make(chan struct{})
+	go func() {
+		defer close(returned)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, err := m.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	select {
+	case <-returned:
+		t.Fatal("Shutdown returned while a background goroutine was still registered in m.bg")
+	case <-time.After(100 * time.Millisecond):
+	}
+	m.bg.Done()
+	select {
+	case <-returned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return after the background group emptied")
+	}
+}
+
 // TestSweepEvictsExpiredResults drives the TTL sweep directly.
 func TestSweepEvictsExpiredResults(t *testing.T) {
 	m := newTestManager(t, Config{Workers: 1, ResultTTL: time.Minute})
