@@ -1,17 +1,21 @@
 // Command sophiebench runs the repository's tracked performance
 // benchmarks and emits a machine-readable JSON baseline (schema
-// "sophie-bench/v1"). The committed BENCH_PR6.json snapshots the
+// "sophie-bench/v1"). The committed BENCH_PR7.json snapshots the
 // incremental-datapath speedup on the G22-mini solver workload, the
 // underlying linalg kernel costs, the batched replica runtime's
 // throughput scaling, the cost of the trace emitters (per-phase
 // wall-time attribution of one traced solve plus the derived
 // trace_overhead metrics that guard the "untraced solves pay (almost)
-// nothing" contract), and — since the shared-inspector refactor — the
-// lint suite's wall time: the nine-analyzer single-walk run against
-// the six original analyzers under the old walk-per-analyzer model,
-// guarded by the derived lint_shared9_over_isolated6 ratio. CI re-runs
-// the suite with -benchtime=1x as a smoke test and uploads the fresh
-// report as an artifact. See README.md "Benchmarks".
+// nothing" contract), the lint suite's wall time (nine-analyzer
+// single-walk run vs the six original analyzers under the old
+// walk-per-analyzer model, guarded by lint_shared9_over_isolated6),
+// and — since the sparse-first datapath — the CSR engine against the
+// forced-dense engine on the same G22-mini workload (guarded by
+// sparse_over_dense_speedup) plus the sparse scaling arm: full solves
+// of random-regular instances from 10k up to one million nodes, the
+// n-vs-time curve dense storage cannot reach. CI re-runs the suite
+// with -benchtime=1x as a smoke test and uploads the fresh report as
+// an artifact. See README.md "Benchmarks".
 package main
 
 import (
@@ -71,7 +75,7 @@ type benchmark struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR7.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark budget (Go benchtime syntax, e.g. 2s or 1x)")
 	testing.Init()
 	flag.Parse()
@@ -225,6 +229,62 @@ func run(benchtime, out string) error {
 	record("solver/G22mini-exact", solveBench(exactSolver))
 	record("solver/G22mini-delta", solveBench(deltaSolver))
 
+	// --- Sparse datapath: the same G22-mini workload under
+	// SkipTransform (the couplings stay at their 8.3% stored density),
+	// auto-picked CSR engine vs the ForceDense escape hatch. The two
+	// arms compute bit-identical trajectories (the golden tests in
+	// internal/core pin that), so the derived sparse_over_dense_speedup
+	// is a pure datapath comparison.
+	skipCfg := cfg
+	skipCfg.SkipTransform = true
+	denseCfg := skipCfg
+	denseCfg.ForceDense = true
+	sparseSolver, err := core.NewSolver(model, skipCfg)
+	if err != nil {
+		return err
+	}
+	denseSolver, err := core.NewSolver(model, denseCfg)
+	if err != nil {
+		return err
+	}
+	// Warm both arms outside the timed region: the derived speedup is
+	// guarded (>= 1.0) even at -benchtime=1x, where a single timed
+	// solve would otherwise absorb first-call effects.
+	for _, s := range []*core.Solver{sparseSolver, denseSolver} {
+		if _, err := s.Run(0); err != nil {
+			return err
+		}
+	}
+	record("solver/G22mini-sparse-delta", solveBench(sparseSolver))
+	record("solver/G22mini-dense-delta", solveBench(denseSolver))
+
+	// --- Sparse scaling arm: full solves of random-regular (d=3)
+	// max-cut instances built straight in CSR (MaxCutSparse path, no
+	// dense matrix ever materialized), from 10k to one million nodes.
+	// Iteration counts are tiny — the point is the n-vs-time curve of
+	// a complete solve at sizes where dense storage alone would need
+	// n² · 8 bytes (8 TB at n=10⁶). Instance generation runs outside
+	// the timed region.
+	scaleNodes := []int{10_000, 100_000, 1_000_000}
+	for _, n := range scaleNodes {
+		rg, err := graph.RandomRegular(n, 3, graph.WeightUnit, 1)
+		if err != nil {
+			return err
+		}
+		rm := ising.FromMaxCutCSR(rg)
+		scfg := core.DefaultConfig()
+		scfg.TileSize = n
+		scfg.GlobalIters = 2
+		scfg.LocalIters = 2
+		scfg.Phi = 0.1
+		scfg.SkipTransform = true
+		ss, err := core.NewSolver(rm, scfg)
+		if err != nil {
+			return err
+		}
+		record(fmt.Sprintf("sparse/scale-n%d", n), solveBench(ss))
+	}
+
 	// --- Trace spine: the same workload with a live recorder attached
 	// (ring retention + per-job progress subscriber, the sophied
 	// configuration), plus the raw emitter costs. emitsPerOp batches the
@@ -365,6 +425,15 @@ func run(benchtime, out string) error {
 	}
 	if d := perOp("solver/G22mini-delta"); d > 0 {
 		rep.Derived["solver_speedup_exact_over_delta"] = perOp("solver/G22mini-exact") / d
+	}
+	if sp := perOp("solver/G22mini-sparse-delta"); sp > 0 {
+		rep.Derived["sparse_over_dense_speedup"] = perOp("solver/G22mini-dense-delta") / sp
+	}
+	// The scaling curve's summary ratio: a 100× node increase on a
+	// fixed-degree instance should cost ~100× (linear in nnz), not the
+	// 10,000× a dense datapath would pay.
+	if t10k := perOp("sparse/scale-n10000"); t10k > 0 {
+		rep.Derived["sparse_scale_1m_over_10k"] = perOp("sparse/scale-n1000000") / t10k
 	}
 	if iso := perOp("lint/isolated-6analyzers"); iso > 0 {
 		rep.Derived["lint_shared9_over_isolated6"] = perOp("lint/shared-9analyzers") / iso

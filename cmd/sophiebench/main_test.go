@@ -36,6 +36,11 @@ func TestRunEmitsValidReport(t *testing.T) {
 		"solver/G22mini-exact":        false,
 		"solver/G22mini-delta":        false,
 		"solver/G22mini-delta-traced": false,
+		"solver/G22mini-sparse-delta": false,
+		"solver/G22mini-dense-delta":  false,
+		"sparse/scale-n10000":         false,
+		"sparse/scale-n100000":        false,
+		"sparse/scale-n1000000":       false,
 		"trace/emit-noop":             false,
 		"trace/emit-recorded":         false,
 		"batch/G22mini-replicas8-w1":  false,
@@ -61,10 +66,23 @@ func TestRunEmitsValidReport(t *testing.T) {
 			t.Fatalf("benchmark %q missing from report", name)
 		}
 	}
-	for _, key := range []string{"solver_speedup_exact_over_delta", "linalg_speedup_mulvec_over_binary", "batch_throughput_scaling"} {
+	for _, key := range []string{"solver_speedup_exact_over_delta", "linalg_speedup_mulvec_over_binary", "batch_throughput_scaling", "sparse_scale_1m_over_10k"} {
 		if rep.Derived[key] <= 0 {
 			t.Fatalf("derived metric %q missing or non-positive: %v", key, rep.Derived[key])
 		}
+	}
+
+	// The sparse datapath's acceptance bar: on the 8.3%-dense G22-mini
+	// workload the CSR engine must be at least as fast as the forced
+	// dense engine. The honest steady-state ratio (committed baseline)
+	// sits well above 1; a 1x run has noise, but a sparse path slower
+	// than dense is a regression either way.
+	sparseSpeedup, ok := rep.Derived["sparse_over_dense_speedup"]
+	if !ok {
+		t.Fatal("derived metric sparse_over_dense_speedup missing")
+	}
+	if sparseSpeedup < 1.0 {
+		t.Fatalf("sparse_over_dense_speedup = %v, want >= 1.0", sparseSpeedup)
 	}
 
 	// The shared-inspector contract: nine analyzers in one walk must not

@@ -1,0 +1,67 @@
+// Millionspin: solve max-cut on a 1,000,000-node random-regular graph
+// through the sparse CSR datapath. The model is built straight in CSR
+// (sophie.MaxCutSparse) — the dense coupling matrix at this order would
+// be 8 TB, and is never materialized — and the solver runs the sparse
+// engine with adjacency-list flip deltas, so a local iteration costs
+// O(flips · degree) rather than O(n²).
+//
+// The same instance is solved twice: with the default block-synchronous
+// recurrence, and with the colored parallel update
+// (Config.ColoredUpdate) — chromatic Gauss-Seidel over the greedy
+// coloring of the sparsity graph, bit-reproducible at any worker
+// count. On very sparse graphs the synchronous recurrence is prone to
+// antiferromagnetic oscillation (all spins react to all neighbors at
+// once), so the colored update's fresh-neighbor sweeps find far better
+// cuts at the same iteration budget — which is why the sparse Ising
+// literature uses it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sophie"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "number of spins (nodes)")
+	degree := flag.Int("d", 3, "regular degree")
+	flag.Parse()
+
+	fmt.Printf("generating %d-node random %d-regular instance...\n", *n, *degree)
+	start := time.Now()
+	g, err := sophie.RandomRegularGraph(*n, *degree, sophie.WeightUnit, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := sophie.MaxCutSparse(g) // CSR-built: no dense matrix, ever
+	fmt.Printf("built in %v: %d edges\n",
+		time.Since(start).Round(time.Millisecond), *n**degree/2)
+
+	cfg := sophie.DefaultConfig()
+	cfg.TileSize = *n        // single CSR tile spanning the instance
+	cfg.SkipTransform = true // sparse-built models keep C = K
+	cfg.GlobalIters = 20     // a short anneal; quality scales with budget
+	cfg.LocalIters = 5
+	cfg.Phi = 0.15
+	cfg.EvalEvery = 5
+
+	solve := func(label string, c sophie.Config) {
+		start := time.Now()
+		res, err := sophie.Solve(model, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cut := g.CutValue(res.BestSpins)
+		fmt.Printf("%-12s cut %.0f (%.1f%% of edges) in %v\n",
+			label, cut, 100*cut/g.TotalWeight(),
+			time.Since(start).Round(time.Millisecond))
+	}
+	solve("synchronous:", cfg)
+
+	colored := cfg
+	colored.ColoredUpdate = true
+	solve("colored:", colored)
+}

@@ -20,10 +20,16 @@ import (
 //     wraps at the conversion. Route these through metrics.U64, which
 //     panics on negative input instead of wrapping;
 //   - raw unsigned conversion of a non-constant product feeding a
-//     counter (`c.EOBits += uint64(2 * iters * t)`): a product of
-//     config-scale ints can overflow int before the conversion sees
-//     it. metrics.U64 keeps every overflow-prone feed on the checked,
-//     greppable path. Single-variable casts (`uint64(t)`) stay legal.
+//     counter (`c.EOBits += uint64(2 * iters * t)`) or, since the
+//     sparse kernels grew their own uint64 accumulators (popcount
+//     partial sums, nnz tallies), any `+=` on an unsigned variable
+//     (`acc += uint64(rows * degree)`): a product of config-scale
+//     ints can overflow int before the conversion sees it.
+//     metrics.U64 keeps every overflow-prone feed on the checked,
+//     greppable path. Single-variable casts (`uint64(t)`) and plain
+//     definitions (`free := uint64(2 * t * n)`) stay legal — the
+//     hazard the analyzer tracks is silent accumulation of a wrapped
+//     product, not the conversion itself.
 //
 // Counter deltas that are genuinely needed should go through signed
 // intermediates (int64(a) - int64(b)) — the analyzer accepts that
@@ -142,17 +148,26 @@ func checkUnsignedConversion(pass *Pass, call *ast.CallExpr) {
 }
 
 // checkCounterFeed flags raw unsigned conversions of non-constant
-// products feeding a metrics.OpCounts counter. The product of two or
-// more config-scale ints can overflow int before the conversion runs;
-// the convention is metrics.U64 for every multi-factor feed so the
-// overflow-prone sites stay on the checked, greppable path.
+// products feeding an unsigned accumulator: a metrics.OpCounts counter
+// (`+=` or re-assignment), or — since the sparse kernels carry their
+// own uint64 tallies — any `+=` whose target is unsigned. The product
+// of two or more config-scale ints can overflow int before the
+// conversion runs; the convention is metrics.U64 for every
+// multi-factor feed so the overflow-prone sites stay on the checked,
+// greppable path. Definitions (`:=`) and plain assignments to
+// non-counter variables stay legal: they replace a value rather than
+// silently folding a wrapped product into a running total.
 // Subtraction-bearing arguments are left to checkUnsignedConversion so
 // each site gets exactly one diagnostic.
 func checkCounterFeed(pass *Pass, as *ast.AssignStmt) {
 	if as.Tok != token.ADD_ASSIGN && as.Tok != token.ASSIGN {
 		return
 	}
-	if len(as.Lhs) != 1 || len(as.Rhs) != 1 || !isOpCountsField(pass, as.Lhs[0]) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	counter := isOpCountsField(pass, as.Lhs[0])
+	if !counter && !(as.Tok == token.ADD_ASSIGN && isUnsigned(pass, as.Lhs[0])) {
 		return
 	}
 	ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
@@ -179,8 +194,12 @@ func checkCounterFeed(pass *Pass, as *ast.AssignStmt) {
 		if containsSubtraction(arg) || !containsProduct(arg) {
 			return true
 		}
+		target := "an unsigned accumulator"
+		if counter {
+			target = "a metrics.OpCounts counter"
+		}
 		pass.Reportf(call.Pos(),
-			"raw %s conversion of a product feeding a metrics.OpCounts counter: the int product can overflow first; use metrics.U64", basic.Name())
+			"raw %s conversion of a product feeding %s: the int product can overflow first; use metrics.U64", basic.Name(), target)
 		return true
 	})
 }

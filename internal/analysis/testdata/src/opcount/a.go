@@ -17,6 +17,26 @@ func bad(c *metrics.OpCounts, prev metrics.OpCounts, n, t int) uint64 {
 	return delta + shrink
 }
 
+// badAccumulators exercises the sparse-kernel generalization: `+=` on
+// any unsigned variable is a counter feed, OpCounts field or not.
+func badAccumulators(rows, degree int) uint64 {
+	var nnz uint64
+	nnz += uint64(rows * degree) // want `raw uint64 conversion of a product feeding an unsigned accumulator`
+	var bits uint32
+	bits += uint32(8 * rows * degree) // want `raw uint32 conversion of a product feeding an unsigned accumulator`
+	return nnz + uint64(bits)
+}
+
+func goodAccumulators(rows, degree int) uint64 {
+	var nnz uint64
+	nnz += metrics.U64(rows * degree) // ok: checked conversion
+	free := uint64(2 * rows * degree) // ok: a definition replaces, it does not accumulate
+	free = uint64(3 * rows * degree)  // ok: plain re-assignment of a non-counter variable
+	nnz += uint64(rows)               // ok: single variable, no arithmetic to overflow
+	nnz += uint64(64 * 8)             // ok: constant-folded
+	return nnz + free
+}
+
 func good(c *metrics.OpCounts, prev metrics.OpCounts, n, t int) uint64 {
 	c.EOBits += uint64(t)                    // ok: single variable, no arithmetic to overflow
 	c.GlueOps += metrics.U64(n - 1)          // ok: checked conversion

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"sophie/internal/metrics"
+	"sophie/internal/trace"
+)
+
+// Colored parallel update (Config.ColoredUpdate).
+//
+// The default SOPHIE recurrence is block-synchronous: every spin of a
+// tile thresholds against the products of the previous iteration. The
+// colored update is the chromatic Gauss-Seidel alternative the sparse
+// literature uses ("Massively Parallel Probabilistic Computing with
+// Sparse Ising Machines", PAPERS.md): spins are partitioned into
+// independent sets by greedy coloring of the coupling sparsity graph,
+// classes update in sequence, and within a class every spin thresholds
+// concurrently — safe because same-class spins share no coupling, so
+// none reads a value another is writing. Between classes the running
+// product y = C·s is patched with the flipped spins' adjacency rows in
+// O(flips·degree).
+//
+// Determinism at any worker count rests on three invariants:
+//  1. Noise is stateless: each (step, spin) pair derives its normal
+//     deviate from the splitmix64 stream (seed, roleColored) — there is
+//     no RNG state to migrate between workers.
+//  2. Threshold writes are sharded by spin: each worker owns a
+//     contiguous chunk of the class, and chunks are concatenated in
+//     class order, so the merged flip list is always the ascending-spin
+//     order regardless of which worker finished first.
+//  3. Flip application is sharded by output range: every worker applies
+//     the same ascending flip sequence restricted to its own disjoint
+//     slice of y (linalg.AccumulateFlipRange), so each element of y
+//     receives the same additions in the same order as a serial sweep.
+//
+// The trajectory is a pure function of the seed but differs from the
+// default update — this is a different algorithm, not a reimplementation
+// — so colored runs are pinned for worker-count independence, not for
+// bit-identity with the dense path. Op accounting keeps the standard
+// event spine (one diagonal LocalBatch per global iteration), which
+// over-charges MVM work relative to the O(flips·degree) sweeps; the PPA
+// numbers for colored runs are upper bounds.
+
+// coloredNormal returns the standard normal deviate of (step, spin) on
+// the given stream: two splitmix64 mixes separate the dimensions, two
+// more draw the Box-Muller uniforms. u1 lands in (0,1] so the log is
+// finite.
+func coloredNormal(stream, step, spin uint64) float64 {
+	z := splitmix64(splitmix64(stream^step) ^ spin)
+	u1 := (float64(z>>11) + 1) / (1 << 53)
+	u2 := float64(splitmix64(z)>>11) / (1 << 53)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// runColored executes one job with the chromatic parallel update. It
+// requires the single-tile sparse datapath (enforced by NewSolver).
+func (s *runContext) runColored(seed int64) (*Result, error) {
+	cfg := s.cfg
+	grid := s.grid
+	csr := s.coloredTile
+	classes := s.classes
+	paddedN := grid.PaddedN()
+	n := s.model.N()
+	ctrl := rand.New(rand.NewSource(seedStream(seed, roleController, 0)))
+	stream := uint64(seedStream(seed, roleColored, 0))
+
+	sGlobal := make([]float64, paddedN)
+	if cfg.InitialSpins != nil {
+		if len(cfg.InitialSpins) != n {
+			return nil, fmt.Errorf("core: %d initial spins for %d-spin model", len(cfg.InitialSpins), n)
+		}
+		for i, sp := range cfg.InitialSpins {
+			if sp == 1 {
+				sGlobal[i] = 1
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if ctrl.Intn(2) == 1 {
+				sGlobal[i] = 1
+			}
+		}
+	}
+
+	run := trace.NewRun(trace.Meta{
+		Nodes:        n,
+		TileSize:     cfg.TileSize,
+		Tiles:        grid.Tiles,
+		Pairs:        1,
+		LocalIters:   cfg.LocalIters,
+		GlobalIters:  cfg.GlobalIters,
+		TileFraction: cfg.TileFraction,
+		Stochastic:   cfg.SpinUpdate == SpinUpdateStochastic,
+		Seed:         seed,
+		Device:       false,
+	}, cfg.Tracer)
+	var res Result
+	defer func() {
+		run.End()
+		res.Ops = run.Ops()
+	}()
+
+	// Long-lived worker pool, one closure channel for every parallel
+	// phase (threshold sweep, flip application, anchor recompute).
+	workers := cfg.workers()
+	if workers > paddedN {
+		workers = paddedN
+	}
+	work := make(chan func())
+	defer close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		go func() {
+			for f := range work {
+				f()
+				wg.Done()
+			}
+		}()
+	}
+	parallel := func(parts int, f func(part int)) {
+		if parts <= 1 {
+			f(0)
+			return
+		}
+		wg.Add(parts)
+		for p := 0; p < parts; p++ {
+			p := p
+			work <- func() { f(p) }
+		}
+		wg.Wait()
+	}
+	// anchor recomputes y = C·s exactly, rows sharded across workers.
+	y := make([]float64, paddedN)
+	anchor := func() {
+		parallel(workers, func(part int) {
+			lo := part * paddedN / workers
+			hi := (part + 1) * paddedN / workers
+			csr.ApplyBinaryRange(sGlobal, y, lo, hi)
+		})
+	}
+	anchor()
+	run.InitMVM(0, true)
+	run.InitDone()
+
+	res.BestSpins = bestSpinsFrom(sGlobal, n)
+	res.BestEnergy = s.model.Energy(res.BestSpins)
+	evalSpins := make([]int8, n)
+	tracker := newEnergyTracker(s.model, res.BestSpins, res.BestEnergy, s.exactEnergy)
+	var prevEval []int8
+	if run.WantsEnergyDetail() {
+		prevEval = append([]int8(nil), res.BestSpins...)
+	}
+
+	// Per-worker flip chunks, merged into one ascending list per class.
+	chunkFlips := make([][]int, workers)
+	chunkSigns := make([][]float64, workers)
+	var flips []int
+	var signs []float64
+
+	refresh := cfg.deltaRefresh()
+	// Geometric noise annealing schedule, as in run().
+	phiAt := func(g int) float64 {
+		//sophielint:ignore floateq exact equality of two user-set config values selects the constant-noise fast path
+		if cfg.PhiEnd <= 0 || cfg.Phi == cfg.PhiEnd || cfg.GlobalIters == 1 {
+			return cfg.Phi
+		}
+		frac := float64(g-1) / float64(cfg.GlobalIters-1)
+		return cfg.Phi * math.Pow(cfg.PhiEnd/cfg.Phi, frac)
+	}
+	for g := 1; g <= cfg.GlobalIters; g++ {
+		if s.stop != nil && s.stop.stopped() {
+			res.Stopped = true
+			return &res, nil
+		}
+		if s.ctx != nil {
+			select {
+			case <-s.ctx.Done():
+				res.Stopped = true
+				return &res, nil
+			default:
+			}
+		}
+		phi := phiAt(g)
+		run.GlobalStart(g, 1, phi)
+		run.LoadDone(g, 1)
+
+		for l := 0; l < cfg.LocalIters; l++ {
+			if (g > 1 || l > 0) && l%refresh == 0 {
+				anchor()
+			}
+			for ci, class := range classes {
+				step := metrics.U64(((g-1)*cfg.LocalIters+l)*len(classes) + ci)
+				// Threshold phase: workers own contiguous chunks of the
+				// class; same-class spins share no coupling, so y and the
+				// spins they write are untouched by each other.
+				parts := workers
+				if parts > len(class) {
+					parts = len(class)
+				}
+				if parts == 0 {
+					continue
+				}
+				parallel(parts, func(part int) {
+					lo := part * len(class) / parts
+					hi := (part + 1) * len(class) / parts
+					f := chunkFlips[part][:0]
+					sg := chunkSigns[part][:0]
+					for _, v := range class[lo:hi] {
+						x := y[v]
+						if phi > 0 {
+							x += coloredNormal(stream, step, uint64(v)) * phi * s.noiseScale[v]
+						}
+						var nv float64
+						if x >= s.thresholds[v] {
+							nv = 1
+						}
+						if d := nv - sGlobal[v]; d != 0 {
+							f = append(f, v)
+							sg = append(sg, d)
+							sGlobal[v] = nv
+						}
+					}
+					chunkFlips[part] = f
+					chunkSigns[part] = sg
+				})
+				flips = flips[:0]
+				signs = signs[:0]
+				for part := 0; part < parts; part++ {
+					flips = append(flips, chunkFlips[part]...)
+					signs = append(signs, chunkSigns[part]...)
+				}
+				if len(flips) == 0 {
+					continue
+				}
+				// Apply phase: every worker applies the full ascending
+				// flip sequence restricted to its own output range.
+				parallel(workers, func(part int) {
+					lo := part * paddedN / workers
+					hi := (part + 1) * paddedN / workers
+					for k, v := range flips {
+						csr.AccumulateFlipRange(y, v, signs[k], lo, hi)
+					}
+				})
+			}
+		}
+		run.LocalBatch(g, 0, true)
+		run.LocalDone(g)
+		run.SyncPair(g, 0)
+		run.SyncBlock(g, 0, 1)
+		run.SyncBarrier(g)
+
+		res.GlobalItersRun = g
+		res.TotalLocalIters = g * cfg.LocalIters
+
+		if g%cfg.EvalEvery == 0 || g == cfg.GlobalIters {
+			fillSpins(evalSpins, sGlobal)
+			e := tracker.energyAt(evalSpins)
+			improved := e < res.BestEnergy
+			if improved {
+				res.BestEnergy = e
+				res.BestGlobalIter = g
+				copy(res.BestSpins, evalSpins)
+			}
+			if cfg.RecordTrace {
+				res.Trace = append(res.Trace, res.BestEnergy)
+			}
+			if prevEval != nil {
+				diff := 0
+				for i, v := range evalSpins {
+					if v != prevEval[i] {
+						diff++
+					}
+				}
+				copy(prevEval, evalSpins)
+				run.Energy(g, res.BestEnergy, diff, improved)
+			}
+			if cfg.OnGlobalIteration != nil {
+				cfg.OnGlobalIteration(g, res.BestEnergy)
+			}
+			if cfg.TargetEnergy != nil && res.BestEnergy <= *cfg.TargetEnergy {
+				res.ReachedTarget = true
+				return &res, nil
+			}
+		}
+		run.GlobalEnd(g)
+	}
+	return &res, nil
+}

@@ -136,6 +136,24 @@ type Config struct {
 	// it: per-job attribution installs distinct recorders via
 	// WithRuntime.
 	Tracer *trace.Recorder
+	// ForceDense disables sparse datapath selection: the solver always
+	// densifies the transform and runs the dense tile engine, even for
+	// couplings below the sparse density threshold. The escape hatch for
+	// golden comparisons and perf triage; the two paths are bit-identical
+	// wherever both can run (DESIGN.md "Sparse datapath"). It cannot be
+	// combined with a sparse-built model (ising.NewModelCSR), which has
+	// no dense couplings to fall back to.
+	ForceDense bool
+	// ColoredUpdate opts in to the chromatic parallel update: spins are
+	// partitioned into independent sets by greedy graph coloring and each
+	// class updates concurrently within a local iteration, Gauss-Seidel
+	// style — fresh neighbor values between classes instead of the
+	// block-synchronous tile recurrence. Requires the sparse datapath and
+	// a single tile (TileSize >= N). Runs are bit-reproducible for a seed
+	// at any worker count, but follow a different trajectory than the
+	// default update (a different algorithm, not a different
+	// implementation).
+	ColoredUpdate bool
 	// Engine overrides the MVM datapath; nil uses the ideal engine.
 	Engine EngineFactory
 	// InitialSpins optionally fixes the starting ±1 state for every job
@@ -204,8 +222,29 @@ func (c *Config) validate() error {
 	if c.DeltaRefreshEvery < 0 {
 		return fmt.Errorf("core: negative delta refresh interval %d", c.DeltaRefreshEvery)
 	}
+	if c.ColoredUpdate {
+		if c.ForceDense {
+			return fmt.Errorf("core: ColoredUpdate requires the sparse datapath; ForceDense conflicts")
+		}
+		if c.ExactRecompute {
+			return fmt.Errorf("core: ColoredUpdate replaces the incremental datapath; ExactRecompute conflicts")
+		}
+		if !c.SkipTransform {
+			return fmt.Errorf("core: ColoredUpdate requires SkipTransform (the sparse datapath keeps C = K)")
+		}
+		if c.Engine != nil {
+			return fmt.Errorf("core: ColoredUpdate cannot run over a custom engine")
+		}
+	}
 	return nil
 }
+
+// sparseDensityThreshold is the stored-density cutoff below which the
+// solver auto-selects the sparse CSR datapath for eligible
+// configurations (SkipTransform, default engine, no ForceDense). At 10%
+// density the CSR row gather streams ~5x less memory than the dense
+// kernel even counting index traffic; GSET-style workloads sit near 1%.
+const sparseDensityThreshold = 0.10
 
 // defaultDeltaRefresh bounds floating-point drift on the incremental
 // datapath: after this many consecutive delta updates the accumulator

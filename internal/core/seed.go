@@ -27,6 +27,12 @@ const (
 	roleController uint64 = 0xC1
 	rolePair       uint64 = 0x9A
 	roleDevice     uint64 = 0xD5
+	// roleColored feeds the colored-update runtime's stateless noise:
+	// the stream index is the spin, and each (step, spin) pair draws its
+	// normal deviate by mixing the stream with the step counter — no
+	// per-worker RNG state, which is what makes the chromatic sweep
+	// bit-reproducible at any worker count.
+	roleColored uint64 = 0x7C
 )
 
 // splitmix64 is the SplitMix64 finalizer: a bijection on 64-bit values

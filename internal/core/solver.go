@@ -38,6 +38,11 @@ type Solver struct {
 	delta       tiling.DeltaEngine
 	binary      tiling.BinaryEngine
 	exactEnergy bool
+
+	// Colored-update state (Config.ColoredUpdate): the single padded
+	// CSR tile and its greedy coloring, precomputed once per solver.
+	coloredTile *linalg.CSR
+	classes     [][]int
 }
 
 // readoutQuantizer is implemented by engines with a multi-bit ADC mode
@@ -50,60 +55,132 @@ type readoutQuantizer interface {
 // NewSolver preprocesses the model: builds the PRIS transform (or skips
 // it), decomposes C into symmetric tile pairs, and programs the MVM
 // engine.
+//
+// Datapath selection (DESIGN.md "Sparse datapath"): sparse-built models
+// (ising.NewModelCSR) always take the sparse CSR engine — they have no
+// dense couplings to densify — and require SkipTransform with the
+// default engine. Dense-built models auto-select the sparse engine when
+// they are eligible (SkipTransform, default engine, no ForceDense) and
+// the coupling density is below sparseDensityThreshold; the selection
+// is invisible in results because the sparse engine is bit-identical to
+// the ideal dense engine on the same couplings.
 func NewSolver(m *ising.Model, cfg Config) (*Solver, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	var tr *pris.Transform
-	var err error
-	if cfg.TransformRank > 0 && !cfg.SkipTransform {
-		tr, err = pris.NewTransformRank(m, cfg.Alpha, cfg.TransformRank, cfg.Seed)
-	} else {
-		tr, err = pris.NewTransform(m, cfg.Alpha, cfg.SkipTransform)
-	}
-	if err != nil {
 		return nil, err
 	}
 	grid, err := tiling.NewGrid(m.N(), cfg.TileSize)
 	if err != nil {
 		return nil, err
 	}
-	// Pad C to the grid before decomposition so boundary tiles are full.
-	tiles, err := tiling.DecomposePairs(tr.C, grid)
+	sparse, err := pickSparse(m, &cfg)
 	if err != nil {
 		return nil, err
 	}
-	factory := cfg.Engine
-	if factory == nil {
-		factory = func(ts []*linalg.Matrix) (tiling.Engine, error) { return tiling.NewIdealEngine(ts) }
+	if cfg.ColoredUpdate {
+		if !sparse {
+			return nil, fmt.Errorf("core: ColoredUpdate requires the sparse datapath (density %.3f >= %.2f; lower the density or build the model with NewModelCSR)",
+				modelDensity(m), sparseDensityThreshold)
+		}
+		if grid.Tiles != 1 {
+			return nil, fmt.Errorf("core: ColoredUpdate requires a single tile (TileSize %d < %d spins)", cfg.TileSize, m.N())
+		}
 	}
-	engine, err := factory(tiles)
-	if err != nil {
-		return nil, err
-	}
-	if engine.TileSize() != cfg.TileSize || engine.Pairs() != grid.PairCount() {
-		return nil, fmt.Errorf("core: engine shape %d/%d does not match grid %d/%d",
-			engine.TileSize(), engine.Pairs(), cfg.TileSize, grid.PairCount())
-	}
+
 	s := &Solver{
 		model:      m,
 		cfg:        cfg.clone(),
 		grid:       grid,
-		engine:     engine,
 		pairs:      grid.Pairs(),
 		thresholds: make([]float64, grid.PaddedN()),
 		noiseScale: make([]float64, grid.PaddedN()),
 	}
-	copy(s.thresholds, tr.Thresholds)
-	copy(s.noiseScale, tr.RowNorms)
-	if de, ok := engine.(tiling.DeltaEngine); ok {
+	if sparse {
+		tr, err := pris.NewTransformCSR(m)
+		if err != nil {
+			return nil, err
+		}
+		tiles, err := tiling.DecomposePairsCSR(tr.C, grid)
+		if err != nil {
+			return nil, err
+		}
+		engine, err := tiling.NewSparseEngine(tiles)
+		if err != nil {
+			return nil, err
+		}
+		s.engine = engine
+		copy(s.thresholds, tr.Thresholds)
+		copy(s.noiseScale, tr.RowNorms)
+		if cfg.ColoredUpdate {
+			s.coloredTile = tiles[0]
+			s.classes = tiles[0].GreedyColoring()
+		}
+	} else {
+		var tr *pris.Transform
+		if cfg.TransformRank > 0 && !cfg.SkipTransform {
+			tr, err = pris.NewTransformRank(m, cfg.Alpha, cfg.TransformRank, cfg.Seed)
+		} else {
+			tr, err = pris.NewTransform(m, cfg.Alpha, cfg.SkipTransform)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Pad C to the grid before decomposition so boundary tiles are full.
+		tiles, err := tiling.DecomposePairs(tr.C, grid)
+		if err != nil {
+			return nil, err
+		}
+		factory := cfg.Engine
+		if factory == nil {
+			factory = func(ts []*linalg.Matrix) (tiling.Engine, error) { return tiling.NewIdealEngine(ts) }
+		}
+		s.engine, err = factory(tiles)
+		if err != nil {
+			return nil, err
+		}
+		copy(s.thresholds, tr.Thresholds)
+		copy(s.noiseScale, tr.RowNorms)
+	}
+	if s.engine.TileSize() != cfg.TileSize || s.engine.Pairs() != grid.PairCount() {
+		return nil, fmt.Errorf("core: engine shape %d/%d does not match grid %d/%d",
+			s.engine.TileSize(), s.engine.Pairs(), cfg.TileSize, grid.PairCount())
+	}
+	if de, ok := s.engine.(tiling.DeltaEngine); ok {
 		s.delta = de
 	}
-	if be, ok := engine.(tiling.BinaryEngine); ok {
+	if be, ok := s.engine.(tiling.BinaryEngine); ok {
 		s.binary = be
 	}
 	s.exactEnergy = m.IntegerCouplings()
 	return s, nil
+}
+
+// pickSparse decides whether the solve runs on the sparse CSR datapath.
+func pickSparse(m *ising.Model, cfg *Config) (bool, error) {
+	if !m.HasDense() {
+		if cfg.ForceDense {
+			return false, fmt.Errorf("core: ForceDense set for a sparse-built model, which has no dense couplings")
+		}
+		if !cfg.SkipTransform {
+			return false, fmt.Errorf("core: sparse-built models require SkipTransform (the eigenvalue dropout would densify the couplings)")
+		}
+		if cfg.Engine != nil {
+			return false, fmt.Errorf("core: custom engine factories take dense tiles; build the model densely to use one")
+		}
+		return true, nil
+	}
+	if cfg.ForceDense || !cfg.SkipTransform || cfg.Engine != nil {
+		return false, nil
+	}
+	return modelDensity(m) < sparseDensityThreshold, nil
+}
+
+// modelDensity returns the stored coupling density, nnz/n².
+func modelDensity(m *ising.Model) float64 {
+	ks, err := m.Sparse()
+	if err != nil {
+		return 1
+	}
+	return ks.Density()
 }
 
 // WithRuntime returns a solver sharing this solver's preprocessed state
@@ -127,6 +204,9 @@ func (s *Solver) WithRuntime(modify func(cfg *Config)) (*Solver, error) {
 	//sophielint:ignore floateq exact identity of the copied config value detects a changed field, not a numeric comparison
 	if cfg.Alpha != s.cfg.Alpha || cfg.SkipTransform != s.cfg.SkipTransform || cfg.TransformRank != s.cfg.TransformRank {
 		return nil, fmt.Errorf("core: WithRuntime cannot change the transform; build a new solver")
+	}
+	if cfg.ForceDense != s.cfg.ForceDense || cfg.ColoredUpdate != s.cfg.ColoredUpdate {
+		return nil, fmt.Errorf("core: WithRuntime cannot change the datapath (ForceDense, ColoredUpdate); build a new solver")
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -277,6 +357,9 @@ func (s *Solver) RunCtx(ctx context.Context, seed int64) (*Result, error) {
 // run is the job body, executed over the per-job engine view.
 func (s *runContext) run(seed int64) (*Result, error) {
 	cfg := s.cfg
+	if cfg.ColoredUpdate {
+		return s.runColored(seed)
+	}
 	t := cfg.TileSize
 	grid := s.grid
 	nPairs := grid.PairCount()

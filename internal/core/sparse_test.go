@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/linalg"
+	"sophie/internal/opcm"
+	"sophie/internal/tiling"
+)
+
+// sparseProblem is the G22-mini workload at sparse density: 125 nodes
+// and 650 edges store at 650·2/125² ≈ 8.3% density, below the 10%
+// auto-pick threshold (testProblem's 12.1% deliberately stays above
+// it, so the pre-existing suite keeps exercising the dense engine).
+func sparseProblem(t testing.TB, scheme graph.WeightScheme) (*graph.Graph, *ising.Model) {
+	t.Helper()
+	g, err := graph.Random(125, 650, scheme, 53122)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ising.FromMaxCut(g)
+}
+
+func sparseConfig() Config {
+	cfg := quickConfig()
+	cfg.SkipTransform = true
+	cfg.RecordTrace = true
+	return cfg
+}
+
+// TestSparseAutoPickBitIdenticalToDense is the golden gate of the
+// sparse datapath: for an eligible instance (SkipTransform, default
+// engine, density below the threshold) the auto-picked CSR engine must
+// reproduce the ForceDense solve bit for bit — spins, energies, trace,
+// and op counts — across seeds and weight schemes, on both the delta
+// and the exact-recompute paths.
+func TestSparseAutoPickBitIdenticalToDense(t *testing.T) {
+	schemes := map[string]graph.WeightScheme{
+		"unit":    graph.WeightUnit,
+		"pm1":     graph.WeightPM1,
+		"uniform": graph.WeightUniform,
+	}
+	for name, scheme := range schemes {
+		t.Run(name, func(t *testing.T) {
+			_, m := sparseProblem(t, scheme)
+			for _, exact := range []bool{false, true} {
+				for _, seed := range []int64{1, 2, 3} {
+					cfg := sparseConfig()
+					cfg.ExactRecompute = exact
+
+					dense := cfg
+					dense.ForceDense = true
+					denseSolver, err := NewSolver(m, dense)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, ok := denseSolver.engine.(*tiling.SparseEngine); ok {
+						t.Fatal("ForceDense solver picked the sparse engine")
+					}
+					ref, err := denseSolver.Run(seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					sparseSolver, err := NewSolver(m, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, ok := sparseSolver.engine.(*tiling.SparseEngine); !ok {
+						t.Fatalf("eligible instance did not auto-pick the sparse engine (got %T)", sparseSolver.engine)
+					}
+					got, err := sparseSolver.Run(seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					label := name + map[bool]string{false: "/delta", true: "/exact"}[exact]
+					requireIdentical(t, label, ref, got)
+					_ = label
+				}
+			}
+		})
+	}
+}
+
+// TestSparseBuiltModelMatchesDenseBuilt pins the ising.FromMaxCutCSR
+// construction path: a model built straight from CSR couplings (never
+// materializing the dense matrix) must solve bit-identically to the
+// dense-built model of the same graph.
+func TestSparseBuiltModelMatchesDenseBuilt(t *testing.T) {
+	g, mDense := sparseProblem(t, graph.WeightUnit)
+	mSparse := ising.FromMaxCutCSR(g)
+	if mSparse.HasDense() {
+		t.Fatal("FromMaxCutCSR produced a dense-backed model")
+	}
+	cfg := sparseConfig()
+	for _, seed := range []int64{1, 2, 3} {
+		solver, err := NewSolver(mSparse, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := solver.Run(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewSolver(mDense, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Run(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, "csr-built vs dense-built", want, got)
+	}
+}
+
+// TestOpcmEngineUnaffectedBySparseAvailability pins the S3 fallback
+// contract on a sparse-density instance: a custom engine factory (the
+// opcm device model) opts the solve out of sparse selection entirely,
+// its sessions expose no delta kernels, and the solve therefore runs
+// the exact-recompute path — identical whether or not ExactRecompute
+// is set.
+func TestOpcmEngineUnaffectedBySparseAvailability(t *testing.T) {
+	_, m := sparseProblem(t, graph.WeightUnit)
+	cfg := sparseConfig()
+	cfg.GlobalIters = 20
+	cfg.Engine = func(tiles []*linalg.Matrix) (tiling.Engine, error) {
+		return opcm.NewEngine(tiles, 0, opcm.DefaultParams())
+	}
+	solver, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := solver.engine.(*tiling.SparseEngine); ok {
+		t.Fatal("custom engine factory must disable sparse selection")
+	}
+	if solver.delta != nil {
+		t.Fatal("opcm engine must not expose delta kernels")
+	}
+	dev, err := solver.Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := cfg
+	exact.ExactRecompute = true
+	refSolver, err := NewSolver(m, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refSolver.Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "opcm on sparse-density instance", ref, dev)
+}
+
+func coloredConfig(n int) Config {
+	cfg := DefaultConfig()
+	cfg.TileSize = n
+	cfg.GlobalIters = 30
+	cfg.LocalIters = 5
+	cfg.Phi = 0.15
+	cfg.SkipTransform = true
+	cfg.ColoredUpdate = true
+	cfg.RecordTrace = true
+	return cfg
+}
+
+// TestColoredUpdateWorkerCountIndependence pins the chromatic update's
+// determinism contract: the trajectory is a pure function of the seed
+// at any worker count — stateless per-(step,spin) noise, ascending
+// merged flip lists, and output-range-sharded flip application make
+// 1 worker and many workers produce bit-identical results.
+func TestColoredUpdateWorkerCountIndependence(t *testing.T) {
+	_, m := sparseProblem(t, graph.WeightUnit)
+	base := coloredConfig(m.N())
+	var ref *Result
+	for _, workers := range []int{1, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		solver, err := NewSolver(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := solver.Run(17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		requireIdentical(t, "colored workers", ref, res)
+	}
+}
+
+// TestColoredUpdateResultConsistency checks the colored runtime's
+// outputs are well-formed: ±1 spins, a best energy matching the model's
+// own evaluation of the best spins, and a monotone best-so-far trace.
+func TestColoredUpdateResultConsistency(t *testing.T) {
+	g, m := sparseProblem(t, graph.WeightUnit)
+	solver, err := NewSolver(m, coloredConfig(m.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BestSpins) != m.N() {
+		t.Fatalf("got %d spins for %d-spin model", len(res.BestSpins), m.N())
+	}
+	for i, sp := range res.BestSpins {
+		if sp != 1 && sp != -1 {
+			t.Fatalf("spin %d is %d, want ±1", i, sp)
+		}
+	}
+	if math.Float64bits(res.BestEnergy) != math.Float64bits(m.Energy(res.BestSpins)) {
+		t.Fatalf("BestEnergy %v does not match model energy %v", res.BestEnergy, m.Energy(res.BestSpins))
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i] > res.Trace[i-1] {
+			t.Fatalf("trace not monotone at %d: %v > %v", i, res.Trace[i], res.Trace[i-1])
+		}
+	}
+	if cut := g.CutValue(res.BestSpins); cut <= 0 {
+		t.Fatalf("non-positive cut %v", cut)
+	}
+}
+
+// TestSparseSelectionErrors pins the admission rules of the sparse
+// datapath and the colored update.
+func TestSparseSelectionErrors(t *testing.T) {
+	g, mDense := sparseProblem(t, graph.WeightUnit)
+	mSparse := ising.FromMaxCutCSR(g)
+
+	t.Run("force-dense on sparse-built model", func(t *testing.T) {
+		cfg := sparseConfig()
+		cfg.ForceDense = true
+		if _, err := NewSolver(mSparse, cfg); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("sparse-built model needs SkipTransform", func(t *testing.T) {
+		cfg := quickConfig()
+		if _, err := NewSolver(mSparse, cfg); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("sparse-built model rejects custom engine", func(t *testing.T) {
+		cfg := sparseConfig()
+		cfg.Engine = func(tiles []*linalg.Matrix) (tiling.Engine, error) {
+			return tiling.NewIdealEngine(tiles)
+		}
+		if _, err := NewSolver(mSparse, cfg); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("colored update needs single tile", func(t *testing.T) {
+		cfg := coloredConfig(mDense.N())
+		cfg.TileSize = 32
+		if _, err := NewSolver(mDense, cfg); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("colored update needs sparse density", func(t *testing.T) {
+		_, dense := testProblem(t) // 12.1% density, above the threshold
+		cfg := coloredConfig(dense.N())
+		if _, err := NewSolver(dense, cfg); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("colored update config conflicts", func(t *testing.T) {
+		mutations := []func(*Config){
+			func(c *Config) { c.ForceDense = true },
+			func(c *Config) { c.ExactRecompute = true },
+			func(c *Config) { c.SkipTransform = false },
+			func(c *Config) {
+				c.Engine = func(tiles []*linalg.Matrix) (tiling.Engine, error) {
+					return tiling.NewIdealEngine(tiles)
+				}
+			},
+		}
+		for i, mutate := range mutations {
+			cfg := coloredConfig(mDense.N())
+			mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("mutation %d: want validation error", i)
+			}
+		}
+	})
+	t.Run("WithRuntime cannot change datapath", func(t *testing.T) {
+		solver, err := NewSolver(mDense, sparseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := solver.WithRuntime(func(c *Config) { c.ForceDense = true }); err == nil {
+			t.Fatal("want error for ForceDense change")
+		}
+		if _, err := solver.WithRuntime(func(c *Config) { c.ColoredUpdate = true }); err == nil {
+			t.Fatal("want error for ColoredUpdate change")
+		}
+	})
+}
+
+// TestSparseBuiltScale runs a 10k-node random-regular instance through
+// the sparse-built path end to end — the shape of the million-spin
+// workload at test-suite cost. The full 100k smoke lives behind
+// SOPHIE_SPARSE_SMOKE=1 (exercised by the CI sparse-smoke job).
+func TestSparseBuiltScale(t *testing.T) {
+	n := 10_000
+	if os.Getenv("SOPHIE_SPARSE_SMOKE") != "" {
+		n = 100_000
+	}
+	g, err := graph.RandomRegular(n, 3, graph.WeightUnit, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ising.FromMaxCutCSR(g)
+	cfg := DefaultConfig()
+	cfg.TileSize = n
+	cfg.GlobalIters = 3
+	cfg.LocalIters = 2
+	cfg.Phi = 0.15
+	cfg.SkipTransform = true
+	res, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := g.CutValue(res.BestSpins); cut <= 0 {
+		t.Fatalf("non-positive cut %v on %d-node instance", cut, n)
+	}
+}

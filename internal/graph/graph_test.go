@@ -355,3 +355,38 @@ func TestCouplingCSRMatchesDense(t *testing.T) {
 		}
 	}
 }
+
+func TestRandomRegular(t *testing.T) {
+	g, err := RandomRegular(200, 3, WeightUnit, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 || g.M() != 300 {
+		t.Fatalf("got %d nodes, %d edges; want 200, 300", g.N(), g.M())
+	}
+	for v, d := range g.Degrees() {
+		if d != 3 {
+			t.Fatalf("node %d has degree %d, want 3", v, d)
+		}
+	}
+	// Deterministic for a fixed seed.
+	h, err := RandomRegular(200, 3, WeightUnit, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, he := g.SortedEdges(), h.SortedEdges()
+	for i := range ge {
+		if ge[i] != he[i] {
+			t.Fatalf("edge %d differs across identical seeds: %+v vs %+v", i, ge[i], he[i])
+		}
+	}
+	if _, err := RandomRegular(5, 3, WeightUnit, 1); err == nil {
+		t.Fatal("odd n·d must be rejected")
+	}
+	if _, err := RandomRegular(4, 4, WeightUnit, 1); err == nil {
+		t.Fatal("d >= n must be rejected")
+	}
+	if _, err := RandomRegular(0, 0, WeightUnit, 1); err == nil {
+		t.Fatal("empty graph must be rejected")
+	}
+}

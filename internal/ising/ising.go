@@ -15,9 +15,16 @@ import (
 
 // Model is an Ising model without external field: H = -½ Σ σᵢKᵢⱼσⱼ
 // over spins σ ∈ {-1,+1}ᴺ with a symmetric coupling matrix K whose
-// diagonal is zero.
+// diagonal is zero. The couplings live either densely (NewModel) or in
+// CSR form (NewModelCSR) — sparse-built models never materialize the
+// n×n matrix, which is what makes million-spin instances representable,
+// and every energy computed over them is bit-identical to the dense
+// evaluation of the same couplings (skipped zero terms are exact ±0
+// additions; see the linalg bit-exactness contract).
 type Model struct {
-	k *linalg.Matrix
+	n  int
+	k  *linalg.Matrix // dense couplings; nil for sparse-built models
+	ks *linalg.CSR    // sparse couplings; set only by sparse construction
 }
 
 // NewModel wraps a symmetric coupling matrix. The diagonal is zeroed
@@ -34,7 +41,53 @@ func NewModel(k *linalg.Matrix) (*Model, error) {
 	for i := 0; i < c.Rows(); i++ {
 		c.Set(i, i, 0)
 	}
-	return &Model{k: c}, nil
+	return &Model{n: c.Rows(), k: c}, nil
+}
+
+// NewModelCSR wraps a symmetric CSR coupling matrix without densifying
+// it. Diagonal entries are dropped (self-coupling only shifts the
+// energy by a constant); symmetry is checked with the same relative
+// tolerance as NewModel. The model retains k, which must not change
+// afterwards.
+func NewModelCSR(k *linalg.CSR) (*Model, error) {
+	n := k.Order()
+	maxAbs := 0.0
+	hasDiag := false
+	k.Scan(func(i, j int, v float64) {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if i == j {
+			hasDiag = true
+		}
+	})
+	tol := 1e-9 * (1 + maxAbs)
+	var asym error
+	k.Scan(func(i, j int, v float64) {
+		if asym != nil || i == j {
+			return
+		}
+		if math.Abs(v-k.At(j, i)) > tol {
+			asym = fmt.Errorf("ising: coupling matrix must be symmetric: K[%d][%d]=%v, K[%d][%d]=%v", i, j, v, j, i, k.At(j, i))
+		}
+	})
+	if asym != nil {
+		return nil, asym
+	}
+	if hasDiag {
+		entries := make([]linalg.Entry, 0, k.NNZ())
+		k.Scan(func(i, j int, v float64) {
+			if i != j {
+				entries = append(entries, linalg.Entry{Row: i, Col: j, Val: v})
+			}
+		})
+		clean, err := linalg.NewCSRGeneral(n, entries)
+		if err != nil {
+			return nil, err
+		}
+		k = clean
+	}
+	return &Model{n: n, ks: k}, nil
 }
 
 // FromMaxCut builds the Ising model whose ground state solves max-cut on
@@ -47,11 +100,43 @@ func FromMaxCut(g *graph.Graph) *Model {
 	return m
 }
 
-// N returns the number of spins.
-func (m *Model) N() int { return m.k.Rows() }
+// FromMaxCutCSR is FromMaxCut over the CSR coupling form: the model is
+// built straight from the graph's edge list, never allocating the dense
+// matrix — the constructor for instances too large to densify.
+func FromMaxCutCSR(g *graph.Graph) *Model {
+	m, err := NewModelCSR(g.CouplingCSR())
+	if err != nil {
+		panic(err) // coupling matrices from graphs are symmetric by construction
+	}
+	return m
+}
 
-// Coupling returns the coupling matrix. Callers must not modify it.
-func (m *Model) Coupling() *linalg.Matrix { return m.k }
+// N returns the number of spins.
+func (m *Model) N() int { return m.n }
+
+// HasDense reports whether the model carries dense couplings.
+// Sparse-built models (NewModelCSR, FromMaxCutCSR) do not, and can only
+// run on the sparse solver datapath.
+func (m *Model) HasDense() bool { return m.k != nil }
+
+// Coupling returns the dense coupling matrix. Callers must not modify
+// it. It panics on a sparse-built model — use Sparse there.
+func (m *Model) Coupling() *linalg.Matrix {
+	if m.k == nil {
+		panic("ising: sparse-built model has no dense coupling matrix; use Sparse")
+	}
+	return m.k
+}
+
+// Sparse returns the couplings in CSR form: the retained matrix for
+// sparse-built models, or a fresh conversion for dense-built ones.
+// Callers must not modify the result.
+func (m *Model) Sparse() (*linalg.CSR, error) {
+	if m.ks != nil {
+		return m.ks, nil
+	}
+	return linalg.NewCSRFromDense(m.k)
+}
 
 // Energy evaluates the Hamiltonian H = -½ Σ σᵢKᵢⱼσⱼ (Eq. 1) for ±1 spins.
 func (m *Model) Energy(spins []int8) float64 {
@@ -59,6 +144,17 @@ func (m *Model) Energy(spins []int8) float64 {
 		panic(fmt.Sprintf("ising: Energy got %d spins for %d-spin model", len(spins), m.N()))
 	}
 	h := 0.0
+	if m.k == nil {
+		// Sparse walk: the stored upper-triangle entries are exactly the
+		// non-zero terms of the dense loop below, visited in the same
+		// row-major order, so the sum is bit-identical.
+		m.ks.Scan(func(i, j int, v float64) {
+			if j > i {
+				h += float64(spins[i]) * v * float64(spins[j])
+			}
+		})
+		return -h
+	}
 	n := m.N()
 	for i := 0; i < n; i++ {
 		row := m.k.Row(i)
@@ -74,8 +170,16 @@ func (m *Model) Energy(spins []int8) float64 {
 // O(N) without re-evaluating the full Hamiltonian. Flipping σᵢ changes H
 // by 2·σᵢ·Σⱼ Kᵢⱼσⱼ.
 func (m *Model) EnergyDelta(spins []int8, i int) float64 {
-	row := m.k.Row(i)
 	field := 0.0
+	if m.k == nil {
+		// O(degree) row scan, bit-identical to the dense O(N) loop: the
+		// skipped couplings contribute exact ±0 terms.
+		m.ks.ScanRow(i, func(j int, v float64) {
+			field += v * float64(spins[j])
+		})
+		return 2 * float64(spins[i]) * field
+	}
+	row := m.k.Row(i)
 	for j, kij := range row {
 		field += kij * float64(spins[j])
 	}
@@ -98,6 +202,15 @@ func (m *Model) IntegerCouplings() bool {
 	// Each energy term and each accumulated delta is a sum of at most
 	// n² couplings; keep the worst-case magnitude below 2⁵².
 	limit := math.Exp2(52) / (float64(n) * float64(n))
+	if m.k == nil {
+		ok := true
+		m.ks.Scan(func(_, _ int, v float64) {
+			if math.Trunc(v)-v != 0 || math.Abs(v) > limit {
+				ok = false
+			}
+		})
+		return ok
+	}
 	for i := 0; i < n; i++ {
 		for _, v := range m.k.Row(i) {
 			if math.Trunc(v)-v != 0 || math.Abs(v) > limit {
@@ -229,6 +342,9 @@ func EmbedField(m *Model, h []float64) (*Model, error) {
 	n := m.N()
 	if len(h) != n {
 		return nil, fmt.Errorf("ising: field has %d entries for %d spins", len(h), n)
+	}
+	if m.k == nil {
+		return nil, fmt.Errorf("ising: EmbedField needs a dense-built model")
 	}
 	k := linalg.NewMatrix(n+1, n+1)
 	for i := 0; i < n; i++ {

@@ -34,8 +34,14 @@ func AsOperator(m *Matrix) (Operator, error) {
 	return denseOperator{m}, nil
 }
 
-// CSR is a compressed-sparse-row symmetric matrix. Both triangles are
-// stored so Apply is a plain row scan.
+// CSR is a compressed-sparse-row square matrix. Every row's column
+// indices are stored in increasing order, which is what makes the
+// kernels in sparsekernels.go bit-identical to their dense
+// counterparts: per output element they accumulate the same non-zero
+// terms in the same index order. Symmetric constructions (NewCSRSym)
+// store both triangles so Apply is a plain row scan; NewCSRGeneral
+// builds arbitrary square blocks (the tiling layer's off-diagonal
+// tiles).
 type CSR struct {
 	n      int
 	rowPtr []int
@@ -52,46 +58,83 @@ type Entry struct {
 // NewCSRSym builds a symmetric CSR matrix of order n from upper- or
 // lower-triangle entries: each off-diagonal entry (r,c,v) also inserts
 // (c,r,v). Duplicate coordinates are summed. Zero values are dropped.
+//
+// Construction is a sort-and-merge build: the mirrored entry list is
+// sorted by (row, col) with a stable sort and adjacent duplicates are
+// summed in input order — the same accumulation order the previous
+// map-based build used, without the map's allocation cost, which
+// dominated million-edge constructions now that CSR sits on the hot
+// solve path.
 func NewCSRSym(n int, entries []Entry) (*CSR, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("linalg: negative CSR order %d", n)
 	}
-	type coord struct{ r, c int }
-	acc := make(map[coord]float64, 2*len(entries))
+	all := make([]Entry, 0, 2*len(entries))
 	for _, e := range entries {
 		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
 			return nil, fmt.Errorf("linalg: CSR entry (%d,%d) out of range for order %d", e.Row, e.Col, n)
 		}
-		acc[coord{e.Row, e.Col}] += e.Val
+		all = append(all, e)
 		if e.Row != e.Col {
-			acc[coord{e.Col, e.Row}] += e.Val
+			all = append(all, Entry{Row: e.Col, Col: e.Row, Val: e.Val})
 		}
 	}
-	perRow := make([][]Entry, n)
-	nnz := 0
-	for k, v := range acc {
-		if v == 0 {
-			continue
-		}
-		perRow[k.r] = append(perRow[k.r], Entry{k.r, k.c, v})
-		nnz++
+	return buildCSR(n, all), nil
+}
+
+// NewCSRGeneral builds a square CSR matrix of order n from coordinate
+// entries without symmetrization: only the listed coordinates are
+// stored. Duplicate coordinates are summed in input order; zero sums
+// are dropped. The tiling layer uses it for the off-diagonal tile
+// blocks of a symmetric matrix, which are square but not symmetric.
+func NewCSRGeneral(n int, entries []Entry) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("linalg: negative CSR order %d", n)
 	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
+			return nil, fmt.Errorf("linalg: CSR entry (%d,%d) out of range for order %d", e.Row, e.Col, n)
+		}
+	}
+	return buildCSR(n, append([]Entry(nil), entries...)), nil
+}
+
+// buildCSR assembles a CSR from validated entries: stable-sort by
+// (row, col), sum adjacent duplicates (stability keeps the summation in
+// input order, so duplicate handling rounds exactly as the old
+// map-accumulator build did), drop zero sums. It takes ownership of
+// entries and reorders it.
+func buildCSR(n int, entries []Entry) *CSR {
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Row != entries[j].Row {
+			return entries[i].Row < entries[j].Row
+		}
+		return entries[i].Col < entries[j].Col
+	})
 	m := &CSR{
 		n:      n,
 		rowPtr: make([]int, n+1),
-		colIdx: make([]int, 0, nnz),
-		vals:   make([]float64, 0, nnz),
+		colIdx: make([]int, 0, len(entries)),
+		vals:   make([]float64, 0, len(entries)),
+	}
+	for k := 0; k < len(entries); {
+		r, c, v := entries[k].Row, entries[k].Col, entries[k].Val
+		k++
+		for k < len(entries) && entries[k].Row == r && entries[k].Col == c {
+			v += entries[k].Val
+			k++
+		}
+		if v == 0 {
+			continue
+		}
+		m.colIdx = append(m.colIdx, c)
+		m.vals = append(m.vals, v)
+		m.rowPtr[r+1]++
 	}
 	for r := 0; r < n; r++ {
-		row := perRow[r]
-		sort.Slice(row, func(i, j int) bool { return row[i].Col < row[j].Col })
-		for _, e := range row {
-			m.colIdx = append(m.colIdx, e.Col)
-			m.vals = append(m.vals, e.Val)
-		}
-		m.rowPtr[r+1] = len(m.colIdx)
+		m.rowPtr[r+1] += m.rowPtr[r]
 	}
-	return m, nil
+	return m
 }
 
 // NewCSRFromDense converts a symmetric dense matrix to CSR.
@@ -117,6 +160,46 @@ func (c *CSR) Order() int { return c.n }
 // NNZ returns the stored non-zero count (both triangles).
 func (c *CSR) NNZ() int { return len(c.vals) }
 
+// Density returns NNZ / n², the stored fraction of the dense matrix —
+// the quantity the solver compares against its sparse-selection
+// threshold.
+func (c *CSR) Density() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return float64(len(c.vals)) / (float64(c.n) * float64(c.n))
+}
+
+// Transpose returns a newly allocated Aᵀ. Each result row keeps its
+// column indices in increasing order (column j of A is visited in
+// increasing row order), preserving the ordered-row invariant the
+// bit-identity contract of the kernels depends on.
+func (c *CSR) Transpose() *CSR {
+	t := &CSR{
+		n:      c.n,
+		rowPtr: make([]int, c.n+1),
+		colIdx: make([]int, len(c.colIdx)),
+		vals:   make([]float64, len(c.vals)),
+	}
+	for _, j := range c.colIdx {
+		t.rowPtr[j+1]++
+	}
+	for r := 0; r < c.n; r++ {
+		t.rowPtr[r+1] += t.rowPtr[r]
+	}
+	next := append([]int(nil), t.rowPtr[:c.n]...)
+	for r := 0; r < c.n; r++ {
+		for k := c.rowPtr[r]; k < c.rowPtr[r+1]; k++ {
+			j := c.colIdx[k]
+			p := next[j]
+			next[j]++
+			t.colIdx[p] = r
+			t.vals[p] = c.vals[k]
+		}
+	}
+	return t
+}
+
 // Apply implements Operator: y = A·x.
 func (c *CSR) Apply(x, y []float64) {
 	if len(x) != c.n || len(y) != c.n {
@@ -131,6 +214,25 @@ func (c *CSR) Apply(x, y []float64) {
 	}
 }
 
+// Scan calls fn for every stored entry in row-major, increasing-column
+// order — the iteration primitive layers above use to re-bucket entries
+// (tile decomposition) without reaching into the representation.
+func (c *CSR) Scan(fn func(i, j int, v float64)) {
+	for r := 0; r < c.n; r++ {
+		for k := c.rowPtr[r]; k < c.rowPtr[r+1]; k++ {
+			fn(r, c.colIdx[k], c.vals[k])
+		}
+	}
+}
+
+// ScanRow calls fn for every stored entry of row i in increasing-column
+// order.
+func (c *CSR) ScanRow(i int, fn func(j int, v float64)) {
+	for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+		fn(c.colIdx[k], c.vals[k])
+	}
+}
+
 // At returns element (i,j) by scanning row i (O(log nnz_row)).
 func (c *CSR) At(i, j int) float64 {
 	lo, hi := c.rowPtr[i], c.rowPtr[i+1]
@@ -141,8 +243,8 @@ func (c *CSR) At(i, j int) float64 {
 	return 0
 }
 
-// GershgorinRadiusOp is the sparse counterpart of GershgorinRadius:
-// max_i Σ_{j≠i} |A_ij|.
+// GershgorinRadius is the sparse counterpart of the dense
+// GershgorinRadius: max_i Σ_{j≠i} |A_ij|.
 func (c *CSR) GershgorinRadius() float64 {
 	max := 0.0
 	for r := 0; r < c.n; r++ {

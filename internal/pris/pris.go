@@ -18,6 +18,7 @@ package pris
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"sophie/internal/ising"
@@ -121,6 +122,44 @@ func NewTransformRankSparse(k *linalg.CSR, alpha float64, rank int, seed int64) 
 		return nil, err
 	}
 	return wrapTransform(c), nil
+}
+
+// TransformCSR is the sparse counterpart of Transform: the
+// transformation matrix kept in CSR form, never densified. Only the
+// C = K (SkipTransform) path exists here — eigenvalue dropout produces
+// dense eigenvector outer products — which is also how large instances
+// are run (DESIGN.md). Thresholds and RowNorms are bit-identical to
+// what wrapTransform computes on the densified matrix: each row's
+// stored entries are summed (and squared-summed) in the same increasing
+// column order, and the skipped zeros are exact +0 terms.
+type TransformCSR struct {
+	C          *linalg.CSR
+	Thresholds []float64
+	RowNorms   []float64 // ‖Cᵢ‖₂, the noise scale per component
+}
+
+// NewTransformCSR builds the sparse C = K transform for a model.
+func NewTransformCSR(m *ising.Model) (*TransformCSR, error) {
+	k, err := m.Sparse()
+	if err != nil {
+		return nil, err
+	}
+	n := k.Order()
+	t := &TransformCSR{
+		C:          k,
+		Thresholds: make([]float64, n),
+		RowNorms:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		sum, sumSq := 0.0, 0.0
+		k.ScanRow(i, func(_ int, v float64) {
+			sum += v
+			sumSq += v * v
+		})
+		t.Thresholds[i] = sum / 2 // θᵢ = Σⱼ Cᵢⱼ/2 (Eq. 7)
+		t.RowNorms[i] = math.Sqrt(sumSq)
+	}
+	return t, nil
 }
 
 func wrapTransform(c *linalg.Matrix) *Transform {

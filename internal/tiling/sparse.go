@@ -1,0 +1,197 @@
+package tiling
+
+import (
+	"fmt"
+
+	"sophie/internal/linalg"
+)
+
+// DecomposePairsCSR extracts the upper-triangle tiles of a symmetric
+// CSR matrix according to the grid, the sparse analogue of
+// DecomposePairs: result[PairIndex(i,j)] = C_ij as a TileSize-order CSR
+// block, zero-padded at the boundary for free (absent rows are empty).
+// The lower-triangle tiles are not materialized — C_ji is reached as
+// C_ijᵀ through the engine's transposed products. Unlike the dense
+// decomposition this never allocates the n×n matrix, which is what
+// makes million-spin instances constructible at all.
+func DecomposePairsCSR(c *linalg.CSR, g *Grid) ([]*linalg.CSR, error) {
+	if c.Order() != g.N {
+		return nil, fmt.Errorf("tiling: CSR order %d, grid expects %d", c.Order(), g.N)
+	}
+	t := g.TileSize
+	buckets := make([][]linalg.Entry, g.PairCount())
+	c.Scan(func(i, j int, v float64) {
+		bi, bj := i/t, j/t
+		if bi > bj {
+			return // lower triangle: stored as the transpose of pair (bj,bi)
+		}
+		p := g.PairIndex(bi, bj)
+		buckets[p] = append(buckets[p], linalg.Entry{Row: i - bi*t, Col: j - bj*t, Val: v})
+	})
+	out := make([]*linalg.CSR, len(buckets))
+	for p, b := range buckets {
+		tile, err := linalg.NewCSRGeneral(t, b)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = tile
+	}
+	return out, nil
+}
+
+// SparseEngine computes tile MVMs over CSR tiles — the sparse-first
+// datapath for couplings that are a few percent dense. It implements
+// the same optional fast-path interfaces as IdealEngine (DeltaEngine,
+// BinaryEngine) and, per the linalg bit-exactness contract, every
+// product is bit-identical to IdealEngine on the same tiles: the solver
+// can switch between them by density without changing a single result
+// bit.
+//
+// The forward and transposed directions each keep their own CSR copy
+// (bwd[p] = fwd[p]ᵀ, built eagerly at construction) so both are row
+// gathers over sorted rows — the access order the bit-identity contract
+// pins. Tiles whose couplings are all exactly ±1 additionally carry a
+// popcount form (linalg.CSRBits); the bit-packed kernel is only used
+// from per-job sessions, which own the pack scratch.
+type SparseEngine struct {
+	fwd, bwd         []*linalg.CSR
+	fwdBits, bwdBits []*linalg.CSRBits // nil where couplings are not ±1
+	size             int
+}
+
+// NewSparseEngine wraps decomposed CSR tiles. All tiles must have the
+// same order. Transposes and (where the values allow) popcount forms
+// are built eagerly so concurrent jobs sharing the engine never race on
+// lazy construction.
+func NewSparseEngine(tiles []*linalg.CSR) (*SparseEngine, error) {
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("tiling: no tiles")
+	}
+	size := tiles[0].Order()
+	e := &SparseEngine{
+		fwd:     tiles,
+		bwd:     make([]*linalg.CSR, len(tiles)),
+		fwdBits: make([]*linalg.CSRBits, len(tiles)),
+		bwdBits: make([]*linalg.CSRBits, len(tiles)),
+		size:    size,
+	}
+	for i, tl := range tiles {
+		if tl.Order() != size {
+			return nil, fmt.Errorf("tiling: tile %d has order %d, want %d", i, tl.Order(), size)
+		}
+		e.bwd[i] = tl.Transpose()
+		if b, ok := linalg.NewCSRBits(tl); ok {
+			e.fwdBits[i] = b
+			bb, _ := linalg.NewCSRBits(e.bwd[i]) // same values, so always ok
+			e.bwdBits[i] = bb
+		}
+	}
+	return e, nil
+}
+
+// NewSparseEngineFromDense converts dense tiles to CSR and wraps them —
+// the bridge tests and benchmarks use to run both engines over one
+// decomposition.
+func NewSparseEngineFromDense(tiles []*linalg.Matrix) (*SparseEngine, error) {
+	sparse := make([]*linalg.CSR, len(tiles))
+	for i, tl := range tiles {
+		var entries []linalg.Entry
+		for r := 0; r < tl.Rows(); r++ {
+			row := tl.Row(r)
+			for c, v := range row {
+				if v != 0 {
+					entries = append(entries, linalg.Entry{Row: r, Col: c, Val: v})
+				}
+			}
+		}
+		c, err := linalg.NewCSRGeneral(tl.Rows(), entries)
+		if err != nil {
+			return nil, err
+		}
+		sparse[i] = c
+	}
+	return NewSparseEngine(sparse)
+}
+
+// Mul implements Engine. Both directions are row gathers: the forward
+// product over the stored tile, the transposed product over its eagerly
+// built transpose (whose rows list column j's entries in increasing row
+// order — the dense MulVecT accumulation order).
+func (e *SparseEngine) Mul(p int, transposed bool, x, y []float64) {
+	if transposed {
+		e.bwd[p].Apply(x, y)
+	} else {
+		e.fwd[p].Apply(x, y)
+	}
+}
+
+// MulBinary implements BinaryEngine with the float binary gather,
+// bit-identical to Mul for {0,1} inputs. Per-job sessions route this
+// through the popcount kernel when the tile supports it; the base
+// engine always takes the float path because the bit-packed scratch is
+// per-session state.
+func (e *SparseEngine) MulBinary(p int, transposed bool, x, y []float64) {
+	if transposed {
+		e.bwd[p].ApplyBinary(x, y)
+	} else {
+		e.fwd[p].ApplyBinary(x, y)
+	}
+}
+
+// MulDelta implements DeltaEngine: each flip patches y with the flipped
+// spin's adjacency row in O(degree). Column j of the tile is row j of
+// the transpose; column j of the transposed tile is row j of the tile.
+func (e *SparseEngine) MulDelta(p int, transposed bool, flips []int, signs []float64, y []float64) {
+	src := e.bwd[p]
+	if transposed {
+		src = e.fwd[p]
+	}
+	for k, j := range flips {
+		src.AccumulateFlip(y, j, signs[k])
+	}
+}
+
+// TileSize implements Engine.
+func (e *SparseEngine) TileSize() int { return e.size }
+
+// Pairs implements Engine.
+func (e *SparseEngine) Pairs() int { return len(e.fwd) }
+
+// Session implements SessionEngine. The sparse engine has no stochastic
+// state, so the seed is unused and every session computes identically;
+// what a session owns is the per-pair bit-pack scratch behind the
+// popcount kernel, which must not be shared across jobs. Within a job
+// the solver serializes work per pair, so per-pair scratch is race-free
+// across the job's PE workers.
+func (e *SparseEngine) Session(seed int64) Engine {
+	_ = seed
+	return &sparseSession{SparseEngine: e, scratch: make([]linalg.BitVec, len(e.fwd))}
+}
+
+// sparseSession is the per-job view: shared immutable tiles plus owned
+// pack scratch. It inherits Mul/MulDelta from the engine and overrides
+// MulBinary to use the popcount kernel where available — bit-identical
+// to the float path by the CSRBits contract, so feature detection on
+// the session sees the same Engine/DeltaEngine/BinaryEngine surface.
+type sparseSession struct {
+	*SparseEngine
+	scratch []linalg.BitVec
+}
+
+// MulBinary implements BinaryEngine over bit-packed spin words: pack x
+// once into the pair's scratch, then AND+popcount per row.
+func (s *sparseSession) MulBinary(p int, transposed bool, x, y []float64) {
+	b := s.fwdBits[p]
+	if transposed {
+		b = s.bwdBits[p]
+	}
+	if b == nil {
+		s.SparseEngine.MulBinary(p, transposed, x, y)
+		return
+	}
+	if s.scratch[p] == nil {
+		s.scratch[p] = linalg.NewBitVec(s.size)
+	}
+	s.scratch[p].Pack(x)
+	b.ApplyBinary(s.scratch[p], y)
+}

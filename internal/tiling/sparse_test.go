@@ -1,0 +1,173 @@
+package tiling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sophie/internal/linalg"
+)
+
+// randomSparseSym builds a random symmetric matrix with ~density
+// off-diagonal fill; unit selects ±1 couplings.
+func randomSparseSym(n int, density float64, unit bool, seed int64) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			v := rng.NormFloat64()
+			if unit {
+				v = 1
+				if rng.Intn(2) == 0 {
+					v = -1
+				}
+			}
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func bothEngines(t *testing.T, m *linalg.Matrix, g *Grid) (*IdealEngine, *SparseEngine) {
+	t.Helper()
+	dense, err := DecomposePairs(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := NewIdealEngine(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := linalg.NewCSRFromDense(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles, err := DecomposePairsCSR(csr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSparseEngine(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ideal, sparse
+}
+
+func requireBits(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: element %d: %v vs %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDecomposePairsCSRMatchesDense checks the CSR tile decomposition
+// element-wise against the dense SubMatrix decomposition, including the
+// zero-padded boundary tiles.
+func TestDecomposePairsCSRMatchesDense(t *testing.T) {
+	m := randomSparseSym(50, 0.15, false, 91)
+	g, _ := NewGrid(50, 16) // 4x4 tiles, padded to 64
+	denseTiles, err := DecomposePairs(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := linalg.NewCSRFromDense(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseTiles, err := DecomposePairsCSR(csr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sparseTiles) != len(denseTiles) {
+		t.Fatalf("%d sparse tiles, %d dense", len(sparseTiles), len(denseTiles))
+	}
+	for p := range denseTiles {
+		for r := 0; r < g.TileSize; r++ {
+			for c := 0; c < g.TileSize; c++ {
+				if math.Float64bits(sparseTiles[p].At(r, c)) != math.Float64bits(denseTiles[p].At(r, c)) {
+					t.Fatalf("tile %d (%d,%d): %v vs %v", p, r, c, sparseTiles[p].At(r, c), denseTiles[p].At(r, c))
+				}
+			}
+		}
+	}
+}
+
+// TestSparseEngineBitIdenticalToIdeal drives every engine kernel —
+// Mul/MulBinary both directions, MulDelta with mixed signs, and the
+// session popcount path — and requires bit-identity with IdealEngine.
+func TestSparseEngineBitIdenticalToIdeal(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		unit bool
+	}{{"gaussian", false}, {"pm1-popcount", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(92))
+			m := randomSparseSym(70, 0.12, tc.unit, 92)
+			g, _ := NewGrid(70, 24)
+			ideal, sparse := bothEngines(t, m, g)
+			if sparse.TileSize() != ideal.TileSize() || sparse.Pairs() != ideal.Pairs() {
+				t.Fatalf("shape mismatch: %d/%d vs %d/%d", sparse.TileSize(), sparse.Pairs(), ideal.TileSize(), ideal.Pairs())
+			}
+			sess := sparse.Session(7)
+			sessB, ok := sess.(BinaryEngine)
+			if !ok {
+				t.Fatal("sparse session must keep BinaryEngine")
+			}
+			if _, ok := sess.(DeltaEngine); !ok {
+				t.Fatal("sparse session must keep DeltaEngine")
+			}
+			ts := g.TileSize
+			xf := make([]float64, ts)
+			xb := make([]float64, ts)
+			want := make([]float64, ts)
+			got := make([]float64, ts)
+			for p := 0; p < sparse.Pairs(); p++ {
+				for _, transposed := range []bool{false, true} {
+					for i := range xf {
+						xf[i] = rng.NormFloat64()
+						xb[i] = float64(rng.Intn(2))
+					}
+					ideal.Mul(p, transposed, xf, want)
+					sparse.Mul(p, transposed, xf, got)
+					requireBits(t, "Mul", want, got)
+
+					ideal.MulBinary(p, transposed, xb, want)
+					sparse.MulBinary(p, transposed, xb, got)
+					requireBits(t, "MulBinary", want, got)
+					sessB.MulBinary(p, transposed, xb, got)
+					requireBits(t, "session MulBinary", want, got)
+
+					flips := []int{0, ts / 3, ts - 1, ts / 3}
+					signs := []float64{1, -1, -1, 1}
+					ideal.Mul(p, transposed, xf, want)
+					copy(got, want)
+					ideal.MulDelta(p, transposed, flips, signs, want)
+					sparse.MulDelta(p, transposed, flips, signs, got)
+					requireBits(t, "MulDelta", want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestNewSparseEngineValidation covers shape rejection.
+func TestNewSparseEngineValidation(t *testing.T) {
+	if _, err := NewSparseEngine(nil); err == nil {
+		t.Fatal("empty tile list must be rejected")
+	}
+	a, _ := linalg.NewCSRGeneral(4, nil)
+	b, _ := linalg.NewCSRGeneral(5, nil)
+	if _, err := NewSparseEngine([]*linalg.CSR{a, b}); err == nil {
+		t.Fatal("mismatched tile orders must be rejected")
+	}
+	g, _ := NewGrid(10, 4)
+	if _, err := DecomposePairsCSR(b, g); err == nil {
+		t.Fatal("order/grid mismatch must be rejected")
+	}
+}

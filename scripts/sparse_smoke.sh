@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI sparse-smoke: a 100,000-node random-regular (d=3) max-cut instance
+# must complete a full sparse-built solve (graph generation, CSR model,
+# solver, energy evaluation) inside wall-clock and peak-RSS budgets.
+# The run is the env-gated arm of TestSparseBuiltScale in internal/core
+# (SOPHIE_SPARSE_SMOKE=1 raises the instance from 10k to 100k nodes).
+#
+# Budgets are deliberately loose — the point is catching a accidental
+# densification (an n² allocation at n=10⁵ is ~80 GB and would blow the
+# RSS budget instantly) or a quadratic-time regression, not measuring
+# steady-state performance; BENCH_PR7.json tracks that.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WALL_BUDGET_S=${WALL_BUDGET_S:-300}
+RSS_BUDGET_KB=${RSS_BUDGET_KB:-2097152} # 2 GiB
+
+mkdir -p bin
+# Compile outside the timed region so toolchain work is not billed to
+# the solve.
+go test -c -o bin/sparse_smoke.test ./internal/core
+
+start=$(date +%s)
+SOPHIE_SPARSE_SMOKE=1 ./bin/sparse_smoke.test \
+  -test.run 'TestSparseBuiltScale' -test.v -test.timeout "${WALL_BUDGET_S}s" &
+pid=$!
+
+# Peak RSS via VmHWM: poll while the test runs. VmHWM is a high-water
+# mark, so sampling every 100ms cannot miss the peak — only report it
+# slightly late.
+peak_kb=0
+while kill -0 "$pid" 2>/dev/null; do
+  if [[ -r "/proc/$pid/status" ]]; then
+    kb=$(awk '/^VmHWM:/{print $2}' "/proc/$pid/status" 2>/dev/null || echo 0)
+    if [[ -n "$kb" && "$kb" -gt "$peak_kb" ]]; then peak_kb=$kb; fi
+  fi
+  sleep 0.1
+done
+wait "$pid"
+elapsed=$(( $(date +%s) - start ))
+
+echo "sparse-smoke: 100k-node solve took ${elapsed}s (budget ${WALL_BUDGET_S}s), peak RSS ${peak_kb} kB (budget ${RSS_BUDGET_KB} kB)"
+if (( elapsed > WALL_BUDGET_S )); then
+  echo "sparse-smoke: wall-clock budget exceeded" >&2
+  exit 1
+fi
+if (( peak_kb > RSS_BUDGET_KB )); then
+  echo "sparse-smoke: peak RSS budget exceeded" >&2
+  exit 1
+fi

@@ -69,6 +69,14 @@ func RandomGraph(n, m int, scheme WeightScheme, seed int64) (*Graph, error) {
 	return graph.Random(n, m, scheme, seed)
 }
 
+// RandomRegularGraph generates a uniform random d-regular graph via the
+// configuration model — the sparse scaling workload family (every node
+// has exactly degree d, so a million-spin instance stores only n·d/2
+// edges). n·d must be even and d < n.
+func RandomRegularGraph(n, d int, scheme WeightScheme, seed int64) (*Graph, error) {
+	return graph.RandomRegular(n, d, scheme, seed)
+}
+
 // CompleteGraph generates the complete graph K_n with random weights.
 func CompleteGraph(n int, scheme WeightScheme, seed int64) *Graph {
 	return graph.Complete(n, scheme, seed)
@@ -113,6 +121,14 @@ type Model = ising.Model
 
 // MaxCut builds the Ising model whose ground state solves max-cut on g.
 func MaxCut(g *Graph) *Model { return ising.FromMaxCut(g) }
+
+// MaxCutSparse builds the max-cut Ising model directly in CSR form,
+// never materializing the dense n×n coupling matrix — the entry point
+// for million-spin instances. Sparse-built models require
+// Config.SkipTransform and the default engine; the solver runs them on
+// the CSR datapath, bit-identical to the dense path wherever both can
+// run (DESIGN.md "Sparse datapath").
+func MaxCutSparse(g *Graph) *Model { return ising.FromMaxCutCSR(g) }
 
 // NewModel wraps a symmetric coupling matrix as an Ising model.
 func NewModel(k *linalg.Matrix) (*Model, error) { return ising.NewModel(k) }
