@@ -70,6 +70,7 @@ func run(args []string, stdoutRaw io.Writer) error {
 		frac      = fs.Float64("tiles", 0.74, "tile selection fraction")
 		sim       = fs.Bool("sim", false, "also walk the concrete schedule (discrete simulation)")
 		showTrace = fs.Bool("trace", false, "with -sim: print the round timeline; alone: replay a recorded functional run through the timing model")
+		temper    = fs.Int("temper", 0, "with -trace: replay a tempering ladder of that many rungs instead of one run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -160,43 +161,66 @@ func run(args []string, stdoutRaw io.Writer) error {
 			}
 		}
 	} else if *showTrace {
-		simRep, best, err := traceReplay(d, *nodes, *tile, *local, *global, *frac)
+		if *temper == 1 || *temper < 0 {
+			return fmt.Errorf("-temper needs >= 2 rungs, got %d", *temper)
+		}
+		simRep, best, exch, err := traceReplay(d, *nodes, *tile, *local, *global, *frac, *temper)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "\ntrace replay: total %.4g s over %d rounds for one job (analytic %.4g s/job), best energy %.6g\n",
-			simRep.TotalTimeS, simRep.Rounds, rep.TimePerJobS, best)
+		if *temper > 0 {
+			fmt.Fprintf(stdout, "\ntrace replay: total %.4g s over %d rounds for a %d-rung tempering ladder (%.4g s/rung), best energy %.6g\n",
+				simRep.TotalTimeS, simRep.Rounds, *temper, simRep.TimePerJobS, best)
+			fmt.Fprintf(stdout, "exchanges: %d attempted, %d accepted\n", exch.attempted, exch.accepted)
+		} else {
+			fmt.Fprintf(stdout, "\ntrace replay: total %.4g s over %d rounds for one job (analytic %.4g s/job), best energy %.6g\n",
+				simRep.TotalTimeS, simRep.Rounds, rep.TimePerJobS, best)
+		}
 		if err := arch.RenderTimeline(stdout, simRep, 50); err != nil {
 			return err
 		}
+	} else if *temper != 0 {
+		return fmt.Errorf("-temper requires -trace (it replays a recorded tempering run)")
 	}
 	return stdout.err
 }
 
+// exchangeTally counts the exchange events of a tempering replay.
+type exchangeTally struct{ attempted, accepted int }
+
 // traceReplay runs one functional solve of a random MaxCut instance with
 // an execution-trace recorder attached and replays the captured stream
 // through the timing model (arch.SimulateTrace) — timing the pair visits
-// the solver actually made rather than a static plan.
-func traceReplay(d arch.Design, nodes, tile, local, global int, frac float64) (*arch.SimReport, float64, error) {
+// the solver actually made rather than a static plan. With rungs >= 2 it
+// runs the tempering portfolio instead: every rung's visits land in the
+// same stream (lockstep, so SimulateTrace prices the ladder exactly) and
+// the exchange events are tallied for the report.
+func traceReplay(d arch.Design, nodes, tile, local, global int, frac float64, rungs int) (*arch.SimReport, float64, exchangeTally, error) {
+	var tally exchangeTally
 	if nodes > traceReplayNodeLimit {
-		return nil, 0, fmt.Errorf("-trace replays a functional run; limited to %d nodes (got %d) — combine with -sim for the static walk", traceReplayNodeLimit, nodes)
+		return nil, 0, tally, fmt.Errorf("-trace replays a functional run; limited to %d nodes (got %d) — combine with -sim for the static walk", traceReplayNodeLimit, nodes)
 	}
 	grid, err := tiling.NewGrid(nodes, tile)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, tally, err
 	}
 	sel := int(float64(grid.PairCount())*frac + 0.5)
 	if sel < 1 {
 		sel = 1
 	}
+	runs := 1
+	if rungs >= 2 {
+		runs = rungs
+	}
 	// Ring sized to the whole run: init MVMs plus, per iteration, the
 	// batch and sync events of every selected pair, the per-block
-	// reconciliations, and the handful of phase markers.
-	capacity := grid.PairCount() + global*(2*sel+grid.Tiles+8) + 8
+	// reconciliations, and the handful of phase markers — all scaled by
+	// the run count, plus one exchange event per attempted swap.
+	capacity := runs*(grid.PairCount()+global*(2*sel+grid.Tiles+8)+8) + global*runs
 
 	g, err := graph.Random(nodes, 5*nodes, graph.WeightUnit, 1)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, tally, err
 	}
 	cfg := core.DefaultConfig()
 	cfg.TileSize = tile
@@ -207,13 +231,34 @@ func traceReplay(d arch.Design, nodes, tile, local, global int, frac float64) (*
 	cfg.Seed = 1
 	rec := trace.NewRecorder(trace.Options{Capacity: capacity})
 	cfg.Tracer = rec
-	res, err := core.Solve(ising.FromMaxCut(g), cfg)
-	if err != nil {
-		return nil, 0, err
+
+	var best float64
+	if rungs >= 2 {
+		solver, err := core.NewSolver(ising.FromMaxCut(g), cfg)
+		if err != nil {
+			return nil, 0, tally, err
+		}
+		seeds, err := core.SeedRange(1, rungs)
+		if err != nil {
+			return nil, 0, tally, err
+		}
+		batch, err := solver.RunTempering(seeds, core.TemperingOptions{TMin: 0.05, TMax: 0.5, ExchangeEvery: 5})
+		if err != nil {
+			return nil, 0, tally, err
+		}
+		best = batch.BestEnergy
+		tally.attempted = batch.Tempering.Attempted
+		tally.accepted = batch.Tempering.Accepted
+	} else {
+		res, err := core.Solve(ising.FromMaxCut(g), cfg)
+		if err != nil {
+			return nil, 0, tally, err
+		}
+		best = res.BestEnergy
 	}
 	simRep, err := arch.SimulateTrace(d, rec.Snapshot())
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, tally, err
 	}
-	return simRep, res.BestEnergy, nil
+	return simRep, best, tally, nil
 }

@@ -54,6 +54,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		batchW    = fs.Int("batch-workers", 0, "concurrent replicas in -replicas mode (0 = GOMAXPROCS)")
 		target    = fs.Float64("target", 0, "stop a job once its best energy reaches this value (0 = disabled)")
 		portfolio = fs.Bool("portfolio", false, "with -replicas and -target: first replica reaching the target cancels the rest")
+		tempering = fs.Bool("tempering", false, "with -replicas: couple the replicas into a parallel-tempering ladder (replica 0 coldest)")
+		tmin      = fs.Float64("tmin", 0.05, "coldest tempering noise level (with -tempering)")
+		tmax      = fs.Float64("tmax", 0.5, "hottest tempering noise level (with -tempering)")
+		exchEvery = fs.Int("exchange-every", 1, "tempering exchange period in global iterations (with -tempering)")
 		seed      = fs.Int64("seed", 1, "base seed")
 		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		showOps   = fs.Bool("ops", false, "print operation counters")
@@ -97,6 +101,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *portfolio && (*replicas <= 0 || *target == 0) {
 		return fmt.Errorf("-portfolio requires -replicas and -target")
 	}
+	if *tempering && *replicas < 2 {
+		return fmt.Errorf("-tempering requires -replicas >= 2 (one per ladder rung)")
+	}
+	if *tempering && *portfolio {
+		return fmt.Errorf("-tempering and -portfolio cannot combine (a -target alone stops the whole ladder)")
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -116,10 +126,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	if *replicas > 0 {
 		batchStart := time.Now()
-		batch, err := solver.RunBatchCtx(ctx, core.SeedRange(*seed, *replicas), core.BatchOptions{
+		seeds, err := core.SeedRange(*seed, *replicas)
+		if err != nil {
+			return err
+		}
+		batchOpts := core.BatchOptions{
 			Workers:   *batchW,
 			EarlyStop: *portfolio,
-		})
+		}
+		if *tempering {
+			batchOpts.Tempering = &core.TemperingOptions{TMin: *tmin, TMax: *tmax, ExchangeEvery: *exchEvery}
+		}
+		batch, err := solver.RunBatchCtx(ctx, seeds, batchOpts)
 		if err != nil {
 			return err
 		}
@@ -135,8 +153,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			case res.Stopped:
 				status = " (cancelled by portfolio stop)"
 			}
-			fmt.Fprintf(stdout, "replica %d: cut %.0f, energy %.0f, best at global iter %d%s\n",
-				j, g.CutValue(res.BestSpins), res.BestEnergy, res.BestGlobalIter, status)
+			label := "replica"
+			rung := ""
+			if ts := batch.Tempering; ts != nil {
+				label = "rung"
+				rung = fmt.Sprintf(" (phi %.3f)", ts.Phis[j])
+			}
+			fmt.Fprintf(stdout, "%s %d%s: cut %.0f, energy %.0f, best at global iter %d%s\n",
+				label, j, rung, g.CutValue(res.BestSpins), res.BestEnergy, res.BestGlobalIter, status)
+		}
+		if ts := batch.Tempering; ts != nil {
+			fmt.Fprintf(stdout, "tempering: %d/%d exchanges accepted (rate %.2f) on ladder [%.3f, %.3f]\n",
+				ts.Accepted, ts.Attempted, ts.ExchangeRate, *tmin, *tmax)
 		}
 		fmt.Fprintf(stdout, "batch: best cut %.0f (replica %d), energy best %.0f / median %.0f / mean %.1f, wall %v\n",
 			g.CutValue(batch.Best().BestSpins), batch.BestIndex,

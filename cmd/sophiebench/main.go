@@ -1,6 +1,6 @@
 // Command sophiebench runs the repository's tracked performance
 // benchmarks and emits a machine-readable JSON baseline (schema
-// "sophie-bench/v1"). The committed BENCH_PR7.json snapshots the
+// "sophie-bench/v1"). The committed BENCH_PR8.json snapshots the
 // incremental-datapath speedup on the G22-mini solver workload, the
 // underlying linalg kernel costs, the batched replica runtime's
 // throughput scaling, the cost of the trace emitters (per-phase
@@ -13,7 +13,11 @@
 // forced-dense engine on the same G22-mini workload (guarded by
 // sparse_over_dense_speedup) plus the sparse scaling arm: full solves
 // of random-regular instances from 10k up to one million nodes, the
-// n-vs-time curve dense storage cannot reach. CI re-runs the suite
+// n-vs-time curve dense storage cannot reach — and, since the
+// tempering portfolio runtime, a time-to-target pair racing the
+// exchange-ladder mode against the independent-restart early-stop
+// portfolio on the same target (derived tempering_over_portfolio).
+// CI re-runs the suite
 // with -benchtime=1x as a smoke test and uploads the fresh report as
 // an artifact. See README.md "Benchmarks".
 package main
@@ -75,7 +79,7 @@ type benchmark struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR8.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark budget (Go benchtime syntax, e.g. 2s or 1x)")
 	testing.Init()
 	flag.Parse()
@@ -367,7 +371,10 @@ func run(benchtime, out string) error {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				seeds := core.SeedRange(int64(i*batchReplicas), batchReplicas)
+				seeds, err := core.SeedRange(int64(i*batchReplicas), batchReplicas)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if _, err := deltaSolver.RunBatch(seeds, core.BatchOptions{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
@@ -376,6 +383,47 @@ func run(benchtime, out string) error {
 	}
 	record("batch/G22mini-replicas8-w1", batchBench(1))
 	record(fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers()), batchBench(batchParWorkers()))
+
+	// --- Tempering portfolio: time-to-target on the same G22-mini
+	// workload, the exchange-ladder runtime vs the independent-restart
+	// early-stop portfolio, both hunting the same target over the same
+	// six seeds. The target calibrates from one plain batch — 95% of its
+	// best energy (energies are negative, so the scaled target is easier
+	// and both arms reliably reach it). The derived
+	// tempering_over_portfolio is the wall-clock ratio; values above 1
+	// mean the ladder reaches the target first.
+	const temperRungs = 6
+	ttSeeds, err := core.SeedRange(500, temperRungs)
+	if err != nil {
+		return err
+	}
+	calib, err := deltaSolver.RunBatch(ttSeeds, core.BatchOptions{})
+	if err != nil {
+		return err
+	}
+	target := calib.BestEnergy * 0.95
+	targetSolver, err := deltaSolver.WithRuntime(func(c *core.Config) { c.TargetEnergy = &target })
+	if err != nil {
+		return err
+	}
+	record(fmt.Sprintf("portfolio/G22mini-target-replicas%d", temperRungs), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := targetSolver.RunBatch(ttSeeds, core.BatchOptions{EarlyStop: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record(fmt.Sprintf("temper/G22mini-target-rungs%d", temperRungs), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := targetSolver.RunTempering(ttSeeds, core.TemperingOptions{
+				TMin: 0.05, TMax: 0.5, ExchangeEvery: 5,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 
 	// --- Static-analysis suite: the nine-analyzer shared-inspector run
 	// vs the pre-inspector execution model (one full traversal per
@@ -443,6 +491,10 @@ func run(benchtime, out string) error {
 	}
 	if par := perOp(fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers())); par > 0 {
 		rep.Derived["batch_throughput_scaling"] = perOp("batch/G22mini-replicas8-w1") / par
+	}
+	if tt := perOp(fmt.Sprintf("temper/G22mini-target-rungs%d", temperRungs)); tt > 0 {
+		rep.Derived["tempering_over_portfolio"] =
+			perOp(fmt.Sprintf("portfolio/G22mini-target-replicas%d", temperRungs)) / tt
 	}
 	// trace_overhead is the no-op emitter tax on an untraced solve: the
 	// events one G22-mini solve emits times the measured cost of one

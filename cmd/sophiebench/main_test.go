@@ -45,8 +45,10 @@ func TestRunEmitsValidReport(t *testing.T) {
 		"trace/emit-recorded":         false,
 		"batch/G22mini-replicas8-w1":  false,
 		fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers()): false,
-		"lint/shared-9analyzers":   false,
-		"lint/isolated-6analyzers": false,
+		"portfolio/G22mini-target-replicas6": false,
+		"temper/G22mini-target-rungs6":       false,
+		"lint/shared-9analyzers":             false,
+		"lint/isolated-6analyzers":           false,
 	}
 	for _, b := range rep.Benchmarks {
 		seen, ok := want[b.Name]
@@ -66,7 +68,7 @@ func TestRunEmitsValidReport(t *testing.T) {
 			t.Fatalf("benchmark %q missing from report", name)
 		}
 	}
-	for _, key := range []string{"solver_speedup_exact_over_delta", "linalg_speedup_mulvec_over_binary", "batch_throughput_scaling", "sparse_scale_1m_over_10k"} {
+	for _, key := range []string{"solver_speedup_exact_over_delta", "linalg_speedup_mulvec_over_binary", "batch_throughput_scaling", "sparse_scale_1m_over_10k", "tempering_over_portfolio"} {
 		if rep.Derived[key] <= 0 {
 			t.Fatalf("derived metric %q missing or non-positive: %v", key, rep.Derived[key])
 		}

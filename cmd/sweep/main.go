@@ -46,6 +46,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		seed         = fs.Int64("seed", 1, "base seed")
 		workers      = fs.Int("workers", 0, "per-replica solver workers passed to the batch runtime")
 		batchWorkers = fs.Int("batch-workers", 0, "concurrent replicas per sweep point (0 = GOMAXPROCS)")
+		tempering    = fs.Bool("tempering", false, "couple each point's replicas into a parallel-tempering ladder (the -tmin/-tmax ladder replaces the -phi value per rung; appends an exchange_rate CSV column)")
+		tmin         = fs.Float64("tmin", 0.05, "coldest tempering noise level (with -tempering)")
+		tmax         = fs.Float64("tmax", 0.5, "hottest tempering noise level (with -tempering)")
+		exchEvery    = fs.Int("exchange-every", 1, "tempering exchange period in global iterations (with -tempering)")
 		timeout      = fs.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = unbounded); on expiry the current point's partial row is printed and the sweep aborts with an error")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,7 +86,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer cancel()
 	}
 
-	fmt.Fprintln(stdout, "alpha,phi,local_iters,tile_fraction,mean_cut,std_cut,min_cut,max_cut,runs,stopped")
+	if *tempering && *runs < 2 {
+		return fmt.Errorf("-tempering requires -runs >= 2 (one replica per ladder rung)")
+	}
+
+	header := "alpha,phi,local_iters,tile_fraction,mean_cut,std_cut,min_cut,max_cut,runs,stopped"
+	if *tempering {
+		header += ",exchange_rate"
+	}
+	fmt.Fprintln(stdout, header)
 	for _, alpha := range alphas {
 		cfg := core.DefaultConfig()
 		cfg.TileSize = *tile
@@ -108,11 +120,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 					// The batched replica runtime runs the point's
 					// replicas concurrently; per-replica results are
 					// identical to sequential Run calls, so the CSV
-					// is unchanged — only the wall clock shrinks.
-					batch, err := tuned.RunBatchCtx(ctx, core.SeedRange(*seed, *runs), core.BatchOptions{
+					// is unchanged — only the wall clock shrinks. With
+					// -tempering the replicas couple into a ladder
+					// instead (the rung phis replace the point's phi).
+					seeds, err := core.SeedRange(*seed, *runs)
+					if err != nil {
+						return err
+					}
+					batchOpts := core.BatchOptions{
 						Workers:    *batchWorkers,
 						JobWorkers: *workers,
-					})
+					}
+					if *tempering {
+						batchOpts.Tempering = &core.TemperingOptions{TMin: *tmin, TMax: *tmax, ExchangeEvery: *exchEvery}
+					}
+					batch, err := tuned.RunBatchCtx(ctx, seeds, batchOpts)
 					if err != nil {
 						return err
 					}
@@ -121,8 +143,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 						cuts = append(cuts, g.CutValue(res.BestSpins))
 					}
 					s := metrics.Summarize(cuts)
-					fmt.Fprintf(stdout, "%g,%g,%d,%g,%.2f,%.2f,%.0f,%.0f,%d,%d\n",
+					row := fmt.Sprintf("%g,%g,%d,%g,%.2f,%.2f,%.0f,%.0f,%d,%d",
 						alpha, phi, local, frac, s.Mean, s.Std, s.Min, s.Max, s.N, batch.Stopped)
+					if ts := batch.Tempering; ts != nil {
+						row += fmt.Sprintf(",%.3f", ts.ExchangeRate)
+					}
+					fmt.Fprintln(stdout, row)
 					if ctx.Err() != nil {
 						// A stopped row mixes full and truncated replicas;
 						// the abort keeps a silently short sweep out of

@@ -97,9 +97,28 @@ func TestSimulateTraceValidation(t *testing.T) {
 	d := DefaultDesign()
 
 	bad := snap
-	bad.Runs = 2
+	bad.Runs = 0
 	if _, err := SimulateTrace(d, bad); err == nil {
-		t.Fatal("accepted a recording holding two runs")
+		t.Fatal("accepted a recording holding no runs")
+	}
+
+	// Multi-run recordings (the tempering portfolio) replay as-ordered;
+	// the per-job time amortizes over the run count.
+	multi := snap
+	multi.Runs = 2
+	single, err := SimulateTrace(d, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateTrace(d, multi)
+	if err != nil {
+		t.Fatalf("rejected a two-run recording: %v", err)
+	}
+	if rep.TotalTimeS != single.TotalTimeS {
+		t.Fatalf("run count changed the total: %v vs %v", rep.TotalTimeS, single.TotalTimeS)
+	}
+	if want := rep.TotalTimeS / 2; rep.TimePerJobS != want {
+		t.Fatalf("TimePerJobS = %v, want TotalTimeS/2 = %v", rep.TimePerJobS, want)
 	}
 
 	bad = snap

@@ -66,6 +66,10 @@ func (t *tracker) observeEnergy(spins []int8, e float64) {
 	}
 }
 
+// result builds the final Result. BestSpins is a copy: the tracker's
+// buffer keeps being overwritten by later observe calls, so returning
+// it by reference would let a caller's "best" state silently change
+// under them (or let them corrupt the tracker).
 func (t *tracker) result(iters int) *Result {
-	return &Result{BestSpins: t.best, BestEnergy: t.e, Iterations: iters}
+	return &Result{BestSpins: append([]int8(nil), t.best...), BestEnergy: t.e, Iterations: iters}
 }

@@ -115,6 +115,17 @@ func ParallelTempering(m *ising.Model, cfg PTConfig) (*PTResult, error) {
 			}
 		}
 		if sweep%cfg.ExchangeEvery == 0 {
+			// Re-anchor every replica's energy on a full Hamiltonian walk
+			// before the exchange tests. The sweep loop's rep.energy +=
+			// delta accumulates one float rounding per accepted flip; left
+			// unchecked, the drift both biases the acceptance rule and
+			// leaks into the tracker, ending runs with BestEnergy !=
+			// Energy(BestSpins). Exchange boundaries bound the drift to
+			// one sweep window.
+			for _, rep := range reps {
+				rep.energy = m.Energy(rep.spins)
+				tr.observeEnergy(rep.spins, rep.energy)
+			}
 			for r := 0; r+1 < len(reps); r++ {
 				a, b := reps[r], reps[r+1]
 				attempted++
@@ -130,9 +141,17 @@ func ParallelTempering(m *ising.Model, cfg PTConfig) (*PTResult, error) {
 			}
 		}
 	}
+	// Final re-anchor for the sweeps after the last exchange boundary.
+	for _, rep := range reps {
+		tr.observeEnergy(rep.spins, m.Energy(rep.spins))
+	}
 
 	res := &PTResult{}
 	res.Result = *tr.result(cfg.Sweeps)
+	// The tracked best may still carry an incremental energy recorded
+	// mid-window; recompute it exactly so BestEnergy is bit-identical to
+	// Energy(BestSpins) by construction.
+	res.BestEnergy = m.Energy(res.BestSpins)
 	if attempted > 0 {
 		res.ExchangeRate = float64(accepted) / float64(attempted)
 	}

@@ -105,3 +105,62 @@ func TestPTFindsGroundStateTiny(t *testing.T) {
 		t.Fatalf("PT cut %v, optimum %v", g.CutValue(pt.BestSpins), best)
 	}
 }
+
+// TestPTEnergyExactlyConsistent pins the drift fix: the incremental
+// rep.energy accumulator rounds once per accepted flip, and before the
+// exchange-boundary re-anchor those drifted values leaked into the
+// tracker, so BestEnergy could differ from Energy(BestSpins) in the
+// last bits. The invariant must now hold bit-for-bit, on float-weighted
+// instances where the drift is real.
+func TestPTEnergyExactlyConsistent(t *testing.T) {
+	g, err := graph.Random(125, 650, graph.WeightUniform, 53122)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ising.FromMaxCut(g)
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := ParallelTempering(m, PTConfig{
+			Replicas: 6, TMin: 0.05, TMax: 3, Sweeps: 120, ExchangeEvery: 7, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := math.Float64bits(res.BestEnergy)
+		want := math.Float64bits(m.Energy(res.BestSpins))
+		if got != want {
+			t.Fatalf("seed %d: BestEnergy %v (bits %x) != Energy(BestSpins) %v (bits %x)",
+				seed, res.BestEnergy, got, m.Energy(res.BestSpins), want)
+		}
+	}
+}
+
+// TestTrackerResultIsACopy pins the aliasing fix: result() must hand
+// back a snapshot, not the tracker's live buffer — later observations
+// used to mutate an already-returned "best" state in place.
+func TestTrackerResultIsACopy(t *testing.T) {
+	_, m := benchProblem(t)
+	spins := make([]int8, m.N())
+	for i := range spins {
+		spins[i] = 1
+	}
+	tr := newTracker(m, spins)
+	res := tr.result(1)
+	snapshot := append([]int8(nil), res.BestSpins...)
+
+	// A later, better observation overwrites the tracker's buffer; the
+	// returned result must not move with it.
+	better := append([]int8(nil), spins...)
+	better[0] = -better[0]
+	tr.observeEnergy(better, tr.e-1)
+
+	for i := range snapshot {
+		if res.BestSpins[i] != snapshot[i] {
+			t.Fatalf("result aliased the tracker buffer: spin %d changed after a later observation", i)
+		}
+	}
+	// And mutating the returned slice must not corrupt the tracker.
+	res.BestSpins[1] = -res.BestSpins[1]
+	if tr.best[1] == res.BestSpins[1] && tr.best[1] != snapshot[1] {
+		t.Fatal("caller mutation reached the tracker's buffer")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,15 @@ type BatchOptions struct {
 	// so batch output is schedule-dependent in this mode — leave it off
 	// when reproducibility across worker counts matters.
 	EarlyStop bool
+	// Tempering, when non-nil, couples the replicas into a
+	// parallel-tempering portfolio instead of running them
+	// independently: replica r becomes rung r of a geometric noise
+	// ladder and adjacent rungs exchange configurations at
+	// global-iteration boundaries (see temper.go). Incompatible with
+	// EarlyStop (a TargetEnergy alone stops the whole ladder,
+	// deterministically); JobWorkers is ignored — the ladder runs one
+	// shared PE pool of Workers goroutines.
+	Tempering *TemperingOptions
 }
 
 // BatchResult aggregates one RunBatch call.
@@ -75,6 +85,10 @@ type BatchResult struct {
 	// Ops is the sum of the replicas' algorithm-level operation
 	// counters — the work the whole batch put through the datapath.
 	Ops metrics.OpCounts
+	// Tempering carries the ladder and exchange statistics when the
+	// batch ran as a tempering portfolio (BatchOptions.Tempering); nil
+	// for independent-replica batches.
+	Tempering *TemperingStats
 }
 
 // Best returns the lowest-energy replica's result.
@@ -83,12 +97,21 @@ func (b *BatchResult) Best() *Result { return b.Results[b.BestIndex] }
 // SeedRange returns n consecutive seeds starting at base — the common
 // replica-seed convention of the CLIs. Consecutive job seeds are safe:
 // seedStream whitens them into unrelated controller/pair/device streams.
-func SeedRange(base int64, n int) []int64 {
+// A range whose last seed would pass math.MaxInt64 is an error rather
+// than a silent wrap: the wrapped seeds would collide with the negative
+// seed space and duplicate streams across replicas.
+func SeedRange(base int64, n int) ([]int64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative seed count %d", n)
+	}
+	if n > 0 && base > math.MaxInt64-int64(n-1) {
+		return nil, fmt.Errorf("core: seed range %d+%d overflows int64", base, n)
+	}
 	seeds := make([]int64, n)
 	for i := range seeds {
 		seeds[i] = base + int64(i)
 	}
-	return seeds
+	return seeds, nil
 }
 
 // RunBatch executes one replica per seed over the shared preprocessed
@@ -124,6 +147,9 @@ func (s *Solver) RunBatchCtx(ctx context.Context, seeds []int64, opts BatchOptio
 	}
 	if opts.JobWorkers < 0 {
 		return nil, fmt.Errorf("core: negative per-job worker count %d", opts.JobWorkers)
+	}
+	if opts.Tempering != nil {
+		return s.runTemperingCtx(ctx, seeds, opts)
 	}
 	if opts.EarlyStop && s.cfg.TargetEnergy == nil {
 		return nil, fmt.Errorf("core: batch early-stop requires Config.TargetEnergy")

@@ -23,10 +23,15 @@ func TestSeedRange(t *testing.T) {
 		{base: 5, n: 1, want: []int64{5}},
 		{base: 1, n: 4, want: []int64{1, 2, 3, 4}},
 		{base: -3, n: 3, want: []int64{-3, -2, -1}},
+		// The last seed may land exactly on MaxInt64 — only going past
+		// it is an overflow.
 		{base: math.MaxInt64 - 1, n: 2, want: []int64{math.MaxInt64 - 1, math.MaxInt64}},
 	}
 	for _, c := range cases {
-		got := SeedRange(c.base, c.n)
+		got, err := SeedRange(c.base, c.n)
+		if err != nil {
+			t.Fatalf("SeedRange(%d,%d): %v", c.base, c.n, err)
+		}
 		if len(got) != len(c.want) {
 			t.Fatalf("SeedRange(%d,%d) length %d, want %d", c.base, c.n, len(got), len(c.want))
 		}
@@ -38,9 +43,38 @@ func TestSeedRange(t *testing.T) {
 	}
 	// n = 0 must be an empty non-nil slice usable directly by RunBatch's
 	// input validation (which rejects it with a clear error, below).
-	if SeedRange(9, 0) == nil {
-		t.Fatal("SeedRange(9, 0) returned nil, want empty slice")
+	if s, err := SeedRange(9, 0); err != nil || s == nil {
+		t.Fatalf("SeedRange(9, 0) = (%v, %v), want empty non-nil slice", s, err)
 	}
+}
+
+// TestSeedRangeOverflow pins the explicit error where the old SeedRange
+// silently wrapped past MaxInt64 into the negative seed space,
+// duplicating replica streams.
+func TestSeedRangeOverflow(t *testing.T) {
+	bad := []struct {
+		base int64
+		n    int
+	}{
+		{base: math.MaxInt64, n: 2},
+		{base: math.MaxInt64 - 1, n: 3},
+		{base: 1, n: -1},
+	}
+	for _, c := range bad {
+		if seeds, err := SeedRange(c.base, c.n); err == nil {
+			t.Fatalf("SeedRange(%d,%d) = %v, want error", c.base, c.n, seeds)
+		}
+	}
+}
+
+// mustSeedRange is the in-package test shorthand for ranges that cannot
+// overflow.
+func mustSeedRange(base int64, n int) []int64 {
+	seeds, err := SeedRange(base, n)
+	if err != nil {
+		panic(err)
+	}
+	return seeds
 }
 
 func batchEdgeSolver(t *testing.T) (*Solver, *ising.Model) {
@@ -105,7 +139,7 @@ func TestRunBatchAllReplicasFailed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := broken.RunBatch(SeedRange(1, 3), BatchOptions{Workers: 2})
+	batch, err := broken.RunBatch(mustSeedRange(1, 3), BatchOptions{Workers: 2})
 	if err == nil {
 		t.Fatalf("all-failing batch returned no error (result %+v)", batch)
 	}

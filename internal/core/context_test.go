@@ -166,7 +166,7 @@ func TestSolveCtxMatchesSolveAndCancels(t *testing.T) {
 // cancelled batch aggregates partial replicas without error.
 func TestRunBatchCtx(t *testing.T) {
 	s, _ := ctxTestSolver(t, 30)
-	seeds := SeedRange(5, 3)
+	seeds := mustSeedRange(5, 3)
 	ref, err := s.RunBatch(seeds, BatchOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +212,7 @@ func TestRunBatchCtxDeadlineMidBatch(t *testing.T) {
 	s, m := ctxTestSolver(t, 100000)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	batch, err := s.RunBatchCtx(ctx, SeedRange(1, 4), BatchOptions{Workers: 2})
+	batch, err := s.RunBatchCtx(ctx, mustSeedRange(1, 4), BatchOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -109,7 +109,7 @@ func TestBatchSchedulingIsInvisible(t *testing.T) {
 		t.Fatal(err)
 	}
 	const base, jobs = 900, 4
-	seeds := SeedRange(base, jobs)
+	seeds := mustSeedRange(base, jobs)
 	refs := make([]*Result, jobs)
 	for j := range seeds {
 		r, err := s.Run(seeds[j])
@@ -153,7 +153,7 @@ func TestBatchSchedulingIsInvisibleOnDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seeds := SeedRange(4200, 5)
+	seeds := mustSeedRange(4200, 5)
 	refs := make([]*Result, len(seeds))
 	for j := range seeds {
 		r, err := s.Run(seeds[j])
@@ -275,7 +275,7 @@ func TestRunBatchUnderRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := s.RunBatch(SeedRange(1, 9), BatchOptions{Workers: 3, EarlyStop: true})
+	batch, err := s.RunBatch(mustSeedRange(1, 9), BatchOptions{Workers: 3, EarlyStop: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,13 @@ const (
 	// per-worker RNG state, which is what makes the chromatic sweep
 	// bit-reproducible at any worker count.
 	roleColored uint64 = 0x7C
+	// roleExchange feeds the tempering runtime's exchange decisions: one
+	// stream per portfolio (derived from the coldest rung's seed), and
+	// each (round, rung) attempt draws its acceptance uniform by mixing
+	// the stream with the round and rung counters — stateless like
+	// roleColored, which is what makes exchange outcomes bit-reproducible
+	// at any worker count.
+	roleExchange uint64 = 0xE7
 )
 
 // splitmix64 is the SplitMix64 finalizer: a bijection on 64-bit values

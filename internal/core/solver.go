@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"sync"
 
@@ -354,158 +353,20 @@ func (s *Solver) RunCtx(ctx context.Context, seed int64) (*Result, error) {
 	return s.newRunContext(ctx, seed, nil).run(seed)
 }
 
-// run is the job body, executed over the per-job engine view.
+// run is the job body, executed over the per-job engine view. The
+// controller state machine lives in jobRun (jobrun.go); run drives it
+// with a private PE worker pool. The tempering portfolio runtime
+// (temper.go) drives the same machine for many rungs over one shared
+// pool instead.
 func (s *runContext) run(seed int64) (*Result, error) {
-	cfg := s.cfg
-	if cfg.ColoredUpdate {
+	if s.cfg.ColoredUpdate {
 		return s.runColored(seed)
 	}
-	t := cfg.TileSize
-	grid := s.grid
-	nPairs := grid.PairCount()
-	ctrl := rand.New(rand.NewSource(seedStream(seed, roleController, 0))) // controller RNG: selection, picks, init
-
-	// Global (controller-side) state: padded binary spin vector and the
-	// table of last-reported partial sums P[i][j] = C_ij·S_j.
-	paddedN := grid.PaddedN()
-	sGlobal := make([]float64, paddedN)
-	if cfg.InitialSpins != nil {
-		if len(cfg.InitialSpins) != s.model.N() {
-			return nil, fmt.Errorf("core: %d initial spins for %d-spin model", len(cfg.InitialSpins), s.model.N())
-		}
-		for i, sp := range cfg.InitialSpins {
-			if sp == 1 {
-				sGlobal[i] = 1
-			}
-		}
-	} else {
-		for i := 0; i < s.model.N(); i++ {
-			if ctrl.Intn(2) == 1 {
-				sGlobal[i] = 1
-			}
-		}
+	j, err := newJobRun(s, seed)
+	if err != nil {
+		return nil, err
 	}
-	partial := make([][]float64, grid.Tiles*grid.Tiles)
-	for i := range partial {
-		partial[i] = make([]float64, t)
-	}
-	pIdx := func(i, j int) int { return i*grid.Tiles + j }
-
-	// Execution-trace spine (internal/trace): every hardware-visible
-	// operation of this run is emitted as an event, and Result.Ops is the
-	// fold of that stream — one accounting definition serves the live
-	// counters, the recorder's replay consumers, and trace-driven PPA.
-	// With no recorder attached (cfg.Tracer nil) the Run reduces to the
-	// fold arithmetic alone. Tracing consumes no randomness: the run's
-	// trajectory is bit-identical with a recorder attached or not.
-	run := trace.NewRun(trace.Meta{
-		Nodes:        s.model.N(),
-		TileSize:     t,
-		Tiles:        grid.Tiles,
-		Pairs:        nPairs,
-		LocalIters:   cfg.LocalIters,
-		GlobalIters:  cfg.GlobalIters,
-		TileFraction: cfg.TileFraction,
-		Stochastic:   cfg.SpinUpdate == SpinUpdateStochastic,
-		Seed:         seed,
-		Device:       s.quant != nil,
-	}, cfg.Tracer)
-	if run.WantsDeviceEvents() {
-		// The per-job engine view tags device-plane events (sampled MVMs,
-		// reprogramming) when it can. For session engines this attaches
-		// the job's own session, so sibling jobs stay untraced; the ideal
-		// engine has no device plane and implements no sink.
-		if sink, ok := s.eng.(tiling.TraceSink); ok {
-			sink.AttachTrace(run.Recorder())
-		}
-	}
-
-	// Initialize the partial-sum table exactly, as the host does when it
-	// transfers initial buffer contents (Section III-E). A diagonal pair
-	// executes (and is charged) one MVM; an off-diagonal pair two.
-	var res Result
-	defer func() {
-		run.End()
-		res.Ops = run.Ops()
-	}()
-	buf := make([]float64, t)
-	for _, p := range s.pairs {
-		pi := grid.PairIndex(p.Row, p.Col)
-		s.eng.Mul(pi, false, grid.Block(sGlobal, p.Col), buf)
-		copy(partial[pIdx(p.Row, p.Col)], buf)
-		if p.IsDiagonal() {
-			run.InitMVM(pi, true)
-			continue
-		}
-		s.eng.Mul(pi, true, grid.Block(sGlobal, p.Row), buf)
-		copy(partial[pIdx(p.Col, p.Row)], buf)
-		run.InitMVM(pi, false)
-	}
-
-	// The incremental datapath engages when the engine supports delta
-	// updates and the exact reference path was not forced. It maintains
-	// a running row-sum cache over the partial-sum table so each load
-	// phase builds offset vectors in O(t) instead of O(Tiles·t):
-	// rowSum[r] = Σ_k partial[r][k], and the offset for (r, skip) is
-	// rowSum[r] - partial[r][skip].
-	useDelta := s.delta != nil && !cfg.ExactRecompute
-	var rowSum [][]float64
-	if useDelta {
-		rowSum = make([][]float64, grid.Tiles)
-		for r := range rowSum {
-			rowSum[r] = make([]float64, t)
-			for k := 0; k < grid.Tiles; k++ {
-				src := partial[pIdx(r, k)]
-				for i, v := range src {
-					rowSum[r][i] += v
-				}
-			}
-		}
-	}
-
-	// Per-pair simulated PEs with persistent RNG streams; deterministic
-	// given seed regardless of goroutine scheduling. Streams are
-	// separated by seedStream (see seed.go) so no pair shares a stream
-	// with the controller, a sibling pair, or any stream of another
-	// batched job.
-	states := make([]*pairState, nPairs)
-	for i := range states {
-		states[i] = newPairState(t, seedStream(seed, rolePair, i))
-	}
-
-	n := s.model.N()
-	res.BestSpins = bestSpinsFrom(sGlobal, n)
-	res.BestEnergy = s.model.Energy(res.BestSpins)
-
-	// Per-run evaluation scratch: evalSpins is reused at every eval
-	// point (BestSpins is only written on improvement), and on the fast
-	// path tracker carries the energy across sync points so unchanged
-	// or sparsely changed states avoid re-walking every edge.
-	evalSpins := make([]int8, n)
-	var tracker *energyTracker
-	if useDelta {
-		tracker = newEnergyTracker(s.model, res.BestSpins, res.BestEnergy, s.exactEnergy)
-	}
-	// Flip accounting for KindEnergy events costs an O(n) diff per
-	// evaluation, so the previous-evaluation state is only kept when a
-	// recorder actually retains energy events.
-	var prevEval []int8
-	if run.WantsEnergyDetail() {
-		prevEval = append([]int8(nil), res.BestSpins...)
-	}
-	// Reconciliation scratch, reused across global iterations (the
-	// inner per-block slices keep their capacity between rounds).
-	copies := make([][][]float64, grid.Tiles)
-
-	selectCount := int(float64(nPairs)*cfg.TileFraction + 0.5)
-	if selectCount < 1 {
-		selectCount = 1
-	}
-	perm := make([]int, nPairs)
-	for i := range perm {
-		perm[i] = i
-	}
-	selected := make([]int, 0, selectCount)
+	defer j.finish()
 
 	// One long-lived worker pool for the whole job: workers pull
 	// (pair, phi) jobs from a single channel and signal per-item
@@ -519,148 +380,39 @@ func (s *runContext) run(seed int64) (*Result, error) {
 		pi  int
 		phi float64
 	}
-	workers := cfg.workers()
+	workers := s.cfg.workers()
 	work := make(chan peJob)
 	defer close(work)
 	var round sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		go func() {
-			for j := range work {
-				if useDelta {
-					s.runLocalIterationsDelta(states[j.pi], s.pairs[j.pi], j.pi, j.phi)
-				} else {
-					s.runLocalIterations(states[j.pi], s.pairs[j.pi], j.pi, j.phi)
-				}
+			for jb := range work {
+				j.localPair(jb.pi, jb.phi)
 				round.Done()
 			}
 		}()
 	}
 
-	run.InitDone()
-
-	// Geometric noise annealing schedule (constant when PhiEnd is 0).
-	phiAt := func(g int) float64 {
-		//sophielint:ignore floateq exact equality of two user-set config values selects the constant-noise fast path
-		if cfg.PhiEnd <= 0 || cfg.Phi == cfg.PhiEnd || cfg.GlobalIters == 1 {
-			return cfg.Phi
+	for g := 1; g <= s.cfg.GlobalIters; g++ {
+		// Portfolio early-stop (RunBatch) and caller cancellation
+		// (RunCtx / RunBatchCtx), both observed at the iteration
+		// boundary; a stopped job returns best-so-far with Stopped set.
+		if j.shouldStop() {
+			return &j.res, nil
 		}
-		frac := float64(g-1) / float64(cfg.GlobalIters-1)
-		return cfg.Phi * math.Pow(cfg.PhiEnd/cfg.Phi, frac)
-	}
-
-	for g := 1; g <= cfg.GlobalIters; g++ {
-		// Portfolio early-stop (RunBatch): a sibling replica reached the
-		// target; wind down at the iteration boundary with the progress
-		// made so far.
-		if s.stop != nil && s.stop.stopped() {
-			res.Stopped = true
-			return &res, nil
-		}
-		// Caller cancellation (RunCtx / RunBatchCtx): a cancelled or
-		// expired context winds the job down at the same boundary,
-		// returning best-so-far with Stopped set. The non-blocking poll
-		// costs no randomness, keeping completed runs bit-identical to
-		// their context-free counterparts.
-		if s.ctx != nil {
-			select {
-			case <-s.ctx.Done():
-				res.Stopped = true
-				return &res, nil
-			default:
-			}
-		}
-		phi := phiAt(g)
-		// --- Stochastic tile computation: pick the pairs for this round.
-		selected = selected[:0]
-		if selectCount == nPairs {
-			selected = append(selected, perm...)
-		} else {
-			ctrl.Shuffle(nPairs, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-			selected = append(selected, perm[:selectCount]...)
-		}
-		run.GlobalStart(g, len(selected), phi)
-
-		// --- Load phase: each selected pair copies its spin blocks and
-		// rebuilds its offset vectors from the partial-sum table.
-		for _, pi := range selected {
-			p := s.pairs[pi]
-			st := states[pi]
-			copy(st.xRow, grid.Block(sGlobal, p.Row))
-			if useDelta {
-				buildOffsetCached(st.offRow, rowSum[p.Row], partial[pIdx(p.Row, p.Col)])
-			} else {
-				s.buildOffset(st.offRow, partial, pIdx, p.Row, p.Col)
-			}
-			if !p.IsDiagonal() {
-				copy(st.xCol, grid.Block(sGlobal, p.Col))
-				if useDelta {
-					buildOffsetCached(st.offCol, rowSum[p.Col], partial[pIdx(p.Col, p.Row)])
-				} else {
-					s.buildOffset(st.offCol, partial, pIdx, p.Col, p.Row)
-				}
-			}
-		}
-		run.LoadDone(g, len(selected))
-
+		phi := j.beginIter(g)
 		// --- Local iterations: dispatch the selected pairs to the
 		// long-lived PE pool and wait for the round to finish.
-		round.Add(len(selected))
-		for _, pi := range selected {
+		round.Add(len(j.selected))
+		for _, pi := range j.selected {
 			work <- peJob{pi: pi, phi: phi}
 		}
 		round.Wait()
-
-		for _, pi := range selected {
-			run.LocalBatch(g, pi, s.pairs[pi].IsDiagonal())
+		if j.endIter(g) {
+			return &j.res, nil
 		}
-		run.LocalDone(g)
-
-		// --- Global synchronization (controller).
-		s.synchronize(states, selected, sGlobal, partial, pIdx, ctrl, rowSum, copies, g, run)
-		run.SyncBarrier(g)
-
-		res.GlobalItersRun = g
-		res.TotalLocalIters = g * cfg.LocalIters
-
-		// --- Track solution quality on the reconciled global state.
-		if g%cfg.EvalEvery == 0 || g == cfg.GlobalIters {
-			fillSpins(evalSpins, sGlobal)
-			var e float64
-			if tracker != nil {
-				e = tracker.energyAt(evalSpins)
-			} else {
-				e = s.model.Energy(evalSpins)
-			}
-			improved := e < res.BestEnergy
-			if improved {
-				res.BestEnergy = e
-				res.BestGlobalIter = g
-				copy(res.BestSpins, evalSpins)
-			}
-			if cfg.RecordTrace {
-				res.Trace = append(res.Trace, res.BestEnergy)
-			}
-			if prevEval != nil {
-				flips := 0
-				for i, v := range evalSpins {
-					if v != prevEval[i] {
-						flips++
-					}
-				}
-				copy(prevEval, evalSpins)
-				run.Energy(g, res.BestEnergy, flips, improved)
-			}
-			if cfg.OnGlobalIteration != nil {
-				cfg.OnGlobalIteration(g, res.BestEnergy)
-			}
-			if cfg.TargetEnergy != nil && res.BestEnergy <= *cfg.TargetEnergy {
-				res.ReachedTarget = true
-				return &res, nil
-			}
-		}
-		run.GlobalEnd(g)
 	}
-	return &res, nil
+	return &j.res, nil
 }
 
 // buildOffset writes into off the sum of partial contributions to output

@@ -284,7 +284,7 @@ func TestRunBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := s.RunBatch(SeedRange(100, 3), BatchOptions{Workers: 2})
+	batch, err := s.RunBatch(mustSeedRange(100, 3), BatchOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,10 +329,10 @@ func TestRunBatch(t *testing.T) {
 	if _, err := s.RunBatch(nil, BatchOptions{}); err == nil {
 		t.Fatal("empty batch must error")
 	}
-	if _, err := s.RunBatch(SeedRange(0, 2), BatchOptions{Workers: -1}); err == nil {
+	if _, err := s.RunBatch(mustSeedRange(0, 2), BatchOptions{Workers: -1}); err == nil {
 		t.Fatal("negative batch workers must error")
 	}
-	if _, err := s.RunBatch(SeedRange(0, 2), BatchOptions{EarlyStop: true}); err == nil {
+	if _, err := s.RunBatch(mustSeedRange(0, 2), BatchOptions{EarlyStop: true}); err == nil {
 		t.Fatal("early-stop without a TargetEnergy must error")
 	}
 }
@@ -346,7 +346,7 @@ func TestRunBatchEarlyStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := s.RunBatch(SeedRange(500, 6), BatchOptions{Workers: 2, EarlyStop: true})
+	batch, err := s.RunBatch(mustSeedRange(500, 6), BatchOptions{Workers: 2, EarlyStop: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -509,11 +509,11 @@ func TestRunBatchParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := s.RunBatch(SeedRange(50, 4), BatchOptions{Workers: 1})
+	seq, err := s.RunBatch(mustSeedRange(50, 4), BatchOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := s.RunBatch(SeedRange(50, 4), BatchOptions{Workers: 4})
+	par, err := s.RunBatch(mustSeedRange(50, 4), BatchOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"sophie/internal/baseline"
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+	"sophie/internal/trace"
+)
+
+// Tests for the tempering portfolio runtime (temper.go): ladder shape,
+// exchange accounting, the worker-count bit-identity contract, trace
+// integration, and a quality cross-check against the software
+// parallel-tempering baseline.
+
+func temperProblem(t testing.TB) (*graph.Graph, *ising.Model) {
+	t.Helper()
+	g, err := graph.Random(64, 320, graph.WeightUnit, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ising.FromMaxCut(g)
+}
+
+func temperSolver(t testing.TB, mutate func(*Config)) *Solver {
+	t.Helper()
+	_, m := temperProblem(t)
+	cfg := quickConfig()
+	cfg.Workers = 1
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTemperingLadderAndStats(t *testing.T) {
+	s := temperSolver(t, nil)
+	topts := TemperingOptions{TMin: 0.05, TMax: 0.5, ExchangeEvery: 5}
+	b, err := s.RunTempering(mustSeedRange(1, 4), topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := b.Tempering
+	if ts == nil {
+		t.Fatal("tempering batch carries no TemperingStats")
+	}
+	if len(ts.Phis) != 4 || len(ts.RungEnergies) != 4 || len(b.Results) != 4 {
+		t.Fatalf("ladder shape wrong: %d phis, %d energies, %d results", len(ts.Phis), len(ts.RungEnergies), len(b.Results))
+	}
+	if ts.Phis[0] != topts.TMin {
+		t.Fatalf("coldest rung phi %v, want TMin %v", ts.Phis[0], topts.TMin)
+	}
+	if math.Abs(ts.Phis[3]-topts.TMax) > 1e-12 {
+		t.Fatalf("hottest rung phi %v, want TMax %v", ts.Phis[3], topts.TMax)
+	}
+	ratio := ts.Phis[1] / ts.Phis[0]
+	for r := 0; r+1 < len(ts.Phis); r++ {
+		if ts.Phis[r+1] <= ts.Phis[r] {
+			t.Fatalf("ladder not ascending at rung %d: %v", r, ts.Phis)
+		}
+		if math.Abs(ts.Phis[r+1]/ts.Phis[r]-ratio) > 1e-12 {
+			t.Fatalf("ladder not geometric at rung %d: %v", r, ts.Phis)
+		}
+	}
+	for r, res := range b.Results {
+		if math.Float64bits(ts.RungEnergies[r]) != math.Float64bits(res.BestEnergy) {
+			t.Fatalf("RungEnergies[%d] = %v, Results[%d].BestEnergy = %v", r, ts.RungEnergies[r], r, res.BestEnergy)
+		}
+	}
+	// quickConfig runs 60 global iterations; exchanges fire at g = 5,
+	// 10, ..., 55 (the final iteration has no boundary), three adjacent
+	// pairs each.
+	wantAttempted := 11 * 3
+	if ts.Attempted != wantAttempted {
+		t.Fatalf("attempted exchanges %d, want %d", ts.Attempted, wantAttempted)
+	}
+	if ts.Accepted < 0 || ts.Accepted > ts.Attempted {
+		t.Fatalf("accepted %d outside [0, %d]", ts.Accepted, ts.Attempted)
+	}
+	if want := float64(ts.Accepted) / float64(ts.Attempted); ts.ExchangeRate != want {
+		t.Fatalf("exchange rate %v, want %v", ts.ExchangeRate, want)
+	}
+	// Every rung's reported energy must match its spins exactly — the
+	// exchange path swaps trackers with states, so a mismatch here means
+	// a swap tore state from bookkeeping.
+	m := ising.FromMaxCut(mustTemperGraph(t))
+	for r, res := range b.Results {
+		if math.Float64bits(res.BestEnergy) != math.Float64bits(m.Energy(res.BestSpins)) {
+			t.Fatalf("rung %d: BestEnergy %v != Energy(BestSpins) %v", r, res.BestEnergy, m.Energy(res.BestSpins))
+		}
+	}
+}
+
+func mustTemperGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.Random(64, 320, graph.WeightUnit, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTemperingWorkerCountBitIdentity pins the determinism contract:
+// the full portfolio — per-rung trajectories, exchange decisions, op
+// counters — is bit-identical at any shared-pool worker count. Run
+// under -race this also backs the pool's safety.
+func TestTemperingWorkerCountBitIdentity(t *testing.T) {
+	s := temperSolver(t, func(c *Config) {
+		c.RecordTrace = true
+		c.EvalEvery = 1
+	})
+	topts := TemperingOptions{TMin: 0.05, TMax: 0.5, ExchangeEvery: 3}
+	seeds := mustSeedRange(7, 4)
+	var ref *BatchResult
+	for _, workers := range []int{1, 3, 8} {
+		b, err := s.RunBatch(seeds, BatchOptions{Workers: workers, Tempering: &topts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = b
+			continue
+		}
+		for r := range ref.Results {
+			requireIdentical(t, "tempering rung", ref.Results[r], b.Results[r])
+		}
+		if ref.Tempering.Attempted != b.Tempering.Attempted || ref.Tempering.Accepted != b.Tempering.Accepted {
+			t.Fatalf("exchange stats differ across worker counts: %d/%d vs %d/%d",
+				ref.Tempering.Accepted, ref.Tempering.Attempted, b.Tempering.Accepted, b.Tempering.Attempted)
+		}
+		for r := range ref.Tempering.RungEnergies {
+			if math.Float64bits(ref.Tempering.RungEnergies[r]) != math.Float64bits(b.Tempering.RungEnergies[r]) {
+				t.Fatalf("rung %d energy differs across worker counts", r)
+			}
+		}
+	}
+}
+
+func TestTemperingValidation(t *testing.T) {
+	s := temperSolver(t, nil)
+	seeds := mustSeedRange(1, 4)
+	cases := []struct {
+		name  string
+		seeds []int64
+		opts  BatchOptions
+	}{
+		{"one rung", mustSeedRange(1, 1), BatchOptions{Tempering: &TemperingOptions{TMin: 0.1, TMax: 1}}},
+		{"zero tmin", seeds, BatchOptions{Tempering: &TemperingOptions{TMin: 0, TMax: 1}}},
+		{"inverted ladder", seeds, BatchOptions{Tempering: &TemperingOptions{TMin: 1, TMax: 0.5}}},
+		{"negative period", seeds, BatchOptions{Tempering: &TemperingOptions{TMin: 0.1, TMax: 1, ExchangeEvery: -1}}},
+		{"early-stop conflict", seeds, BatchOptions{EarlyStop: true, Tempering: &TemperingOptions{TMin: 0.1, TMax: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := s.RunBatch(c.seeds, c.opts); err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
+		}
+	}
+}
+
+// TestTemperingExchangeEvents pins the trace integration: every
+// attempted exchange appears as a KindExchange event on the shared
+// recorder, and the Progress reducer counts attempts and acceptances —
+// the path the sophied job view and /metrics read.
+func TestTemperingExchangeEvents(t *testing.T) {
+	p := trace.NewProgress()
+	rec := trace.NewRecorder(trace.Options{
+		Capacity: 1 << 14,
+		Kinds:    trace.MaskOf(trace.KindRunStart, trace.KindRunEnd, trace.KindEnergy, trace.KindExchange),
+		OnEvent:  p.Observe,
+	})
+	s := temperSolver(t, func(c *Config) { c.Tracer = rec })
+	b, err := s.RunTempering(mustSeedRange(3, 3), TemperingOptions{TMin: 0.05, TMax: 0.5, ExchangeEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := b.Tempering
+	snap := rec.Snapshot()
+	if got := snap.EventsOf(trace.KindExchange); got != ts.Attempted {
+		t.Fatalf("recorder saw %d exchange events, stats say %d attempts", got, ts.Attempted)
+	}
+	accepted := 0
+	for _, ev := range snap.Events {
+		if ev.Kind != trace.KindExchange {
+			continue
+		}
+		if ev.Pair < 0 || int(ev.Pair) >= len(ts.Phis)-1 {
+			t.Fatalf("exchange event names rung %d outside the ladder", ev.Pair)
+		}
+		if ev.Flag {
+			accepted++
+		}
+	}
+	if accepted != ts.Accepted {
+		t.Fatalf("recorder saw %d accepted exchanges, stats say %d", accepted, ts.Accepted)
+	}
+	ps := p.Snapshot()
+	if ps.Exchanges != int64(ts.Attempted) || ps.ExchangesAccepted != int64(ts.Accepted) {
+		t.Fatalf("progress counters %d/%d, stats %d/%d", ps.ExchangesAccepted, ps.Exchanges, ts.Accepted, ts.Attempted)
+	}
+	if ps.RunsStarted != 3 || ps.RunsDone != 3 {
+		t.Fatalf("progress runs %d/%d, want 3/3", ps.RunsStarted, ps.RunsDone)
+	}
+}
+
+// TestTemperingQualityOrdering cross-checks the runtime against the
+// software parallel-tempering baseline on the same instance: with
+// comparable budgets the two should land in the same quality band
+// (the baseline flips single spins; SOPHIE reconciles tile blocks —
+// exact equality is not expected, gross divergence is a bug).
+func TestTemperingQualityOrdering(t *testing.T) {
+	g, m := temperProblem(t)
+	cfg := quickConfig()
+	cfg.Workers = 1
+	cfg.GlobalIters = 120
+	s, err := NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunTempering(mustSeedRange(1, 6), TemperingOptions{TMin: 0.05, TMax: 0.4, ExchangeEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := baseline.ParallelTempering(m, baseline.PTConfig{
+		Replicas: 6, TMin: 0.05, TMax: 3, Sweeps: 150, ExchangeEvery: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreCut := g.CutValue(b.Best().BestSpins)
+	baseCut := g.CutValue(pt.BestSpins)
+	if coreCut < 0.9*baseCut {
+		t.Fatalf("core tempering cut %v below 90%% of baseline PT cut %v", coreCut, baseCut)
+	}
+}
+
+// TestTemperingTargetStopsPortfolio: a reachable TargetEnergy must stop
+// the whole ladder deterministically, with the reaching rung(s) flagged
+// and the rest marked Stopped when cut short.
+func TestTemperingTargetStopsPortfolio(t *testing.T) {
+	seeds := mustSeedRange(11, 4)
+	topts := TemperingOptions{TMin: 0.05, TMax: 0.5, ExchangeEvery: 2}
+	probe := temperSolver(t, nil)
+	full, err := probe.RunTempering(seeds, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := full.BestEnergy
+	s := temperSolver(t, func(c *Config) { c.TargetEnergy = &target })
+	b, err := s.RunTempering(seeds, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Succeeded == 0 {
+		t.Fatalf("no rung reached the (known reachable) target %v; best %v", target, b.BestEnergy)
+	}
+	if b.BestEnergy > target {
+		t.Fatalf("portfolio best %v worse than target %v", b.BestEnergy, target)
+	}
+	for r, res := range b.Results {
+		if !res.ReachedTarget && !res.Stopped && res.GlobalItersRun < probe.cfg.GlobalIters {
+			t.Fatalf("rung %d neither reached, stopped, nor ran to completion: %+v", r, res)
+		}
+	}
+}
+
+// TestTemperingContextCancel: an already-cancelled context yields a
+// full ladder of stopped zero-progress results, not an error.
+func TestTemperingContextCancel(t *testing.T) {
+	s := temperSolver(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, err := s.RunTemperingCtx(ctx, mustSeedRange(1, 3), TemperingOptions{TMin: 0.05, TMax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stopped != 3 {
+		t.Fatalf("%d rungs stopped, want all 3", b.Stopped)
+	}
+	for r, res := range b.Results {
+		if res.GlobalItersRun != 0 {
+			t.Fatalf("cancelled rung %d ran %d iterations", r, res.GlobalItersRun)
+		}
+	}
+}

@@ -62,7 +62,11 @@ func Table2(o Options) error {
 		// concurrently over one preprocessed solver, like the hardware
 		// pipelines batched jobs. Per-replica results are identical to
 		// sequential Run calls with the same seeds.
-		batch, err := solver.RunBatch(core.SeedRange(o.Seed, o.runs()), core.BatchOptions{
+		seeds, err := core.SeedRange(o.Seed, o.runs())
+		if err != nil {
+			return err
+		}
+		batch, err := solver.RunBatch(seeds, core.BatchOptions{
 			Workers: o.Workers,
 		})
 		if err != nil {
@@ -101,7 +105,11 @@ func Table2(o Options) error {
 			if err != nil {
 				return err
 			}
-			t90Batch, err := fullSolver.RunBatch(core.SeedRange(o.Seed+100, o.runs()), core.BatchOptions{
+			t90Seeds, err := core.SeedRange(o.Seed+100, o.runs())
+			if err != nil {
+				return err
+			}
+			t90Batch, err := fullSolver.RunBatch(t90Seeds, core.BatchOptions{
 				Workers: o.Workers,
 			})
 			if err != nil {

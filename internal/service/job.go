@@ -56,7 +56,24 @@ type JobSpec struct {
 	// target_energy in Config): results become schedule-dependent.
 	EarlyStop bool `json:"early_stop,omitempty"`
 
+	// Tempering runs the replicas as a parallel-tempering ladder
+	// (core.TemperingOptions) instead of independent restarts: replica r
+	// becomes temperature rung r. Requires replicas >= 2; incompatible
+	// with early_stop.
+	Tempering *TemperingSpec `json:"tempering,omitempty"`
+
 	Config ConfigOverrides `json:"config"`
+}
+
+// TemperingSpec selects the tempering portfolio runtime for a job; the
+// fields mirror core.TemperingOptions.
+type TemperingSpec struct {
+	// TMin and TMax bound the geometric phi ladder; rung 0 is coldest.
+	TMin float64 `json:"tmin"`
+	TMax float64 `json:"tmax"`
+	// ExchangeEvery is the exchange period in global iterations
+	// (default 1).
+	ExchangeEvery int `json:"exchange_every,omitempty"`
 }
 
 // ConfigOverrides selects per-job solver settings; nil fields inherit
@@ -154,6 +171,19 @@ type ResultView struct {
 	Stopped      int              `json:"stopped"`
 	Replicas     []ReplicaView    `json:"replicas"`
 	Ops          metrics.OpCounts `json:"ops"`
+	// Tempering carries the exchange statistics when the job ran as a
+	// tempering ladder; absent for independent-restart batches.
+	Tempering *TemperingView `json:"tempering,omitempty"`
+}
+
+// TemperingView is the JSON rendering of core.TemperingStats: the phi
+// ladder, each rung's final energy, and the exchange acceptance stats.
+type TemperingView struct {
+	Phis         []float64 `json:"phis"`
+	RungEnergies []float64 `json:"rung_energies"`
+	Attempted    int       `json:"exchanges_attempted"`
+	Accepted     int       `json:"exchanges_accepted"`
+	ExchangeRate float64   `json:"exchange_rate"`
 }
 
 // ReplicaView summarizes one replica of a job's batch.
@@ -223,6 +253,15 @@ func resultView(g *graph.Graph, seeds []int64, b *core.BatchResult) *ResultView 
 			GlobalItersRun: r.GlobalItersRun,
 			ReachedTarget:  r.ReachedTarget,
 			Stopped:        r.Stopped,
+		}
+	}
+	if ts := b.Tempering; ts != nil {
+		rv.Tempering = &TemperingView{
+			Phis:         append([]float64(nil), ts.Phis...),
+			RungEnergies: append([]float64(nil), ts.RungEnergies...),
+			Attempted:    ts.Attempted,
+			Accepted:     ts.Accepted,
+			ExchangeRate: ts.ExchangeRate,
 		}
 	}
 	return rv

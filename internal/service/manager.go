@@ -100,6 +100,8 @@ type Manager struct {
 	// counters (guarded by mu; every increment happens on a state
 	// transition that already holds it)
 	nSubmitted, nRejected, nCompleted, nFailed, nCancelled, nTimedOut uint64
+	// exchange tallies summed from finished tempering jobs (guarded by mu)
+	nExchanges, nExchangesAccepted uint64
 
 	runCtx    context.Context // parent of every job context; cancelled to force-drain
 	runCancel context.CancelFunc
@@ -283,8 +285,9 @@ func (m *Manager) execute(j *job) {
 	prog := trace.NewProgress()
 	rec := trace.NewRecorder(trace.Options{
 		Capacity: 4096,
-		Kinds:    trace.KindRunStart.Mask() | trace.KindRunEnd.Mask() | trace.KindEnergy.Mask(),
-		OnEvent:  prog.Observe,
+		Kinds: trace.KindRunStart.Mask() | trace.KindRunEnd.Mask() |
+			trace.KindEnergy.Mask() | trace.KindExchange.Mask(),
+		OnEvent: prog.Observe,
 	})
 
 	m.mu.Lock()
@@ -352,6 +355,10 @@ func (m *Manager) execute(j *job) {
 		if j.timedOut {
 			m.nTimedOut++
 		}
+	}
+	if res != nil && res.Tempering != nil {
+		m.nExchanges += uint64(res.Tempering.Attempted)
+		m.nExchangesAccepted += uint64(res.Tempering.Accepted)
 	}
 	m.inFlight--
 	m.mu.Unlock()
@@ -486,6 +493,9 @@ type Stats struct {
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
 	TimedOut  uint64 `json:"timed_out"`
+	// Exchange tallies summed over finished tempering jobs.
+	Exchanges         uint64 `json:"exchanges"`
+	ExchangesAccepted uint64 `json:"exchanges_accepted"`
 
 	SolverCache CacheStats                `json:"solver_cache"`
 	Ops         metrics.OpCounts          `json:"ops"`
@@ -497,19 +507,21 @@ type Stats struct {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	s := Stats{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		QueueDepth:    m.queueDepthLocked(),
-		QueueCap:      m.cfg.QueueCap,
-		InFlight:      m.inFlight,
-		Workers:       m.cfg.Workers,
-		Draining:      m.draining,
-		JobsTracked:   len(m.jobs),
-		Submitted:     m.nSubmitted,
-		Rejected:      m.nRejected,
-		Completed:     m.nCompleted,
-		Failed:        m.nFailed,
-		Cancelled:     m.nCancelled,
-		TimedOut:      m.nTimedOut,
+		UptimeSeconds:     time.Since(m.start).Seconds(),
+		QueueDepth:        m.queueDepthLocked(),
+		QueueCap:          m.cfg.QueueCap,
+		InFlight:          m.inFlight,
+		Workers:           m.cfg.Workers,
+		Draining:          m.draining,
+		JobsTracked:       len(m.jobs),
+		Submitted:         m.nSubmitted,
+		Rejected:          m.nRejected,
+		Completed:         m.nCompleted,
+		Failed:            m.nFailed,
+		Cancelled:         m.nCancelled,
+		TimedOut:          m.nTimedOut,
+		Exchanges:         m.nExchanges,
+		ExchangesAccepted: m.nExchangesAccepted,
 	}
 	m.mu.Unlock()
 	s.SolverCache = m.cache.stats()

@@ -130,7 +130,11 @@ func TestJobBitIdenticalToDirectRunBatch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("direct solver: %v", err)
 	}
-	want, err := solver.RunBatch(core.SeedRange(7, 3), core.BatchOptions{})
+	wantSeeds, err := core.SeedRange(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solver.RunBatch(wantSeeds, core.BatchOptions{})
 	if err != nil {
 		t.Fatalf("direct batch: %v", err)
 	}
@@ -472,6 +476,17 @@ func TestResolveSpecRejections(t *testing.T) {
 		{"too many replicas", JobSpec{Graph: k4, Replicas: 3}},
 		{"negative timeout", JobSpec{Graph: k4, TimeoutMS: -5}},
 		{"early stop without target", JobSpec{Graph: k4, EarlyStop: true}},
+		{"tempering one replica", JobSpec{Graph: k4, Replicas: 1,
+			Tempering: &TemperingSpec{TMin: 0.05, TMax: 0.5}}},
+		{"tempering bad ladder", JobSpec{Graph: k4, Replicas: 2,
+			Tempering: &TemperingSpec{TMin: 0.5, TMax: 0.05}}},
+		{"tempering zero tmin", JobSpec{Graph: k4, Replicas: 2,
+			Tempering: &TemperingSpec{TMin: 0, TMax: 0.5}}},
+		{"tempering negative period", JobSpec{Graph: k4, Replicas: 2,
+			Tempering: &TemperingSpec{TMin: 0.05, TMax: 0.5, ExchangeEvery: -1}}},
+		{"tempering with early stop", JobSpec{Graph: k4, Replicas: 2, EarlyStop: true,
+			Tempering: &TemperingSpec{TMin: 0.05, TMax: 0.5},
+			Config:    ConfigOverrides{TargetEnergy: f64p(-1)}}},
 		{"bad tile size", JobSpec{Graph: k4, Config: ConfigOverrides{TileSize: intp(-8)}}},
 		{"bad spin update", JobSpec{Graph: k4, Config: ConfigOverrides{SpinUpdate: strp("quantum")}}},
 		{"negative workers", JobSpec{Graph: k4, Config: ConfigOverrides{Workers: intp(-1)}}},
@@ -517,4 +532,80 @@ func TestGraphFileSubmission(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestTemperingJob runs a tempering-ladder job through the whole
+// service stack and checks (a) the result is bit-identical to a direct
+// core.RunTempering with the same problem, config, and seeds, (b) the
+// exchange statistics surface in the result view, and (c) the manager's
+// exchange counters pick them up.
+func TestTemperingJob(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	spec := JobSpec{
+		Graph:     inlineGraph(t, 24),
+		Replicas:  4,
+		Seed:      7,
+		Tempering: &TemperingSpec{TMin: 0.05, TMax: 0.5, ExchangeEvery: 5},
+		Config: ConfigOverrides{
+			TileSize:    intp(8),
+			LocalIters:  intp(3),
+			GlobalIters: intp(30),
+		},
+	}
+	v, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	v = waitState(t, m, v.ID, StateDone)
+	if v.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	tv := v.Result.Tempering
+	if tv == nil {
+		t.Fatal("tempering job result carries no tempering view")
+	}
+	if len(tv.Phis) != 4 || len(tv.RungEnergies) != 4 {
+		t.Fatalf("ladder view sized %d/%d, want 4/4", len(tv.Phis), len(tv.RungEnergies))
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = 7
+	cfg.TileSize = 8
+	cfg.LocalIters = 3
+	cfg.GlobalIters = 30
+	solver, err := core.NewSolver(ising.FromMaxCut(graph.KGraph(24)), cfg)
+	if err != nil {
+		t.Fatalf("direct solver: %v", err)
+	}
+	seeds, err := core.SeedRange(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solver.RunTempering(seeds, core.TemperingOptions{TMin: 0.05, TMax: 0.5, ExchangeEvery: 5})
+	if err != nil {
+		t.Fatalf("direct tempering: %v", err)
+	}
+	if v.Result.BestEnergy != want.BestEnergy {
+		t.Errorf("best energy: service %v, direct %v", v.Result.BestEnergy, want.BestEnergy)
+	}
+	if !bytes.Equal(int8Bytes(v.Result.BestSpins), int8Bytes(want.Best().BestSpins)) {
+		t.Error("best spins differ from direct RunTempering")
+	}
+	ws := want.Tempering
+	if tv.Attempted != ws.Attempted || tv.Accepted != ws.Accepted || tv.ExchangeRate != ws.ExchangeRate {
+		t.Errorf("exchange stats: service (%d, %d, %v), direct (%d, %d, %v)",
+			tv.Attempted, tv.Accepted, tv.ExchangeRate, ws.Attempted, ws.Accepted, ws.ExchangeRate)
+	}
+	for r := range tv.Phis {
+		if tv.Phis[r] != ws.Phis[r] || tv.RungEnergies[r] != ws.RungEnergies[r] {
+			t.Errorf("rung %d: service (%v, %v), direct (%v, %v)",
+				r, tv.Phis[r], tv.RungEnergies[r], ws.Phis[r], ws.RungEnergies[r])
+		}
+	}
+
+	st := m.Stats()
+	if st.Exchanges != uint64(ws.Attempted) || st.ExchangesAccepted != uint64(ws.Accepted) {
+		t.Errorf("manager counters (%d, %d), want (%d, %d)",
+			st.Exchanges, st.ExchangesAccepted, ws.Attempted, ws.Accepted)
+	}
 }

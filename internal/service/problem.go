@@ -68,7 +68,10 @@ func (m *Manager) resolveSpec(spec JobSpec) (*job, error) {
 		if seed == 0 {
 			seed = 1
 		}
-		seeds = core.SeedRange(seed, replicas)
+		seeds, err = core.SeedRange(seed, replicas)
+		if err != nil {
+			return nil, specErrorf("%v", err)
+		}
 	}
 	if len(seeds) > m.cfg.MaxReplicas {
 		return nil, specErrorf("%d replicas exceed the server limit of %d", len(seeds), m.cfg.MaxReplicas)
@@ -83,6 +86,22 @@ func (m *Manager) resolveSpec(spec JobSpec) (*job, error) {
 	}
 	if spec.EarlyStop && runCfg.TargetEnergy == nil {
 		return nil, specErrorf("early_stop requires config.target_energy")
+	}
+	if t := spec.Tempering; t != nil {
+		// Mirror core's runTemperingCtx validation at admission so a bad
+		// ladder is a 400, not a failed job.
+		if spec.EarlyStop {
+			return nil, specErrorf("tempering and early_stop cannot combine (tempering has its own stop rule)")
+		}
+		if len(seeds) < 2 {
+			return nil, specErrorf("tempering needs >= 2 replicas (one per rung), got %d", len(seeds))
+		}
+		if t.TMin <= 0 || t.TMax <= t.TMin {
+			return nil, specErrorf("tempering needs 0 < tmin < tmax, got [%v, %v]", t.TMin, t.TMax)
+		}
+		if t.ExchangeEvery < 0 {
+			return nil, specErrorf("negative tempering exchange_every %d", t.ExchangeEvery)
+		}
 	}
 
 	// baseCfg is runCfg with the runtime knobs reset to defaults: the
@@ -128,6 +147,13 @@ func (m *Manager) resolveSpec(spec JobSpec) (*job, error) {
 		batchOpts: core.BatchOptions{
 			EarlyStop: spec.EarlyStop,
 		},
+	}
+	if t := spec.Tempering; t != nil {
+		j.batchOpts.Tempering = &core.TemperingOptions{
+			TMin:          t.TMin,
+			TMax:          t.TMax,
+			ExchangeEvery: t.ExchangeEvery,
+		}
 	}
 	if spec.Config.BatchWorkers != nil {
 		j.batchOpts.Workers = *spec.Config.BatchWorkers

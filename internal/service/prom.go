@@ -83,6 +83,9 @@ func writeProm(w io.Writer, s Stats) error {
 	p.metric("sophied_jobs_cancelled_total", "counter", "Jobs cancelled by users or drain.", float64(s.Cancelled))
 	p.metric("sophied_jobs_timed_out_total", "counter", "Jobs cut short by their deadline.", float64(s.TimedOut))
 
+	p.metric("sophied_exchanges_attempted_total", "counter", "Tempering replica exchanges attempted across finished jobs.", float64(s.Exchanges))
+	p.metric("sophied_exchanges_accepted_total", "counter", "Tempering replica exchanges accepted across finished jobs.", float64(s.ExchangesAccepted))
+
 	p.metric("sophied_solver_cache_entries", "gauge", "Preprocessed solvers resident in the cache.", float64(s.SolverCache.Entries))
 	p.metric("sophied_solver_cache_hits_total", "counter", "Solver cache hits.", float64(s.SolverCache.Hits))
 	p.metric("sophied_solver_cache_misses_total", "counter", "Solver cache misses (preprocessing runs).", float64(s.SolverCache.Misses))

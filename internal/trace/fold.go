@@ -67,6 +67,20 @@ func foldInto(ops *metrics.OpCounts, m *Meta, ev Event) {
 		ops.DRAMReadBits += metrics.U64(t * copies)
 	case KindSyncBarrier:
 		ops.GlobalSyncs++
+	case KindExchange:
+		// One attempted replica exchange: the controller compares the two
+		// rungs' energies and draws one uniform (a handful of glue ops);
+		// an accepted swap migrates both rungs' DRAM-resident global
+		// state — spin vector plus partial-sum table — between the two
+		// replicas (the controller could remap ownership instead, so this
+		// is the upper bound of a copying implementation).
+		ops.GlueOps += 4
+		if ev.Flag {
+			paddedN := m.Tiles * t
+			stateBits := paddedN + m.Tiles*paddedN*8 // 1b spins + 8b partial table rows
+			ops.DRAMReadBits += metrics.U64(2 * stateBits)
+			ops.DRAMWriteBits += metrics.U64(2 * stateBits)
+		}
 	}
 }
 

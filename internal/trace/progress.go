@@ -19,6 +19,8 @@ type Progress struct {
 	best        float64
 	flips       int64
 	events      uint64
+	exchanges   int64
+	exchAccept  int64
 }
 
 // NewProgress returns an empty reducer.
@@ -45,6 +47,11 @@ func (p *Progress) Observe(ev Event) {
 			p.best = ev.F
 		}
 		p.flips += ev.N
+	case KindExchange:
+		p.exchanges++
+		if ev.Flag {
+			p.exchAccept++
+		}
 	}
 	p.mu.Unlock()
 }
@@ -65,6 +72,11 @@ type ProgressSnapshot struct {
 	// FlipsPerSec is Flips over the wall time since the first run
 	// started.
 	FlipsPerSec float64 `json:"flips_per_sec"`
+	// Exchanges / ExchangesAccepted count replica-exchange attempts and
+	// acceptances observed so far (tempering runs only; both 0 for the
+	// independent-replica portfolio).
+	Exchanges         int64 `json:"exchanges,omitempty"`
+	ExchangesAccepted int64 `json:"exchanges_accepted,omitempty"`
 	// RunsStarted / RunsDone count replicas over the recorder.
 	RunsStarted int `json:"runs_started"`
 	RunsDone    int `json:"runs_done"`
@@ -82,13 +94,15 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := ProgressSnapshot{
-		GlobalIter:  int(p.iter),
-		BestEnergy:  p.best,
-		HasEnergy:   p.hasEnergy,
-		Flips:       p.flips,
-		RunsStarted: p.runsStarted,
-		RunsDone:    p.runsDone,
-		Events:      p.events,
+		GlobalIter:        int(p.iter),
+		BestEnergy:        p.best,
+		HasEnergy:         p.hasEnergy,
+		Flips:             p.flips,
+		Exchanges:         p.exchanges,
+		ExchangesAccepted: p.exchAccept,
+		RunsStarted:       p.runsStarted,
+		RunsDone:          p.runsDone,
+		Events:            p.events,
 	}
 	if p.startNS != 0 {
 		s.ElapsedS = float64(nowNS()-p.startNS) / 1e9

@@ -128,6 +128,15 @@ func (r *Run) Energy(iter int, best float64, flips int, improved bool) {
 	r.emit(Event{Kind: KindEnergy, Iter: int32(iter), F: best, N: int64(flips), Flag: improved})
 }
 
+// Exchange records one attempted replica exchange between tempering
+// rung `rung` and rung+1 at the boundary of global iteration iter:
+// whether the swap was accepted and the energy difference
+// E_rung - E_rung+1 the acceptance test saw. Emitted by the tempering
+// driver on the lower rung's run, at most once per (iteration, rung).
+func (r *Run) Exchange(iter, rung int, accepted bool, dE float64) {
+	r.emit(Event{Kind: KindExchange, Iter: int32(iter), Pair: int32(rung), Flag: accepted, F: dE})
+}
+
 // GlobalEnd closes global iteration iter.
 func (r *Run) GlobalEnd(iter int) {
 	r.mark(phaseGlobal)

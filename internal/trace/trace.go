@@ -64,6 +64,12 @@ const (
 	KindGlobalEnd
 	// KindRunEnd closes the run.
 	KindRunEnd
+	// KindExchange is one attempted replica exchange of the tempering
+	// portfolio runtime at a global-iteration boundary (Iter = global
+	// iteration, Pair = lower rung index of the adjacent pair, Flag =
+	// accepted, F = the energy difference E_low - E_high the acceptance
+	// test saw). Emitted on the lower rung's run.
+	KindExchange
 	// KindDeviceMVM is one physical array MVM inside the device model
 	// (Pair = pair index, Flag = transposed). Sampled, never folded.
 	KindDeviceMVM
@@ -77,7 +83,7 @@ const (
 var kindNames = [numKinds]string{
 	"run-start", "init-mvm", "init-done", "global-start", "load-done",
 	"local-batch", "local-done", "sync-pair", "sync-block", "sync-barrier",
-	"energy", "global-end", "run-end", "device-mvm", "reprogram",
+	"energy", "global-end", "run-end", "exchange", "device-mvm", "reprogram",
 }
 
 func (k Kind) String() string {

@@ -198,8 +198,19 @@ type BatchOptions = core.BatchOptions
 // mean / median energy, success probability, summed op counts).
 type BatchResult = core.BatchResult
 
-// SeedRange returns n consecutive replica seeds starting at base.
-func SeedRange(base int64, n int) []int64 { return core.SeedRange(base, n) }
+// TemperingOptions selects the tempering portfolio runtime
+// (Solver.RunTempering / BatchOptions.Tempering): a geometric phi
+// ladder with replica exchanges at global-iteration boundaries.
+type TemperingOptions = core.TemperingOptions
+
+// TemperingStats reports a tempering run's ladder and exchange
+// statistics (BatchResult.Tempering).
+type TemperingStats = core.TemperingStats
+
+// SeedRange returns n consecutive replica seeds starting at base, or an
+// error when the range would overflow int64 (wrapped seeds would
+// duplicate replica streams).
+func SeedRange(base int64, n int) ([]int64, error) { return core.SeedRange(base, n) }
 
 // DefaultConfig returns the paper's operating point (tile 64, 10 local
 // iterations per global, 500 global iterations, stochastic spin update,

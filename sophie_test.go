@@ -150,6 +150,32 @@ func TestFacadeParallelTempering(t *testing.T) {
 	}
 }
 
+func TestFacadeCoreTempering(t *testing.T) {
+	g, _ := sophie.RandomGraph(48, 200, sophie.WeightUnit, 12)
+	cfg := sophie.DefaultConfig()
+	cfg.TileSize = 16
+	cfg.GlobalIters = 30
+	s, err := sophie.NewSolver(sophie.MaxCut(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := sophie.SeedRange(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.RunTempering(seeds, sophie.TemperingOptions{TMin: 0.05, TMax: 0.5, ExchangeEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats *sophie.TemperingStats = batch.Tempering
+	if stats == nil || len(stats.Phis) != 4 {
+		t.Fatalf("tempering stats missing or mis-sized: %+v", stats)
+	}
+	if g.CutValue(batch.Best().BestSpins) < 0.55*float64(g.M()) {
+		t.Fatal("core tempering via facade too weak")
+	}
+}
+
 func TestFacadeDriftDeviceModel(t *testing.T) {
 	g, _ := sophie.RandomGraph(60, 240, sophie.WeightUnit, 11)
 	cfg := sophie.DefaultConfig()
