@@ -40,7 +40,7 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Regenerates the tracked benchmark baseline (README.md "Benchmarks").
-# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR8.json was
+# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR9.json was
 # produced with the default 2s budget. It carries the trace-spine
 # overhead guard (derived trace_overhead), the per-phase attribution of
 # one instrumented solve, the lint wall-time pair (derived
@@ -51,7 +51,7 @@ bench:
 # tempering_over_portfolio).
 BENCHTIME ?= 2s
 bench-json:
-	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR8.json
+	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR9.json
 
 # End-to-end daemon smoke: real sophied + sophie binaries over HTTP
 # (CI job "sophied-smoke").

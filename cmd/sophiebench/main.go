@@ -1,6 +1,6 @@
 // Command sophiebench runs the repository's tracked performance
 // benchmarks and emits a machine-readable JSON baseline (schema
-// "sophie-bench/v1"). The committed BENCH_PR8.json snapshots the
+// "sophie-bench/v1"). The committed BENCH_PR9.json snapshots the
 // incremental-datapath speedup on the G22-mini solver workload, the
 // underlying linalg kernel costs, the batched replica runtime's
 // throughput scaling, the cost of the trace emitters (per-phase
@@ -16,7 +16,13 @@
 // n-vs-time curve dense storage cannot reach — and, since the
 // tempering portfolio runtime, a time-to-target pair racing the
 // exchange-ladder mode against the independent-restart early-stop
-// portfolio on the same target (derived tempering_over_portfolio).
+// portfolio on the same target (derived tempering_over_portfolio) —
+// and, since the durable service layer, the WAL append pair: a
+// buffered journal append (what every started/terminal transition
+// costs the worker) against a group-commit fsync'd append (the
+// durability point each accepted submission pays), with the derived
+// wal_overhead guarding that journaling stays a rounding error next
+// to one solve.
 // CI re-runs the suite
 // with -benchtime=1x as a smoke test and uploads the fresh report as
 // an artifact. See README.md "Benchmarks".
@@ -37,7 +43,9 @@ import (
 	"sophie/internal/graph"
 	"sophie/internal/ising"
 	"sophie/internal/linalg"
+	"sophie/internal/service"
 	"sophie/internal/trace"
+	"sophie/internal/wal"
 )
 
 // report is the sophie-bench/v1 JSON document.
@@ -79,7 +87,7 @@ type benchmark struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR9.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark budget (Go benchtime syntax, e.g. 2s or 1x)")
 	testing.Init()
 	flag.Parse()
@@ -425,6 +433,52 @@ func run(benchtime, out string) error {
 		}
 	})
 
+	// --- WAL appends: the durability costs sophied pays per job. The
+	// buffered arm is the worker-path append (started/terminal records:
+	// frame + buffer under the log mutex, fsync'd by the background
+	// flusher); the synced arm is the admission-path group commit (the
+	// fsync barrier every accepted submission waits on). The derived
+	// wal_overhead relates the buffered append to one G22-mini solve —
+	// the journal must never be where a solver job's time goes.
+	walDir, err := os.MkdirTemp("", "sophiebench-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	jlog, _, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		return err
+	}
+	walJob := service.SnapshotJob{
+		ID: "j00000001", Tenant: "default",
+		Spec: service.JobSpec{Preset: "G22", Replicas: 8, Seed: 7},
+	}
+	// Like emitsPerOp above: batch the microsecond-scale buffered
+	// appends so a -benchtime=1x run times a steady-state span instead
+	// of one append's scheduling noise.
+	const appendsPerOp = 256
+	record("wal/append-buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < appendsPerOp; j++ {
+				if err := jlog.JobStarted(walJob.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	record("wal/append-synced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := jlog.JobSubmitted(walJob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := jlog.Close(); err != nil {
+		return err
+	}
+
 	// --- Static-analysis suite: the nine-analyzer shared-inspector run
 	// vs the pre-inspector execution model (one full traversal per
 	// analyzer) restricted to the original six analyzers. The derived
@@ -495,6 +549,15 @@ func run(benchtime, out string) error {
 	if tt := perOp(fmt.Sprintf("temper/G22mini-target-rungs%d", temperRungs)); tt > 0 {
 		rep.Derived["tempering_over_portfolio"] =
 			perOp(fmt.Sprintf("portfolio/G22mini-target-replicas%d", temperRungs)) / tt
+	}
+	// wal_overhead is the per-transition journaling tax relative to one
+	// solve: a worker records two buffered appends (started + terminal)
+	// per job, so this ratio bounds what durability costs the execution
+	// path. The fsync'd admission append is reported as its own
+	// benchmark but deliberately not ratioed against the solve — its
+	// latency belongs to the submitting client, not the worker.
+	if d := perOp("solver/G22mini-delta"); d > 0 {
+		rep.Derived["wal_overhead"] = perOp("wal/append-buffered") / appendsPerOp / d
 	}
 	// trace_overhead is the no-op emitter tax on an untraced solve: the
 	// events one G22-mini solve emits times the measured cost of one

@@ -9,10 +9,22 @@
 //	curl -X POST localhost:8080/v1/jobs -d '{"preset":"K100","replicas":4,"seed":7}'
 //	curl localhost:8080/v1/jobs/j00000001
 //
-// On SIGINT/SIGTERM the daemon stops admission (503), drains in-flight
-// jobs to completion (bounded by -drain-timeout, after which they are
-// force-cancelled at their next global-iteration boundary), and writes
-// the still-queued jobs to -snapshot for resubmission after a restart.
+// On SIGINT/SIGTERM the daemon stops admission (503 + draining
+// /healthz), drains in-flight jobs to completion (bounded by
+// -drain-timeout, after which they are force-cancelled at their next
+// global-iteration boundary), and writes the still-queued jobs to
+// -snapshot for resubmission after a restart.
+//
+// With -wal DIR the queue is durable: every accepted job is fsync'd to
+// a write-ahead log before its 202, and a restart over the same
+// directory replays queued and interrupted jobs back into the queue —
+// a kill -9 loses nothing. -tenant-rate/-tenant-burst/-tenant-share
+// turn on per-tenant fair admission keyed by the X-Tenant header, and
+// GET /v1/jobs/{id}/events streams live progress as server-sent
+// events:
+//
+//	sophied -addr 127.0.0.1:8080 -wal /var/lib/sophied/wal
+//	curl -N localhost:8080/v1/jobs/j00000001/events
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"time"
 
 	"sophie/internal/service"
+	"sophie/internal/wal"
 )
 
 func main() {
@@ -57,12 +70,17 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		cacheSize      = fs.Int("cache", 8, "preprocessed solvers kept in the LRU cache")
 		snapshotPath   = fs.String("snapshot", "", "write the drained queue snapshot JSON here on shutdown")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before force-cancelling")
+		walDir         = fs.String("wal", "", "job write-ahead log directory; enables crash recovery (empty = memory-only queue)")
+		tenantRate     = fs.Float64("tenant-rate", 0, "per-tenant sustained submissions/second (0 disables rate limiting)")
+		tenantBurst    = fs.Int("tenant-burst", 0, "per-tenant submission burst (0 derives from -tenant-rate)")
+		tenantShare    = fs.Float64("tenant-share", 0, "max fraction of the queue one tenant may occupy (0 disables the share cap)")
+		sseHeartbeat   = fs.Duration("sse-heartbeat", 15*time.Second, "keepalive period on /v1/jobs/{id}/events streams")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	m := service.NewManager(service.Config{
+	cfg := service.Config{
 		QueueCap:        *queueCap,
 		Workers:         *workers,
 		DefaultTimeout:  *defaultTimeout,
@@ -70,14 +88,44 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		MaxReplicas:     *maxReplicas,
 		SolverCacheSize: *cacheSize,
 		ProblemDir:      *problemDir,
-	})
+		Tenant: service.TenantConfig{
+			Rate:          *tenantRate,
+			Burst:         *tenantBurst,
+			MaxQueueShare: *tenantShare,
+		},
+	}
+
+	// Durable queue: replay the WAL before the workers start, so every
+	// recovered job re-enters the queue ahead of any new submission.
+	var jlog *wal.Log
+	var pending []service.SnapshotJob
+	if *walDir != "" {
+		var err error
+		jlog, pending, err = wal.Open(*walDir, wal.Options{})
+		if err != nil {
+			return fmt.Errorf("opening WAL: %w", err)
+		}
+		defer jlog.Close()
+		cfg.Journal = jlog
+	}
+
+	m := service.NewManager(cfg)
+	if len(pending) > 0 {
+		restored, err := m.Restore(pending)
+		if err != nil {
+			// Unresolvable specs come back as queryable failed jobs; the
+			// daemon keeps serving.
+			fmt.Fprintf(stdout, "sophied: wal replay: %v\n", err)
+		}
+		fmt.Fprintf(stdout, "sophied: restored %d job(s) from %s\n", restored, *walDir)
+	}
 	m.Start()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: service.NewServer(m)}
+	srv := &http.Server{Handler: service.NewServer(m, service.WithHeartbeat(*sseHeartbeat))}
 	fmt.Fprintf(stdout, "sophied: listening on %s (%d workers, queue %d)\n", ln.Addr(), *workers, *queueCap)
 	if ready != nil {
 		ready <- ln.Addr().String()

@@ -192,6 +192,93 @@ func TestDaemonDrainSnapshot(t *testing.T) {
 	}
 }
 
+// TestDaemonWALRecovery restarts the daemon over the same WAL
+// directory: a job interrupted mid-run and a job still queued at
+// shutdown must both come back and run to completion in the second
+// process lifetime — zero job loss across the restart.
+func TestDaemonWALRecovery(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	base, cancel, errCh := startDaemon(t,
+		"-workers", "1", "-drain-timeout", "100ms", "-wal", walDir)
+
+	slow := map[string]any{
+		"graph": kGraphText(t, 12),
+		"config": map[string]any{
+			"tile_size": 6, "local_iters": 1, "global_iters": 50000000,
+		},
+	}
+	fast := map[string]any{
+		"graph":    kGraphText(t, 12),
+		"replicas": 2,
+		"seed":     9,
+		"config":   map[string]any{"tile_size": 6, "local_iters": 2, "global_iters": 10},
+	}
+	running := submit(t, base, slow)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v service.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if v.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued := submit(t, base, fast)
+
+	// Stop the daemon mid-queue. The running job is force-cancelled at
+	// an iteration boundary (drain window far below its runtime) and is
+	// journaled terminal; the queued job drains unterminated, which is
+	// exactly what makes it replay.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "drain incomplete") {
+			t.Fatalf("forced drain returned %v, want drain-incomplete error", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
+	}
+
+	// Second lifetime over the same WAL: the queued job replays and
+	// completes; the cancelled in-flight job does not resurrect.
+	base2, cancel2, errCh2 := startDaemon(t, "-workers", "1", "-wal", walDir)
+	v := pollDone(t, base2, queued.ID)
+	if v.State != service.StateDone || v.Result == nil {
+		t.Fatalf("recovered job state %s (err %q), want done with result", v.State, v.Error)
+	}
+	if len(v.Result.BestSpins) != 12 {
+		t.Errorf("recovered result spins length %d, want 12", len(v.Result.BestSpins))
+	}
+	resp, err := http.Get(base2 + "/v1/jobs/" + running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("force-cancelled job %s answered %d after restart; its terminal record should keep it out of replay", running.ID, resp.StatusCode)
+	}
+
+	cancel2()
+	select {
+	case err := <-errCh2:
+		if err != nil {
+			t.Fatalf("second shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second daemon did not exit")
+	}
+}
+
 // TestDaemonFlagErrors checks bad flags fail fast.
 func TestDaemonFlagErrors(t *testing.T) {
 	var out bytes.Buffer

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Per-job event fan-out for the SSE endpoint (GET /v1/jobs/{id}/events).
+// Each job owns one eventHub from admission to terminal; the executing
+// worker publishes progress snapshots into it (reduced from the job's
+// execution-trace stream) and closes it with the final rendered view
+// when the job goes terminal.
+//
+// Backpressure contract: every subscriber has a bounded buffer. A slow
+// client sheds the OLDEST buffered progress event first (the newest
+// snapshot supersedes it — progress is cumulative), and the terminal
+// result is never shed: it travels outside the buffer, as the hub's
+// final payload handed to every subscriber after its channel closes.
+
+// StreamEvent is one server-sent event on a job's stream: a name for
+// the SSE "event:" field and a pre-rendered JSON payload for "data:".
+type StreamEvent struct {
+	Event string
+	Data  []byte
+}
+
+// subscriberBuffer bounds each subscriber's in-flight progress events.
+const subscriberBuffer = 16
+
+type eventHub struct {
+	mu     sync.Mutex
+	subs   map[chan StreamEvent]struct{}
+	closed bool
+	final  []byte
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[chan StreamEvent]struct{})}
+}
+
+// hasSubscribers lets publishers skip snapshot+marshal work when nobody
+// is streaming.
+func (h *eventHub) hasSubscribers() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs) > 0
+}
+
+// subscribe registers a bounded subscriber. On an already-terminal job
+// the returned channel is closed immediately; the terminal payload is
+// available from final().
+func (h *eventHub) subscribe() chan StreamEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan StreamEvent, subscriberBuffer)
+	if h.closed {
+		close(ch)
+		return ch
+	}
+	h.subs[ch] = struct{}{}
+	return ch
+}
+
+// unsubscribe detaches a subscriber; idempotent, and a no-op after the
+// hub closed (close already retired the channel).
+func (h *eventHub) unsubscribe(ch chan StreamEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[ch]; ok {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// publish fans one progress event out to every subscriber. All channel
+// operations are non-blocking and happen under h.mu (which also guards
+// close), so a publish can never block a worker on a slow client and
+// never races a channel close.
+func (h *eventHub) publish(ev StreamEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Buffer full: shed the oldest buffered event, then retry
+			// once. Both selects are non-blocking; if a concurrent drain
+			// emptied-and-refilled the buffer in between, dropping the
+			// newest snapshot instead is equally sound.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// close marks the job terminal: the final payload is retained for every
+// current and future subscriber and all subscriber channels close.
+// Idempotent; only the first final payload sticks.
+func (h *eventHub) close(final []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.final = final
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// finalPayload returns the terminal payload (nil while the job is still
+// live).
+func (h *eventHub) finalPayload() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.final
+}
+
+// Subscription is a live feed of one job's stream events. Receive from
+// C until it closes; a closed C means the job is terminal and Final
+// carries the rendered terminal view. Always Close a subscription when
+// done with it.
+type Subscription struct {
+	// C delivers progress events; closed when the job goes terminal
+	// (or after Close).
+	C  <-chan StreamEvent
+	ch chan StreamEvent
+	h  *eventHub
+}
+
+// Close detaches the subscription from the job's hub.
+func (s *Subscription) Close() { s.h.unsubscribe(s.ch) }
+
+// Final returns the terminal event payload; nil until the job's hub has
+// closed.
+func (s *Subscription) Final() []byte { return s.h.finalPayload() }
+
+// Subscribe attaches a live event subscription to a job. The returned
+// view is the job's state at subscription time (the stream's initial
+// "state" event); for an already-terminal job the subscription's
+// channel is closed and Final is immediately available.
+func (m *Manager) Subscribe(id string) (*Subscription, JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, JobView{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	ch := j.hub.subscribe()
+	return &Subscription{C: ch, ch: ch, h: j.hub}, m.viewLocked(j), nil
+}

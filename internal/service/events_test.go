@@ -1,0 +1,90 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func drain(ch <-chan StreamEvent) []StreamEvent {
+	var out []StreamEvent
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+// TestEventHubDropOldest pins the backpressure policy: a subscriber
+// that stops reading sheds its OLDEST buffered progress events (each
+// snapshot supersedes the last), keeps the newest, and still receives
+// the terminal payload — which travels outside the buffer and can
+// never be shed.
+func TestEventHubDropOldest(t *testing.T) {
+	h := newEventHub()
+	ch := h.subscribe()
+	total := subscriberBuffer + 5
+	for i := 0; i < total; i++ {
+		h.publish(StreamEvent{Event: "progress", Data: []byte(fmt.Sprintf("%d", i))})
+	}
+	h.close([]byte("final"))
+
+	got := drain(ch)
+	if len(got) != subscriberBuffer {
+		t.Fatalf("buffered %d events, want the cap %d", len(got), subscriberBuffer)
+	}
+	// Oldest were shed: the retained window is the newest cap-sized run.
+	if want := fmt.Sprintf("%d", total-subscriberBuffer); string(got[0].Data) != want {
+		t.Errorf("first retained event %s, want %s (drop-oldest)", got[0].Data, want)
+	}
+	if want := fmt.Sprintf("%d", total-1); string(got[len(got)-1].Data) != want {
+		t.Errorf("last retained event %s, want %s", got[len(got)-1].Data, want)
+	}
+	if string(h.finalPayload()) != "final" {
+		t.Errorf("final payload %q survived = false", h.finalPayload())
+	}
+}
+
+// TestEventHubTerminalSemantics: subscribing after close yields a
+// closed channel plus the final payload; publish after close is a
+// no-op; close is idempotent and first-final-wins.
+func TestEventHubTerminalSemantics(t *testing.T) {
+	h := newEventHub()
+	h.close([]byte("first"))
+	h.close([]byte("second"))
+	h.publish(StreamEvent{Event: "progress", Data: []byte("late")})
+
+	ch := h.subscribe()
+	if _, open := <-ch; open {
+		t.Fatal("post-close subscription channel not closed")
+	}
+	if string(h.finalPayload()) != "first" {
+		t.Errorf("final = %q, want the first close to win", h.finalPayload())
+	}
+	if h.hasSubscribers() {
+		t.Error("closed hub reports subscribers")
+	}
+}
+
+// TestEventHubUnsubscribe: a detached subscriber's channel closes and
+// later publishes skip it.
+func TestEventHubUnsubscribe(t *testing.T) {
+	h := newEventHub()
+	ch := h.subscribe()
+	other := h.subscribe()
+	h.unsubscribe(ch)
+	if _, open := <-ch; open {
+		t.Fatal("unsubscribed channel not closed")
+	}
+	h.unsubscribe(ch) // idempotent
+	h.publish(StreamEvent{Event: "progress", Data: []byte("x")})
+	if got := drain(other); len(got) != 1 {
+		t.Fatalf("surviving subscriber got %d events, want 1", len(got))
+	}
+	h.close(nil)
+}

@@ -105,8 +105,9 @@ type ConfigOverrides struct {
 // the resolved problem/config fields are written once at submission and
 // read-only afterwards.
 type job struct {
-	id    string
-	spec  JobSpec
+	id     string
+	tenant string
+	spec   JobSpec
 	g     *graph.Graph
 	model *ising.Model
 	key   solverKey
@@ -134,11 +135,19 @@ type job struct {
 	// queued→running transition under Manager.mu and the reducer itself
 	// is internally synchronized.
 	progress *trace.Progress
+	// hub fans the job's progress stream out to SSE subscribers
+	// (GET /v1/jobs/{id}/events); created at admission, closed with the
+	// final view when the job goes terminal. Internally synchronized.
+	hub *eventHub
+	// restored marks a job re-admitted from the journal after a restart
+	// (Manager.Restore) rather than submitted in this process lifetime.
+	restored bool
 }
 
 // JobView is the JSON face of a job (GET /v1/jobs/{id}).
 type JobView struct {
 	ID              string     `json:"id"`
+	Tenant          string     `json:"tenant,omitempty"`
 	State           State      `json:"state"`
 	SubmittedAt     time.Time  `json:"submitted_at"`
 	StartedAt       *time.Time `json:"started_at,omitempty"`
@@ -201,6 +210,7 @@ type ReplicaView struct {
 func (m *Manager) viewLocked(j *job) JobView {
 	v := JobView{
 		ID:              j.id,
+		Tenant:          j.tenant,
 		State:           j.state,
 		SubmittedAt:     j.submitted,
 		Replicas:        len(j.seeds),

@@ -16,8 +16,12 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,6 +39,23 @@ var (
 	// ErrNotFound reports an unknown or TTL-expired job id (HTTP 404).
 	ErrNotFound = errors.New("no such job")
 )
+
+// Journal observes job lifecycle transitions for durability: the WAL
+// (internal/wal) implements it to make a kill -9 lose nothing. The
+// Manager calls JobSubmitted synchronously before a submission becomes
+// runnable — its return is the durability point a 202 stands on —
+// and JobStarted/JobTerminal from the executing worker, in per-job
+// order. Implementations must be safe for concurrent use.
+type Journal interface {
+	// JobSubmitted records an admitted job durably (fsync before
+	// returning); an error fails the submission.
+	JobSubmitted(j SnapshotJob) error
+	// JobStarted records the queued→running transition (may batch).
+	JobStarted(id string) error
+	// JobTerminal records a terminal transition (may batch); terminal
+	// jobs are dropped by WAL compaction and never replayed.
+	JobTerminal(id string, state State) error
+}
 
 // Config sizes the service. The zero value is usable: every field has a
 // production-lean default applied by NewManager.
@@ -58,6 +79,12 @@ type Config struct {
 	// ProblemDir, when set, is the root for graph_file submissions;
 	// empty disables file references.
 	ProblemDir string
+	// Journal, when set, records every lifecycle transition durably
+	// (the sophied -wal path); nil keeps the queue memory-only.
+	Journal Journal
+	// Tenant configures the per-tenant fair-admission gates; the zero
+	// value disables them.
+	Tenant TenantConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -90,16 +117,26 @@ type Manager struct {
 	start time.Time
 	cache *solverCache
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []*job
-	jobs     map[string]*job
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*job
+	jobs  map[string]*job
+	// depth counts jobs in StateQueued (admitted, not yet picked up by
+	// a worker) — the admission-capacity gauge. It is a counter rather
+	// than a queue-slice scan because a submission is reserved here
+	// before its journal record is fsync'd outside the lock.
+	depth    int
+	tenants  map[string]*tenantState
 	draining bool
 	inFlight int
 	nextID   uint64
 	// counters (guarded by mu; every increment happens on a state
 	// transition that already holds it)
 	nSubmitted, nRejected, nCompleted, nFailed, nCancelled, nTimedOut uint64
+	// restored counts jobs re-admitted from the journal after a restart;
+	// journalErrs counts journal appends that failed (the queue keeps
+	// serving, degraded to memory-only durability for those records).
+	nRestored, nJournalErrs uint64
 	// exchange tallies summed from finished tempering jobs (guarded by mu)
 	nExchanges, nExchangesAccepted uint64
 
@@ -133,6 +170,7 @@ func NewManager(cfg Config) *Manager {
 		start:       time.Now(),
 		cache:       newSolverCache(cfg.SolverCacheSize),
 		jobs:        make(map[string]*job),
+		tenants:     make(map[string]*tenantState),
 		runCtx:      runCtx,
 		runCancel:   runCancel,
 		stopCh:      make(chan struct{}),
@@ -153,34 +191,223 @@ func (m *Manager) Start() {
 	go m.janitor()
 }
 
-// Submit validates and enqueues a job, returning its initial view. A
-// full queue returns ErrQueueFull (the caller should surface
-// backpressure, e.g. HTTP 429 + Retry-After); a draining manager
-// returns ErrDraining; spec problems wrap ErrBadSpec.
+// Submit validates and enqueues a job under the default tenant; see
+// SubmitTenant.
 func (m *Manager) Submit(spec JobSpec) (JobView, error) {
+	return m.SubmitTenant(spec, DefaultTenant)
+}
+
+// SubmitTenant validates and enqueues a job for one tenant, returning
+// its initial view. A full queue returns ErrQueueFull and the tenant
+// gates return ErrRateLimited/ErrShareLimited (all three surface as
+// HTTP 429 + Retry-After); a draining manager returns ErrDraining; spec
+// problems wrap ErrBadSpec. With a Journal configured, the submitted
+// record is fsync'd before the job becomes runnable — when SubmitTenant
+// returns nil, the job survives a kill -9.
+func (m *Manager) SubmitTenant(spec JobSpec, tenant string) (JobView, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if err := ValidateTenant(tenant); err != nil {
+		return JobView{}, err
+	}
 	j, err := m.resolveSpec(spec)
 	if err != nil {
 		return JobView{}, err
 	}
+	j.tenant = tenant
+
+	now := time.Now()
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	ts := m.tenantLocked(tenant, now)
 	if m.draining {
 		m.nRejected++
+		ts.rejectedOther++
+		m.mu.Unlock()
 		return JobView{}, ErrDraining
 	}
-	if m.queueDepthLocked() >= m.cfg.QueueCap {
+	if retry, ok := ts.takeToken(m.cfg.Tenant, now); !ok {
 		m.nRejected++
+		ts.rejectedRate++
+		m.mu.Unlock()
+		return JobView{}, &RateLimitedError{Tenant: tenant, RetryAfterSeconds: retry}
+	}
+	if m.depth >= m.cfg.QueueCap {
+		m.nRejected++
+		ts.rejectedOther++
+		m.mu.Unlock()
 		return JobView{}, ErrQueueFull
 	}
+	if shareCap := m.tenantShareCapLocked(); shareCap > 0 && ts.depth >= shareCap {
+		m.nRejected++
+		ts.rejectedShare++
+		m.mu.Unlock()
+		return JobView{}, &ShareLimitedError{Tenant: tenant, Cap: shareCap}
+	}
+	// Reserve: the job is visible (Get/Cancel work) and counts against
+	// both depth gauges, but is not yet runnable — it enters m.queue
+	// only after its journal record is durable.
 	m.nextID++
 	j.id = fmt.Sprintf("j%08d", m.nextID)
 	j.state = StateQueued
-	j.submitted = time.Now()
+	j.submitted = now
+	j.hub = newEventHub()
 	m.jobs[j.id] = j
-	m.queue = append(m.queue, j)
+	m.depth++
+	ts.depth++
 	m.nSubmitted++
-	m.cond.Signal()
+	ts.submitted++
+	m.mu.Unlock()
+
+	// Durability point: journal the submission outside the lock (the
+	// fsync batch wait must not stall Get/List/Cancel). Replay restores
+	// admission order by sorting on the monotone ids, so concurrent
+	// submissions may land in the log out of order safely.
+	if m.cfg.Journal != nil {
+		if err := m.cfg.Journal.JobSubmitted(SnapshotJob{
+			ID: j.id, Tenant: tenant, SubmittedAt: j.submitted, Spec: spec,
+		}); err != nil {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			m.nJournalErrs++
+			if j.state == StateQueued { // a racing Cancel may have retired it already
+				delete(m.jobs, j.id)
+				m.depth--
+				ts.depth--
+				m.nSubmitted--
+				ts.submitted--
+				m.nRejected++
+				ts.rejectedOther++
+			}
+			return JobView{}, fmt.Errorf("journaling submission: %w", err)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case j.state != StateQueued:
+		// Cancelled while the journal record was in flight; the cancel
+		// path already finalized it.
+	case m.draining:
+		// Drain began while journaling: the job cannot run this process
+		// lifetime, but its submitted record is durable and unterminated,
+		// so a restart over the same journal replays it (the same rule
+		// drain-snapshotted jobs follow).
+		m.terminateQueuedLocked(j, StateCancelled)
+	default:
+		m.queue = append(m.queue, j)
+		m.cond.Signal()
+	}
 	return m.viewLocked(j), nil
+}
+
+// terminateQueuedLocked retires a job that never left the queue
+// (user cancel, drain): terminal state, depth bookkeeping, hub close.
+// The caller holds mu and journals the transition afterwards if wanted.
+func (m *Manager) terminateQueuedLocked(j *job, state State) {
+	j.state = state
+	j.cancelRequested = true
+	j.finished = time.Now()
+	m.depth--
+	m.tenantLocked(j.tenant, j.finished).depth--
+	m.nCancelled++
+	m.closeHubLocked(j)
+}
+
+// closeHubLocked renders the job's final view and closes its event hub
+// with it, releasing every SSE subscriber. The caller holds mu.
+func (m *Manager) closeHubLocked(j *job) {
+	if j.hub == nil {
+		return
+	}
+	final, err := json.Marshal(m.viewLocked(j))
+	if err != nil {
+		// A view is always marshalable; keep the hub contract (closed
+		// with *some* payload) even if that ever changes.
+		final = []byte(fmt.Sprintf(`{"id":%q,"state":%q}`, j.id, j.state))
+	}
+	j.hub.close(final)
+}
+
+// Restore re-admits journal-recovered jobs, idempotent by job id: ids
+// already tracked are skipped, ids re-enter the queue with their
+// original id, tenant, and submission time, and the id counter advances
+// past every restored id so new submissions never collide. Jobs whose
+// spec no longer resolves (a graph_file deleted across the restart, a
+// problem-dir change) are recorded as failed so their ids still answer.
+// Call Restore after NewManager and before Start, in replay order; the
+// recovered jobs execute exactly as if resubmitted. Restored jobs are
+// NOT re-journaled — the journal that produced them already holds their
+// records (wal.Open compacts them into its fresh segment).
+func (m *Manager) Restore(jobs []SnapshotJob) (int, error) {
+	restored := 0
+	var firstErr error
+	for _, sj := range jobs {
+		if sj.ID == "" {
+			continue
+		}
+		j, err := m.resolveSpec(sj.Spec)
+		now := time.Now()
+		m.mu.Lock()
+		if _, dup := m.jobs[sj.ID]; dup {
+			m.mu.Unlock()
+			continue
+		}
+		if n, perr := parseJobID(sj.ID); perr == nil && n > m.nextID {
+			m.nextID = n
+		}
+		tenant := sj.Tenant
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		if err != nil {
+			// The spec no longer resolves in this environment: keep the
+			// id answerable as a failed job instead of dropping it.
+			dead := &job{id: sj.ID, tenant: tenant, spec: sj.Spec,
+				state: StateFailed, submitted: sj.SubmittedAt, finished: now,
+				err: err, hub: newEventHub(), restored: true}
+			m.jobs[sj.ID] = dead
+			m.nFailed++
+			m.nRestored++
+			m.closeHubLocked(dead)
+			// Journal the failure so compaction retires the record and
+			// the next restart does not replay this dead job again.
+			m.journalTerminalLocked(dead.id, StateFailed)
+			m.mu.Unlock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("restoring %s: %w", sj.ID, err)
+			}
+			continue
+		}
+		j.id = sj.ID
+		j.tenant = tenant
+		j.state = StateQueued
+		j.submitted = sj.SubmittedAt
+		if j.submitted.IsZero() {
+			j.submitted = now
+		}
+		j.hub = newEventHub()
+		j.restored = true
+		m.jobs[j.id] = j
+		m.queue = append(m.queue, j)
+		m.depth++
+		m.tenantLocked(tenant, now).depth++
+		m.nRestored++
+		m.cond.Signal()
+		m.mu.Unlock()
+		restored++
+	}
+	return restored, firstErr
+}
+
+// parseJobID inverts the "j%08d" id format.
+func parseJobID(id string) (uint64, error) {
+	digits, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return 0, fmt.Errorf("job id %q does not start with 'j'", id)
+	}
+	return strconv.ParseUint(digits, 10, 64)
 }
 
 // Get returns the current view of a job.
@@ -222,10 +449,8 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 	}
 	switch j.state {
 	case StateQueued:
-		j.state = StateCancelled
-		j.cancelRequested = true
-		j.finished = time.Now()
-		m.nCancelled++
+		m.terminateQueuedLocked(j, StateCancelled)
+		m.journalTerminalLocked(j.id, StateCancelled)
 	case StateRunning:
 		if !j.cancelRequested {
 			j.cancelRequested = true
@@ -248,6 +473,19 @@ func (m *Manager) worker() {
 			return
 		}
 		m.execute(j)
+	}
+}
+
+// journalTerminalLocked records a terminal transition for callers that
+// hold mu. Journal appends on this path are buffered (no fsync wait),
+// so the hold time stays microscopic; errors degrade to a counter —
+// the in-memory lifecycle is already final.
+func (m *Manager) journalTerminalLocked(id string, state State) {
+	if m.cfg.Journal == nil {
+		return
+	}
+	if err := m.cfg.Journal.JobTerminal(id, state); err != nil {
+		m.nJournalErrs++
 	}
 }
 
@@ -283,11 +521,25 @@ func (m *Manager) execute(j *job) {
 	// untouched; the recorder is installed through WithRuntime below,
 	// leaving the cached solver's config pristine for sibling jobs.
 	prog := trace.NewProgress()
+	hub := j.hub
 	rec := trace.NewRecorder(trace.Options{
 		Capacity: 4096,
 		Kinds: trace.KindRunStart.Mask() | trace.KindRunEnd.Mask() |
 			trace.KindEnergy.Mask() | trace.KindExchange.Mask(),
-		OnEvent: prog.Observe,
+		// Every retained event feeds the polling reducer; energy events
+		// additionally fan the reduced snapshot out to SSE subscribers.
+		// Snapshots are rendered only when someone is streaming, and the
+		// reducer's best-energy fold is monotone, so a streamed client
+		// observes a nonincreasing best_energy sequence.
+		OnEvent: func(ev trace.Event) {
+			prog.Observe(ev)
+			if ev.Kind != trace.KindEnergy || !hub.hasSubscribers() {
+				return
+			}
+			if data, err := json.Marshal(prog.Snapshot()); err == nil {
+				hub.publish(StreamEvent{Event: "progress", Data: data})
+			}
+		},
 	})
 
 	m.mu.Lock()
@@ -298,6 +550,8 @@ func (m *Manager) execute(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.progress = prog
+	m.depth--
+	m.tenantLocked(j.tenant, j.started).depth--
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if j.timeout > 0 {
@@ -309,6 +563,13 @@ func (m *Manager) execute(j *job) {
 	m.inFlight++
 	m.mu.Unlock()
 	m.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
+	if m.cfg.Journal != nil {
+		if jerr := m.cfg.Journal.JobStarted(j.id); jerr != nil {
+			m.mu.Lock()
+			m.nJournalErrs++
+			m.mu.Unlock()
+		}
+	}
 
 	solver, err := m.cache.get(j.key, func() (*core.Solver, error) {
 		return core.NewSolver(j.model, j.baseCfg)
@@ -361,6 +622,8 @@ func (m *Manager) execute(j *job) {
 		m.nExchangesAccepted += uint64(res.Tempering.Accepted)
 	}
 	m.inFlight--
+	m.closeHubLocked(j)
+	m.journalTerminalLocked(j.id, j.state)
 	m.mu.Unlock()
 	m.execLatency.Observe(finished.Sub(j.started).Seconds())
 	if res != nil {
@@ -394,17 +657,10 @@ func (m *Manager) sweep(now time.Time) {
 			delete(m.jobs, id)
 		}
 	}
+	m.sweepTenantsLocked(now)
 }
 
-func (m *Manager) queueDepthLocked() int {
-	depth := 0
-	for _, j := range m.queue {
-		if j.state == StateQueued {
-			depth++
-		}
-	}
-	return depth
-}
+func (m *Manager) queueDepthLocked() int { return m.depth }
 
 // StopAdmission closes the front door: subsequent Submit calls return
 // ErrDraining. Idempotent; Shutdown calls it first.
@@ -423,9 +679,12 @@ type QueueSnapshot struct {
 	Jobs    []SnapshotJob `json:"jobs"`
 }
 
-// SnapshotJob is one snapshotted queue entry.
+// SnapshotJob is one snapshotted queue entry. The same JSON shape is
+// the payload of the WAL's submitted records (internal/wal), so a
+// drained snapshot and a replayed journal describe jobs identically.
 type SnapshotJob struct {
 	ID          string    `json:"id"`
+	Tenant      string    `json:"tenant,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	Spec        JobSpec   `json:"spec"`
 }
@@ -446,11 +705,12 @@ func (m *Manager) Shutdown(ctx context.Context) (*QueueSnapshot, error) {
 		if j == nil || j.state != StateQueued {
 			continue
 		}
-		snap.Jobs = append(snap.Jobs, SnapshotJob{ID: j.id, SubmittedAt: j.submitted, Spec: j.spec})
-		j.state = StateCancelled
-		j.cancelRequested = true
-		j.finished = snap.TakenAt
-		m.nCancelled++
+		snap.Jobs = append(snap.Jobs, SnapshotJob{ID: j.id, Tenant: j.tenant, SubmittedAt: j.submitted, Spec: j.spec})
+		// Deliberately NOT journaled terminal: the drained job's
+		// submitted record stays live in the WAL, so a restart over the
+		// same journal re-queues it (replay idempotency rule #3,
+		// DESIGN.md "Durable service layer").
+		m.terminateQueuedLocked(j, StateCancelled)
 	}
 	m.queue = nil
 	m.cond.Broadcast()
@@ -493,14 +753,33 @@ type Stats struct {
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
 	TimedOut  uint64 `json:"timed_out"`
+	// Restored counts jobs re-admitted from the journal after a
+	// restart; JournalErrors counts failed journal appends.
+	Restored      uint64 `json:"restored"`
+	JournalErrors uint64 `json:"journal_errors"`
 	// Exchange tallies summed over finished tempering jobs.
 	Exchanges         uint64 `json:"exchanges"`
 	ExchangesAccepted uint64 `json:"exchanges_accepted"`
+
+	// Tenants is the per-tenant admission picture, keyed by tenant name
+	// (only tenants seen since the last idle sweep appear).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 
 	SolverCache CacheStats                `json:"solver_cache"`
 	Ops         metrics.OpCounts          `json:"ops"`
 	QueueWait   metrics.HistogramSnapshot `json:"queue_wait_seconds"`
 	Exec        metrics.HistogramSnapshot `json:"exec_seconds"`
+}
+
+// TenantNames returns the stats' tenant keys sorted, for deterministic
+// rendering (the Prometheus exposition iterates them).
+func (s Stats) TenantNames() []string {
+	names := make([]string, 0, len(s.Tenants))
+	for name := range s.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Stats returns a consistent snapshot of the service counters.
@@ -520,8 +799,22 @@ func (m *Manager) Stats() Stats {
 		Failed:            m.nFailed,
 		Cancelled:         m.nCancelled,
 		TimedOut:          m.nTimedOut,
+		Restored:          m.nRestored,
+		JournalErrors:     m.nJournalErrs,
 		Exchanges:         m.nExchanges,
 		ExchangesAccepted: m.nExchangesAccepted,
+	}
+	if len(m.tenants) > 0 {
+		s.Tenants = make(map[string]TenantStats, len(m.tenants))
+		for name, ts := range m.tenants {
+			s.Tenants[name] = TenantStats{
+				QueueDepth:    ts.depth,
+				Submitted:     ts.submitted,
+				RejectedRate:  ts.rejectedRate,
+				RejectedShare: ts.rejectedShare,
+				RejectedOther: ts.rejectedOther,
+			}
+		}
 	}
 	m.mu.Unlock()
 	s.SolverCache = m.cache.stats()

@@ -34,6 +34,12 @@ func (p *promWriter) metric(name, typ, help string, value float64) {
 	p.printf("# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, formatPromValue(value))
 }
 
+// family emits only the HELP/TYPE header; sample lines follow via
+// printf. Used for labelled families with one sample per label value.
+func (p *promWriter) family(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
 // histogram emits a conventional cumulative histogram: one _bucket
 // sample per bound (le is inclusive), the +Inf bucket, then _sum and
 // _count.
@@ -65,7 +71,10 @@ func formatPromValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-func writeProm(w io.Writer, s Stats) error {
+// writeProm renders the exposition; httpWriteErrs is the server's
+// response-write failure counter (it lives on the HTTP layer, not in
+// Stats, but belongs on the same scrape).
+func writeProm(w io.Writer, s Stats, httpWriteErrs uint64) error {
 	p := &promWriter{w: w}
 
 	p.metric("sophied_uptime_seconds", "gauge", "Seconds since the service started.", s.UptimeSeconds)
@@ -82,6 +91,31 @@ func writeProm(w io.Writer, s Stats) error {
 	p.metric("sophied_jobs_failed_total", "counter", "Jobs that reached failed.", float64(s.Failed))
 	p.metric("sophied_jobs_cancelled_total", "counter", "Jobs cancelled by users or drain.", float64(s.Cancelled))
 	p.metric("sophied_jobs_timed_out_total", "counter", "Jobs cut short by their deadline.", float64(s.TimedOut))
+	p.metric("sophied_jobs_restored_total", "counter", "Jobs re-admitted from the journal after a restart.", float64(s.Restored))
+	p.metric("sophied_journal_errors_total", "counter", "Journal appends that failed (durability degraded for those records).", float64(s.JournalErrors))
+	p.metric("sophied_http_write_errors_total", "counter", "HTTP response bodies that failed to write or encode.", float64(httpWriteErrs))
+
+	// Per-tenant admission series, one sample per tenant seen since the
+	// last idle sweep; names are validated into the Prometheus-safe
+	// [A-Za-z0-9._-] alphabet at submission (ValidateTenant).
+	if len(s.Tenants) > 0 {
+		names := s.TenantNames()
+		p.family("sophied_tenant_queue_depth", "gauge", "Queued jobs per tenant.")
+		for _, name := range names {
+			p.printf("sophied_tenant_queue_depth{tenant=%q} %d\n", name, s.Tenants[name].QueueDepth)
+		}
+		p.family("sophied_tenant_jobs_submitted_total", "counter", "Jobs accepted per tenant.")
+		for _, name := range names {
+			p.printf("sophied_tenant_jobs_submitted_total{tenant=%q} %d\n", name, s.Tenants[name].Submitted)
+		}
+		p.family("sophied_tenant_jobs_rejected_total", "counter", "Submissions rejected per tenant by reason.")
+		for _, name := range names {
+			ts := s.Tenants[name]
+			p.printf("sophied_tenant_jobs_rejected_total{tenant=%q,reason=\"rate\"} %d\n", name, ts.RejectedRate)
+			p.printf("sophied_tenant_jobs_rejected_total{tenant=%q,reason=\"share\"} %d\n", name, ts.RejectedShare)
+			p.printf("sophied_tenant_jobs_rejected_total{tenant=%q,reason=\"other\"} %d\n", name, ts.RejectedOther)
+		}
+	}
 
 	p.metric("sophied_exchanges_attempted_total", "counter", "Tempering replica exchanges attempted across finished jobs.", float64(s.Exchanges))
 	p.metric("sophied_exchanges_accepted_total", "counter", "Tempering replica exchanges accepted across finished jobs.", float64(s.ExchangesAccepted))

@@ -19,7 +19,7 @@ func TestWritePromCumulativeBuckets(t *testing.T) {
 		Sum:    42.5,
 	}
 	var b strings.Builder
-	if err := writeProm(&b, s); err != nil {
+	if err := writeProm(&b, s, 0); err != nil {
 		t.Fatalf("writeProm: %v", err)
 	}
 	out := b.String()
@@ -44,8 +44,11 @@ func TestWritePromCumulativeBuckets(t *testing.T) {
 func TestWritePromWellFormed(t *testing.T) {
 	s := Stats{UptimeSeconds: 1.5, QueueDepth: 2, Submitted: 9, Draining: true}
 	s.Ops.LocalMVM1b = 123
+	s.Tenants = map[string]TenantStats{
+		"acme": {QueueDepth: 3, Submitted: 5, RejectedRate: 1, RejectedShare: 2},
+	}
 	var b strings.Builder
-	if err := writeProm(&b, s); err != nil {
+	if err := writeProm(&b, s, 4); err != nil {
 		t.Fatalf("writeProm: %v", err)
 	}
 	out := b.String()
@@ -78,6 +81,12 @@ func TestWritePromWellFormed(t *testing.T) {
 		"sophied_draining 1",
 		"sophied_ops_local_mvm_1b_total 123",
 		"sophied_queue_wait_seconds_count 0",
+		"sophied_http_write_errors_total 4",
+		`sophied_tenant_queue_depth{tenant="acme"} 3`,
+		`sophied_tenant_jobs_submitted_total{tenant="acme"} 5`,
+		`sophied_tenant_jobs_rejected_total{tenant="acme",reason="rate"} 1`,
+		`sophied_tenant_jobs_rejected_total{tenant="acme",reason="share"} 2`,
+		`sophied_tenant_jobs_rejected_total{tenant="acme",reason="other"} 0`,
 	} {
 		if !strings.Contains(out, want+"\n") {
 			t.Errorf("exposition missing %q", want)
@@ -88,7 +97,7 @@ func TestWritePromWellFormed(t *testing.T) {
 // TestWritePromPropagatesWriteErrors: a failing scrape connection must
 // surface instead of being swallowed.
 func TestWritePromPropagatesWriteErrors(t *testing.T) {
-	if err := writeProm(&failingWriter{}, Stats{}); err == nil {
+	if err := writeProm(&failingWriter{}, Stats{}, 0); err == nil {
 		t.Fatal("writeProm on a failing writer returned nil")
 	}
 }

@@ -9,91 +9,159 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // HTTP JSON API over a Manager.
 //
-//	POST   /v1/jobs       submit a job (202; 400 bad spec; 429 full + Retry-After; 503 draining)
-//	GET    /v1/jobs       list jobs (results stripped)
-//	GET    /v1/jobs/{id}  job state + result (404 unknown/expired)
-//	DELETE /v1/jobs/{id}  cancel (idempotent; 404 unknown/expired)
-//	GET    /healthz       liveness + basic gauges
-//	GET    /metrics       Stats: counters, merged OpCounts, latency histograms
+//	POST   /v1/jobs              submit a job (202; 400 bad spec; 429 full/rate/share + Retry-After; 503 draining + Retry-After)
+//	GET    /v1/jobs              list jobs (results stripped)
+//	GET    /v1/jobs/{id}         job state + result (404 unknown/expired)
+//	GET    /v1/jobs/{id}/events  SSE stream: state, progress, heartbeat, result events
+//	DELETE /v1/jobs/{id}         cancel (idempotent; 404 unknown/expired)
+//	GET    /healthz              readiness: 200 while admitting, 503 "draining" once a drain begins
+//	GET    /livez                liveness: 200 for as long as the process serves
+//	GET    /metrics              Stats: counters, merged OpCounts, latency histograms
 //
-// All responses are JSON. Errors use {"error": "..."} with the status
-// code carrying the class. /metrics alone is dual-format: an Accept
-// header naming text/plain, or ?format=prom, switches it to Prometheus
-// text exposition (version 0.0.4) for scrapers.
+// Submissions may carry an X-Tenant header naming the tenant the
+// per-tenant admission gates account against; absent means "default".
+//
+// All responses are JSON except the SSE stream. Errors use
+// {"error": "..."} with the status code carrying the class. /metrics
+// alone is dual-format: an Accept header naming text/plain, or
+// ?format=prom, switches it to Prometheus text exposition (version
+// 0.0.4) for scrapers.
 
 // maxRequestBytes bounds a submission body; inline graphs of every
 // GSET instance fit comfortably, while a runaway upload cannot exhaust
 // the server.
 const maxRequestBytes = 32 << 20
 
+// defaultHeartbeat paces SSE keepalive events when no progress flows.
+const defaultHeartbeat = 15 * time.Second
+
+// ServerOption customizes NewServer.
+type ServerOption func(*server)
+
+// WithHeartbeat sets the SSE keepalive period (default 15s).
+func WithHeartbeat(d time.Duration) ServerOption {
+	return func(s *server) {
+		if d > 0 {
+			s.heartbeat = d
+		}
+	}
+}
+
+// WithErrorHook installs a callback observing response-write failures
+// (the errors writeJSON used to swallow); it runs on request goroutines
+// and must be safe for concurrent use. The write-error counter on
+// /metrics increments regardless of the hook.
+func WithErrorHook(fn func(error)) ServerOption {
+	return func(s *server) { s.onError = fn }
+}
+
 // NewServer wraps a Manager in its HTTP API.
-func NewServer(m *Manager) http.Handler {
-	s := &server{m: m}
+func NewServer(m *Manager, opts ...ServerOption) http.Handler {
+	s := &server{m: m, heartbeat: defaultHeartbeat}
+	for _, opt := range opts {
+		opt(s)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /livez", s.livez)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
 
 type server struct {
-	m *Manager
+	m         *Manager
+	heartbeat time.Duration
+	onError   func(error)
+	// writeErrs counts response-body write/encode failures (client gone
+	// mid-response, broken pipe); exposed on /metrics.
+	writeErrs atomic.Uint64
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// noteWriteError funnels every response-write failure through one
+// place: the counter always, the hook when installed.
+func (s *server) noteWriteError(err error) {
+	if err == nil {
+		return
+	}
+	s.writeErrs.Add(1)
+	if s.onError != nil {
+		s.onError(err)
+	}
+}
+
+// writeJSON renders a response body. Encode errors past the header
+// write are unrecoverable mid-body (the client sees a truncated
+// response), but they no longer vanish: they feed the write-error
+// counter and hook.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encode errors past the header write are unrecoverable mid-body;
-	// the client sees a truncated response and its JSON decode fails.
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.noteWriteError(fmt.Errorf("encoding %d response: %w", status, err))
+	}
 }
 
 type errorBody struct {
 	Error string `json:"error"`
-	// RetryAfterSeconds mirrors the Retry-After header on 429s for
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503 for
 	// clients that only read bodies.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// retryJSON renders a backpressure rejection: Retry-After header plus
+// the mirrored body field.
+func (s *server) retryJSON(w http.ResponseWriter, status int, err error, retry int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	s.writeJSON(w, status, errorBody{Error: err.Error(), RetryAfterSeconds: retry})
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: fmt.Sprintf("request body: %v", err)})
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: fmt.Sprintf("request body: %v", err)})
 		return
 	}
 	var spec JobSpec
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding job spec: %v", err)})
 		return
 	}
-	view, err := s.m.Submit(spec)
+	view, err := s.m.SubmitTenant(spec, r.Header.Get("X-Tenant"))
+	var rateErr *RateLimitedError
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusAccepted, view)
-	case errors.Is(err, ErrQueueFull):
-		retry := s.m.RetryAfterHint()
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfterSeconds: retry})
+		s.writeJSON(w, http.StatusAccepted, view)
+	case errors.As(err, &rateErr):
+		// The tenant's bucket knows exactly when it refills.
+		s.retryJSON(w, http.StatusTooManyRequests, err, rateErr.RetryAfterSeconds)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShareLimited):
+		s.retryJSON(w, http.StatusTooManyRequests, err, s.m.RetryAfterHint())
 	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		// Draining precedes a restart; the same latency-based hint tells
+		// the client when the successor is likely admitting again.
+		s.retryJSON(w, http.StatusServiceUnavailable, err, s.m.RetryAfterHint())
 	case errors.Is(err, ErrBadSpec):
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
 }
 
 func (s *server) list(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
+	s.writeJSON(w, http.StatusOK, struct {
 		Jobs []JobView `json:"jobs"`
 	}{Jobs: s.m.List()})
 }
@@ -101,28 +169,94 @@ func (s *server) list(w http.ResponseWriter, _ *http.Request) {
 func (s *server) get(w http.ResponseWriter, r *http.Request) {
 	view, err := s.m.Get(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, view)
+	s.writeJSON(w, http.StatusOK, view)
 }
 
 func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	view, err := s.m.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, view)
+	s.writeJSON(w, http.StatusOK, view)
 }
 
+// events serves GET /v1/jobs/{id}/events as text/event-stream: an
+// initial "state" event with the job's current view, "progress" events
+// as the batch evaluates (monotone best energy), "heartbeat" events
+// across quiet stretches, and a final "result" event carrying the
+// terminal view — after which the stream ends. Slow clients shed oldest
+// progress first and never the result (see eventHub).
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: "response writer cannot stream"})
+		return
+	}
+	sub, view, err := s.m.Subscribe(r.PathValue("id"))
+	if err != nil {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, data []byte) bool {
+		if _, werr := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); werr != nil {
+			s.noteWriteError(fmt.Errorf("sse %s event: %w", event, werr))
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	initial, merr := json.Marshal(view)
+	if merr != nil || !send("state", initial) {
+		return
+	}
+
+	hb := time.NewTicker(s.heartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-hb.C:
+			if !send("heartbeat", []byte(fmt.Sprintf(`{"time":%q}`, now.UTC().Format(time.RFC3339)))) {
+				return
+			}
+		case ev, open := <-sub.C:
+			if !open {
+				// Terminal: the final view travels outside the bounded
+				// buffer, so it is never shed.
+				send("result", sub.Final())
+				return
+			}
+			if !send(ev.Event, ev.Data) {
+				return
+			}
+		}
+	}
+}
+
+// healthz is the READINESS probe: once a drain begins the service
+// cannot admit work, and load balancers should route elsewhere — hence
+// 503 with "draining" while poll/cancel endpoints keep answering.
 func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.m.Stats()
-	status := "ok"
+	status, code := "ok", http.StatusOK
 	if st.Draining {
-		status = "draining"
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, struct {
+	s.writeJSON(w, code, struct {
 		Status        string  `json:"status"`
 		UptimeSeconds float64 `json:"uptime_seconds"`
 		QueueDepth    int     `json:"queue_depth"`
@@ -130,16 +264,31 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 	}{Status: status, UptimeSeconds: st.UptimeSeconds, QueueDepth: st.QueueDepth, InFlight: st.InFlight})
 }
 
+// livez is the LIVENESS probe: 200 for as long as the process can
+// answer at all, draining included — a restart-the-pod signal only when
+// it stops responding entirely.
+func (s *server) livez(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}{Status: "alive", UptimeSeconds: time.Since(s.m.start).Seconds()})
+}
+
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.m.Stats()
+	writeErrs := s.writeErrs.Load()
 	if wantsProm(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		// Write errors past the header are unrecoverable mid-body, same
-		// as writeJSON: the scraper sees a truncated exposition.
-		_ = writeProm(w, s.m.Stats())
+		if err := writeProm(w, st, writeErrs); err != nil {
+			s.noteWriteError(fmt.Errorf("prometheus exposition: %w", err))
+		}
 		return
 	}
-	writeJSON(w, http.StatusOK, s.m.Stats())
+	s.writeJSON(w, http.StatusOK, struct {
+		Stats
+		HTTPWriteErrors uint64 `json:"http_write_errors"`
+	}{Stats: st, HTTPWriteErrors: writeErrs})
 }
 
 // wantsProm decides the /metrics rendering: ?format=prom forces the

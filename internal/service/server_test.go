@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -282,17 +284,319 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 		t.Error("list should strip result payloads")
 	}
 
-	// Draining flips healthz.
+	// Draining flips readiness to 503 "draining" (load balancers must
+	// route away), while liveness stays 200 (the pod is fine).
 	m.StopAdmission()
 	resp, err = http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatalf("GET /healthz draining: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status %d, want 503", resp.StatusCode)
 	}
 	hz = decodeInto[struct {
 		Status string `json:"status"`
 	}](t, resp)
 	if hz.Status != "draining" {
 		t.Errorf("healthz status %q after StopAdmission, want draining", hz.Status)
+	}
+	resp, err = http.Get(srv.URL + "/livez")
+	if err != nil {
+		t.Fatalf("GET /livez draining: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("draining livez status %d, want 200", resp.StatusCode)
+	}
+	lz := decodeInto[struct {
+		Status string `json:"status"`
+	}](t, resp)
+	if lz.Status != "alive" {
+		t.Errorf("livez status %q, want alive", lz.Status)
+	}
+}
+
+// TestServerHealthzTransition pins the readiness status-code flip:
+// 200 while admitting, 503 the moment a drain begins.
+func TestServerHealthzTransition(t *testing.T) {
+	srv, m := testServer(t, Config{Workers: 1})
+	get := func() int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		_ = resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d, want 200", code)
+	}
+	m.StopAdmission()
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after StopAdmission: %d, want 503", code)
+	}
+}
+
+// TestServerDraining503RetryAfter: a draining submit is a backpressure
+// rejection like any other — it must carry the Retry-After header and
+// the mirrored body field, matching the 429 contract.
+func TestServerDraining503RetryAfter(t *testing.T) {
+	srv, m := testServer(t, Config{Workers: 1})
+	m.StopAdmission()
+	resp := postJSON(t, srv.URL+"/v1/jobs", fastSpec(t))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit status %d, want 503", resp.StatusCode)
+	}
+	retryHeader := resp.Header.Get("Retry-After")
+	if retryHeader == "" {
+		t.Error("503 without Retry-After header")
+	}
+	body := decodeInto[errorBody](t, resp)
+	if body.RetryAfterSeconds < 1 {
+		t.Errorf("retry_after_seconds = %d, want >= 1", body.RetryAfterSeconds)
+	}
+	if fmt.Sprint(body.RetryAfterSeconds) != retryHeader {
+		t.Errorf("header Retry-After %q disagrees with body %d", retryHeader, body.RetryAfterSeconds)
+	}
+	if !strings.Contains(body.Error, "draining") {
+		t.Errorf("error body %q does not mention draining", body.Error)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+// readSSE consumes a text/event-stream body until the stream ends or
+// maxEvents arrive.
+func readSSE(t *testing.T, body io.Reader, maxEvents int) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+				if len(events) >= maxEvents {
+					return events
+				}
+			}
+		}
+	}
+	return events
+}
+
+// TestServerSSEStream subscribes to a running job's event stream and
+// checks the full shape: an initial state event, progress events whose
+// best_energy is monotone nonincreasing (the reducer's fold is a min),
+// and a final result event carrying the terminal view, after which the
+// stream closes.
+func TestServerSSEStream(t *testing.T) {
+	srv, m := testServer(t, Config{Workers: 1})
+	// Park a blocker on the single worker so the target job stays queued
+	// until the subscription is attached — every progress event of the
+	// target is then observable, race-free.
+	blocker := decodeInto[JobView](t, postJSON(t, srv.URL+"/v1/jobs", slowSpec(t)))
+	httpWaitState(t, srv.URL, blocker.ID, StateRunning)
+	spec := fastSpec(t)
+	spec.Config.GlobalIters = intp(400)
+	sub := decodeInto[JobView](t, postJSON(t, srv.URL+"/v1/jobs", spec))
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type %q", ct)
+	}
+	if _, err := m.Cancel(blocker.ID); err != nil {
+		t.Fatalf("releasing blocker: %v", err)
+	}
+
+	events := readSSE(t, resp.Body, 10_000)
+	if len(events) < 2 {
+		t.Fatalf("stream delivered %d events, want state + result at least", len(events))
+	}
+	if events[0].event != "state" {
+		t.Fatalf("first event %q, want state", events[0].event)
+	}
+	last := events[len(events)-1]
+	if last.event != "result" {
+		t.Fatalf("last event %q, want result", last.event)
+	}
+	var final JobView
+	if err := json.Unmarshal([]byte(last.data), &final); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("result event state %s (result nil: %v), want done with result", final.State, final.Result == nil)
+	}
+
+	prev := 0.0
+	sawProgress := false
+	for _, ev := range events[1 : len(events)-1] {
+		if ev.event != "progress" {
+			continue
+		}
+		var p struct {
+			BestEnergy float64 `json:"best_energy"`
+		}
+		if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
+			t.Fatalf("progress payload %q: %v", ev.data, err)
+		}
+		if sawProgress && p.BestEnergy > prev {
+			t.Errorf("best_energy regressed %v -> %v; the reducer fold must be monotone", prev, p.BestEnergy)
+		}
+		prev = p.BestEnergy
+		sawProgress = true
+	}
+	if !sawProgress {
+		t.Error("stream carried no progress events for a multi-iteration job")
+	}
+	if final.Result.BestEnergy > prev {
+		t.Errorf("final best %v worse than last streamed progress %v", final.Result.BestEnergy, prev)
+	}
+}
+
+// TestServerSSETerminalJob: subscribing to an already-finished job must
+// immediately deliver state + result and end the stream — no hang, no
+// heartbeat wait.
+func TestServerSSETerminalJob(t *testing.T) {
+	srv, _ := testServer(t, Config{Workers: 1})
+	sub := decodeInto[JobView](t, postJSON(t, srv.URL+"/v1/jobs", fastSpec(t)))
+	httpWaitState(t, srv.URL, sub.ID, StateDone)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/jobs/"+sub.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	events := readSSE(t, resp.Body, 10)
+	if len(events) != 2 || events[0].event != "state" || events[1].event != "result" {
+		t.Fatalf("terminal-job stream = %+v, want exactly [state, result]", events)
+	}
+
+	// Unknown job: 404, not a stream.
+	resp404, err := http.Get(srv.URL + "/v1/jobs/j99999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Errorf("events on unknown job: status %d, want 404", resp404.StatusCode)
+	}
+}
+
+// TestServerTenantRejections drives both tenant gates over HTTP: the
+// token bucket maps to 429 with the bucket's own retry hint, the
+// queue-share cap to 429 with the service hint, and the default tenant
+// label lands in the Prometheus exposition.
+func TestServerTenantRejections(t *testing.T) {
+	srv, m := testServer(t, Config{
+		Workers:  1,
+		QueueCap: 4,
+		Tenant:   TenantConfig{Rate: 0.01, Burst: 1, MaxQueueShare: 0.25},
+	})
+	submit := func(tenant string) *http.Response {
+		t.Helper()
+		buf, err := json.Marshal(slowSpec(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("submit as %q: %v", tenant, err)
+		}
+		return resp
+	}
+
+	// Burst 1: the first submission passes, the second trips the bucket.
+	first := submit("alice")
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d, want 202", first.StatusCode)
+	}
+	v := decodeInto[JobView](t, first)
+	if v.Tenant != "alice" {
+		t.Errorf("accepted job tenant %q, want alice", v.Tenant)
+	}
+	second := submit("alice")
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited submit status %d, want 429", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Error("rate-limited 429 without Retry-After")
+	}
+	body := decodeInto[errorBody](t, second)
+	if !strings.Contains(body.Error, "rate limit") || body.RetryAfterSeconds < 1 {
+		t.Errorf("rate-limit body = %+v", body)
+	}
+
+	// A different tenant is unaffected (fairness): bob's bucket is his own.
+	third := submit("bob")
+	if third.StatusCode != http.StatusAccepted {
+		t.Fatalf("bob's submit status %d, want 202", third.StatusCode)
+	}
+	bobV := decodeInto[JobView](t, third)
+
+	// Invalid tenant names are 400s.
+	bad := submit("sneaky tenant!")
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid tenant status %d, want 400", bad.StatusCode)
+	}
+	_ = bad.Body.Close()
+
+	// Tenant series appear on the exposition with validated labels.
+	resp, err := http.Get(srv.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promBody bytes.Buffer
+	if _, err := promBody.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	for _, want := range []string{
+		`sophied_tenant_jobs_submitted_total{tenant="alice"} 1`,
+		`sophied_tenant_jobs_rejected_total{tenant="alice",reason="rate"} 1`,
+		`sophied_tenant_jobs_submitted_total{tenant="bob"} 1`,
+	} {
+		if !strings.Contains(promBody.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	for _, id := range []string{v.ID, bobV.ID} {
+		if _, err := m.Cancel(id); err != nil {
+			t.Fatalf("cleanup cancel: %v", err)
+		}
 	}
 }
 

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Per-tenant fair admission. Every submission names a tenant (the HTTP
+// layer reads X-Tenant; an absent header maps to DefaultTenant) and
+// passes two tenant-scoped gates before the global bounded queue:
+//
+//  1. a token-bucket rate limiter (TenantConfig.Rate / Burst) bounding
+//     sustained submissions per second per tenant, and
+//  2. a queue-share cap (TenantConfig.MaxQueueShare) bounding the
+//     fraction of the admission queue any single tenant may occupy, so
+//     one chatty tenant cannot starve the rest even while the global
+//     queue has room.
+//
+// Both gates reject with tenant-scoped 429 errors carrying a
+// Retry-After hint; per-tenant counters feed the tenants block of
+// Stats and the tenant-labelled series on /metrics.
+
+// DefaultTenant is the tenant of submissions that name none.
+const DefaultTenant = "default"
+
+// Sentinel errors for the tenant gates; the HTTP layer maps both to
+// 429. Wrap-aware callers use errors.As on the concrete types for the
+// retry hint.
+var (
+	// ErrRateLimited reports a tenant over its submission rate.
+	ErrRateLimited = errors.New("tenant rate limit exceeded")
+	// ErrShareLimited reports a tenant at its queue-share cap.
+	ErrShareLimited = errors.New("tenant queue share exhausted")
+)
+
+// RateLimitedError is the concrete ErrRateLimited: it carries when the
+// tenant's bucket will next hold a token.
+type RateLimitedError struct {
+	Tenant            string
+	RetryAfterSeconds int
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("tenant %q rate limit exceeded, retry in %ds", e.Tenant, e.RetryAfterSeconds)
+}
+
+// Unwrap ties the concrete error to the ErrRateLimited sentinel.
+func (e *RateLimitedError) Unwrap() error { return ErrRateLimited }
+
+// ShareLimitedError is the concrete ErrShareLimited: the tenant already
+// holds Cap queued jobs.
+type ShareLimitedError struct {
+	Tenant string
+	Cap    int
+}
+
+func (e *ShareLimitedError) Error() string {
+	return fmt.Sprintf("tenant %q holds its full queue share (%d queued jobs)", e.Tenant, e.Cap)
+}
+
+// Unwrap ties the concrete error to the ErrShareLimited sentinel.
+func (e *ShareLimitedError) Unwrap() error { return ErrShareLimited }
+
+// TenantConfig sizes the per-tenant admission gates. The zero value
+// disables both: all tenants share only the global queue bound.
+type TenantConfig struct {
+	// Rate is the sustained submissions/second one tenant may make;
+	// 0 disables rate limiting.
+	Rate float64
+	// Burst is the token-bucket capacity (instantaneous burst above the
+	// sustained rate); <= 0 defaults to max(1, ceil(Rate)).
+	Burst int
+	// MaxQueueShare is the fraction of QueueCap one tenant may occupy
+	// (floored at one job so every tenant can always queue something);
+	// 0 disables the share cap.
+	MaxQueueShare float64
+}
+
+// burst resolves the effective bucket capacity.
+func (c TenantConfig) burst() float64 {
+	if c.Burst > 0 {
+		return float64(c.Burst)
+	}
+	if b := math.Ceil(c.Rate); b > 1 {
+		return b
+	}
+	return 1
+}
+
+// ValidateTenant bounds tenant names so they stay safe as Prometheus
+// label values and map keys: 1..64 characters from [A-Za-z0-9._-].
+// Violations wrap ErrBadSpec (HTTP 400).
+func ValidateTenant(name string) error {
+	if name == "" || len(name) > 64 {
+		return specErrorf("tenant name must be 1..64 characters, got %d", len(name))
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return specErrorf("tenant name %q: character %q outside [A-Za-z0-9._-]", name, r)
+		}
+	}
+	return nil
+}
+
+// tenantState is one tenant's admission-control record, guarded by
+// Manager.mu like the rest of the admission state.
+type tenantState struct {
+	// tokens/last implement the token bucket; tokens refills at
+	// TenantConfig.Rate up to the burst capacity.
+	tokens float64
+	last   time.Time
+	// depth counts the tenant's jobs currently in StateQueued (the
+	// queue-share gate input).
+	depth int
+	// lastSeen lets the janitor evict long-idle tenant records.
+	lastSeen time.Time
+
+	submitted     uint64
+	rejectedRate  uint64
+	rejectedShare uint64
+	rejectedOther uint64 // queue-full and draining rejections attributed to the tenant
+}
+
+// tenantLocked returns (creating if needed) the tenant's record; the
+// caller holds Manager.mu.
+func (m *Manager) tenantLocked(name string, now time.Time) *tenantState {
+	ts, ok := m.tenants[name]
+	if !ok {
+		ts = &tenantState{tokens: m.cfg.Tenant.burst(), last: now}
+		m.tenants[name] = ts
+	}
+	ts.lastSeen = now
+	return ts
+}
+
+// takeToken runs the rate-limit gate: refill by elapsed wall time, then
+// spend one token. On an empty bucket it reports how many whole seconds
+// until the next token accrues (minimum 1). The caller holds Manager.mu.
+func (ts *tenantState) takeToken(cfg TenantConfig, now time.Time) (retryAfter int, ok bool) {
+	if cfg.Rate <= 0 {
+		return 0, true
+	}
+	elapsed := now.Sub(ts.last).Seconds()
+	if elapsed > 0 {
+		ts.tokens = math.Min(cfg.burst(), ts.tokens+elapsed*cfg.Rate)
+		ts.last = now
+	}
+	if ts.tokens >= 1 {
+		ts.tokens--
+		return 0, true
+	}
+	retry := int(math.Ceil((1 - ts.tokens) / cfg.Rate))
+	if retry < 1 {
+		retry = 1
+	}
+	return retry, false
+}
+
+// tenantShareCapLocked resolves the per-tenant queued-job cap; 0 means
+// the share gate is disabled. The caller holds Manager.mu.
+func (m *Manager) tenantShareCapLocked() int {
+	share := m.cfg.Tenant.MaxQueueShare
+	if share <= 0 {
+		return 0
+	}
+	c := int(share * float64(m.cfg.QueueCap))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// sweepTenantsLocked evicts tenant records that have been idle (no
+// queued jobs, nothing submitted) for longer than ResultTTL, bounding
+// the admission table against tenant-name churn. Eviction resets that
+// tenant's counters — the same lifecycle its jobs' results have.
+func (m *Manager) sweepTenantsLocked(now time.Time) {
+	for name, ts := range m.tenants {
+		if ts.depth == 0 && now.Sub(ts.lastSeen) > m.cfg.ResultTTL {
+			delete(m.tenants, name)
+		}
+	}
+}
+
+// TenantStats is one tenant's slice of the Stats payload.
+type TenantStats struct {
+	QueueDepth    int    `json:"queue_depth"`
+	Submitted     uint64 `json:"submitted"`
+	RejectedRate  uint64 `json:"rejected_rate_limited"`
+	RejectedShare uint64 `json:"rejected_share_limited"`
+	RejectedOther uint64 `json:"rejected_other"`
+}

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTenantRateLimit drives the token bucket directly: burst passes,
+// the next submission is rejected with a concrete RateLimitedError
+// unwrapping to ErrRateLimited, and other tenants are untouched.
+func TestTenantRateLimit(t *testing.T) {
+	// Never Start(): jobs stay queued, so only admission logic runs.
+	m := NewManager(Config{Tenant: TenantConfig{Rate: 0.001, Burst: 2}})
+	for i := 0; i < 2; i++ {
+		if _, err := m.SubmitTenant(fastSpec(t), "alice"); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	_, err := m.SubmitTenant(fastSpec(t), "alice")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-burst err = %v, want ErrRateLimited", err)
+	}
+	var rl *RateLimitedError
+	if !errors.As(err, &rl) || rl.Tenant != "alice" || rl.RetryAfterSeconds < 1 {
+		t.Fatalf("rate error detail = %+v", rl)
+	}
+	// Fairness: bob's bucket is independent.
+	if _, err := m.SubmitTenant(fastSpec(t), "bob"); err != nil {
+		t.Fatalf("bob blocked by alice's bucket: %v", err)
+	}
+	st := m.Stats()
+	if ts := st.Tenants["alice"]; ts.Submitted != 2 || ts.RejectedRate != 1 {
+		t.Errorf("alice stats = %+v, want 2 submitted / 1 rate-rejected", ts)
+	}
+	if names := st.TenantNames(); len(names) != 2 || names[0] != "alice" || names[1] != "bob" {
+		t.Errorf("TenantNames() = %v, want sorted [alice bob]", names)
+	}
+}
+
+// TestTenantTokenRefill: the bucket refills with wall time at Rate.
+func TestTenantTokenRefill(t *testing.T) {
+	ts := &tenantState{tokens: 0, last: time.Unix(1000, 0)}
+	cfg := TenantConfig{Rate: 2, Burst: 4}
+	if retry, ok := ts.takeToken(cfg, time.Unix(1000, 0)); ok || retry < 1 {
+		t.Fatalf("empty bucket: ok=%v retry=%d", ok, retry)
+	}
+	// 1s at 2 tokens/s accrues 2 tokens.
+	if _, ok := ts.takeToken(cfg, time.Unix(1001, 0)); !ok {
+		t.Fatal("bucket did not refill after 1s")
+	}
+	if _, ok := ts.takeToken(cfg, time.Unix(1001, 0)); !ok {
+		t.Fatal("second accrued token missing")
+	}
+	if retry, ok := ts.takeToken(cfg, time.Unix(1001, 0)); ok || retry != 1 {
+		t.Fatalf("drained again: ok=%v retry=%d, want rejection with 1s hint", ok, retry)
+	}
+	// 10s refill caps at Burst, not 20.
+	for i := 0; i < 4; i++ {
+		if _, ok := ts.takeToken(cfg, time.Unix(1011, 0)); !ok {
+			t.Fatalf("burst token %d missing", i)
+		}
+	}
+	if _, ok := ts.takeToken(cfg, time.Unix(1011, 0)); ok {
+		t.Fatal("bucket exceeded its burst capacity")
+	}
+}
+
+// TestTenantShareCap: one tenant cannot occupy more than its share of
+// the queue while other tenants still get in.
+func TestTenantShareCap(t *testing.T) {
+	m := NewManager(Config{QueueCap: 8, Tenant: TenantConfig{MaxQueueShare: 0.25}})
+	// Cap = 2 queued jobs per tenant.
+	for i := 0; i < 2; i++ {
+		if _, err := m.SubmitTenant(fastSpec(t), "alice"); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_, err := m.SubmitTenant(fastSpec(t), "alice")
+	if !errors.Is(err, ErrShareLimited) {
+		t.Fatalf("over-share err = %v, want ErrShareLimited", err)
+	}
+	var sl *ShareLimitedError
+	if !errors.As(err, &sl) || sl.Tenant != "alice" || sl.Cap != 2 {
+		t.Fatalf("share error detail = %+v", sl)
+	}
+	if _, err := m.SubmitTenant(fastSpec(t), "bob"); err != nil {
+		t.Fatalf("bob blocked by alice's share: %v", err)
+	}
+	if ts := m.Stats().Tenants["alice"]; ts.QueueDepth != 2 || ts.RejectedShare != 1 {
+		t.Errorf("alice stats = %+v, want depth 2 / 1 share-rejected", ts)
+	}
+}
+
+// TestValidateTenant pins the label-safe alphabet.
+func TestValidateTenant(t *testing.T) {
+	for _, ok := range []string{"default", "a", "Team-7.staging_x", "0"} {
+		if err := ValidateTenant(ok); err != nil {
+			t.Errorf("ValidateTenant(%q) = %v, want nil", ok, err)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "quo\"te", "new\nline", "ütf", string(long)} {
+		err := ValidateTenant(bad)
+		if err == nil {
+			t.Errorf("ValidateTenant(%q) accepted", bad)
+		} else if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ValidateTenant(%q) err %v does not wrap ErrBadSpec", bad, err)
+		}
+	}
+}
+
+// TestTenantSweep: idle tenant records are evicted after ResultTTL;
+// tenants with queued jobs are kept.
+func TestTenantSweep(t *testing.T) {
+	m := NewManager(Config{ResultTTL: time.Minute})
+	if _, err := m.SubmitTenant(fastSpec(t), "busy"); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	m.tenantLocked("idle", time.Now().Add(-2*time.Minute))
+	m.tenants["idle"].lastSeen = time.Now().Add(-2 * time.Minute)
+	m.mu.Unlock()
+	m.sweep(time.Now())
+	st := m.Stats()
+	if _, ok := st.Tenants["idle"]; ok {
+		t.Error("idle tenant survived the sweep")
+	}
+	if _, ok := st.Tenants["busy"]; !ok {
+		t.Error("tenant with queued jobs was evicted")
+	}
+}

@@ -1,0 +1,183 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"sophie/internal/service"
+)
+
+// Record framing and replay: the byte-level contract of the job log.
+//
+// A segment is a flat sequence of frames:
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// The payload is one JSON-encoded Record. Length-prefixed framing means
+// a torn frame (kill -9 mid-write) loses only the tail: everything
+// before the first malformed frame replays, and there is no resync —
+// bytes after a bad frame are unreachable by construction.
+
+// Record types; T selects which of the other fields are meaningful.
+const (
+	// RecordSubmitted carries the full SnapshotJob of an admitted job.
+	// It is written with an fsync barrier (the 202 durability point).
+	RecordSubmitted = "submitted"
+	// RecordStarted marks the queued→running transition of ID. Purely
+	// informational for replay: a started-but-unterminated job was
+	// interrupted mid-run and re-enters the queue.
+	RecordStarted = "started"
+	// RecordTerminal marks ID reaching State (done/failed/cancelled).
+	// Terminal jobs drop out of replay and out of compacted segments.
+	RecordTerminal = "terminal"
+)
+
+// Record is one journal entry. The submitted payload reuses
+// service.SnapshotJob — the exact JSON shape of drain snapshots — so
+// the two durability paths describe jobs identically.
+type Record struct {
+	T  string    `json:"t"`
+	At time.Time `json:"at"`
+	// Job is set on submitted records only.
+	Job *service.SnapshotJob `json:"job,omitempty"`
+	// ID is set on started and terminal records.
+	ID string `json:"id,omitempty"`
+	// State is set on terminal records.
+	State service.State `json:"state,omitempty"`
+}
+
+// frameHeader is the fixed prefix of every frame: length + CRC.
+const frameHeader = 8
+
+// maxRecordBytes bounds one payload; anything larger in a length
+// prefix is hostile or garbage, not a record (the HTTP layer caps
+// submissions far below this).
+const maxRecordBytes = 64 << 20
+
+// Decode errors. ErrTorn marks an incomplete trailing frame (the
+// expected shape of a crash mid-append); ErrCorrupt marks a frame whose
+// bytes are present but wrong (CRC or JSON). Open tolerates both at the
+// tail of the LAST segment only — in any earlier segment the log is
+// damaged beyond what a crash explains, and replay refuses to guess.
+var (
+	ErrTorn    = errors.New("wal: torn trailing frame")
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// encodeFrame renders one record as a framed byte sequence.
+func encodeFrame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds the %d-byte bound", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame, nil
+}
+
+// DecodeAll parses frames from the front of data until it ends or a
+// frame is malformed. It returns every cleanly decoded record and the
+// byte offset they span (goodLen); err is nil only when the entire
+// input decoded. A non-nil err wraps ErrTorn (frame runs past the end
+// of data) or ErrCorrupt (bad length, CRC mismatch, bad JSON) — data
+// past goodLen is unrecoverable either way, the sentinel only says
+// whether a crash explains it.
+func DecodeAll(data []byte) (recs []Record, goodLen int, err error) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return recs, off, fmt.Errorf("%w: %d header bytes at offset %d", ErrTorn, len(data)-off, off)
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		if n > maxRecordBytes {
+			return recs, off, fmt.Errorf("%w: length prefix %d exceeds the %d-byte record bound at offset %d", ErrCorrupt, n, maxRecordBytes, off)
+		}
+		if int(n) > len(data)-off-frameHeader {
+			return recs, off, fmt.Errorf("%w: frame wants %d payload bytes, %d remain at offset %d", ErrTorn, n, len(data)-off-frameHeader, off)
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(n)]
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[off+4:off+8]); got != want {
+			return recs, off, fmt.Errorf("%w: CRC mismatch at offset %d (stored %08x, computed %08x)", ErrCorrupt, off, want, got)
+		}
+		var rec Record
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			return recs, off, fmt.Errorf("%w: payload at offset %d: %v", ErrCorrupt, off, jerr)
+		}
+		recs = append(recs, rec)
+		off += frameHeader + int(n)
+	}
+	return recs, off, nil
+}
+
+// Replay folds an ordered record stream into final job state. The fold
+// is idempotent and tolerant by construction:
+//
+//  1. The first submitted record for an id wins; later duplicates (a
+//     compaction racing buffered appends can produce them) are ignored.
+//  2. started/terminal records for unknown ids are ignored — a
+//     compacted segment legitimately drops the submitted records of
+//     jobs that went terminal just before rotation.
+//  3. A started-but-unterminated job is still PENDING: it was
+//     interrupted mid-run and re-enters the queue on restore.
+//  4. Terminal is sticky: no record un-terminates a job.
+type Replay struct {
+	jobs map[string]*replayJob
+}
+
+type replayJob struct {
+	job      service.SnapshotJob
+	started  bool
+	terminal bool
+}
+
+// NewReplay returns an empty fold.
+func NewReplay() *Replay {
+	return &Replay{jobs: make(map[string]*replayJob)}
+}
+
+// Apply folds one record.
+func (r *Replay) Apply(rec Record) {
+	switch rec.T {
+	case RecordSubmitted:
+		if rec.Job == nil || rec.Job.ID == "" {
+			return
+		}
+		if _, dup := r.jobs[rec.Job.ID]; dup {
+			return
+		}
+		r.jobs[rec.Job.ID] = &replayJob{job: *rec.Job}
+	case RecordStarted:
+		if rj, ok := r.jobs[rec.ID]; ok {
+			rj.started = true
+		}
+	case RecordTerminal:
+		if rj, ok := r.jobs[rec.ID]; ok {
+			rj.terminal = true
+		}
+	}
+}
+
+// Pending returns the jobs still owed execution — submitted (started or
+// not) but never terminal — sorted by id. Ids are zero-padded
+// ("j%08d"), so the lexicographic sort restores admission order even
+// though concurrent submissions may land in the log out of order.
+func (r *Replay) Pending() []service.SnapshotJob {
+	out := make([]service.SnapshotJob, 0, len(r.jobs))
+	for _, rj := range r.jobs {
+		if !rj.terminal {
+			out = append(out, rj.job)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

@@ -1,0 +1,502 @@
+// Package wal is sophied's job write-ahead log: an append-only,
+// CRC-checksummed record log that makes the admission queue survive a
+// kill -9. The Log implements service.Journal — the Manager writes a
+// submitted record (fsync'd, the durability point its 202 stands on),
+// a started marker at queued→running, and a terminal marker at the end
+// of the lifecycle — and Open replays the log on boot: queued jobs
+// re-enter the queue, jobs interrupted mid-run are re-queued, terminal
+// jobs are dropped.
+//
+// Durability costs are paid where they matter and nowhere else:
+// submitted records group-commit (every waiter riding one fsync
+// shares its latency), started/terminal records are buffered and
+// synced by a background flusher within Options.SyncEvery, and
+// segments compact — on every boot and on rotation — down to just the
+// live (non-terminal) jobs, so the log's size tracks the queue, not
+// the service's lifetime throughput.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sophie/internal/service"
+)
+
+// ErrClosed reports an append on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options tunes the log. The zero value is production-usable.
+type Options struct {
+	// SyncEvery is the background flush interval for buffered
+	// (started/terminal) records — the widest window a buffered record
+	// can sit unsynced (default 2ms). Submitted records never wait for
+	// it; they sync immediately via group commit.
+	SyncEvery time.Duration
+	// SegmentBytes is the rotation threshold: once the active segment
+	// outgrows both this and twice the live-record footprint, it is
+	// compacted into a fresh segment (default 4MB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 2 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Log is an open journal directory. Safe for concurrent use; it is a
+// service.Journal.
+type Log struct {
+	dir  string
+	opts Options
+
+	wg     sync.WaitGroup
+	stopCh chan struct{} // closed by Close; stops the flusher
+	kick   chan struct{} // capacity 1; nudges the flusher out of its tick
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// buf holds framed records appended but not yet handed to the file;
+	// nextSeq counts appended records, syncedSeq counts fsync'd ones.
+	// AppendSync waiters block until syncedSeq covers their record.
+	buf       []byte
+	nextSeq   uint64
+	syncedSeq uint64
+	// err is sticky: the first write/sync failure poisons the log and
+	// every subsequent append reports it (a journal that silently drops
+	// records would be worse than no journal).
+	err    error
+	closed bool
+	// live tracks non-terminal jobs (what compaction preserves);
+	// liveBytes approximates their framed footprint for the rotation
+	// heuristic.
+	live      map[string]service.SnapshotJob
+	liveBytes int64
+
+	// File state is owned by one goroutine at a time — Open before the
+	// flusher starts, the flusher while running, Close after it stops —
+	// so it needs no lock.
+	f        *os.File
+	segNum   uint64
+	segBytes int64
+}
+
+// Open replays (and compacts) a journal directory and returns the log
+// plus the pending jobs owed execution, in admission order — feed them
+// to Manager.Restore before Manager.Start. The replay tolerates a torn
+// or corrupt tail in the newest segment only (the signature of a crash
+// mid-append); damage anywhere else fails Open rather than silently
+// dropping acknowledged jobs. On return the directory holds a single
+// fresh segment containing exactly the pending jobs.
+func Open(dir string, opts Options) (*Log, []service.SnapshotJob, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rep := NewReplay()
+	lastSeg := uint64(0)
+	for i, seg := range segs {
+		data, rerr := os.ReadFile(filepath.Join(dir, seg.name))
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("wal: reading %s: %w", seg.name, rerr)
+		}
+		recs, _, derr := DecodeAll(data)
+		if derr != nil && i != len(segs)-1 {
+			// Damage before the newest segment cannot be a crash tail;
+			// refuse to replay a log with a hole in the middle.
+			return nil, nil, fmt.Errorf("wal: segment %s: %w", seg.name, derr)
+		}
+		for _, rec := range recs {
+			rep.Apply(rec)
+		}
+		lastSeg = seg.num
+	}
+	pending := rep.Pending()
+
+	l := &Log{
+		dir:    dir,
+		opts:   opts,
+		stopCh: make(chan struct{}),
+		kick:   make(chan struct{}, 1),
+		live:   make(map[string]service.SnapshotJob, len(pending)),
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	// Boot-time compaction: everything live lands in one fresh segment,
+	// then the history is deleted. A crash between the two steps leaves
+	// both generations on disk; replay's first-submitted-wins dedupe
+	// makes that harmless.
+	if err := l.startSegment(lastSeg + 1); err != nil {
+		return nil, nil, err
+	}
+	for _, j := range pending {
+		frame, ferr := encodeFrame(Record{T: RecordSubmitted, At: j.SubmittedAt, Job: &j})
+		if ferr != nil {
+			l.f.Close()
+			return nil, nil, ferr
+		}
+		if _, werr := l.f.Write(frame); werr != nil {
+			l.f.Close()
+			return nil, nil, fmt.Errorf("wal: compacting into %s: %w", segmentName(l.segNum), werr)
+		}
+		l.segBytes += int64(len(frame))
+		l.live[j.ID] = j
+		l.liveBytes += int64(len(frame))
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return nil, nil, fmt.Errorf("wal: syncing %s: %w", segmentName(l.segNum), err)
+	}
+	if err := syncDir(dir); err != nil {
+		l.f.Close()
+		return nil, nil, err
+	}
+	for _, seg := range segs {
+		if rmErr := os.Remove(filepath.Join(dir, seg.name)); rmErr != nil {
+			l.f.Close()
+			return nil, nil, fmt.Errorf("wal: removing compacted %s: %w", seg.name, rmErr)
+		}
+	}
+	if err := syncDir(dir); err != nil {
+		l.f.Close()
+		return nil, nil, err
+	}
+
+	l.wg.Add(1)
+	go l.flusher()
+	return l, pending, nil
+}
+
+// JobSubmitted journals an admitted job with an fsync barrier: when it
+// returns nil the job survives a kill -9. Concurrent submitters ride
+// the same group commit. Implements service.Journal.
+func (l *Log) JobSubmitted(j service.SnapshotJob) error {
+	return l.append(Record{T: RecordSubmitted, At: time.Now(), Job: &j}, true)
+}
+
+// JobStarted journals a queued→running transition, buffered (synced
+// within SyncEvery). Implements service.Journal.
+func (l *Log) JobStarted(id string) error {
+	return l.append(Record{T: RecordStarted, At: time.Now(), ID: id}, false)
+}
+
+// JobTerminal journals a terminal transition, buffered. Once synced —
+// and at the latest at the next compaction — the job's records stop
+// replaying. Implements service.Journal.
+func (l *Log) JobTerminal(id string, state service.State) error {
+	return l.append(Record{T: RecordTerminal, At: time.Now(), ID: id, State: state}, false)
+}
+
+// append frames a record into the buffer and, when sync is set, blocks
+// until an fsync covers it. The buffer hand-off is the group-commit
+// mechanism: while the flusher is inside one fsync, later appends pile
+// into the buffer and the next flush commits them all under a single
+// sync.
+func (l *Log) append(rec Record, sync bool) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.buf = append(l.buf, frame...)
+	l.nextSeq++
+	seq := l.nextSeq
+	l.applyLiveLocked(rec, int64(len(frame)))
+	// Nudge the flusher; a pending nudge already covers this record.
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	if !sync {
+		l.mu.Unlock()
+		return nil
+	}
+	for l.syncedSeq < seq && l.err == nil {
+		l.cond.Wait()
+	}
+	err = l.err
+	l.mu.Unlock()
+	return err
+}
+
+// applyLiveLocked keeps the compaction working set current; the caller
+// holds mu.
+func (l *Log) applyLiveLocked(rec Record, frameLen int64) {
+	switch rec.T {
+	case RecordSubmitted:
+		if _, dup := l.live[rec.Job.ID]; !dup {
+			l.live[rec.Job.ID] = *rec.Job
+			l.liveBytes += frameLen
+		}
+	case RecordTerminal:
+		if _, ok := l.live[rec.ID]; ok {
+			delete(l.live, rec.ID)
+			// liveBytes is a heuristic; shrink by the terminal frame's
+			// size stand-in rather than tracking per-job footprints.
+			l.liveBytes -= frameLen
+			if l.liveBytes < 0 {
+				l.liveBytes = 0
+			}
+		}
+	}
+}
+
+// Pending snapshots the live (non-terminal) jobs, sorted by id —
+// useful for tests and introspection; restores go through Open.
+func (l *Log) Pending() []service.SnapshotJob {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]service.SnapshotJob, 0, len(l.live))
+	for _, j := range l.live {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Err reports the sticky write error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes buffered records, stops the flusher, and closes the
+// active segment. Appends after Close return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stopCh)
+	l.wg.Wait() // the flusher's exit path runs one final flush
+	l.mu.Lock()
+	err := l.err
+	l.mu.Unlock()
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// flusher owns the file: it drains the buffer on nudges and on the
+// SyncEvery tick, fsyncs, wakes group-commit waiters, and rotates the
+// segment when it outgrows its live payload.
+func (l *Log) flusher() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopCh:
+			l.flush()
+			return
+		case <-l.kick:
+		case <-t.C:
+		}
+		l.flush()
+		l.maybeRotate()
+	}
+}
+
+// flush writes and fsyncs everything buffered, then advances syncedSeq
+// and wakes waiters. File I/O happens outside mu so appends never stall
+// behind an fsync.
+func (l *Log) flush() {
+	l.mu.Lock()
+	data := l.buf
+	seq := l.nextSeq
+	l.buf = nil
+	bad := l.err
+	l.mu.Unlock()
+	if len(data) == 0 || bad != nil {
+		return
+	}
+	var werr error
+	if _, err := l.f.Write(data); err != nil {
+		werr = fmt.Errorf("wal: writing %s: %w", segmentName(l.segNum), err)
+	} else if err := l.f.Sync(); err != nil {
+		werr = fmt.Errorf("wal: syncing %s: %w", segmentName(l.segNum), err)
+	} else {
+		l.segBytes += int64(len(data))
+	}
+	l.mu.Lock()
+	if werr != nil {
+		if l.err == nil {
+			l.err = werr
+		}
+	} else if seq > l.syncedSeq {
+		l.syncedSeq = seq
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// maybeRotate compacts the active segment once it exceeds the
+// configured size AND at least twice the live footprint — the second
+// condition keeps a large-but-live queue from thrashing rotations that
+// cannot shrink anything.
+func (l *Log) maybeRotate() {
+	l.mu.Lock()
+	rotate := l.err == nil && l.segBytes > l.opts.SegmentBytes && l.segBytes > 2*l.liveBytes
+	var jobs []service.SnapshotJob
+	if rotate {
+		jobs = make([]service.SnapshotJob, 0, len(l.live))
+		for _, j := range l.live {
+			jobs = append(jobs, j)
+		}
+		sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	}
+	l.mu.Unlock()
+	if !rotate {
+		return
+	}
+	// Records buffered after the snapshot above simply land in the new
+	// segment on the next flush; replay's dedupe and unknown-id
+	// tolerance make the overlap harmless (see Replay).
+	if err := l.rotateInto(jobs); err != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = err
+		}
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// rotateInto writes the live set into a fresh segment, swaps it in, and
+// deletes the outgrown one. Runs on the flusher goroutine only.
+func (l *Log) rotateInto(jobs []service.SnapshotJob) error {
+	oldSeg, oldF := l.segNum, l.f
+	if err := l.startSegment(l.segNum + 1); err != nil {
+		l.f = oldF // keep writing the old segment; the error is sticky anyway
+		l.segNum = oldSeg
+		return err
+	}
+	var liveBytes int64
+	for _, j := range jobs {
+		frame, err := encodeFrame(Record{T: RecordSubmitted, At: j.SubmittedAt, Job: &j})
+		if err != nil {
+			return err
+		}
+		if _, werr := l.f.Write(frame); werr != nil {
+			return fmt.Errorf("wal: compacting into %s: %w", segmentName(l.segNum), werr)
+		}
+		l.segBytes += int64(len(frame))
+		liveBytes += int64(len(frame))
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", segmentName(l.segNum), err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	// The new segment is durable; the old generation can go.
+	if err := oldF.Close(); err != nil {
+		return fmt.Errorf("wal: closing %s: %w", segmentName(oldSeg), err)
+	}
+	if err := os.Remove(filepath.Join(l.dir, segmentName(oldSeg))); err != nil {
+		return fmt.Errorf("wal: removing %s: %w", segmentName(oldSeg), err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.liveBytes = liveBytes
+	l.mu.Unlock()
+	return nil
+}
+
+// startSegment creates and activates segment n.
+func (l *Log) startSegment(n uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(n)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating %s: %w", segmentName(n), err)
+	}
+	l.f = f
+	l.segNum = n
+	l.segBytes = 0
+	return nil
+}
+
+func segmentName(n uint64) string { return fmt.Sprintf("wal-%08d.seg", n) }
+
+type segment struct {
+	name string
+	num  uint64
+}
+
+// listSegments returns the directory's wal-*.seg files sorted by
+// segment number.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		digits, ok := strings.CutPrefix(name, "wal-")
+		if !ok {
+			continue
+		}
+		digits, ok = strings.CutSuffix(digits, ".seg")
+		if !ok {
+			continue
+		}
+		n, perr := strconv.ParseUint(digits, 10, 64)
+		if perr != nil {
+			continue
+		}
+		segs = append(segs, segment{name: name, num: n})
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i].num < segs[k].num })
+	return segs, nil
+}
+
+// syncDir fsyncs a directory so entry creations/deletions are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening %s for sync: %w", dir, err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: syncing directory %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: closing directory %s: %w", dir, cerr)
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sophie/internal/service"
+)
+
+func testJob(n int) service.SnapshotJob {
+	return service.SnapshotJob{
+		ID:          fmt.Sprintf("j%08d", n),
+		Tenant:      "default",
+		SubmittedAt: time.Unix(1700000000+int64(n), 0).UTC(),
+		Spec:        service.JobSpec{Preset: "G1", Replicas: 2, Seed: int64(n)},
+	}
+}
+
+func openT(t *testing.T, dir string, opts Options) (*Log, []service.SnapshotJob) {
+	t.Helper()
+	l, pending, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, pending
+}
+
+// TestRoundTrip: submitted/started/terminal records replay into exactly
+// the non-terminal jobs, in admission (id) order, with started-but-
+// unterminated jobs (interrupted mid-run) still pending.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, pending := openT(t, dir, Options{})
+	if len(pending) != 0 {
+		t.Fatalf("fresh dir replayed %d pending jobs", len(pending))
+	}
+	// j1 completes, j2 is interrupted mid-run, j3 never starts; submit
+	// out of id order to exercise the replay sort.
+	for _, n := range []int{2, 1, 3} {
+		if err := l.JobSubmitted(testJob(n)); err != nil {
+			t.Fatalf("JobSubmitted(%d): %v", n, err)
+		}
+	}
+	if err := l.JobStarted("j00000001"); err != nil {
+		t.Fatalf("JobStarted: %v", err)
+	}
+	if err := l.JobStarted("j00000002"); err != nil {
+		t.Fatalf("JobStarted: %v", err)
+	}
+	if err := l.JobTerminal("j00000001", service.StateDone); err != nil {
+		t.Fatalf("JobTerminal: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, pending := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(pending) != 2 {
+		t.Fatalf("replay returned %d pending jobs, want 2: %+v", len(pending), pending)
+	}
+	if pending[0].ID != "j00000002" || pending[1].ID != "j00000003" {
+		t.Fatalf("pending order %q, %q; want j00000002, j00000003", pending[0].ID, pending[1].ID)
+	}
+	want := testJob(2)
+	if got := pending[0]; got.Tenant != want.Tenant || !got.SubmittedAt.Equal(want.SubmittedAt) ||
+		got.Spec.Preset != want.Spec.Preset || got.Spec.Seed != want.Spec.Seed {
+		t.Fatalf("replayed job diverged: got %+v want %+v", got, want)
+	}
+}
+
+// TestAppendSyncDurable: JobSubmitted is the durability point — the
+// record must be on disk when it returns, with no Close involved (a
+// kill -9 never calls Close).
+func TestAppendSyncDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	if err := l.JobSubmitted(testJob(1)); err != nil {
+		t.Fatalf("JobSubmitted: %v", err)
+	}
+	// Crash simulation: reopen the directory while the first log is
+	// still live and unclosed.
+	l2, pending := openT(t, dir, Options{})
+	if len(pending) != 1 || pending[0].ID != "j00000001" {
+		t.Fatalf("pending after crash-reopen = %+v, want [j00000001]", pending)
+	}
+	l2.Close()
+	l.Close()
+}
+
+// TestTornTailTolerated: garbage after the last full frame in the
+// newest segment is a crash signature — replay keeps the good prefix.
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	if err := l.JobSubmitted(testJob(1)); err != nil {
+		t.Fatalf("JobSubmitted: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments after close: %v, %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[0].name)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn frame: a plausible header promising more bytes than exist.
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, pending := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(pending) != 1 || pending[0].ID != "j00000001" {
+		t.Fatalf("pending after torn tail = %+v, want [j00000001]", pending)
+	}
+}
+
+// TestCorruptEarlierSegmentFails: damage that is not a crash tail (a
+// bad frame in a non-newest segment) must fail Open loudly instead of
+// silently dropping acknowledged jobs.
+func TestCorruptEarlierSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	if err := l.JobSubmitted(testJob(1)); err != nil {
+		t.Fatalf("JobSubmitted: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, _ := listSegments(dir)
+	// Flip a payload byte mid-file (breaking the CRC) in what will be
+	// the older segment once a newer one exists.
+	path := filepath.Join(dir, segs[0].name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	next := filepath.Join(dir, segmentName(segs[0].num+1))
+	if err := os.WriteFile(next, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over a corrupt earlier segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCompactionBoundsLog: a workload of terminal jobs far larger than
+// SegmentBytes must leave the directory small — rotation drops the
+// terminal history, and a final reopen compacts to the live set alone.
+func TestCompactionBoundsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	for n := 1; n <= 200; n++ {
+		if err := l.JobSubmitted(testJob(n)); err != nil {
+			t.Fatalf("JobSubmitted(%d): %v", n, err)
+		}
+		if err := l.JobTerminal(fmt.Sprintf("j%08d", n), service.StateDone); err != nil {
+			t.Fatalf("JobTerminal(%d): %v", n, err)
+		}
+	}
+	// One live straggler so the compacted output is non-trivial.
+	if err := l.JobSubmitted(testJob(999)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, pending := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(pending) != 1 || pending[0].ID != "j00000999" {
+		t.Fatalf("pending = %+v, want the one live job", pending)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("reopen left %d segments, want 1", len(segs))
+	}
+	info, err := os.Stat(filepath.Join(dir, segs[0].name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() > 4<<10 {
+		t.Fatalf("compacted segment is %d bytes; the terminal history was not dropped", info.Size())
+	}
+}
+
+// TestAppendAfterClose pins the ErrClosed contract.
+func TestAppendAfterClose(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.JobStarted("j00000001"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestDecodeAllErrors pins the frame-level error taxonomy.
+func TestDecodeAllErrors(t *testing.T) {
+	good, err := encodeFrame(Record{T: RecordStarted, ID: "j00000001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint32(hostile, uint32(maxRecordBytes)+1)
+
+	badCRC := append([]byte(nil), good...)
+	badCRC[frameHeader] ^= 0xff
+
+	badJSON := []byte(`{"t":`)
+	frame := make([]byte, frameHeader+len(badJSON))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(badJSON)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(badJSON))
+	copy(frame[frameHeader:], badJSON)
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+		recs int
+	}{
+		{"clean", good, nil, 1},
+		{"short header", append(append([]byte(nil), good...), 0x01, 0x02), ErrTorn, 1},
+		{"truncated payload", good[:len(good)-3], ErrTorn, 0},
+		{"hostile length", hostile, ErrCorrupt, 0},
+		{"crc mismatch", badCRC, ErrCorrupt, 0},
+		{"bad json", frame, ErrCorrupt, 0},
+	}
+	for _, tc := range cases {
+		recs, goodLen, derr := DecodeAll(tc.data)
+		if tc.want == nil {
+			if derr != nil || goodLen != len(tc.data) {
+				t.Errorf("%s: err=%v goodLen=%d", tc.name, derr, goodLen)
+			}
+		} else if !errors.Is(derr, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, derr, tc.want)
+		}
+		if len(recs) != tc.recs {
+			t.Errorf("%s: decoded %d records, want %d", tc.name, len(recs), tc.recs)
+		}
+	}
+}
+
+// TestReplayIdempotency pins the fold rules the compaction overlap
+// relies on: duplicate submissions keep the first, unknown-id markers
+// are ignored, terminal is sticky.
+func TestReplayIdempotency(t *testing.T) {
+	rep := NewReplay()
+	first := testJob(1)
+	second := testJob(1)
+	second.Tenant = "imposter"
+	rep.Apply(Record{T: RecordSubmitted, Job: &first})
+	rep.Apply(Record{T: RecordSubmitted, Job: &second}) // dup: ignored
+	rep.Apply(Record{T: RecordStarted, ID: "j00000077"})               // unknown: ignored
+	rep.Apply(Record{T: RecordTerminal, ID: "j00000077", State: service.StateDone}) // unknown: ignored
+	p := rep.Pending()
+	if len(p) != 1 || p[0].Tenant != "default" {
+		t.Fatalf("pending = %+v; duplicate submission should not override", p)
+	}
+	rep.Apply(Record{T: RecordTerminal, ID: "j00000001", State: service.StateCancelled})
+	rep.Apply(Record{T: RecordStarted, ID: "j00000001"}) // post-terminal: stays terminal
+	if p := rep.Pending(); len(p) != 0 {
+		t.Fatalf("pending after terminal = %+v, want none", p)
+	}
+}
