@@ -40,18 +40,20 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Regenerates the tracked benchmark baseline (README.md "Benchmarks").
-# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR9.json was
+# BENCHTIME=1x gives a fast smoke; the committed BENCH_PR10.json was
 # produced with the default 2s budget. It carries the trace-spine
 # overhead guard (derived trace_overhead), the per-phase attribution of
 # one instrumented solve, the lint wall-time pair (derived
 # lint_shared9_over_isolated6), the sparse-datapath pair plus the
 # random-regular scaling arm up to one million nodes (derived
-# sparse_over_dense_speedup and sparse_scale_1m_over_10k), and the
+# sparse_over_dense_speedup and sparse_scale_1m_over_10k), the
+# per-tile-order crossover-margin pair (derived
+# sparse_crossover_margin_tile{64,256}), and the
 # tempering-vs-portfolio time-to-target pair (derived
 # tempering_over_portfolio).
 BENCHTIME ?= 2s
 bench-json:
-	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR9.json
+	$(GO) run ./cmd/sophiebench -benchtime $(BENCHTIME) -o BENCH_PR10.json
 
 # End-to-end daemon smoke: real sophied + sophie binaries over HTTP
 # (CI job "sophied-smoke").

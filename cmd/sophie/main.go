@@ -1,19 +1,24 @@
-// Command sophie solves a max-cut instance with the SOPHIE modified
-// PRIS algorithm (functional simulation) and reports the cut, energy,
-// iteration counts, and operation tallies.
+// Command sophie solves a max-cut instance — or any problem-spec the
+// QUBO/Ising compiler front end accepts — with the SOPHIE modified
+// PRIS algorithm (functional simulation) and reports the cut or domain
+// objective, energy, iteration counts, and operation tallies.
 //
 // Usage:
 //
 //	sophie -graph g22.txt -phi 0.1 -alpha 0 -global 500
 //	sophie -preset K100 -runs 5 -device
 //	rudy -preset G1 | sophie -phi 0.2
+//	sophie -problem spec.json -global 200
+//	rudy -type ksat -n 50 -m 150 | sophie -problem -
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -23,6 +28,7 @@ import (
 	"sophie/internal/linalg"
 	"sophie/internal/metrics"
 	"sophie/internal/opcm"
+	"sophie/internal/problem"
 	"sophie/internal/tiling"
 )
 
@@ -38,6 +44,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var (
 		graphFile = fs.String("graph", "", "GSET-format graph file ('-' or empty reads stdin)")
 		preset    = fs.String("preset", "", "named instance: G1 | G22 | K100")
+		probFile  = fs.String("problem", "", "problem-spec JSON file ('-' reads stdin); see README \"Problem types\"")
 		tile      = fs.Int("tile", 64, "tile size (OPCM array order)")
 		local     = fs.Int("local", 10, "local iterations per global iteration")
 		global    = fs.Int("global", 500, "global iterations")
@@ -67,11 +74,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	g, err := loadGraph(*graphFile, *preset, stdin)
-	if err != nil {
-		return err
+	var (
+		g     *graph.Graph
+		prob  problem.Problem
+		model *ising.Model
+	)
+	if *probFile != "" {
+		if *graphFile != "" || *preset != "" {
+			return fmt.Errorf("-problem cannot combine with -graph or -preset")
+		}
+		var err error
+		prob, model, err = loadProblem(*probFile, stdin, stdout)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		g, err = loadGraph(*graphFile, *preset, stdin)
+		if err != nil {
+			return err
+		}
+		model = ising.FromMaxCut(g)
 	}
-	model := ising.FromMaxCut(g)
 
 	cfg := core.DefaultConfig()
 	cfg.TileSize = *tile
@@ -108,6 +132,31 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("-tempering and -portfolio cannot combine (a -target alone stops the whole ladder)")
 	}
 
+	if prob != nil {
+		if !model.HasDense() && !*skip {
+			return fmt.Errorf("problem lowers to %d variables and is sparse-built; pass -skip-transform", model.N())
+		}
+		if init, ok := prob.(problem.Initializer); ok {
+			if s0 := init.InitialSpins(); s0 != nil {
+				cfg.InitialSpins = s0
+			}
+		}
+	}
+
+	// scoreOf is the per-result domain figure: the cut value for graph
+	// inputs, the decoded objective for problem specs.
+	scoreLabel, scoreOf := "cut", func(spins []int8) float64 { return g.CutValue(spins) }
+	if prob != nil {
+		scoreLabel = "objective"
+		scoreOf = func(spins []int8) float64 {
+			sol, err := prob.Decode(spins)
+			if err != nil {
+				return math.NaN()
+			}
+			return sol.Objective
+		}
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -115,7 +164,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer cancel()
 	}
 
-	fmt.Fprintf(stdout, "graph: %d nodes, %d edges (density %.4f)\n", g.N(), g.M(), g.Density())
+	if g != nil {
+		fmt.Fprintf(stdout, "graph: %d nodes, %d edges (density %.4f)\n", g.N(), g.M(), g.Density())
+	}
 	start := time.Now()
 	solver, err := core.NewSolver(model, cfg)
 	if err != nil {
@@ -159,15 +210,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				label = "rung"
 				rung = fmt.Sprintf(" (phi %.3f)", ts.Phis[j])
 			}
-			fmt.Fprintf(stdout, "%s %d%s: cut %.0f, energy %.0f, best at global iter %d%s\n",
-				label, j, rung, g.CutValue(res.BestSpins), res.BestEnergy, res.BestGlobalIter, status)
+			fmt.Fprintf(stdout, "%s %d%s: %s %.0f, energy %.0f, best at global iter %d%s\n",
+				label, j, rung, scoreLabel, scoreOf(res.BestSpins), res.BestEnergy, res.BestGlobalIter, status)
 		}
 		if ts := batch.Tempering; ts != nil {
 			fmt.Fprintf(stdout, "tempering: %d/%d exchanges accepted (rate %.2f) on ladder [%.3f, %.3f]\n",
 				ts.Accepted, ts.Attempted, ts.ExchangeRate, *tmin, *tmax)
 		}
-		fmt.Fprintf(stdout, "batch: best cut %.0f (replica %d), energy best %.0f / median %.0f / mean %.1f, wall %v\n",
-			g.CutValue(batch.Best().BestSpins), batch.BestIndex,
+		fmt.Fprintf(stdout, "batch: best %s %.0f (replica %d), energy best %.0f / median %.0f / mean %.1f, wall %v\n",
+			scoreLabel, scoreOf(batch.Best().BestSpins), batch.BestIndex,
 			batch.BestEnergy, batch.MedianEnergy, batch.MeanEnergy,
 			wall.Round(time.Millisecond))
 		if cfg.TargetEnergy != nil {
@@ -181,10 +232,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if *showOps {
 			fmt.Fprintf(stdout, "operation counts (all replicas):\n%s", batch.Ops.String())
 		}
+		if prob != nil {
+			printSolution(stdout, prob, batch.Best().BestSpins)
+		}
 		return nil
 	}
 
-	bestCut := 0.0
+	// Track the best run by energy: lower energy is always the better
+	// Hamiltonian state regardless of whether the domain objective is
+	// min-better (TSP) or max-better (cut, MAX-SAT).
+	bestEnergy := math.Inf(1)
+	var bestSpins []int8
 	ran := 0
 	var totalOps metrics.OpCounts
 	for r := 0; r < *runs; r++ {
@@ -193,9 +251,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cut := g.CutValue(res.BestSpins)
-		if cut > bestCut {
-			bestCut = cut
+		if res.BestEnergy < bestEnergy {
+			bestEnergy = res.BestEnergy
+			bestSpins = res.BestSpins
 		}
 		totalOps.Add(res.Ops)
 		ran++
@@ -203,8 +261,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if res.Stopped {
 			status = " (stopped by timeout)"
 		}
-		fmt.Fprintf(stdout, "job %d: cut %.0f, energy %.0f, best at global iter %d, wall %v%s\n",
-			r, cut, res.BestEnergy, res.BestGlobalIter, time.Since(jobStart).Round(time.Millisecond), status)
+		fmt.Fprintf(stdout, "job %d: %s %.0f, energy %.0f, best at global iter %d, wall %v%s\n",
+			r, scoreLabel, scoreOf(res.BestSpins), res.BestEnergy, res.BestGlobalIter, time.Since(jobStart).Round(time.Millisecond), status)
 		if res.Stopped {
 			// The budget covers the whole solve; later jobs would start
 			// already expired and report nothing useful.
@@ -212,11 +270,71 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			break
 		}
 	}
-	fmt.Fprintf(stdout, "best cut over %d job(s): %.0f\n", ran, bestCut)
+	bestScore := 0.0
+	if bestSpins != nil {
+		bestScore = scoreOf(bestSpins)
+	}
+	fmt.Fprintf(stdout, "best %s over %d job(s): %.0f\n", scoreLabel, ran, bestScore)
 	if *showOps {
 		fmt.Fprintf(stdout, "operation counts (all jobs):\n%s", totalOps.String())
 	}
+	if prob != nil {
+		printSolution(stdout, prob, bestSpins)
+	}
 	return nil
+}
+
+// loadProblem reads and compiles a problem-spec JSON document,
+// printing the lowering summary.
+func loadProblem(file string, stdin io.Reader, stdout io.Writer) (problem.Problem, *ising.Model, error) {
+	var data []byte
+	var err error
+	if file == "-" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := problem.ParseSpec(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := problem.Compile(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	field := ""
+	if c.Model.HasField() {
+		field = ", with field"
+	}
+	fmt.Fprintf(stdout, "problem: %s, lowered to %d spins%s (energy offset %g)\n",
+		p.Type(), c.Model.N(), field, c.Offset)
+	return p, c.Model, nil
+}
+
+// printSolution reports the decoded domain answer of the best spins.
+func printSolution(stdout io.Writer, prob problem.Problem, spins []int8) {
+	if spins == nil {
+		return
+	}
+	sol, err := prob.Decode(spins)
+	if err != nil {
+		fmt.Fprintf(stdout, "solution: decode failed: %v\n", err)
+		return
+	}
+	feas := "feasible"
+	if !sol.Feasible {
+		feas = "INFEASIBLE"
+	}
+	fmt.Fprintf(stdout, "solution: objective %g, %s\n", sol.Objective, feas)
+	for _, v := range sol.Violations {
+		fmt.Fprintf(stdout, "  violation: %s\n", v)
+	}
+	if data, err := json.Marshal(sol.Assignment); err == nil {
+		fmt.Fprintf(stdout, "  assignment: %s\n", data)
+	}
 }
 
 func loadGraph(file, preset string, stdin io.Reader) (*graph.Graph, error) {

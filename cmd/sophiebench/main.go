@@ -297,6 +297,51 @@ func run(benchtime, out string) error {
 		record(fmt.Sprintf("sparse/scale-n%d", n), solveBench(ss))
 	}
 
+	// --- Sparse crossover arm: a compact re-recording of the
+	// internal/core BenchmarkSparseCrossover sweep that sized the
+	// per-tile-order sparse density thresholds. One density per tile
+	// order, chosen inside the table's sparse region, so the derived
+	// margins document how much headroom the thresholds keep on the
+	// current host (both margins sat at 1.1–2x on the sizing host; a
+	// margin falling toward 1.0 says the table needs re-measuring
+	// here, not that results changed — the two engines are
+	// bit-identical).
+	for _, cr := range []struct {
+		tile    int
+		density float64
+	}{{64, 0.30}, {256, 0.30}} {
+		n := 2 * cr.tile
+		edges := int(cr.density * float64(n*(n-1)) / 2)
+		cg, err := graph.Random(n, edges, graph.WeightUnit, 1)
+		if err != nil {
+			return err
+		}
+		cm := ising.FromMaxCut(cg)
+		ccfg := core.DefaultConfig()
+		ccfg.TileSize = cr.tile
+		ccfg.LocalIters = 4
+		ccfg.GlobalIters = 8
+		ccfg.Phi = 0.1
+		ccfg.SkipTransform = true // density 30% < threshold: auto-picks CSR
+		dcfg := ccfg
+		dcfg.ForceDense = true
+		cs, err := core.NewSolver(cm, ccfg)
+		if err != nil {
+			return err
+		}
+		ds, err := core.NewSolver(cm, dcfg)
+		if err != nil {
+			return err
+		}
+		for _, s := range []*core.Solver{cs, ds} {
+			if _, err := s.Run(0); err != nil { // warm outside the timed region
+				return err
+			}
+		}
+		record(fmt.Sprintf("sparse/crossover-tile%d-sparse", cr.tile), solveBench(cs))
+		record(fmt.Sprintf("sparse/crossover-tile%d-dense", cr.tile), solveBench(ds))
+	}
+
 	// --- Trace spine: the same workload with a live recorder attached
 	// (ring retention + per-job progress subscriber, the sophied
 	// configuration), plus the raw emitter costs. emitsPerOp batches the
@@ -536,6 +581,16 @@ func run(benchtime, out string) error {
 	// 10,000× a dense datapath would pay.
 	if t10k := perOp("sparse/scale-n10000"); t10k > 0 {
 		rep.Derived["sparse_scale_1m_over_10k"] = perOp("sparse/scale-n1000000") / t10k
+	}
+	// Crossover margins: dense-over-sparse cost at a density inside the
+	// threshold table's sparse region, one per measured tile order. A
+	// margin near or below 1.0 flags the per-tile-order thresholds as
+	// stale for this host.
+	for _, tile := range []int{64, 256} {
+		if sp := perOp(fmt.Sprintf("sparse/crossover-tile%d-sparse", tile)); sp > 0 {
+			rep.Derived[fmt.Sprintf("sparse_crossover_margin_tile%d", tile)] =
+				perOp(fmt.Sprintf("sparse/crossover-tile%d-dense", tile)) / sp
+		}
 	}
 	if iso := perOp("lint/isolated-6analyzers"); iso > 0 {
 		rep.Derived["lint_shared9_over_isolated6"] = perOp("lint/shared-9analyzers") / iso

@@ -30,27 +30,31 @@ func TestRunEmitsValidReport(t *testing.T) {
 		t.Fatalf("unexpected schema %q", rep.Schema)
 	}
 	want := map[string]bool{
-		"linalg/MulVec64":             false,
-		"linalg/MulVecBinary64":       false,
-		"linalg/AccumulateColumn64":   false,
-		"solver/G22mini-exact":        false,
-		"solver/G22mini-delta":        false,
-		"solver/G22mini-delta-traced": false,
-		"solver/G22mini-sparse-delta": false,
-		"solver/G22mini-dense-delta":  false,
-		"sparse/scale-n10000":         false,
-		"sparse/scale-n100000":        false,
-		"sparse/scale-n1000000":       false,
-		"trace/emit-noop":             false,
-		"trace/emit-recorded":         false,
-		"batch/G22mini-replicas8-w1":  false,
+		"linalg/MulVec64":                                             false,
+		"linalg/MulVecBinary64":                                       false,
+		"linalg/AccumulateColumn64":                                   false,
+		"solver/G22mini-exact":                                        false,
+		"solver/G22mini-delta":                                        false,
+		"solver/G22mini-delta-traced":                                 false,
+		"solver/G22mini-sparse-delta":                                 false,
+		"solver/G22mini-dense-delta":                                  false,
+		"sparse/scale-n10000":                                         false,
+		"sparse/scale-n100000":                                        false,
+		"sparse/scale-n1000000":                                       false,
+		"sparse/crossover-tile64-sparse":                              false,
+		"sparse/crossover-tile64-dense":                               false,
+		"sparse/crossover-tile256-sparse":                             false,
+		"sparse/crossover-tile256-dense":                              false,
+		"trace/emit-noop":                                             false,
+		"trace/emit-recorded":                                         false,
+		"batch/G22mini-replicas8-w1":                                  false,
 		fmt.Sprintf("batch/G22mini-replicas8-w%d", batchParWorkers()): false,
-		"portfolio/G22mini-target-replicas6": false,
-		"temper/G22mini-target-rungs6":       false,
-		"lint/shared-9analyzers":             false,
-		"lint/isolated-6analyzers":           false,
-		"wal/append-buffered":                false,
-		"wal/append-synced":                  false,
+		"portfolio/G22mini-target-replicas6":                          false,
+		"temper/G22mini-target-rungs6":                                false,
+		"lint/shared-9analyzers":                                      false,
+		"lint/isolated-6analyzers":                                    false,
+		"wal/append-buffered":                                         false,
+		"wal/append-synced":                                           false,
 	}
 	for _, b := range rep.Benchmarks {
 		seen, ok := want[b.Name]
@@ -114,6 +118,16 @@ func TestRunEmitsValidReport(t *testing.T) {
 	}
 	if _, ok := rep.Derived["trace_overhead_recording"]; !ok {
 		t.Fatal("derived metric trace_overhead_recording missing")
+	}
+
+	// Crossover margins document threshold headroom per tile order; a 1x
+	// run is too noisy to guard the ratio, but the metric must be
+	// computable (both arms ran) and positive.
+	for _, tile := range []int{64, 256} {
+		key := fmt.Sprintf("sparse_crossover_margin_tile%d", tile)
+		if rep.Derived[key] <= 0 {
+			t.Fatalf("derived metric %q missing or non-positive: %v", key, rep.Derived[key])
+		}
 	}
 
 	// The durable-service acceptance bar: a buffered journal append (the

@@ -1,0 +1,51 @@
+// Golden input mirroring the problem-compiler reduction idioms
+// (internal/problem): sentinel zero tests on accumulated coefficients
+// are allowed, everything else needs a tolerance or a scoped ignore.
+package floateq
+
+type term struct {
+	W float64
+}
+
+type ir struct {
+	Linear []float64
+	Terms  []term
+	Offset float64
+}
+
+func lowerings(p *ir, weight float64) int {
+	n := 0
+	for _, v := range p.Linear {
+		if v != 0 { // ok: exact-zero sentinel on an accumulated coefficient
+			n++
+		}
+	}
+	for _, t := range p.Terms {
+		if t.W == weight { // want `floating-point == comparison`
+			n++
+		}
+		if t.W == p.Offset { // want `floating-point == comparison`
+			n++
+		}
+	}
+	if p.Offset == 0 { // ok: exact-zero sentinel, field form
+		n++
+	}
+	//sophielint:ignore floateq omitted-weight sentinel written by the parser, never computed
+	if weight == 1 {
+		n++
+	}
+	return n
+}
+
+// decodeOverlap mirrors the Hopfield decode: dividing an int-valued
+// accumulator still yields a float, so comparisons against non-zero
+// targets stay flagged.
+func decodeOverlap(spins []int8, pattern []int8) bool {
+	sum := 0.0
+	for i := range spins {
+		sum += float64(spins[i]) * float64(pattern[i])
+	}
+	overlap := sum / float64(len(spins))
+	return overlap == 1 // want `floating-point == comparison`
+}

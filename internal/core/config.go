@@ -160,6 +160,11 @@ type Config struct {
 	// (primarily for tests and algorithm-equivalence studies); nil draws
 	// a random state per job from its seed.
 	InitialSpins []int8
+	// forceSparse pins the CSR engine for dense-built models regardless
+	// of the density threshold — the counterpart of ForceDense, used by
+	// the crossover sweep to measure both datapaths at every density.
+	// Unexported: the threshold table exists so callers never need this.
+	forceSparse bool
 }
 
 // DefaultConfig returns the paper's operating point: tile 64, 10 local
@@ -239,12 +244,46 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// sparseDensityThreshold is the stored-density cutoff below which the
-// solver auto-selects the sparse CSR datapath for eligible
-// configurations (SkipTransform, default engine, no ForceDense). At 10%
-// density the CSR row gather streams ~5x less memory than the dense
-// kernel even counting index traffic; GSET-style workloads sit near 1%.
-const sparseDensityThreshold = 0.10
+// sparseDensityThresholds maps tile order to the stored-density cutoff
+// below which the solver auto-selects the sparse CSR datapath for
+// eligible configurations (SkipTransform, default engine, no
+// ForceDense). The cutoffs come from the BenchmarkSparseCrossover
+// sweep (re-recorded compactly by the sophiebench "sparse/crossover"
+// arm): on the reference host the CSR engine won at every measured
+// density up to 80% — by ~1.1x at tile 64, where the per-spin work
+// hides most of the kernel difference, and by 1.6–2.3x at tiles
+// 128–512, where the dense engine's per-tile-pair dispatch and full
+// n² streaming dominate. Since no break-even was observed, each entry
+// is set one sweep step below the highest density measured for that
+// tile order rather than extrapolated; the flat pre-sweep constant
+// remains the fallback outside the measured range. Entries are
+// (maxTileOrder, threshold), scanned in order; GSET-style workloads
+// sit near 1% density and take the sparse path at every tile order.
+var sparseDensityThresholds = []struct {
+	maxTile   int
+	threshold float64
+}{
+	{64, 0.45},  // thin (~1.1x) margin: stop short of the 50–80% region
+	{128, 0.75}, // >=1.4x sparse win through d=80
+	{256, 0.75}, // >=1.6x sparse win through d=80
+	{512, 0.75}, // >=1.6x sparse win through d=80
+}
+
+// sparseDensityThresholdFallback is the pre-sweep flat constant,
+// applied to tile orders beyond the measured range.
+const sparseDensityThresholdFallback = 0.10
+
+// sparseDensityThresholdFor resolves the density cutoff for a tile
+// order from the measured table, falling back to the flat constant
+// outside the measured range.
+func sparseDensityThresholdFor(tileSize int) float64 {
+	for _, e := range sparseDensityThresholds {
+		if tileSize <= e.maxTile {
+			return e.threshold
+		}
+	}
+	return sparseDensityThresholdFallback
+}
 
 // defaultDeltaRefresh bounds floating-point drift on the incremental
 // datapath: after this many consecutive delta updates the accumulator

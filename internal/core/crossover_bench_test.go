@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sophie/internal/graph"
+	"sophie/internal/ising"
+)
+
+// BenchmarkSparseCrossover sweeps coupling density per tile order,
+// timing the CSR engine against the forced-dense engine on the same
+// random instance. The break-even densities observed here size the
+// sparseDensityThresholds table in config.go (and the sophiebench
+// "sparse/crossover" arm re-records a compact subset into the tracked
+// baseline). Both arms compute bit-identical trajectories, so the
+// ratio is a pure datapath comparison.
+//
+// Run with:
+//
+//	go test ./internal/core -bench SparseCrossover -benchtime 0.3s -run '^$'
+func BenchmarkSparseCrossover(b *testing.B) {
+	for _, tile := range []int{64, 128, 256, 512} {
+		n := 2 * tile // multi-tile, so the dense engine's pair scheduling is exercised
+		for _, density := range []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50, 0.80} {
+			m := int(density * float64(n*(n-1)) / 2)
+			g, err := graph.Random(n, m, graph.WeightUnit, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			model := ising.FromMaxCut(g)
+			cfg := DefaultConfig()
+			cfg.TileSize = tile
+			cfg.LocalIters = 4
+			cfg.GlobalIters = 8
+			cfg.Phi = 0.1
+			cfg.SkipTransform = true
+			for _, arm := range []struct {
+				name  string
+				force bool
+			}{{"sparse", false}, {"dense", true}} {
+				acfg := cfg
+				acfg.ForceDense = arm.force
+				if !arm.force {
+					// Pin the CSR engine regardless of the threshold table so
+					// the sweep measures both datapaths at every density.
+					acfg.forceSparse = true
+				}
+				s, err := NewSolver(model, acfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(0); err != nil { // warm outside the timed region
+					b.Fatal(err)
+				}
+				b.Run(fmt.Sprintf("tile%d/d%02.0f/%s", tile, density*100, arm.name), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := s.Run(int64(i)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

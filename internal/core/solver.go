@@ -60,7 +60,8 @@ type readoutQuantizer interface {
 // dense couplings to densify — and require SkipTransform with the
 // default engine. Dense-built models auto-select the sparse engine when
 // they are eligible (SkipTransform, default engine, no ForceDense) and
-// the coupling density is below sparseDensityThreshold; the selection
+// the coupling density is below the tile order's measured threshold
+// (sparseDensityThresholdFor); the selection
 // is invisible in results because the sparse engine is bit-identical to
 // the ideal dense engine on the same couplings.
 func NewSolver(m *ising.Model, cfg Config) (*Solver, error) {
@@ -78,7 +79,7 @@ func NewSolver(m *ising.Model, cfg Config) (*Solver, error) {
 	if cfg.ColoredUpdate {
 		if !sparse {
 			return nil, fmt.Errorf("core: ColoredUpdate requires the sparse datapath (density %.3f >= %.2f; lower the density or build the model with NewModelCSR)",
-				modelDensity(m), sparseDensityThreshold)
+				modelDensity(m), sparseDensityThresholdFor(cfg.TileSize))
 		}
 		if grid.Tiles != 1 {
 			return nil, fmt.Errorf("core: ColoredUpdate requires a single tile (TileSize %d < %d spins)", cfg.TileSize, m.N())
@@ -170,7 +171,10 @@ func pickSparse(m *ising.Model, cfg *Config) (bool, error) {
 	if cfg.ForceDense || !cfg.SkipTransform || cfg.Engine != nil {
 		return false, nil
 	}
-	return modelDensity(m) < sparseDensityThreshold, nil
+	if cfg.forceSparse {
+		return true, nil
+	}
+	return modelDensity(m) < sparseDensityThresholdFor(cfg.TileSize), nil
 }
 
 // modelDensity returns the stored coupling density, nnz/n².

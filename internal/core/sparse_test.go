@@ -269,7 +269,9 @@ func TestSparseSelectionErrors(t *testing.T) {
 		}
 	})
 	t.Run("colored update needs sparse density", func(t *testing.T) {
-		_, dense := testProblem(t) // 12.1% density, above the threshold
+		// A complete graph stores at ~99% density, above every entry of
+		// the per-tile-order threshold table.
+		dense := ising.FromMaxCut(graph.KGraph(64))
 		cfg := coloredConfig(dense.N())
 		if _, err := NewSolver(dense, cfg); err == nil {
 			t.Fatal("want error")

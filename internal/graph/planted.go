@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PlantedPartition generates a two-community stochastic block model: n
+// nodes split into two planted halves (sizes ⌈n/2⌉ and ⌊n/2⌋), each
+// intra-community pair connected with probability pIn and each
+// cross-community pair with probability pOut, all edges weight 1. With
+// pIn > pOut the planted split is the likely optimum of the balanced
+// partition objective, which makes these instances ground-truthed
+// benchmarks for the partition reduction. The returned sides slice is
+// the planted assignment (sides[v] ∈ {0,1}). Generation is
+// deterministic for a given seed.
+func PlantedPartition(n int, pIn, pOut float64, seed int64) (*Graph, []int, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("graph: planted partition needs n >= 2, got %d", n)
+	}
+	if pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		return nil, nil, fmt.Errorf("graph: planted partition probabilities (%v, %v) must be in [0,1]", pIn, pOut)
+	}
+	g := New(n)
+	sides := make([]int, n)
+	half := (n + 1) / 2
+	for v := half; v < n; v++ {
+		sides[v] = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if sides[u] == sides[v] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				if err := g.AddEdge(u, v, 1); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return g, sides, nil
+}

@@ -13,18 +13,27 @@ import (
 	"sophie/internal/linalg"
 )
 
-// Model is an Ising model without external field: H = -½ Σ σᵢKᵢⱼσⱼ
-// over spins σ ∈ {-1,+1}ᴺ with a symmetric coupling matrix K whose
-// diagonal is zero. The couplings live either densely (NewModel) or in
-// CSR form (NewModelCSR) — sparse-built models never materialize the
-// n×n matrix, which is what makes million-spin instances representable,
-// and every energy computed over them is bit-identical to the dense
-// evaluation of the same couplings (skipped zero terms are exact ±0
-// additions; see the linalg bit-exactness contract).
+// Model is an Ising model H = -½ Σ σᵢKᵢⱼσⱼ - Σ hᵢσᵢ over spins
+// σ ∈ {-1,+1}ᴺ with a symmetric coupling matrix K whose diagonal is
+// zero and an optional linear bias (external field) h. The couplings
+// live either densely (NewModel) or in CSR form (NewModelCSR) —
+// sparse-built models never materialize the n×n matrix, which is what
+// makes million-spin instances representable, and every energy computed
+// over them is bit-identical to the dense evaluation of the same
+// couplings (skipped zero terms are exact ±0 additions; see the linalg
+// bit-exactness contract).
+//
+// The field is what lets the problem compiler (internal/problem) lower
+// QUBOs and penalty reductions without ancilla spins: a nil h selects
+// exactly the pre-field code in every energy walk and in the solver
+// datapath (the field enters the recurrence purely as a per-node
+// threshold shift, see internal/pris), so field-free models — max-cut
+// in particular — are bit-identical to the pre-field implementation.
 type Model struct {
 	n  int
 	k  *linalg.Matrix // dense couplings; nil for sparse-built models
 	ks *linalg.CSR    // sparse couplings; set only by sparse construction
+	h  []float64      // linear bias hᵢ; nil means no external field
 }
 
 // NewModel wraps a symmetric coupling matrix. The diagonal is zeroed
@@ -111,6 +120,32 @@ func FromMaxCutCSR(g *graph.Graph) *Model {
 	return m
 }
 
+// WithField returns a model sharing this model's couplings with the
+// external field h installed: H gains the -Σ hᵢσᵢ term, and the solver
+// datapath shifts node i's threshold by -hᵢ/2 (internal/pris). The
+// slice is copied; a nil or all-omitted h is rejected to keep "no
+// field" spelled one way (the nil field of the base constructors).
+func (m *Model) WithField(h []float64) (*Model, error) {
+	if len(h) != m.n {
+		return nil, fmt.Errorf("ising: field has %d entries for %d spins", len(h), m.n)
+	}
+	for i, v := range h {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("ising: field[%d] = %v is not finite", i, v)
+		}
+	}
+	out := *m
+	out.h = append([]float64(nil), h...)
+	return &out, nil
+}
+
+// Field returns the external field, or nil when the model has none.
+// Callers must not modify the slice.
+func (m *Model) Field() []float64 { return m.h }
+
+// HasField reports whether the model carries a linear bias term.
+func (m *Model) HasField() bool { return m.h != nil }
+
 // N returns the number of spins.
 func (m *Model) N() int { return m.n }
 
@@ -138,7 +173,10 @@ func (m *Model) Sparse() (*linalg.CSR, error) {
 	return linalg.NewCSRFromDense(m.k)
 }
 
-// Energy evaluates the Hamiltonian H = -½ Σ σᵢKᵢⱼσⱼ (Eq. 1) for ±1 spins.
+// Energy evaluates the Hamiltonian H = -½ Σ σᵢKᵢⱼσⱼ - Σ hᵢσᵢ (Eq. 1
+// plus the optional linear bias) for ±1 spins. With no field the
+// arithmetic is exactly the field-free walk — no extra terms, not even
+// exact zeros — preserving bit-identity with pre-field results.
 func (m *Model) Energy(spins []int8) float64 {
 	if len(spins) != m.N() {
 		panic(fmt.Sprintf("ising: Energy got %d spins for %d-spin model", len(spins), m.N()))
@@ -153,7 +191,7 @@ func (m *Model) Energy(spins []int8) float64 {
 				h += float64(spins[i]) * v * float64(spins[j])
 			}
 		})
-		return -h
+		return -h - m.fieldEnergy(spins)
 	}
 	n := m.N()
 	for i := 0; i < n; i++ {
@@ -163,12 +201,28 @@ func (m *Model) Energy(spins []int8) float64 {
 			h += si * row[j] * float64(spins[j])
 		}
 	}
-	return -h // -½ Σ_{i,j} = -Σ_{i<j} by symmetry
+	// -½ Σ_{i,j} = -Σ_{i<j} by symmetry
+	return -h - m.fieldEnergy(spins)
+}
+
+// fieldEnergy returns Σ hᵢσᵢ, or exactly 0.0 for field-free models so
+// `-h - 0` reproduces the pre-field `-h` bit for bit (x - 0 == x for
+// every float64 x, including -0: -0 - 0 = -0).
+func (m *Model) fieldEnergy(spins []int8) float64 {
+	if m.h == nil {
+		return 0
+	}
+	e := 0.0
+	for i, hi := range m.h {
+		e += hi * float64(spins[i])
+	}
+	return e
 }
 
 // EnergyDelta returns the energy change from flipping spin i, computed in
 // O(N) without re-evaluating the full Hamiltonian. Flipping σᵢ changes H
-// by 2·σᵢ·Σⱼ Kᵢⱼσⱼ.
+// by 2·σᵢ·(Σⱼ Kᵢⱼσⱼ + hᵢ). Field-free models skip the hᵢ addition
+// entirely, keeping the accumulation bit-identical to pre-field code.
 func (m *Model) EnergyDelta(spins []int8, i int) float64 {
 	field := 0.0
 	if m.k == nil {
@@ -177,11 +231,17 @@ func (m *Model) EnergyDelta(spins []int8, i int) float64 {
 		m.ks.ScanRow(i, func(j int, v float64) {
 			field += v * float64(spins[j])
 		})
+		if m.h != nil {
+			field += m.h[i]
+		}
 		return 2 * float64(spins[i]) * field
 	}
 	row := m.k.Row(i)
 	for j, kij := range row {
 		field += kij * float64(spins[j])
+	}
+	if m.h != nil {
+		field += m.h[i]
 	}
 	return 2 * float64(spins[i]) * field
 }
@@ -200,12 +260,21 @@ func (m *Model) IntegerCouplings() bool {
 		return true
 	}
 	// Each energy term and each accumulated delta is a sum of at most
-	// n² couplings; keep the worst-case magnitude below 2⁵².
+	// n² couplings (plus n field entries, which the same bound covers);
+	// keep the worst-case magnitude below 2⁵².
 	limit := math.Exp2(52) / (float64(n) * float64(n))
+	intWithin := func(v float64) bool {
+		return math.Trunc(v)-v == 0 && math.Abs(v) <= limit
+	}
+	for _, v := range m.h {
+		if !intWithin(v) {
+			return false
+		}
+	}
 	if m.k == nil {
 		ok := true
 		m.ks.Scan(func(_, _ int, v float64) {
-			if math.Trunc(v)-v != 0 || math.Abs(v) > limit {
+			if !intWithin(v) {
 				ok = false
 			}
 		})
@@ -213,7 +282,7 @@ func (m *Model) IntegerCouplings() bool {
 	}
 	for i := 0; i < n; i++ {
 		for _, v := range m.k.Row(i) {
-			if math.Trunc(v)-v != 0 || math.Abs(v) > limit {
+			if !intWithin(v) {
 				return false
 			}
 		}

@@ -87,7 +87,9 @@ type Transform struct {
 }
 
 // NewTransform builds the transform for the model with the given dropout
-// factor; skip selects C = K without eigendecomposition.
+// factor; skip selects C = K without eigendecomposition. A model with an
+// external field (ising.Model.Field) has the field folded into the
+// thresholds — see shiftThresholds.
 func NewTransform(m *ising.Model, alpha float64, skip bool) (*Transform, error) {
 	var c *linalg.Matrix
 	if skip {
@@ -99,7 +101,9 @@ func NewTransform(m *ising.Model, alpha float64, skip bool) (*Transform, error) 
 			return nil, err
 		}
 	}
-	return wrapTransform(c), nil
+	t := wrapTransform(c)
+	shiftThresholds(t.Thresholds, m.Field())
+	return t, nil
 }
 
 // NewTransformRank builds the transform through the rank-limited Lanczos
@@ -110,18 +114,38 @@ func NewTransformRank(m *ising.Model, alpha float64, rank int, seed int64) (*Tra
 	if err != nil {
 		return nil, err
 	}
-	return wrapTransform(c), nil
+	t := wrapTransform(c)
+	shiftThresholds(t.Thresholds, m.Field())
+	return t, nil
 }
 
 // NewTransformRankSparse builds the rank-limited transform directly
 // from a sparse coupling matrix (e.g. graph.CouplingCSR), so the
-// Krylov iterations cost O(nnz) instead of O(n²) per step.
+// Krylov iterations cost O(nnz) instead of O(n²) per step. It takes raw
+// couplings, not a model, so no field enters here.
 func NewTransformRankSparse(k *linalg.CSR, alpha float64, rank int, seed int64) (*Transform, error) {
 	c, err := linalg.PRISTransformRankSparse(k, alpha, rank, seed)
 	if err != nil {
 		return nil, err
 	}
 	return wrapTransform(c), nil
+}
+
+// shiftThresholds folds an external field into the threshold vector:
+// θᵢ -= hᵢ/2. For C = K this is exact — the recurrence's update rule
+// "set σᵢ = +1 iff (K·x)ᵢ ≥ θᵢ" becomes, in ±1 variables,
+// "(K·σ)ᵢ + hᵢ ≥ 0", the locally greedy descent direction of
+// H = -½σᵀKσ - hᵀσ. With eigenvalue dropout the same shift applies,
+// treating the dropout as acting on the quadratic part only. A nil
+// field leaves the vector untouched (bit-compat invariant: field-free
+// models keep the exact pre-field thresholds).
+func shiftThresholds(thresholds, h []float64) {
+	if h == nil {
+		return
+	}
+	for i, hi := range h {
+		thresholds[i] -= hi / 2
+	}
 }
 
 // TransformCSR is the sparse counterpart of Transform: the
@@ -159,6 +183,7 @@ func NewTransformCSR(m *ising.Model) (*TransformCSR, error) {
 		t.Thresholds[i] = sum / 2 // θᵢ = Σⱼ Cᵢⱼ/2 (Eq. 7)
 		t.RowNorms[i] = math.Sqrt(sumSq)
 	}
+	shiftThresholds(t.Thresholds, m.Field())
 	return t, nil
 }
 

@@ -1,0 +1,149 @@
+package problem
+
+import (
+	"fmt"
+
+	"sophie/internal/graph"
+)
+
+// Coloring is graph k-coloring as a feasibility problem: assign each
+// node one of Colors colors so no edge is monochromatic. One-hot
+// variables x_{v,c} (index v·k + c) carry the encoding (Lucas §6.1):
+//
+//	H = A·Σ_v (1 − Σ_c x_{v,c})² + A·Σ_{(u,v)∈E} Σ_c x_{u,c}·x_{v,c}
+//
+// Both constraint families share one weight A (default 1 — the
+// objective is pure feasibility, so scale is free), and a zero-energy
+// state is exactly a proper coloring. The one-hot expansion has
+// genuine linear terms, so this reduction exercises the model's
+// external-field datapath.
+type Coloring struct {
+	G      *graph.Graph
+	Colors int
+}
+
+// ColoringSolution is the decoded answer. Colors[v] is v's color
+// (repair-decoded when one-hot is violated: an unset node takes the
+// color minimizing conflicts, a multi-set node its first set color).
+// Conflicts counts improper edges after decoding (the minimization
+// objective; 0 = proper).
+type ColoringSolution struct {
+	Colors    []int `json:"colors"`
+	Conflicts int   `json:"conflicts"`
+}
+
+// Type implements Problem.
+func (p *Coloring) Type() string { return "coloring" }
+
+func (p *Coloring) validate() error {
+	if p.G == nil || p.G.N() == 0 {
+		return fmt.Errorf("coloring: empty graph")
+	}
+	if p.Colors < 1 {
+		return fmt.Errorf("coloring: need at least one color, got %d", p.Colors)
+	}
+	if p.Colors > 1<<16 {
+		return fmt.Errorf("coloring: %d colors is unreasonably large", p.Colors)
+	}
+	return nil
+}
+
+// Lower implements Problem.
+func (p *Coloring) Lower() (*IR, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n, k := p.G.N(), p.Colors
+	ir := NewIR(n * k)
+	idx := func(v, c int) int { return v*k + c }
+	// One-hot rows: (1 − Σ_c x)² = 1 − 2Σx + Σx + 2Σ_{c<c'}x_c x_c'
+	// (using x² = x): linear −1 per variable, +2 per color pair.
+	for v := 0; v < n; v++ {
+		for c := 0; c < k; c++ {
+			ir.AddLinear(idx(v, c), -1)
+			for c2 := c + 1; c2 < k; c2++ {
+				ir.AddQuad(idx(v, c), idx(v, c2), 2)
+			}
+		}
+		ir.Offset++
+	}
+	// Monochromatic edges.
+	for _, e := range p.G.Edges() {
+		for c := 0; c < k; c++ {
+			ir.AddQuad(idx(e.U, c), idx(e.V, c), 1)
+		}
+	}
+	return ir, nil
+}
+
+// Decode implements Problem: feasible iff every node had exactly one
+// color set and no edge is monochromatic.
+func (p *Coloring) Decode(spins []int8) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n, k := p.G.N(), p.Colors
+	if err := checkSpins(spins, n*k); err != nil {
+		return nil, err
+	}
+	colors := make([]int, n)
+	var violations []string
+	oneHot := true
+	for v := 0; v < n; v++ {
+		set := -1
+		count := 0
+		for c := 0; c < k; c++ {
+			if spins[v*k+c] == 1 {
+				count++
+				if set < 0 {
+					set = c
+				}
+			}
+		}
+		if count != 1 {
+			oneHot = false
+			violations = addViolation(violations, "node %d has %d colors set", v, count)
+		}
+		colors[v] = set // repaired below when unset
+	}
+	// Repair pass: unset nodes take the color minimizing conflicts
+	// against already-decoded neighbors, so callers always get a full
+	// coloring even from an infeasible spin state.
+	adj := make([][]int, n)
+	for _, e := range p.G.Edges() {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for v := 0; v < n; v++ {
+		if colors[v] >= 0 {
+			continue
+		}
+		bestC, bestConf := 0, int(^uint(0)>>1)
+		for c := 0; c < k; c++ {
+			conf := 0
+			for _, u := range adj[v] {
+				if colors[u] == c {
+					conf++
+				}
+			}
+			if conf < bestConf {
+				bestC, bestConf = c, conf
+			}
+		}
+		colors[v] = bestC
+	}
+	conflicts := 0
+	for _, e := range p.G.Edges() {
+		if colors[e.U] == colors[e.V] {
+			conflicts++
+			violations = addViolation(violations, "edge (%d,%d) is monochromatic (color %d)", e.U, e.V, colors[e.U])
+		}
+	}
+	return &Solution{
+		Type:       p.Type(),
+		Objective:  float64(conflicts),
+		Feasible:   oneHot && conflicts == 0,
+		Violations: violations,
+		Assignment: &ColoringSolution{Colors: colors, Conflicts: conflicts},
+	}, nil
+}

@@ -1,0 +1,181 @@
+package problem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzProblemSpec drives hostile documents through the full front-end
+// pipeline: ParseSpec must never panic and must fail only with
+// *SpecError; specs that parse must Lower/Compile without panicking,
+// and small compiled models must round-trip a decode. The seed corpus
+// mixes one valid document per type with the classic JSON attack
+// shapes (deep nesting, huge counts, NaN/Inf smuggling, duplicate
+// keys, wrong-typed fields).
+func FuzzProblemSpec(f *testing.F) {
+	seeds := []string{
+		// One valid document per type.
+		`{"type":"qubo","n":3,"entries":[[0,1,-2],[1,1,0.5]],"offset":1}`,
+		`{"type":"maxcut","graph":{"n":3,"edges":[[0,1,1],[1,2,2]]}}`,
+		`{"type":"maxsat","vars":3,"clauses":[{"lits":[1,-2]},{"lits":[-1,2,3],"weight":2}]}`,
+		`{"type":"partition","graph":{"n":4,"edges":[[0,1,1],[2,3,1]]},"balance_weight":2}`,
+		`{"type":"coloring","graph":{"n":3,"edges":[[0,1,1]]},"colors":2}`,
+		`{"type":"numberpartition","numbers":[4,5,6,7,8]}`,
+		`{"type":"tsp","dist":[[0,1,2],[1,0,1],[2,1,0]],"penalty_weight":5}`,
+		`{"type":"hopfield","patterns":[[1,-1,1,-1]],"probe":[1,1,1,-1]}`,
+		// Hostile shapes.
+		``,
+		`null`,
+		`{}`,
+		`[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]`,
+		`{"type":"qubo","n":9999999999999999999}`,
+		`{"type":"qubo","n":4194304,"entries":[]}`,
+		`{"type":"qubo","n":2,"entries":[[0,1,1e309]]}`,
+		`{"type":"qubo","n":2,"entries":[[NaN,1,1]]}`,
+		`{"type":"maxcut","graph":{"n":-1}}`,
+		`{"type":"maxcut","graph":{"n":3,"edges":[[0,1,1],[0,1,1],[1,0,2]]}}`,
+		`{"type":"maxsat","vars":1,"clauses":[{"lits":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1]}]}`,
+		`{"type":"maxsat","vars":-5,"clauses":[{"lits":[-9223372036854775808]}]}`,
+		`{"type":"coloring","graph":{"n":2048,"edges":[]},"colors":2048}`,
+		`{"type":"tsp","dist":[[0]]}`,
+		`{"type":"tsp","dist":[[0,1],[1,0],[2,2]]}`,
+		`{"type":"hopfield","patterns":[[1],[1,-1]],"probe":[127]}`,
+		`{"type":"numberpartition","numbers":[1e308,1e308,-1e308]}`,
+		`{"type":"qubo","type":"maxcut","n":2}`,
+		`{"type":"qubo","n":1}`,
+		`{"type":"qubo","n":2,"entries":[[0,1,1],[0,1,"x"]]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseSpec(data)
+		if err != nil {
+			var serr *SpecError
+			if !errors.As(err, &serr) {
+				t.Fatalf("ParseSpec error %T is not a *SpecError: %v", err, err)
+			}
+			if serr.Reason == "" || serr.Msg == "" {
+				t.Fatalf("SpecError missing reason/message: %+v", serr)
+			}
+			return
+		}
+		if p.Type() == "" || !knownType(p.Type()) {
+			t.Fatalf("parsed problem reports unknown type %q", p.Type())
+		}
+		// The production budgets allow specs lowering to tens of millions
+		// of terms; per-exec that would turn the fuzzer into a memory
+		// benchmark, so skip anything estimated past a test-sized bound
+		// BEFORE Lower allocates.
+		if estimateLowered(p) > 1<<16 {
+			return
+		}
+		ir, err := p.Lower()
+		if err != nil {
+			return // semantic rejection is fine; panics are not
+		}
+		if ir.N > 512 || len(ir.Terms) > 1<<16 {
+			return
+		}
+		c, err := ir.Compile()
+		if err != nil {
+			return
+		}
+		spins := make([]int8, c.Model.N())
+		for i := range spins {
+			if i%3 == 0 {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		sol, err := p.Decode(spins)
+		if err != nil {
+			// Decode may reject only on spin-count mismatch, which cannot
+			// happen for the model's own order.
+			t.Fatalf("Decode rejected the compiled model's own spin vector: %v", err)
+		}
+		if sol.Type != p.Type() {
+			t.Fatalf("solution type %q for problem %q", sol.Type, p.Type())
+		}
+	})
+}
+
+// estimateLowered upper-bounds the lowered term count from the
+// declared sizes, without lowering — mirrors ParseSpec's maxSpecTerms
+// estimates at fuzz-exec scale.
+func estimateLowered(p Problem) int64 {
+	switch q := p.(type) {
+	case *QUBO:
+		return int64(q.N) + int64(len(q.Entries))
+	case *MaxCut:
+		return int64(q.G.N()) + int64(len(q.G.Edges()))
+	case *MaxSAT:
+		total := int64(q.Vars)
+		for _, c := range q.Clauses {
+			total += int64(len(c.Lits)) * 4 // each chained gate emits a handful of terms
+		}
+		return total
+	case *Partition:
+		n := int64(q.G.N())
+		return n * n / 2
+	case *Coloring:
+		n, k := int64(q.G.N()), int64(q.Colors)
+		if k <= 0 {
+			return n
+		}
+		return n*k*k/2 + int64(len(q.G.Edges()))*k
+	case *NumberPartition:
+		n := int64(len(q.Numbers))
+		return n * n / 2
+	case *TSP:
+		n := int64(len(q.Dist))
+		return n * n * n
+	case *Hopfield:
+		if len(q.Patterns) == 0 {
+			return 0
+		}
+		n := int64(len(q.Patterns[0]))
+		return n * n / 2 * int64(len(q.Patterns)) // Hebbian sum: n²/2 pairs × p patterns
+	default:
+		return 1 << 62 // unknown type: never lower it in the fuzzer
+	}
+}
+
+func knownType(typ string) bool {
+	for _, k := range SpecTypes() {
+		if k == typ {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFuzzSeedsSmoke replays the fuzz logic over the seed corpus in a
+// plain test, so `go test` exercises the hostile documents even when
+// no fuzz engine runs (the CI fuzz-smoke leg then runs the real
+// mutator for a bounded time).
+func TestFuzzSeedsSmoke(t *testing.T) {
+	hostile := []string{
+		``, `null`, `{}`, `x`, strings.Repeat("[", 64) + strings.Repeat("]", 64),
+		`{"type":"qubo","n":9999999999999999999}`,
+		`{"type":"maxsat","vars":-5,"clauses":[{"lits":[0]}]}`,
+		`{"type":"hopfield","patterns":[[1],[1,-1]],"probe":[127]}`,
+	}
+	for _, s := range hostile {
+		p, err := ParseSpec([]byte(s))
+		if err != nil {
+			var serr *SpecError
+			if !errors.As(err, &serr) {
+				t.Fatalf("%q: error %T is not a *SpecError", s, err)
+			}
+			continue
+		}
+		if _, err := p.Lower(); err == nil {
+			if _, err := Compile(p); err != nil {
+				t.Fatalf("%q: lowered but did not compile: %v", s, err)
+			}
+		}
+	}
+}

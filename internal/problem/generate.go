@@ -1,0 +1,106 @@
+package problem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomKSAT generates a planted-satisfiable random k-SAT instance:
+// a hidden assignment is drawn first and every clause is resampled
+// until it satisfies it, so the optimum (all clauses satisfied, weight
+// = clause count) is known by construction — which makes these
+// instances usable as golden decode tests and CLI demo inputs. All
+// clause weights are 1. Generation is deterministic for a given seed;
+// the planted assignment is returned alongside the instance.
+func RandomKSAT(vars, clauses, k int, seed int64) (*MaxSAT, []int, error) {
+	if vars <= 0 {
+		return nil, nil, fmt.Errorf("ksat: vars %d must be positive", vars)
+	}
+	if k <= 0 || k > vars {
+		return nil, nil, fmt.Errorf("ksat: clause width %d must be in [1, %d]", k, vars)
+	}
+	if clauses < 0 {
+		return nil, nil, fmt.Errorf("ksat: clause count %d must be >= 0", clauses)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	planted := make([]int, vars)
+	for i := range planted {
+		planted[i] = rng.Intn(2)
+	}
+	p := &MaxSAT{Vars: vars}
+	lits := make([]int, k)
+	for c := 0; c < clauses; c++ {
+		for {
+			// Draw k distinct variables, then random polarities.
+			seen := make(map[int]bool, k)
+			for i := 0; i < k; i++ {
+				v := rng.Intn(vars)
+				for seen[v] {
+					v = rng.Intn(vars)
+				}
+				seen[v] = true
+				if rng.Intn(2) == 0 {
+					lits[i] = v + 1
+				} else {
+					lits[i] = -(v + 1)
+				}
+			}
+			if satisfiesPlanted(lits, planted) {
+				cl := Clause{Lits: make([]int, k), Weight: 1}
+				copy(cl.Lits, lits)
+				p.Clauses = append(p.Clauses, cl)
+				break
+			}
+		}
+	}
+	return p, planted, nil
+}
+
+func satisfiesPlanted(lits []int, planted []int) bool {
+	for _, l := range lits {
+		if l > 0 && planted[l-1] == 1 {
+			return true
+		}
+		if l < 0 && planted[-l-1] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomPatterns draws p independent uniform ±1 patterns of length n
+// for Hopfield storage experiments. Deterministic for a given seed.
+func RandomPatterns(n, p int, seed int64) ([][]int8, error) {
+	if n <= 0 || p <= 0 {
+		return nil, fmt.Errorf("patterns: dimensions (%d, %d) must be positive", n, p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int8, p)
+	for mu := range out {
+		pat := make([]int8, n)
+		for i := range pat {
+			if rng.Intn(2) == 0 {
+				pat[i] = 1
+			} else {
+				pat[i] = -1
+			}
+		}
+		out[mu] = pat
+	}
+	return out, nil
+}
+
+// CorruptPattern flips each entry of pat independently with
+// probability flip, returning a fresh slice — the standard probe
+// construction for recall experiments. Deterministic for a given seed.
+func CorruptPattern(pat []int8, flip float64, seed int64) []int8 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int8, len(pat))
+	copy(out, pat)
+	for i := range out {
+		if rng.Float64() < flip {
+			out[i] = -out[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package problem
+
+import (
+	"fmt"
+)
+
+// Hopfield is associative recall on a Hopfield network: store P
+// bipolar patterns ξ¹..ξᴾ of length N under the Hebbian rule
+//
+//	J_ij = (1/N)·Σ_μ ξᵢ^μ·ξⱼ^μ   (i ≠ j),
+//
+// then relax from a corrupted probe; the attractor nearest the probe
+// is the recalled memory. The Hamiltonian −½σᵀJσ is pure
+// spin-quadratic, so Lower emits AddIsing terms only and the compiled
+// model carries no field. Storage is reliable up to the classical
+// capacity P ≈ 0.138·N; past it the energy landscape shatters and
+// recall collapses (the capacity test pins both regimes).
+type Hopfield struct {
+	// Patterns are the stored memories; each must be the same length
+	// with entries ±1.
+	Patterns [][]int8
+	// Probe, when non-nil, is the initial spin state handed to the
+	// solver (a corrupted pattern to be cleaned up). Must match the
+	// pattern length. When nil the solver starts from its usual random
+	// initialization.
+	Probe []int8
+}
+
+// HopfieldSolution is the decoded answer: BestPattern is the index of
+// the stored pattern with the largest |overlap|, Overlap = (1/N)Σξᵢσᵢ
+// with that pattern (sign included; −1 is the spin-flipped attractor,
+// an equally valid recall since H is even), and Overlaps lists the
+// per-pattern values.
+type HopfieldSolution struct {
+	BestPattern int       `json:"best_pattern"`
+	Overlap     float64   `json:"overlap"`
+	Overlaps    []float64 `json:"overlaps"`
+}
+
+// Type implements Problem.
+func (p *Hopfield) Type() string { return "hopfield" }
+
+func (p *Hopfield) validate() error {
+	if len(p.Patterns) == 0 {
+		return fmt.Errorf("hopfield: no patterns")
+	}
+	n := len(p.Patterns[0])
+	if n == 0 {
+		return fmt.Errorf("hopfield: empty pattern")
+	}
+	for mu, pat := range p.Patterns {
+		if len(pat) != n {
+			return fmt.Errorf("hopfield: pattern %d has length %d, want %d", mu, len(pat), n)
+		}
+		for i, s := range pat {
+			if s != 1 && s != -1 {
+				return fmt.Errorf("hopfield: pattern %d entry %d is %d, want ±1", mu, i, s)
+			}
+		}
+	}
+	if p.Probe != nil {
+		if len(p.Probe) != n {
+			return fmt.Errorf("hopfield: probe has length %d, want %d", len(p.Probe), n)
+		}
+		for i, s := range p.Probe {
+			if s != 1 && s != -1 {
+				return fmt.Errorf("hopfield: probe entry %d is %d, want ±1", i, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Lower implements Problem.
+func (p *Hopfield) Lower() (*IR, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Patterns[0])
+	ir := NewIR(n)
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum := 0
+			for _, pat := range p.Patterns {
+				sum += int(pat[i]) * int(pat[j])
+			}
+			if sum != 0 {
+				ir.AddIsing(i, j, float64(sum)*inv)
+			}
+		}
+	}
+	return ir, nil
+}
+
+// InitialSpins implements Initializer: the probe seeds the solver
+// inside the target basin of attraction. Returns nil when no probe is
+// set.
+func (p *Hopfield) InitialSpins() []int8 {
+	if p.Probe == nil {
+		return nil
+	}
+	out := make([]int8, len(p.Probe))
+	copy(out, p.Probe)
+	return out
+}
+
+// Decode implements Problem: recall quality is the best absolute
+// pattern overlap. Always feasible — there are no hard constraints,
+// only better and worse attractors.
+func (p *Hopfield) Decode(spins []int8) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Patterns[0])
+	if err := checkSpins(spins, n); err != nil {
+		return nil, err
+	}
+	overlaps := make([]float64, len(p.Patterns))
+	best, bestAbs := 0, -1.0
+	for mu, pat := range p.Patterns {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += int(pat[i]) * int(spins[i])
+		}
+		m := float64(sum) / float64(n)
+		overlaps[mu] = m
+		if a := absf(m); a > bestAbs {
+			best, bestAbs = mu, a
+		}
+	}
+	return &Solution{
+		Type:      p.Type(),
+		Objective: overlaps[best],
+		Feasible:  true,
+		Assignment: &HopfieldSolution{
+			BestPattern: best,
+			Overlap:     overlaps[best],
+			Overlaps:    overlaps,
+		},
+	}, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

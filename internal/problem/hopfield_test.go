@@ -1,0 +1,82 @@
+package problem
+
+import (
+	"testing"
+
+	"sophie/internal/core"
+)
+
+// recallOverlap stores p random patterns in an n-neuron Hopfield
+// network, probes with a corrupted copy of pattern 0, runs the solver
+// from the probe, and returns the decoded |overlap| with the target.
+func recallOverlap(t *testing.T, n, p int, seed int64) float64 {
+	t.Helper()
+	pats, err := RandomPatterns(n, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := &Hopfield{Patterns: pats, Probe: CorruptPattern(pats[0], 0.10, seed+1000)}
+	c, err := Compile(hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.TileSize = n
+	cfg.LocalIters = 3
+	cfg.GlobalIters = 20
+	cfg.Phi = 0.05 // gentle noise: descend into the probe's basin, don't hop out
+	cfg.SkipTransform = true
+	cfg.InitialSpins = hp.InitialSpins()
+	s, err := core.NewSolver(c.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := hp.Decode(res.BestSpins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := 0.0
+	for i, xi := range pats[0] {
+		overlap += float64(xi) * float64(res.BestSpins[i])
+	}
+	overlap /= float64(n)
+	if hs := sol.Assignment.(*HopfieldSolution); absf(overlap) > 0.9 && hs.BestPattern != 0 {
+		t.Fatalf("solver converged onto pattern 0 (overlap %.3f) but Decode recalled pattern %d", overlap, hs.BestPattern)
+	}
+	return absf(overlap)
+}
+
+// TestHopfieldCapacity reproduces the associative-memory capacity
+// cliff: Hebbian storage recalls reliably below ~0.138·N patterns and
+// collapses into spin-glass states above it. At load 0.10·N the probe
+// must converge back to its source pattern (overlap ≈ 1); at 0.20·N
+// crosstalk dominates and recall degrades markedly. Three seeds each,
+// judged on the mean so a single lucky/unlucky basin cannot flip the
+// verdict.
+func TestHopfieldCapacity(t *testing.T) {
+	const n = 120
+	seeds := []int64{1, 2, 3}
+
+	meanAt := func(p int) float64 {
+		total := 0.0
+		for _, seed := range seeds {
+			total += recallOverlap(t, n, p, seed)
+		}
+		return total / float64(len(seeds))
+	}
+
+	low := meanAt(n / 10) // 12 patterns: load 0.10, inside capacity
+	high := meanAt(n / 5) // 24 patterns: load 0.20, past the cliff
+	t.Logf("mean |overlap| with target: load 0.10 -> %.3f, load 0.20 -> %.3f", low, high)
+
+	if low < 0.9 {
+		t.Errorf("recall at load 0.10N gave mean overlap %.3f, want >= 0.9", low)
+	}
+	if high > low-0.1 {
+		t.Errorf("recall at load 0.20N (%.3f) should collapse well below load 0.10N (%.3f)", high, low)
+	}
+}

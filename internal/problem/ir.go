@@ -1,0 +1,196 @@
+package problem
+
+import (
+	"fmt"
+	"math"
+
+	"sophie/internal/ising"
+	"sophie/internal/linalg"
+)
+
+// Term is one quadratic monomial w·xᵢ·xⱼ of the IR objective, over
+// binary variables x ∈ {0,1}. Terms are unordered pairs: front ends
+// emit each pair once with i < j; Compile rejects i == j (a diagonal
+// term is linear, since x² = x) and i > j (canonical order keeps
+// lowering deterministic, so equal problems hash equal).
+type Term struct {
+	I, J int
+	W    float64
+}
+
+// IR is the compiler's intermediate representation: a quadratic
+// pseudo-Boolean objective
+//
+//	f(x) = Σ_{i<j} Wᵢⱼ·xᵢ·xⱼ + Σᵢ Linear[i]·xᵢ + Offset,  x ∈ {0,1}ᴺ
+//
+// to be minimized. Every front end lowers to this form; Compile maps it
+// onto an Ising Hamiltonian via x = (1+σ)/2. Duplicate Terms on the
+// same pair are summed in input order (the CSR build's stable
+// sort-and-merge), so front ends may emit incrementally.
+type IR struct {
+	N      int
+	Linear []float64 // nil means all-zero
+	Terms  []Term
+	Offset float64
+}
+
+// NewIR returns an empty IR over n binary variables.
+func NewIR(n int) *IR { return &IR{N: n} }
+
+// AddLinear accumulates w·xᵢ into the objective.
+func (ir *IR) AddLinear(i int, w float64) {
+	if ir.Linear == nil {
+		ir.Linear = make([]float64, ir.N)
+	}
+	ir.Linear[i] += w
+}
+
+// AddQuad accumulates w·xᵢ·xⱼ into the objective, canonicalizing the
+// pair order; i == j folds to a linear term (x² = x).
+func (ir *IR) AddQuad(i, j int, w float64) {
+	if i == j {
+		ir.AddLinear(i, w)
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	ir.Terms = append(ir.Terms, Term{I: i, J: j, W: w})
+}
+
+// AddIsing accumulates a spin-space coupling: K_ij gains k, so the
+// Hamiltonian H = -½σᵀKσ gains -k·σᵢ·σⱼ (by symmetry -½ over both
+// orderings is -1 over the pair). The
+// helper emits the quadratic term together with the two linear terms
+// that cancel the x=(1+σ)/2 cross terms, so a front end built purely
+// from AddIsing calls compiles to a model with NO external field —
+// exactly, in floating point, not just up to rounding (see Compile's
+// two-phase field accumulation) — which keeps max-cut, Hopfield, and
+// number partitioning on the pre-field nil-h datapath bit for bit.
+func (ir *IR) AddIsing(i, j int, k float64) {
+	if i == j {
+		panic(fmt.Sprintf("ir: AddIsing on the diagonal (%d,%d): σᵢ² is a constant, fold it into Offset", i, j))
+	}
+	// K_ij = -W/4 wants W = -4k; the linear terms 2k·xᵢ + 2k·xⱼ cancel
+	// the field contribution -(L/2 + ΣW/4) = -(k - k) term by term.
+	ir.AddQuad(i, j, -4*k)
+	ir.AddLinear(i, 2*k)
+	ir.AddLinear(j, 2*k)
+}
+
+// denseCompileLimit is the order above which Compile builds the model
+// CSR-only: a dense coupling matrix at this order is 32 MiB (8·n²
+// bytes), past which the sparse datapath is both the memory-sane and —
+// for the penalty reductions, which are structurally sparse — the fast
+// choice. At or below the limit the model is dense-built, keeping the
+// eigenvalue-dropout transform available.
+const denseCompileLimit = 2048
+
+// Compile maps the IR onto an Ising model. The change of variables
+// x = (1+σ)/2 applied to f(x) gives, matching H = -½σᵀKσ - hᵀσ:
+//
+//	K_ij   = -Wᵢⱼ/4                     (i ≠ j)
+//	h_i    = -(Linear[i]/2 + Σ_{j≠i} Wᵢⱼ/4)
+//	offset = Offset + Σ_{i<j} Wᵢⱼ/4 + Σᵢ Linear[i]/2
+//
+// so that f(x(σ)) = H(σ) + offset for every spin state — minimizing the
+// Hamiltonian minimizes the domain objective, and Compiled.Offset
+// recovers the domain value from a solver energy.
+func (ir *IR) Compile() (*Compiled, error) {
+	if ir.N <= 0 {
+		return nil, fmt.Errorf("ir: order %d must be positive", ir.N)
+	}
+	if ir.Linear != nil && len(ir.Linear) != ir.N {
+		return nil, fmt.Errorf("ir: %d linear coefficients for %d variables", len(ir.Linear), ir.N)
+	}
+	if !isFinite(ir.Offset) {
+		return nil, fmt.Errorf("ir: offset %v is not finite", ir.Offset)
+	}
+	for i, v := range ir.Linear {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("ir: linear[%d] = %v is not finite", i, v)
+		}
+	}
+
+	// Two-phase field accumulation: the quadratic contribution Σⱼ Wᵢⱼ/4
+	// is summed into its own accumulator (hq) before being combined with
+	// the linear half. For AddIsing-built IRs each node's hq sum walks
+	// the SAME pair sequence as its Linear sum, with exactly negated
+	// addends, so hq_i = -Linear[i]/2 bit for bit (float rounding is
+	// sign-symmetric and powers of two scale exactly) and the combined
+	// field is an exact ±0 — the nil-field bit-compat contract holds by
+	// construction, not by luck. Interleaving the two sums per term
+	// would break this: -fl(a+b) + a + b is not zero in general.
+	h := make([]float64, ir.N)
+	hq := make([]float64, ir.N)
+	offset := ir.Offset
+	entries := make([]linalg.Entry, 0, len(ir.Terms))
+	for k, t := range ir.Terms {
+		if t.I < 0 || t.J >= ir.N || t.I >= t.J {
+			return nil, fmt.Errorf("ir: term %d has pair (%d,%d), want 0 ≤ i < j < %d", k, t.I, t.J, ir.N)
+		}
+		if !isFinite(t.W) {
+			return nil, fmt.Errorf("ir: term %d on pair (%d,%d) has weight %v", k, t.I, t.J, t.W)
+		}
+		q := t.W / 4
+		entries = append(entries, linalg.Entry{Row: t.I, Col: t.J, Val: -q})
+		hq[t.I] += q
+		hq[t.J] += q
+		offset += q
+	}
+	for i, v := range ir.Linear {
+		h[i] = -(v/2 + hq[i])
+		offset += v / 2
+	}
+	if ir.Linear == nil {
+		for i, v := range hq {
+			h[i] = -v
+		}
+	}
+
+	var m *ising.Model
+	if ir.N <= denseCompileLimit {
+		k := linalg.NewMatrix(ir.N, ir.N)
+		for _, e := range entries {
+			k.Add(e.Row, e.Col, e.Val)
+			k.Add(e.Col, e.Row, e.Val)
+		}
+		var err error
+		m, err = ising.NewModel(k)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		k, err := linalg.NewCSRSym(ir.N, entries)
+		if err != nil {
+			return nil, err
+		}
+		m, err = ising.NewModelCSR(k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if anyNonzero(h) {
+		var err error
+		m, err = m.WithField(h)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Compiled{Model: m, Offset: offset}, nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// anyNonzero reports whether the field carries information; an all-zero
+// h stays off the model entirely, preserving the nil-field bit-compat
+// contract for purely quadratic problems (max-cut, number partitioning,
+// Hopfield).
+func anyNonzero(h []float64) bool {
+	for _, v := range h {
+		if v != 0 { //sophielint:ignore floateq exact-zero sentinel: ±0 means "no field", any other bit pattern is a real bias
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package problem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// evalIR computes the IR objective f(x) directly from the terms.
+func evalIR(ir *IR, x []int) float64 {
+	v := ir.Offset
+	for i, l := range ir.Linear {
+		v += l * float64(x[i])
+	}
+	for _, t := range ir.Terms {
+		v += t.W * float64(x[t.I]) * float64(x[t.J])
+	}
+	return v
+}
+
+// checkCompileAgainstBruteForce asserts f(x) == H(σ(x)) + offset for
+// every binary state, the compiler's defining identity.
+func checkCompileAgainstBruteForce(t *testing.T, ir *IR) {
+	t.Helper()
+	c, err := ir.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ir.N
+	if n > 16 {
+		t.Fatalf("brute force wants n <= 16, got %d", n)
+	}
+	x := make([]int, n)
+	spins := make([]int8, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			x[i] = (mask >> i) & 1
+			spins[i] = int8(2*x[i] - 1)
+		}
+		want := evalIR(ir, x)
+		got := c.Model.Energy(spins) + c.Offset
+		scale := math.Max(1, math.Abs(want))
+		if math.Abs(got-want) > 1e-9*scale {
+			t.Fatalf("state %0*b: f(x) = %v but H+offset = %v", n, mask, want, got)
+		}
+	}
+}
+
+func TestCompileMatchesObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		ir := NewIR(n)
+		ir.Offset = rng.NormFloat64()
+		for k := 0; k < 3*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			ir.AddQuad(i, j, rng.NormFloat64())
+		}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				ir.AddLinear(i, rng.NormFloat64())
+			}
+		}
+		checkCompileAgainstBruteForce(t, ir)
+	}
+}
+
+// TestAddIsingFieldExactlyZero pins the bit-compat contract: an IR
+// built purely from AddIsing calls compiles to a model with NO field —
+// even under adversarial magnitude mixes where naive interleaved
+// accumulation would leave a nonzero residue.
+func TestAddIsingFieldExactlyZero(t *testing.T) {
+	cases := [][]struct {
+		i, j int
+		k    float64
+	}{
+		{{0, 1, 1}, {1, 2, -1}, {0, 2, 0.5}},
+		// Catastrophic-cancellation bait: 1e20 + 1 + tiny terms.
+		{{0, 1, 1e20}, {1, 2, 1}, {0, 2, 1e-20}, {0, 1, -3}},
+		{{0, 1, 0.1}, {0, 2, 0.2}, {0, 3, 0.3}, {1, 2, 0.7}, {2, 3, 1e17}},
+	}
+	for ci, terms := range cases {
+		ir := NewIR(4)
+		for _, tm := range terms {
+			ir.AddIsing(tm.i, tm.j, tm.k)
+		}
+		c, err := ir.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Model.HasField() {
+			t.Fatalf("case %d: pure-Ising IR compiled with a field: %v", ci, c.Model.Field())
+		}
+	}
+}
+
+// TestAddIsingCouplings pins the spin-space semantics: K_ij == k.
+func TestAddIsingCouplings(t *testing.T) {
+	ir := NewIR(3)
+	ir.AddIsing(0, 1, 2.5)
+	ir.AddIsing(1, 2, -1.25)
+	c, err := ir.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := c.Model.Coupling()
+	if got := k.At(0, 1); got != 2.5 { //sophielint:ignore floateq power-of-two arithmetic is exact
+		t.Fatalf("K[0,1] = %v, want 2.5", got)
+	}
+	if got := k.At(2, 1); got != -1.25 { //sophielint:ignore floateq power-of-two arithmetic is exact
+		t.Fatalf("K[2,1] = %v, want -1.25", got)
+	}
+	if got := k.At(0, 2); got != 0 { //sophielint:ignore floateq untouched pair stays exactly zero
+		t.Fatalf("K[0,2] = %v, want 0", got)
+	}
+}
+
+func TestAddIsingDiagonalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on diagonal AddIsing")
+		}
+	}()
+	NewIR(2).AddIsing(1, 1, 1)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]*IR{
+		"zero order":     NewIR(0),
+		"bad term range": {N: 2, Terms: []Term{{I: 0, J: 5, W: 1}}},
+		"diagonal term":  {N: 2, Terms: []Term{{I: 1, J: 1, W: 1}}},
+		"reversed pair":  {N: 3, Terms: []Term{{I: 2, J: 0, W: 1}}},
+		"nan weight":     {N: 2, Terms: []Term{{I: 0, J: 1, W: math.NaN()}}},
+		"inf linear":     {N: 2, Linear: []float64{0, math.Inf(1)}},
+		"short linear":   {N: 3, Linear: []float64{1}},
+		"inf offset":     {N: 1, Offset: math.Inf(-1)},
+	}
+	for name, ir := range cases {
+		if _, err := ir.Compile(); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+// TestCompileCSRAboveLimit pins the dense/CSR build split: above
+// denseCompileLimit the model is sparse-built.
+func TestCompileCSRAboveLimit(t *testing.T) {
+	ir := NewIR(denseCompileLimit + 1)
+	ir.AddQuad(0, denseCompileLimit, 4)
+	c, err := ir.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Model.HasDense() {
+		t.Fatal("model above the dense limit should be CSR-built")
+	}
+	small := NewIR(8)
+	small.AddQuad(0, 1, 4)
+	cs, err := small.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Model.HasDense() {
+		t.Fatal("small model should be dense-built")
+	}
+}

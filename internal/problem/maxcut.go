@@ -1,0 +1,62 @@
+package problem
+
+import (
+	"fmt"
+
+	"sophie/internal/graph"
+)
+
+// MaxCut is the repo's founding workload as a compiler front end:
+// maximize the total weight of edges crossing a two-coloring of g.
+// Lower emits pure AddIsing terms with K_uv = -w(u,v), so the compiled
+// model is bit-identical to ising.FromMaxCut (same couplings, nil
+// field) — max-cut submissions keep the exact pre-compiler datapath
+// (pinned by TestMaxCutCompilesToLegacyModel).
+type MaxCut struct {
+	G *graph.Graph
+}
+
+// CutSolution is the decoded max-cut answer: Sides[v] ∈ {0,1} names
+// v's side of the cut, Cut is the crossing weight (the maximization
+// objective).
+type CutSolution struct {
+	Sides []int   `json:"sides"`
+	Cut   float64 `json:"cut"`
+}
+
+// Type implements Problem.
+func (p *MaxCut) Type() string { return "maxcut" }
+
+// Lower implements Problem: K_uv = -w for every edge, no field.
+func (p *MaxCut) Lower() (*IR, error) {
+	if p.G == nil || p.G.N() == 0 {
+		return nil, fmt.Errorf("maxcut: empty graph")
+	}
+	ir := NewIR(p.G.N())
+	for _, e := range p.G.Edges() {
+		ir.AddIsing(e.U, e.V, -e.Weight)
+	}
+	return ir, nil
+}
+
+// Decode implements Problem. Max-cut has no hard constraints; every
+// spin vector is a feasible cut.
+func (p *MaxCut) Decode(spins []int8) (*Solution, error) {
+	n := p.G.N()
+	if err := checkSpins(spins, n); err != nil {
+		return nil, err
+	}
+	sides := make([]int, n)
+	for v := 0; v < n; v++ {
+		if spins[v] == 1 {
+			sides[v] = 1
+		}
+	}
+	cut := p.G.CutValue(spins[:n])
+	return &Solution{
+		Type:       p.Type(),
+		Objective:  cut,
+		Feasible:   true,
+		Assignment: &CutSolution{Sides: sides, Cut: cut},
+	}, nil
+}

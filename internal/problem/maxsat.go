@@ -1,0 +1,213 @@
+package problem
+
+import (
+	"fmt"
+)
+
+// Clause is one weighted disjunction of literals. Literals are
+// 1-indexed: +v means variable v, -v its negation. Weight must be
+// positive (omitted weights default to 1 at parse time).
+type Clause struct {
+	Lits   []int
+	Weight float64
+}
+
+// MaxSAT is the weighted MAX-SAT front end: maximize the total weight
+// of satisfied clauses over Vars boolean variables.
+//
+// The reduction minimizes the unsatisfied weight. A clause C with
+// literals l₁..l_k is unsatisfied exactly when every literal is false,
+// so its penalty is w·∏ᵢ f(lᵢ) where f(l) is the "literal is false"
+// indicator — the affine factor (1-x) for a positive literal, x for a
+// negative one. Short clauses (k ≤ 2) expand directly into quadratic
+// terms. Longer clauses chain AND ancillas: z₁ ≔ f₁·f₂, z₂ ≔ z₁·f₃, …
+// with each gate enforced by the exact AND penalty
+//
+//	P(z; a, b) = M·(ab − 2az − 2bz + 3z), M = w + 1,
+//
+// which is 0 iff z = a·b and ≥ M otherwise. Since M exceeds the w the
+// unsatisfied-weight term can ever recover, every optimum sets each
+// ancilla to its true AND value and the reduction is exact: the
+// lowered minimum equals the minimum unsatisfied weight (DESIGN.md
+// "Problem compiler", penalty rule 1). A k-literal clause costs
+// max(0, k-2) ancillas, appended after the domain variables so Decode
+// reads a clean prefix.
+type MaxSAT struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// SATSolution is the decoded MAX-SAT answer: the variable assignment
+// and the satisfied/total weight split. Satisfied is the maximization
+// objective.
+type SATSolution struct {
+	Bits        []int   `json:"bits"`
+	Satisfied   float64 `json:"satisfied_weight"`
+	Total       float64 `json:"total_weight"`
+	Unsatisfied int     `json:"unsatisfied_clauses"`
+}
+
+// Type implements Problem.
+func (p *MaxSAT) Type() string { return "maxsat" }
+
+// Validate checks variable indices and weights; spec parsing and Lower
+// both call it.
+func (p *MaxSAT) Validate() error {
+	if p.Vars <= 0 {
+		return fmt.Errorf("maxsat: vars %d must be positive", p.Vars)
+	}
+	for ci, c := range p.Clauses {
+		if len(c.Lits) == 0 {
+			return fmt.Errorf("maxsat: clause %d is empty", ci)
+		}
+		if !isFinite(c.Weight) || c.Weight <= 0 {
+			return fmt.Errorf("maxsat: clause %d has weight %v, want > 0", ci, c.Weight)
+		}
+		for _, l := range c.Lits {
+			if l == 0 {
+				return fmt.Errorf("maxsat: clause %d has literal 0 (literals are 1-indexed, sign = polarity)", ci)
+			}
+			if v := abs(l); v > p.Vars {
+				return fmt.Errorf("maxsat: clause %d names variable %d, but vars = %d", ci, v, p.Vars)
+			}
+		}
+	}
+	return nil
+}
+
+// affine is a Boolean-valued affine form c + s·x_v over one binary
+// variable (s = 0 makes it the constant c).
+type affine struct {
+	c, s float64
+	v    int
+}
+
+// falseFactor returns the "literal is false" indicator of l.
+func falseFactor(l int) affine {
+	if l > 0 {
+		return affine{c: 1, s: -1, v: l - 1}
+	}
+	return affine{c: 0, s: 1, v: -l - 1}
+}
+
+// addProduct accumulates w·a·b into the IR, expanding the affine
+// product into constant, linear, and quadratic terms (a.v == b.v folds
+// through AddQuad's x² = x rule).
+func addProduct(ir *IR, w float64, a, b affine) {
+	ir.Offset += w * a.c * b.c
+	if a.s != 0 && b.c != 0 {
+		ir.AddLinear(a.v, w*a.s*b.c)
+	}
+	if b.s != 0 && a.c != 0 {
+		ir.AddLinear(b.v, w*b.s*a.c)
+	}
+	if a.s != 0 && b.s != 0 {
+		ir.AddQuad(a.v, b.v, w*a.s*b.s)
+	}
+}
+
+// addAffine accumulates w·a into the IR.
+func addAffine(ir *IR, w float64, a affine) {
+	ir.Offset += w * a.c
+	if a.s != 0 {
+		ir.AddLinear(a.v, w*a.s)
+	}
+}
+
+// Lower implements Problem.
+func (p *MaxSAT) Lower() (*IR, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	total := p.Vars
+	for _, c := range p.Clauses {
+		if len(c.Lits) > 2 {
+			total += len(c.Lits) - 2
+		}
+	}
+	ir := NewIR(total)
+	next := p.Vars // next free ancilla index
+	for _, c := range p.Clauses {
+		w := c.Weight
+		switch len(c.Lits) {
+		case 1:
+			addAffine(ir, w, falseFactor(c.Lits[0]))
+		case 2:
+			addProduct(ir, w, falseFactor(c.Lits[0]), falseFactor(c.Lits[1]))
+		default:
+			// Chain: acc starts as f₁, each gate binds acc∧fᵢ into a fresh
+			// ancilla, and the final product acc·f_k needs no gate — it is
+			// already quadratic.
+			m := w + 1
+			acc := falseFactor(c.Lits[0])
+			for i := 1; i < len(c.Lits)-1; i++ {
+				f := falseFactor(c.Lits[i])
+				z := affine{s: 1, v: next}
+				next++
+				// M·(acc·f − 2·acc·z − 2·f·z + 3z) = 0 iff z = acc·f.
+				addProduct(ir, m, acc, f)
+				addProduct(ir, -2*m, acc, z)
+				addProduct(ir, -2*m, f, z)
+				ir.AddLinear(z.v, 3*m)
+				acc = z
+			}
+			addProduct(ir, w, acc, falseFactor(c.Lits[len(c.Lits)-1]))
+		}
+	}
+	return ir, nil
+}
+
+// satisfied reports whether the clause holds under the 0/1 assignment.
+func (c *Clause) satisfied(bits []int) bool {
+	for _, l := range c.Lits {
+		if l > 0 && bits[l-1] == 1 {
+			return true
+		}
+		if l < 0 && bits[-l-1] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Decode implements Problem: the domain prefix becomes the assignment;
+// ancilla spins are ignored. Feasible means every clause is satisfied
+// (the SAT-style feasibility view of MAX-SAT).
+func (p *MaxSAT) Decode(spins []int8) (*Solution, error) {
+	if err := checkSpins(spins, p.Vars); err != nil {
+		return nil, err
+	}
+	bits := make([]int, p.Vars)
+	for i := 0; i < p.Vars; i++ {
+		if spins[i] == 1 {
+			bits[i] = 1
+		}
+	}
+	sat, totalW := 0.0, 0.0
+	unsat := 0
+	var violations []string
+	for ci := range p.Clauses {
+		c := &p.Clauses[ci]
+		totalW += c.Weight
+		if c.satisfied(bits) {
+			sat += c.Weight
+		} else {
+			unsat++
+			violations = addViolation(violations, "clause %d (weight %v) unsatisfied", ci, c.Weight)
+		}
+	}
+	return &Solution{
+		Type:       p.Type(),
+		Objective:  sat,
+		Feasible:   unsat == 0,
+		Violations: violations,
+		Assignment: &SATSolution{Bits: bits, Satisfied: sat, Total: totalW, Unsatisfied: unsat},
+	}, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

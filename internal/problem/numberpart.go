@@ -1,0 +1,74 @@
+package problem
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumberPartition splits a multiset of numbers into two subsets
+// minimizing |ΣA − ΣB|. The Hamiltonian (Σᵢaᵢσᵢ)² = Σa² +
+// 2Σ_{i<j}aᵢaⱼσᵢσⱼ is pure spin-quadratic, so Lower emits AddIsing
+// terms only and the compiled model has no field.
+type NumberPartition struct {
+	Numbers []float64
+}
+
+// NumberPartitionSolution is the decoded answer: Sides[i] ∈ {0,1}
+// names i's subset, Difference = |ΣA − ΣB| (the minimization
+// objective; 0 means a perfect partition).
+type NumberPartitionSolution struct {
+	Sides      []int   `json:"sides"`
+	Difference float64 `json:"difference"`
+}
+
+// Type implements Problem.
+func (p *NumberPartition) Type() string { return "numberpartition" }
+
+// Lower implements Problem.
+func (p *NumberPartition) Lower() (*IR, error) {
+	n := len(p.Numbers)
+	if n == 0 {
+		return nil, fmt.Errorf("numberpartition: no numbers")
+	}
+	for i, a := range p.Numbers {
+		if !isFinite(a) {
+			return nil, fmt.Errorf("numberpartition: numbers[%d] = %v is not finite", i, a)
+		}
+	}
+	ir := NewIR(n)
+	for i := 0; i < n; i++ {
+		ir.Offset += p.Numbers[i] * p.Numbers[i]
+		for j := i + 1; j < n; j++ {
+			// K_ij = -2aᵢaⱼ makes H gain +2aᵢaⱼσᵢσⱼ, so H = (Σaσ)² up to
+			// the Σa² constant carried in Offset.
+			ir.AddIsing(i, j, -2*p.Numbers[i]*p.Numbers[j])
+		}
+	}
+	return ir, nil
+}
+
+// Decode implements Problem. Number partitioning has no hard
+// constraints; every split is feasible.
+func (p *NumberPartition) Decode(spins []int8) (*Solution, error) {
+	n := len(p.Numbers)
+	if err := checkSpins(spins, n); err != nil {
+		return nil, err
+	}
+	sides := make([]int, n)
+	sum := 0.0
+	for i, a := range p.Numbers {
+		if spins[i] == 1 {
+			sides[i] = 1
+			sum += a
+		} else {
+			sum -= a
+		}
+	}
+	diff := math.Abs(sum)
+	return &Solution{
+		Type:       p.Type(),
+		Objective:  diff,
+		Feasible:   true,
+		Assignment: &NumberPartitionSolution{Sides: sides, Difference: diff},
+	}, nil
+}

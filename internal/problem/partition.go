@@ -1,0 +1,118 @@
+package problem
+
+import (
+	"fmt"
+	"math"
+
+	"sophie/internal/graph"
+)
+
+// Partition is balanced two-way graph partitioning: split the nodes
+// into two equal halves (sizes differing by at most one for odd n)
+// minimizing the weight crossing the split.
+//
+// The spin Hamiltonian is A·(Σᵢσᵢ)² + cut(σ), all spin-quadratic plus
+// a constant, so Lower emits pure AddIsing terms and the compiled
+// model carries no field: K_ij = -2A on every pair, plus +w/2 on
+// edges. The balance weight A must make unbalancing unprofitable: a
+// single spin flip from a balanced state raises (Σσ)² by 4 and can
+// lower the cut by at most Δ_w (the maximum weighted degree), so any
+// A > Δ_w/4 keeps every optimum balanced (DESIGN.md "Problem
+// compiler", penalty rule 2). BalanceWeight 0 selects the default
+// (1+Δ_w)/4.
+type Partition struct {
+	G *graph.Graph
+	// BalanceWeight overrides the balance penalty A; 0 picks the
+	// default (1+Δ_w)/4.
+	BalanceWeight float64
+}
+
+// PartitionSolution is the decoded answer: Sides[v] ∈ {0,1},
+// CutWeight the crossing weight (minimization objective), Imbalance
+// the signed size difference |side0| - |side1|.
+type PartitionSolution struct {
+	Sides     []int   `json:"sides"`
+	CutWeight float64 `json:"cut_weight"`
+	Imbalance int     `json:"imbalance"`
+}
+
+// Type implements Problem.
+func (p *Partition) Type() string { return "partition" }
+
+// balanceWeight resolves the penalty A.
+func (p *Partition) balanceWeight() float64 {
+	if p.BalanceWeight > 0 {
+		return p.BalanceWeight
+	}
+	maxDeg := 0.0
+	deg := make([]float64, p.G.N())
+	for _, e := range p.G.Edges() {
+		deg[e.U] += math.Abs(e.Weight)
+		deg[e.V] += math.Abs(e.Weight)
+	}
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return (1 + maxDeg) / 4
+}
+
+// Lower implements Problem.
+func (p *Partition) Lower() (*IR, error) {
+	if p.G == nil || p.G.N() == 0 {
+		return nil, fmt.Errorf("partition: empty graph")
+	}
+	if p.BalanceWeight < 0 || !isFinite(p.BalanceWeight) {
+		return nil, fmt.Errorf("partition: balance weight %v must be >= 0 and finite", p.BalanceWeight)
+	}
+	n := p.G.N()
+	a := p.balanceWeight()
+	ir := NewIR(n)
+	// A·(Σσ)² = A·n + 2A·Σ_{i<j}σᵢσⱼ: K_ij -= 2A on every pair.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ir.AddIsing(i, j, -2*a)
+		}
+	}
+	ir.Offset += a * float64(n)
+	// cut(σ) = Σ_e w/2 − Σ_e (w/2)σᵤσᵥ: K_uv += w/2 on edges.
+	for _, e := range p.G.Edges() {
+		ir.AddIsing(e.U, e.V, e.Weight/2)
+		ir.Offset += e.Weight / 2
+	}
+	return ir, nil
+}
+
+// Decode implements Problem: feasible iff the halves are balanced
+// (|imbalance| ≤ 1 for odd n, 0 for even n).
+func (p *Partition) Decode(spins []int8) (*Solution, error) {
+	n := p.G.N()
+	if err := checkSpins(spins, n); err != nil {
+		return nil, err
+	}
+	sides := make([]int, n)
+	imbalance := 0
+	for v := 0; v < n; v++ {
+		if spins[v] == 1 {
+			sides[v] = 1
+			imbalance--
+		} else {
+			imbalance++
+		}
+	}
+	cut := p.G.CutValue(spins[:n])
+	allowed := n % 2 // a perfectly even split needs even n
+	feasible := abs(imbalance) <= allowed
+	var violations []string
+	if !feasible {
+		violations = addViolation(violations, "sides differ by %d nodes (want <= %d)", abs(imbalance), allowed)
+	}
+	return &Solution{
+		Type:       p.Type(),
+		Objective:  cut,
+		Feasible:   feasible,
+		Violations: violations,
+		Assignment: &PartitionSolution{Sides: sides, CutWeight: cut, Imbalance: imbalance},
+	}, nil
+}

@@ -1,0 +1,121 @@
+// Package problem is the solver's compiler front end: domain problems
+// — raw QUBOs, weighted MAX-SAT, graph partitioning and coloring,
+// number partitioning, penalty-method TSP, Hopfield associative recall,
+// and max-cut itself — lower into one intermediate representation (IR,
+// a quadratic pseudo-Boolean objective), which compiles into an
+// ising.Model with linear bias terms. Every front end also carries the
+// inverse map: Decode converts solver spins back into the problem's own
+// vocabulary (a cut, a tour, a coloring, a recalled pattern) together
+// with a feasibility report, so callers never handle raw spin vectors.
+//
+// The two-stage shape mirrors a classic compiler: front ends know their
+// domain and the penalty-weight rules that make constraint violations
+// unprofitable (DESIGN.md "Problem compiler"); the IR backend knows the
+// single x=(1+σ)/2 change of variables onto H = -½σᵀKσ - hᵀσ. Adding a
+// problem type means writing a front end only — the solver datapath,
+// service API, and CLIs all operate on the IR's output.
+package problem
+
+import (
+	"fmt"
+
+	"sophie/internal/ising"
+)
+
+// Problem is one domain problem instance. Implementations are immutable
+// after construction and safe for concurrent use.
+type Problem interface {
+	// Type returns the spec tag ("maxcut", "qubo", "maxsat", ...), the
+	// discriminator of the JSON problem union (spec.go).
+	Type() string
+	// Lower builds the problem's IR. Deterministic: equal problems lower
+	// to identical IRs, which is what makes the lowered-model hash a
+	// sound solver-cache key.
+	Lower() (*IR, error)
+	// Decode maps a solver spin vector (length ≥ the problem's variable
+	// count; penalty reductions append ancilla spins after the domain
+	// variables) back to a domain solution with a feasibility report.
+	Decode(spins []int8) (*Solution, error)
+}
+
+// Initializer is implemented by problems with a natural warm start —
+// the Hopfield probe state. Solver layers install it as the run's
+// initial spins.
+type Initializer interface {
+	// InitialSpins returns the ±1 starting state, length equal to the
+	// lowered model's spin count.
+	InitialSpins() []int8
+}
+
+// Solution is a decoded domain answer. Assignment holds the
+// type-specific payload (CutSolution, TourSolution, ...); Objective is
+// the domain objective at the decoded solution, in the direction the
+// problem type documents (README "Problem types").
+type Solution struct {
+	Type      string  `json:"type"`
+	Objective float64 `json:"objective"`
+	// Feasible reports whether the decoded solution satisfies every hard
+	// constraint of the reduction (one-hot rows for TSP, proper coloring,
+	// balanced halves, all clauses for SAT-style feasibility). Problems
+	// without hard constraints (max-cut, number partitioning) are always
+	// feasible.
+	Feasible bool `json:"feasible"`
+	// Violations lists the violated constraints when Feasible is false;
+	// bounded to the first few so a pathological decode cannot build an
+	// unbounded report.
+	Violations []string `json:"violations,omitempty"`
+	Assignment any      `json:"assignment"`
+}
+
+// maxViolations bounds a feasibility report.
+const maxViolations = 8
+
+// addViolation appends a formatted violation, keeping the report within
+// maxViolations (the last slot becomes a "... and N more" marker
+// elsewhere; here extra entries are simply dropped).
+func addViolation(vs []string, format string, args ...any) []string {
+	if len(vs) >= maxViolations {
+		return vs
+	}
+	return append(vs, fmt.Sprintf(format, args...))
+}
+
+// Compiled is a lowered-and-compiled problem: the Ising model the
+// solver runs, and the affine offset relating the two objectives:
+//
+//	domain objective(decode(σ)) = Model.Energy(σ) + Offset
+//
+// for the minimization problems; maximization front ends (max-cut,
+// MAX-SAT) document their own sign conventions.
+type Compiled struct {
+	Model  *ising.Model
+	Offset float64
+}
+
+// Compile lowers and compiles a problem in one step.
+func Compile(p Problem) (*Compiled, error) {
+	ir, err := p.Lower()
+	if err != nil {
+		return nil, fmt.Errorf("problem %s: %w", p.Type(), err)
+	}
+	c, err := ir.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("problem %s: %w", p.Type(), err)
+	}
+	return c, nil
+}
+
+// checkSpins validates a decode input against the expected lowered spin
+// count. Reductions with ancillas pass the full lowered count; decoders
+// then read only their domain prefix.
+func checkSpins(spins []int8, want int) error {
+	if len(spins) < want {
+		return fmt.Errorf("problem: decode got %d spins, want at least %d", len(spins), want)
+	}
+	for i, s := range spins {
+		if s != 1 && s != -1 {
+			return fmt.Errorf("problem: invalid spin %d at index %d", s, i)
+		}
+	}
+	return nil
+}

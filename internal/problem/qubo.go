@@ -1,0 +1,90 @@
+package problem
+
+import (
+	"fmt"
+)
+
+// QUBOEntry is one sparse coefficient of a QUBO objective.
+type QUBOEntry struct {
+	I, J int
+	W    float64
+}
+
+// QUBO is the raw front end: minimize xᵀQx + Offset over x ∈ {0,1}ᴺ.
+// Entries address Q freely — (i,j) and (j,i) accumulate into the same
+// pair, diagonal entries are linear (x² = x) — so both upper-triangular
+// and full symmetric inputs mean the same objective. Dense and sparse
+// triplet JSON inputs (spec.go) both land here.
+type QUBO struct {
+	N       int
+	Entries []QUBOEntry
+	Offset  float64
+}
+
+// BitsSolution is the decoded answer of bit-vector problems (qubo):
+// Bits[i] ∈ {0,1} and Value = xᵀQx + Offset, the minimization
+// objective.
+type BitsSolution struct {
+	Bits  []int   `json:"bits"`
+	Value float64 `json:"value"`
+}
+
+// Type implements Problem.
+func (p *QUBO) Type() string { return "qubo" }
+
+// Lower implements Problem.
+func (p *QUBO) Lower() (*IR, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("qubo: order %d must be positive", p.N)
+	}
+	ir := NewIR(p.N)
+	ir.Offset = p.Offset
+	for k, e := range p.Entries {
+		if e.I < 0 || e.I >= p.N || e.J < 0 || e.J >= p.N {
+			return nil, fmt.Errorf("qubo: entry %d addresses (%d,%d) outside order %d", k, e.I, e.J, p.N)
+		}
+		if !isFinite(e.W) {
+			return nil, fmt.Errorf("qubo: entry %d at (%d,%d) has value %v", k, e.I, e.J, e.W)
+		}
+		ir.AddQuad(e.I, e.J, e.W)
+	}
+	return ir, nil
+}
+
+// Value evaluates xᵀQx + Offset for a 0/1 assignment.
+func (p *QUBO) Value(bits []int) float64 {
+	v := p.Offset
+	for _, e := range p.Entries {
+		if e.I == e.J {
+			if bits[e.I] != 0 {
+				v += e.W
+			}
+			continue
+		}
+		if bits[e.I] != 0 && bits[e.J] != 0 {
+			v += e.W
+		}
+	}
+	return v
+}
+
+// Decode implements Problem. A QUBO is unconstrained, so every bit
+// vector is feasible.
+func (p *QUBO) Decode(spins []int8) (*Solution, error) {
+	if err := checkSpins(spins, p.N); err != nil {
+		return nil, err
+	}
+	bits := make([]int, p.N)
+	for i := 0; i < p.N; i++ {
+		if spins[i] == 1 {
+			bits[i] = 1
+		}
+	}
+	value := p.Value(bits)
+	return &Solution{
+		Type:       p.Type(),
+		Objective:  value,
+		Feasible:   true,
+		Assignment: &BitsSolution{Bits: bits, Value: value},
+	}, nil
+}

@@ -1,0 +1,135 @@
+package problem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseSpecRoundTrips parses one representative document per
+// problem type and checks the front end it builds.
+func TestParseSpecRoundTrips(t *testing.T) {
+	cases := []struct {
+		spec string
+		typ  string
+	}{
+		{`{"type":"qubo","n":3,"entries":[[0,1,-2],[1,1,0.5]],"offset":1}`, "qubo"},
+		{`{"type":"maxcut","graph":{"n":3,"edges":[[0,1,1],[1,2,2]]}}`, "maxcut"},
+		{`{"type":"maxsat","vars":3,"clauses":[{"lits":[1,-2]},{"lits":[2,3],"weight":2}]}`, "maxsat"},
+		{`{"type":"partition","graph":{"n":4,"edges":[[0,1,1],[2,3,1]]}}`, "partition"},
+		{`{"type":"coloring","graph":{"n":3,"edges":[[0,1,1]]},"colors":2}`, "coloring"},
+		{`{"type":"numberpartition","numbers":[4,5,6,7,8]}`, "numberpartition"},
+		{`{"type":"tsp","dist":[[0,1,2],[1,0,1],[2,1,0]]}`, "tsp"},
+		{`{"type":"hopfield","patterns":[[1,-1,1,-1]],"probe":[1,1,1,-1]}`, "hopfield"},
+	}
+	for _, c := range cases {
+		p, err := ParseSpec([]byte(c.spec))
+		if err != nil {
+			t.Errorf("%s: %v", c.typ, err)
+			continue
+		}
+		if p.Type() != c.typ {
+			t.Errorf("parsed type %q, want %q", p.Type(), c.typ)
+			continue
+		}
+		if _, err := Compile(p); err != nil {
+			t.Errorf("%s: compile: %v", c.typ, err)
+		}
+	}
+}
+
+// TestParseSpecErrorMatrix pins the structured-rejection contract: each
+// malformed document fails with a *SpecError carrying the documented
+// Field path and Reason label (the service's 400 body and the
+// sophied_spec_rejects_total metric both key on these).
+func TestParseSpecErrorMatrix(t *testing.T) {
+	cases := []struct {
+		name   string
+		spec   string
+		field  string
+		reason string
+	}{
+		{"empty", ``, "problem", "empty"},
+		{"truncated json", `{"type":"qubo"`, "problem", "bad_json"},
+		{"not an object", `[1,2,3]`, "problem", "bad_json"},
+		{"unknown field", `{"type":"qubo","n":2,"bogus":1}`, "problem", "bad_json"},
+		{"missing type", `{"n":3}`, "problem.type", "missing_type"},
+		{"unknown type", `{"type":"sudoku"}`, "problem.type", "unknown_type"},
+		{"qubo zero order", `{"type":"qubo","n":0}`, "problem.n", "bad_order"},
+		{"qubo fractional index", `{"type":"qubo","n":2,"entries":[[0.5,1,1]]}`, "problem.entries[0]", "bad_index"},
+		{"maxcut no graph", `{"type":"maxcut"}`, "problem.graph", "missing_graph"},
+		{"graph zero order", `{"type":"maxcut","graph":{"n":0}}`, "problem.graph.n", "bad_order"},
+		{"graph fractional endpoint", `{"type":"maxcut","graph":{"n":3,"edges":[[0,1.5,1]]}}`, "problem.graph.edges[0]", "bad_edge"},
+		{"graph endpoint out of range", `{"type":"maxcut","graph":{"n":3,"edges":[[0,7,1]]}}`, "problem.graph.edges[0]", "bad_edge"},
+		{"graph self-loop", `{"type":"partition","graph":{"n":3,"edges":[[1,1,1]]}}`, "problem.graph.edges[0]", "bad_edge"},
+		{"coloring blowup", `{"type":"coloring","graph":{"n":3000,"edges":[]},"colors":3000}`, "problem.colors", "too_large"},
+		{"tsp blowup", `{"type":"tsp","dist":[]}`, "", "skip"}, // empty dist parses; Lower rejects it
+	}
+	for _, c := range cases {
+		if c.reason == "skip" {
+			continue
+		}
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(c.spec))
+			if err == nil {
+				t.Fatal("want error")
+			}
+			var serr *SpecError
+			if !errors.As(err, &serr) {
+				t.Fatalf("error %T is not a *SpecError: %v", err, err)
+			}
+			if serr.Field != c.field {
+				t.Errorf("field %q, want %q", serr.Field, c.field)
+			}
+			if serr.Reason != c.reason {
+				t.Errorf("reason %q, want %q", serr.Reason, c.reason)
+			}
+			if serr.Msg == "" || !strings.Contains(serr.Error(), serr.Msg) {
+				t.Errorf("unhelpful message: %q", serr.Error())
+			}
+		})
+	}
+}
+
+// TestParseSpecWeightDefaults: omitted clause weights become 1, stated
+// ones are kept.
+func TestParseSpecWeightDefaults(t *testing.T) {
+	p, err := ParseSpec([]byte(`{"type":"maxsat","vars":2,"clauses":[{"lits":[1]},{"lits":[2],"weight":2.5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.(*MaxSAT)
+	if m.Clauses[0].Weight != 1 { //sophielint:ignore floateq parser writes the literal 1
+		t.Fatalf("default weight %v, want 1", m.Clauses[0].Weight)
+	}
+	if m.Clauses[1].Weight != 2.5 { //sophielint:ignore floateq parser passes the literal through
+		t.Fatalf("explicit weight %v, want 2.5", m.Clauses[1].Weight)
+	}
+}
+
+// TestSpecSemanticErrorsSurfaceAtLower: documents that pass shape
+// validation but fail domain validation (ParseSpec's documented split)
+// error in Lower with a useful message.
+func TestSpecSemanticErrorsSurfaceAtLower(t *testing.T) {
+	cases := map[string]string{
+		"maxsat zero literal":  `{"type":"maxsat","vars":2,"clauses":[{"lits":[0]}]}`,
+		"maxsat var range":     `{"type":"maxsat","vars":2,"clauses":[{"lits":[5]}]}`,
+		"tsp ragged matrix":    `{"type":"tsp","dist":[[0,1],[1,0,2]]}`,
+		"tsp negative length":  `{"type":"tsp","dist":[[0,-1],[-1,0]]}`,
+		"coloring zero colors": `{"type":"coloring","graph":{"n":2,"edges":[]},"colors":0}`,
+		"hopfield no patterns": `{"type":"hopfield"}`,
+		"hopfield bad spin":    `{"type":"hopfield","patterns":[[1,0,-1]]}`,
+		"numberpartition none": `{"type":"numberpartition","numbers":[]}`,
+	}
+	for name, spec := range cases {
+		t.Run(name, func(t *testing.T) {
+			p, err := ParseSpec([]byte(spec))
+			if err != nil {
+				t.Fatalf("spec should parse (shape is fine): %v", err)
+			}
+			if _, err := p.Lower(); err == nil {
+				t.Fatal("want Lower error")
+			}
+		})
+	}
+}

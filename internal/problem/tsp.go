@@ -1,0 +1,195 @@
+package problem
+
+import (
+	"fmt"
+)
+
+// TSP is the (symmetric) traveling-salesman front end over a full
+// distance matrix: find a cyclic tour visiting every city once with
+// minimum total distance. The permutation-matrix encoding (Lucas §7.2)
+// uses n² one-hot variables x_{v,p} (index v·n + p, "city v at tour
+// position p"):
+//
+//	H = A·Σ_v (1−Σ_p x_{v,p})² + A·Σ_p (1−Σ_v x_{v,p})²
+//	  + Σ_{u≠v} d_{uv} Σ_p x_{u,p}·x_{v,p+1}   (positions cyclic mod n)
+//
+// The penalty A must exceed any distance a constraint violation could
+// save; breaking one-hotness removes at most two tour edges, so
+// A = 1 + 2·d_max suffices (DESIGN.md "Problem compiler", penalty
+// rule 3). PenaltyWeight 0 selects that default. The one-hot rows give
+// the compiled model a genuine external field.
+type TSP struct {
+	// Dist is the n×n distance matrix; Dist[u][v] is the cost of the
+	// tour edge u→v. It must be square with a zero diagonal and
+	// non-negative entries; asymmetric matrices are accepted (the
+	// position chain is directed).
+	Dist [][]float64
+	// PenaltyWeight overrides the one-hot penalty A; 0 picks the
+	// default 1 + 2·max(Dist).
+	PenaltyWeight float64
+}
+
+// TourSolution is the decoded answer: Tour[p] is the city at position
+// p (repair-decoded when the permutation constraints are violated),
+// Length its cyclic length under Dist (the minimization objective).
+type TourSolution struct {
+	Tour   []int   `json:"tour"`
+	Length float64 `json:"length"`
+}
+
+// Type implements Problem.
+func (p *TSP) Type() string { return "tsp" }
+
+func (p *TSP) validate() error {
+	n := len(p.Dist)
+	if n == 0 {
+		return fmt.Errorf("tsp: empty distance matrix")
+	}
+	for u, row := range p.Dist {
+		if len(row) != n {
+			return fmt.Errorf("tsp: row %d has %d entries, want %d", u, len(row), n)
+		}
+		for v, d := range row {
+			if !isFinite(d) || d < 0 {
+				return fmt.Errorf("tsp: dist[%d][%d] = %v, want finite and >= 0", u, v, d)
+			}
+			if u == v && d != 0 { //sophielint:ignore floateq diagonal must be exactly zero
+				return fmt.Errorf("tsp: dist[%d][%d] = %v, diagonal must be zero", u, v, d)
+			}
+		}
+	}
+	if p.PenaltyWeight < 0 || !isFinite(p.PenaltyWeight) {
+		return fmt.Errorf("tsp: penalty weight %v must be >= 0 and finite", p.PenaltyWeight)
+	}
+	return nil
+}
+
+// penaltyWeight resolves the one-hot penalty A.
+func (p *TSP) penaltyWeight() float64 {
+	if p.PenaltyWeight > 0 {
+		return p.PenaltyWeight
+	}
+	maxD := 0.0
+	for _, row := range p.Dist {
+		for _, d := range row {
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return 1 + 2*maxD
+}
+
+// Lower implements Problem.
+func (p *TSP) Lower() (*IR, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Dist)
+	a := p.penaltyWeight()
+	ir := NewIR(n * n)
+	idx := func(v, pos int) int { return v*n + pos }
+	// One-hot per city (each city has exactly one position) and per
+	// position (each position holds exactly one city); same expansion
+	// as Coloring: (1−Σx)² → −x per variable, +2x·x' per pair, +1.
+	for v := 0; v < n; v++ {
+		for q := 0; q < n; q++ {
+			ir.AddLinear(idx(v, q), -a)
+			for q2 := q + 1; q2 < n; q2++ {
+				ir.AddQuad(idx(v, q), idx(v, q2), 2*a)
+			}
+		}
+		ir.Offset += a
+	}
+	for q := 0; q < n; q++ {
+		for v := 0; v < n; v++ {
+			for v2 := v + 1; v2 < n; v2++ {
+				ir.AddQuad(idx(v, q), idx(v2, q), 2*a)
+			}
+		}
+		ir.Offset += a
+	}
+	// Tour length: d_{uv}·x_{u,p}·x_{v,p+1}, positions cyclic.
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || p.Dist[u][v] == 0 { //sophielint:ignore floateq zero distances contribute nothing
+				continue
+			}
+			for q := 0; q < n; q++ {
+				ir.AddQuad(idx(u, q), idx(v, (q+1)%n), p.Dist[u][v])
+			}
+		}
+	}
+	return ir, nil
+}
+
+// Decode implements Problem: feasible iff the spins encode an exact
+// permutation matrix. Repair assigns leftover positions to leftover
+// cities in index order so callers always get a full tour.
+func (p *TSP) Decode(spins []int8) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Dist)
+	if err := checkSpins(spins, n*n); err != nil {
+		return nil, err
+	}
+	tour := make([]int, n) // tour[pos] = city, -1 while unresolved
+	for q := range tour {
+		tour[q] = -1
+	}
+	used := make([]bool, n)
+	var violations []string
+	exact := true
+	for q := 0; q < n; q++ {
+		count := 0
+		for v := 0; v < n; v++ {
+			if spins[v*n+q] == 1 {
+				count++
+				if tour[q] < 0 && !used[v] {
+					tour[q] = v
+					used[v] = true
+				}
+			}
+		}
+		if count != 1 {
+			exact = false
+			violations = addViolation(violations, "position %d holds %d cities", q, count)
+		}
+	}
+	for v := 0; v < n; v++ {
+		count := 0
+		for q := 0; q < n; q++ {
+			if spins[v*n+q] == 1 {
+				count++
+			}
+		}
+		if count != 1 {
+			exact = false
+			violations = addViolation(violations, "city %d appears %d times", v, count)
+		}
+	}
+	// Repair: fill unresolved positions with unused cities in order.
+	next := 0
+	for q := 0; q < n; q++ {
+		if tour[q] >= 0 {
+			continue
+		}
+		for used[next] {
+			next++
+		}
+		tour[q] = next
+		used[next] = true
+	}
+	length := 0.0
+	for q := 0; q < n; q++ {
+		length += p.Dist[tour[q]][tour[(q+1)%n]]
+	}
+	return &Solution{
+		Type:       p.Type(),
+		Objective:  length,
+		Feasible:   exact,
+		Violations: violations,
+		Assignment: &TourSolution{Tour: tour, Length: length},
+	}, nil
+}

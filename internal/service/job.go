@@ -2,12 +2,14 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"time"
 
 	"sophie/internal/core"
 	"sophie/internal/graph"
 	"sophie/internal/ising"
 	"sophie/internal/metrics"
+	"sophie/internal/problem"
 	"sophie/internal/trace"
 )
 
@@ -35,10 +37,15 @@ func (s State) Terminal() bool {
 // directory, or a named preset), a replica/seed policy, an optional
 // per-job timeout, and runtime/preprocessing config overrides.
 type JobSpec struct {
-	// Exactly one of Graph, GraphFile, Preset selects the problem.
-	Graph     string `json:"graph,omitempty"`      // inline GSET text ("n m" header + "u v w" edges)
-	GraphFile string `json:"graph_file,omitempty"` // file under the server's -problem-dir
-	Preset    string `json:"preset,omitempty"`     // G1 | G22 | K100
+	// Exactly one of Graph, GraphFile, Preset, Problem selects the
+	// problem. The first three are max-cut sources; Problem is the
+	// typed problem-spec union (internal/problem.ParseSpec) compiled
+	// through the QUBO/Ising front end, with the decoded domain
+	// solution attached to the result.
+	Graph     string          `json:"graph,omitempty"`      // inline GSET text ("n m" header + "u v w" edges)
+	GraphFile string          `json:"graph_file,omitempty"` // file under the server's -problem-dir
+	Preset    string          `json:"preset,omitempty"`     // G1 | G22 | K100
+	Problem   json.RawMessage `json:"problem,omitempty"`    // tagged union on "type"
 
 	// Replicas and Seed define the batch: seeds Seed..Seed+Replicas-1
 	// (core.SeedRange). Seeds, when non-empty, overrides both.
@@ -108,9 +115,15 @@ type job struct {
 	id     string
 	tenant string
 	spec   JobSpec
-	g     *graph.Graph
-	model *ising.Model
-	key   solverKey
+	// g is the parsed graph for max-cut submissions and nil for typed
+	// problem-spec jobs, which carry the front end in prob instead;
+	// offset recovers the domain objective from a model energy
+	// (problem.Compiled.Offset, zero for graph jobs).
+	g      *graph.Graph
+	prob   problem.Problem
+	offset float64
+	model  *ising.Model
+	key    solverKey
 	// baseCfg carries only preprocessing-relevant settings and is what
 	// the cached solver is built from; runCfg is the job's full config,
 	// applied per run via WithRuntime. Splitting the two lets jobs that
@@ -166,20 +179,31 @@ type JobView struct {
 }
 
 // ResultView is the JSON rendering of a finished (or partially
-// finished) batch: the aggregate plus one entry per replica. Cut values
-// are computed against the job's graph under the max-cut mapping.
+// finished) batch: the aggregate plus one entry per replica. For graph
+// (max-cut) jobs cut values are computed against the job's graph; for
+// typed problem-spec jobs Objective and Solution carry the decoded
+// domain answer instead and the cut fields stay zero.
 type ResultView struct {
-	BestEnergy   float64          `json:"best_energy"`
-	BestCut      float64          `json:"best_cut"`
-	BestIndex    int              `json:"best_index"`
-	BestSpins    []int8           `json:"best_spins"`
-	MeanEnergy   float64          `json:"mean_energy"`
-	MedianEnergy float64          `json:"median_energy"`
-	Succeeded    int              `json:"succeeded"`
-	SuccessProb  float64          `json:"success_prob"`
-	Stopped      int              `json:"stopped"`
-	Replicas     []ReplicaView    `json:"replicas"`
-	Ops          metrics.OpCounts `json:"ops"`
+	BestEnergy float64 `json:"best_energy"`
+	BestCut    float64 `json:"best_cut"`
+	// BestObjective is the domain objective of the best spins
+	// (model energy + compile offset folded through Decode); only set
+	// for problem-spec jobs.
+	BestObjective *float64 `json:"best_objective,omitempty"`
+	// Solution is the decoded domain solution of the best spins, and
+	// EnergyOffset the compile-time constant relating model energies to
+	// domain objectives (f = H + offset); problem-spec jobs only.
+	Solution     *problem.Solution `json:"solution,omitempty"`
+	EnergyOffset float64           `json:"energy_offset,omitempty"`
+	BestIndex    int               `json:"best_index"`
+	BestSpins    []int8            `json:"best_spins"`
+	MeanEnergy   float64           `json:"mean_energy"`
+	MedianEnergy float64           `json:"median_energy"`
+	Succeeded    int               `json:"succeeded"`
+	SuccessProb  float64           `json:"success_prob"`
+	Stopped      int               `json:"stopped"`
+	Replicas     []ReplicaView     `json:"replicas"`
+	Ops          metrics.OpCounts  `json:"ops"`
 	// Tempering carries the exchange statistics when the job ran as a
 	// tempering ladder; absent for independent-restart batches.
 	Tempering *TemperingView `json:"tempering,omitempty"`
@@ -234,16 +258,15 @@ func (m *Manager) viewLocked(j *job) JobView {
 		v.Progress = &ps
 	}
 	if j.result != nil {
-		v.Result = resultView(j.g, j.seeds, j.result)
+		v.Result = j.resultView(j.result)
 	}
 	return v
 }
 
-func resultView(g *graph.Graph, seeds []int64, b *core.BatchResult) *ResultView {
+func (j *job) resultView(b *core.BatchResult) *ResultView {
 	best := b.Best()
 	rv := &ResultView{
 		BestEnergy:   b.BestEnergy,
-		BestCut:      g.CutValue(best.BestSpins),
 		BestIndex:    b.BestIndex,
 		BestSpins:    append([]int8(nil), best.BestSpins...),
 		MeanEnergy:   b.MeanEnergy,
@@ -254,15 +277,31 @@ func resultView(g *graph.Graph, seeds []int64, b *core.BatchResult) *ResultView 
 		Replicas:     make([]ReplicaView, len(b.Results)),
 		Ops:          b.Ops,
 	}
+	if j.g != nil {
+		rv.BestCut = j.g.CutValue(best.BestSpins)
+	}
+	if j.prob != nil {
+		rv.EnergyOffset = j.offset
+		// Decode never mutates the front end, so rendering concurrent
+		// views is safe; a decode failure (impossible for spins the
+		// solver produced) degrades to an energy-only view.
+		if sol, err := j.prob.Decode(best.BestSpins); err == nil {
+			rv.Solution = sol
+			obj := sol.Objective
+			rv.BestObjective = &obj
+		}
+	}
 	for i, r := range b.Results {
 		rv.Replicas[i] = ReplicaView{
-			Seed:           seeds[i],
+			Seed:           j.seeds[i],
 			BestEnergy:     r.BestEnergy,
-			BestCut:        g.CutValue(r.BestSpins),
 			BestGlobalIter: r.BestGlobalIter,
 			GlobalItersRun: r.GlobalItersRun,
 			ReachedTarget:  r.ReachedTarget,
 			Stopped:        r.Stopped,
+		}
+		if j.g != nil {
+			rv.Replicas[i].BestCut = j.g.CutValue(r.BestSpins)
 		}
 	}
 	if ts := b.Tempering; ts != nil {

@@ -27,6 +27,7 @@ import (
 
 	"sophie/internal/core"
 	"sophie/internal/metrics"
+	"sophie/internal/problem"
 	"sophie/internal/trace"
 )
 
@@ -133,6 +134,11 @@ type Manager struct {
 	// counters (guarded by mu; every increment happens on a state
 	// transition that already holds it)
 	nSubmitted, nRejected, nCompleted, nFailed, nCancelled, nTimedOut uint64
+	// specRejects counts spec-validation rejections by machine-stable
+	// reason label (problem.SpecError.Reason; "invalid" for untyped
+	// ErrBadSpec failures). Guarded by mu; feeds
+	// sophied_spec_rejects_total{reason}.
+	specRejects map[string]uint64
 	// restored counts jobs re-admitted from the journal after a restart;
 	// journalErrs counts journal appends that failed (the queue keeps
 	// serving, degraded to memory-only durability for those records).
@@ -213,6 +219,19 @@ func (m *Manager) SubmitTenant(spec JobSpec, tenant string) (JobView, error) {
 	}
 	j, err := m.resolveSpec(spec)
 	if err != nil {
+		if errors.Is(err, ErrBadSpec) {
+			reason := "invalid"
+			var serr *problem.SpecError
+			if errors.As(err, &serr) && serr.Reason != "" {
+				reason = serr.Reason
+			}
+			m.mu.Lock()
+			if m.specRejects == nil {
+				m.specRejects = make(map[string]uint64)
+			}
+			m.specRejects[reason]++
+			m.mu.Unlock()
+		}
 		return JobView{}, err
 	}
 	j.tenant = tenant
@@ -760,6 +779,8 @@ type Stats struct {
 	// Exchange tallies summed over finished tempering jobs.
 	Exchanges         uint64 `json:"exchanges"`
 	ExchangesAccepted uint64 `json:"exchanges_accepted"`
+	// SpecRejects counts spec-validation rejections by reason label.
+	SpecRejects map[string]uint64 `json:"spec_rejects,omitempty"`
 
 	// Tenants is the per-tenant admission picture, keyed by tenant name
 	// (only tenants seen since the last idle sweep appear).
@@ -803,6 +824,12 @@ func (m *Manager) Stats() Stats {
 		JournalErrors:     m.nJournalErrs,
 		Exchanges:         m.nExchanges,
 		ExchangesAccepted: m.nExchangesAccepted,
+	}
+	if len(m.specRejects) > 0 {
+		s.SpecRejects = make(map[string]uint64, len(m.specRejects))
+		for reason, n := range m.specRejects {
+			s.SpecRejects[reason] = n
+		}
 	}
 	if len(m.tenants) > 0 {
 		s.Tenants = make(map[string]TenantStats, len(m.tenants))

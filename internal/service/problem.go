@@ -2,9 +2,12 @@ package service
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,6 +18,7 @@ import (
 	"sophie/internal/ising"
 	"sophie/internal/linalg"
 	"sophie/internal/opcm"
+	"sophie/internal/problem"
 	"sophie/internal/tiling"
 )
 
@@ -27,11 +31,22 @@ func specErrorf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
 }
 
+// wrapSpecError folds a problem-spec rejection into the ErrBadSpec
+// family while keeping the structured *problem.SpecError reachable via
+// errors.As, so the HTTP layer can surface {error, field} and the
+// metrics layer can label the reject reason.
+func wrapSpecError(serr *problem.SpecError) error {
+	return fmt.Errorf("%w: %w", ErrBadSpec, serr)
+}
+
 // solverKey identifies a preprocessed solver: the problem content plus
 // every preprocessing-affecting config field. Jobs mapping to the same
 // key share one cached solver and differ only through WithRuntime.
 type solverKey struct {
-	problem       string // hex sha256 of the canonical GSET serialization
+	// problem is a namespaced content hash: "graph:" + sha256 of the
+	// canonical GSET serialization for max-cut jobs, "model:" + sha256
+	// of the lowered model (couplings + field) for problem-spec jobs.
+	problem       string
 	tileSize      int
 	alpha         float64
 	skipTransform bool
@@ -44,15 +59,52 @@ type solverKey struct {
 }
 
 // resolveSpec validates a submission and resolves it into the job's
-// immutable fields: parsed graph, Ising model, seeds, configs, cache
-// key, and batch options. All failures wrap ErrBadSpec.
+// immutable fields: parsed graph or compiled problem, Ising model,
+// seeds, configs, cache key, and batch options. All failures wrap
+// ErrBadSpec.
 func (m *Manager) resolveSpec(spec JobSpec) (*job, error) {
-	g, err := m.loadGraph(spec)
-	if err != nil {
-		return nil, err
-	}
-	if g.N() == 0 {
-		return nil, specErrorf("problem graph has no nodes")
+	var (
+		g       *graph.Graph
+		prob    problem.Problem
+		model   *ising.Model
+		offset  float64
+		keyName string
+	)
+	if len(spec.Problem) > 0 {
+		if spec.Graph != "" || spec.GraphFile != "" || spec.Preset != "" {
+			return nil, specErrorf("problem cannot combine with graph, graph_file, or preset")
+		}
+		p, err := problem.ParseSpec(spec.Problem)
+		if err != nil {
+			var serr *problem.SpecError
+			if errors.As(err, &serr) {
+				return nil, wrapSpecError(serr)
+			}
+			return nil, specErrorf("problem: %v", err)
+		}
+		c, err := problem.Compile(p)
+		if err != nil {
+			// Lower/Compile errors are semantic spec failures (bad clause
+			// index, non-finite weight, ...) — still 400s, labelled with
+			// the union field so clients know where to look.
+			return nil, wrapSpecError(&problem.SpecError{Field: "problem", Reason: "invalid", Msg: err.Error()})
+		}
+		prob, model, offset = p, c.Model, c.Offset
+		// Cache keys hash the lowered model, so distinct specs lowering
+		// to the same Hamiltonian share preprocessing; the "model:"
+		// namespace keeps them disjoint from graph-keyed entries.
+		keyName = "model:" + hashModel(model)
+	} else {
+		var err error
+		g, err = m.loadGraph(spec)
+		if err != nil {
+			return nil, err
+		}
+		if g.N() == 0 {
+			return nil, specErrorf("problem graph has no nodes")
+		}
+		model = ising.FromMaxCut(g)
+		keyName = "graph:" + hashGraph(g)
 	}
 
 	seeds := spec.Seeds
@@ -68,6 +120,7 @@ func (m *Manager) resolveSpec(spec JobSpec) (*job, error) {
 		if seed == 0 {
 			seed = 1
 		}
+		var err error
 		seeds, err = core.SeedRange(seed, replicas)
 		if err != nil {
 			return nil, specErrorf("%v", err)
@@ -128,15 +181,34 @@ func (m *Manager) resolveSpec(spec JobSpec) (*job, error) {
 		baseCfg.Seed = 0
 	}
 
+	if !model.HasDense() && !baseCfg.SkipTransform {
+		// The compiler builds large lowered models CSR-only; reject at
+		// admission with the fix spelled out rather than failing the job
+		// at execution time.
+		return nil, specErrorf("problem lowers to %d variables and is sparse-built; set config.skip_transform", model.N())
+	}
+	if prob != nil {
+		if init, ok := prob.(problem.Initializer); ok {
+			if s0 := init.InitialSpins(); s0 != nil {
+				// Probe starts are a runtime knob (core reseeds per run), so
+				// they ride runCfg only — the cached solver stays shareable
+				// with probe-free jobs on the same model.
+				runCfg.InitialSpins = s0
+			}
+		}
+	}
+
 	j := &job{
 		spec:    spec,
 		g:       g,
-		model:   ising.FromMaxCut(g),
+		prob:    prob,
+		offset:  offset,
+		model:   model,
 		baseCfg: baseCfg,
 		runCfg:  runCfg,
 		seeds:   seeds,
 		key: solverKey{
-			problem:       hashGraph(g),
+			problem:       keyName,
 			tileSize:      baseCfg.TileSize,
 			alpha:         baseCfg.Alpha,
 			skipTransform: baseCfg.SkipTransform,
@@ -299,3 +371,41 @@ func hashGraph(g *graph.Graph) string {
 	_ = graph.Write(h, g)
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// hashModel returns the hex sha256 of the lowered Ising model's
+// canonical form: order, upper-triangle couplings in CSR scan order
+// (row-major, deduplicated, sorted), and the field when present.
+// Distinct specs lowering to the same Hamiltonian hash equal and share
+// one cached solver.
+func hashModel(m *ising.Model) string {
+	h := sha256.New()
+	writeU64 := func(v uint64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
+	writeU64(uint64(m.N()))
+	cs, err := m.Sparse()
+	if err == nil {
+		cs.Scan(func(i, j int, v float64) {
+			if i > j {
+				return // symmetric storage: hash each pair once
+			}
+			writeU64(uint64(i))
+			writeU64(uint64(j))
+			writeF64(v)
+		})
+	}
+	if hf := m.Field(); hf != nil {
+		writeHashMarker(h)
+		for _, v := range hf {
+			writeF64(v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeHashMarker separates the hash's coupling and field sections so
+// a field-free model can never collide with a fielded one.
+func writeHashMarker(h hash.Hash) { _, _ = h.Write([]byte{0xff, 'h'}) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 
 	"sophie/internal/metrics"
@@ -114,6 +115,18 @@ func writeProm(w io.Writer, s Stats, httpWriteErrs uint64) error {
 			p.printf("sophied_tenant_jobs_rejected_total{tenant=%q,reason=\"rate\"} %d\n", name, ts.RejectedRate)
 			p.printf("sophied_tenant_jobs_rejected_total{tenant=%q,reason=\"share\"} %d\n", name, ts.RejectedShare)
 			p.printf("sophied_tenant_jobs_rejected_total{tenant=%q,reason=\"other\"} %d\n", name, ts.RejectedOther)
+		}
+	}
+
+	if len(s.SpecRejects) > 0 {
+		reasons := make([]string, 0, len(s.SpecRejects))
+		for reason := range s.SpecRejects {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		p.family("sophied_spec_rejects_total", "counter", "Job specs rejected at validation, by reason.")
+		for _, reason := range reasons {
+			p.printf("sophied_spec_rejects_total{reason=%q} %d\n", reason, s.SpecRejects[reason])
 		}
 	}
 

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"sophie/internal/problem"
 )
 
 // HTTP JSON API over a Manager.
@@ -114,6 +116,9 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Field names the JSON path of a problem-spec rejection (e.g.
+	// "problem.clauses[3]"); set only on structured 400s.
+	Field string `json:"field,omitempty"`
 	// RetryAfterSeconds mirrors the Retry-After header on 429/503 for
 	// clients that only read bodies.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
@@ -154,7 +159,12 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		// the client when the successor is likely admitting again.
 		s.retryJSON(w, http.StatusServiceUnavailable, err, s.m.RetryAfterHint())
 	case errors.Is(err, ErrBadSpec):
-		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		body := errorBody{Error: err.Error()}
+		var serr *problem.SpecError
+		if errors.As(err, &serr) {
+			body.Field = serr.Field
+		}
+		s.writeJSON(w, http.StatusBadRequest, body)
 	default:
 		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}

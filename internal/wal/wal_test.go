@@ -273,8 +273,8 @@ func TestReplayIdempotency(t *testing.T) {
 	second := testJob(1)
 	second.Tenant = "imposter"
 	rep.Apply(Record{T: RecordSubmitted, Job: &first})
-	rep.Apply(Record{T: RecordSubmitted, Job: &second}) // dup: ignored
-	rep.Apply(Record{T: RecordStarted, ID: "j00000077"})               // unknown: ignored
+	rep.Apply(Record{T: RecordSubmitted, Job: &second})                             // dup: ignored
+	rep.Apply(Record{T: RecordStarted, ID: "j00000077"})                            // unknown: ignored
 	rep.Apply(Record{T: RecordTerminal, ID: "j00000077", State: service.StateDone}) // unknown: ignored
 	p := rep.Pending()
 	if len(p) != 1 || p[0].Tenant != "default" {
